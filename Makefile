@@ -1,0 +1,45 @@
+# Developer entry points. Everything is plain `go` underneath; the targets
+# just bundle the common invocations.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/dynbdd/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation table/figure at full size (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/bddbench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/achilles
+	$(GO) run ./examples/verification
+	$(GO) run ./examples/zddsets
+	$(GO) run ./examples/ordering-quality
+	$(GO) run ./examples/dynamic-reordering
+	$(GO) run ./examples/factorization
+
+# Short fuzzing sessions over the two text-format parsers.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/expr/
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pla/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,50 @@
+// Command bddbench regenerates the evaluation tables and figures
+// (experiments E1–E14 of DESIGN.md).
+//
+// Usage:
+//
+//	bddbench            # list experiments
+//	bddbench -exp E4    # run one experiment at full size
+//	bddbench -exp all   # run everything (minutes)
+//	bddbench -exp all -quick -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"obddopt/internal/exp"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "", "experiment ID (E1..E18) or 'all'")
+		seed  = flag.Int64("seed", 1, "random seed for workload generation")
+		quick = flag.Bool("quick", false, "shrink problem sizes (CI-friendly)")
+	)
+	flag.Parse()
+	if err := runMain(os.Stdout, *expID, *seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bddbench:", err)
+		os.Exit(1)
+	}
+}
+
+// runMain dispatches one invocation; factored out of main for testing.
+func runMain(w io.Writer, expID string, seed int64, quick bool) error {
+	cfg := exp.Config{Seed: seed, Quick: quick}
+	switch expID {
+	case "":
+		fmt.Fprintln(w, "available experiments (run with -exp <id> or -exp all):")
+		for _, id := range exp.IDs() {
+			desc, _ := exp.Describe(id)
+			fmt.Fprintf(w, "  %-4s %s\n", id, desc)
+		}
+		return nil
+	case "all":
+		return exp.RunAll(w, cfg)
+	default:
+		return exp.Run(expID, w, cfg)
+	}
+}

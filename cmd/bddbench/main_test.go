@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMainList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "", 1, true); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, want := range []string{"E1", "E18", "available experiments"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunMainSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "E2", 1, true); err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	if !strings.Contains(buf.String(), "2.97625") {
+		t.Errorf("E2 output missing γ₁")
+	}
+}
+
+func TestRunMainUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runMain(&buf, "E99", 1, true); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}

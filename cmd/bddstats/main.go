@@ -1,0 +1,131 @@
+// Command bddstats inspects a Boolean function's decision diagrams: sizes
+// and level profiles under a chosen (or the natural) ordering for both the
+// OBDD and ZDD rules, satisfiability counts, support, and how the chosen
+// ordering compares to the exact optimum and the sifting heuristic.
+//
+// Usage examples:
+//
+//	bddstats -expr 'x1 & x2 | x3 & x4'
+//	bddstats -expr '…' -order 3,1,2,4       # root-first, 1-based
+//	bddstats -hex '4:8001' -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"obddopt/internal/core"
+	"obddopt/internal/expr"
+	"obddopt/internal/heuristics"
+	"obddopt/internal/sym"
+	"obddopt/internal/truthtable"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("expr", "", "Boolean formula over x1, x2, …")
+		nVars    = flag.Int("n", 0, "variable count for -expr (default: highest used)")
+		hexSrc   = flag.String("hex", "", "truth-table literal n:hexdigits")
+		orderStr = flag.String("order", "", "root-first 1-based ordering, e.g. 3,1,2 (default natural)")
+		compare  = flag.Bool("compare", false, "also compute the exact optimum and the sifting result")
+	)
+	flag.Parse()
+	if err := run(*exprSrc, *nVars, *hexSrc, *orderStr, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "bddstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exprSrc string, nVars int, hexSrc, orderStr string, compare bool) error {
+	var tt *truthtable.Table
+	switch {
+	case exprSrc != "" && hexSrc == "":
+		e, err := expr.Parse(exprSrc)
+		if err != nil {
+			return err
+		}
+		n := nVars
+		if n == 0 {
+			n = e.MaxVar() + 1
+		}
+		tt, err = expr.ToTruthTable(e, n)
+		if err != nil {
+			return err
+		}
+	case hexSrc != "" && exprSrc == "":
+		var err error
+		tt, err = truthtable.ParseHex(hexSrc)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("give exactly one of -expr or -hex")
+	}
+	n := tt.NumVars()
+
+	ord := truthtable.ReverseOrdering(n) // natural: x1 at the root
+	if orderStr != "" {
+		parsed, err := parseOrder(orderStr, n)
+		if err != nil {
+			return err
+		}
+		ord = parsed
+	}
+
+	fmt.Printf("function:   %d variables, %d/%d satisfying, support %d vars\n",
+		n, tt.CountOnes(), tt.Size(), tt.Support().Count())
+	fmt.Printf("hex:        %s\n", tt.Hex())
+	fmt.Printf("ordering:   %s (read first → last)\n", ord)
+	for _, rule := range []core.Rule{core.OBDD, core.ZDD} {
+		widths := core.Profile(tt, ord, rule, nil)
+		size := core.SizeUnder(tt, ord, rule, nil)
+		fmt.Printf("%-5s size: %d   level widths (bottom-up): %v\n", rule, size, widths)
+	}
+	groups := sym.Groups(tt)
+	if len(groups) < n {
+		var parts []string
+		for _, g := range groups {
+			var names []string
+			for _, v := range g.Members(nil) {
+				names = append(names, fmt.Sprintf("x%d", v+1))
+			}
+			parts = append(parts, "{"+strings.Join(names, ",")+"}")
+		}
+		fmt.Printf("symmetry:   %s (%.3g effective orderings of %d! total)\n",
+			strings.Join(parts, " "), sym.EffectiveOrderings(groups), n)
+	} else {
+		fmt.Printf("symmetry:   none (all %d variables asymmetric)\n", n)
+	}
+	if compare {
+		opt := core.OptimalOrdering(tt, nil)
+		sift := heuristics.Sift(tt, core.OBDD, 0)
+		cur := core.SizeUnder(tt, ord, core.OBDD, nil)
+		fmt.Printf("optimum:    %d nodes under %s\n", opt.Size, opt.Ordering)
+		fmt.Printf("sifting:    %d nonterminals under %s\n", sift.MinCost, sift.Ordering)
+		fmt.Printf("your order: %.3f× the optimal size\n", float64(cur)/float64(opt.Size))
+	}
+	return nil
+}
+
+func parseOrder(s string, n int) (truthtable.Ordering, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("ordering has %d entries, function has %d variables", len(parts), n)
+	}
+	rootFirst := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 || v > n {
+			return nil, fmt.Errorf("bad ordering entry %q (1-based variable numbers)", p)
+		}
+		rootFirst[i] = v - 1
+	}
+	ord := truthtable.FromRootFirst(rootFirst)
+	if !ord.Valid() {
+		return nil, fmt.Errorf("ordering is not a permutation")
+	}
+	return ord, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+func TestRunBasics(t *testing.T) {
+	if err := run("x1 & x2 | x3 & x4", 0, "", "", true); err != nil {
+		t.Errorf("expr+compare: %v", err)
+	}
+	if err := run("", 0, "3:e8", "3,1,2", false); err != nil {
+		t.Errorf("hex+order: %v", err)
+	}
+	if err := run("x1 ^ x2", 4, "", "", false); err != nil {
+		t.Errorf("explicit n: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"no source", run("", 0, "", "", false)},
+		{"two sources", run("x1", 0, "1:2", "", false)},
+		{"bad expr", run("x1 |", 0, "", "", false)},
+		{"bad hex", run("", 0, "nope", "", false)},
+		{"order length", run("x1 & x2", 0, "", "1", false)},
+		{"order value", run("x1 & x2", 0, "", "1,5", false)},
+		{"order dup", run("x1 & x2", 0, "", "1,1", false)},
+		{"order junk", run("x1 & x2", 0, "", "a,b", false)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	ord, err := parseOrder("3,1,2", 3)
+	if err != nil {
+		t.Fatalf("parseOrder: %v", err)
+	}
+	// Root-first 3,1,2 (1-based) → bottom-up (1,0,2) 0-based.
+	want := truthtable.FromRootFirst([]int{2, 0, 1})
+	for i := range want {
+		if ord[i] != want[i] {
+			t.Errorf("parseOrder = %v, want %v", ord, want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Command optobdd computes an exact optimal variable ordering for a
+// Boolean function using the Friedman–Supowit dynamic program (or the
+// brute-force / divide-and-conquer alternatives).
+//
+// Usage examples:
+//
+//	optobdd -expr 'x1 & x2 | x3 & x4 | x5 & x6' -n 6
+//	optobdd -hex '3:e8' -algo brute
+//	optobdd -circuit adder.ckt -output 2 -rule zdd -meter
+//	optobdd -pla benchmark.pla -output 0 -algo bnb
+//	optobdd -expr 'x1 ^ x2 ^ x3' -dot out.dot
+//
+// The function is given as exactly one of -expr (formula over x1, x2, …),
+// -hex (truth-table literal "n:hexdigits"), -circuit (netlist file, see
+// internal/circuit), or -pla (Berkeley/espresso two-level cover); -output
+// selects the primary output for multi-output sources.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"obddopt/internal/circuit"
+	"obddopt/internal/core"
+	"obddopt/internal/expr"
+	"obddopt/internal/pla"
+	"obddopt/internal/truthtable"
+
+	obddopt "obddopt"
+)
+
+func main() {
+	var (
+		exprSrc   = flag.String("expr", "", "Boolean formula over x1, x2, … (operators ! & ^ | -> <->)")
+		nVars     = flag.Int("n", 0, "variable count for -expr (default: highest variable used)")
+		hexSrc    = flag.String("hex", "", "truth-table literal in n:hexdigits form")
+		circFile  = flag.String("circuit", "", "netlist file (see internal/circuit format)")
+		plaFile   = flag.String("pla", "", "PLA (espresso) file")
+		outIdx    = flag.Int("output", 0, "primary output index for -circuit")
+		algo      = flag.String("algo", "fs", "algorithm: fs | brute | bnb | dnc")
+		ruleName  = flag.String("rule", "obdd", "diagram rule: obdd | zdd")
+		meterFlag = flag.Bool("meter", false, "print operation counts")
+		dotFile   = flag.String("dot", "", "write the minimum diagram in Graphviz format to this file")
+		shared    = flag.Bool("shared", false, "optimize all outputs of a -circuit/-pla source as one shared forest")
+	)
+	flag.Parse()
+	if *shared {
+		if err := runShared(*circFile, *plaFile, *ruleName, *meterFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "optobdd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exprSrc, *nVars, *hexSrc, *circFile, *plaFile, *outIdx, *algo, *ruleName, *meterFlag, *dotFile); err != nil {
+		fmt.Fprintln(os.Stderr, "optobdd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exprSrc string, nVars int, hexSrc, circFile, plaFile string, outIdx int, algo, ruleName string, meterFlag bool, dotFile string) error {
+	tt, err := loadFunction(exprSrc, nVars, hexSrc, circFile, plaFile, outIdx)
+	if err != nil {
+		return err
+	}
+
+	var rule core.Rule
+	switch strings.ToLower(ruleName) {
+	case "obdd":
+		rule = core.OBDD
+	case "zdd":
+		rule = core.ZDD
+	default:
+		return fmt.Errorf("unknown rule %q (obdd or zdd)", ruleName)
+	}
+
+	meter := &core.Meter{}
+	opts := &core.Options{Rule: rule, Meter: meter}
+	var res *core.Result
+	switch strings.ToLower(algo) {
+	case "fs":
+		res = core.OptimalOrdering(tt, opts)
+	case "brute":
+		res = core.BruteForce(tt, &core.BruteForceOptions{Rule: rule, Meter: meter})
+	case "bnb":
+		res = core.BranchAndBound(tt, &core.BnBOptions{Rule: rule, Meter: meter})
+	case "dnc":
+		res = core.DivideAndConquer(tt, &core.DnCOptions{Rule: rule, Meter: meter})
+	default:
+		return fmt.Errorf("unknown algorithm %q (fs, brute, bnb or dnc)", algo)
+	}
+
+	fmt.Printf("function:        %d variables, %d satisfying assignments\n", tt.NumVars(), tt.CountOnes())
+	fmt.Printf("rule:            %s\n", res.Rule)
+	fmt.Printf("optimal ordering %s (read first → last)\n", res.Ordering)
+	fmt.Printf("minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
+	fmt.Printf("level widths:    %v (bottom-up)\n", res.Profile)
+	if meterFlag {
+		fmt.Printf("meter:           %d cell ops, %d compactions, peak %d cells, %d evaluations\n",
+			meter.CellOps, meter.Compactions, meter.PeakCells, meter.Evaluations)
+	}
+	if dotFile != "" {
+		if rule != core.OBDD {
+			return fmt.Errorf("-dot supports the OBDD rule only")
+		}
+		m, root := obddopt.BuildBDD(tt, res.Ordering)
+		if err := os.WriteFile(dotFile, []byte(m.DOT(root, "optobdd")), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote diagram:   %s\n", dotFile)
+	}
+	return nil
+}
+
+// runShared optimizes all outputs of a multi-output source jointly.
+func runShared(circFile, plaFile, ruleName string, meterFlag bool) error {
+	var tts []*truthtable.Table
+	switch {
+	case circFile != "" && plaFile == "":
+		f, err := os.Open(circFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		c, err := circuit.Parse(f)
+		if err != nil {
+			return err
+		}
+		for i := range c.Outputs {
+			tts = append(tts, c.OutputTable(i))
+		}
+	case plaFile != "" && circFile == "":
+		f, err := os.Open(plaFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		p, err := pla.Parse(f)
+		if err != nil {
+			return err
+		}
+		tts = p.Tables()
+	default:
+		return fmt.Errorf("-shared needs exactly one of -circuit or -pla")
+	}
+	var rule core.Rule
+	switch strings.ToLower(ruleName) {
+	case "obdd":
+		rule = core.OBDD
+	case "zdd":
+		rule = core.ZDD
+	default:
+		return fmt.Errorf("unknown rule %q", ruleName)
+	}
+	meter := &core.Meter{}
+	res := core.OptimalOrderingShared(tts, &core.Options{Rule: rule, Meter: meter})
+	fmt.Printf("shared forest:   %d roots over %d variables\n", res.Roots, res.N)
+	fmt.Printf("rule:            %s\n", res.Rule)
+	fmt.Printf("optimal ordering %s (read first → last)\n", res.Ordering)
+	fmt.Printf("minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
+	fmt.Printf("level widths:    %v (bottom-up)\n", res.Profile)
+	if meterFlag {
+		fmt.Printf("meter:           %d cell ops, %d compactions, peak %d cells\n",
+			meter.CellOps, meter.Compactions, meter.PeakCells)
+	}
+	return nil
+}
+
+func loadFunction(exprSrc string, nVars int, hexSrc, circFile, plaFile string, outIdx int) (*truthtable.Table, error) {
+	sources := 0
+	for _, s := range []string{exprSrc, hexSrc, circFile, plaFile} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("give exactly one of -expr, -hex, -circuit, -pla")
+	}
+	switch {
+	case exprSrc != "":
+		e, err := expr.Parse(exprSrc)
+		if err != nil {
+			return nil, err
+		}
+		n := nVars
+		if n == 0 {
+			n = e.MaxVar() + 1
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("expression uses no variables; pass -n")
+		}
+		return expr.ToTruthTable(e, n)
+	case hexSrc != "":
+		return truthtable.ParseHex(hexSrc)
+	case plaFile != "":
+		f, err := os.Open(plaFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		p, err := pla.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		if outIdx < 0 || outIdx >= p.NumOutputs {
+			return nil, fmt.Errorf("PLA has %d outputs; -output %d out of range", p.NumOutputs, outIdx)
+		}
+		return p.OutputTable(outIdx), nil
+	default:
+		f, err := os.Open(circFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		c, err := circuit.Parse(f)
+		if err != nil {
+			return nil, err
+		}
+		if outIdx < 0 || outIdx >= len(c.Outputs) {
+			return nil, fmt.Errorf("circuit has %d outputs; -output %d out of range", len(c.Outputs), outIdx)
+		}
+		return c.OutputTable(outIdx), nil
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const adderPLA = ".i 3\n.o 2\n100 10\n010 10\n001 10\n111 11\n11- 01\n1-1 01\n-11 01\n.e\n"
+
+const andCircuit = "inputs 2\n2 = and 0 1\n3 = not 2\noutputs 2 3\n"
+
+func TestRunExpr(t *testing.T) {
+	for _, algo := range []string{"fs", "brute", "bnb", "dnc"} {
+		if err := run("x1 & x2 | x3 & x4", 0, "", "", "", 0, algo, "obdd", true, ""); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunHexAndZDD(t *testing.T) {
+	if err := run("", 0, "3:e8", "", "", 0, "fs", "zdd", false, ""); err != nil {
+		t.Errorf("hex+zdd: %v", err)
+	}
+}
+
+func TestRunCircuitAndPLA(t *testing.T) {
+	ck := writeTemp(t, "and.ckt", andCircuit)
+	if err := run("", 0, "", ck, "", 1, "fs", "obdd", false, ""); err != nil {
+		t.Errorf("circuit: %v", err)
+	}
+	pl := writeTemp(t, "adder.pla", adderPLA)
+	if err := run("", 0, "", "", pl, 1, "fs", "obdd", false, ""); err != nil {
+		t.Errorf("pla: %v", err)
+	}
+}
+
+func TestRunDotOutput(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	if err := run("x1 ^ x2", 0, "", "", "", 0, "fs", "obdd", false, dot); err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil || len(data) == 0 {
+		t.Errorf("dot file not written: %v", err)
+	}
+	// DOT output is OBDD-only.
+	if err := run("x1 ^ x2", 0, "", "", "", 0, "fs", "zdd", false, dot); err == nil {
+		t.Errorf("zdd+dot should error")
+	}
+}
+
+func TestRunShared(t *testing.T) {
+	pl := writeTemp(t, "adder.pla", adderPLA)
+	if err := runShared("", pl, "obdd", true); err != nil {
+		t.Errorf("shared pla: %v", err)
+	}
+	ck := writeTemp(t, "and.ckt", andCircuit)
+	if err := runShared(ck, "", "obdd", false); err != nil {
+		t.Errorf("shared circuit: %v", err)
+	}
+	if err := runShared("", "", "obdd", false); err == nil {
+		t.Errorf("shared without source should error")
+	}
+	if err := runShared(ck, pl, "obdd", false); err == nil {
+		t.Errorf("shared with two sources should error")
+	}
+	if err := runShared("", pl, "frob", false); err == nil {
+		t.Errorf("bad rule should error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no source", func() error { return run("", 0, "", "", "", 0, "fs", "obdd", false, "") }},
+		{"two sources", func() error { return run("x1", 0, "1:2", "", "", 0, "fs", "obdd", false, "") }},
+		{"bad algo", func() error { return run("x1", 0, "", "", "", 0, "frob", "obdd", false, "") }},
+		{"bad rule", func() error { return run("x1", 0, "", "", "", 0, "fs", "frob", false, "") }},
+		{"bad expr", func() error { return run("x1 &", 0, "", "", "", 0, "fs", "obdd", false, "") }},
+		{"const expr", func() error { return run("0", 0, "", "", "", 0, "fs", "obdd", false, "") }},
+		{"bad hex", func() error { return run("", 0, "zz", "", "", 0, "fs", "obdd", false, "") }},
+		{"missing file", func() error { return run("", 0, "", "/nonexistent", "", 0, "fs", "obdd", false, "") }},
+		{"missing pla", func() error { return run("", 0, "", "", "/nonexistent", 0, "fs", "obdd", false, "") }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunOutputRange(t *testing.T) {
+	ck := writeTemp(t, "and.ckt", andCircuit)
+	if err := run("", 0, "", ck, "", 9, "fs", "obdd", false, ""); err == nil {
+		t.Errorf("out-of-range circuit output should error")
+	}
+	pl := writeTemp(t, "adder.pla", adderPLA)
+	if err := run("", 0, "", "", pl, 9, "fs", "obdd", false, ""); err == nil {
+		t.Errorf("out-of-range PLA output should error")
+	}
+}

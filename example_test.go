@@ -1,0 +1,88 @@
+package obddopt_test
+
+import (
+	"fmt"
+
+	obddopt "obddopt"
+)
+
+// The paper's running example: the Fig. 1 function has an 8-node OBDD
+// under the optimal (interleaved) ordering and a 16-node one under the
+// blocked ordering.
+func Example() {
+	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4 | x5 & x6", 6)
+	res := obddopt.OptimalOrdering(f, nil)
+	fmt.Println(res.Size, res.Ordering)
+
+	blocked := obddopt.Ordering{5, 3, 1, 4, 2, 0}
+	fmt.Println(obddopt.SizeUnder(f, blocked, obddopt.OBDD))
+	// Output:
+	// 8 (x1, x2, x3, x4, x5, x6)
+	// 16
+}
+
+// ExampleOptimalOrdering shows the exact dynamic program on a multiplexer:
+// the optimum reads the select variable first.
+func ExampleOptimalOrdering() {
+	// f = s ? d1 : d0 over variables s=x1, d0=x2, d1=x3.
+	f := obddopt.MustParseExpr("(!x1 & x2) | (x1 & x3)", 3)
+	res := obddopt.OptimalOrdering(f, nil)
+	fmt.Println(res.MinCost, res.Ordering)
+	// Output:
+	// 3 (x1, x2, x3)
+}
+
+// ExampleOptimalOrdering_zdd minimizes a zero-suppressed DD instead: the
+// family {∅} needs no nonterminal nodes at all.
+func ExampleOptimalOrdering_zdd() {
+	f := obddopt.MustParseExpr("!x1 & !x2 & !x3", 3)
+	res := obddopt.OptimalOrdering(f, &obddopt.Options{Rule: obddopt.ZDD})
+	fmt.Println(res.MinCost)
+	// Output:
+	// 0
+}
+
+// ExampleBuildBDD materializes the minimum diagram and queries it.
+func ExampleBuildBDD() {
+	f := obddopt.MustParseExpr("x1 ^ x2 ^ x3", 3)
+	res := obddopt.OptimalOrdering(f, nil)
+	m, root := obddopt.BuildBDD(f, res.Ordering)
+	fmt.Println(m.SatCount(root))
+	fmt.Println(m.Size(root) == res.Size)
+	// Output:
+	// 4
+	// true
+}
+
+// ExampleSift compares the sifting heuristic to the certified optimum.
+func ExampleSift() {
+	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4", 4)
+	s := obddopt.Sift(f, obddopt.OBDD, 0)
+	opt := obddopt.OptimalOrdering(f, nil)
+	fmt.Println(s.MinCost == opt.MinCost)
+	// Output:
+	// true
+}
+
+// ExampleSymmetryGroups detects the interchangeable variables of the
+// Fig. 1 function: each product pair forms a group.
+func ExampleSymmetryGroups() {
+	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4", 4)
+	for _, g := range obddopt.SymmetryGroups(f) {
+		fmt.Println(g.Members(nil))
+	}
+	// Output:
+	// [0 1]
+	// [2 3]
+}
+
+// ExampleOptimalOrderingShared optimizes two functions jointly: the shared
+// forest of a function and a cofactor-like variant reuses structure.
+func ExampleOptimalOrderingShared() {
+	sum := obddopt.MustParseExpr("x1 ^ x2 ^ x3", 3)
+	carry := obddopt.MustParseExpr("x1 & x2 | x3 & (x1 ^ x2)", 3)
+	res := obddopt.OptimalOrderingShared([]*obddopt.Table{sum, carry}, nil)
+	fmt.Println(res.Roots, res.MinCost)
+	// Output:
+	// 2 8
+}

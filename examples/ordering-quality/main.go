@@ -1,0 +1,59 @@
+// Ordering quality: use the exact algorithm as the yardstick the paper
+// says it is for — judging ordering heuristics. For a spread of workloads
+// the exact optimum (FS), sifting, window permutation, greedy append and
+// best-of-k random orderings are compared, and the distribution of OBDD
+// sizes over many random orderings is summarized so the optimum can be
+// seen in context.
+//
+//	go run ./examples/ordering-quality
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/heuristics"
+	"obddopt/internal/truthtable"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	workloads := []struct {
+		name string
+		tt   *truthtable.Table
+	}{
+		{"achilles-5pairs", funcs.AchillesHeel(5)},
+		{"adder-sum-bit4", funcs.AdderSumBit(5, 4)},
+		{"comparator-5bit", funcs.Comparator(5)},
+		{"multiplexer-3sel", funcs.Multiplexer(3)},
+		{"hidden-wtd-bit-10", funcs.HiddenWeightedBit(10)},
+		{"random-dnf-10", funcs.RandomDNF(10, 12, 3, rng)},
+	}
+
+	fmt.Printf("%-18s %3s | %7s %7s %7s %7s %7s | %9s %9s %9s\n",
+		"workload", "n", "exact", "sift", "win3", "greedy", "rand64", "med-rand", "p90-rand", "worst-seen")
+	for _, wl := range workloads {
+		n := wl.tt.NumVars()
+		opt := core.OptimalOrdering(wl.tt, nil).MinCost
+		sift := heuristics.Sift(wl.tt, core.OBDD, 0).MinCost
+		win := heuristics.Window(wl.tt, core.OBDD, 3).MinCost
+		greedy := heuristics.GreedyAppend(wl.tt, core.OBDD).MinCost
+		rb := heuristics.RandomBest(wl.tt, core.OBDD, 64, rng).MinCost
+
+		// Distribution over 200 random orderings.
+		oracle := heuristics.NewOracle(wl.tt, core.OBDD)
+		samples := make([]uint64, 200)
+		for i := range samples {
+			samples[i] = oracle.Cost(truthtable.RandomOrdering(n, rng))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		fmt.Printf("%-18s %3d | %7d %7d %7d %7d %7d | %9d %9d %9d\n",
+			wl.name, n, opt, sift, win, greedy, rb,
+			samples[100], samples[180], samples[199])
+	}
+	fmt.Println("\nexact = FS dynamic program (provable optimum); all heuristic columns are ≥ exact.")
+	fmt.Println("hidden-weighted-bit stays large even at the optimum: no ordering can help it (Bryant).")
+}

@@ -1,0 +1,75 @@
+package obddopt
+
+// Facade exports for the input frontends (PLA covers, gate-level
+// circuits) and the benchmark function generators, so downstream users
+// can reach them without access to the internal packages.
+
+import (
+	"io"
+	"math/rand"
+
+	"obddopt/internal/circuit"
+	"obddopt/internal/funcs"
+	"obddopt/internal/pla"
+	"obddopt/internal/truthtable"
+)
+
+// PLA is a parsed Berkeley/espresso two-level cover; see internal/pla for
+// the format. Use OutputTable/Tables to obtain optimizable truth tables.
+type PLA = pla.PLA
+
+// ParsePLA reads a PLA description.
+func ParsePLA(r io.Reader) (*PLA, error) { return pla.Parse(r) }
+
+// PLAFromTable builds a canonical one-output PLA (one term per minterm).
+func PLAFromTable(tt *Table) *PLA { return pla.FromTable(tt) }
+
+// Circuit is a combinational gate-level netlist; see internal/circuit for
+// the line format and the builder API.
+type Circuit = circuit.Circuit
+
+// ParseCircuit reads a netlist description.
+func ParseCircuit(r io.Reader) (*Circuit, error) { return circuit.Parse(r) }
+
+// NewCircuit returns an empty netlist with n primary inputs.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// Netlist generators for benchmark workloads.
+var (
+	// RippleCarryAdder builds a bits-wide adder netlist (sum bits + carry).
+	RippleCarryAdder = circuit.RippleCarryAdder
+	// CarrySelectAdder builds a structurally different, equivalent adder.
+	CarrySelectAdder = circuit.CarrySelectAdder
+	// ComparatorCircuit builds the magnitude comparator [a > b].
+	ComparatorCircuit = circuit.ComparatorGT
+	// PriorityEncoderCircuit builds an n-input priority encoder.
+	PriorityEncoderCircuit = circuit.PriorityEncoder
+	// PopCountCircuit builds the Hamming-weight counter netlist.
+	PopCountCircuit = circuit.PopCount
+)
+
+// Benchmark Boolean functions (see internal/funcs for the full catalog).
+var (
+	// AchillesHeel is the Fig. 1 family x1·x2 + x3·x4 + … over 2k vars.
+	AchillesHeel = funcs.AchillesHeel
+	// Parity is x1 ⊕ … ⊕ xn (ordering-invariant OBDD of 2n−1 nodes).
+	Parity = funcs.Parity
+	// Majority is the n-input majority function.
+	Majority = funcs.Majority
+	// Threshold is [Σ x_i ≥ k].
+	Threshold = funcs.Threshold
+	// HiddenWeightedBit is Bryant's function, exponential under every
+	// ordering.
+	HiddenWeightedBit = funcs.HiddenWeightedBit
+	// AdderSumBit is bit i of a bits-wide addition.
+	AdderSumBit = funcs.AdderSumBit
+	// Comparator is [a > b] over two bits-wide operands.
+	Comparator = funcs.Comparator
+	// Multiplexer is the 2^sel-way multiplexer (strongly
+	// ordering-sensitive).
+	Multiplexer = funcs.Multiplexer
+)
+
+// RandomTable returns a uniformly random n-variable function drawn from
+// rng (seed-deterministic).
+func RandomTable(n int, rng *rand.Rand) *Table { return truthtable.Random(n, rng) }

@@ -1,0 +1,81 @@
+package obddopt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFacadePLA(t *testing.T) {
+	src := ".i 2\n.o 1\n11 1\n.e\n"
+	p, err := ParsePLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParsePLA: %v", err)
+	}
+	tt := p.OutputTable(0)
+	if OptimalOrdering(tt, nil).MinCost != 2 {
+		t.Errorf("AND cover optimum wrong")
+	}
+	back := PLAFromTable(tt)
+	if !back.OutputTable(0).Equal(tt) {
+		t.Errorf("PLAFromTable round trip failed")
+	}
+}
+
+func TestFacadeCircuit(t *testing.T) {
+	c := RippleCarryAdder(2)
+	if len(c.Outputs) != 3 {
+		t.Fatalf("adder outputs %d", len(c.Outputs))
+	}
+	shared := OptimalOrderingShared(c.AllOutputTables(), nil)
+	if shared.Roots != 3 || shared.MinCost == 0 {
+		t.Errorf("shared adder optimization wrong: %+v", shared)
+	}
+	c2 := NewCircuit(2)
+	if c2.NumInputs != 2 {
+		t.Errorf("NewCircuit wrong")
+	}
+	if _, err := ParseCircuit(strings.NewReader("inputs 1\noutputs 0\n")); err != nil {
+		t.Errorf("ParseCircuit: %v", err)
+	}
+	if ComparatorCircuit(2).OutputTable(0).Equal(Comparator(2)) == false {
+		t.Errorf("comparator circuit != comparator function")
+	}
+	if len(PriorityEncoderCircuit(4).Outputs) != 3 {
+		t.Errorf("priority encoder outputs wrong")
+	}
+	if len(PopCountCircuit(3).Outputs) != 2 {
+		t.Errorf("popcount outputs wrong")
+	}
+	if CarrySelectAdder(2).OutputTable(0).Equal(RippleCarryAdder(2).OutputTable(0)) == false {
+		t.Errorf("adder variants differ")
+	}
+}
+
+func TestFacadeFunctionFamilies(t *testing.T) {
+	if OptimalOrdering(AchillesHeel(3), nil).Size != 8 {
+		t.Errorf("AchillesHeel optimum wrong")
+	}
+	if OptimalOrdering(Parity(4), nil).MinCost != 7 {
+		t.Errorf("Parity optimum wrong")
+	}
+	if Majority(3).CountOnes() != 4 {
+		t.Errorf("Majority wrong")
+	}
+	if Threshold(3, 0).CountOnes() != 8 {
+		t.Errorf("Threshold wrong")
+	}
+	if HiddenWeightedBit(4).NumVars() != 4 {
+		t.Errorf("HWB wrong")
+	}
+	if AdderSumBit(2, 0).NumVars() != 4 {
+		t.Errorf("AdderSumBit wrong")
+	}
+	if Multiplexer(1).NumVars() != 3 {
+		t.Errorf("Multiplexer wrong")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if RandomTable(5, rng).NumVars() != 5 {
+		t.Errorf("RandomTable wrong")
+	}
+}

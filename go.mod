@@ -1,0 +1,3 @@
+module obddopt
+
+go 1.22

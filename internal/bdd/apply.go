@@ -1,0 +1,118 @@
+package bdd
+
+import "fmt"
+
+// BinaryOp is a two-argument Boolean connective given by its truth table:
+// bit (2·a + b) of the value is op(a, b). The sixteen possible ops cover
+// every binary connective; the named constants below are the common ones.
+type BinaryOp uint8
+
+// The common connectives as BinaryOp tables.
+const (
+	OpAnd  BinaryOp = 0b1000
+	OpOr   BinaryOp = 0b1110
+	OpXor  BinaryOp = 0b0110
+	OpNand BinaryOp = 0b0111
+	OpNor  BinaryOp = 0b0001
+	OpXnor BinaryOp = 0b1001
+	OpImp  BinaryOp = 0b1011 // a → b
+	OpDiff BinaryOp = 0b0100 // a ∧ ¬b
+)
+
+// Eval applies the connective to two Boolean values.
+func (op BinaryOp) Eval(a, b bool) bool {
+	idx := 0
+	if a {
+		idx |= 2
+	}
+	if b {
+		idx |= 1
+	}
+	return op>>uint(idx)&1 == 1
+}
+
+// String names the common connectives.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpXor:
+		return "XOR"
+	case OpNand:
+		return "NAND"
+	case OpNor:
+		return "NOR"
+	case OpXnor:
+		return "XNOR"
+	case OpImp:
+		return "IMP"
+	case OpDiff:
+		return "DIFF"
+	}
+	return fmt.Sprintf("Op(%04b)", uint8(op))
+}
+
+// Apply combines f and g with an arbitrary binary connective — Bryant's
+// original apply algorithm, generalized over the op truth table. For the
+// common connectives it is equivalent to the dedicated ITE-based methods.
+func (m *Manager) Apply(op BinaryOp, f, g Node) Node {
+	type key struct {
+		f, g Node
+		op   BinaryOp
+	}
+	memo := map[key]Node{}
+	var rec func(f, g Node) Node
+	rec = func(f, g Node) Node {
+		if (f == True || f == False) && (g == True || g == False) {
+			if op.Eval(f == True, g == True) {
+				return True
+			}
+			return False
+		}
+		// Short circuits: if one argument is terminal and the op column
+		// for it is constant, the result is that constant.
+		if f == True || f == False {
+			if c, ok := constantColumn(op, f == True, true); ok {
+				return m.Constant(c)
+			}
+		}
+		if g == True || g == False {
+			if c, ok := constantColumn(op, g == True, false); ok {
+				return m.Constant(c)
+			}
+		}
+		k := key{f, g, op}
+		if r, ok := memo[k]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactorsAt(f, top)
+		g0, g1 := m.cofactorsAt(g, top)
+		r := m.mk(top, rec(f0, g0), rec(f1, g1))
+		memo[k] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+// constantColumn reports whether fixing one argument of op to val makes
+// the result independent of the other argument, and the constant result.
+// first selects which argument is fixed.
+func constantColumn(op BinaryOp, val, first bool) (result, ok bool) {
+	var a, b bool
+	if first {
+		a = val
+		r0 := op.Eval(a, false)
+		r1 := op.Eval(a, true)
+		return r0, r0 == r1
+	}
+	b = val
+	r0 := op.Eval(false, b)
+	r1 := op.Eval(true, b)
+	return r0, r0 == r1
+}

@@ -1,0 +1,102 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+func TestBinaryOpEval(t *testing.T) {
+	cases := []struct {
+		op   BinaryOp
+		want [4]bool // (a,b) = 00,01,10,11
+	}{
+		{OpAnd, [4]bool{false, false, false, true}},
+		{OpOr, [4]bool{false, true, true, true}},
+		{OpXor, [4]bool{false, true, true, false}},
+		{OpNand, [4]bool{true, true, true, false}},
+		{OpNor, [4]bool{true, false, false, false}},
+		{OpXnor, [4]bool{true, false, false, true}},
+		{OpImp, [4]bool{true, true, false, true}},
+		{OpDiff, [4]bool{false, false, true, false}},
+	}
+	for _, c := range cases {
+		i := 0
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if c.op.Eval(a, b) != c.want[i] {
+					t.Errorf("%s(%v,%v) = %v, want %v", c.op, a, b, c.op.Eval(a, b), c.want[i])
+				}
+				i++
+			}
+		}
+	}
+	if OpAnd.String() != "AND" || BinaryOp(0b0011).String() == "" {
+		t.Errorf("String naming wrong")
+	}
+}
+
+func TestApplyMatchesITEBasedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + trial%5
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(truthtable.Random(n, rng))
+		g := m.FromTruthTable(truthtable.Random(n, rng))
+		pairs := []struct {
+			op   BinaryOp
+			want Node
+		}{
+			{OpAnd, m.And(f, g)},
+			{OpOr, m.Or(f, g)},
+			{OpXor, m.Xor(f, g)},
+			{OpNand, m.Not(m.And(f, g))},
+			{OpNor, m.Not(m.Or(f, g))},
+			{OpXnor, m.Equiv(f, g)},
+			{OpImp, m.Implies(f, g)},
+			{OpDiff, m.And(f, m.Not(g))},
+		}
+		for _, p := range pairs {
+			if got := m.Apply(p.op, f, g); got != p.want {
+				t.Fatalf("n=%d %s: Apply %d != ITE %d", n, p.op, got, p.want)
+			}
+		}
+	}
+}
+
+func TestApplyAllSixteenOps(t *testing.T) {
+	// Every one of the 16 connectives must match pointwise evaluation.
+	rng := rand.New(rand.NewSource(212))
+	n := 4
+	ft := truthtable.Random(n, rng)
+	gt := truthtable.Random(n, rng)
+	m := New(n, nil)
+	f, g := m.FromTruthTable(ft), m.FromTruthTable(gt)
+	for op := BinaryOp(0); op < 16; op++ {
+		r := m.Apply(op, f, g)
+		want := truthtable.FromFunc(n, func(x []bool) bool {
+			return op.Eval(ft.Eval(x), gt.Eval(x))
+		})
+		if !m.ToTruthTable(r).Equal(want) {
+			t.Fatalf("op %04b wrong", uint8(op))
+		}
+	}
+}
+
+func TestApplyTerminalShortCircuits(t *testing.T) {
+	m := New(3, nil)
+	f := m.Var(0)
+	if m.Apply(OpAnd, False, f) != False {
+		t.Errorf("⊥∧f != ⊥")
+	}
+	if m.Apply(OpOr, True, f) != True {
+		t.Errorf("⊤∨f != ⊤")
+	}
+	if m.Apply(OpImp, f, True) != True {
+		t.Errorf("f→⊤ != ⊤")
+	}
+	if m.Apply(OpAnd, True, f) != f {
+		t.Errorf("⊤∧f != f")
+	}
+}

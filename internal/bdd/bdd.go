@@ -1,0 +1,451 @@
+// Package bdd is a shared-node ordered-binary-decision-diagram package: a
+// unique-table-based node manager with memoized ITE/apply operations,
+// restriction, composition, quantification, satisfiability counting and
+// DOT export. It serves two roles in this repository:
+//
+//   - an independent cross-check of the dynamic program: building the
+//     diagram of a function under the DP's optimal ordering and counting
+//     its nodes must reproduce the DP's MINCOST (experiment E7);
+//   - the substrate for the application examples (combinational
+//     equivalence checking, the VLSI motivation of the papers).
+//
+// Node convention: Node is an index into the manager's node table; the
+// terminals are False = 0 and True = 1. Internally nodes live at levels
+// numbered root-first (level 0 is the topmost); the package accepts and
+// reports orderings in the repository-wide bottom-up convention of
+// truthtable.Ordering and converts at the boundary.
+package bdd
+
+import (
+	"fmt"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// Node identifies a BDD node within its Manager.
+type Node uint32
+
+// Terminal nodes, shared by all managers.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  uint32 // root-first level of the node's variable
+	lo, hi Node   // 0-edge and 1-edge destinations
+}
+
+type pairLevelKey struct {
+	level  uint32
+	lo, hi Node
+}
+
+type iteKey struct{ f, g, h Node }
+
+// Manager owns a collection of shared BDD nodes over a fixed variable
+// ordering. All Nodes returned by a Manager are only meaningful with that
+// Manager. Managers are not safe for concurrent use.
+type Manager struct {
+	nvars      int
+	varAtLevel []int // varAtLevel[level] = variable index (root-first)
+	levelOfVar []int
+	nodes      []nodeData
+	unique     map[pairLevelKey]Node
+	iteCache   map[iteKey]Node
+}
+
+// New returns a manager over n variables using the given bottom-up
+// ordering; a nil ordering selects the natural ordering (variable 0 at the
+// root). The ordering is copied.
+func New(n int, order truthtable.Ordering) *Manager {
+	if order == nil {
+		order = truthtable.ReverseOrdering(n)
+	}
+	if len(order) != n || !order.Valid() {
+		panic("bdd: ordering is not a permutation of the variables")
+	}
+	m := &Manager{
+		nvars:      n,
+		varAtLevel: order.RootFirst(),
+		levelOfVar: make([]int, n),
+		// Terminal sentinels occupy slots 0 and 1 with level = nvars.
+		nodes:    []nodeData{{level: uint32(n)}, {level: uint32(n)}},
+		unique:   make(map[pairLevelKey]Node),
+		iteCache: make(map[iteKey]Node),
+	}
+	for lvl, v := range m.varAtLevel {
+		m.levelOfVar[v] = lvl
+	}
+	return m
+}
+
+// NumVars returns the number of variables of the manager.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Ordering returns the manager's variable ordering, bottom-up.
+func (m *Manager) Ordering() truthtable.Ordering {
+	return truthtable.FromRootFirst(append([]int{}, m.varAtLevel...))
+}
+
+// NumNodes returns the total number of nodes the manager has allocated
+// (including the two terminals); a measure of memory, not of any single
+// function's size.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// level returns the root-first level of node f (nvars for terminals).
+func (m *Manager) level(f Node) uint32 { return m.nodes[f].level }
+
+// mk returns the canonical node (level, lo, hi), applying the OBDD
+// reduction rule and the unique table.
+func (m *Manager) mk(level uint32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := pairLevelKey{level, lo, hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	return n
+}
+
+// Constant returns the terminal for v.
+func (m *Manager) Constant(v bool) Node {
+	if v {
+		return True
+	}
+	return False
+}
+
+// Var returns the function x_v.
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.nvars {
+		panic("bdd: Var index out of range")
+	}
+	return m.mk(uint32(m.levelOfVar[v]), False, True)
+}
+
+// NVar returns the function ¬x_v.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || v >= m.nvars {
+		panic("bdd: NVar index out of range")
+	}
+	return m.mk(uint32(m.levelOfVar[v]), True, False)
+}
+
+// VarOf returns the variable tested by node f; ok is false for terminals.
+func (m *Manager) VarOf(f Node) (v int, ok bool) {
+	lvl := m.level(f)
+	if lvl >= uint32(m.nvars) {
+		return 0, false
+	}
+	return m.varAtLevel[lvl], true
+}
+
+// Cofactors returns the children (lo, hi) of f with respect to the
+// variable at the given level: if f tests a deeper variable, both
+// cofactors are f itself.
+func (m *Manager) cofactorsAt(f Node, level uint32) (lo, hi Node) {
+	if m.level(f) == level {
+		d := m.nodes[f]
+		return d.lo, d.hi
+	}
+	return f, f
+}
+
+// ITE computes if-then-else(f, g, h) = f·g + f̄·h, the universal binary
+// operator of Brace–Rudell–Bryant.
+func (m *Manager) ITE(f, g, h Node) Node {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.iteCache[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactorsAt(f, top)
+	g0, g1 := m.cofactorsAt(g, top)
+	h0, h1 := m.cofactorsAt(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.iteCache[key] = r
+	return r
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.ITE(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.ITE(f, m.Not(g), g) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Node) Node { return m.ITE(f, g, True) }
+
+// Equiv returns f ↔ g.
+func (m *Manager) Equiv(f, g Node) Node { return m.ITE(f, g, m.Not(g)) }
+
+// Restrict returns f with variable v fixed to val.
+func (m *Manager) Restrict(f Node, v int, val bool) Node {
+	level := uint32(m.levelOfVar[v])
+	memo := map[Node]Node{}
+	var rec func(Node) Node
+	rec = func(g Node) Node {
+		if m.level(g) > level {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := m.nodes[g]
+		var r Node
+		if d.level == level {
+			if val {
+				r = d.hi
+			} else {
+				r = d.lo
+			}
+		} else {
+			r = m.mk(d.level, rec(d.lo), rec(d.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Compose returns f with variable v replaced by the function g:
+// f[x_v := g] = ITE(g, f|_{v=1}, f|_{v=0}).
+func (m *Manager) Compose(f Node, v int, g Node) Node {
+	return m.ITE(g, m.Restrict(f, v, true), m.Restrict(f, v, false))
+}
+
+// Exists returns ∃ vars. f, quantifying over the variables in the mask.
+func (m *Manager) Exists(f Node, vars bitops.Mask) Node {
+	return m.quantify(f, vars, true)
+}
+
+// Forall returns ∀ vars. f.
+func (m *Manager) Forall(f Node, vars bitops.Mask) Node {
+	return m.quantify(f, vars, false)
+}
+
+func (m *Manager) quantify(f Node, vars bitops.Mask, existential bool) Node {
+	memo := map[Node]Node{}
+	var rec func(Node) Node
+	rec = func(g Node) Node {
+		if g == True || g == False {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := m.nodes[g]
+		v := m.varAtLevel[d.level]
+		lo, hi := rec(d.lo), rec(d.hi)
+		var r Node
+		if vars.Has(v) {
+			if existential {
+				r = m.Or(lo, hi)
+			} else {
+				r = m.And(lo, hi)
+			}
+		} else {
+			r = m.mk(d.level, lo, hi)
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f on the assignment x (x[i] = value of variable i).
+func (m *Manager) Eval(f Node, x []bool) bool {
+	if len(x) != m.nvars {
+		panic("bdd: Eval assignment length mismatch")
+	}
+	for f != True && f != False {
+		d := m.nodes[f]
+		if x[m.varAtLevel[d.level]] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// SatCount returns the number of satisfying assignments of f over all
+// nvars variables.
+func (m *Manager) SatCount(f Node) uint64 {
+	memo := map[Node]uint64{}
+	var rec func(g Node) uint64 // returns count over variables below g's level
+	rec = func(g Node) uint64 {
+		if g == False {
+			return 0
+		}
+		if g == True {
+			return 1
+		}
+		if c, ok := memo[g]; ok {
+			return c
+		}
+		d := m.nodes[g]
+		c := rec(d.lo)<<uint(m.level(d.lo)-d.level-1) +
+			rec(d.hi)<<uint(m.level(d.hi)-d.level-1)
+		memo[g] = c
+		return c
+	}
+	return rec(f) << uint(m.level(f))
+}
+
+// AnySat returns a satisfying assignment of f, or ok = false if f is
+// unsatisfiable. Unconstrained variables are reported false.
+func (m *Manager) AnySat(f Node) (x []bool, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	x = make([]bool, m.nvars)
+	for f != True {
+		d := m.nodes[f]
+		v := m.varAtLevel[d.level]
+		if d.lo != False {
+			f = d.lo
+		} else {
+			x[v] = true
+			f = d.hi
+		}
+	}
+	return x, true
+}
+
+// Support returns the mask of variables the function f depends on.
+func (m *Manager) Support(f Node) bitops.Mask {
+	var sup bitops.Mask
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		d := m.nodes[g]
+		sup = sup.With(m.varAtLevel[d.level])
+		rec(d.lo)
+		rec(d.hi)
+	}
+	rec(f)
+	return sup
+}
+
+// CountNodes returns the number of nonterminal nodes reachable from f.
+func (m *Manager) CountNodes(f Node) uint64 {
+	var count uint64
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		count++
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return count
+}
+
+// Size returns the diagram size of f counted as the papers count it:
+// reachable nonterminal nodes plus reachable terminals.
+func (m *Manager) Size(f Node) uint64 {
+	terms := map[Node]bool{}
+	seen := map[Node]bool{}
+	var count uint64
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == True || g == False {
+			terms[g] = true
+			return
+		}
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		count++
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return count + uint64(len(terms))
+}
+
+// LevelCounts returns the number of reachable nodes per level, indexed
+// bottom-up to match core.Result.Profile: LevelCounts(f)[i] is the width
+// of level i+1 (the level whose variable is Ordering()[i]).
+func (m *Manager) LevelCounts(f Node) []uint64 {
+	counts := make([]uint64, m.nvars)
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		d := m.nodes[g]
+		counts[uint32(m.nvars)-1-d.level]++
+		rec(d.lo)
+		rec(d.hi)
+	}
+	rec(f)
+	return counts
+}
+
+// Equal reports whether two nodes of this manager denote the same
+// function; by canonicity this is pointer equality.
+func (m *Manager) Equal(f, g Node) bool { return f == g }
+
+// Children returns the (lo, hi) children of a nonterminal node.
+func (m *Manager) Children(f Node) (lo, hi Node, ok bool) {
+	if f == True || f == False {
+		return 0, 0, false
+	}
+	d := m.nodes[f]
+	return d.lo, d.hi, true
+}
+
+// String renders a node for diagnostics.
+func (m *Manager) NodeString(f Node) string {
+	switch f {
+	case False:
+		return "⊥"
+	case True:
+		return "⊤"
+	}
+	v, _ := m.VarOf(f)
+	d := m.nodes[f]
+	return fmt.Sprintf("n%d(x%d, lo=%d, hi=%d)", f, v+1, d.lo, d.hi)
+}

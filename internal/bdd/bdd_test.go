@@ -1,0 +1,332 @@
+package bdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New(3, nil)
+	if m.Constant(true) != True || m.Constant(false) != False {
+		t.Fatalf("constants wrong")
+	}
+	x0 := m.Var(0)
+	if !m.Eval(x0, []bool{true, false, false}) || m.Eval(x0, []bool{false, true, true}) {
+		t.Errorf("Var(0) evaluates wrong")
+	}
+	nx0 := m.NVar(0)
+	if m.Eval(nx0, []bool{true, false, false}) {
+		t.Errorf("NVar wrong")
+	}
+	if v, ok := m.VarOf(x0); !ok || v != 0 {
+		t.Errorf("VarOf = %d,%v", v, ok)
+	}
+	if _, ok := m.VarOf(True); ok {
+		t.Errorf("VarOf terminal should be !ok")
+	}
+}
+
+func TestCanonicityAndSharing(t *testing.T) {
+	m := New(4, nil)
+	// x0∧x1 built twice must be the same node.
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.And(m.Var(1), m.Var(0))
+	if a != b {
+		t.Errorf("AND not canonical: %d vs %d", a, b)
+	}
+	// (x0∧x1)∨¬(x0∧x1) = true.
+	if m.Or(a, m.Not(a)) != True {
+		t.Errorf("f ∨ ¬f != ⊤")
+	}
+	if m.And(a, m.Not(a)) != False {
+		t.Errorf("f ∧ ¬f != ⊥")
+	}
+	if m.Xor(a, a) != False {
+		t.Errorf("f ⊕ f != ⊥")
+	}
+}
+
+func TestOpsAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%5
+		ft := truthtable.Random(n, rng)
+		gt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f, g := m.FromTruthTable(ft), m.FromTruthTable(gt)
+		checks := []struct {
+			name string
+			node Node
+			want *truthtable.Table
+		}{
+			{"and", m.And(f, g), ft.And(gt)},
+			{"or", m.Or(f, g), ft.Or(gt)},
+			{"xor", m.Xor(f, g), ft.Xor(gt)},
+			{"not", m.Not(f), ft.Not()},
+			{"implies", m.Implies(f, g), ft.Not().Or(gt)},
+			{"equiv", m.Equiv(f, g), ft.Xor(gt).Not()},
+		}
+		for _, c := range checks {
+			if !m.ToTruthTable(c.node).Equal(c.want) {
+				t.Fatalf("n=%d %s: wrong function", n, c.name)
+			}
+		}
+	}
+}
+
+func TestFromToTruthTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + trial%6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(tt)
+		if !m.ToTruthTable(f).Equal(tt) {
+			t.Fatalf("round trip failed for n=%d %s order %v", n, tt.Hex(), m.Ordering())
+		}
+	}
+}
+
+func TestLevelCountsMatchDPProfile(t *testing.T) {
+	// The structural cross-check of experiment E7: manager node counts
+	// per level equal the DP's width profile for the same ordering.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%5
+		tt := truthtable.Random(n, rng)
+		ord := truthtable.RandomOrdering(n, rng)
+		m := New(n, ord)
+		f := m.FromTruthTable(tt)
+		got := m.LevelCounts(f)
+		want := core.Profile(tt, ord, core.OBDD, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d trial=%d: level %d count %d != DP width %d (f=%s ord=%v)",
+					n, trial, i+1, got[i], want[i], tt.Hex(), ord)
+			}
+		}
+	}
+}
+
+func TestManagerSizeMatchesDPOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + trial%4
+		tt := truthtable.Random(n, rng)
+		res := core.OptimalOrdering(tt, nil)
+		m := New(n, res.Ordering)
+		f := m.FromTruthTable(tt)
+		if m.Size(f) != res.Size {
+			t.Fatalf("manager size %d != DP optimal size %d", m.Size(f), res.Size)
+		}
+		if m.CountNodes(f) != res.MinCost {
+			t.Fatalf("manager nodes %d != DP MinCost %d", m.CountNodes(f), res.MinCost)
+		}
+	}
+}
+
+func TestRestrictAndCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	n := 5
+	ft := truthtable.Random(n, rng)
+	gt := truthtable.Random(n, rng)
+	m := New(n, nil)
+	f, g := m.FromTruthTable(ft), m.FromTruthTable(gt)
+	for v := 0; v < n; v++ {
+		for _, val := range []bool{false, true} {
+			r := m.Restrict(f, v, val)
+			// Evaluate against the definition.
+			x := make([]bool, n)
+			for idx := uint64(0); idx < ft.Size(); idx++ {
+				for i := 0; i < n; i++ {
+					x[i] = idx>>uint(i)&1 == 1
+				}
+				xx := append([]bool{}, x...)
+				xx[v] = val
+				if m.Eval(r, x) != ft.Eval(xx) {
+					t.Fatalf("Restrict(%d,%v) wrong at %v", v, val, x)
+				}
+			}
+		}
+		// Compose: f[x_v := g] evaluated pointwise.
+		c := m.Compose(f, v, g)
+		x := make([]bool, n)
+		for idx := uint64(0); idx < ft.Size(); idx++ {
+			for i := 0; i < n; i++ {
+				x[i] = idx>>uint(i)&1 == 1
+			}
+			xx := append([]bool{}, x...)
+			xx[v] = gt.Eval(x)
+			if m.Eval(c, x) != ft.Eval(xx) {
+				t.Fatalf("Compose(%d) wrong at %v", v, x)
+			}
+		}
+	}
+}
+
+func TestQuantification(t *testing.T) {
+	m := New(3, nil)
+	// f = x0∧x1 ∨ x2. ∃x2.f = true when x0∧x1 ∨ 1 possible → always true.
+	f := m.Or(m.And(m.Var(0), m.Var(1)), m.Var(2))
+	if m.Exists(f, bitops.Mask(0b100)) != True {
+		t.Errorf("∃x2 (x0x1 ∨ x2) should be ⊤")
+	}
+	// ∀x2.f = x0∧x1.
+	if m.Forall(f, bitops.Mask(0b100)) != m.And(m.Var(0), m.Var(1)) {
+		t.Errorf("∀x2 wrong")
+	}
+	// ∃ over empty mask is identity.
+	if m.Exists(f, 0) != f {
+		t.Errorf("∃∅ not identity")
+	}
+	// ∃ over all vars of a satisfiable f is ⊤, ∀ of a non-tautology ⊥.
+	if m.Exists(f, bitops.FullMask(3)) != True || m.Forall(f, bitops.FullMask(3)) != False {
+		t.Errorf("full quantification wrong")
+	}
+}
+
+func TestSatCountAndAnySat(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(tt)
+		if m.SatCount(f) != tt.CountOnes() {
+			t.Fatalf("SatCount %d != %d", m.SatCount(f), tt.CountOnes())
+		}
+		x, ok := m.AnySat(f)
+		if ok != (tt.CountOnes() > 0) {
+			t.Fatalf("AnySat ok mismatch")
+		}
+		if ok && !tt.Eval(x) {
+			t.Fatalf("AnySat returned non-satisfying %v", x)
+		}
+	}
+	m := New(2, nil)
+	if _, ok := m.AnySat(False); ok {
+		t.Errorf("AnySat(⊥) should be !ok")
+	}
+	if m.SatCount(True) != 4 {
+		t.Errorf("SatCount(⊤) over 2 vars = %d, want 4", m.SatCount(True))
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(4, nil)
+	f := m.Xor(m.Var(1), m.Var(3))
+	if m.Support(f) != bitops.Mask(0b1010) {
+		t.Errorf("Support = %#b", m.Support(f))
+	}
+	if m.Support(True) != 0 {
+		t.Errorf("terminal support should be empty")
+	}
+}
+
+func TestTransferPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + trial%5
+		tt := truthtable.Random(n, rng)
+		src := New(n, truthtable.RandomOrdering(n, rng))
+		f := src.FromTruthTable(tt)
+		dst, roots := src.ReorderTo(truthtable.RandomOrdering(n, rng), f)
+		if !dst.ToTruthTable(roots[0]).Equal(tt) {
+			t.Fatalf("ReorderTo changed the function")
+		}
+	}
+}
+
+func TestReorderToOptimalShrinks(t *testing.T) {
+	// Transfer an Achilles-heel diagram from the pessimal to the optimal
+	// ordering and observe the exponential-to-linear collapse.
+	pairs := 4
+	f := truthtable.FromFunc(2*pairs, func(x []bool) bool {
+		for i := 0; i < 2*pairs; i += 2 {
+			if x[i] && x[i+1] {
+				return true
+			}
+		}
+		return false
+	})
+	res := core.OptimalOrdering(f, nil)
+	blocked := make([]int, 0, 2*pairs)
+	for i := 0; i < 2*pairs; i += 2 {
+		blocked = append(blocked, i)
+	}
+	for i := 1; i < 2*pairs; i += 2 {
+		blocked = append(blocked, i)
+	}
+	src := New(2*pairs, truthtable.FromRootFirst(blocked))
+	root := src.FromTruthTable(f)
+	if src.Size(root) != 1<<uint(pairs+1) {
+		t.Fatalf("blocked size %d, want %d", src.Size(root), 1<<uint(pairs+1))
+	}
+	dst, roots := src.ReorderTo(res.Ordering, root)
+	if dst.Size(roots[0]) != res.Size {
+		t.Fatalf("optimal transfer size %d, want %d", dst.Size(roots[0]), res.Size)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	m := New(2, nil)
+	f := m.And(m.Var(0), m.Var(1))
+	dot := m.DOT(f, "and2")
+	for _, want := range []string{"digraph", "x1", "x2", "shape=box", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	m := New(2, nil)
+	for name, fn := range map[string]func(){
+		"bad ordering":  func() { New(2, truthtable.Ordering{0, 0}) },
+		"var range":     func() { m.Var(5) },
+		"nvar range":    func() { m.NVar(-1) },
+		"eval length":   func() { m.Eval(True, []bool{true}) },
+		"tt mismatch":   func() { m.FromTruthTable(truthtable.New(3)) },
+		"transfer vars": func() { Transfer(m, True, New(3, nil)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEquivalenceCheckingScenario(t *testing.T) {
+	// Two structurally different implementations of the same function
+	// must reach the identical node (the application of §1.1).
+	m := New(3, nil)
+	// Implementation 1: carry of a full adder: ab + c(a⊕b).
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	impl1 := m.Or(m.And(a, b), m.And(c, m.Xor(a, b)))
+	// Implementation 2: majority(a, b, c).
+	impl2 := m.Or(m.Or(m.And(a, b), m.And(a, c)), m.And(b, c))
+	if impl1 != impl2 {
+		t.Errorf("equivalent circuits got different nodes")
+	}
+	// A buggy variant (OR where AND belongs in the first term) differs.
+	bug := m.Or(m.Or(a, b), m.And(c, m.Xor(a, b)))
+	if bug == impl1 {
+		t.Errorf("non-equivalent circuit compared equal")
+	}
+	cex, ok := m.AnySat(m.Xor(bug, impl1))
+	if !ok {
+		t.Fatalf("no counterexample for buggy circuit")
+	}
+	if m.Eval(bug, cex) == m.Eval(impl1, cex) {
+		t.Errorf("counterexample does not distinguish")
+	}
+}

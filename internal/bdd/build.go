@@ -1,0 +1,171 @@
+package bdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"obddopt/internal/truthtable"
+)
+
+// FromTruthTable builds the reduced OBDD of tt under the manager's
+// ordering by a bottom-up fold over the 2^n leaf vector: O(2^n) mk calls.
+// The resulting node count per level equals the widths the dynamic
+// program's Profile reports for the same ordering (experiment E7's
+// structural cross-check).
+func (m *Manager) FromTruthTable(tt *truthtable.Table) Node {
+	if tt.NumVars() != m.nvars {
+		panic("bdd: truth table variable count mismatch")
+	}
+	n := m.nvars
+	size := tt.Size()
+	cur := make([]Node, size)
+	// Leaf vector index: bit j (from the least significant) carries the
+	// value of the variable at level n−1−j, so that consecutive pairs
+	// share all variables except the bottommost.
+	for idx := uint64(0); idx < size; idx++ {
+		var ttIdx uint64
+		for j := 0; j < n; j++ {
+			if idx>>uint(j)&1 == 1 {
+				v := m.varAtLevel[n-1-j]
+				ttIdx |= 1 << uint(v)
+			}
+		}
+		if tt.Bit(ttIdx) {
+			cur[idx] = True
+		} else {
+			cur[idx] = False
+		}
+	}
+	for level := n - 1; level >= 0; level-- {
+		half := uint64(1) << uint(level) // number of nodes after folding… see below
+		_ = half
+		next := make([]Node, len(cur)/2)
+		for i := range next {
+			next[i] = m.mk(uint32(level), cur[2*i], cur[2*i+1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// ToTruthTable materializes the truth table of f.
+func (m *Manager) ToTruthTable(f Node) *truthtable.Table {
+	tt := truthtable.New(m.nvars)
+	x := make([]bool, m.nvars)
+	size := tt.Size()
+	for idx := uint64(0); idx < size; idx++ {
+		for i := 0; i < m.nvars; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		if m.Eval(f, x) {
+			tt.Set(idx, true)
+		}
+	}
+	return tt
+}
+
+// Transfer rebuilds the function f of manager src inside manager dst
+// (which may use a different ordering) and returns the corresponding dst
+// node. It recurses over src structure with memoization and composes with
+// ITE in dst, the standard cross-manager transfer.
+func Transfer(src *Manager, f Node, dst *Manager) Node {
+	if src.nvars != dst.nvars {
+		panic("bdd: Transfer across managers with different variable counts")
+	}
+	memo := map[Node]Node{}
+	var rec func(Node) Node
+	rec = func(g Node) Node {
+		switch g {
+		case False:
+			return False
+		case True:
+			return True
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := src.nodes[g]
+		v := src.varAtLevel[d.level]
+		r := dst.ITE(dst.Var(v), rec(d.hi), rec(d.lo))
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// ReorderTo returns a fresh manager using the given bottom-up ordering and
+// the images of the given roots in it. It realizes global reordering by
+// transfer; the swap-in-place machinery of production packages is traded
+// for simplicity since diagram sizes here stay within the exact
+// algorithms' reach.
+func (m *Manager) ReorderTo(order truthtable.Ordering, roots ...Node) (*Manager, []Node) {
+	dst := New(m.nvars, order)
+	out := make([]Node, len(roots))
+	for i, r := range roots {
+		out[i] = Transfer(m, r, dst)
+	}
+	return dst, out
+}
+
+// DOT renders the diagram rooted at f in Graphviz format, with solid
+// 1-edges and dashed 0-edges, terminals as boxes — the conventional BDD
+// picture (Fig. 1 of the papers).
+func (m *Manager) DOT(f Node, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=TB;\n")
+	seen := map[Node]bool{}
+	var nodesByLevel [][]Node
+	nodesByLevel = make([][]Node, m.nvars+1)
+	var collect func(Node)
+	collect = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		lvl := m.level(g)
+		nodesByLevel[lvl] = append(nodesByLevel[lvl], g)
+		if g == True || g == False {
+			return
+		}
+		collect(m.nodes[g].lo)
+		collect(m.nodes[g].hi)
+	}
+	collect(f)
+	for lvl, ns := range nodesByLevel {
+		if len(ns) == 0 {
+			continue
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		if lvl < m.nvars {
+			fmt.Fprintf(&sb, "  { rank=same;")
+			for _, g := range ns {
+				fmt.Fprintf(&sb, " n%d;", g)
+			}
+			sb.WriteString(" }\n")
+			for _, g := range ns {
+				v := m.varAtLevel[lvl]
+				fmt.Fprintf(&sb, "  n%d [label=\"x%d\", shape=circle];\n", g, v+1)
+			}
+		} else {
+			for _, g := range ns {
+				label := "F"
+				if g == True {
+					label = "T"
+				}
+				fmt.Fprintf(&sb, "  n%d [label=%q, shape=box];\n", g, label)
+			}
+		}
+	}
+	for g := range seen {
+		if g == True || g == False {
+			continue
+		}
+		d := m.nodes[g]
+		fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed];\n", g, d.lo)
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", g, d.hi)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

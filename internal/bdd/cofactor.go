@@ -1,0 +1,141 @@
+package bdd
+
+// Generalized cofactors and satisfying-assignment enumeration — the
+// don't-care minimization operators of production BDD packages
+// (Coudert–Madre), used when a function only matters on a care set.
+
+// Constrain returns the Coudert–Madre generalized cofactor f ↓ c: a
+// function agreeing with f everywhere c holds, obtained by mapping each
+// assignment outside c to the "nearest" assignment inside it. The
+// defining property (tested) is (f ↓ c) ∧ c ≡ f ∧ c. Constrain(f, ⊥)
+// is ⊥ by convention.
+func (m *Manager) Constrain(f, c Node) Node {
+	memo := map[iteKey]Node{}
+	var rec func(f, c Node) Node
+	rec = func(f, c Node) Node {
+		switch {
+		case c == False:
+			return False
+		case c == True || f == True || f == False:
+			return f
+		case f == c:
+			return True
+		}
+		key := iteKey{f, c, 0}
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(c); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactorsAt(f, top)
+		c0, c1 := m.cofactorsAt(c, top)
+		var r Node
+		switch {
+		case c0 == False:
+			r = rec(f1, c1)
+		case c1 == False:
+			r = rec(f0, c0)
+		default:
+			r = m.mk(top, rec(f0, c0), rec(f1, c1))
+		}
+		memo[key] = r
+		return r
+	}
+	return rec(f, c)
+}
+
+// RestrictTo returns Coudert–Madre's restrict operator: like Constrain it
+// agrees with f on c ((RestrictTo(f,c) ∧ c) ≡ (f ∧ c)), but it
+// existentially quantifies care-set variables that f does not test at the
+// top, which avoids Constrain's occasional size blowups. (Named
+// RestrictTo because Restrict is the positional cofactor method.)
+func (m *Manager) RestrictTo(f, c Node) Node {
+	memo := map[iteKey]Node{}
+	var rec func(f, c Node) Node
+	rec = func(f, c Node) Node {
+		switch {
+		case c == False:
+			return False
+		case c == True || f == True || f == False:
+			return f
+		case f == c:
+			return True
+		}
+		key := iteKey{f, c, 0}
+		if r, ok := memo[key]; ok {
+			return r
+		}
+		var r Node
+		if m.level(c) < m.level(f) {
+			// The care set tests a variable above f's support: drop it
+			// existentially.
+			d := m.nodes[c]
+			r = rec(f, m.Or(d.lo, d.hi))
+		} else {
+			top := m.level(f)
+			f0, f1 := m.cofactorsAt(f, top)
+			c0, c1 := m.cofactorsAt(c, top)
+			switch {
+			case c0 == False:
+				r = rec(f1, c1)
+			case c1 == False:
+				r = rec(f0, c0)
+			default:
+				r = m.mk(top, rec(f0, c0), rec(f1, c1))
+			}
+		}
+		memo[key] = r
+		return r
+	}
+	return rec(f, c)
+}
+
+// Cube is a partial assignment: Values[v] is 0 or 1 for bound variables
+// and -1 for don't-cares.
+type Cube struct {
+	Values []int8
+}
+
+// Count returns the number of complete assignments the cube covers over
+// n variables.
+func (c Cube) Count() uint64 {
+	free := 0
+	for _, v := range c.Values {
+		if v < 0 {
+			free++
+		}
+	}
+	return 1 << uint(free)
+}
+
+// AllSat returns the satisfying assignments of f as a disjoint list of
+// cubes (one per root-to-⊤ path, unset variables as don't-cares). The
+// cube counts sum to SatCount(f).
+func (m *Manager) AllSat(f Node) []Cube {
+	var out []Cube
+	vals := make([]int8, m.nvars)
+	for i := range vals {
+		vals[i] = -1
+	}
+	var rec func(Node)
+	rec = func(g Node) {
+		switch g {
+		case False:
+			return
+		case True:
+			out = append(out, Cube{Values: append([]int8{}, vals...)})
+			return
+		}
+		d := m.nodes[g]
+		v := m.varAtLevel[d.level]
+		vals[v] = 0
+		rec(d.lo)
+		vals[v] = 1
+		rec(d.hi)
+		vals[v] = -1
+	}
+	rec(f)
+	return out
+}

@@ -1,0 +1,151 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+func TestConstrainAgreementProperty(t *testing.T) {
+	// (f ↓ c) ∧ c ≡ f ∧ c for random f, c.
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%5
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(truthtable.Random(n, rng))
+		c := m.FromTruthTable(truthtable.Random(n, rng))
+		fc := m.Constrain(f, c)
+		if m.And(fc, c) != m.And(f, c) {
+			t.Fatalf("n=%d: (f↓c)∧c != f∧c", n)
+		}
+	}
+}
+
+func TestConstrainSpecialCases(t *testing.T) {
+	m := New(3, nil)
+	f := m.Xor(m.Var(0), m.Var(1))
+	if m.Constrain(f, False) != False {
+		t.Errorf("f↓⊥ != ⊥")
+	}
+	if m.Constrain(f, True) != f {
+		t.Errorf("f↓⊤ != f")
+	}
+	if m.Constrain(f, f) != True {
+		t.Errorf("f↓f != ⊤")
+	}
+	if m.Constrain(True, m.Var(2)) != True {
+		t.Errorf("⊤↓c != ⊤")
+	}
+	// Constraining to a single minterm yields a constant.
+	minterm := m.And(m.And(m.Var(0), m.Not(m.Var(1))), m.Var(2))
+	got := m.Constrain(f, minterm)
+	if got != True { // f(1,0,·) = 1
+		t.Errorf("f↓minterm = %v, want ⊤", got)
+	}
+}
+
+func TestRestrictToAgreementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%5
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(truthtable.Random(n, rng))
+		c := m.FromTruthTable(truthtable.Random(n, rng))
+		fr := m.RestrictTo(f, c)
+		if m.And(fr, c) != m.And(f, c) {
+			t.Fatalf("n=%d: restrict agreement fails", n)
+		}
+	}
+}
+
+func TestRestrictToDropsUpperCareVars(t *testing.T) {
+	// f depends only on x2, x3 (deep); c constrains x1 (top): restrict
+	// must ignore x1 entirely and return f when both branches of c keep
+	// f's care region full.
+	m := New(3, nil) // natural: x1 at the root
+	f := m.Xor(m.Var(1), m.Var(2))
+	c := m.Var(0)
+	if got := m.RestrictTo(f, c); got != f {
+		t.Errorf("restrict with upper care var should return f unchanged")
+	}
+}
+
+func TestConstrainCanExceedRestrict(t *testing.T) {
+	// Both operators satisfy the agreement property; restrict never
+	// introduces variables outside f's support while constrain can.
+	rng := rand.New(rand.NewSource(183))
+	n := 6
+	m := New(n, nil)
+	// f over the deep half only.
+	fTT := truthtable.Random(3, rng)
+	f := m.ITE(m.Var(3), m.FromTruthTable(expand(fTT, n)), m.FromTruthTable(expand(fTT, n)))
+	c := m.FromTruthTable(truthtable.Random(n, rng))
+	fr := m.RestrictTo(f, c)
+	support := m.Support(fr)
+	if support&^m.Support(f)&^m.Support(c) != 0 {
+		t.Errorf("restrict introduced variables outside both supports")
+	}
+}
+
+// expand lifts a 3-variable table to n variables on variables 0..2.
+func expand(tt *truthtable.Table, n int) *truthtable.Table {
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		return tt.Eval(x[:3])
+	})
+}
+
+func TestAllSatCountsMatchSatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%6
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		tt := truthtable.Random(n, rng)
+		f := m.FromTruthTable(tt)
+		cubes := m.AllSat(f)
+		var total uint64
+		for _, c := range cubes {
+			total += c.Count()
+			// Every completion of the cube satisfies f.
+			x := make([]bool, n)
+			var fill func(i int) bool
+			fill = func(i int) bool {
+				if i == n {
+					return tt.Eval(x)
+				}
+				switch c.Values[i] {
+				case 0:
+					x[i] = false
+					return fill(i + 1)
+				case 1:
+					x[i] = true
+					return fill(i + 1)
+				default:
+					x[i] = false
+					if !fill(i + 1) {
+						return false
+					}
+					x[i] = true
+					return fill(i + 1)
+				}
+			}
+			if !fill(0) {
+				t.Fatalf("cube %v contains a non-satisfying completion", c.Values)
+			}
+		}
+		if total != m.SatCount(f) {
+			t.Fatalf("n=%d: cube counts %d != SatCount %d", n, total, m.SatCount(f))
+		}
+	}
+}
+
+func TestAllSatTerminals(t *testing.T) {
+	m := New(2, nil)
+	if len(m.AllSat(False)) != 0 {
+		t.Errorf("AllSat(⊥) not empty")
+	}
+	cubes := m.AllSat(True)
+	if len(cubes) != 1 || cubes[0].Count() != 4 {
+		t.Errorf("AllSat(⊤) = %v", cubes)
+	}
+}

@@ -1,0 +1,52 @@
+package bdd
+
+import "obddopt/internal/expr"
+
+// ToExpr extracts a Boolean formula denoting f by Shannon factoring the
+// diagram, with local simplifications at terminal children (v, ¬v, v∧g,
+// v∨g, …). Shared nodes are factored once but inlined per reference, so
+// the formula can be exponentially larger than the diagram in the worst
+// case; it is exact and reparses to the same function (tested), which
+// makes it the bridge from diagrams back to the text frontend.
+func (m *Manager) ToExpr(f Node) expr.Expr {
+	memo := map[Node]expr.Expr{}
+	var rec func(Node) expr.Expr
+	rec = func(g Node) expr.Expr {
+		switch g {
+		case False:
+			return expr.Const(false)
+		case True:
+			return expr.Const(true)
+		}
+		if e, ok := memo[g]; ok {
+			return e
+		}
+		d := m.nodes[g]
+		v, _ := m.VarOf(g)
+		xv := expr.Var(v)
+		var e expr.Expr
+		switch {
+		case d.lo == False && d.hi == True:
+			e = xv
+		case d.lo == True && d.hi == False:
+			e = expr.Not{X: xv}
+		case d.lo == False:
+			e = expr.Binary{Op: expr.And, L: xv, R: rec(d.hi)}
+		case d.hi == True:
+			e = expr.Binary{Op: expr.Or, L: xv, R: rec(d.lo)}
+		case d.hi == False:
+			e = expr.Binary{Op: expr.And, L: expr.Not{X: xv}, R: rec(d.lo)}
+		case d.lo == True:
+			e = expr.Binary{Op: expr.Or, L: expr.Not{X: xv}, R: rec(d.hi)}
+		default:
+			e = expr.Binary{
+				Op: expr.Or,
+				L:  expr.Binary{Op: expr.And, L: xv, R: rec(d.hi)},
+				R:  expr.Binary{Op: expr.And, L: expr.Not{X: xv}, R: rec(d.lo)},
+			}
+		}
+		memo[g] = e
+		return e
+	}
+	return rec(f)
+}

@@ -1,0 +1,58 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/expr"
+	"obddopt/internal/truthtable"
+)
+
+func TestToExprRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + trial%6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(tt)
+		e := m.ToExpr(f)
+		back, err := expr.ToTruthTable(e, n)
+		if err != nil {
+			t.Fatalf("compile extracted formula: %v", err)
+		}
+		if !back.Equal(tt) {
+			t.Fatalf("n=%d: extracted formula differs (f=%s, expr=%s)", n, tt.Hex(), e.String())
+		}
+		// And it reparses from its own rendering.
+		reparsed, err := expr.Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e.String(), err)
+		}
+		back2, _ := expr.ToTruthTable(reparsed, n)
+		if !back2.Equal(tt) {
+			t.Fatalf("reparse changed semantics")
+		}
+	}
+}
+
+func TestToExprTerminalsAndSimplifications(t *testing.T) {
+	m := New(3, nil)
+	if m.ToExpr(True).String() != "1" || m.ToExpr(False).String() != "0" {
+		t.Errorf("terminal extraction wrong")
+	}
+	if got := m.ToExpr(m.Var(1)).String(); got != "x2" {
+		t.Errorf("Var extraction = %q", got)
+	}
+	if got := m.ToExpr(m.Not(m.Var(0))).String(); got != "!x1" {
+		t.Errorf("NVar extraction = %q", got)
+	}
+	// x0 ∧ x1 extracts without redundant branches.
+	and := m.And(m.Var(0), m.Var(1))
+	if got := m.ToExpr(and).String(); got != "(x1 & x2)" {
+		t.Errorf("AND extraction = %q", got)
+	}
+	or := m.Or(m.Var(0), m.Var(1))
+	if got := m.ToExpr(or).String(); got != "(x1 | x2)" {
+		t.Errorf("OR extraction = %q", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package bitops provides the bit-twiddling and combinatorial substrate used
+// throughout the optimal-ordering dynamic programs: subset enumeration in
+// layer (popcount) order, index splicing for table compaction, binomial
+// coefficients, and the binary entropy function used in the complexity
+// analyses.
+//
+// Variable subsets I ⊆ {0, …, n−1} are represented as bitmasks (Mask); bit i
+// set means variable i is a member. All functions are pure and
+// allocation-free unless documented otherwise.
+package bitops
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Mask is a subset of variables {0, …, n−1} encoded as a bitmask.
+// Bit i set means variable i is in the set. Masks support up to 64
+// variables, far beyond the reach of the O*(3^n) dynamic program.
+type Mask uint64
+
+// FullMask returns the mask containing variables 0..n-1.
+func FullMask(n int) Mask {
+	if n >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(n) - 1
+}
+
+// Has reports whether variable i is in the set.
+func (m Mask) Has(i int) bool { return m>>uint(i)&1 == 1 }
+
+// With returns m with variable i added.
+func (m Mask) With(i int) Mask { return m | 1<<uint(i) }
+
+// Without returns m with variable i removed.
+func (m Mask) Without(i int) Mask { return m &^ (1 << uint(i)) }
+
+// Count returns the cardinality of the set.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Members appends the elements of m in increasing order to dst and
+// returns the extended slice. Pass a slice with sufficient capacity to
+// avoid allocation.
+func (m Mask) Members(dst []int) []int {
+	for t := m; t != 0; t &= t - 1 {
+		dst = append(dst, bits.TrailingZeros64(uint64(t)))
+	}
+	return dst
+}
+
+// Lowest returns the smallest member of m. It panics if m is empty.
+func (m Mask) Lowest() int {
+	if m == 0 {
+		panic("bitops: Lowest of empty mask")
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
+// NextSubsetSameSize advances a k-element subset mask to the
+// lexicographically next k-element mask (Gosper's hack). It returns ok =
+// false when m was the last k-subset that fits below limit bits, i.e. when
+// the successor would use a bit ≥ limit.
+func NextSubsetSameSize(m Mask, limit int) (next Mask, ok bool) {
+	if m == 0 {
+		return 0, false
+	}
+	c := m & -m
+	r := m + c
+	next = (((r ^ m) >> 2) / c) | r
+	if next >= Mask(1)<<uint(limit) {
+		return 0, false
+	}
+	return next, true
+}
+
+// FirstSubsetOfSize returns the lexicographically first k-element subset of
+// {0..n-1}: the mask with the k lowest bits set. k may be 0.
+func FirstSubsetOfSize(k int) Mask { return FullMask(k) }
+
+// SubsetsOfSize calls fn for every k-element subset of {0..n-1} in
+// lexicographic (Gosper) order. It is the layer iterator of the subset DP.
+func SubsetsOfSize(n, k int, fn func(Mask)) {
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		fn(0)
+		return
+	}
+	m := FirstSubsetOfSize(k)
+	for {
+		fn(m)
+		next, ok := NextSubsetSameSize(m, n)
+		if !ok {
+			return
+		}
+		m = next
+	}
+}
+
+// SubMasks calls fn for every subset s of m, including 0 and m itself,
+// in decreasing numeric order of s.
+func SubMasks(m Mask, fn func(Mask)) {
+	s := m
+	for {
+		fn(s)
+		if s == 0 {
+			return
+		}
+		s = (s - 1) & m
+	}
+}
+
+// Binomial returns C(n, k) as a uint64. It panics on overflow, which cannot
+// occur for the n ≤ 40 range exercised by the dynamic programs.
+func Binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	var c uint64 = 1
+	for i := 0; i < k; i++ {
+		hi, lo := bits.Mul64(c, uint64(n-i))
+		if hi != 0 {
+			panic("bitops: Binomial overflow")
+		}
+		c = lo / uint64(i+1)
+	}
+	return c
+}
+
+// Entropy returns the binary entropy H(p) = −p·log2(p) − (1−p)·log2(1−p),
+// with H(0) = H(1) = 0. It is the H(·) of the papers' complexity bounds.
+func Entropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// SpliceIndex inserts a bit at position pos into idx: the low pos bits of
+// idx are kept, bit is placed at position pos, and the remaining high bits
+// of idx are shifted up by one. It is the index arithmetic of table
+// compaction: idx ranges over assignments to the free variables excluding
+// x, and SpliceIndex produces the corresponding cell index in the larger
+// table that still includes x at relative position pos.
+func SpliceIndex(idx uint64, pos uint, bit uint64) uint64 {
+	low := idx & (1<<pos - 1)
+	high := idx >> pos
+	return low | bit<<pos | high<<(pos+1)
+}
+
+// ExtractIndex is the inverse of SpliceIndex: it removes the bit at
+// position pos from idx, returning the compacted index and the removed bit.
+func ExtractIndex(idx uint64, pos uint) (compact uint64, bit uint64) {
+	low := idx & (1<<pos - 1)
+	bit = idx >> pos & 1
+	high := idx >> (pos + 1)
+	return low | high<<pos, bit
+}
+
+// RelativePosition returns the number of members of free that are smaller
+// than v. When the free variables are listed in increasing order this is
+// the bit position that variable v occupies in a table cell index over
+// free. v need not be a member of free.
+func RelativePosition(free Mask, v int) uint {
+	below := free & (Mask(1)<<uint(v) - 1)
+	return uint(below.Count())
+}
+
+// Pow3 returns 3^n as a float64 (used by complexity reporters).
+func Pow3(n int) float64 { return math.Pow(3, float64(n)) }
+
+// Factorial returns n! as a float64 (exact for n ≤ 20 as uint64 would be,
+// but used only for reporting ratios).
+func Factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,257 @@
+package bitops
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want Mask
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {8, 0xff}, {16, 0xffff},
+	}
+	for _, c := range cases {
+		if got := FullMask(c.n); got != c.want {
+			t.Errorf("FullMask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+	if got := FullMask(64); got != ^Mask(0) {
+		t.Errorf("FullMask(64) = %#x", got)
+	}
+}
+
+func TestMaskMembership(t *testing.T) {
+	m := Mask(0).With(1).With(4).With(7)
+	for i := 0; i < 10; i++ {
+		want := i == 1 || i == 4 || i == 7
+		if m.Has(i) != want {
+			t.Errorf("Has(%d) = %v, want %v", i, m.Has(i), want)
+		}
+	}
+	if m.Count() != 3 {
+		t.Errorf("Count = %d, want 3", m.Count())
+	}
+	m2 := m.Without(4)
+	if m2.Has(4) || m2.Count() != 2 {
+		t.Errorf("Without(4) = %#x", m2)
+	}
+	// Without on a non-member is a no-op.
+	if m.Without(5) != m {
+		t.Errorf("Without non-member changed mask")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	m := Mask(0b10110)
+	got := m.Members(nil)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	if Mask(0).Members(nil) != nil {
+		t.Errorf("Members of empty mask should stay nil")
+	}
+}
+
+func TestLowest(t *testing.T) {
+	if Mask(0b1000).Lowest() != 3 {
+		t.Errorf("Lowest(0b1000) != 3")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Lowest(0) did not panic")
+		}
+	}()
+	Mask(0).Lowest()
+}
+
+func TestSubsetsOfSizeCount(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			var count uint64
+			seen := map[Mask]bool{}
+			SubsetsOfSize(n, k, func(m Mask) {
+				count++
+				if m.Count() != k {
+					t.Fatalf("n=%d k=%d: subset %#x has wrong size", n, k, m)
+				}
+				if m >= FullMask(n)+1 && n < 64 {
+					t.Fatalf("n=%d k=%d: subset %#x out of range", n, k, m)
+				}
+				if seen[m] {
+					t.Fatalf("n=%d k=%d: subset %#x repeated", n, k, m)
+				}
+				seen[m] = true
+			})
+			if count != Binomial(n, k) {
+				t.Errorf("n=%d k=%d: got %d subsets, want C=%d", n, k, count, Binomial(n, k))
+			}
+		}
+	}
+}
+
+func TestSubsetsOfSizeDegenerate(t *testing.T) {
+	called := false
+	SubsetsOfSize(5, -1, func(Mask) { called = true })
+	SubsetsOfSize(5, 6, func(Mask) { called = true })
+	if called {
+		t.Errorf("SubsetsOfSize called fn for out-of-range k")
+	}
+}
+
+func TestSubMasks(t *testing.T) {
+	m := Mask(0b1010)
+	var got []Mask
+	SubMasks(m, func(s Mask) { got = append(got, s) })
+	if len(got) != 4 {
+		t.Fatalf("SubMasks count = %d, want 4", len(got))
+	}
+	for _, s := range got {
+		if s&^m != 0 {
+			t.Errorf("submask %#x not within %#x", s, m)
+		}
+	}
+}
+
+func TestBinomialValues(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want uint64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{20, 10, 184756}, {40, 20, 137846528820}, {6, 7, 0}, {6, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		for k := 1; k < n; k++ {
+			if Binomial(n, k) != Binomial(n-1, k-1)+Binomial(n-1, k) {
+				t.Fatalf("Pascal identity fails at (%d,%d)", n, k)
+			}
+		}
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if Entropy(0) != 0 || Entropy(1) != 0 {
+		t.Errorf("Entropy endpoints not 0")
+	}
+	if math.Abs(Entropy(0.5)-1) > 1e-12 {
+		t.Errorf("Entropy(0.5) = %v, want 1", Entropy(0.5))
+	}
+	// Symmetry H(p) = H(1-p).
+	for _, p := range []float64{0.1, 0.25, 0.3, 0.45} {
+		if math.Abs(Entropy(p)-Entropy(1-p)) > 1e-12 {
+			t.Errorf("Entropy not symmetric at %v", p)
+		}
+	}
+	// Known value: H(1/3) ≈ 0.9182958340544896.
+	if math.Abs(Entropy(1.0/3)-0.9182958340544896) > 1e-12 {
+		t.Errorf("Entropy(1/3) = %v", Entropy(1.0/3))
+	}
+}
+
+func TestSpliceExtractRoundTrip(t *testing.T) {
+	f := func(idx uint32, pos8 uint8, bit bool) bool {
+		pos := uint(pos8 % 20)
+		b := uint64(0)
+		if bit {
+			b = 1
+		}
+		spliced := SpliceIndex(uint64(idx), pos, b)
+		back, gotBit := ExtractIndex(spliced, pos)
+		return back == uint64(idx) && gotBit == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpliceIndexExamples(t *testing.T) {
+	// idx=0b101, insert bit 1 at pos 1 → 0b1011.
+	if got := SpliceIndex(0b101, 1, 1); got != 0b1011 {
+		t.Errorf("SpliceIndex = %b, want 1011", got)
+	}
+	// Insert at pos 0 shifts everything left.
+	if got := SpliceIndex(0b11, 0, 0); got != 0b110 {
+		t.Errorf("SpliceIndex = %b, want 110", got)
+	}
+}
+
+func TestRelativePosition(t *testing.T) {
+	free := Mask(0b101101) // members 0,2,3,5
+	cases := []struct {
+		v    int
+		want uint
+	}{{0, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 3}, {5, 3}, {6, 4}}
+	for _, c := range cases {
+		if got := RelativePosition(free, c.v); got != c.want {
+			t.Errorf("RelativePosition(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNextSubsetSameSizeSequence(t *testing.T) {
+	// 2-subsets of {0..3}: 0011,0101,0110,1001,1010,1100.
+	want := []Mask{0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100}
+	m := FirstSubsetOfSize(2)
+	var got []Mask
+	for {
+		got = append(got, m)
+		next, ok := NextSubsetSameSize(m, 4)
+		if !ok {
+			break
+		}
+		m = next
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sequence length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("step %d: got %#b, want %#b", i, got[i], want[i])
+		}
+	}
+	if _, ok := NextSubsetSameSize(0, 4); ok {
+		t.Errorf("NextSubsetSameSize(0) should report !ok")
+	}
+}
+
+func TestFactorialAndPow3(t *testing.T) {
+	if Factorial(0) != 1 || Factorial(1) != 1 || Factorial(5) != 120 {
+		t.Errorf("Factorial wrong")
+	}
+	if Pow3(3) != 27 {
+		t.Errorf("Pow3(3) = %v", Pow3(3))
+	}
+}
+
+// Property: splicing a bit for every variable position reconstructs a
+// consistent pair of indices used by table compaction — the two spliced
+// indices differ exactly in the inserted bit.
+func TestSplicePairDiffer(t *testing.T) {
+	f := func(idx uint16, pos8 uint8) bool {
+		pos := uint(pos8 % 16)
+		i0 := SpliceIndex(uint64(idx), pos, 0)
+		i1 := SpliceIndex(uint64(idx), pos, 1)
+		return i1-i0 == 1<<pos && bits.OnesCount64(i0^i1) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package circuit implements gate-level combinational netlists: the VLSI
+// workload representation the papers' introduction motivates. Circuits can
+// be simulated, compiled to truth tables (the O*(2^n) preparation of
+// Corollary 2), or compiled structurally into BDD nodes for the
+// equivalence-checking example. Generators for ripple-carry adders,
+// comparators, parity trees and multiplexer trees provide the benchmark
+// netlists.
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"obddopt/internal/bdd"
+	"obddopt/internal/truthtable"
+)
+
+// Kind enumerates gate types.
+type Kind byte
+
+// Gate kinds. Input signals are implicit (indices below NumInputs) and
+// have no Gate entry.
+const (
+	Not Kind = iota
+	And
+	Or
+	Xor
+	Nand
+	Nor
+	ConstFalse
+	ConstTrue
+)
+
+var kindNames = map[Kind]string{
+	Not: "not", And: "and", Or: "or", Xor: "xor",
+	Nand: "nand", Nor: "nor", ConstFalse: "const0", ConstTrue: "const1",
+}
+
+var kindByName = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Gate is one netlist gate. Inputs reference signal indices, which must be
+// strictly smaller than the gate's own signal index (the netlist is
+// topologically ordered by construction).
+type Gate struct {
+	Kind Kind
+	Ins  []int
+}
+
+// Circuit is a combinational netlist. Signal indices 0 … NumInputs−1 are
+// the primary inputs; signal NumInputs+i is the output of Gates[i].
+type Circuit struct {
+	NumInputs int
+	Gates     []Gate
+	Outputs   []int
+}
+
+// New returns an empty circuit with n primary inputs.
+func New(n int) *Circuit { return &Circuit{NumInputs: n} }
+
+// NumSignals returns the total number of signals.
+func (c *Circuit) NumSignals() int { return c.NumInputs + len(c.Gates) }
+
+// AddGate appends a gate and returns its signal index. It panics if an
+// input reference is out of range or non-topological, or if the arity is
+// wrong for the kind (Not: 1; constants: 0; others: ≥ 2).
+func (c *Circuit) AddGate(kind Kind, ins ...int) int {
+	switch kind {
+	case Not:
+		if len(ins) != 1 {
+			panic("circuit: NOT takes exactly one input")
+		}
+	case ConstFalse, ConstTrue:
+		if len(ins) != 0 {
+			panic("circuit: constants take no inputs")
+		}
+	default:
+		if len(ins) < 2 {
+			panic("circuit: binary gates take at least two inputs")
+		}
+	}
+	for _, in := range ins {
+		if in < 0 || in >= c.NumSignals() {
+			panic(fmt.Sprintf("circuit: input signal %d out of range", in))
+		}
+	}
+	c.Gates = append(c.Gates, Gate{Kind: kind, Ins: append([]int{}, ins...)})
+	return c.NumSignals() - 1
+}
+
+// MarkOutput registers a signal as a primary output and returns its output
+// position.
+func (c *Circuit) MarkOutput(sig int) int {
+	if sig < 0 || sig >= c.NumSignals() {
+		panic("circuit: output signal out of range")
+	}
+	c.Outputs = append(c.Outputs, sig)
+	return len(c.Outputs) - 1
+}
+
+// Eval simulates the circuit on a primary-input assignment and returns the
+// primary-output values.
+func (c *Circuit) Eval(x []bool) []bool {
+	if len(x) != c.NumInputs {
+		panic("circuit: Eval input length mismatch")
+	}
+	vals := make([]bool, c.NumSignals())
+	copy(vals, x)
+	for i, g := range c.Gates {
+		vals[c.NumInputs+i] = evalGate(g, vals)
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}
+
+func evalGate(g Gate, vals []bool) bool {
+	switch g.Kind {
+	case Not:
+		return !vals[g.Ins[0]]
+	case ConstFalse:
+		return false
+	case ConstTrue:
+		return true
+	case And, Nand:
+		acc := true
+		for _, in := range g.Ins {
+			acc = acc && vals[in]
+		}
+		if g.Kind == Nand {
+			return !acc
+		}
+		return acc
+	case Or, Nor:
+		acc := false
+		for _, in := range g.Ins {
+			acc = acc || vals[in]
+		}
+		if g.Kind == Nor {
+			return !acc
+		}
+		return acc
+	case Xor:
+		acc := false
+		for _, in := range g.Ins {
+			acc = acc != vals[in]
+		}
+		return acc
+	}
+	panic("circuit: unknown gate kind")
+}
+
+// OutputTable compiles primary output i to a truth table over the primary
+// inputs (2^n simulations — the Corollary 2 preparation step).
+func (c *Circuit) OutputTable(i int) *truthtable.Table {
+	if i < 0 || i >= len(c.Outputs) {
+		panic("circuit: output index out of range")
+	}
+	return truthtable.FromFunc(c.NumInputs, func(x []bool) bool {
+		return c.Eval(x)[i]
+	})
+}
+
+// AllOutputTables compiles every primary output to its truth table — the
+// input of the shared-forest optimizer.
+func (c *Circuit) AllOutputTables() []*truthtable.Table {
+	out := make([]*truthtable.Table, len(c.Outputs))
+	for i := range out {
+		out[i] = c.OutputTable(i)
+	}
+	return out
+}
+
+// ToBDD compiles primary output i structurally into the manager m (one
+// apply per gate) — polynomial in diagram sizes rather than always 2^n.
+func (c *Circuit) ToBDD(m *bdd.Manager, i int) bdd.Node {
+	if m.NumVars() != c.NumInputs {
+		panic("circuit: manager variable count mismatch")
+	}
+	nodes := make([]bdd.Node, c.NumSignals())
+	for v := 0; v < c.NumInputs; v++ {
+		nodes[v] = m.Var(v)
+	}
+	for gi, g := range c.Gates {
+		var n bdd.Node
+		switch g.Kind {
+		case Not:
+			n = m.Not(nodes[g.Ins[0]])
+		case ConstFalse:
+			n = bdd.False
+		case ConstTrue:
+			n = bdd.True
+		case And, Nand:
+			n = nodes[g.Ins[0]]
+			for _, in := range g.Ins[1:] {
+				n = m.And(n, nodes[in])
+			}
+			if g.Kind == Nand {
+				n = m.Not(n)
+			}
+		case Or, Nor:
+			n = nodes[g.Ins[0]]
+			for _, in := range g.Ins[1:] {
+				n = m.Or(n, nodes[in])
+			}
+			if g.Kind == Nor {
+				n = m.Not(n)
+			}
+		case Xor:
+			n = nodes[g.Ins[0]]
+			for _, in := range g.Ins[1:] {
+				n = m.Xor(n, nodes[in])
+			}
+		}
+		nodes[c.NumInputs+gi] = n
+	}
+	return nodes[c.Outputs[i]]
+}
+
+// Write serializes the circuit in the package's line format:
+//
+//	inputs <n>
+//	<sig> = <kind> <in> <in> …
+//	outputs <sig> <sig> …
+func (c *Circuit) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "inputs %d\n", c.NumInputs)
+	for i, g := range c.Gates {
+		fmt.Fprintf(bw, "%d = %s", c.NumInputs+i, kindNames[g.Kind])
+		for _, in := range g.Ins {
+			fmt.Fprintf(bw, " %d", in)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprint(bw, "outputs")
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, " %d", o)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}
+
+// Parse reads the format written by Write. Lines starting with '#' are
+// comments.
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	var c *Circuit
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "inputs":
+			if c != nil {
+				return nil, fmt.Errorf("circuit: line %d: duplicate inputs declaration", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: inputs takes one count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("circuit: line %d: bad input count %q", lineNo, fields[1])
+			}
+			c = New(n)
+		case fields[0] == "outputs":
+			if c == nil {
+				return nil, fmt.Errorf("circuit: line %d: outputs before inputs", lineNo)
+			}
+			for _, f := range fields[1:] {
+				sig, err := strconv.Atoi(f)
+				if err != nil || sig < 0 || sig >= c.NumSignals() {
+					return nil, fmt.Errorf("circuit: line %d: bad output signal %q", lineNo, f)
+				}
+				c.MarkOutput(sig)
+			}
+		default:
+			if c == nil {
+				return nil, fmt.Errorf("circuit: line %d: gate before inputs", lineNo)
+			}
+			if len(fields) < 3 || fields[1] != "=" {
+				return nil, fmt.Errorf("circuit: line %d: expected '<sig> = <kind> <ins…>'", lineNo)
+			}
+			sig, err := strconv.Atoi(fields[0])
+			if err != nil || sig != c.NumSignals() {
+				return nil, fmt.Errorf("circuit: line %d: gate signals must be consecutive (want %d)", lineNo, c.NumSignals())
+			}
+			kind, ok := kindByName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("circuit: line %d: unknown gate kind %q", lineNo, fields[2])
+			}
+			var ins []int
+			for _, f := range fields[3:] {
+				in, err := strconv.Atoi(f)
+				if err != nil || in < 0 || in >= c.NumSignals() {
+					return nil, fmt.Errorf("circuit: line %d: bad input %q", lineNo, f)
+				}
+				ins = append(ins, in)
+			}
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("circuit: line %d: %v", lineNo, p)
+					}
+				}()
+				c.AddGate(kind, ins...)
+			}()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("circuit: empty description")
+	}
+	return c, nil
+}

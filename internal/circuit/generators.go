@@ -1,0 +1,125 @@
+package circuit
+
+// Generators for the benchmark netlists. Input layout for two-operand
+// circuits matches internal/funcs: signals 0..bits−1 are operand a (LSB
+// first), bits..2·bits−1 operand b.
+
+// RippleCarryAdder returns a bits-wide ripple-carry adder with bits+1
+// outputs: sum bits 0..bits−1 and the carry-out.
+func RippleCarryAdder(bits int) *Circuit {
+	c := New(2 * bits)
+	carry := -1 // no carry-in
+	for i := 0; i < bits; i++ {
+		a, b := i, bits+i
+		axb := c.AddGate(Xor, a, b)
+		ab := c.AddGate(And, a, b)
+		if carry < 0 {
+			c.MarkOutput(axb) // sum bit 0
+			carry = ab
+			continue
+		}
+		sum := c.AddGate(Xor, axb, carry)
+		c.MarkOutput(sum)
+		carryAnd := c.AddGate(And, axb, carry)
+		carry = c.AddGate(Or, ab, carryAnd)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// CarrySelectAdder returns a structurally different bits-wide adder (each
+// stage computed for both carry values and selected) with the same
+// input/output contract as RippleCarryAdder — the equivalence-checking
+// counterpart.
+func CarrySelectAdder(bits int) *Circuit {
+	c := New(2 * bits)
+	carry := c.AddGate(ConstFalse)
+	for i := 0; i < bits; i++ {
+		a, b := i, bits+i
+		axb := c.AddGate(Xor, a, b)
+		// sum with carry-in 0 is axb; with carry-in 1 is !axb.
+		naxb := c.AddGate(Not, axb)
+		// Select on the actual carry: sum = carry ? !axb : axb.
+		carryAndN := c.AddGate(And, carry, naxb)
+		ncarry := c.AddGate(Not, carry)
+		ncarryAnd := c.AddGate(And, ncarry, axb)
+		sum := c.AddGate(Or, carryAndN, ncarryAnd)
+		c.MarkOutput(sum)
+		// carry-out = ab | carry·(a ⊕ b).
+		ab := c.AddGate(And, a, b)
+		prop := c.AddGate(And, carry, axb)
+		carry = c.AddGate(Or, ab, prop)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// ComparatorGT returns a bits-wide magnitude comparator computing [a > b].
+func ComparatorGT(bits int) *Circuit {
+	c := New(2 * bits)
+	// Process from MSB down: gt_i = gt_{i+1} | (eq_above & a_i & !b_i).
+	gt := c.AddGate(ConstFalse)
+	eq := c.AddGate(ConstTrue)
+	for i := bits - 1; i >= 0; i-- {
+		a, b := i, bits+i
+		nb := c.AddGate(Not, b)
+		na := c.AddGate(Not, a)
+		aGTb := c.AddGate(And, a, nb)
+		term := c.AddGate(And, eq, aGTb)
+		gt = c.AddGate(Or, gt, term)
+		xnor := c.AddGate(Or, c.AddGate(And, a, b), c.AddGate(And, na, nb))
+		eq = c.AddGate(And, eq, xnor)
+	}
+	c.MarkOutput(gt)
+	return c
+}
+
+// ParityTree returns an n-input XOR tree.
+func ParityTree(n int) *Circuit {
+	c := New(n)
+	sigs := make([]int, n)
+	for i := range sigs {
+		sigs[i] = i
+	}
+	for len(sigs) > 1 {
+		var next []int
+		for i := 0; i+1 < len(sigs); i += 2 {
+			next = append(next, c.AddGate(Xor, sigs[i], sigs[i+1]))
+		}
+		if len(sigs)%2 == 1 {
+			next = append(next, sigs[len(sigs)-1])
+		}
+		sigs = next
+	}
+	c.MarkOutput(sigs[0])
+	return c
+}
+
+// MuxTree returns the 2^sel-way multiplexer netlist matching
+// funcs.Multiplexer's variable layout (selects first, then data).
+func MuxTree(sel int) *Circuit {
+	data := 1 << uint(sel)
+	c := New(sel + data)
+	// cur holds the surviving data signals after conditioning on each
+	// select bit in turn.
+	cur := make([]int, data)
+	for i := range cur {
+		cur[i] = sel + i
+	}
+	for s := 0; s < sel; s++ {
+		ns := c.AddGate(Not, s)
+		next := make([]int, len(cur)/2)
+		for i := range next {
+			lo, hi := cur[2*i], cur[2*i+1]
+			// Data index bit s selects between consecutive pairs…
+			// careful: data index bit s corresponds to stride 2^s; with
+			// pairing of stride 1 at step 0 this matches LSB-first.
+			t0 := c.AddGate(And, ns, lo)
+			t1 := c.AddGate(And, s, hi)
+			next[i] = c.AddGate(Or, t0, t1)
+		}
+		cur = next
+	}
+	c.MarkOutput(cur[0])
+	return c
+}

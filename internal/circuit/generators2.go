@@ -1,0 +1,171 @@
+package circuit
+
+// Additional benchmark netlists: control-path circuits whose ordering
+// behavior differs from the arithmetic family — priority logic, code
+// converters, population count, and a 1-bit ALU slice.
+
+// PriorityEncoder returns a netlist with ⌈log2 n⌉ outputs encoding the
+// index of the highest-priority (lowest-index) asserted input, plus a
+// valid flag output; all-zero inputs encode index 0 with valid = 0.
+func PriorityEncoder(n int) *Circuit {
+	if n < 2 {
+		panic("circuit: PriorityEncoder needs at least 2 inputs")
+	}
+	c := New(n)
+	// higher[i] = some input with index < i is asserted.
+	notIn := make([]int, n)
+	for i := 0; i < n; i++ {
+		notIn[i] = c.AddGate(Not, i)
+	}
+	// sel[i] = input i asserted and none before it.
+	sel := make([]int, n)
+	sel[0] = 0
+	nonePrior := notIn[0]
+	for i := 1; i < n; i++ {
+		sel[i] = c.AddGate(And, i, nonePrior)
+		if i+1 < n {
+			nonePrior = c.AddGate(And, nonePrior, notIn[i])
+		}
+	}
+	// Output bit b = OR of sel[i] with bit b of i set.
+	bits := 0
+	for 1<<uint(bits) < n {
+		bits++
+	}
+	for b := 0; b < bits; b++ {
+		var ins []int
+		for i := 0; i < n; i++ {
+			if i>>uint(b)&1 == 1 {
+				ins = append(ins, sel[i])
+			}
+		}
+		switch len(ins) {
+		case 0:
+			c.MarkOutput(c.AddGate(ConstFalse))
+		case 1:
+			c.MarkOutput(ins[0])
+		default:
+			c.MarkOutput(c.AddGate(Or, ins...))
+		}
+	}
+	// Valid flag: any input asserted.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	c.MarkOutput(c.AddGate(Or, all...))
+	return c
+}
+
+// GrayToBinary returns the n-bit Gray-code-to-binary converter: binary
+// bit i is the XOR of Gray bits i..n−1 (bit n−1 most significant).
+func GrayToBinary(n int) *Circuit {
+	c := New(n)
+	acc := n - 1 // MSB passes through
+	c.MarkOutput(acc)
+	outs := []int{acc}
+	for i := n - 2; i >= 0; i-- {
+		acc = c.AddGate(Xor, acc, i)
+		outs = append(outs, acc)
+	}
+	// Reverse so output j is binary bit j (LSB first), matching the
+	// operand convention elsewhere: recompute outputs in LSB order.
+	c.Outputs = nil
+	for j := 0; j < n; j++ {
+		c.MarkOutput(outs[n-1-j])
+	}
+	return c
+}
+
+// BinaryToGray returns the inverse converter: Gray bit i = b_i ⊕ b_{i+1}
+// (with b_n = 0).
+func BinaryToGray(n int) *Circuit {
+	c := New(n)
+	for i := 0; i < n-1; i++ {
+		c.MarkOutput(c.AddGate(Xor, i, i+1))
+	}
+	c.MarkOutput(n - 1)
+	return c
+}
+
+// PopCount returns a netlist computing the Hamming weight of its n inputs
+// as a ⌈log2(n+1)⌉-bit binary number (LSB first), built from full/half
+// adders over a counter tree.
+func PopCount(n int) *Circuit {
+	c := New(n)
+	// Column-based reduction: columns[w] holds signals of weight 2^w.
+	columns := [][]int{{}}
+	for i := 0; i < n; i++ {
+		columns[0] = append(columns[0], i)
+	}
+	for w := 0; w < len(columns); w++ {
+		for len(columns[w]) > 1 {
+			col := columns[w]
+			if len(columns) == w+1 {
+				columns = append(columns, nil)
+			}
+			if len(col) >= 3 {
+				a, b, cin := col[0], col[1], col[2]
+				columns[w] = col[3:]
+				sum := c.AddGate(Xor, a, b, cin)
+				maj1 := c.AddGate(And, a, b)
+				maj2 := c.AddGate(And, a, cin)
+				maj3 := c.AddGate(And, b, cin)
+				carry := c.AddGate(Or, maj1, maj2, maj3)
+				columns[w] = append(columns[w], sum)
+				columns[w+1] = append(columns[w+1], carry)
+			} else {
+				a, b := col[0], col[1]
+				columns[w] = col[2:]
+				sum := c.AddGate(Xor, a, b)
+				carry := c.AddGate(And, a, b)
+				columns[w] = append(columns[w], sum)
+				columns[w+1] = append(columns[w+1], carry)
+			}
+		}
+	}
+	for _, col := range columns {
+		if len(col) == 1 {
+			c.MarkOutput(col[0])
+		} else {
+			c.MarkOutput(c.AddGate(ConstFalse))
+		}
+	}
+	return c
+}
+
+// ALUSlice returns a 1-bit ALU slice: inputs a, b, carry-in, and two
+// opcode bits (op0, op1); outputs result and carry-out. Operations:
+// 00 = AND, 01 = OR, 10 = XOR, 11 = ADD (a+b+cin).
+func ALUSlice() *Circuit {
+	c := New(5)
+	const (
+		a, b, cin, op0, op1 = 0, 1, 2, 3, 4
+	)
+	and := c.AddGate(And, a, b)
+	or := c.AddGate(Or, a, b)
+	xor := c.AddGate(Xor, a, b)
+	sum := c.AddGate(Xor, a, b, cin)
+	// carry-out for ADD: majority(a, b, cin).
+	m1 := c.AddGate(And, a, b)
+	m2 := c.AddGate(And, a, cin)
+	m3 := c.AddGate(And, b, cin)
+	carry := c.AddGate(Or, m1, m2, m3)
+
+	nop0 := c.AddGate(Not, op0)
+	nop1 := c.AddGate(Not, op1)
+	selAnd := c.AddGate(And, nop1, nop0)
+	selOr := c.AddGate(And, nop1, op0)
+	selXor := c.AddGate(And, op1, nop0)
+	selAdd := c.AddGate(And, op1, op0)
+
+	result := c.AddGate(Or,
+		c.AddGate(And, selAnd, and),
+		c.AddGate(And, selOr, or),
+		c.AddGate(And, selXor, xor),
+		c.AddGate(And, selAdd, sum),
+	)
+	c.MarkOutput(result)
+	c.MarkOutput(c.AddGate(And, selAdd, carry))
+	return c
+}

@@ -1,0 +1,176 @@
+package circuit
+
+import (
+	"math/bits"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+)
+
+func TestPriorityEncoder(t *testing.T) {
+	for _, n := range []int{2, 4, 5, 8} {
+		c := PriorityEncoder(n)
+		outBits := 0
+		for 1<<uint(outBits) < n {
+			outBits++
+		}
+		if len(c.Outputs) != outBits+1 {
+			t.Fatalf("n=%d: %d outputs, want %d", n, len(c.Outputs), outBits+1)
+		}
+		for idx := uint64(0); idx < 1<<uint(n); idx++ {
+			x := make([]bool, n)
+			for i := 0; i < n; i++ {
+				x[i] = idx>>uint(i)&1 == 1
+			}
+			out := c.Eval(x)
+			valid := out[outBits]
+			if valid != (idx != 0) {
+				t.Fatalf("n=%d idx=%b: valid=%v", n, idx, valid)
+			}
+			if idx == 0 {
+				continue
+			}
+			wantIdx := bits.TrailingZeros64(idx)
+			for b := 0; b < outBits; b++ {
+				if out[b] != (wantIdx>>uint(b)&1 == 1) {
+					t.Fatalf("n=%d idx=%b: encoded bit %d wrong", n, idx, b)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("n=1 did not panic")
+		}
+	}()
+	PriorityEncoder(1)
+}
+
+func TestGrayConvertersInverse(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		g2b := GrayToBinary(n)
+		b2g := BinaryToGray(n)
+		for v := uint64(0); v < 1<<uint(n); v++ {
+			x := make([]bool, n)
+			for i := 0; i < n; i++ {
+				x[i] = v>>uint(i)&1 == 1
+			}
+			gray := b2g.Eval(x)
+			// Standard Gray code of v is v ^ (v >> 1).
+			want := v ^ (v >> 1)
+			for i := 0; i < n; i++ {
+				if gray[i] != (want>>uint(i)&1 == 1) {
+					t.Fatalf("n=%d v=%d: gray bit %d wrong", n, v, i)
+				}
+			}
+			back := g2b.Eval(gray)
+			for i := 0; i < n; i++ {
+				if back[i] != x[i] {
+					t.Fatalf("n=%d v=%d: converters not inverse at bit %d", n, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 7, 8} {
+		c := PopCount(n)
+		for idx := uint64(0); idx < 1<<uint(n); idx++ {
+			x := make([]bool, n)
+			for i := 0; i < n; i++ {
+				x[i] = idx>>uint(i)&1 == 1
+			}
+			out := c.Eval(x)
+			var got uint64
+			for i, v := range out {
+				if v {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != uint64(bits.OnesCount64(idx)) {
+				t.Fatalf("n=%d idx=%b: popcount %d, want %d", n, idx, got, bits.OnesCount64(idx))
+			}
+		}
+	}
+}
+
+func TestPopCountMatchesWeightMTBDD(t *testing.T) {
+	// PopCount's outputs jointly encode funcs.Weight: cross-check by
+	// building the multi-valued function from the bits.
+	n := 5
+	c := PopCount(n)
+	w := funcs.Weight(n)
+	for idx := uint64(0); idx < 1<<uint(n); idx++ {
+		x := make([]bool, n)
+		for i := 0; i < n; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		out := c.Eval(x)
+		var got int
+		for i, v := range out {
+			if v {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != w.At(idx) {
+			t.Fatalf("popcount disagrees with Weight at %b", idx)
+		}
+	}
+}
+
+func TestALUSlice(t *testing.T) {
+	c := ALUSlice()
+	for idx := 0; idx < 32; idx++ {
+		x := make([]bool, 5)
+		for i := 0; i < 5; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		a, b, cin := x[0], x[1], x[2]
+		op := 0
+		if x[3] {
+			op |= 1
+		}
+		if x[4] {
+			op |= 2
+		}
+		out := c.Eval(x)
+		var wantR, wantC bool
+		switch op {
+		case 0:
+			wantR = a && b
+		case 1:
+			wantR = a || b
+		case 2:
+			wantR = a != b
+		case 3:
+			s := btoi(a) + btoi(b) + btoi(cin)
+			wantR = s%2 == 1
+			wantC = s >= 2
+		}
+		if out[0] != wantR || out[1] != wantC {
+			t.Fatalf("op=%d a=%v b=%v cin=%v: got %v", op, a, b, cin, out)
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestControlCircuitsSharedOptimization(t *testing.T) {
+	// The shared-forest DP handles the new multi-output workloads.
+	c := PriorityEncoder(4)
+	all := c.AllOutputTables()
+	res := core.OptimalOrderingShared(all, nil)
+	if res.Roots != len(c.Outputs) || res.MinCost == 0 {
+		t.Fatalf("shared optimization of priority encoder: %+v", res)
+	}
+	if got := core.SharedSizeUnder(all, res.Ordering, core.OBDD); got != res.Size {
+		t.Fatalf("shared result not realized")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// BnBOptions configures the branch-and-bound exact search.
+type BnBOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule Rule
+	// Meter, if non-nil, accumulates operation counts.
+	Meter *Meter
+	// InitialBound seeds the incumbent with a known upper bound on
+	// MinCost (e.g. from a heuristic); 0 means start unbounded. A tight
+	// seed can prune most of the search.
+	InitialBound uint64
+	// DisableLowerBound turns off the dependence-count lower bound,
+	// leaving only memo/incumbent pruning (for ablation measurements).
+	DisableLowerBound bool
+}
+
+func (o *BnBOptions) rule() Rule {
+	if o == nil {
+		return OBDD
+	}
+	return o.Rule
+}
+
+func (o *BnBOptions) meter() *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+// BranchAndBound finds the exact optimal ordering by depth-first search
+// over bottom-set prefixes with three prunings:
+//
+//   - dominance: a prefix reaching subset I with cost ≥ the best cost
+//     already seen for I is abandoned (the memo realizes Lemma 3/4's
+//     set-dependence, like the dynamic program, but lazily);
+//   - incumbent: a prefix whose cost plus a lower bound on the remaining
+//     levels reaches the best complete solution is abandoned;
+//   - lower bound: every remaining level whose variable the current
+//     residual function still depends on needs at least one node.
+//
+// Unlike the dynamic program, which stores whole table layers (Θ(3ⁿ)
+// cells live at the peak, Remark 1), the search keeps only the tables
+// along one DFS path — Θ(2ⁿ⁺¹) cells — trading recomputation for space.
+// Exactness is unconditional; experiment E15 measures the trade.
+func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
+	rule, m := opts.rule(), opts.meter()
+	n := tt.NumVars()
+	base := baseContext(tt)
+	m.alloc(base.cells())
+
+	best := ^uint64(0)
+	if opts != nil && opts.InitialBound > 0 {
+		best = opts.InitialBound
+	}
+	found := false
+	useLB := opts == nil || !opts.DisableLowerBound
+	bestOrder := make([]int, n)
+	order := make([]int, 0, n)
+	memo := make(map[bitops.Mask]uint64)
+
+	var dfs func(c *context, mask bitops.Mask)
+	dfs = func(c *context, mask bitops.Mask) {
+		if seen, ok := memo[mask]; ok && c.cost >= seen {
+			return
+		}
+		memo[mask] = c.cost
+		if len(order) == n {
+			if m != nil {
+				m.Evaluations++
+			}
+			if c.cost < best {
+				best = c.cost
+				copy(bestOrder, order)
+				found = true
+			}
+			return
+		}
+		if c.cost >= best {
+			return
+		}
+		if useLB {
+			lb := c.cost + remainingLowerBound(c, rule)
+			if lb >= best {
+				return
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !c.free.Has(v) {
+				continue
+			}
+			next, _ := compact(c, v, rule, m)
+			order = append(order, v)
+			dfs(next, mask.With(v))
+			order = order[:len(order)-1]
+			m.free(next.cells())
+		}
+	}
+	dfs(base, 0)
+	m.free(base.cells())
+
+	if !found {
+		// The seeded bound was at or below the true optimum, so no
+		// complete ordering was ever recorded; rerun unseeded.
+		return BranchAndBound(tt, &BnBOptions{Rule: rule, Meter: m})
+	}
+	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
+}
+
+// remainingLowerBound counts the free variables whose level must hold at
+// least one node under every completion, lower-bounding the remaining
+// cost. For the OBDD rule a variable contributes iff the residual
+// function depends on it (some table cell pair differs): dependence is
+// semantic, so it survives absorbing the other variables in any order and
+// forces at least one node on that variable's level. For the ZDD rule a
+// dependent variable's level can still be empty (the skip condition is
+// u1 == 0, not u0 == u1), so no per-variable contribution is claimed and
+// only memo/incumbent pruning applies.
+func remainingLowerBound(c *context, rule Rule) uint64 {
+	var lb uint64
+	for _, v := range c.free.Members(make([]int, 0, c.free.Count())) {
+		pos := bitops.RelativePosition(c.free, v)
+		half := uint64(len(c.table)) / 2
+		depends := false
+		for idx := uint64(0); idx < half; idx++ {
+			if c.table[bitops.SpliceIndex(idx, pos, 0)] != c.table[bitops.SpliceIndex(idx, pos, 1)] {
+				depends = true
+				break
+			}
+		}
+		if !depends {
+			continue
+		}
+		if rule == OBDD {
+			// Dependence is semantic and preserved by absorbing other
+			// variables, so a dependent variable's level is nonempty
+			// under every completion.
+			lb++
+		}
+		// For ZDD, dependence does not force a node on v's own level
+		// (the skip condition is u1 == 0, not u0 == u1), so no safe
+		// per-variable contribution is claimed.
+	}
+	return lb
+}

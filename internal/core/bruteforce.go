@@ -1,0 +1,79 @@
+package core
+
+import (
+	"obddopt/internal/truthtable"
+)
+
+// BruteForceOptions configures the exhaustive baseline.
+type BruteForceOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule Rule
+	// Meter, if non-nil, accumulates operation counts.
+	Meter *Meter
+	// Prune enables branch-and-bound pruning: a partial ordering whose
+	// accumulated cost already reaches the best known total is abandoned.
+	// With Prune false the search visits every ordering prefix, realizing
+	// the full O*(n!·2^n) work the papers quote for brute force.
+	Prune bool
+}
+
+func (o *BruteForceOptions) rule() Rule {
+	if o == nil {
+		return OBDD
+	}
+	return o.Rule
+}
+
+func (o *BruteForceOptions) meter() *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+// BruteForce finds the exact optimal ordering by exhaustive search over all
+// n! orderings, sharing work across common prefixes (a DFS over ordering
+// prefixes, each step one table compaction). This is the trivial baseline
+// whose O*(n!·2^n) bound both papers quote; it exists to validate FS and to
+// realize experiment E5. It returns the same Result an FS run would.
+func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
+	rule, m := opts.rule(), opts.meter()
+	n := tt.NumVars()
+	base := baseContext(tt)
+	m.alloc(base.cells())
+
+	best := ^uint64(0)
+	bestOrder := make([]int, n)
+	order := make([]int, 0, n)
+
+	var dfs func(c *context)
+	dfs = func(c *context) {
+		if len(order) == n {
+			if m != nil {
+				m.Evaluations++
+			}
+			if c.cost < best {
+				best = c.cost
+				copy(bestOrder, order)
+			}
+			return
+		}
+		if opts != nil && opts.Prune && c.cost >= best {
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !c.free.Has(v) {
+				continue
+			}
+			next, _ := compact(c, v, rule, m)
+			order = append(order, v)
+			dfs(next)
+			order = order[:len(order)-1]
+			m.free(next.cells())
+		}
+	}
+	dfs(base)
+	m.free(base.cells())
+
+	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
+}

@@ -1,0 +1,240 @@
+// Package core implements the exact optimal-variable-ordering algorithms of
+// Friedman & Supowit (DAC 1987 / IEEE TC 1990) and their generalizations:
+//
+//   - FS, the O*(3^n) subset dynamic program (Theorem 5 of the restatement),
+//   - FS*, the composable variant that extends a partial solution FS(I) to
+//     FS(I ⊔ K) for all K ⊆ J (Lemma 8),
+//   - BruteForce, the trivial O*(n!·2^n) baseline the paper improves on,
+//   - OptOBDD(k, α), the divide-and-conquer variant driven by (simulated)
+//     quantum minimum finding (Lemma 9 and Theorems 10/13).
+//
+// All algorithms run on truth tables and share one primitive: table
+// compaction (§2.3.2), which absorbs one variable into the solved bottom
+// block of levels while counting the nodes the corresponding OBDD level
+// needs. Compaction supports three node-elimination rules: OBDD (Shannon),
+// ZDD (zero-suppressed, Remark 2's two-line modification), and MTBDD
+// (multi-terminal, also Remark 2).
+package core
+
+import (
+	"fmt"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// Rule selects the reduction rule applied during table compaction, i.e.
+// which decision-diagram variant is being minimized.
+type Rule int
+
+const (
+	// OBDD applies the standard reduction: a node whose 0- and 1-child
+	// coincide is skipped (the function does not depend on the level's
+	// variable).
+	OBDD Rule = iota
+	// ZDD applies the zero-suppressed rule: a node whose 1-child is the
+	// false terminal is skipped. This is the two-line modification of
+	// Remark 2 / Appendix D.
+	ZDD
+)
+
+// String returns the conventional name of the rule.
+func (r Rule) String() string {
+	switch r {
+	case OBDD:
+		return "OBDD"
+	case ZDD:
+		return "ZDD"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Meter accumulates the operation counts the complexity claims are stated
+// in. CellOps counts table-compaction cell visits — the unit in which the
+// 3^n bound of Theorem 5 is measured. A nil *Meter is accepted everywhere
+// and disables metering.
+type Meter struct {
+	// CellOps counts individual table cells visited by compaction; the
+	// classical time bound is Σ_k k·C(n,k)·2^{n−k} ≤ n·3^{n−1} cell ops.
+	CellOps uint64
+	// Compactions counts COMPACT invocations (DP transitions).
+	Compactions uint64
+	// LiveCells tracks the current number of table cells held by the DP;
+	// PeakCells its maximum — the space bound of Remark 1.
+	LiveCells uint64
+	PeakCells uint64
+	// Evaluations counts cost-oracle evaluations performed by search
+	// drivers (brute force, minimum finding).
+	Evaluations uint64
+}
+
+func (m *Meter) addCells(n uint64) {
+	if m == nil {
+		return
+	}
+	m.CellOps += n
+	m.Compactions++
+}
+
+func (m *Meter) alloc(cells uint64) {
+	if m == nil {
+		return
+	}
+	m.LiveCells += cells
+	if m.LiveCells > m.PeakCells {
+		m.PeakCells = m.LiveCells
+	}
+}
+
+func (m *Meter) free(cells uint64) {
+	if m == nil {
+		return
+	}
+	if cells > m.LiveCells {
+		m.LiveCells = 0
+		return
+	}
+	m.LiveCells -= cells
+}
+
+// context is the quadruple FS(⟨I₁, …, I_m⟩) of the papers minus the
+// explicit NODE set: a partially absorbed problem state. The absorbed
+// variables occupy the bottom |absorbed| levels in some optimal order; the
+// table maps each assignment of the free (unabsorbed) variables to the
+// canonical ID of the corresponding subfunction's node.
+//
+// Node IDs: 0 … nTerm−1 are terminal IDs (false=0, true=1 for Boolean
+// rules); nonterminal nodes are numbered from nTerm upward in creation
+// order, so nextID = nTerm + cost at all times.
+type context struct {
+	n     int         // total number of variables of f
+	free  bitops.Mask // variables not yet absorbed
+	table []uint32    // 2^{|free|} cells: node ID per free-variable assignment
+	cost  uint64      // MINCOST: nonterminal nodes in the absorbed levels
+	nTerm uint32      // number of terminal IDs
+}
+
+// nextID returns the ID the next created node will receive.
+func (c *context) nextID() uint32 { return c.nTerm + uint32(c.cost) }
+
+// clone returns a deep copy of the context (table included).
+func (c *context) clone() *context {
+	t := make([]uint32, len(c.table))
+	copy(t, c.table)
+	return &context{n: c.n, free: c.free, table: t, cost: c.cost, nTerm: c.nTerm}
+}
+
+// cells returns the table length as a uint64.
+func (c *context) cells() uint64 { return uint64(len(c.table)) }
+
+// baseContext builds the initial context FS(∅) from a Boolean truth table:
+// the table is simply the truth table with terminal IDs 0/1 per cell.
+func baseContext(tt *truthtable.Table) *context {
+	n := tt.NumVars()
+	table := make([]uint32, tt.Size())
+	for idx := uint64(0); idx < tt.Size(); idx++ {
+		if tt.Bit(idx) {
+			table[idx] = 1
+		}
+	}
+	return &context{n: n, free: bitops.FullMask(n), table: table, cost: 0, nTerm: 2}
+}
+
+// baseContextMulti builds the initial context from a multi-valued table
+// (MTBDD minimization, Remark 2). Terminal IDs are the dense value codes.
+func baseContextMulti(mt *truthtable.MultiTable) (*context, []int) {
+	codes, terminals := mt.Dense()
+	n := mt.NumVars()
+	return &context{
+		n:     n,
+		free:  bitops.FullMask(n),
+		table: codes,
+		cost:  0,
+		nTerm: uint32(len(terminals)),
+	}, terminals
+}
+
+// pairKey packs a (u0, u1) child pair into a map key. Node IDs stay far
+// below 2^32 (they are bounded by table size ≤ 2^30 plus terminals).
+func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
+
+// compact performs table compaction with respect to variable v (§2.3.2):
+// it absorbs v into the solved bottom block, producing the context for
+// (I ⊔ {v}) from the context for I. The returned width is the number of
+// nodes the new level needs, i.e. Cost_v(f, π_(I,v)) — by Lemma 3 this is
+// independent of the order chosen inside I.
+//
+// Node uniqueness is keyed per level: two cells of the result receive the
+// same ID iff their (u0, u1) child pairs coincide, which — because the new
+// nodes all test the same variable v — is exactly the (var, u0, u1) triple
+// equality the NODE set of the papers encodes. Deduplicating on (u0, u1)
+// across levels would wrongly merge nodes testing different variables that
+// happen to share a child pair (see DESIGN.md).
+//
+// The input context is not modified.
+func compact(c *context, v int, rule Rule, m *Meter) (next *context, width uint64) {
+	if !c.free.Has(v) {
+		panic(fmt.Sprintf("core: compact on non-free variable %d (free %#x)", v, uint64(c.free)))
+	}
+	pos := bitops.RelativePosition(c.free, v)
+	newFree := c.free.Without(v)
+	size := uint64(len(c.table)) / 2
+	table := make([]uint32, size)
+	m.alloc(size)
+
+	dedup := make(map[uint64]uint32)
+	id := c.nextID()
+	for idx := uint64(0); idx < size; idx++ {
+		u0 := c.table[bitops.SpliceIndex(idx, pos, 0)]
+		u1 := c.table[bitops.SpliceIndex(idx, pos, 1)]
+		var skip bool
+		switch rule {
+		case OBDD:
+			skip = u0 == u1
+		case ZDD:
+			skip = u1 == 0
+		default:
+			panic("core: unknown rule")
+		}
+		if skip {
+			table[idx] = u0
+			continue
+		}
+		key := pairKey(u0, u1)
+		if u, ok := dedup[key]; ok {
+			table[idx] = u
+			continue
+		}
+		dedup[key] = id
+		table[idx] = id
+		id++
+		width++
+	}
+	m.addCells(size)
+	return &context{
+		n:     c.n,
+		free:  newFree,
+		table: table,
+		cost:  c.cost + width,
+		nTerm: c.nTerm,
+	}, width
+}
+
+// profileAlong absorbs the free variables of c in the order given
+// (bottom-up) and returns the width of each produced level. It is the
+// Cost_j evaluator used for brute force, heuristics and verification.
+// order must list exactly the free variables of c.
+func profileAlong(c *context, order []int, rule Rule, m *Meter) (widths []uint64, final *context) {
+	cur := c
+	widths = make([]uint64, 0, len(order))
+	for _, v := range order {
+		next, w := compact(cur, v, rule, m)
+		if cur != c {
+			m.free(cur.cells())
+		}
+		cur = next
+		widths = append(widths, w)
+	}
+	return widths, cur
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/quantum"
+	"obddopt/internal/truthtable"
+)
+
+func TestLadderDepthZeroEqualsDnC(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + trial%4
+		f := truthtable.Random(n, rng)
+		dnc := DivideAndConquer(f, nil)
+		lad := DivideAndConquerComposed(f, &LadderOptions{Depth: 0})
+		if dnc.MinCost != lad.MinCost {
+			t.Fatalf("n=%d: depth-0 ladder %d != DnC %d", n, lad.MinCost, dnc.MinCost)
+		}
+	}
+}
+
+func TestLadderAllDepthsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	for trial := 0; trial < 6; trial++ {
+		n := 6 + trial%3
+		f := truthtable.Random(n, rng)
+		want := OptimalOrdering(f, nil).MinCost
+		for depth := 0; depth <= 2; depth++ {
+			got := DivideAndConquerComposed(f, &LadderOptions{Depth: depth})
+			if got.MinCost != want {
+				t.Fatalf("n=%d depth=%d: %d != FS %d", n, depth, got.MinCost, want)
+			}
+			if v := SizeUnder(f, got.Ordering, OBDD, nil); v != got.Size {
+				t.Fatalf("n=%d depth=%d: ordering does not realize size", n, depth)
+			}
+		}
+	}
+}
+
+func TestLadderZDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	f := truthtable.Random(7, rng)
+	want := OptimalOrdering(f, &Options{Rule: ZDD}).MinCost
+	got := DivideAndConquerComposed(f, &LadderOptions{Rule: ZDD, Depth: 1})
+	if got.MinCost != want {
+		t.Fatalf("ZDD ladder %d != FS %d", got.MinCost, want)
+	}
+}
+
+func TestLadderQueriesGrowWithDepth(t *testing.T) {
+	// Deeper composition invokes minimum finding inside the extension
+	// calls, so the metered query count (and invocation count) grows
+	// with depth on the same instance — the structural signature of
+	// Theorem 13's tower.
+	rng := rand.New(rand.NewSource(174))
+	f := truthtable.Random(8, rng)
+	var prevInvocations uint64
+	for depth := 0; depth <= 2; depth++ {
+		qm := &quantum.Meter{}
+		DivideAndConquerComposed(f, &LadderOptions{
+			Depth:     depth,
+			Minimizer: &quantum.Exact{Eps: 1e-6, Meter: qm},
+		})
+		if depth > 0 && qm.Invocations <= prevInvocations {
+			t.Errorf("depth %d: invocations %d did not grow (prev %d)",
+				depth, qm.Invocations, prevInvocations)
+		}
+		prevInvocations = qm.Invocations
+	}
+}
+
+func TestLadderMeterLeakFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(175))
+	f := truthtable.Random(7, rng)
+	for depth := 0; depth <= 2; depth++ {
+		m := &Meter{}
+		DivideAndConquerComposed(f, &LadderOptions{Depth: depth, Meter: m})
+		if m.LiveCells != 0 {
+			t.Fatalf("depth %d: LiveCells %d after run", depth, m.LiveCells)
+		}
+	}
+}
+
+func TestLadderNoisyStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(176))
+	f := truthtable.Random(6, rng)
+	opt := OptimalOrdering(f, nil).MinCost
+	res := DivideAndConquerComposed(f, &LadderOptions{
+		Depth:     1,
+		Minimizer: &quantum.Noisy{Eps: 1, Rng: rng},
+	})
+	if !res.Ordering.Valid() {
+		t.Fatalf("noisy ladder produced invalid ordering")
+	}
+	if res.MinCost < opt {
+		t.Fatalf("noisy ladder beat the optimum")
+	}
+	if got := SizeUnder(f, res.Ordering, OBDD, nil); got != res.Size {
+		t.Fatalf("noisy ladder misreports size")
+	}
+}
+
+func TestLadderTinyInput(t *testing.T) {
+	f := truthtable.Var(2, 1)
+	res := DivideAndConquerComposed(f, &LadderOptions{Depth: 3})
+	if res.MinCost != 1 {
+		t.Fatalf("tiny ladder MinCost %d", res.MinCost)
+	}
+}

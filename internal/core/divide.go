@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/quantum"
+	"obddopt/internal/truthtable"
+)
+
+// DnCOptions configures the divide-and-conquer algorithm OptOBDD(k, α).
+type DnCOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule Rule
+	// Meter, if non-nil, accumulates table-compaction counts.
+	Meter *Meter
+	// Minimizer performs minimum finding over division-point candidates.
+	// Nil selects the exact simulator (quantum.Exact with ε = 2^−n).
+	Minimizer quantum.Minimizer
+	// Alphas are the division fractions 0 < α₁ < … < α_k < 1 of
+	// Theorems 10/13. Nil selects the two-parameter optimum of Appendix B
+	// (α = 0.192754, 0.334571). Fractions are rounded to level counts and
+	// deduplicated for small n.
+	Alphas []float64
+}
+
+func (o *DnCOptions) rule() Rule {
+	if o == nil {
+		return OBDD
+	}
+	return o.Rule
+}
+
+func (o *DnCOptions) meter() *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+// DefaultAlphas is the two-division-point parameter vector α* of the
+// restatement's Appendix B, the smallest configuration that already beats
+// the single split.
+var DefaultAlphas = []float64{0.192754, 0.334571}
+
+// normalizeSizes converts fractions to strictly increasing integer level
+// counts in [1, n−1]. Collapsed or out-of-range entries are dropped.
+func normalizeSizes(n int, alphas []float64) []int {
+	var sizes []int
+	for _, a := range alphas {
+		s := int(math.Round(a * float64(n)))
+		if s < 1 || s > n-1 {
+			continue
+		}
+		if len(sizes) > 0 && s <= sizes[len(sizes)-1] {
+			continue
+		}
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	return sizes
+}
+
+// DivideAndConquer runs OptOBDD(k, α) (Theorem 10) with the configured
+// minimum-finding strategy: the ordering problem is recursively split at
+// the division points (Lemma 9), the bottom fragment is solved via the
+// precomputed FS layer, the upper fragments via FS* composition, and the
+// division subsets are chosen by (simulated) quantum minimum finding.
+//
+// With the exact simulator the result equals OptimalOrdering's; with the
+// noisy simulator the returned ordering is always valid but may be
+// non-minimum with the injected probability — exactly the guarantee of
+// Theorem 1.
+func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
+	rule, m := opts.rule(), opts.meter()
+	n := tt.NumVars()
+	alphas := DefaultAlphas
+	if opts != nil && opts.Alphas != nil {
+		alphas = opts.Alphas
+	}
+	sizes := normalizeSizes(n, alphas)
+	if len(sizes) == 0 {
+		// The function is too small to split; the algorithm degenerates
+		// to plain FS, as the papers' analysis assumes Ω(n) block sizes.
+		return OptimalOrdering(tt, &Options{Rule: rule, Meter: m})
+	}
+	var minz quantum.Minimizer
+	if opts != nil && opts.Minimizer != nil {
+		minz = opts.Minimizer
+	} else {
+		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n))}
+	}
+
+	base := baseContext(tt)
+	m.alloc(base.cells())
+	full := bitops.FullMask(n)
+
+	// Preprocessing phase (line 3 of the pseudocode): compute FS(K) for
+	// every K of size sizes[0] classically and keep the whole layer.
+	pre := runDP(base, full, sizes[0], rule, m)
+
+	d := &dncRun{rule: rule, m: m, minz: minz, sizes: sizes, pre: pre}
+	ctx, order, owned := d.solve(full, len(sizes))
+	minCost := ctx.cost
+	if owned {
+		m.free(ctx.cells())
+	}
+	for _, c := range pre.layer {
+		m.free(c.cells())
+	}
+	m.free(base.cells())
+	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m)
+}
+
+// dncRun carries the shared state of one DivideAndConquer invocation.
+type dncRun struct {
+	rule  Rule
+	m     *Meter
+	minz  quantum.Minimizer
+	sizes []int
+	pre   *dpState // precomputed bottom layer: FS(K) for |K| = sizes[0]
+}
+
+// solve implements Function DivideAndConquer(L, t) of the pseudocode: it
+// returns the optimal context absorbing exactly the variables of L, the
+// bottom-up order of L, and whether the caller owns (must free) the
+// context's table.
+func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned bool) {
+	if t == 0 {
+		// FS(L) has been precomputed (line 7).
+		c, ok := d.pre.layer[L]
+		if !ok {
+			panic("core: missing precomputed FS layer entry")
+		}
+		return c, d.pre.reconstruct(L), false
+	}
+	s := d.sizes[t-1]
+	if s >= L.Count() {
+		// Degenerate split (small n): skip this division point.
+		return d.solve(L, t-1)
+	}
+	// Enumerate the candidate division subsets K ⊆ L, |K| = s.
+	cands := subsetsWithin(L, s)
+
+	eval := func(i uint64) uint64 {
+		K := cands[i]
+		ctxK, _, ownedK := d.solve(K, t-1)
+		st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m)
+		cost := st.minCost[L&^K]
+		if fin := st.layer[L&^K]; fin != nil && fin != ctxK {
+			d.m.free(fin.cells())
+		}
+		if ownedK {
+			d.m.free(ctxK.cells())
+		}
+		if d.m != nil {
+			d.m.Evaluations++
+		}
+		return cost
+	}
+	bestIdx := d.minz.MinIndex(uint64(len(cands)), eval)
+
+	// Recompute the winning split to obtain its context and ordering.
+	K := cands[bestIdx]
+	ctxK, orderK, ownedK := d.solve(K, t-1)
+	st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m)
+	fin := st.layer[L&^K]
+	order = append(append([]int{}, orderK...), st.reconstruct(L&^K)...)
+	if fin == ctxK {
+		return ctxK, order, ownedK
+	}
+	if ownedK {
+		d.m.free(ctxK.cells())
+	}
+	return fin, order, true
+}
+
+// subsetsWithin lists all s-element subsets of the set L, in deterministic
+// (lexicographic over member positions) order.
+func subsetsWithin(L bitops.Mask, s int) []bitops.Mask {
+	members := L.Members(nil)
+	nm := len(members)
+	var out []bitops.Mask
+	bitops.SubsetsOfSize(nm, s, func(rel bitops.Mask) {
+		var abs bitops.Mask
+		for _, p := range rel.Members(nil) {
+			abs = abs.With(members[p])
+		}
+		out = append(out, abs)
+	})
+	return out
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// Options configures the exact-ordering algorithms.
+type Options struct {
+	// Rule selects the diagram variant to minimize (OBDD or ZDD). The
+	// zero value minimizes OBDDs.
+	Rule Rule
+	// Meter, if non-nil, accumulates operation counts.
+	Meter *Meter
+}
+
+func (o *Options) rule() Rule {
+	if o == nil {
+		return OBDD
+	}
+	return o.Rule
+}
+
+func (o *Options) meter() *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+// Result reports an exact minimization outcome.
+type Result struct {
+	// N is the number of variables of the input function.
+	N int
+	// Rule is the diagram variant that was minimized.
+	Rule Rule
+	// MinCost is MINCOST_[n]: the number of nonterminal nodes of the
+	// minimum diagram.
+	MinCost uint64
+	// Terminals is the number of terminal nodes of the diagram (the
+	// number of distinct function values; 2 for a nonconstant Boolean f).
+	Terminals int
+	// Size is the total diagram size MinCost + Terminals, the quantity
+	// the papers call OBDD size (e.g. 2n+2 for the Fig. 1 function).
+	Size uint64
+	// Ordering is an optimal variable ordering in bottom-up convention
+	// (Ordering[0] is read last). Ties are broken deterministically by
+	// preferring the smallest variable index at each DP step.
+	Ordering truthtable.Ordering
+	// Profile[i] is the width Cost_{Ordering[i]}(f, π) of level i+1 under
+	// the optimal ordering; the widths sum to MinCost.
+	Profile []uint64
+	// TerminalValues lists the function values of the terminals in
+	// increasing order (0/1 for Boolean inputs).
+	TerminalValues []int
+}
+
+// dpState is the rolling-layer subset dynamic program shared by FS and FS*.
+// It absorbs subsets of vars (a subset of ctx.free) on top of the fixed
+// context ctx, layer by layer (Lemma 4 / Lemma 7).
+type dpState struct {
+	rule  Rule
+	meter *Meter
+	// bestLast[K] is the variable read at the top of block K in the
+	// optimal ordering of K — the parent pointer for reconstruction.
+	bestLast map[bitops.Mask]int
+	// minCost[K] is the optimal context cost after absorbing K.
+	minCost map[bitops.Mask]uint64
+	// layer holds the contexts of the most recently completed layer.
+	layer map[bitops.Mask]*context
+}
+
+// runDP absorbs subsets of vars on top of ctx up to layer stop
+// (0 ≤ stop ≤ |vars|), keeping for every subset the minimum-cost context.
+// It returns the DP state whose layer field holds the contexts for all
+// stop-element subsets K of vars, each being FS(⟨…, K⟩) with cost
+// minCost[K]. The input ctx is not modified.
+func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
+	if vars&^ctx.free != 0 {
+		panic("core: runDP vars not free in context")
+	}
+	nv := vars.Count()
+	if stop < 0 || stop > nv {
+		panic(fmt.Sprintf("core: runDP stop %d out of range [0,%d]", stop, nv))
+	}
+	st := &dpState{
+		rule:     rule,
+		meter:    m,
+		bestLast: make(map[bitops.Mask]int),
+		minCost:  make(map[bitops.Mask]uint64),
+		layer:    map[bitops.Mask]*context{0: ctx},
+	}
+	st.minCost[0] = ctx.cost
+	members := vars.Members(make([]int, 0, nv))
+
+	for k := 1; k <= stop; k++ {
+		next := make(map[bitops.Mask]*context, len(st.layer)*nv/k)
+		for prevMask, prevCtx := range st.layer {
+			for _, v := range members {
+				if prevMask.Has(v) {
+					continue
+				}
+				cand, _ := compact(prevCtx, v, rule, m)
+				key := prevMask.With(v)
+				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
+					(cand.cost == cur.cost && v < st.bestLast[key]) {
+					if ok {
+						m.free(cur.cells())
+					}
+					next[key] = cand
+					st.bestLast[key] = v
+					st.minCost[key] = cand.cost
+				} else {
+					m.free(cand.cells())
+				}
+			}
+		}
+		// Release the tables of the completed layer (Remark 1: only two
+		// layers are live at a time). The base context (layer 0) belongs
+		// to the caller and is not released.
+		for mask, c := range st.layer {
+			if mask != 0 || c != ctx {
+				m.free(c.cells())
+			}
+			_ = mask
+		}
+		st.layer = next
+	}
+	return st
+}
+
+// reconstruct returns the bottom-up order in which the DP absorbed the
+// variables of mask, by walking the bestLast parent pointers.
+func (st *dpState) reconstruct(mask bitops.Mask) []int {
+	k := mask.Count()
+	order := make([]int, k)
+	for i := k - 1; i >= 0; i-- {
+		v, ok := st.bestLast[mask]
+		if !ok {
+			panic(fmt.Sprintf("core: no parent pointer for subset %#x", uint64(mask)))
+		}
+		order[i] = v
+		mask = mask.Without(v)
+	}
+	return order
+}
+
+// OptimalOrdering runs the Friedman–Supowit dynamic program (algorithm FS,
+// Theorem 5) on the truth table of f and returns the exact minimum diagram
+// size together with an optimal variable ordering. Time and space are
+// O*(3^n) in the number of variables n.
+func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
+	rule, m := opts.rule(), opts.meter()
+	base := baseContext(tt)
+	m.alloc(base.cells())
+	n := tt.NumVars()
+	st := runDP(base, bitops.FullMask(n), n, rule, m)
+
+	full := bitops.FullMask(n)
+	order := truthtable.Ordering(st.reconstruct(full))
+	res := finishResult(tt, nil, order, st.minCost[full], rule, m)
+	if fin := st.layer[full]; fin != nil {
+		m.free(fin.cells())
+	}
+	m.free(base.cells())
+	return res
+}
+
+// OptimalOrderingMulti is the MTBDD generalization of Remark 2: it minimizes
+// a multi-terminal decision diagram for the multi-valued function mt. The
+// ZDD rule is not meaningful for multi-valued terminals, so opts.Rule must
+// be OBDD (the zero value).
+func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
+	if opts.rule() != OBDD {
+		panic("core: OptimalOrderingMulti requires the OBDD rule")
+	}
+	m := opts.meter()
+	base, terminals := baseContextMulti(mt)
+	m.alloc(base.cells())
+	n := mt.NumVars()
+	st := runDP(base, bitops.FullMask(n), n, OBDD, m)
+
+	full := bitops.FullMask(n)
+	order := truthtable.Ordering(st.reconstruct(full))
+	minCost := st.minCost[full]
+	profile, _ := profileAlong(base, order, OBDD, nil)
+	if fin := st.layer[full]; fin != nil {
+		m.free(fin.cells())
+	}
+	m.free(base.cells())
+	return &Result{
+		N:              n,
+		Rule:           OBDD,
+		MinCost:        minCost,
+		Terminals:      len(terminals),
+		Size:           minCost + uint64(len(terminals)),
+		Ordering:       order,
+		Profile:        profile,
+		TerminalValues: terminals,
+	}
+}
+
+// finishResult assembles a Result for a Boolean input: it recomputes the
+// level profile along the chosen ordering and determines the terminal set.
+func finishResult(tt *truthtable.Table, _ []uint64, order truthtable.Ordering, minCost uint64, rule Rule, m *Meter) *Result {
+	n := tt.NumVars()
+	base := baseContext(tt)
+	profile, _ := profileAlong(base, order, rule, nil)
+
+	var termVals []int
+	ones := tt.CountOnes()
+	switch {
+	case ones == 0:
+		termVals = []int{0}
+	case ones == tt.Size():
+		termVals = []int{1}
+	default:
+		termVals = []int{0, 1}
+	}
+	_ = m
+	return &Result{
+		N:              n,
+		Rule:           rule,
+		MinCost:        minCost,
+		Terminals:      len(termVals),
+		Size:           minCost + uint64(len(termVals)),
+		Ordering:       order,
+		Profile:        profile,
+		TerminalValues: termVals,
+	}
+}
+
+// Profile returns the per-level widths Cost_{order[i]}(f, π) of the diagram
+// of f under the given bottom-up ordering, without any optimization. The
+// sum of the returned widths plus the terminal count is the diagram size
+// under that ordering. It runs in O(n·2^n) time.
+func Profile(tt *truthtable.Table, order truthtable.Ordering, rule Rule, m *Meter) []uint64 {
+	if len(order) != tt.NumVars() || !order.Valid() {
+		panic("core: Profile ordering is not a permutation of the variables")
+	}
+	base := baseContext(tt)
+	m.alloc(base.cells())
+	widths, fin := profileAlong(base, order, rule, m)
+	m.free(base.cells())
+	if fin != nil {
+		m.free(fin.cells())
+	}
+	if m != nil {
+		m.Evaluations++
+	}
+	return widths
+}
+
+// SizeUnder returns the total diagram size (nonterminals + terminals) of f
+// under the given ordering and rule.
+func SizeUnder(tt *truthtable.Table, order truthtable.Ordering, rule Rule, m *Meter) uint64 {
+	widths := Profile(tt, order, rule, m)
+	var total uint64
+	for _, w := range widths {
+		total += w
+	}
+	ones := tt.CountOnes()
+	terms := uint64(2)
+	if ones == 0 || ones == tt.Size() {
+		terms = 1
+	}
+	return total + terms
+}

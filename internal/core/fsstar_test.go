@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// restrictedBrute finds min total width over all orderings consistent with
+// the block partition, by explicit permutation enumeration — the reference
+// for OptimalOrderingBlocks.
+func restrictedBrute(f *truthtable.Table, blocks []bitops.Mask, rule Rule) uint64 {
+	best := ^uint64(0)
+	var rec func(c *context, bi int)
+	rec = func(c *context, bi int) {
+		if bi == len(blocks) {
+			if c.cost < best {
+				best = c.cost
+			}
+			return
+		}
+		remaining := blocks[bi] & c.free
+		if remaining == 0 {
+			rec(c, bi+1)
+			return
+		}
+		for _, v := range remaining.Members(nil) {
+			next, _ := compact(c, v, rule, nil)
+			rec(next, bi)
+		}
+	}
+	rec(baseContext(f), 0)
+	return best
+}
+
+func TestBlocksSingleBlockEqualsFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + trial%4
+		f := truthtable.Random(n, rng)
+		fs := OptimalOrdering(f, nil)
+		br := OptimalOrderingBlocks(f, []bitops.Mask{bitops.FullMask(n)}, nil)
+		if br.MinCost != fs.MinCost {
+			t.Fatalf("n=%d: single block %d != FS %d", n, br.MinCost, fs.MinCost)
+		}
+		if !br.Ordering.Valid() || len(br.Ordering) != n {
+			t.Fatalf("single block ordering invalid: %v", br.Ordering)
+		}
+	}
+}
+
+func TestBlocksMatchRestrictedBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + trial%3 // 4..6
+		f := truthtable.Random(n, rng)
+		// Random 2-block partition covering all variables.
+		var b1 bitops.Mask
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				b1 = b1.With(v)
+			}
+		}
+		if b1 == 0 || b1 == bitops.FullMask(n) {
+			b1 = bitops.Mask(0b11)
+		}
+		b2 := bitops.FullMask(n) &^ b1
+		blocks := []bitops.Mask{b1, b2}
+		got := OptimalOrderingBlocks(f, blocks, nil)
+		want := restrictedBrute(f, blocks, OBDD)
+		if got.MinCost != want {
+			t.Fatalf("n=%d blocks=%#b/%#b: FS* %d != brute %d (f=%s)",
+				n, b1, b2, got.MinCost, want, f.Hex())
+		}
+		// Constrained optimum is an upper bound on the unconstrained one.
+		if fs := OptimalOrdering(f, nil); got.MinCost < fs.MinCost {
+			t.Fatalf("constrained optimum beat unconstrained")
+		}
+		// Block costs must sum to total.
+		var sum uint64
+		for _, c := range got.BlockCosts {
+			sum += c
+		}
+		if sum != got.MinCost {
+			t.Fatalf("block costs %v do not sum to %d", got.BlockCosts, got.MinCost)
+		}
+	}
+}
+
+func TestBlocksThreeWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	f := truthtable.Random(6, rng)
+	blocks := []bitops.Mask{0b000011, 0b001100, 0b110000}
+	got := OptimalOrderingBlocks(f, blocks, nil)
+	want := restrictedBrute(f, blocks, OBDD)
+	if got.MinCost != want {
+		t.Fatalf("three-way: FS* %d != brute %d", got.MinCost, want)
+	}
+	// The ordering must respect the block structure bottom-up.
+	for i, v := range got.Ordering {
+		var blockOf int
+		for bi, b := range blocks {
+			if b.Has(v) {
+				blockOf = bi
+			}
+		}
+		wantBlock := i / 2
+		if blockOf != wantBlock {
+			t.Fatalf("ordering position %d (var %d) in block %d, want %d", i, v, blockOf, wantBlock)
+		}
+	}
+}
+
+func TestBlocksSingletonsGiveFixedOrdering(t *testing.T) {
+	// Singleton blocks pin the ordering completely: MinCost must equal
+	// the profile sum of that exact ordering.
+	rng := rand.New(rand.NewSource(23))
+	f := truthtable.Random(5, rng)
+	ord := truthtable.Ordering{3, 1, 4, 0, 2}
+	blocks := make([]bitops.Mask, 5)
+	for i, v := range ord {
+		blocks[i] = bitops.Mask(0).With(v)
+	}
+	got := OptimalOrderingBlocks(f, blocks, nil)
+	widths := Profile(f, ord, OBDD, nil)
+	var sum uint64
+	for _, w := range widths {
+		sum += w
+	}
+	if got.MinCost != sum {
+		t.Fatalf("singleton blocks: %d != fixed-ordering cost %d", got.MinCost, sum)
+	}
+	for i := range ord {
+		if got.Ordering[i] != ord[i] {
+			t.Fatalf("singleton blocks ordering %v != %v", got.Ordering, ord)
+		}
+	}
+}
+
+func TestBlocksPartialCoverage(t *testing.T) {
+	// Blocks covering only the bottom two levels: cost counts only those
+	// levels and the ordering has length 2.
+	rng := rand.New(rand.NewSource(29))
+	f := truthtable.Random(5, rng)
+	blocks := []bitops.Mask{0b00011}
+	got := OptimalOrderingBlocks(f, blocks, nil)
+	if len(got.Ordering) != 2 {
+		t.Fatalf("partial coverage ordering length %d", len(got.Ordering))
+	}
+	want := restrictedBrute(f, blocks, OBDD)
+	if got.MinCost != want {
+		t.Fatalf("partial coverage: %d != %d", got.MinCost, want)
+	}
+}
+
+func TestBlocksPanics(t *testing.T) {
+	f := truthtable.Random(4, rand.New(rand.NewSource(1)))
+	for name, blocks := range map[string][]bitops.Mask{
+		"empty block":  {0},
+		"overlap":      {0b0011, 0b0110},
+		"out of range": {0b10000},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			OptimalOrderingBlocks(f, blocks, nil)
+		}()
+	}
+}
+
+func TestBlocksZDDRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	f := truthtable.Random(5, rng)
+	blocks := []bitops.Mask{0b00111, 0b11000}
+	got := OptimalOrderingBlocks(f, blocks, &Options{Rule: ZDD})
+	want := restrictedBrute(f, blocks, ZDD)
+	if got.MinCost != want {
+		t.Fatalf("ZDD blocks: %d != %d", got.MinCost, want)
+	}
+}
+
+func TestBlocksMeterLeakFree(t *testing.T) {
+	m := &Meter{}
+	f := achilles(3)
+	OptimalOrderingBlocks(f, []bitops.Mask{0b000111, 0b111000}, &Options{Meter: m})
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after blocks run, want 0", m.LiveCells)
+	}
+}

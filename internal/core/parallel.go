@@ -1,0 +1,154 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// ParallelOptions configures the multi-core dynamic program.
+type ParallelOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule Rule
+	// Workers is the goroutine count; 0 selects GOMAXPROCS.
+	Workers int
+	// Meter, if non-nil, accumulates operation counts. Updates are
+	// merged once per layer, not per compaction, so LiveCells/PeakCells
+	// are layer-granular approximations of the serial meter.
+	Meter *Meter
+}
+
+// OptimalOrderingParallel is OptimalOrdering with each DP layer fanned out
+// over a worker pool: the transitions of one layer are independent
+// (subset I's candidates read only layer k−1), so workers process
+// disjoint slices of the previous layer and merge their partial next
+// layers deterministically. Results are bit-identical to the serial
+// algorithm, including tie-breaking.
+func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Result {
+	rule := OBDD
+	var meter *Meter
+	workers := runtime.GOMAXPROCS(0)
+	if opts != nil {
+		rule = opts.Rule
+		meter = opts.Meter
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+	}
+	n := tt.NumVars()
+	if workers < 1 {
+		workers = 1
+	}
+	if n <= 2 || workers == 1 {
+		return OptimalOrdering(tt, &Options{Rule: rule, Meter: meter})
+	}
+
+	base := baseContext(tt)
+	meter.alloc(base.cells())
+	bestLast := make(map[bitops.Mask]int)
+	layer := map[bitops.Mask]*context{0: base}
+
+	type cand struct {
+		mask bitops.Mask
+		v    int
+		ctx  *context
+	}
+	for k := 1; k <= n; k++ {
+		// Snapshot the previous layer into a deterministic work list.
+		prev := make([]bitops.Mask, 0, len(layer))
+		for m := range layer {
+			prev = append(prev, m)
+		}
+		sort.Slice(prev, func(i, j int) bool { return prev[i] < prev[j] })
+
+		results := make([][]cand, workers)
+		meters := make([]*Meter, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var local []cand
+				lm := &Meter{}
+				for i := w; i < len(prev); i += workers {
+					prevMask := prev[i]
+					prevCtx := layer[prevMask]
+					for v := 0; v < n; v++ {
+						if prevMask.Has(v) {
+							continue
+						}
+						c, _ := compact(prevCtx, v, rule, lm)
+						local = append(local, cand{mask: prevMask.With(v), v: v, ctx: c})
+					}
+				}
+				results[w] = local
+				meters[w] = lm
+			}(w)
+		}
+		wg.Wait()
+
+		// Deterministic merge: process candidates in (mask, v) order so
+		// ties break exactly as in the serial algorithm (smallest v).
+		var all []cand
+		for _, r := range results {
+			all = append(all, r...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].mask != all[j].mask {
+				return all[i].mask < all[j].mask
+			}
+			return all[i].v < all[j].v
+		})
+		next := make(map[bitops.Mask]*context, len(all)/k+1)
+		var layerCells, keptCells uint64
+		for _, c := range all {
+			layerCells += c.ctx.cells()
+			if cur, ok := next[c.mask]; !ok || c.ctx.cost < cur.cost {
+				if ok {
+					keptCells -= cur.cells()
+				}
+				next[c.mask] = c.ctx
+				bestLast[c.mask] = c.v
+				keptCells += c.ctx.cells()
+			}
+		}
+		// Merge worker meters; account candidate tables at layer
+		// granularity (alloc everything produced, free what was dropped
+		// plus the consumed previous layer).
+		if meter != nil {
+			for _, lm := range meters {
+				meter.CellOps += lm.CellOps
+				meter.Compactions += lm.Compactions
+				meter.Evaluations += lm.Evaluations
+			}
+			meter.alloc(layerCells)
+			meter.free(layerCells - keptCells)
+			for m, c := range layer {
+				if m != 0 || c != base {
+					meter.free(c.cells())
+				}
+			}
+		}
+		layer = next
+	}
+
+	full := bitops.FullMask(n)
+	minCost := layer[full].cost
+	meter.free(layer[full].cells())
+	meter.free(base.cells())
+
+	order := make(truthtable.Ordering, n)
+	mask := full
+	for i := n - 1; i >= 0; i-- {
+		v, ok := bestLast[mask]
+		if !ok {
+			panic("core: parallel DP missing parent pointer")
+		}
+		order[i] = v
+		mask = mask.Without(v)
+	}
+	return finishResult(tt, nil, order, minCost, rule, meter)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+func TestParallelMatchesSerialExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%7 // 2..8
+		f := truthtable.Random(n, rng)
+		for _, workers := range []int{1, 2, 4, 7} {
+			serial := OptimalOrdering(f, nil)
+			par := OptimalOrderingParallel(f, &ParallelOptions{Workers: workers})
+			if serial.MinCost != par.MinCost {
+				t.Fatalf("n=%d w=%d: parallel %d != serial %d", n, workers, par.MinCost, serial.MinCost)
+			}
+			// Bit-identical including tie-breaking.
+			for i := range serial.Ordering {
+				if serial.Ordering[i] != par.Ordering[i] {
+					t.Fatalf("n=%d w=%d: ordering differs: %v vs %v",
+						n, workers, par.Ordering, serial.Ordering)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelZDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for trial := 0; trial < 8; trial++ {
+		n := 3 + trial%4
+		f := truthtable.Random(n, rng)
+		serial := OptimalOrdering(f, &Options{Rule: ZDD})
+		par := OptimalOrderingParallel(f, &ParallelOptions{Rule: ZDD, Workers: 3})
+		if serial.MinCost != par.MinCost {
+			t.Fatalf("ZDD n=%d: parallel %d != serial %d", n, par.MinCost, serial.MinCost)
+		}
+	}
+}
+
+func TestParallelMeterConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	f := truthtable.Random(8, rng)
+	sm, pm := &Meter{}, &Meter{}
+	OptimalOrdering(f, &Options{Meter: sm})
+	OptimalOrderingParallel(f, &ParallelOptions{Workers: 4, Meter: pm})
+	// Cell operations are identical work regardless of scheduling.
+	if sm.CellOps != pm.CellOps {
+		t.Errorf("parallel CellOps %d != serial %d", pm.CellOps, sm.CellOps)
+	}
+	if pm.LiveCells != 0 {
+		t.Errorf("parallel meter leaks: LiveCells %d", pm.LiveCells)
+	}
+	// Peak is layer-granular in the parallel meter: at least the serial
+	// rolling-layer peak, bounded by producing a whole layer at once.
+	if pm.PeakCells < sm.PeakCells {
+		t.Errorf("parallel peak %d below serial %d — accounting broken", pm.PeakCells, sm.PeakCells)
+	}
+}
+
+func TestParallelDefaultsAndTinyInputs(t *testing.T) {
+	// nil options and n ≤ 2 fall back to the serial path.
+	for n := 0; n <= 2; n++ {
+		var f *truthtable.Table
+		if n == 0 {
+			f = truthtable.Const(0, true)
+		} else {
+			f = truthtable.Var(n, 0)
+		}
+		serial := OptimalOrdering(f, nil)
+		par := OptimalOrderingParallel(f, nil)
+		if serial.MinCost != par.MinCost {
+			t.Errorf("n=%d fallback mismatch", n)
+		}
+	}
+}
+
+func BenchmarkParallelFS12(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	f := truthtable.Random(12, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OptimalOrderingParallel(f, nil)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// This file contains property-based tests of structural invariants of the
+// exact algorithms: invariances of the minimum OBDD size under function
+// transformations that permute or relabel the diagram without changing
+// its shape.
+
+func TestOptimalSizeInvariantUnderRelabeling(t *testing.T) {
+	// Renaming variables permutes orderings bijectively, so the optimal
+	// size is invariant.
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%5)
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		sigma := rng.Perm(n)
+		a := OptimalOrdering(f, nil).MinCost
+		b := OptimalOrdering(f.Permute(sigma), nil).MinCost
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSizeInvariantUnderComplement(t *testing.T) {
+	// ¬f's OBDD is f's with the terminals exchanged: identical
+	// nonterminal structure, hence identical MinCost — for every
+	// ordering, not just the optimum.
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		ord := truthtable.RandomOrdering(n, rng)
+		wf := Profile(f, ord, OBDD, nil)
+		wg := Profile(f.Not(), ord, OBDD, nil)
+		for i := range wf {
+			if wf[i] != wg[i] {
+				return false
+			}
+		}
+		return OptimalOrdering(f, nil).MinCost == OptimalOrdering(f.Not(), nil).MinCost
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSizeInvariantUnderInputNegation(t *testing.T) {
+	// Negating an input flips each node's children at that level: same
+	// node count, per level, for every ordering.
+	prop := func(seed int64, nRaw, vRaw uint8) bool {
+		n := 1 + int(nRaw%6)
+		v := int(vRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		g := truthtable.FromFunc(n, func(x []bool) bool {
+			y := append([]bool{}, x...)
+			y[v] = !y[v]
+			return f.Eval(y)
+		})
+		ord := truthtable.RandomOrdering(n, rng)
+		wf := Profile(f, ord, OBDD, nil)
+		wg := Profile(g, ord, OBDD, nil)
+		for i := range wf {
+			if wf[i] != wg[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthBounds(t *testing.T) {
+	// Structural bounds on every profile: level i+1 (bottom-up, i levels
+	// below it) has width ≤ min(2^{n−1−i} cells, 2^{2^{i+…}} distinct
+	// subfunctions bound simplified to 2^{2^i·…}); we check the cheap
+	// cell bound and positivity constraints.
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%7)
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		ord := truthtable.RandomOrdering(n, rng)
+		widths := Profile(f, ord, OBDD, nil)
+		for i, w := range widths {
+			// Width at level i+1 is bounded by the number of cells of
+			// the table being compacted: 2^{n−1−i}.
+			if w > 1<<uint(n-1-i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuasiProfileMonotonicityUnderRestriction(t *testing.T) {
+	// Restricting a variable cannot increase the optimal size by more
+	// than… in general restriction can reorder arbitrarily, but the
+	// minimum OBDD of f|_{x_v=b} never exceeds the minimum OBDD of f
+	// (delete the v-level and redirect: a valid, possibly unreduced,
+	// diagram of the cofactor exists within f's optimal diagram).
+	prop := func(seed int64, nRaw, vRaw uint8, b bool) bool {
+		n := 2 + int(nRaw%5)
+		v := int(vRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		fb := f.Cofactor(v, b)
+		return OptimalOrdering(fb, nil).MinCost <= OptimalOrdering(f, nil).MinCost
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockRefinementMonotonicity(t *testing.T) {
+	// Refining the block constraint (splitting a block in two) can only
+	// increase the constrained optimum: Π(⟨A⊔B⟩) ⊇ Π(⟨A, B⟩).
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 3 + int(nRaw%4)
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		full := bitops.FullMask(n)
+		// Random split of the full set into A ⊔ B, both nonempty.
+		var a bitops.Mask
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				a = a.With(v)
+			}
+		}
+		if a == 0 {
+			a = 1
+		}
+		if a == full {
+			a = full.Without(n - 1)
+		}
+		b := full &^ a
+		coarse := OptimalOrderingBlocks(f, []bitops.Mask{full}, nil).MinCost
+		fine := OptimalOrderingBlocks(f, []bitops.Mask{a, b}, nil).MinCost
+		return coarse <= fine
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinCostNeverExceedsQuasiReducedBound(t *testing.T) {
+	// The OBDD of any n-variable function has at most 2^n − 1 …
+	// precisely: Σ_i min(2^{n−1−i}, #subfunctions) nonterminals; the
+	// crude bound MinCost < 2^n suffices to catch counting blowups.
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%7)
+		rng := rand.New(rand.NewSource(seed))
+		f := truthtable.Random(n, rng)
+		return OptimalOrdering(f, nil).MinCost < 1<<uint(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Identical inputs give identical results, including tie-breaking of
+	// the reported ordering.
+	rng := rand.New(rand.NewSource(555))
+	for trial := 0; trial < 5; trial++ {
+		f := truthtable.Random(6, rng)
+		a := OptimalOrdering(f, nil)
+		b := OptimalOrdering(f, nil)
+		if a.MinCost != b.MinCost {
+			t.Fatalf("nondeterministic cost")
+		}
+		for i := range a.Ordering {
+			if a.Ordering[i] != b.Ordering[i] {
+				t.Fatalf("nondeterministic ordering: %v vs %v", a.Ordering, b.Ordering)
+			}
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// This file generalizes the dynamic program to multi-rooted (shared)
+// decision diagrams: given m Boolean functions over the same variables,
+// it finds the ordering minimizing the size of the shared forest — the
+// node count of the multi-rooted DAG in which equal subfunctions of
+// *different* roots are represented once. This is the quantity that
+// matters for multi-output circuits, where all outputs live in one
+// manager. The key observation carries over unchanged: a level's width
+// (counting shared nodes once) depends only on the set of variables
+// below it, so the subset DP remains exact.
+//
+// Mechanically, a shared context carries one table per root over the same
+// free-variable cells; compaction deduplicates (u0, u1) pairs across all
+// roots jointly, preserving the invariant that two cells (of any roots)
+// hold equal IDs iff their subfunctions are equal.
+
+// sharedContext is the multi-rooted analogue of context.
+type sharedContext struct {
+	n      int
+	free   bitops.Mask
+	tables [][]uint32
+	cost   uint64
+	nTerm  uint32
+}
+
+func (c *sharedContext) nextID() uint32 { return c.nTerm + uint32(c.cost) }
+
+func (c *sharedContext) cells() uint64 {
+	return uint64(len(c.tables)) * uint64(len(c.tables[0]))
+}
+
+func baseSharedContext(tts []*truthtable.Table) *sharedContext {
+	n := tts[0].NumVars()
+	tables := make([][]uint32, len(tts))
+	for r, tt := range tts {
+		if tt.NumVars() != n {
+			panic("core: shared roots must have the same variable count")
+		}
+		tbl := make([]uint32, tt.Size())
+		for idx := uint64(0); idx < tt.Size(); idx++ {
+			if tt.Bit(idx) {
+				tbl[idx] = 1
+			}
+		}
+		tables[r] = tbl
+	}
+	return &sharedContext{n: n, free: bitops.FullMask(n), tables: tables, cost: 0, nTerm: 2}
+}
+
+// compactShared absorbs variable v across all roots with a shared
+// per-level unique map.
+func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext, uint64) {
+	if !c.free.Has(v) {
+		panic("core: compactShared on non-free variable")
+	}
+	pos := bitops.RelativePosition(c.free, v)
+	size := uint64(len(c.tables[0])) / 2
+	next := &sharedContext{
+		n:      c.n,
+		free:   c.free.Without(v),
+		tables: make([][]uint32, len(c.tables)),
+		cost:   c.cost,
+		nTerm:  c.nTerm,
+	}
+	dedup := make(map[uint64]uint32)
+	id := c.nextID()
+	var width uint64
+	for r, tbl := range c.tables {
+		out := make([]uint32, size)
+		for idx := uint64(0); idx < size; idx++ {
+			u0 := tbl[bitops.SpliceIndex(idx, pos, 0)]
+			u1 := tbl[bitops.SpliceIndex(idx, pos, 1)]
+			var skip bool
+			switch rule {
+			case OBDD:
+				skip = u0 == u1
+			case ZDD:
+				skip = u1 == 0
+			default:
+				panic("core: unknown rule")
+			}
+			if skip {
+				out[idx] = u0
+				continue
+			}
+			key := pairKey(u0, u1)
+			if u, ok := dedup[key]; ok {
+				out[idx] = u
+				continue
+			}
+			dedup[key] = id
+			out[idx] = id
+			id++
+			width++
+		}
+		next.tables[r] = out
+		m.addCells(size)
+	}
+	next.cost += width
+	m.alloc(next.cells())
+	return next, width
+}
+
+// SharedResult reports a shared-forest minimization.
+type SharedResult struct {
+	// N is the variable count; Roots the number of functions.
+	N, Roots int
+	// Rule is the diagram variant minimized.
+	Rule Rule
+	// MinCost is the minimum number of nonterminal nodes of the shared
+	// forest.
+	MinCost uint64
+	// Terminals counts the distinct terminal values across all roots.
+	Terminals int
+	// Size is MinCost + Terminals.
+	Size uint64
+	// Ordering is an optimal ordering, bottom-up.
+	Ordering truthtable.Ordering
+	// Profile is the shared width per level under Ordering, bottom-up.
+	Profile []uint64
+}
+
+// OptimalOrderingShared runs the subset dynamic program on the shared
+// forest of the given functions, returning the exact minimum shared node
+// count and an ordering achieving it. Time and space are O*(m·3^n) for m
+// roots over n variables.
+func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult {
+	if len(tts) == 0 {
+		panic("core: OptimalOrderingShared needs at least one root")
+	}
+	rule, m := opts.rule(), opts.meter()
+	n := tts[0].NumVars()
+	base := baseSharedContext(tts)
+	m.alloc(base.cells())
+
+	bestLast := make(map[bitops.Mask]int)
+	layer := map[bitops.Mask]*sharedContext{0: base}
+	for k := 1; k <= n; k++ {
+		next := make(map[bitops.Mask]*sharedContext)
+		for prevMask, prevCtx := range layer {
+			for v := 0; v < n; v++ {
+				if prevMask.Has(v) {
+					continue
+				}
+				cand, _ := compactShared(prevCtx, v, rule, m)
+				key := prevMask.With(v)
+				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
+					(cand.cost == cur.cost && v < bestLast[key]) {
+					if ok {
+						m.free(cur.cells())
+					}
+					next[key] = cand
+					bestLast[key] = v
+				} else {
+					m.free(cand.cells())
+				}
+			}
+		}
+		for mask, c := range layer {
+			if mask != 0 || c != base {
+				m.free(c.cells())
+			}
+		}
+		layer = next
+	}
+	full := bitops.FullMask(n)
+	minCost := layer[full].cost
+	m.free(layer[full].cells())
+	m.free(base.cells())
+
+	order := make(truthtable.Ordering, n)
+	mask := full
+	for i := n - 1; i >= 0; i-- {
+		v, ok := bestLast[mask]
+		if !ok {
+			panic("core: shared DP missing parent pointer")
+		}
+		order[i] = v
+		mask = mask.Without(v)
+	}
+	profile, _ := profileShared(tts, order, rule)
+	return &SharedResult{
+		N:         n,
+		Roots:     len(tts),
+		Rule:      rule,
+		MinCost:   minCost,
+		Terminals: sharedTerminals(tts),
+		Size:      minCost + uint64(sharedTerminals(tts)),
+		Ordering:  order,
+		Profile:   profile,
+	}
+}
+
+func sharedTerminals(tts []*truthtable.Table) int {
+	seen0, seen1 := false, false
+	for _, tt := range tts {
+		ones := tt.CountOnes()
+		if ones > 0 {
+			seen1 = true
+		}
+		if ones < tt.Size() {
+			seen0 = true
+		}
+	}
+	t := 0
+	if seen0 {
+		t++
+	}
+	if seen1 {
+		t++
+	}
+	return t
+}
+
+func profileShared(tts []*truthtable.Table, order truthtable.Ordering, rule Rule) ([]uint64, uint64) {
+	c := baseSharedContext(tts)
+	widths := make([]uint64, 0, len(order))
+	var total uint64
+	for _, v := range order {
+		next, w := compactShared(c, v, rule, nil)
+		c = next
+		widths = append(widths, w)
+		total += w
+	}
+	return widths, total
+}
+
+// SharedProfile returns the shared per-level widths of the forest of tts
+// under the given ordering (no optimization), bottom-up.
+func SharedProfile(tts []*truthtable.Table, order truthtable.Ordering, rule Rule) []uint64 {
+	if len(tts) == 0 {
+		panic("core: SharedProfile needs at least one root")
+	}
+	if len(order) != tts[0].NumVars() || !order.Valid() {
+		panic("core: SharedProfile ordering is not a permutation")
+	}
+	widths, _ := profileShared(tts, order, rule)
+	return widths
+}
+
+// SharedSizeUnder returns the total shared-forest size under the ordering.
+func SharedSizeUnder(tts []*truthtable.Table, order truthtable.Ordering, rule Rule) uint64 {
+	widths := SharedProfile(tts, order, rule)
+	var total uint64
+	for _, w := range widths {
+		total += w
+	}
+	return total + uint64(sharedTerminals(tts))
+}
+
+// BruteForceShared exhaustively searches all orderings for the minimum
+// shared forest (validation baseline for OptimalOrderingShared).
+func BruteForceShared(tts []*truthtable.Table, rule Rule) *SharedResult {
+	if len(tts) == 0 {
+		panic("core: BruteForceShared needs at least one root")
+	}
+	n := tts[0].NumVars()
+	best := ^uint64(0)
+	bestOrder := make([]int, n)
+	order := make([]int, 0, n)
+	var dfs func(c *sharedContext)
+	dfs = func(c *sharedContext) {
+		if len(order) == n {
+			if c.cost < best {
+				best = c.cost
+				copy(bestOrder, order)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if !c.free.Has(v) {
+				continue
+			}
+			next, _ := compactShared(c, v, rule, nil)
+			order = append(order, v)
+			dfs(next)
+			order = order[:len(order)-1]
+		}
+	}
+	dfs(baseSharedContext(tts))
+	profile, _ := profileShared(tts, bestOrder, rule)
+	return &SharedResult{
+		N:         n,
+		Roots:     len(tts),
+		Rule:      rule,
+		MinCost:   best,
+		Terminals: sharedTerminals(tts),
+		Size:      best + uint64(sharedTerminals(tts)),
+		Ordering:  truthtable.Ordering(append([]int{}, bestOrder...)),
+		Profile:   profile,
+	}
+}

@@ -1,0 +1,51 @@
+package dynbdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+// BenchmarkSwapMid measures one adjacent-level swap in the middle of a
+// 12-variable random diagram (the reordering primitive).
+func BenchmarkSwapMid(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(12, nil)
+	m.FromTruthTable(truthtable.Random(12, rng))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SwapLevels(5)
+	}
+}
+
+// BenchmarkSiftAchilles12 measures full in-place sifting of the 6-pair
+// Achilles-heel diagram from its pessimal ordering.
+func BenchmarkSiftAchilles12(b *testing.B) {
+	f := funcs.AchillesHeel(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(12, funcs.BlockedOrdering(6))
+		m.FromTruthTable(f)
+		b.StartTimer()
+		m.Sift(0)
+	}
+}
+
+// BenchmarkExactReorder10 measures in-place exact reordering (DP +
+// SetOrder) of a 10-variable random diagram.
+func BenchmarkExactReorder10(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	f := truthtable.Random(10, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(10, nil)
+		root := m.FromTruthTable(f)
+		b.StartTimer()
+		m.ExactReorder(root)
+	}
+}

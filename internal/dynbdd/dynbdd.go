@@ -1,0 +1,325 @@
+// Package dynbdd is a dynamically reorderable shared-node BDD manager in
+// the style of production packages (CUDD): reference-counted nodes held in
+// per-level unique tables, the Rudell in-place adjacent-level swap, and on
+// top of it sifting, window permutation, reordering to an arbitrary target
+// ordering, and exact reordering driven by the Friedman–Supowit dynamic
+// program. Where internal/bdd is an immutable engine (nodes never move),
+// this package mutates diagrams in place so that reordering costs are
+// proportional to the affected levels rather than to 2^n.
+//
+// The two engines deliberately share no code: dynbdd cross-checks bdd and
+// core in the test suite (same functions, same sizes, same level
+// profiles), giving three independent implementations of OBDD semantics.
+package dynbdd
+
+import (
+	"fmt"
+
+	"obddopt/internal/truthtable"
+)
+
+// Node identifies a node within a Manager. Terminals are False = 0 and
+// True = 1. Node identities are stable across reordering: swaps rewrite
+// node contents in place, so externally held Nodes stay valid and keep
+// denoting the same function.
+type Node uint32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+type nodeData struct {
+	level  int32 // current root-first level; nvars for terminals; -1 = free
+	lo, hi Node
+	ref    int32 // reference count (external refs + parent edges)
+}
+
+type pairKey struct{ lo, hi Node }
+
+// Manager is a reorderable BDD node manager. Not safe for concurrent use.
+type Manager struct {
+	nvars      int
+	varAtLevel []int
+	levelOfVar []int
+	nodes      []nodeData
+	unique     []map[pairKey]Node // one unique table per level
+	free       []Node             // recycled node slots
+	// inSwap disables slot recycling while a level swap is in flight:
+	// slots freed mid-swap must keep their freed state visible to the
+	// swap's survivor sweep (a recycled slot would masquerade as a
+	// surviving node).
+	inSwap bool
+	// swaps counts adjacent-level swaps performed (reordering effort).
+	swaps uint64
+}
+
+// New returns a manager over n variables under the given bottom-up
+// ordering (nil = variable 0 at the root).
+func New(n int, order truthtable.Ordering) *Manager {
+	if order == nil {
+		order = truthtable.ReverseOrdering(n)
+	}
+	if len(order) != n || !order.Valid() {
+		panic("dynbdd: ordering is not a permutation of the variables")
+	}
+	m := &Manager{
+		nvars:      n,
+		varAtLevel: order.RootFirst(),
+		levelOfVar: make([]int, n),
+		nodes: []nodeData{
+			{level: int32(n), ref: 1}, // False, permanently referenced
+			{level: int32(n), ref: 1}, // True
+		},
+		unique: make([]map[pairKey]Node, n),
+	}
+	for lvl, v := range m.varAtLevel {
+		m.levelOfVar[v] = lvl
+		m.unique[lvl] = map[pairKey]Node{}
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Ordering returns the current variable ordering, bottom-up.
+func (m *Manager) Ordering() truthtable.Ordering {
+	return truthtable.FromRootFirst(append([]int{}, m.varAtLevel...))
+}
+
+// Swaps returns the number of adjacent-level swaps performed so far.
+func (m *Manager) Swaps() uint64 { return m.swaps }
+
+func (m *Manager) level(f Node) int32 { return m.nodes[f].level }
+
+// isTerminal reports whether f is a terminal.
+func (m *Manager) isTerminal(f Node) bool { return f <= True }
+
+// Ref declares an external reference to f (call once per retained root).
+func (m *Manager) Ref(f Node) Node {
+	m.nodes[f].ref++
+	return f
+}
+
+// Deref releases an external reference taken with Ref. When the last
+// reference disappears the node (and any children that become
+// unreferenced) is recycled.
+func (m *Manager) Deref(f Node) {
+	m.decRef(f)
+}
+
+func (m *Manager) incRef(f Node) { m.nodes[f].ref++ }
+
+func (m *Manager) decRef(f Node) {
+	d := &m.nodes[f]
+	if d.ref <= 0 {
+		panic(fmt.Sprintf("dynbdd: reference underflow on node %d", f))
+	}
+	d.ref--
+	if d.ref == 0 {
+		if m.isTerminal(f) {
+			panic("dynbdd: terminal reference dropped to zero")
+		}
+		// Delete only an entry that still maps to this node: during a
+		// level swap a dying node's level may transiently index a table
+		// whose slot has been reused by a new node with the same child
+		// pair.
+		if key := (pairKey{d.lo, d.hi}); m.unique[d.level][key] == f {
+			delete(m.unique[d.level], key)
+		}
+		lo, hi := d.lo, d.hi
+		d.level = -1
+		m.free = append(m.free, f)
+		m.decRef(lo)
+		m.decRef(hi)
+	}
+}
+
+// alloc returns a fresh or recycled node slot.
+func (m *Manager) alloc(level int32, lo, hi Node) Node {
+	var n Node
+	if len(m.free) > 0 && !m.inSwap {
+		n = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+		m.nodes[n] = nodeData{level: level, lo: lo, hi: hi}
+	} else {
+		n = Node(len(m.nodes))
+		m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	}
+	return n
+}
+
+// mk returns the canonical node (level, lo, hi) with the OBDD reduction
+// rule, creating it (with one parent reference on each child) if needed.
+// The returned node carries NO new reference for the caller; callers that
+// retain it must Ref it, and callers wiring it as a child must incRef it.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := pairKey{lo, hi}
+	if n, ok := m.unique[level][key]; ok {
+		return n
+	}
+	n := m.alloc(level, lo, hi)
+	m.incRef(lo)
+	m.incRef(hi)
+	m.unique[level][key] = n
+	return n
+}
+
+// Var returns the function x_v, referenced for the caller.
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.nvars {
+		panic("dynbdd: Var index out of range")
+	}
+	return m.Ref(m.mk(int32(m.levelOfVar[v]), False, True))
+}
+
+// FromTruthTable builds the reduced OBDD of tt under the current ordering
+// and returns a referenced root.
+func (m *Manager) FromTruthTable(tt *truthtable.Table) Node {
+	if tt.NumVars() != m.nvars {
+		panic("dynbdd: truth table variable count mismatch")
+	}
+	n := m.nvars
+	cur := make([]Node, tt.Size())
+	for idx := uint64(0); idx < tt.Size(); idx++ {
+		var ttIdx uint64
+		for j := 0; j < n; j++ {
+			if idx>>uint(j)&1 == 1 {
+				ttIdx |= 1 << uint(m.varAtLevel[n-1-j])
+			}
+		}
+		if tt.Bit(ttIdx) {
+			cur[idx] = True
+		} else {
+			cur[idx] = False
+		}
+	}
+	for level := n - 1; level >= 0; level-- {
+		next := make([]Node, len(cur)/2)
+		for i := range next {
+			next[i] = m.mk(int32(level), cur[2*i], cur[2*i+1])
+		}
+		cur = next
+	}
+	return m.Ref(cur[0])
+}
+
+// Eval evaluates f on an assignment (x[i] = value of variable i).
+func (m *Manager) Eval(f Node, x []bool) bool {
+	if len(x) != m.nvars {
+		panic("dynbdd: Eval assignment length mismatch")
+	}
+	for !m.isTerminal(f) {
+		d := m.nodes[f]
+		if x[m.varAtLevel[d.level]] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+	return f == True
+}
+
+// ToTruthTable materializes the function of f.
+func (m *Manager) ToTruthTable(f Node) *truthtable.Table {
+	tt := truthtable.New(m.nvars)
+	x := make([]bool, m.nvars)
+	for idx := uint64(0); idx < tt.Size(); idx++ {
+		for i := 0; i < m.nvars; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		if m.Eval(f, x) {
+			tt.Set(idx, true)
+		}
+	}
+	return tt
+}
+
+// TotalNodes returns the number of live nonterminal nodes in the manager
+// (across all diagrams) — the quantity dynamic reordering minimizes.
+func (m *Manager) TotalNodes() uint64 {
+	var c uint64
+	for _, tbl := range m.unique {
+		c += uint64(len(tbl))
+	}
+	return c
+}
+
+// LevelWidths returns the number of live nodes per level, bottom-up
+// (matching core.Profile's convention when a single root is live).
+func (m *Manager) LevelWidths() []uint64 {
+	w := make([]uint64, m.nvars)
+	for lvl, tbl := range m.unique {
+		w[m.nvars-1-lvl] = uint64(len(tbl))
+	}
+	return w
+}
+
+// CountNodes returns the number of nonterminal nodes reachable from f.
+func (m *Manager) CountNodes(f Node) uint64 {
+	seen := map[Node]bool{}
+	var count uint64
+	var rec func(Node)
+	rec = func(g Node) {
+		if m.isTerminal(g) || seen[g] {
+			return
+		}
+		seen[g] = true
+		count++
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return count
+}
+
+// CheckInvariants validates reference counts, unique-table consistency and
+// level monotonicity; tests call it after mutation-heavy operations. It
+// returns an error describing the first violation found.
+func (m *Manager) CheckInvariants() error {
+	// Recompute reference counts from edges.
+	refs := make([]int32, len(m.nodes))
+	for i, d := range m.nodes {
+		if d.level < 0 || m.isTerminal(Node(i)) {
+			continue
+		}
+		refs[d.lo]++
+		refs[d.hi]++
+	}
+	for i, d := range m.nodes {
+		n := Node(i)
+		if d.level < 0 {
+			continue // free slot
+		}
+		if m.isTerminal(n) {
+			continue // terminals carry a permanent self-reference
+		}
+		ext := d.ref - refs[n]
+		if ext < 0 {
+			return fmt.Errorf("node %d: ref %d below edge count %d", n, d.ref, refs[n])
+		}
+		if got, ok := m.unique[d.level][pairKey{d.lo, d.hi}]; !ok || got != n {
+			return fmt.Errorf("node %d: missing or mismatched unique-table entry", n)
+		}
+		if m.nodes[d.lo].level <= d.level || m.nodes[d.hi].level <= d.level {
+			return fmt.Errorf("node %d: child level not below", n)
+		}
+		if d.lo == d.hi {
+			return fmt.Errorf("node %d: redundant (lo == hi)", n)
+		}
+	}
+	for lvl, tbl := range m.unique {
+		for key, n := range tbl {
+			d := m.nodes[n]
+			if d.level != int32(lvl) || d.lo != key.lo || d.hi != key.hi {
+				return fmt.Errorf("unique[%d]: stale entry for node %d", lvl, n)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package dynbdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+func TestBuildAndEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		root := m.FromTruthTable(tt)
+		if !m.ToTruthTable(root).Equal(tt) {
+			t.Fatalf("round trip failed n=%d", n)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after build: %v", err)
+		}
+	}
+}
+
+func TestWidthsMatchCoreProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%5
+		tt := truthtable.Random(n, rng)
+		ord := truthtable.RandomOrdering(n, rng)
+		m := New(n, ord)
+		root := m.FromTruthTable(tt)
+		want := core.Profile(tt, ord, core.OBDD, nil)
+		got := m.LevelWidths()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("level %d: %d != %d", i+1, got[i], want[i])
+			}
+		}
+		if m.CountNodes(root) != m.TotalNodes() {
+			t.Fatalf("reachable %d != live %d with single root", m.CountNodes(root), m.TotalNodes())
+		}
+	}
+}
+
+func TestRefDerefRecyclesNodes(t *testing.T) {
+	m := New(4, nil)
+	a := m.Var(0)
+	b := m.Var(1)
+	live := m.TotalNodes()
+	if live != 2 {
+		t.Fatalf("expected 2 live nodes, have %d", live)
+	}
+	m.Deref(a)
+	m.Deref(b)
+	if m.TotalNodes() != 0 {
+		t.Fatalf("nodes not recycled: %d live", m.TotalNodes())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after deref: %v", err)
+	}
+	// Slots are reused.
+	before := len(m.nodes)
+	_ = m.Var(2)
+	if len(m.nodes) != before {
+		t.Errorf("free list not reused: %d -> %d", before, len(m.nodes))
+	}
+}
+
+func TestSwapPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + trial%6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		root := m.FromTruthTable(tt)
+		for s := 0; s < 3*n; s++ {
+			l := rng.Intn(n - 1)
+			m.SwapLevels(l)
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d swap %d at level %d: %v", trial, s, l, err)
+			}
+		}
+		if !m.ToTruthTable(root).Equal(tt) {
+			t.Fatalf("trial %d: function changed after swaps", trial)
+		}
+		// After swapping, widths must still match the DP for the current
+		// ordering.
+		want := core.Profile(tt, m.Ordering(), core.OBDD, nil)
+		got := m.LevelWidths()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: width mismatch after swaps at level %d: %d != %d",
+					trial, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSwapIsInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 6
+	tt := truthtable.Random(n, rng)
+	m := New(n, nil)
+	root := m.FromTruthTable(tt)
+	before := m.TotalNodes()
+	ordBefore := m.Ordering().Clone()
+	m.SwapLevels(2)
+	m.SwapLevels(2)
+	if m.TotalNodes() != before {
+		t.Errorf("double swap changed size: %d -> %d", before, m.TotalNodes())
+	}
+	for i := range ordBefore {
+		if m.Ordering()[i] != ordBefore[i] {
+			t.Fatalf("double swap changed ordering")
+		}
+	}
+	if !m.ToTruthTable(root).Equal(tt) {
+		t.Fatalf("double swap changed function")
+	}
+}
+
+func TestSwapWithMultipleRoots(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 5
+	t1, t2 := truthtable.Random(n, rng), truthtable.Random(n, rng)
+	m := New(n, nil)
+	r1 := m.FromTruthTable(t1)
+	r2 := m.FromTruthTable(t2)
+	for s := 0; s < 20; s++ {
+		m.SwapLevels(rng.Intn(n - 1))
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if !m.ToTruthTable(r1).Equal(t1) || !m.ToTruthTable(r2).Equal(t2) {
+		t.Fatalf("multi-root swap corrupted a function")
+	}
+	// Deref one root; the other must stay intact.
+	m.Deref(r1)
+	if !m.ToTruthTable(r2).Equal(t2) {
+		t.Fatalf("deref of sibling root corrupted survivor")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after deref: %v", err)
+	}
+}
+
+func TestMoveVarToLevelAndSetOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 6
+	tt := truthtable.Random(n, rng)
+	m := New(n, nil)
+	root := m.FromTruthTable(tt)
+	target := truthtable.RandomOrdering(n, rng)
+	m.SetOrder(target)
+	got := m.Ordering()
+	for i := range target {
+		if got[i] != target[i] {
+			t.Fatalf("SetOrder: got %v, want %v", got, target)
+		}
+	}
+	if !m.ToTruthTable(root).Equal(tt) {
+		t.Fatalf("SetOrder changed the function")
+	}
+	// Width check against the DP.
+	want := core.Profile(tt, target, core.OBDD, nil)
+	gotW := m.LevelWidths()
+	for i := range want {
+		if gotW[i] != want[i] {
+			t.Fatalf("SetOrder width mismatch at level %d", i+1)
+		}
+	}
+}
+
+func TestSiftShrinksAchillesHeel(t *testing.T) {
+	pairs := 4
+	f := funcs.AchillesHeel(pairs)
+	// Start from the pessimal blocked ordering (exponential size).
+	m := New(2*pairs, funcs.BlockedOrdering(pairs))
+	root := m.FromTruthTable(f)
+	if m.TotalNodes() != uint64(1<<uint(pairs+1))-2 {
+		t.Fatalf("blocked start size unexpected: %d", m.TotalNodes())
+	}
+	res := m.Sift(0)
+	if res.Final != uint64(2*pairs) {
+		t.Errorf("sift final %d, want optimal %d", res.Final, 2*pairs)
+	}
+	if res.Swaps == 0 || res.Final > res.Initial {
+		t.Errorf("sift stats odd: %+v", res)
+	}
+	if !m.ToTruthTable(root).Equal(f) {
+		t.Fatalf("sifting changed the function")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after sift: %v", err)
+	}
+}
+
+func TestSiftNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + trial%3
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		root := m.FromTruthTable(tt)
+		res := m.Sift(0)
+		if res.Final > res.Initial {
+			t.Fatalf("sift increased size: %+v", res)
+		}
+		opt := core.OptimalOrdering(tt, nil).MinCost
+		if res.Final < opt {
+			t.Fatalf("sift beat the exact optimum")
+		}
+		if !m.ToTruthTable(root).Equal(tt) {
+			t.Fatalf("sift changed function")
+		}
+	}
+}
+
+func TestWindowPermute(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, w := range []int{2, 3, 4} {
+		n := 6
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		root := m.FromTruthTable(tt)
+		res := m.WindowPermute(w)
+		if res.Final > res.Initial {
+			t.Fatalf("w=%d window increased size", w)
+		}
+		if !m.ToTruthTable(root).Equal(tt) {
+			t.Fatalf("w=%d window changed function", w)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("w=%d invariants: %v", w, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad window width did not panic")
+		}
+	}()
+	New(3, nil).WindowPermute(7)
+}
+
+func TestExactReorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		n := 5 + trial%3
+		tt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		root := m.FromTruthTable(tt)
+		res, opt := m.ExactReorder(root)
+		if res.Final != opt.MinCost {
+			t.Fatalf("exact reorder final %d != DP optimum %d", res.Final, opt.MinCost)
+		}
+		if !m.ToTruthTable(root).Equal(tt) {
+			t.Fatalf("exact reorder changed the function")
+		}
+	}
+}
+
+func TestExactReorderBeatsOrMatchesSift(t *testing.T) {
+	f := funcs.HiddenWeightedBit(8)
+	m1 := New(8, nil)
+	r1 := m1.FromTruthTable(f)
+	sift := m1.Sift(0)
+	m2 := New(8, nil)
+	r2 := m2.FromTruthTable(f)
+	_, opt := m2.ExactReorder(r2)
+	_ = r1
+	if opt.MinCost > sift.Final {
+		t.Fatalf("exact %d worse than sift %d", opt.MinCost, sift.Final)
+	}
+}
+
+func TestSwapCounterAndPanics(t *testing.T) {
+	m := New(3, nil)
+	if m.Swaps() != 0 {
+		t.Errorf("fresh manager has swaps")
+	}
+	m.SwapLevels(0)
+	if m.Swaps() != 1 {
+		t.Errorf("swap counter not advancing")
+	}
+	for name, fn := range map[string]func(){
+		"swap range":  func() { m.SwapLevels(2) },
+		"swap neg":    func() { m.SwapLevels(-1) },
+		"move range":  func() { m.MoveVarToLevel(0, 9) },
+		"order bad":   func() { m.SetOrder(truthtable.Ordering{0, 0, 1}) },
+		"var range":   func() { m.Var(3) },
+		"eval length": func() { m.Eval(True, []bool{true}) },
+		"tt vars":     func() { m.FromTruthTable(truthtable.New(5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property-style stress: long random interleavings of builds, derefs and
+// swaps keep all invariants and all live functions intact.
+func TestRandomizedStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 6
+	m := New(n, nil)
+	type live struct {
+		root Node
+		tt   *truthtable.Table
+	}
+	var roots []live
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 && len(roots) < 6:
+			tt := truthtable.Random(n, rng)
+			roots = append(roots, live{m.FromTruthTable(tt), tt})
+		case op == 1 && len(roots) > 0:
+			i := rng.Intn(len(roots))
+			m.Deref(roots[i].root)
+			roots = append(roots[:i], roots[i+1:]...)
+		default:
+			m.SwapLevels(rng.Intn(n - 1))
+		}
+		if step%37 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+	for i, r := range roots {
+		if !m.ToTruthTable(r.root).Equal(r.tt) {
+			t.Fatalf("root %d function corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package dynbdd
+
+// Boolean operations for the reorderable manager. Because reordering
+// mutates node contents in place, operation results cannot be memoized
+// across reorderings; each call uses a local cache valid for the current
+// ordering. Results are returned referenced for the caller (Deref when
+// done), matching the manager's ownership discipline.
+
+type iteKey struct{ f, g, h Node }
+
+// ITE computes if-then-else(f, g, h) = f·g + f̄·h under the current
+// ordering and returns a referenced result.
+func (m *Manager) ITE(f, g, h Node) Node {
+	cache := map[iteKey]Node{}
+	var rec func(f, g, h Node) Node
+	rec = func(f, g, h Node) Node {
+		switch {
+		case f == True:
+			return g
+		case f == False:
+			return h
+		case g == h:
+			return g
+		case g == True && h == False:
+			return f
+		}
+		key := iteKey{f, g, h}
+		if r, ok := cache[key]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		if l := m.level(h); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactorsAtLevel(f, top)
+		g0, g1 := m.cofactorsAtLevel(g, top)
+		h0, h1 := m.cofactorsAtLevel(h, top)
+		lo := rec(f0, g0, h0)
+		hi := rec(f1, g1, h1)
+		r := m.mk(top, lo, hi)
+		cache[key] = r
+		return r
+	}
+	// Protect intermediate results from collection: nodes created by mk
+	// carry references from their parents only once wired; the recursion
+	// wires children before parents, and nothing is dereferenced during
+	// the computation, so a single final Ref suffices.
+	return m.Ref(rec(f, g, h))
+}
+
+// And returns f ∧ g, referenced.
+func (m *Manager) And(f, g Node) Node { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g, referenced.
+func (m *Manager) Or(f, g Node) Node { return m.ITE(f, True, g) }
+
+// Not returns ¬f, referenced.
+func (m *Manager) Not(f Node) Node { return m.ITE(f, False, True) }
+
+// Xor returns f ⊕ g, referenced.
+func (m *Manager) Xor(f, g Node) Node {
+	ng := m.Not(g)
+	r := m.ITE(f, ng, g)
+	m.Deref(ng)
+	return r
+}
+
+// CollectGarbage removes all nodes not reachable from externally
+// referenced roots. Unreferenced intermediate nodes created by mk (which
+// allocates children references but gives the node itself none until a
+// parent or external Ref claims it) are swept here. It returns the number
+// of nodes reclaimed.
+func (m *Manager) CollectGarbage() int {
+	reclaimed := 0
+	// Repeatedly sweep zero-reference nonterminals: dropping one may
+	// orphan its children.
+	for {
+		freed := 0
+		for i := range m.nodes {
+			n := Node(i)
+			d := &m.nodes[i]
+			if d.level < 0 || m.isTerminal(n) || d.ref != 0 {
+				continue
+			}
+			if key := (pairKey{d.lo, d.hi}); m.unique[d.level][key] == n {
+				delete(m.unique[d.level], key)
+			}
+			lo, hi := d.lo, d.hi
+			d.level = -1
+			m.free = append(m.free, n)
+			// Children lose one parent edge each.
+			m.nodes[lo].ref--
+			m.nodes[hi].ref--
+			freed++
+		}
+		if freed == 0 {
+			return reclaimed
+		}
+		reclaimed += freed
+	}
+}

@@ -1,0 +1,165 @@
+package dynbdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+func TestITEAgainstTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + trial%4
+		ft := truthtable.Random(n, rng)
+		gt := truthtable.Random(n, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromTruthTable(ft)
+		g := m.FromTruthTable(gt)
+
+		and := m.And(f, g)
+		or := m.Or(f, g)
+		xor := m.Xor(f, g)
+		not := m.Not(f)
+		checks := []struct {
+			name string
+			node Node
+			want *truthtable.Table
+		}{
+			{"and", and, ft.And(gt)},
+			{"or", or, ft.Or(gt)},
+			{"xor", xor, ft.Xor(gt)},
+			{"not", not, ft.Not()},
+		}
+		for _, c := range checks {
+			if !m.ToTruthTable(c.node).Equal(c.want) {
+				t.Fatalf("n=%d %s wrong", n, c.name)
+			}
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after ops: %v", err)
+		}
+	}
+}
+
+func TestOpsSurviveReordering(t *testing.T) {
+	// Build f∧g, reorder, verify the result still denotes the AND.
+	rng := rand.New(rand.NewSource(142))
+	n := 5
+	ft := truthtable.Random(n, rng)
+	gt := truthtable.Random(n, rng)
+	m := New(n, nil)
+	f := m.FromTruthTable(ft)
+	g := m.FromTruthTable(gt)
+	and := m.And(f, g)
+	m.Sift(0)
+	if !m.ToTruthTable(and).Equal(ft.And(gt)) {
+		t.Fatalf("AND corrupted by sifting")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	// Recompute after reordering: must give the same node as transferring
+	// semantics (pointer equality through the unique table).
+	and2 := m.And(f, g)
+	if and2 != and {
+		t.Fatalf("recomputed AND is a different node: canonicity broken")
+	}
+	m.Deref(and2)
+}
+
+func TestTautologyAndContradiction(t *testing.T) {
+	m := New(3, nil)
+	x := m.Var(0)
+	nx := m.Not(x)
+	if m.Or(x, nx) != True {
+		t.Errorf("x ∨ ¬x != ⊤")
+	}
+	if m.And(x, nx) != False {
+		t.Errorf("x ∧ ¬x != ⊥")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestDerefAfterOpsReclaims(t *testing.T) {
+	m := New(4, nil)
+	a, b := m.Var(0), m.Var(1)
+	c := m.And(a, b)
+	d := m.Or(c, m.Var(2)) // intermediate Var(2) root stays referenced
+	live := m.TotalNodes()
+	if live == 0 {
+		t.Fatalf("no live nodes")
+	}
+	m.Deref(d)
+	m.Deref(c)
+	m.Deref(a)
+	m.Deref(b)
+	// Var(2)'s reference is still held (returned by Var inside the Or
+	// expression and never captured) — collect explicitly after dropping
+	// everything reachable.
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after derefs: %v", err)
+	}
+	if m.TotalNodes() > live {
+		t.Errorf("deref grew the manager")
+	}
+}
+
+func TestCollectGarbage(t *testing.T) {
+	m := New(4, nil)
+	a, b := m.Var(0), m.Var(1)
+	c := m.And(a, b)
+	m.Deref(a)
+	m.Deref(b)
+	m.Deref(c)
+	if got := m.TotalNodes(); got != 0 {
+		t.Fatalf("nodes survive full deref: %d", got)
+	}
+	if reclaimed := m.CollectGarbage(); reclaimed != 0 {
+		t.Errorf("garbage found after clean derefs: %d", reclaimed)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestOpsThenExactReorderEndToEnd(t *testing.T) {
+	// Build the Fig. 1 function structurally with ops under a bad
+	// ordering, then exact-reorder: size must reach 2k.
+	pairs := 4
+	n := 2 * pairs
+	var blockedRF []int
+	for i := 0; i < n; i += 2 {
+		blockedRF = append(blockedRF, i)
+	}
+	for i := 1; i < n; i += 2 {
+		blockedRF = append(blockedRF, i)
+	}
+	m := New(n, truthtable.FromRootFirst(blockedRF))
+	f := m.Ref(False)
+	for i := 0; i < n; i += 2 {
+		a, b := m.Var(i), m.Var(i+1)
+		ab := m.And(a, b)
+		nf := m.Or(f, ab)
+		m.Deref(f)
+		m.Deref(a)
+		m.Deref(b)
+		m.Deref(ab)
+		f = nf
+	}
+	if m.CountNodes(f) != uint64(1<<uint(pairs+1))-2 {
+		t.Fatalf("blocked build size %d", m.CountNodes(f))
+	}
+	_, opt := m.ExactReorder(f)
+	if opt.MinCost != uint64(2*pairs) {
+		t.Fatalf("exact reorder found %d, want %d", opt.MinCost, 2*pairs)
+	}
+	if m.CountNodes(f) != uint64(2*pairs) {
+		t.Fatalf("diagram not shrunk in place")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

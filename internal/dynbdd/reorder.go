@@ -1,0 +1,190 @@
+package dynbdd
+
+import (
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+// SetOrder reorders the manager in place to the given bottom-up target
+// ordering by adjacent swaps (selection sort over levels, O(n²) swaps,
+// each linear in the touched levels). All live roots keep their identity
+// and function.
+func (m *Manager) SetOrder(target truthtable.Ordering) {
+	if len(target) != m.nvars || !target.Valid() {
+		panic("dynbdd: SetOrder target is not a permutation of the variables")
+	}
+	rootFirst := target.RootFirst()
+	for level, v := range rootFirst {
+		m.MoveVarToLevel(v, level)
+	}
+}
+
+// SiftResult reports an in-place reordering outcome.
+type SiftResult struct {
+	// Initial and Final are the total live node counts before and after.
+	Initial, Final uint64
+	// Swaps is the number of adjacent-level swaps performed.
+	Swaps uint64
+	// Passes counts sifting sweeps until convergence.
+	Passes int
+}
+
+// Sift runs Rudell's sifting in place on the whole manager: each variable
+// in turn (largest level first) is moved through every level by adjacent
+// swaps and parked where the total live node count is smallest. Sweeps
+// repeat until no improvement (or maxPasses > 0 sweeps).
+func (m *Manager) Sift(maxPasses int) SiftResult {
+	res := SiftResult{Initial: m.TotalNodes()}
+	startSwaps := m.swaps
+	best := res.Initial
+	for {
+		res.Passes++
+		improved := false
+		for _, v := range m.siftSchedule() {
+			if m.siftVar(v, &best) {
+				improved = true
+			}
+		}
+		if !improved || (maxPasses > 0 && res.Passes >= maxPasses) {
+			break
+		}
+	}
+	res.Final = m.TotalNodes()
+	res.Swaps = m.swaps - startSwaps
+	return res
+}
+
+// siftSchedule lists the variables by decreasing width of their level.
+func (m *Manager) siftSchedule() []int {
+	vars := make([]int, m.nvars)
+	for i := range vars {
+		vars[i] = i
+	}
+	width := func(v int) int { return len(m.unique[m.levelOfVar[v]]) }
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && width(vars[j]) > width(vars[j-1]); j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	return vars
+}
+
+// siftVar moves v through all levels and parks it at the best one. best is
+// updated with the new total when improved; returns whether it improved.
+func (m *Manager) siftVar(v int, best *uint64) bool {
+	start := m.levelOfVar[v]
+	bestLevel, bestTotal := start, *best
+	// Walk to the top, then all the way down, tracking the best seat.
+	for lvl := start; lvl > 0; lvl-- {
+		m.SwapLevels(lvl - 1)
+		if t := m.TotalNodes(); t < bestTotal {
+			bestLevel, bestTotal = lvl-1, t
+		}
+	}
+	for lvl := 0; lvl < m.nvars-1; lvl++ {
+		m.SwapLevels(lvl)
+		if t := m.TotalNodes(); t < bestTotal {
+			bestLevel, bestTotal = lvl+1, t
+		}
+	}
+	// v now sits at the bottom; return to the best level found.
+	m.MoveVarToLevel(v, bestLevel)
+	improved := bestTotal < *best
+	*best = bestTotal
+	return improved
+}
+
+// WindowPermute runs in-place window permutation with window width w (2–4):
+// for each block of w adjacent levels, all w! arrangements are tried via
+// adjacent swaps and the smallest is kept; sweeps repeat to a fixpoint.
+func (m *Manager) WindowPermute(w int) SiftResult {
+	if w < 2 || w > 4 {
+		panic("dynbdd: window width must be 2, 3 or 4")
+	}
+	if w > m.nvars {
+		w = m.nvars
+	}
+	res := SiftResult{Initial: m.TotalNodes()}
+	startSwaps := m.swaps
+	if w < 2 {
+		res.Final = res.Initial
+		return res
+	}
+	for {
+		res.Passes++
+		improved := false
+		for start := 0; start+w <= m.nvars; start++ {
+			if m.permuteWindow(start, w) {
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.Final = m.TotalNodes()
+	res.Swaps = m.swaps - startSwaps
+	return res
+}
+
+// permuteWindow tries all arrangements of the w variables at levels
+// start..start+w−1 and leaves the best in place. Returns whether the
+// total shrank.
+func (m *Manager) permuteWindow(start, w int) bool {
+	initial := m.TotalNodes()
+	bestTotal := initial
+	var bestOrder []int
+	// Enumerate permutations by recursive swaps of the window variables
+	// (on variables, using MoveVarToLevel to realize each arrangement —
+	// simple and obviously correct; the O(w²) swap overhead per
+	// arrangement is irrelevant for w ≤ 4).
+	vars := make([]int, w)
+	for i := 0; i < w; i++ {
+		vars[i] = m.varAtLevel[start+i]
+	}
+	perm := append([]int{}, vars...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == w {
+			for i, v := range perm {
+				m.MoveVarToLevel(v, start+i)
+			}
+			if t := m.TotalNodes(); t < bestTotal {
+				bestTotal = t
+				bestOrder = append([]int{}, perm...)
+			}
+			return
+		}
+		for i := k; i < w; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	target := vars
+	if bestOrder != nil {
+		target = bestOrder
+	}
+	for i, v := range target {
+		m.MoveVarToLevel(v, start+i)
+	}
+	return bestTotal < initial
+}
+
+// ExactReorder reorders the manager in place to a provably optimal
+// ordering for the function rooted at root, found by the Friedman–Supowit
+// dynamic program on the root's truth table (O*(3^n); practical for the
+// variable counts where exact optimization is feasible at all). It
+// returns the exact result alongside the swap statistics.
+func (m *Manager) ExactReorder(root Node) (SiftResult, *core.Result) {
+	res := SiftResult{Initial: m.TotalNodes()}
+	startSwaps := m.swaps
+	tt := m.ToTruthTable(root)
+	opt := core.OptimalOrdering(tt, nil)
+	m.SetOrder(opt.Ordering)
+	res.Final = m.TotalNodes()
+	res.Swaps = m.swaps - startSwaps
+	res.Passes = 1
+	return res, opt
+}

@@ -1,0 +1,108 @@
+package dynbdd
+
+import "fmt"
+
+// SwapLevels exchanges the variables at root-first levels l and l+1 in
+// place (Rudell's swap): node identities are preserved, so externally held
+// roots remain valid and keep denoting the same functions; only the two
+// affected levels are touched, costing time proportional to their size.
+func (m *Manager) SwapLevels(l int) {
+	if l < 0 || l+1 >= m.nvars {
+		panic(fmt.Sprintf("dynbdd: SwapLevels level %d out of range", l))
+	}
+	m.swaps++
+	lo32, hi32 := int32(l), int32(l+1)
+
+	// Freeze slot recycling: nodes freed during this swap must keep their
+	// freed state visible to the survivor sweep below.
+	m.inSwap = true
+	defer func() { m.inSwap = false }()
+
+	// Snapshot the A-nodes (level l); install fresh tables for both
+	// levels. The old level-l+1 table is swept at the end for surviving
+	// B-nodes.
+	oldL := make([]Node, 0, len(m.unique[l]))
+	for _, n := range m.unique[l] {
+		oldL = append(oldL, n)
+	}
+	oldL1 := m.unique[l+1]
+	m.unique[l] = make(map[pairKey]Node, len(oldL))
+	m.unique[l+1] = make(map[pairKey]Node, len(oldL1))
+
+	// Phase 1: A-nodes independent of the variable below simply descend
+	// to level l+1 (they keep testing A, which now lives there).
+	var dependent []Node
+	for _, u := range oldL {
+		d := &m.nodes[u]
+		if m.nodes[d.lo].level == hi32 || m.nodes[d.hi].level == hi32 {
+			dependent = append(dependent, u)
+			continue
+		}
+		d.level = hi32
+		m.unique[l+1][pairKey{d.lo, d.hi}] = u
+	}
+
+	// Phase 2: rewrite each dependent A-node in place as a B-node at
+	// level l whose children are (possibly fresh) A-nodes at level l+1.
+	for _, u := range dependent {
+		f0, f1 := m.nodes[u].lo, m.nodes[u].hi
+		f00, f01 := m.cofactorsAtLevel(f0, hi32)
+		f10, f11 := m.cofactorsAtLevel(f1, hi32)
+		// mk may grow the node arena, so m.nodes must be re-indexed
+		// (never held by pointer) across these calls.
+		newLo := m.mk(hi32, f00, f10)
+		newHi := m.mk(hi32, f01, f11)
+		// Wire the new edges before releasing the old ones so shared
+		// substructure cannot be freed mid-rewrite.
+		m.incRef(newLo)
+		m.incRef(newHi)
+		m.nodes[u].lo, m.nodes[u].hi = newLo, newHi
+		m.unique[l][pairKey{newLo, newHi}] = u
+		m.decRef(f0)
+		m.decRef(f1)
+	}
+
+	// Sweep the old level-l+1 table: surviving B-nodes (still referenced
+	// from above or externally) ascend to level l.
+	for _, w := range oldL1 {
+		d := &m.nodes[w]
+		if d.level != hi32 {
+			continue // died during phase 2, or already rehomed
+		}
+		d.level = lo32
+		m.unique[l][pairKey{d.lo, d.hi}] = w
+	}
+
+	// Finally swap the variable bookkeeping.
+	a, b := m.varAtLevel[l], m.varAtLevel[l+1]
+	m.varAtLevel[l], m.varAtLevel[l+1] = b, a
+	m.levelOfVar[a], m.levelOfVar[b] = l+1, l
+}
+
+// cofactorsAtLevel splits f at the given level (both cofactors are f when
+// f tests a deeper variable).
+func (m *Manager) cofactorsAtLevel(f Node, level int32) (lo, hi Node) {
+	d := m.nodes[f]
+	if d.level == level {
+		return d.lo, d.hi
+	}
+	return f, f
+}
+
+// MoveVarToLevel brings variable v to the given root-first level by a
+// sequence of adjacent swaps and returns the number of swaps performed.
+func (m *Manager) MoveVarToLevel(v, level int) int {
+	if v < 0 || v >= m.nvars || level < 0 || level >= m.nvars {
+		panic("dynbdd: MoveVarToLevel argument out of range")
+	}
+	n := 0
+	for m.levelOfVar[v] > level {
+		m.SwapLevels(m.levelOfVar[v] - 1)
+		n++
+	}
+	for m.levelOfVar[v] < level {
+		m.SwapLevels(m.levelOfVar[v])
+		n++
+	}
+	return n
+}

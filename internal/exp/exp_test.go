@@ -1,0 +1,212 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var quick = Config{Seed: 1, Quick: true}
+
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, &buf, quick); err != nil {
+		t.Fatalf("%s failed: %v\noutput so far:\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestIDsAndDescribe(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("expected 18 experiments, got %d: %v", len(ids), ids)
+	}
+	if ids[0] != "E1" || ids[17] != "E18" {
+		t.Errorf("ID ordering wrong: %v", ids)
+	}
+	for _, id := range ids {
+		if d, ok := Describe(id); !ok || d == "" {
+			t.Errorf("Describe(%s) missing", id)
+		}
+	}
+	if _, ok := Describe("E99"); ok {
+		t.Errorf("Describe should fail for unknown ID")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", &buf, quick); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}
+
+func TestE1Output(t *testing.T) {
+	out := runQuick(t, "E1")
+	// pairs=4 row: interleaved 10, blocked 32.
+	if !strings.Contains(out, "10") || !strings.Contains(out, "32") {
+		t.Errorf("E1 missing expected sizes:\n%s", out)
+	}
+	if !strings.Contains(out, "interleaved") {
+		t.Errorf("E1 missing header")
+	}
+}
+
+func TestE2Output(t *testing.T) {
+	out := runQuick(t, "E2")
+	for _, want := range []string{"2.97625", "2.85689", "0.274863"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE3Output(t *testing.T) {
+	out := runQuick(t, "E3")
+	for _, want := range []string{"2.83728", "2.79364"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE4Output(t *testing.T) {
+	out := runQuick(t, "E4")
+	if !strings.Contains(out, "log2(3) = 1.5850") {
+		t.Errorf("E4 missing reference exponent:\n%s", out)
+	}
+	// Metered ops must equal the analytic count exactly (ratio column
+	// grows toward 3); spot check: the analytic column appears.
+	if !strings.Contains(out, "analytic") {
+		t.Errorf("E4 missing analytic column")
+	}
+}
+
+func TestE5Output(t *testing.T) {
+	out := runQuick(t, "E5")
+	if !strings.Contains(out, "true") || strings.Contains(out, "false") {
+		t.Errorf("E5 agreement column wrong:\n%s", out)
+	}
+}
+
+func TestE6Output(t *testing.T) {
+	out := runQuick(t, "E6")
+	if !strings.Contains(out, "q-queries") || !strings.Contains(out, "2.77286") {
+		t.Errorf("E6 output incomplete:\n%s", out)
+	}
+}
+
+func TestE7Output(t *testing.T) {
+	out := runQuick(t, "E7")
+	if !strings.Contains(out, "256/256") {
+		t.Errorf("E7 exhaustive sweep missing:\n%s", out)
+	}
+}
+
+func TestE8Output(t *testing.T) {
+	out := runQuick(t, "E8")
+	for _, wl := range []string{"achilles", "hidden-wtd-bit", "sift"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("E8 missing %q:\n%s", wl, out)
+		}
+	}
+}
+
+func TestE9Output(t *testing.T) {
+	out := runQuick(t, "E9")
+	if !strings.Contains(out, "ZDD*") || !strings.Contains(out, "true") {
+		t.Errorf("E9 output incomplete:\n%s", out)
+	}
+}
+
+func TestE10Output(t *testing.T) {
+	out := runQuick(t, "E10")
+	if !strings.Contains(out, "sum2") || !strings.Contains(out, "weight4") {
+		t.Errorf("E10 output incomplete:\n%s", out)
+	}
+}
+
+func TestE11Output(t *testing.T) {
+	out := runQuick(t, "E11")
+	for _, want := range []string{"truth-table", "expression", "circuit", "agree"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E11 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE12Output(t *testing.T) {
+	out := runQuick(t, "E12")
+	if !strings.Contains(out, "constrained") || !strings.Contains(out, "global optimum") {
+		t.Errorf("E12 output incomplete:\n%s", out)
+	}
+}
+
+func TestE13Output(t *testing.T) {
+	out := runQuick(t, "E13")
+	if !strings.Contains(out, "validity holds") {
+		t.Errorf("E13 output incomplete:\n%s", out)
+	}
+	// At eps=0 the suboptimality rate must be exactly 0.
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 4 && fields[0] == "0.00" && fields[1] != "0.000" {
+			t.Errorf("E13: nonzero failure rate at eps=0: %s", line)
+		}
+	}
+}
+
+func TestE14Output(t *testing.T) {
+	out := runQuick(t, "E14")
+	if !strings.Contains(out, "peak-cells") {
+		t.Errorf("E14 output incomplete:\n%s", out)
+	}
+}
+
+func TestE15Output(t *testing.T) {
+	out := runQuick(t, "E15")
+	if !strings.Contains(out, "BnB-ops") || !strings.Contains(out, "true") {
+		t.Errorf("E15 output incomplete:\n%s", out)
+	}
+}
+
+func TestE16Output(t *testing.T) {
+	out := runQuick(t, "E16")
+	for _, want := range []string{"statevector", "sifting", "exact (FS)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E16 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE17Output(t *testing.T) {
+	out := runQuick(t, "E17")
+	if !strings.Contains(out, "shared*") || !strings.Contains(out, "adder") {
+		t.Errorf("E17 output incomplete:\n%s", out)
+	}
+}
+
+func TestE18Output(t *testing.T) {
+	out := runQuick(t, "E18")
+	for _, want := range []string{"groups", "eff-orders", "gsift"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E18 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered by individual tests")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, quick); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), "== "+id+":") {
+			t.Errorf("RunAll missing section %s", id)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The fully deterministic experiments (no timing, no randomness beyond the
+// fixed seed) are pinned against golden files: any drift in the reproduced
+// paper tables fails this test. Regenerate with:
+//
+//	go test ./internal/exp -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden experiment outputs")
+
+// goldenIDs lists experiments whose full output is bit-stable: the
+// parameter tables (pure numerics) and the Fig. 1 size table.
+var goldenIDs = []string{"E1", "E2", "E3"}
+
+func TestGoldenExperiments(t *testing.T) {
+	for _, id := range goldenIDs {
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(id, &buf, Config{Seed: 1, Quick: true}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			path := filepath.Join("testdata", "golden_"+id+".txt")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (regenerate with -update): %v", path, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+					id, buf.String(), want)
+			}
+		})
+	}
+}

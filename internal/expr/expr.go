@@ -1,0 +1,358 @@
+// Package expr provides a Boolean-formula frontend: a lexer, parser,
+// evaluator and truth-table compiler for propositional expressions over
+// variables x1, x2, …. It realizes the setting of Corollary 2: any
+// representation on which f can be evaluated in polynomial time yields the
+// truth table in O*(2^n) evaluations, after which the optimal-ordering
+// algorithms apply unchanged. Experiment E11 feeds the same function
+// through this frontend, the circuit frontend and a raw truth table and
+// checks the optima coincide.
+//
+// Grammar (loosest binding first):
+//
+//	expr   := iff
+//	iff    := imp ("<->" imp)*
+//	imp    := or ("->" or)*          (right associative)
+//	or     := xor ("|" xor)*
+//	xor    := and ("^" and)*
+//	and    := unary ("&" unary)*
+//	unary  := "!" unary | primary
+//	primary:= "0" | "1" | var | "(" expr ")"
+//	var    := "x" digits             (1-based: x1 is variable index 0)
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"obddopt/internal/truthtable"
+)
+
+// Expr is a parsed Boolean expression.
+type Expr interface {
+	// Eval evaluates under the assignment (x[i] = variable i).
+	Eval(x []bool) bool
+	// MaxVar returns the largest 0-based variable index used, or −1.
+	MaxVar() int
+	// String renders the expression with full parenthesization.
+	String() string
+}
+
+// Const is a Boolean constant.
+type Const bool
+
+// Eval implements Expr.
+func (c Const) Eval([]bool) bool { return bool(c) }
+
+// MaxVar implements Expr.
+func (c Const) MaxVar() int { return -1 }
+
+// String implements Expr.
+func (c Const) String() string {
+	if c {
+		return "1"
+	}
+	return "0"
+}
+
+// Var is a variable reference (0-based index; renders 1-based).
+type Var int
+
+// Eval implements Expr.
+func (v Var) Eval(x []bool) bool { return x[v] }
+
+// MaxVar implements Expr.
+func (v Var) MaxVar() int { return int(v) }
+
+// String implements Expr.
+func (v Var) String() string { return fmt.Sprintf("x%d", int(v)+1) }
+
+// Not is logical negation.
+type Not struct{ X Expr }
+
+// Eval implements Expr.
+func (n Not) Eval(x []bool) bool { return !n.X.Eval(x) }
+
+// MaxVar implements Expr.
+func (n Not) MaxVar() int { return n.X.MaxVar() }
+
+// String implements Expr.
+func (n Not) String() string { return "!" + n.X.String() }
+
+// Op is a binary connective.
+type Op byte
+
+// The binary connectives.
+const (
+	And Op = '&'
+	Or  Op = '|'
+	Xor Op = '^'
+	Imp Op = '>'
+	Iff Op = '='
+)
+
+// Binary is a binary application.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Binary) Eval(x []bool) bool {
+	l := b.L.Eval(x)
+	switch b.Op {
+	case And:
+		return l && b.R.Eval(x)
+	case Or:
+		return l || b.R.Eval(x)
+	case Xor:
+		return l != b.R.Eval(x)
+	case Imp:
+		return !l || b.R.Eval(x)
+	case Iff:
+		return l == b.R.Eval(x)
+	}
+	panic("expr: unknown operator")
+}
+
+// MaxVar implements Expr.
+func (b Binary) MaxVar() int {
+	l, r := b.L.MaxVar(), b.R.MaxVar()
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// String implements Expr.
+func (b Binary) String() string {
+	opStr := map[Op]string{And: " & ", Or: " | ", Xor: " ^ ", Imp: " -> ", Iff: " <-> "}[b.Op]
+	return "(" + b.L.String() + opStr + b.R.String() + ")"
+}
+
+// parser is a recursive-descent parser over a token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+type token struct {
+	kind string // "var", "const", "op", "lparen", "rparen", "not"
+	text string
+	v    int
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: "lparen"})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: "rparen"})
+			i++
+		case c == '!' || c == '~':
+			toks = append(toks, token{kind: "not"})
+			i++
+		case c == '&' || c == '*':
+			toks = append(toks, token{kind: "op", text: "&"})
+			i++
+		case c == '|' || c == '+':
+			toks = append(toks, token{kind: "op", text: "|"})
+			i++
+		case c == '^':
+			toks = append(toks, token{kind: "op", text: "^"})
+			i++
+		case strings.HasPrefix(s[i:], "<->"):
+			toks = append(toks, token{kind: "op", text: "<->"})
+			i += 3
+		case strings.HasPrefix(s[i:], "->"):
+			toks = append(toks, token{kind: "op", text: "->"})
+			i += 2
+		case c == '0' || c == '1':
+			toks = append(toks, token{kind: "const", v: int(c - '0')})
+			i++
+		case c == 'x' || c == 'X':
+			j := i + 1
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("expr: variable name without index at offset %d", i)
+			}
+			idx, err := strconv.Atoi(s[i+1 : j])
+			if err != nil || idx < 1 {
+				return nil, fmt.Errorf("expr: bad variable index %q", s[i:j])
+			}
+			toks = append(toks, token{kind: "var", v: idx - 1})
+			i = j
+		default:
+			return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+// Parse parses an expression.
+func Parse(s string) (Expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseIff()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("expr: trailing tokens at position %d", p.pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed literals.
+func MustParse(s string) Expr {
+	e, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) peekOp(text string) bool {
+	return p.pos < len(p.toks) && p.toks[p.pos].kind == "op" && p.toks[p.pos].text == text
+}
+
+func (p *parser) parseIff() (Expr, error) {
+	l, err := p.parseImp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("<->") {
+		p.pos++
+		r, err := p.parseImp()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: Iff, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseImp() (Expr, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekOp("->") {
+		p.pos++
+		r, err := p.parseImp() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: Imp, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("|") {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: Or, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("^") {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: Xor, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peekOp("&") {
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: And, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.pos < len(p.toks) && p.toks[p.pos].kind == "not" {
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{X: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.pos >= len(p.toks) {
+		return nil, fmt.Errorf("expr: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	switch t.kind {
+	case "const":
+		p.pos++
+		return Const(t.v == 1), nil
+	case "var":
+		p.pos++
+		return Var(t.v), nil
+	case "lparen":
+		p.pos++
+		e, err := p.parseIff()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.toks) || p.toks[p.pos].kind != "rparen" {
+			return nil, fmt.Errorf("expr: missing closing parenthesis")
+		}
+		p.pos++
+		return e, nil
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q", t.kind)
+}
+
+// ToTruthTable compiles the expression to the truth table over n variables
+// (n must be at least MaxVar()+1) — the O*(2^n) preparation step of
+// Corollary 2.
+func ToTruthTable(e Expr, n int) (*truthtable.Table, error) {
+	if need := e.MaxVar() + 1; n < need {
+		return nil, fmt.Errorf("expr: expression uses %d variables, table has %d", need, n)
+	}
+	return truthtable.FromFunc(n, e.Eval), nil
+}

@@ -1,0 +1,145 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+func TestParseAndEvalBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		x    []bool
+		want bool
+	}{
+		{"x1", []bool{true}, true},
+		{"!x1", []bool{true}, false},
+		{"x1 & x2", []bool{true, false}, false},
+		{"x1 | x2", []bool{true, false}, true},
+		{"x1 ^ x2", []bool{true, true}, false},
+		{"x1 -> x2", []bool{true, false}, false},
+		{"x1 -> x2", []bool{false, false}, true},
+		{"x1 <-> x2", []bool{true, true}, true},
+		{"0 | 1", nil, true},
+		{"x1 & x2 | x3", []bool{false, false, true}, true}, // & binds tighter
+		{"x1 | x2 & x3", []bool{true, false, false}, true}, // than |
+		{"!(x1 | x2)", []bool{false, false}, true},
+		{"x1 + x2 * x3", []bool{false, true, true}, true}, // +,* aliases
+		{"~x1", []bool{false}, true},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		if got := e.Eval(c.x); got != c.want {
+			t.Errorf("%q on %v = %v, want %v", c.src, c.x, got, c.want)
+		}
+	}
+}
+
+func TestImplicationRightAssociative(t *testing.T) {
+	// a -> b -> c parses as a -> (b -> c): with a=1,b=0,c=0 it is 1.
+	e := MustParse("x1 -> x2 -> x3")
+	if !e.Eval([]bool{true, false, false}) {
+		t.Errorf("-> not right associative")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "x", "x0", "(x1", "x1 &", "x1 x2", "y1", "x1 @ x2", "x1)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMaxVar(t *testing.T) {
+	if MustParse("x3 & (x1 | x7)").MaxVar() != 6 {
+		t.Errorf("MaxVar wrong")
+	}
+	if (Const(true)).MaxVar() != -1 {
+		t.Errorf("constant MaxVar should be -1")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		e := randomExpr(rng, 4, 3)
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", s, err)
+		}
+		// Semantically equal on all assignments over 4 vars.
+		t1, _ := ToTruthTable(e, 4)
+		t2, _ := ToTruthTable(back, 4)
+		if !t1.Equal(t2) {
+			t.Fatalf("round trip changed semantics: %q", s)
+		}
+	}
+}
+
+func randomExpr(rng *rand.Rand, nvars, depth int) Expr {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(6) == 0 {
+			return Const(rng.Intn(2) == 1)
+		}
+		return Var(rng.Intn(nvars))
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return Not{X: randomExpr(rng, nvars, depth-1)}
+	case 1:
+		return Binary{Op: Or, L: randomExpr(rng, nvars, depth-1), R: randomExpr(rng, nvars, depth-1)}
+	case 2:
+		return Binary{Op: Xor, L: randomExpr(rng, nvars, depth-1), R: randomExpr(rng, nvars, depth-1)}
+	case 3:
+		return Binary{Op: Imp, L: randomExpr(rng, nvars, depth-1), R: randomExpr(rng, nvars, depth-1)}
+	case 4:
+		return Binary{Op: Iff, L: randomExpr(rng, nvars, depth-1), R: randomExpr(rng, nvars, depth-1)}
+	default:
+		return Binary{Op: And, L: randomExpr(rng, nvars, depth-1), R: randomExpr(rng, nvars, depth-1)}
+	}
+}
+
+func TestToTruthTable(t *testing.T) {
+	e := MustParse("x1 & x2 | x3 & x4 | x5 & x6")
+	tt, err := ToTruthTable(e, 6)
+	if err != nil {
+		t.Fatalf("ToTruthTable: %v", err)
+	}
+	if !tt.Equal(funcs.AchillesHeel(3)) {
+		t.Errorf("expression does not match the Fig. 1 generator")
+	}
+	if _, err := ToTruthTable(e, 3); err == nil {
+		t.Errorf("too-small table should error")
+	}
+}
+
+func TestCorollary2PathMatchesDirect(t *testing.T) {
+	// Experiment E11 core: the optimum from the expression representation
+	// equals the optimum from the raw truth table.
+	src := "(x1 <-> x2) & (x3 | !x4) ^ x5"
+	e := MustParse(src)
+	tt, err := ToTruthTable(e, 5)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	direct := truthtable.FromFunc(5, e.Eval)
+	if !tt.Equal(direct) {
+		t.Fatalf("compilation mismatch")
+	}
+	r1 := core.OptimalOrdering(tt, nil)
+	r2 := core.OptimalOrdering(direct, nil)
+	if r1.MinCost != r2.MinCost {
+		t.Errorf("optima differ across representations")
+	}
+}

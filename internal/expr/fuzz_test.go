@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser's robustness and the parse → String →
+// reparse fixed point on arbitrary byte strings. Run the seed corpus with
+// plain `go test`; explore with `go test -fuzz FuzzParse ./internal/expr`.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x1", "!x1 & x2", "x1 | x2 ^ x3", "(x1 -> x2) <-> x3",
+		"0 | 1 & x10", "x1&x2|x3&x4|x5&x6", "~(~x1)", "x1 + x2 * x3",
+		"((((x1))))", "x1 -> x2 -> x3", "", "x", ")(", "x1 @@ x2",
+		"x999", "x1 <-> <-> x2", "!",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted inputs must round-trip semantically via String.
+		s := e.String()
+		back, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String output %q does not reparse: %v", s, err)
+		}
+		n := e.MaxVar() + 1
+		if n < 1 {
+			n = 1
+		}
+		if n > 12 {
+			return // keep the truth-table comparison tractable
+		}
+		t1, err1 := ToTruthTable(e, n)
+		t2, err2 := ToTruthTable(back, n)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("compilation failed after successful parse: %v %v", err1, err2)
+		}
+		if !t1.Equal(t2) {
+			t.Fatalf("round trip changed semantics for %q (→ %q)", src, s)
+		}
+		if strings.Count(s, "(") != strings.Count(s, ")") {
+			t.Fatalf("unbalanced parentheses in String output %q", s)
+		}
+	})
+}

@@ -1,0 +1,297 @@
+// Package funcs generates the benchmark Boolean functions used by the
+// experiments: the ordering-sensitivity family of Fig. 1, arithmetic
+// circuits (adders, comparators, multiplier slices), symmetric and
+// threshold functions, the hidden-weighted-bit function (exponential under
+// every ordering), multiplexers, and random DNFs. Each generator documents
+// the known OBDD-size behavior that the experiments rely on.
+package funcs
+
+import (
+	"math/rand"
+
+	"obddopt/internal/truthtable"
+)
+
+// AchillesHeel returns f = x₀·x₁ + x₂·x₃ + … + x_{2k−2}·x_{2k−1} over
+// n = 2k variables, the running example of both papers (Fig. 1): its OBDD
+// has size 2k+2 under the interleaved ordering (pairs adjacent) and
+// 2^{k+1} under the blocked ordering (all left factors above all right
+// factors).
+func AchillesHeel(pairs int) *truthtable.Table {
+	n := 2 * pairs
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		for i := 0; i < n; i += 2 {
+			if x[i] && x[i+1] {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// BlockedOrdering returns the pessimal root-first ordering for
+// AchillesHeel — x₀, x₂, …, x₁, x₃, … — converted to the bottom-up
+// convention. Under it the OBDD has 2^{pairs+1} nodes.
+func BlockedOrdering(pairs int) truthtable.Ordering {
+	rootFirst := make([]int, 0, 2*pairs)
+	for i := 0; i < 2*pairs; i += 2 {
+		rootFirst = append(rootFirst, i)
+	}
+	for i := 1; i < 2*pairs; i += 2 {
+		rootFirst = append(rootFirst, i)
+	}
+	return truthtable.FromRootFirst(rootFirst)
+}
+
+// InterleavedOrdering returns the optimal root-first ordering
+// x₀, x₁, x₂, x₃, … for AchillesHeel, bottom-up.
+func InterleavedOrdering(pairs int) truthtable.Ordering {
+	rootFirst := make([]int, 2*pairs)
+	for i := range rootFirst {
+		rootFirst[i] = i
+	}
+	return truthtable.FromRootFirst(rootFirst)
+}
+
+// Parity returns x₀ ⊕ x₁ ⊕ … ⊕ x_{n−1}. Parity is totally symmetric: the
+// OBDD has exactly 2n−1 nonterminal nodes under every ordering, making it
+// the control workload for which reordering cannot help.
+func Parity(n int) *truthtable.Table {
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		p := false
+		for _, v := range x {
+			p = p != v
+		}
+		return p
+	})
+}
+
+// Threshold returns the function [Σ x_i ≥ k]. Threshold functions are
+// totally symmetric; their OBDD width is O(n) per level.
+func Threshold(n, k int) *truthtable.Table {
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		c := 0
+		for _, v := range x {
+			if v {
+				c++
+			}
+		}
+		return c >= k
+	})
+}
+
+// Majority returns Threshold(n, ⌈(n+1)/2⌉), the majority function.
+func Majority(n int) *truthtable.Table { return Threshold(n, (n+1)/2) }
+
+// Symmetric returns the symmetric function whose value on an assignment of
+// weight w is spectrum[w]. len(spectrum) must be n+1.
+func Symmetric(n int, spectrum []bool) *truthtable.Table {
+	if len(spectrum) != n+1 {
+		panic("funcs: Symmetric spectrum must have n+1 entries")
+	}
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		c := 0
+		for _, v := range x {
+			if v {
+				c++
+			}
+		}
+		return spectrum[c]
+	})
+}
+
+// HiddenWeightedBit returns HWB(x) = x_{wt(x)} (1-based bit selection;
+// HWB(0…0) = 0), Bryant's function whose OBDD is exponential under every
+// variable ordering — the stress workload where even the optimal ordering
+// cannot avoid exponential size.
+func HiddenWeightedBit(n int) *truthtable.Table {
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		w := 0
+		for _, v := range x {
+			if v {
+				w++
+			}
+		}
+		if w == 0 {
+			return false
+		}
+		return x[w-1]
+	})
+}
+
+// AdderSumBit returns bit i (0 = least significant) of the sum a + b of
+// two bits-wide operands. Variables 0..bits−1 are a's bits (LSB first),
+// bits..2·bits−1 are b's. Interleaving a and b is the well-known optimal
+// ordering; separating them is exponential in i.
+func AdderSumBit(bits, i int) *truthtable.Table {
+	if i < 0 || i > bits {
+		panic("funcs: AdderSumBit index out of range")
+	}
+	return truthtable.FromFunc(2*bits, func(x []bool) bool {
+		a, b := operands(x, bits)
+		return (a+b)>>uint(i)&1 == 1
+	})
+}
+
+// AdderCarry returns the carry-out of the bits-wide addition a + b.
+func AdderCarry(bits int) *truthtable.Table {
+	return truthtable.FromFunc(2*bits, func(x []bool) bool {
+		a, b := operands(x, bits)
+		return (a+b)>>uint(bits)&1 == 1
+	})
+}
+
+// Comparator returns [a > b] over two bits-wide operands, variable layout
+// as in AdderSumBit.
+func Comparator(bits int) *truthtable.Table {
+	return truthtable.FromFunc(2*bits, func(x []bool) bool {
+		a, b := operands(x, bits)
+		return a > b
+	})
+}
+
+// Equality returns [a == b] over two bits-wide operands.
+func Equality(bits int) *truthtable.Table {
+	return truthtable.FromFunc(2*bits, func(x []bool) bool {
+		a, b := operands(x, bits)
+		return a == b
+	})
+}
+
+// MultiplierMiddleBit returns bit bits−1 of the product a·b of two
+// bits-wide operands — the classic function whose OBDD is exponential
+// under every ordering (Bryant 1991).
+func MultiplierMiddleBit(bits int) *truthtable.Table {
+	return truthtable.FromFunc(2*bits, func(x []bool) bool {
+		a, b := operands(x, bits)
+		return (a*b)>>uint(bits-1)&1 == 1
+	})
+}
+
+func operands(x []bool, bits int) (a, b uint64) {
+	for i := 0; i < bits; i++ {
+		if x[i] {
+			a |= 1 << uint(i)
+		}
+		if x[bits+i] {
+			b |= 1 << uint(i)
+		}
+	}
+	return a, b
+}
+
+// Multiplexer returns the 2^sel-way multiplexer over sel select variables
+// (variables 0..sel−1) and 2^sel data variables: f = data[select value].
+// Reading the select variables first gives a linear-size OBDD; reading the
+// data variables first is exponential — a strongly ordering-sensitive
+// workload.
+func Multiplexer(sel int) *truthtable.Table {
+	data := 1 << uint(sel)
+	return truthtable.FromFunc(sel+data, func(x []bool) bool {
+		idx := 0
+		for i := 0; i < sel; i++ {
+			if x[i] {
+				idx |= 1 << uint(i)
+			}
+		}
+		return x[sel+idx]
+	})
+}
+
+// RandomDNF returns a random DNF with the given number of terms, each
+// containing exactly width distinct literals over n variables, drawn from
+// rng. Random DNFs model the "imposing additional constraints" workloads
+// of the introduction.
+func RandomDNF(n, terms, width int, rng *rand.Rand) *truthtable.Table {
+	if width > n {
+		panic("funcs: RandomDNF width exceeds variable count")
+	}
+	type lit struct {
+		v   int
+		neg bool
+	}
+	clauses := make([][]lit, terms)
+	for t := range clauses {
+		perm := rng.Perm(n)[:width]
+		cl := make([]lit, width)
+		for i, v := range perm {
+			cl[i] = lit{v: v, neg: rng.Intn(2) == 1}
+		}
+		clauses[t] = cl
+	}
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		for _, cl := range clauses {
+			sat := true
+			for _, l := range cl {
+				if x[l.v] == l.neg {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// ReadOnceChain returns f = (…((x₀ op₁ x₁) op₂ x₂) …) for a fixed pattern
+// of alternating AND/OR — a read-once function, whose minimum OBDD is
+// linear under a suitable ordering.
+func ReadOnceChain(n int) *truthtable.Table {
+	return truthtable.FromFunc(n, func(x []bool) bool {
+		acc := x[0]
+		for i := 1; i < n; i++ {
+			if i%2 == 1 {
+				acc = acc && x[i]
+			} else {
+				acc = acc || x[i]
+			}
+		}
+		return acc
+	})
+}
+
+// SumWord returns the multi-valued function (a + b) over two bits-wide
+// operands — the MTBDD workload of experiment E10.
+func SumWord(bits int) *truthtable.MultiTable {
+	return truthtable.MultiFromFunc(2*bits, func(x []bool) int {
+		a, b := operands(x, bits)
+		return int(a + b)
+	})
+}
+
+// Weight returns the multi-valued Hamming-weight function Σ x_i.
+func Weight(n int) *truthtable.MultiTable {
+	return truthtable.MultiFromFunc(n, func(x []bool) int {
+		c := 0
+		for _, v := range x {
+			if v {
+				c++
+			}
+		}
+		return c
+	})
+}
+
+// SparseFamily returns the characteristic function of m random subsets of
+// {0,…,n−1}, each of cardinality ≤ maxCard — the sparse set families that
+// motivate ZDDs (experiment E9).
+func SparseFamily(n, m, maxCard int, rng *rand.Rand) *truthtable.Table {
+	members := map[uint64]bool{}
+	for len(members) < m {
+		card := rng.Intn(maxCard + 1)
+		var set uint64
+		perm := rng.Perm(n)
+		for i := 0; i < card; i++ {
+			set |= 1 << uint(perm[i])
+		}
+		members[set] = true
+	}
+	t := truthtable.New(n)
+	for idx := range members {
+		t.Set(idx, true)
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package heuristics
+
+import (
+	"math"
+	"math/rand"
+
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+// AnnealOptions configures simulated annealing over orderings (Bollig,
+// Löbbing & Wegener studied this search for BDD minimization).
+type AnnealOptions struct {
+	// Steps is the number of proposal steps (default 200·n).
+	Steps int
+	// T0 is the initial temperature, in units of diagram nodes
+	// (default: the cost of the initial ordering / 4).
+	T0 float64
+	// Cooling is the geometric cooling factor per step (default chosen
+	// so the temperature decays to ~0.1 over Steps).
+	Cooling float64
+	// Rng drives proposals and acceptance; it must be non-nil.
+	Rng *rand.Rand
+}
+
+// Anneal runs simulated annealing on the ordering space: proposals are
+// random transpositions (adjacent with probability ½, arbitrary
+// otherwise); worse orderings are accepted with probability
+// exp(−Δ/T) under a geometric cooling schedule. The best ordering ever
+// visited is returned — like all heuristics here the cost of each visited
+// ordering is exact, only the search is stochastic.
+func Anneal(tt *truthtable.Table, rule core.Rule, opts *AnnealOptions) Result {
+	if opts == nil || opts.Rng == nil {
+		panic("heuristics: Anneal requires options with a random source")
+	}
+	n := tt.NumVars()
+	o := NewOracle(tt, rule)
+	cur := truthtable.IdentityOrdering(n)
+	curCost := o.Cost(cur)
+	best := cur.Clone()
+	bestCost := curCost
+
+	steps := opts.Steps
+	if steps <= 0 {
+		steps = 200 * n
+	}
+	temp := opts.T0
+	if temp <= 0 {
+		temp = float64(curCost)/4 + 1
+	}
+	cooling := opts.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		// Decay to 1% of T0 across the run.
+		cooling = math.Pow(0.01, 1/float64(steps))
+	}
+	rng := opts.Rng
+
+	for step := 0; step < steps && n > 1; step++ {
+		i := rng.Intn(n)
+		var j int
+		if rng.Intn(2) == 0 {
+			// Adjacent transposition.
+			j = i + 1
+			if j == n {
+				j = i - 1
+			}
+		} else {
+			for j = rng.Intn(n); j == i; j = rng.Intn(n) {
+			}
+		}
+		cur.Swap(i, j)
+		candCost := o.Cost(cur)
+		delta := float64(candCost) - float64(curCost)
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			curCost = candCost
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best, cur)
+			}
+		} else {
+			cur.Swap(i, j) // reject: undo
+		}
+		temp *= cooling
+	}
+	return Result{Ordering: best, MinCost: bestCost, Evaluations: o.Evaluations(), Passes: 1}
+}

@@ -1,0 +1,88 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+func TestAnnealSolvesAchillesHeel(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	f := funcs.AchillesHeel(4)
+	res := Anneal(f, core.OBDD, &AnnealOptions{Rng: rng})
+	if res.MinCost != 8 {
+		t.Errorf("anneal found %d, optimal 8", res.MinCost)
+	}
+	if !res.Ordering.Valid() {
+		t.Errorf("invalid ordering")
+	}
+}
+
+func TestAnnealSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + trial%4
+		f := truthtable.Random(n, rng)
+		res := Anneal(f, core.OBDD, &AnnealOptions{Rng: rng, Steps: 300})
+		opt := core.OptimalOrdering(f, nil).MinCost
+		if res.MinCost < opt {
+			t.Fatalf("anneal beat the optimum")
+		}
+		// Reported cost must be realized by the reported ordering.
+		if NewOracle(f, core.OBDD).Cost(res.Ordering) != res.MinCost {
+			t.Fatalf("anneal misreports its cost")
+		}
+	}
+}
+
+func TestAnnealBestNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	f := truthtable.Random(7, rng)
+	start := NewOracle(f, core.OBDD).Cost(truthtable.IdentityOrdering(7))
+	res := Anneal(f, core.OBDD, &AnnealOptions{Rng: rng})
+	if res.MinCost > start {
+		t.Errorf("anneal returned worse than its own start: %d > %d", res.MinCost, start)
+	}
+}
+
+func TestAnnealMoreStepsHelps(t *testing.T) {
+	// On a strongly ordering-sensitive function, many steps should do at
+	// least as well as very few (statistically guaranteed since the best
+	// visited ordering is returned and runs share the start).
+	f := funcs.Multiplexer(2)
+	short := Anneal(f, core.OBDD, &AnnealOptions{Rng: rand.New(rand.NewSource(7)), Steps: 5})
+	long := Anneal(f, core.OBDD, &AnnealOptions{Rng: rand.New(rand.NewSource(7)), Steps: 2000})
+	if long.MinCost > short.MinCost {
+		t.Errorf("longer anneal worse: %d vs %d", long.MinCost, short.MinCost)
+	}
+}
+
+func TestAnnealSingleVariable(t *testing.T) {
+	f := truthtable.Var(1, 0)
+	res := Anneal(f, core.OBDD, &AnnealOptions{Rng: rand.New(rand.NewSource(1))})
+	if res.MinCost != 1 {
+		t.Errorf("n=1 anneal cost %d", res.MinCost)
+	}
+}
+
+func TestAnnealPanicsWithoutRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic without rng")
+		}
+	}()
+	Anneal(truthtable.New(3), core.OBDD, nil)
+}
+
+func TestAnnealZDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	f := funcs.SparseFamily(7, 9, 3, rng)
+	res := Anneal(f, core.ZDD, &AnnealOptions{Rng: rng})
+	opt := core.OptimalOrdering(f, &core.Options{Rule: core.ZDD}).MinCost
+	if res.MinCost < opt {
+		t.Fatalf("ZDD anneal beat the ZDD optimum")
+	}
+}

@@ -1,0 +1,184 @@
+package heuristics
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+func optimal(tt *truthtable.Table) uint64 {
+	return core.OptimalOrdering(tt, nil).MinCost
+}
+
+func TestOracleMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	tt := truthtable.Random(5, rng)
+	o := NewOracle(tt, core.OBDD)
+	ord := truthtable.RandomOrdering(5, rng)
+	widths := core.Profile(tt, ord, core.OBDD, nil)
+	var sum uint64
+	for _, w := range widths {
+		sum += w
+	}
+	if o.Cost(ord) != sum {
+		t.Fatalf("oracle disagrees with Profile")
+	}
+	if o.Evaluations() != 1 {
+		t.Errorf("evaluation count wrong")
+	}
+}
+
+func TestSiftSolvesAchillesHeel(t *testing.T) {
+	// Sifting famously fixes the interleaving of the Fig. 1 function.
+	for pairs := 2; pairs <= 4; pairs++ {
+		f := funcs.AchillesHeel(pairs)
+		res := Sift(f, core.OBDD, 0)
+		want := uint64(2 * pairs)
+		if res.MinCost != want {
+			t.Errorf("pairs=%d: sift cost %d, want optimal %d", pairs, res.MinCost, want)
+		}
+		if !res.Ordering.Valid() {
+			t.Errorf("sift returned invalid ordering")
+		}
+	}
+}
+
+func TestSiftNeverWorseThanStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + trial%4
+		tt := truthtable.Random(n, rng)
+		start := NewOracle(tt, core.OBDD).Cost(truthtable.IdentityOrdering(n))
+		res := Sift(tt, core.OBDD, 0)
+		if res.MinCost > start {
+			t.Fatalf("sifting made things worse: %d > %d", res.MinCost, start)
+		}
+		if res.MinCost < optimal(tt) {
+			t.Fatalf("heuristic beat the exact optimum — impossible")
+		}
+	}
+}
+
+func TestSiftMaxPassesRespected(t *testing.T) {
+	tt := funcs.AchillesHeel(3)
+	res := Sift(tt, core.OBDD, 1)
+	if res.Passes != 1 {
+		t.Errorf("Passes = %d with maxPasses 1", res.Passes)
+	}
+}
+
+func TestWindowImprovesAndIsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for _, w := range []int{2, 3, 4} {
+		for trial := 0; trial < 5; trial++ {
+			n := 5 + trial%3
+			tt := truthtable.Random(n, rng)
+			res := Window(tt, core.OBDD, w)
+			if !res.Ordering.Valid() {
+				t.Fatalf("w=%d invalid ordering", w)
+			}
+			if res.MinCost < optimal(tt) {
+				t.Fatalf("window beat the optimum")
+			}
+			// Cost reported must match the oracle on the ordering.
+			if NewOracle(tt, core.OBDD).Cost(res.Ordering) != res.MinCost {
+				t.Fatalf("reported cost does not match ordering")
+			}
+		}
+	}
+}
+
+func TestWindowPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic for w=5")
+		}
+	}()
+	Window(truthtable.New(3), core.OBDD, 5)
+}
+
+func TestWindowWidthLargerThanN(t *testing.T) {
+	// w is clamped to n; must still terminate and be exact for tiny n.
+	tt := funcs.Parity(3)
+	res := Window(tt, core.OBDD, 4)
+	if res.MinCost != optimal(tt) {
+		t.Errorf("w≥n window should find the optimum of a 3-var function")
+	}
+}
+
+func TestRandomBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	tt := funcs.AchillesHeel(3)
+	res1 := RandomBest(tt, core.OBDD, 1, rng)
+	res100 := RandomBest(tt, core.OBDD, 200, rng)
+	if res100.MinCost > res1.MinCost {
+		t.Errorf("more samples made RandomBest worse")
+	}
+	if res100.MinCost < optimal(tt) {
+		t.Errorf("random best beat the optimum")
+	}
+	if res100.Evaluations != 201 {
+		t.Errorf("Evaluations = %d, want 201", res100.Evaluations)
+	}
+}
+
+func TestGreedyAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	for trial := 0; trial < 8; trial++ {
+		n := 4 + trial%3
+		tt := truthtable.Random(n, rng)
+		res := GreedyAppend(tt, core.OBDD)
+		if !res.Ordering.Valid() {
+			t.Fatalf("greedy invalid ordering %v", res.Ordering)
+		}
+		if res.MinCost < optimal(tt) {
+			t.Fatalf("greedy beat the optimum")
+		}
+		if NewOracle(tt, core.OBDD).Cost(res.Ordering) != res.MinCost {
+			t.Fatalf("greedy misreports its cost")
+		}
+	}
+}
+
+func TestGreedyIsDeterministic(t *testing.T) {
+	tt := funcs.AchillesHeel(3)
+	a := GreedyAppend(tt, core.OBDD)
+	b := GreedyAppend(tt, core.OBDD)
+	for i := range a.Ordering {
+		if a.Ordering[i] != b.Ordering[i] {
+			t.Fatalf("greedy not deterministic")
+		}
+	}
+}
+
+func TestHeuristicsOnZDDRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	tt := funcs.SparseFamily(7, 9, 3, rng)
+	opt := core.OptimalOrdering(tt, &core.Options{Rule: core.ZDD}).MinCost
+	res := Sift(tt, core.ZDD, 0)
+	if res.MinCost < opt {
+		t.Fatalf("ZDD sifting beat the ZDD optimum")
+	}
+}
+
+func TestSiftQualityOnStructuredFamilies(t *testing.T) {
+	// On the structured families sifting should land within 2× of the
+	// optimum (it is usually exact); this guards against oracle misuse.
+	fns := map[string]*truthtable.Table{
+		"adder-sum2": funcs.AdderSumBit(3, 2),
+		"comparator": funcs.Comparator(3),
+		"mux2":       funcs.Multiplexer(2),
+		"majority7":  funcs.Majority(7),
+		"readonce7":  funcs.ReadOnceChain(7),
+	}
+	for name, tt := range fns {
+		opt := optimal(tt)
+		res := Sift(tt, core.OBDD, 0)
+		if res.MinCost > 2*opt {
+			t.Errorf("%s: sift %d vs optimal %d (ratio > 2)", name, res.MinCost, opt)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package mtbdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the diagram rooted at f in Graphviz format: circles for
+// decision nodes, boxes labeled with the integer value for terminals.
+func (m *Manager) DOT(f Node, name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=TB;\n")
+	seen := map[Node]bool{}
+	byLevel := make([][]Node, m.nvars+1)
+	var collect func(Node)
+	collect = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		byLevel[m.level(g)] = append(byLevel[m.level(g)], g)
+		if _, term := m.IsTerminal(g); term {
+			return
+		}
+		collect(m.nodes[g].lo)
+		collect(m.nodes[g].hi)
+	}
+	collect(f)
+	for lvl, ns := range byLevel {
+		if len(ns) == 0 {
+			continue
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		if lvl < m.nvars {
+			fmt.Fprintf(&sb, "  { rank=same;")
+			for _, g := range ns {
+				fmt.Fprintf(&sb, " n%d;", g)
+			}
+			sb.WriteString(" }\n")
+			for _, g := range ns {
+				fmt.Fprintf(&sb, "  n%d [label=\"x%d\", shape=circle];\n", g, m.varAtLevel[lvl]+1)
+			}
+		} else {
+			for _, g := range ns {
+				v, _ := m.IsTerminal(g)
+				fmt.Fprintf(&sb, "  n%d [label=\"%d\", shape=box];\n", g, v)
+			}
+		}
+	}
+	for g := range seen {
+		if _, term := m.IsTerminal(g); term {
+			continue
+		}
+		d := m.nodes[g]
+		fmt.Fprintf(&sb, "  n%d -> n%d [style=dashed];\n", g, d.lo)
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", g, d.hi)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

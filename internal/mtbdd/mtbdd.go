@@ -1,0 +1,327 @@
+// Package mtbdd implements multi-terminal binary decision diagrams
+// (MTBDDs/ADDs): decision diagrams whose terminals carry integer values
+// instead of Boolean constants. The papers note (Remark 2) that the
+// optimal-ordering dynamic program applies to MTBDDs almost unchanged;
+// this package provides the independent diagram substrate that experiment
+// E10 cross-checks core.OptimalOrderingMulti against, plus arithmetic
+// Apply operations for building multi-valued functions structurally.
+package mtbdd
+
+import (
+	"fmt"
+
+	"obddopt/internal/truthtable"
+)
+
+// Node identifies an MTBDD node within its Manager. Terminal and
+// nonterminal nodes share one index space.
+type Node uint32
+
+type nodeData struct {
+	level  uint32 // nvars for terminals
+	value  int    // terminal value (terminals only)
+	lo, hi Node
+}
+
+type mkKey struct {
+	level  uint32
+	lo, hi Node
+}
+
+type applyKey struct {
+	op   uint32
+	f, g Node
+}
+
+// Manager owns a collection of shared MTBDD nodes over a fixed variable
+// ordering. Managers are not safe for concurrent use.
+type Manager struct {
+	nvars      int
+	varAtLevel []int
+	levelOfVar []int
+	nodes      []nodeData
+	terminals  map[int]Node
+	unique     map[mkKey]Node
+	applyCache map[applyKey]Node
+	applyOps   []func(a, b int) int
+	// Lazily registered handles for the built-in Add and Max operations.
+	addOp, maxOp *int
+}
+
+// New returns a manager over n variables with the given bottom-up ordering
+// (nil selects variable 0 at the root).
+func New(n int, order truthtable.Ordering) *Manager {
+	if order == nil {
+		order = truthtable.ReverseOrdering(n)
+	}
+	if len(order) != n || !order.Valid() {
+		panic("mtbdd: ordering is not a permutation of the variables")
+	}
+	m := &Manager{
+		nvars:      n,
+		varAtLevel: order.RootFirst(),
+		levelOfVar: make([]int, n),
+		terminals:  map[int]Node{},
+		unique:     map[mkKey]Node{},
+		applyCache: map[applyKey]Node{},
+	}
+	for lvl, v := range m.varAtLevel {
+		m.levelOfVar[v] = lvl
+	}
+	return m
+}
+
+// NumVars returns the number of variables.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Ordering returns the manager's ordering, bottom-up.
+func (m *Manager) Ordering() truthtable.Ordering {
+	return truthtable.FromRootFirst(append([]int{}, m.varAtLevel...))
+}
+
+func (m *Manager) level(f Node) uint32 { return m.nodes[f].level }
+
+// IsTerminal reports whether f is a terminal, and its value.
+func (m *Manager) IsTerminal(f Node) (value int, ok bool) {
+	d := m.nodes[f]
+	if d.level == uint32(m.nvars) {
+		return d.value, true
+	}
+	return 0, false
+}
+
+// Terminal returns the canonical terminal node for the value.
+func (m *Manager) Terminal(v int) Node {
+	if n, ok := m.terminals[v]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: uint32(m.nvars), value: v})
+	m.terminals[v] = n
+	return n
+}
+
+func (m *Manager) mk(level uint32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	key := mkKey{level, lo, hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	return n
+}
+
+// Indicator returns the function that is hi on x_v = 1 and lo otherwise,
+// with integer terminal values.
+func (m *Manager) Indicator(v, lo, hi int) Node {
+	if v < 0 || v >= m.nvars {
+		panic("mtbdd: Indicator variable out of range")
+	}
+	return m.mk(uint32(m.levelOfVar[v]), m.Terminal(lo), m.Terminal(hi))
+}
+
+// RegisterOp registers a binary integer operation for Apply and returns
+// its handle. Operations must be pure functions.
+func (m *Manager) RegisterOp(op func(a, b int) int) int {
+	m.applyOps = append(m.applyOps, op)
+	return len(m.applyOps) - 1
+}
+
+// Apply combines f and g pointwise with the registered operation.
+func (m *Manager) Apply(opHandle int, f, g Node) Node {
+	if opHandle < 0 || opHandle >= len(m.applyOps) {
+		panic("mtbdd: unknown Apply operation handle")
+	}
+	op := m.applyOps[opHandle]
+	var rec func(f, g Node) Node
+	rec = func(f, g Node) Node {
+		fv, fok := m.IsTerminal(f)
+		gv, gok := m.IsTerminal(g)
+		if fok && gok {
+			return m.Terminal(op(fv, gv))
+		}
+		key := applyKey{uint32(opHandle), f, g}
+		if r, ok := m.applyCache[key]; ok {
+			return r
+		}
+		top := m.level(f)
+		if l := m.level(g); l < top {
+			top = l
+		}
+		f0, f1 := m.cofactorsAt(f, top)
+		g0, g1 := m.cofactorsAt(g, top)
+		r := m.mk(top, rec(f0, g0), rec(f1, g1))
+		m.applyCache[key] = r
+		return r
+	}
+	return rec(f, g)
+}
+
+func (m *Manager) cofactorsAt(f Node, level uint32) (lo, hi Node) {
+	if m.level(f) == level {
+		d := m.nodes[f]
+		return d.lo, d.hi
+	}
+	return f, f
+}
+
+// Add returns f + g pointwise. The operation handle is registered lazily
+// and cached on the manager.
+func (m *Manager) Add(f, g Node) Node {
+	if m.addOp == nil {
+		h := m.RegisterOp(func(a, b int) int { return a + b })
+		m.addOp = &h
+	}
+	return m.Apply(*m.addOp, f, g)
+}
+
+// Max returns max(f, g) pointwise.
+func (m *Manager) Max(f, g Node) Node {
+	if m.maxOp == nil {
+		h := m.RegisterOp(func(a, b int) int {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		m.maxOp = &h
+	}
+	return m.Apply(*m.maxOp, f, g)
+}
+
+// Eval evaluates f on an assignment (x[i] = value of variable i).
+func (m *Manager) Eval(f Node, x []bool) int {
+	if len(x) != m.nvars {
+		panic("mtbdd: Eval assignment length mismatch")
+	}
+	for {
+		if v, ok := m.IsTerminal(f); ok {
+			return v
+		}
+		d := m.nodes[f]
+		if x[m.varAtLevel[d.level]] {
+			f = d.hi
+		} else {
+			f = d.lo
+		}
+	}
+}
+
+// FromMultiTable builds the reduced MTBDD of mt under the manager's
+// ordering by a bottom-up fold (O(2^n) mk calls).
+func (m *Manager) FromMultiTable(mt *truthtable.MultiTable) Node {
+	if mt.NumVars() != m.nvars {
+		panic("mtbdd: table variable count mismatch")
+	}
+	n := m.nvars
+	size := mt.Size()
+	cur := make([]Node, size)
+	for idx := uint64(0); idx < size; idx++ {
+		var tblIdx uint64
+		for j := 0; j < n; j++ {
+			if idx>>uint(j)&1 == 1 {
+				tblIdx |= 1 << uint(m.varAtLevel[n-1-j])
+			}
+		}
+		cur[idx] = m.Terminal(mt.At(tblIdx))
+	}
+	for level := n - 1; level >= 0; level-- {
+		next := make([]Node, len(cur)/2)
+		for i := range next {
+			next[i] = m.mk(uint32(level), cur[2*i], cur[2*i+1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// ToMultiTable materializes the function of f.
+func (m *Manager) ToMultiTable(f Node) *truthtable.MultiTable {
+	mt := truthtable.NewMulti(m.nvars)
+	x := make([]bool, m.nvars)
+	for idx := uint64(0); idx < mt.Size(); idx++ {
+		for i := 0; i < m.nvars; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		mt.Set(idx, m.Eval(f, x))
+	}
+	return mt
+}
+
+// CountNodes returns the number of reachable nonterminal nodes.
+func (m *Manager) CountNodes(f Node) uint64 {
+	var count uint64
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if _, term := m.IsTerminal(g); term {
+			return
+		}
+		count++
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return count
+}
+
+// CountTerminals returns the number of distinct reachable terminals.
+func (m *Manager) CountTerminals(f Node) int {
+	terms := map[Node]bool{}
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if _, term := m.IsTerminal(g); term {
+			terms[g] = true
+			return
+		}
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return len(terms)
+}
+
+// LevelCounts returns reachable node counts per level, bottom-up, matching
+// core.OptimalOrderingMulti's profile convention.
+func (m *Manager) LevelCounts(f Node) []uint64 {
+	counts := make([]uint64, m.nvars)
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if _, term := m.IsTerminal(g); term {
+			return
+		}
+		d := m.nodes[g]
+		counts[uint32(m.nvars)-1-d.level]++
+		rec(d.lo)
+		rec(d.hi)
+	}
+	rec(f)
+	return counts
+}
+
+// NodeString renders a node for diagnostics.
+func (m *Manager) NodeString(f Node) string {
+	if v, ok := m.IsTerminal(f); ok {
+		return fmt.Sprintf("[%d]", v)
+	}
+	d := m.nodes[f]
+	return fmt.Sprintf("n%d(x%d, lo=%d, hi=%d)", f, m.varAtLevel[d.level]+1, d.lo, d.hi)
+}

@@ -1,0 +1,193 @@
+package mtbdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+func randomMulti(n, values int, rng *rand.Rand) *truthtable.MultiTable {
+	mt := truthtable.NewMulti(n)
+	for idx := uint64(0); idx < mt.Size(); idx++ {
+		mt.Set(idx, rng.Intn(values))
+	}
+	return mt
+}
+
+func TestTerminalsCanonical(t *testing.T) {
+	m := New(3, nil)
+	if m.Terminal(7) != m.Terminal(7) {
+		t.Errorf("terminals not canonical")
+	}
+	if m.Terminal(7) == m.Terminal(8) {
+		t.Errorf("distinct values share a terminal")
+	}
+	if v, ok := m.IsTerminal(m.Terminal(-3)); !ok || v != -3 {
+		t.Errorf("IsTerminal wrong: %d %v", v, ok)
+	}
+}
+
+func TestIndicatorAndEval(t *testing.T) {
+	m := New(2, nil)
+	f := m.Indicator(1, 10, 20)
+	if m.Eval(f, []bool{false, false}) != 10 || m.Eval(f, []bool{false, true}) != 20 {
+		t.Errorf("Indicator evaluates wrong")
+	}
+}
+
+func TestFromToMultiTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%5
+		mt := randomMulti(n, 4, rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromMultiTable(mt)
+		if !m.ToMultiTable(f).Equal(mt) {
+			t.Fatalf("round trip failed n=%d", n)
+		}
+	}
+}
+
+func TestApplyAddMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	n := 4
+	a, b := randomMulti(n, 5, rng), randomMulti(n, 5, rng)
+	m := New(n, nil)
+	fa, fb := m.FromMultiTable(a), m.FromMultiTable(b)
+	sum := m.Add(fa, fb)
+	max := m.Max(fa, fb)
+	for idx := uint64(0); idx < a.Size(); idx++ {
+		x := make([]bool, n)
+		for i := 0; i < n; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		if m.Eval(sum, x) != a.At(idx)+b.At(idx) {
+			t.Fatalf("Add wrong at %d", idx)
+		}
+		wantMax := a.At(idx)
+		if b.At(idx) > wantMax {
+			wantMax = b.At(idx)
+		}
+		if m.Eval(max, x) != wantMax {
+			t.Fatalf("Max wrong at %d", idx)
+		}
+	}
+}
+
+func TestApplyCustomOp(t *testing.T) {
+	m := New(2, nil)
+	f := m.Indicator(0, 1, 2)
+	g := m.Indicator(1, 3, 4)
+	mul := m.RegisterOp(func(a, b int) int { return a * b })
+	p := m.Apply(mul, f, g)
+	if m.Eval(p, []bool{true, true}) != 8 || m.Eval(p, []bool{false, false}) != 3 {
+		t.Errorf("custom op wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("bad op handle did not panic")
+		}
+	}()
+	m.Apply(99, f, g)
+}
+
+func TestSumWordStructuralBuild(t *testing.T) {
+	// Build a 2-bit adder word as Σ indicator terms and compare against
+	// the truth-table build.
+	bits := 2
+	n := 2 * bits
+	m := New(n, nil)
+	f := m.Terminal(0)
+	for i := 0; i < bits; i++ {
+		f = m.Add(f, m.Indicator(i, 0, 1<<uint(i)))
+		f = m.Add(f, m.Indicator(bits+i, 0, 1<<uint(i)))
+	}
+	want := m.FromMultiTable(funcs.SumWord(bits))
+	if f != want {
+		t.Errorf("structural adder != table adder")
+	}
+}
+
+func TestLevelCountsMatchDPMultiProfile(t *testing.T) {
+	// Cross-check of the MTBDD generalization (experiment E10).
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + trial%4
+		mt := randomMulti(n, 3, rng)
+		res := core.OptimalOrderingMulti(mt, nil)
+		m := New(n, res.Ordering)
+		f := m.FromMultiTable(mt)
+		if m.CountNodes(f) != res.MinCost {
+			t.Fatalf("n=%d: manager nodes %d != DP MinCost %d", n, m.CountNodes(f), res.MinCost)
+		}
+		got := m.LevelCounts(f)
+		for i, w := range res.Profile {
+			if got[i] != w {
+				t.Fatalf("n=%d level %d: %d != %d", n, i+1, got[i], w)
+			}
+		}
+		if m.CountTerminals(f) > res.Terminals {
+			t.Fatalf("reachable terminals %d exceed value count %d", m.CountTerminals(f), res.Terminals)
+		}
+	}
+}
+
+func TestMTBDDOptimalIsMinimalOverSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	mt := randomMulti(5, 3, rng)
+	res := core.OptimalOrderingMulti(mt, nil)
+	for s := 0; s < 15; s++ {
+		ord := truthtable.RandomOrdering(5, rng)
+		m := New(5, ord)
+		if m.CountNodes(m.FromMultiTable(mt)) < res.MinCost {
+			t.Fatalf("sampled ordering beats claimed MTBDD optimum")
+		}
+	}
+}
+
+func TestWeightFunctionDiagram(t *testing.T) {
+	n := 4
+	m := New(n, nil)
+	f := m.FromMultiTable(funcs.Weight(n))
+	// Totally symmetric: n(n+1)/2 nonterminals under any ordering.
+	if m.CountNodes(f) != uint64(n*(n+1)/2) {
+		t.Errorf("weight nodes = %d, want %d", m.CountNodes(f), n*(n+1)/2)
+	}
+	if m.CountTerminals(f) != n+1 {
+		t.Errorf("weight terminals = %d, want %d", m.CountTerminals(f), n+1)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(2, nil)
+	for name, fn := range map[string]func(){
+		"bad order":     func() { New(2, truthtable.Ordering{0, 2}) },
+		"indicator oob": func() { m.Indicator(5, 0, 1) },
+		"eval length":   func() { m.Eval(m.Terminal(0), []bool{true}) },
+		"table vars":    func() { m.FromMultiTable(truthtable.NewMulti(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	m := New(2, nil)
+	f := m.Indicator(0, 3, 7)
+	dot := m.DOT(f, "ind")
+	for _, want := range []string{"digraph", "x1", "\"3\"", "\"7\"", "shape=box", "style=dashed"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

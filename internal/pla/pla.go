@@ -1,0 +1,244 @@
+// Package pla reads and writes two-level covers in the Berkeley/espresso
+// PLA format — the interchange format of classical logic-synthesis
+// benchmarks, and the kind of input the 1987 evaluation drew its examples
+// from. A PLA is parsed into per-output truth tables (the O*(2^n)
+// preparation of Corollary 2), after which the exact ordering algorithms
+// apply.
+//
+// Supported directives: .i, .o (required), .p (checked when present),
+// .ilb/.ob (names, retained), .e/.end, and '#' comments. Input-plane
+// characters are 0, 1 and - (don't care); output-plane characters are 1
+// (member), and 0/-/~ (non-member), i.e. the F-type cover interpretation.
+package pla
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"obddopt/internal/truthtable"
+)
+
+// PLA is a parsed two-level cover.
+type PLA struct {
+	// NumInputs and NumOutputs are the .i and .o declarations.
+	NumInputs, NumOutputs int
+	// InputNames and OutputNames hold .ilb/.ob labels when present.
+	InputNames, OutputNames []string
+	// Terms are the product terms: input cube and output mask per row.
+	Terms []Term
+}
+
+// Term is one cover row.
+type Term struct {
+	// Cube[i] is '0', '1' or '-' for input i.
+	Cube []byte
+	// Outputs[j] reports whether the term belongs to output j's cover.
+	Outputs []bool
+}
+
+// Parse reads a PLA description.
+func Parse(r io.Reader) (*PLA, error) {
+	sc := bufio.NewScanner(r)
+	p := &PLA{NumInputs: -1, NumOutputs: -1}
+	declaredTerms := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".i":
+			n, err := positiveArg(fields)
+			if err != nil {
+				return nil, fmt.Errorf("pla: line %d: .i: %v", lineNo, err)
+			}
+			p.NumInputs = n
+		case ".o":
+			n, err := positiveArg(fields)
+			if err != nil {
+				return nil, fmt.Errorf("pla: line %d: .o: %v", lineNo, err)
+			}
+			p.NumOutputs = n
+		case ".p":
+			n, err := positiveArg(fields)
+			if err != nil {
+				return nil, fmt.Errorf("pla: line %d: .p: %v", lineNo, err)
+			}
+			declaredTerms = n
+		case ".ilb":
+			p.InputNames = append([]string{}, fields[1:]...)
+		case ".ob":
+			p.OutputNames = append([]string{}, fields[1:]...)
+		case ".e", ".end":
+			// terminator; ignore the rest
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("pla: line %d: unsupported directive %s", lineNo, fields[0])
+			}
+			if p.NumInputs < 0 || p.NumOutputs < 0 {
+				return nil, fmt.Errorf("pla: line %d: product term before .i/.o", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla: line %d: expected '<cube> <outputs>'", lineNo)
+			}
+			term, err := parseTerm(fields[0], fields[1], p.NumInputs, p.NumOutputs)
+			if err != nil {
+				return nil, fmt.Errorf("pla: line %d: %v", lineNo, err)
+			}
+			p.Terms = append(p.Terms, term)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.NumInputs < 0 || p.NumOutputs < 0 {
+		return nil, fmt.Errorf("pla: missing .i/.o declarations")
+	}
+	if declaredTerms >= 0 && declaredTerms != len(p.Terms) {
+		return nil, fmt.Errorf("pla: .p declares %d terms, found %d", declaredTerms, len(p.Terms))
+	}
+	if p.InputNames != nil && len(p.InputNames) != p.NumInputs {
+		return nil, fmt.Errorf("pla: .ilb names %d inputs, .i declares %d", len(p.InputNames), p.NumInputs)
+	}
+	if p.OutputNames != nil && len(p.OutputNames) != p.NumOutputs {
+		return nil, fmt.Errorf("pla: .ob names %d outputs, .o declares %d", len(p.OutputNames), p.NumOutputs)
+	}
+	return p, nil
+}
+
+func positiveArg(fields []string) (int, error) {
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("expected one argument")
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad count %q", fields[1])
+	}
+	return n, nil
+}
+
+func parseTerm(cube, outs string, ni, no int) (Term, error) {
+	if len(cube) != ni {
+		return Term{}, fmt.Errorf("cube %q has %d characters, want %d", cube, len(cube), ni)
+	}
+	if len(outs) != no {
+		return Term{}, fmt.Errorf("output part %q has %d characters, want %d", outs, len(outs), no)
+	}
+	t := Term{Cube: make([]byte, ni), Outputs: make([]bool, no)}
+	for i := 0; i < ni; i++ {
+		switch cube[i] {
+		case '0', '1', '-':
+			t.Cube[i] = cube[i]
+		default:
+			return Term{}, fmt.Errorf("bad cube character %q", cube[i])
+		}
+	}
+	for j := 0; j < no; j++ {
+		switch outs[j] {
+		case '1':
+			t.Outputs[j] = true
+		case '0', '-', '~':
+			t.Outputs[j] = false
+		default:
+			return Term{}, fmt.Errorf("bad output character %q", outs[j])
+		}
+	}
+	return t, nil
+}
+
+// Matches reports whether the term's cube covers the assignment
+// (x[i] = value of input i).
+func (t Term) Matches(x []bool) bool {
+	for i, c := range t.Cube {
+		if c == '-' {
+			continue
+		}
+		if (c == '1') != x[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OutputTable compiles output j to its truth table over the inputs.
+func (p *PLA) OutputTable(j int) *truthtable.Table {
+	if j < 0 || j >= p.NumOutputs {
+		panic("pla: output index out of range")
+	}
+	return truthtable.FromFunc(p.NumInputs, func(x []bool) bool {
+		for _, t := range p.Terms {
+			if t.Outputs[j] && t.Matches(x) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Tables compiles every output.
+func (p *PLA) Tables() []*truthtable.Table {
+	out := make([]*truthtable.Table, p.NumOutputs)
+	for j := range out {
+		out[j] = p.OutputTable(j)
+	}
+	return out
+}
+
+// FromTable builds a (canonical minterm) PLA for a single function — one
+// term per satisfying assignment. Useful for writing a function out in an
+// interchangeable form; no two-level minimization is attempted.
+func FromTable(tt *truthtable.Table) *PLA {
+	n := tt.NumVars()
+	p := &PLA{NumInputs: n, NumOutputs: 1}
+	for idx := uint64(0); idx < tt.Size(); idx++ {
+		if !tt.Bit(idx) {
+			continue
+		}
+		cube := make([]byte, n)
+		for i := 0; i < n; i++ {
+			if idx>>uint(i)&1 == 1 {
+				cube[i] = '1'
+			} else {
+				cube[i] = '0'
+			}
+		}
+		p.Terms = append(p.Terms, Term{Cube: cube, Outputs: []bool{true}})
+	}
+	return p
+}
+
+// Write serializes the PLA.
+func (p *PLA) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".i %d\n.o %d\n", p.NumInputs, p.NumOutputs)
+	if p.InputNames != nil {
+		fmt.Fprintf(bw, ".ilb %s\n", strings.Join(p.InputNames, " "))
+	}
+	if p.OutputNames != nil {
+		fmt.Fprintf(bw, ".ob %s\n", strings.Join(p.OutputNames, " "))
+	}
+	fmt.Fprintf(bw, ".p %d\n", len(p.Terms))
+	for _, t := range p.Terms {
+		bw.Write(t.Cube)
+		bw.WriteByte(' ')
+		for _, o := range t.Outputs {
+			if o {
+				bw.WriteByte('1')
+			} else {
+				bw.WriteByte('0')
+			}
+		}
+		bw.WriteByte('\n')
+	}
+	fmt.Fprintln(bw, ".e")
+	return bw.Flush()
+}

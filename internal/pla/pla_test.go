@@ -1,0 +1,160 @@
+package pla
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+const adderPLA = `# 1-bit full adder: inputs a b cin, outputs sum carry
+.i 3
+.o 2
+.ilb a b cin
+.ob sum carry
+.p 7
+100 10
+010 10
+001 10
+111 11
+11- 01
+1-1 01
+-11 01
+.e
+`
+
+func TestParseAdder(t *testing.T) {
+	p, err := Parse(strings.NewReader(adderPLA))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.NumInputs != 3 || p.NumOutputs != 2 || len(p.Terms) != 7 {
+		t.Fatalf("shape wrong: %+v", p)
+	}
+	if p.InputNames[2] != "cin" || p.OutputNames[1] != "carry" {
+		t.Errorf("names wrong")
+	}
+	sum := p.OutputTable(0)
+	carry := p.OutputTable(1)
+	wantSum := truthtable.FromFunc(3, func(x []bool) bool {
+		c := 0
+		for _, v := range x {
+			if v {
+				c++
+			}
+		}
+		return c%2 == 1
+	})
+	wantCarry := funcs.Majority(3)
+	if !sum.Equal(wantSum) {
+		t.Errorf("sum output wrong")
+	}
+	if !carry.Equal(wantCarry) {
+		t.Errorf("carry output wrong")
+	}
+	if len(p.Tables()) != 2 {
+		t.Errorf("Tables length wrong")
+	}
+}
+
+func TestDontCareAndTilde(t *testing.T) {
+	src := ".i 2\n.o 1\n-1 1\n10 ~\n.e\n"
+	p, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tt := p.OutputTable(0)
+	// Only the -1 cube contributes: x1 = 1.
+	if !tt.Equal(truthtable.Var(2, 1)) {
+		t.Errorf("don't-care handling wrong: %s", tt.Hex())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no decls":      "01 1\n",
+		"bad i":         ".i x\n",
+		"bad o":         ".o -2\n",
+		"bad directive": ".i 2\n.o 1\n.type fr\n",
+		"cube length":   ".i 3\n.o 1\n01 1\n",
+		"output length": ".i 2\n.o 2\n01 1\n",
+		"cube char":     ".i 2\n.o 1\n0x 1\n",
+		"output char":   ".i 2\n.o 1\n01 2\n",
+		"missing decls": "# nothing\n",
+		"p mismatch":    ".i 2\n.o 1\n.p 2\n01 1\n.e\n",
+		"ilb mismatch":  ".i 2\n.o 1\n.ilb a\n01 1\n",
+		"ob mismatch":   ".i 2\n.o 1\n.ob a b\n01 1\n",
+		"term shape":    ".i 2\n.o 1\n01 1 extra\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Parse succeeded on %q", name, src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := Parse(strings.NewReader(adderPLA))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	for j := 0; j < p.NumOutputs; j++ {
+		if !back.OutputTable(j).Equal(p.OutputTable(j)) {
+			t.Errorf("output %d changed in round trip", j)
+		}
+	}
+}
+
+func TestFromTableRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + trial%5
+		tt := truthtable.Random(n, rng)
+		p := FromTable(tt)
+		if p.NumInputs != n || p.NumOutputs != 1 {
+			t.Fatalf("FromTable shape wrong")
+		}
+		if uint64(len(p.Terms)) != tt.CountOnes() {
+			t.Fatalf("term count %d != ones %d", len(p.Terms), tt.CountOnes())
+		}
+		if !p.OutputTable(0).Equal(tt) {
+			t.Fatalf("FromTable does not reproduce the function")
+		}
+	}
+}
+
+func TestOptimalOrderingFromPLA(t *testing.T) {
+	// End-to-end Corollary 2 path: the PLA carry output's optimum equals
+	// the direct majority function's.
+	p, err := Parse(strings.NewReader(adderPLA))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	viaPLA := core.OptimalOrdering(p.OutputTable(1), nil)
+	direct := core.OptimalOrdering(funcs.Majority(3), nil)
+	if viaPLA.MinCost != direct.MinCost {
+		t.Errorf("PLA path optimum %d != direct %d", viaPLA.MinCost, direct.MinCost)
+	}
+}
+
+func TestOutputTablePanics(t *testing.T) {
+	p := &PLA{NumInputs: 2, NumOutputs: 1}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic on bad output index")
+		}
+	}()
+	p.OutputTable(3)
+}

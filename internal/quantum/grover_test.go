@@ -1,0 +1,178 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformStateNormalized(t *testing.T) {
+	for q := 0; q <= 8; q++ {
+		s := NewGroverState(q)
+		var norm float64
+		for _, a := range s.amps {
+			norm += a * a
+		}
+		if math.Abs(norm-1) > 1e-12 {
+			t.Errorf("q=%d: norm %v", q, norm)
+		}
+	}
+}
+
+func TestNewGroverStatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("q=30 did not panic")
+		}
+	}()
+	NewGroverState(30)
+}
+
+func TestIteratePreservesNorm(t *testing.T) {
+	s := NewGroverState(6)
+	marked := func(x uint64) bool { return x == 37 }
+	for i := 0; i < 10; i++ {
+		s.Iterate(marked)
+		var norm float64
+		for _, a := range s.amps {
+			norm += a * a
+		}
+		if math.Abs(norm-1) > 1e-10 {
+			t.Fatalf("iteration %d: norm %v", i, norm)
+		}
+	}
+}
+
+func TestGroverAmplification(t *testing.T) {
+	// Single marked state among 2^8: after ⌊π/4·√N⌋ iterations success
+	// probability must exceed 1 − 1/N (theory: sin²((2k+1)θ)).
+	q := 8
+	marked := func(x uint64) bool { return x == 123 }
+	s := NewGroverState(q)
+	iters := OptimalIterations(1<<uint(q), 1)
+	for i := 0; i < iters; i++ {
+		s.Iterate(marked)
+	}
+	p := s.SuccessProbability(marked)
+	if p < 0.99 {
+		t.Errorf("success probability %v after %d iterations", p, iters)
+	}
+	// And the iteration count is Θ(√N): between √N/2 and 2√N.
+	sq := math.Sqrt(float64(uint64(1) << uint(q)))
+	if float64(iters) < sq/2 || float64(iters) > 2*sq {
+		t.Errorf("iteration count %d not Θ(√N)=%v", iters, sq)
+	}
+}
+
+func TestGroverSuccessProbabilityMatchesTheory(t *testing.T) {
+	// p_k = sin²((2k+1)·θ) with sin²θ = t/N. Check a multi-marked case.
+	q, tMarked := 7, uint64(5)
+	n := uint64(1) << uint(q)
+	marked := func(x uint64) bool { return x < tMarked }
+	theta := math.Asin(math.Sqrt(float64(tMarked) / float64(n)))
+	s := NewGroverState(q)
+	for k := 1; k <= 6; k++ {
+		s.Iterate(marked)
+		want := math.Pow(math.Sin(float64(2*k+1)*theta), 2)
+		got := s.SuccessProbability(marked)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("k=%d: p=%v, theory %v", k, got, want)
+		}
+	}
+}
+
+func TestGroverSearchFindsMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	hits := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		target := uint64(rng.Intn(256))
+		got, queries := GroverSearch(8, func(x uint64) bool { return x == target }, rng)
+		if got == target {
+			hits++
+		}
+		if queries < 8 || queries > 32 {
+			t.Errorf("queries %d outside Θ(√256)", queries)
+		}
+	}
+	if hits < trials*9/10 {
+		t.Errorf("GroverSearch hit rate %d/%d", hits, trials)
+	}
+}
+
+func TestGroverSearchNoMarked(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	_, queries := GroverSearch(5, func(uint64) bool { return false }, rng)
+	if queries != 0 {
+		t.Errorf("no-marked search should run zero iterations, got %d", queries)
+	}
+}
+
+func TestGroverMinimumCorrectAndCheap(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	q := 7
+	n := uint64(1) << uint(q)
+	okCount := 0
+	var totalQueries int
+	const trials = 25
+	costs := make([]uint64, n)
+	for trial := 0; trial < trials; trial++ {
+		min := uint64(math.MaxUint64)
+		for i := range costs {
+			costs[i] = uint64(rng.Intn(1000))
+			if costs[i] < min {
+				min = costs[i]
+			}
+		}
+		got, queries := GroverMinimum(q, func(x uint64) uint64 { return costs[x] }, rng)
+		totalQueries += queries
+		if costs[got] == min {
+			okCount++
+		}
+	}
+	if okCount < trials*8/10 {
+		t.Errorf("GroverMinimum success rate %d/%d", okCount, trials)
+	}
+	// Average queries should be O(√N·log-ish): far below N.
+	avg := float64(totalQueries) / trials
+	if avg > float64(n)/2 {
+		t.Errorf("average queries %v not sublinear in N=%d", avg, n)
+	}
+	if avg < math.Sqrt(float64(n)) {
+		t.Errorf("average queries %v below √N — accounting too optimistic", avg)
+	}
+}
+
+func TestGroverMinimumQueriesTrackDurrHoyerModel(t *testing.T) {
+	// The fast DurrHoyer simulator's metered queries and the statevector
+	// implementation's actual queries must agree within a small factor on
+	// identical instances — the validation experiment E16 relies on.
+	rng := rand.New(rand.NewSource(204))
+	q := 6
+	n := uint64(1) << uint(q)
+	costs := make([]uint64, n)
+	for i := range costs {
+		costs[i] = uint64(rng.Intn(500))
+	}
+	cost := func(x uint64) uint64 { return costs[x] }
+
+	var sv float64
+	const reps = 20
+	for r := 0; r < reps; r++ {
+		_, qs := GroverMinimum(q, cost, rng)
+		sv += float64(qs)
+	}
+	sv /= reps
+
+	meter := &Meter{}
+	dh := &DurrHoyer{Rng: rng, Meter: meter}
+	for r := 0; r < reps; r++ {
+		dh.MinIndex(n, cost)
+	}
+	model := meter.Queries / reps
+
+	ratio := sv / model
+	if ratio < 0.2 || ratio > 8 {
+		t.Errorf("statevector %.1f vs model %.1f queries: ratio %.2f out of band", sv, model, ratio)
+	}
+}

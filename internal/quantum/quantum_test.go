@@ -1,0 +1,168 @@
+package quantum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func costsFromSlice(c []uint64) func(uint64) uint64 {
+	return func(i uint64) uint64 { return c[i] }
+}
+
+func TestExactFindsMinimum(t *testing.T) {
+	m := &Meter{}
+	e := &Exact{Eps: 0.001, Meter: m}
+	costs := []uint64{5, 3, 9, 3, 7}
+	got := e.MinIndex(5, costsFromSlice(costs))
+	if got != 1 {
+		t.Errorf("MinIndex = %d, want 1 (first minimum)", got)
+	}
+	if m.OracleEvals != 5 || m.Invocations != 1 {
+		t.Errorf("meter: %+v", m)
+	}
+	want := LemmaSixQueries(5, 0.001)
+	if math.Abs(m.Queries-want) > 1e-12 {
+		t.Errorf("Queries = %v, want %v", m.Queries, want)
+	}
+}
+
+func TestExactNilMeter(t *testing.T) {
+	e := &Exact{Eps: 0.5}
+	if got := e.MinIndex(3, costsFromSlice([]uint64{2, 1, 2})); got != 1 {
+		t.Errorf("nil-meter MinIndex = %d", got)
+	}
+}
+
+func TestExactPanicsOnEmptyDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("no panic on empty domain")
+		}
+	}()
+	(&Exact{}).MinIndex(0, func(uint64) uint64 { return 0 })
+}
+
+func TestLemmaSixQueries(t *testing.T) {
+	if LemmaSixQueries(0, 0.1) != 0 {
+		t.Errorf("N=0 should cost 0")
+	}
+	// √100·ln(1/e^-1)= 10·1 with eps = 1/e.
+	got := LemmaSixQueries(100, math.Exp(-1))
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("LemmaSixQueries(100, 1/e) = %v, want 10", got)
+	}
+	// Degenerate eps values fall back to a sane default rather than ±Inf.
+	if v := LemmaSixQueries(4, 0); math.IsInf(v, 0) || v <= 0 {
+		t.Errorf("eps=0 gave %v", v)
+	}
+	if v := LemmaSixQueries(4, 2); math.IsInf(v, 0) || v <= 0 {
+		t.Errorf("eps=2 gave %v", v)
+	}
+}
+
+func TestNoisyEpsZeroIsExact(t *testing.T) {
+	q := &Noisy{Eps: 0, Rng: rand.New(rand.NewSource(1))}
+	costs := []uint64{4, 4, 1, 9}
+	for i := 0; i < 20; i++ {
+		if got := q.MinIndex(4, costsFromSlice(costs)); got != 2 {
+			t.Fatalf("eps=0 returned %d", got)
+		}
+	}
+}
+
+func TestNoisyEpsOneAlwaysErrs(t *testing.T) {
+	q := &Noisy{Eps: 1, Rng: rand.New(rand.NewSource(2))}
+	costs := []uint64{4, 4, 1, 9}
+	for i := 0; i < 20; i++ {
+		got := q.MinIndex(4, costsFromSlice(costs))
+		if costs[got] == 1 {
+			t.Fatalf("eps=1 returned a minimum")
+		}
+	}
+}
+
+func TestNoisyConstantCostsReturnValidIndex(t *testing.T) {
+	// With all costs equal there is no non-minimal index; even ε=1 must
+	// return the minimum.
+	q := &Noisy{Eps: 1, Rng: rand.New(rand.NewSource(3))}
+	got := q.MinIndex(5, func(uint64) uint64 { return 7 })
+	if got >= 5 {
+		t.Errorf("invalid index %d", got)
+	}
+}
+
+func TestNoisyErrorRateApproximatesEps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := &Noisy{Eps: 0.3, Rng: rng}
+	costs := []uint64{0, 1, 2, 3}
+	errs := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if q.MinIndex(4, costsFromSlice(costs)) != 0 {
+			errs++
+		}
+	}
+	rate := float64(errs) / trials
+	if math.Abs(rate-0.3) > 0.05 {
+		t.Errorf("error rate %v, want ≈ 0.3", rate)
+	}
+}
+
+func TestDurrHoyerAlwaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := &DurrHoyer{Rng: rng, Meter: &Meter{}}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(64)
+		costs := make([]uint64, n)
+		min := uint64(math.MaxUint64)
+		for i := range costs {
+			costs[i] = uint64(rng.Intn(40))
+			if costs[i] < min {
+				min = costs[i]
+			}
+		}
+		got := d.MinIndex(uint64(n), costsFromSlice(costs))
+		if costs[got] != min {
+			t.Fatalf("DurrHoyer returned cost %d, min is %d", costs[got], min)
+		}
+	}
+}
+
+func TestDurrHoyerQueryScaling(t *testing.T) {
+	// Average metered queries over random instances must stay within a
+	// modest constant of √N (Dürr–Høyer's 22.5·√N bound is loose; the
+	// expectation is ≈ 4.5·√N for distinct costs, lower with ties).
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{16, 64, 256, 1024} {
+		m := &Meter{}
+		d := &DurrHoyer{Rng: rng, Meter: m}
+		const reps = 30
+		for r := 0; r < reps; r++ {
+			costs := make([]uint64, n)
+			for i := range costs {
+				costs[i] = rng.Uint64() % 1000003
+			}
+			d.MinIndex(uint64(n), costsFromSlice(costs))
+		}
+		avg := m.Queries / reps
+		bound := 25 * math.Sqrt(float64(n))
+		if avg > bound {
+			t.Errorf("n=%d: avg queries %v exceeds %v", n, avg, bound)
+		}
+		if avg < math.Sqrt(float64(n)) {
+			t.Errorf("n=%d: avg queries %v below √N — final verification not charged?", n, avg)
+		}
+	}
+}
+
+func TestMeterNilSafety(t *testing.T) {
+	var m *Meter
+	m.addQueries(1)
+	m.addEvals(1)
+	m.invoked()
+	d := &DurrHoyer{Rng: rand.New(rand.NewSource(1))}
+	if got := d.MinIndex(4, costsFromSlice([]uint64{3, 1, 2, 8})); got != 1 {
+		t.Errorf("nil meter DurrHoyer got %d", got)
+	}
+}

@@ -1,0 +1,103 @@
+package truthtable
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiTable is the truth table of a multi-valued function
+// f : {0,1}^n → Z ⊂ ℕ, the input of the MTBDD generalization of the
+// dynamic program (Remark 2 of the restatement). Cell indexing follows the
+// same convention as Table: variable i contributes bit i of the index.
+type MultiTable struct {
+	n    int
+	vals []int
+}
+
+// NewMulti returns the all-zero multi-valued function over n variables.
+func NewMulti(n int) *MultiTable {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("truthtable: variable count %d out of range [0,%d]", n, MaxVars))
+	}
+	return &MultiTable{n: n, vals: make([]int, 1<<uint(n))}
+}
+
+// MultiFromFunc builds the table of f by evaluating it on all assignments.
+func MultiFromFunc(n int, f func(x []bool) int) *MultiTable {
+	t := NewMulti(n)
+	x := make([]bool, n)
+	for idx := range t.vals {
+		for i := 0; i < n; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		t.vals[idx] = f(x)
+	}
+	return t
+}
+
+// FromBool lifts a Boolean table to a {0,1}-valued MultiTable.
+func FromBool(b *Table) *MultiTable {
+	t := NewMulti(b.NumVars())
+	for idx := uint64(0); idx < b.Size(); idx++ {
+		if b.Bit(idx) {
+			t.vals[idx] = 1
+		}
+	}
+	return t
+}
+
+// NumVars returns the number of variables.
+func (t *MultiTable) NumVars() int { return t.n }
+
+// Size returns 2^n.
+func (t *MultiTable) Size() uint64 { return 1 << uint(t.n) }
+
+// At returns the function value at cell index idx.
+func (t *MultiTable) At(idx uint64) int { return t.vals[idx] }
+
+// Set assigns the function value at cell index idx.
+func (t *MultiTable) Set(idx uint64, v int) { t.vals[idx] = v }
+
+// Values returns the sorted set of distinct function values — the terminal
+// nodes of the minimum MTBDD.
+func (t *MultiTable) Values() []int {
+	seen := map[int]bool{}
+	for _, v := range t.vals {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Dense returns a copy of the table with values renumbered to 0..k−1 in
+// increasing value order, along with the value corresponding to each dense
+// code. Dense codes are the terminal IDs used by the dynamic program.
+func (t *MultiTable) Dense() (codes []uint32, terminals []int) {
+	terminals = t.Values()
+	rank := make(map[int]uint32, len(terminals))
+	for i, v := range terminals {
+		rank[v] = uint32(i)
+	}
+	codes = make([]uint32, len(t.vals))
+	for i, v := range t.vals {
+		codes[i] = rank[v]
+	}
+	return codes, terminals
+}
+
+// Equal reports whether the two tables are the same function.
+func (t *MultiTable) Equal(o *MultiTable) bool {
+	if t.n != o.n {
+		return false
+	}
+	for i := range t.vals {
+		if t.vals[i] != o.vals[i] {
+			return false
+		}
+	}
+	return true
+}

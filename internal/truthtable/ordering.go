@@ -1,0 +1,124 @@
+package truthtable
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Ordering is a variable ordering in the papers' bottom-up convention:
+// Ordering[0] is the variable read last (level 1, adjacent to the
+// terminals), Ordering[len−1] the variable read first (the root level).
+// Entries are 0-based variable indices and must form a permutation.
+type Ordering []int
+
+// IdentityOrdering returns (0, 1, …, n−1): variable 0 at the bottom.
+// Reading top-down this is x_n first, x_1 last — the papers' natural
+// ordering (x_1, …, x_n) read root-first corresponds to ReverseOrdering.
+func IdentityOrdering(n int) Ordering {
+	o := make(Ordering, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// ReverseOrdering returns (n−1, …, 1, 0): variable 0 at the root, i.e. the
+// conventional "x_1 read first" ordering written bottom-up.
+func ReverseOrdering(n int) Ordering {
+	o := make(Ordering, n)
+	for i := range o {
+		o[i] = n - 1 - i
+	}
+	return o
+}
+
+// RandomOrdering returns a uniformly random permutation drawn from rng.
+func RandomOrdering(n int, rng *rand.Rand) Ordering {
+	return Ordering(rng.Perm(n))
+}
+
+// Valid reports whether o is a permutation of {0, …, len(o)−1}.
+func (o Ordering) Valid() bool {
+	seen := make([]bool, len(o))
+	for _, v := range o {
+		if v < 0 || v >= len(o) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Clone returns a copy of o.
+func (o Ordering) Clone() Ordering {
+	c := make(Ordering, len(o))
+	copy(c, o)
+	return c
+}
+
+// RootFirst returns the ordering listed from the root down — the order in
+// which a top-down evaluation reads the variables.
+func (o Ordering) RootFirst() []int {
+	r := make([]int, len(o))
+	for i, v := range o {
+		r[len(o)-1-i] = v
+	}
+	return r
+}
+
+// FromRootFirst converts a root-first variable list into the bottom-up
+// convention used throughout this repository.
+func FromRootFirst(vars []int) Ordering {
+	o := make(Ordering, len(vars))
+	for i, v := range vars {
+		o[len(vars)-1-i] = v
+	}
+	return o
+}
+
+// LevelOf returns the 1-based level at which variable v is read (level 1 is
+// the bottom). It returns 0 if v does not appear.
+func (o Ordering) LevelOf(v int) int {
+	for i, w := range o {
+		if w == v {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// String renders the ordering root-first in the papers' x_i notation, e.g.
+// "(x1, x3, x2)" meaning x1 is read first.
+func (o Ordering) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range o.RootFirst() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "x%d", v+1)
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Swap exchanges the variables at levels i+1 and j+1 (0-based positions i
+// and j) in place.
+func (o Ordering) Swap(i, j int) { o[i], o[j] = o[j], o[i] }
+
+// MoveTo moves the variable currently at position from to position to,
+// shifting the intermediate variables, in place. It is the primitive of
+// the sifting heuristic.
+func (o Ordering) MoveTo(from, to int) {
+	if from == to {
+		return
+	}
+	v := o[from]
+	if from < to {
+		copy(o[from:to], o[from+1:to+1])
+	} else {
+		copy(o[to+1:from+1], o[to:from])
+	}
+	o[to] = v
+}

@@ -1,0 +1,164 @@
+package truthtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityAndReverse(t *testing.T) {
+	id := IdentityOrdering(4)
+	rev := ReverseOrdering(4)
+	if !id.Valid() || !rev.Valid() {
+		t.Fatalf("orderings invalid")
+	}
+	for i := 0; i < 4; i++ {
+		if id[i] != i {
+			t.Errorf("identity[%d] = %d", i, id[i])
+		}
+		if rev[i] != 3-i {
+			t.Errorf("reverse[%d] = %d", i, rev[i])
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		o    Ordering
+		want bool
+	}{
+		{Ordering{}, true},
+		{Ordering{0}, true},
+		{Ordering{1, 0, 2}, true},
+		{Ordering{0, 0, 1}, false},
+		{Ordering{0, 3, 1}, false},
+		{Ordering{-1, 0}, false},
+	}
+	for _, c := range cases {
+		if c.o.Valid() != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.o, c.o.Valid(), c.want)
+		}
+	}
+}
+
+func TestRootFirstRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		o := RandomOrdering(n, rng)
+		back := FromRootFirst(o.RootFirst())
+		for i := range o {
+			if back[i] != o[i] {
+				t.Fatalf("RootFirst round trip failed: %v vs %v", o, back)
+			}
+		}
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	o := Ordering{2, 0, 1} // x2 at level 1, x0 at level 2, x1 at level 3 (root)
+	if o.LevelOf(2) != 1 || o.LevelOf(0) != 2 || o.LevelOf(1) != 3 {
+		t.Errorf("LevelOf wrong: %d %d %d", o.LevelOf(2), o.LevelOf(0), o.LevelOf(1))
+	}
+	if o.LevelOf(9) != 0 {
+		t.Errorf("LevelOf missing variable should be 0")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	// Bottom-up (2,0,1) means root-first (x2, x1, x3) in 1-based names.
+	o := Ordering{2, 0, 1}
+	if got := o.String(); got != "(x2, x1, x3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMoveTo(t *testing.T) {
+	o := Ordering{0, 1, 2, 3, 4}
+	o.MoveTo(1, 3)
+	want := Ordering{0, 2, 3, 1, 4}
+	for i := range want {
+		if o[i] != want[i] {
+			t.Fatalf("MoveTo forward: got %v, want %v", o, want)
+		}
+	}
+	o = Ordering{0, 1, 2, 3, 4}
+	o.MoveTo(3, 0)
+	want = Ordering{3, 0, 1, 2, 4}
+	for i := range want {
+		if o[i] != want[i] {
+			t.Fatalf("MoveTo backward: got %v, want %v", o, want)
+		}
+	}
+	o.MoveTo(2, 2) // no-op
+	if !o.Valid() {
+		t.Errorf("MoveTo no-op broke ordering")
+	}
+}
+
+func TestMoveToStaysPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	o := RandomOrdering(9, rng)
+	for trial := 0; trial < 200; trial++ {
+		o.MoveTo(rng.Intn(9), rng.Intn(9))
+		if !o.Valid() {
+			t.Fatalf("MoveTo produced non-permutation: %v", o)
+		}
+	}
+}
+
+func TestSwap(t *testing.T) {
+	o := Ordering{0, 1, 2}
+	o.Swap(0, 2)
+	if o[0] != 2 || o[2] != 0 {
+		t.Errorf("Swap failed: %v", o)
+	}
+}
+
+func TestMultiTableBasics(t *testing.T) {
+	// Weight function: number of true inputs.
+	w := MultiFromFunc(3, func(x []bool) int {
+		c := 0
+		for _, v := range x {
+			if v {
+				c++
+			}
+		}
+		return c
+	})
+	if w.At(0) != 0 || w.At(7) != 3 || w.At(5) != 2 {
+		t.Errorf("weight values wrong: %d %d %d", w.At(0), w.At(7), w.At(5))
+	}
+	vals := w.Values()
+	if len(vals) != 4 || vals[0] != 0 || vals[3] != 3 {
+		t.Errorf("Values = %v", vals)
+	}
+	codes, terms := w.Dense()
+	if len(terms) != 4 {
+		t.Errorf("Dense terminals = %v", terms)
+	}
+	for i, c := range codes {
+		if terms[c] != w.At(uint64(i)) {
+			t.Errorf("Dense code mismatch at %d", i)
+		}
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	b := Var(3, 1)
+	m := FromBool(b)
+	for idx := uint64(0); idx < b.Size(); idx++ {
+		want := 0
+		if b.Bit(idx) {
+			want = 1
+		}
+		if m.At(idx) != want {
+			t.Errorf("FromBool wrong at %d", idx)
+		}
+	}
+	if !m.Equal(FromBool(b)) {
+		t.Errorf("Equal failed")
+	}
+	if m.Equal(NewMulti(2)) {
+		t.Errorf("Equal across n should be false")
+	}
+}

@@ -1,0 +1,53 @@
+package zdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+func benchFamilies(n, m int, rng *rand.Rand) ([]bitops.Mask, []bitops.Mask) {
+	a := randomFamily(n, m, rng)
+	b := randomFamily(n, m, rng)
+	return a, b
+}
+
+// BenchmarkUnion measures family union over random 14-element families.
+func BenchmarkUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(14, nil)
+	fa, fb := benchFamilies(14, 400, rng)
+	x, y := m.FromFamily(fa), m.FromFamily(fb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Union(x, y)
+	}
+}
+
+// BenchmarkJoin measures Minato's product on moderate families.
+func BenchmarkJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(12, nil)
+	fa, fb := benchFamilies(12, 60, rng)
+	x, y := m.FromFamily(fa), m.FromFamily(fb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Join(x, y)
+	}
+}
+
+// BenchmarkFromTruthTable measures the 2^n construction path.
+func BenchmarkFromTruthTable(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tt := truthtable.Random(14, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(14, nil)
+		m.FromTruthTable(tt)
+	}
+}

@@ -1,0 +1,100 @@
+package zdd
+
+// Minato's algebraic operators on set families: subset extraction and
+// weak division, the primitives of ZDD-based logic factorization and
+// combinatorics (unate cube-set algebra).
+
+// Subset1 returns {S ∖ {v} : S ∈ f, v ∈ S} — the members containing v,
+// with v removed.
+func (m *Manager) Subset1(f Node, v int) Node {
+	level := uint32(m.levelOfVar[v])
+	memo := map[Node]Node{}
+	var rec func(Node) Node
+	rec = func(g Node) Node {
+		if m.level(g) > level {
+			return Empty // v cannot occur below its level
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := m.nodes[g]
+		var r Node
+		if d.level == level {
+			r = d.hi
+		} else {
+			r = m.mk(d.level, rec(d.lo), rec(d.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Subset0 returns {S ∈ f : v ∉ S} — the members not containing v.
+func (m *Manager) Subset0(f Node, v int) Node {
+	level := uint32(m.levelOfVar[v])
+	memo := map[Node]Node{}
+	var rec func(Node) Node
+	rec = func(g Node) Node {
+		if m.level(g) > level {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := m.nodes[g]
+		var r Node
+		if d.level == level {
+			r = d.lo
+		} else {
+			r = m.mk(d.level, rec(d.lo), rec(d.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Divide returns Minato's weak division f / g: the largest family q with
+// Join(q, g) ⊆ f and every member of q disjoint from every member of g.
+// Together with Remainder it factorizes f = Join(f/g, g) ∪ rem.
+func (m *Manager) Divide(f, g Node) Node {
+	switch {
+	case g == Empty:
+		panic("zdd: division by the empty family")
+	case g == Unit:
+		return f
+	case f == Empty || f == Unit:
+		return Empty
+	}
+	key := opKey{'/', f, g}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	var r Node
+	if m.level(f) < m.level(g) {
+		// f's top element w is absent from g, so quotient members may
+		// contain w freely: split the quotient on w.
+		d := m.nodes[f]
+		r = m.mk(d.level, m.Divide(d.lo, g), m.Divide(d.hi, g))
+	} else {
+		// Split on g's top element v (level(g) ≤ level(f), so f's
+		// v-cofactors are well defined). Quotient members never contain
+		// v (disjointness): q must satisfy q ⋈ g1 ⊆ f1 and q ⋈ g0 ⊆ f0.
+		top := m.level(g)
+		g0, g1 := m.cofactorsAt(g, top)
+		f0, f1 := m.cofactorsAt(f, top)
+		r = m.Divide(f1, g1)
+		if r != Empty && g0 != Empty {
+			r = m.Intersect(r, m.Divide(f0, g0))
+		}
+	}
+	m.opCache[key] = r
+	return r
+}
+
+// Remainder returns f ∖ Join(f/g, g), completing the weak division
+// f = Join(f/g, g) ∪ Remainder(f, g) (a disjoint union).
+func (m *Manager) Remainder(f, g Node) Node {
+	return m.Diff(f, m.Join(m.Divide(f, g), g))
+}

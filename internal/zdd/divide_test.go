@@ -1,0 +1,131 @@
+package zdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+func TestSubset01(t *testing.T) {
+	m := New(4, nil)
+	fam := m.FromFamily([]bitops.Mask{0b0001, 0b0011, 0b0110, 0b0000})
+	s1 := m.Subset1(fam, 0)
+	want1 := toRef([]bitops.Mask{0b0000, 0b0010})
+	got1 := toRef(m.ToFamily(s1))
+	if len(got1) != len(want1) {
+		t.Fatalf("Subset1 = %v", m.FamilyString(s1))
+	}
+	for s := range want1 {
+		if !got1[s] {
+			t.Fatalf("Subset1 missing %b", s)
+		}
+	}
+	s0 := m.Subset0(fam, 0)
+	want0 := toRef([]bitops.Mask{0b0110, 0b0000})
+	got0 := toRef(m.ToFamily(s0))
+	if len(got0) != len(want0) {
+		t.Fatalf("Subset0 = %v", m.FamilyString(s0))
+	}
+	for s := range want0 {
+		if !got0[s] {
+			t.Fatalf("Subset0 missing %b", s)
+		}
+	}
+	// Partition property: f = Subset0 ∪ Join(Subset1, {{v}}).
+	back := m.Union(s0, m.Join(s1, m.Single(0)))
+	if back != fam {
+		t.Errorf("Subset0/1 do not partition the family")
+	}
+}
+
+// refDivide computes weak division by definition, for cross-checking.
+func refDivide(f, g []bitops.Mask, n int) map[bitops.Mask]bool {
+	inF := map[bitops.Mask]bool{}
+	for _, s := range f {
+		inF[s] = true
+	}
+	q := map[bitops.Mask]bool{}
+	for s := bitops.Mask(0); s < 1<<uint(n); s++ {
+		ok := true
+		for _, tg := range g {
+			if s&tg != 0 || !inF[s|tg] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			q[s] = true
+		}
+	}
+	return q
+}
+
+func TestDivideAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + trial%4
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		fam := randomFamily(n, 1+rng.Intn(10), rng)
+		div := randomFamily(n, 1+rng.Intn(3), rng)
+		f := m.FromFamily(fam)
+		g := m.FromFamily(div)
+		q := m.Divide(f, g)
+		want := refDivide(fam, div, n)
+		got := toRef(m.ToFamily(q))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: quotient %v, want %d members", n, m.FamilyString(q), len(want))
+		}
+		for s := range want {
+			if !got[s] {
+				t.Fatalf("quotient missing %b", s)
+			}
+		}
+		// Factorization: f = Join(q, g) ⊎ remainder (disjoint).
+		jq := m.Join(q, g)
+		rem := m.Remainder(f, g)
+		if m.Union(jq, rem) != f {
+			t.Fatalf("factorization does not recompose f")
+		}
+		if m.Intersect(jq, rem) != Empty {
+			t.Fatalf("quotient·divisor and remainder overlap")
+		}
+		if m.Diff(jq, f) != Empty {
+			t.Fatalf("Join(q,g) ⊄ f")
+		}
+	}
+}
+
+func TestDivideIdentities(t *testing.T) {
+	m := New(3, nil)
+	fam := m.FromFamily([]bitops.Mask{0b001, 0b011, 0b101})
+	if m.Divide(fam, Unit) != fam {
+		t.Errorf("f / {∅} != f")
+	}
+	if m.Divide(Empty, m.Single(0)) != Empty {
+		t.Errorf("∅ / g != ∅")
+	}
+	// Dividing by {{v}} equals Subset1 on v.
+	if m.Divide(fam, m.Single(0)) != m.Subset1(fam, 0) {
+		t.Errorf("f / {{v}} != Subset1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("division by ∅ did not panic")
+		}
+	}()
+	m.Divide(fam, Empty)
+}
+
+func TestDivideSelf(t *testing.T) {
+	// f / f ⊇ {∅} when f nonempty and f's members can't pair with
+	// another nonempty member disjointly… at minimum ∅ ∈ f/f iff every
+	// member of f is in f (trivially true): f/f always contains ∅.
+	m := New(3, nil)
+	fam := m.FromFamily([]bitops.Mask{0b001, 0b010})
+	q := m.Divide(fam, fam)
+	if !m.Contains(q, 0) {
+		t.Errorf("∅ ∉ f/f: %s", m.FamilyString(q))
+	}
+}

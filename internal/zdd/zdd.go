@@ -1,0 +1,418 @@
+// Package zdd implements zero-suppressed decision diagrams (Minato 1993),
+// the OBDD variant the papers adapt their algorithm to with a two-line
+// modification (Remark 2). A ZDD canonically represents a family of
+// subsets of {0, …, n−1}: the 1-terminal is the family {∅}, the 0-terminal
+// the empty family, and a node (v, lo, hi) represents
+// lo ∪ {S ∪ {v} : S ∈ hi}. The zero-suppression rule — a node whose hi
+// edge is the 0-terminal is skipped — makes ZDDs compact exactly on the
+// sparse families that combinatorial applications produce.
+//
+// The package mirrors internal/bdd structurally (unique table, memoized
+// set operations) and exists both as a substrate for the set-family
+// examples and as the independent cross-check of the dynamic program's ZDD
+// rule (experiment E9).
+package zdd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// Node identifies a ZDD node within its Manager.
+type Node uint32
+
+// Terminals: Empty is the empty family ∅; Unit is the family {∅}.
+const (
+	Empty Node = 0
+	Unit  Node = 1
+)
+
+type nodeData struct {
+	level  uint32
+	lo, hi Node
+}
+
+type mkKey struct {
+	level  uint32
+	lo, hi Node
+}
+
+type opKey struct {
+	op   byte
+	f, g Node
+}
+
+// Manager owns a collection of shared ZDD nodes over a fixed element
+// ordering. Managers are not safe for concurrent use.
+type Manager struct {
+	nvars      int
+	varAtLevel []int
+	levelOfVar []int
+	nodes      []nodeData
+	unique     map[mkKey]Node
+	opCache    map[opKey]Node
+}
+
+// New returns a manager over n elements with the given bottom-up ordering
+// (nil selects element 0 at the root).
+func New(n int, order truthtable.Ordering) *Manager {
+	if order == nil {
+		order = truthtable.ReverseOrdering(n)
+	}
+	if len(order) != n || !order.Valid() {
+		panic("zdd: ordering is not a permutation of the elements")
+	}
+	m := &Manager{
+		nvars:      n,
+		varAtLevel: order.RootFirst(),
+		levelOfVar: make([]int, n),
+		nodes:      []nodeData{{level: uint32(n)}, {level: uint32(n)}},
+		unique:     make(map[mkKey]Node),
+		opCache:    make(map[opKey]Node),
+	}
+	for lvl, v := range m.varAtLevel {
+		m.levelOfVar[v] = lvl
+	}
+	return m
+}
+
+// NumVars returns the number of elements of the universe.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// Ordering returns the manager's element ordering, bottom-up.
+func (m *Manager) Ordering() truthtable.Ordering {
+	return truthtable.FromRootFirst(append([]int{}, m.varAtLevel...))
+}
+
+func (m *Manager) level(f Node) uint32 { return m.nodes[f].level }
+
+// mk applies the zero-suppression rule and the unique table.
+func (m *Manager) mk(level uint32, lo, hi Node) Node {
+	if hi == Empty {
+		return lo
+	}
+	key := mkKey{level, lo, hi}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, nodeData{level: level, lo: lo, hi: hi})
+	m.unique[key] = n
+	return n
+}
+
+// Single returns the family {{v}}.
+func (m *Manager) Single(v int) Node {
+	if v < 0 || v >= m.nvars {
+		panic("zdd: Single element out of range")
+	}
+	return m.mk(uint32(m.levelOfVar[v]), Empty, Unit)
+}
+
+// Base returns the family {∅}.
+func (m *Manager) Base() Node { return Unit }
+
+// cofactorsAt splits f at the given level: f = lo ∪ {S∪{v} : S ∈ hi}.
+func (m *Manager) cofactorsAt(f Node, level uint32) (lo, hi Node) {
+	if m.level(f) == level {
+		d := m.nodes[f]
+		return d.lo, d.hi
+	}
+	return f, Empty
+}
+
+// Union returns f ∪ g.
+func (m *Manager) Union(f, g Node) Node {
+	switch {
+	case f == Empty:
+		return g
+	case g == Empty || f == g:
+		return f
+	}
+	key := opKey{'u', minNode(f, g), maxNode(f, g)}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	top := minU32(m.level(f), m.level(g))
+	f0, f1 := m.cofactorsAt(f, top)
+	g0, g1 := m.cofactorsAt(g, top)
+	r := m.mk(top, m.Union(f0, g0), m.Union(f1, g1))
+	m.opCache[key] = r
+	return r
+}
+
+// Intersect returns f ∩ g.
+func (m *Manager) Intersect(f, g Node) Node {
+	switch {
+	case f == Empty || g == Empty:
+		return Empty
+	case f == g:
+		return f
+	}
+	key := opKey{'i', minNode(f, g), maxNode(f, g)}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	top := minU32(m.level(f), m.level(g))
+	f0, f1 := m.cofactorsAt(f, top)
+	g0, g1 := m.cofactorsAt(g, top)
+	r := m.mk(top, m.Intersect(f0, g0), m.Intersect(f1, g1))
+	m.opCache[key] = r
+	return r
+}
+
+// Diff returns f ∖ g.
+func (m *Manager) Diff(f, g Node) Node {
+	switch {
+	case f == Empty || f == g:
+		return Empty
+	case g == Empty:
+		return f
+	}
+	key := opKey{'d', f, g}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	top := minU32(m.level(f), m.level(g))
+	f0, f1 := m.cofactorsAt(f, top)
+	g0, g1 := m.cofactorsAt(g, top)
+	r := m.mk(top, m.Diff(f0, g0), m.Diff(f1, g1))
+	m.opCache[key] = r
+	return r
+}
+
+// Join returns {S ∪ T : S ∈ f, T ∈ g}, Minato's product of families.
+func (m *Manager) Join(f, g Node) Node {
+	switch {
+	case f == Empty || g == Empty:
+		return Empty
+	case f == Unit:
+		return g
+	case g == Unit:
+		return f
+	}
+	key := opKey{'j', minNode(f, g), maxNode(f, g)}
+	if r, ok := m.opCache[key]; ok {
+		return r
+	}
+	top := minU32(m.level(f), m.level(g))
+	f0, f1 := m.cofactorsAt(f, top)
+	g0, g1 := m.cofactorsAt(g, top)
+	// Sets containing the top element arise from any pairing with at
+	// least one hi part.
+	hi := m.Union(m.Union(m.Join(f1, g1), m.Join(f1, g0)), m.Join(f0, g1))
+	r := m.mk(top, m.Join(f0, g0), hi)
+	m.opCache[key] = r
+	return r
+}
+
+// Change toggles element v in every member set.
+func (m *Manager) Change(f Node, v int) Node {
+	level := uint32(m.levelOfVar[v])
+	var rec func(Node) Node
+	memo := map[Node]Node{}
+	rec = func(g Node) Node {
+		if m.level(g) > level {
+			// v absent below here: toggle inserts v into every set.
+			return m.mk(level, Empty, g)
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		d := m.nodes[g]
+		var r Node
+		if d.level == level {
+			r = m.mk(level, d.hi, d.lo)
+		} else {
+			r = m.mk(d.level, rec(d.lo), rec(d.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Count returns the number of member sets of the family f.
+func (m *Manager) Count(f Node) uint64 {
+	memo := map[Node]uint64{}
+	var rec func(Node) uint64
+	rec = func(g Node) uint64 {
+		switch g {
+		case Empty:
+			return 0
+		case Unit:
+			return 1
+		}
+		if c, ok := memo[g]; ok {
+			return c
+		}
+		d := m.nodes[g]
+		c := rec(d.lo) + rec(d.hi)
+		memo[g] = c
+		return c
+	}
+	return rec(f)
+}
+
+// Contains reports whether the set (as an element mask) is in the family.
+func (m *Manager) Contains(f Node, set bitops.Mask) bool {
+	for lvl := 0; lvl < m.nvars; lvl++ {
+		v := m.varAtLevel[lvl]
+		lo, hi := m.cofactorsAt(f, uint32(lvl))
+		if set.Has(v) {
+			f = hi
+		} else {
+			f = lo
+		}
+	}
+	return f == Unit
+}
+
+// FromFamily builds the ZDD of an explicit family of sets.
+func (m *Manager) FromFamily(sets []bitops.Mask) Node {
+	f := Empty
+	for _, s := range sets {
+		one := Unit
+		// Insert elements bottom-up (deepest level first) so mk sees
+		// canonical children.
+		for lvl := m.nvars - 1; lvl >= 0; lvl-- {
+			v := m.varAtLevel[lvl]
+			if s.Has(v) {
+				one = m.mk(uint32(lvl), Empty, one)
+			}
+		}
+		f = m.Union(f, one)
+	}
+	return f
+}
+
+// ToFamily lists the member sets of f in ascending mask order.
+func (m *Manager) ToFamily(f Node) []bitops.Mask {
+	var out []bitops.Mask
+	var rec func(g Node, acc bitops.Mask)
+	rec = func(g Node, acc bitops.Mask) {
+		switch g {
+		case Empty:
+			return
+		case Unit:
+			out = append(out, acc)
+			return
+		}
+		d := m.nodes[g]
+		v := m.varAtLevel[d.level]
+		rec(d.lo, acc)
+		rec(d.hi, acc.With(v))
+	}
+	rec(f, 0)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FromTruthTable builds the ZDD of the family whose characteristic
+// function is tt (cell index bit v = element v present).
+func (m *Manager) FromTruthTable(tt *truthtable.Table) Node {
+	if tt.NumVars() != m.nvars {
+		panic("zdd: truth table variable count mismatch")
+	}
+	n := m.nvars
+	size := tt.Size()
+	cur := make([]Node, size)
+	for idx := uint64(0); idx < size; idx++ {
+		var ttIdx uint64
+		for j := 0; j < n; j++ {
+			if idx>>uint(j)&1 == 1 {
+				ttIdx |= 1 << uint(m.varAtLevel[n-1-j])
+			}
+		}
+		if tt.Bit(ttIdx) {
+			cur[idx] = Unit
+		} else {
+			cur[idx] = Empty
+		}
+	}
+	for level := n - 1; level >= 0; level-- {
+		next := make([]Node, len(cur)/2)
+		for i := range next {
+			next[i] = m.mk(uint32(level), cur[2*i], cur[2*i+1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// CountNodes returns the number of nonterminal nodes reachable from f.
+func (m *Manager) CountNodes(f Node) uint64 {
+	var count uint64
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == Empty || g == Unit || seen[g] {
+			return
+		}
+		seen[g] = true
+		count++
+		rec(m.nodes[g].lo)
+		rec(m.nodes[g].hi)
+	}
+	rec(f)
+	return count
+}
+
+// LevelCounts returns reachable node counts per level, bottom-up, matching
+// the dynamic program's ZDD profile for the same ordering.
+func (m *Manager) LevelCounts(f Node) []uint64 {
+	counts := make([]uint64, m.nvars)
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == Empty || g == Unit || seen[g] {
+			return
+		}
+		seen[g] = true
+		d := m.nodes[g]
+		counts[uint32(m.nvars)-1-d.level]++
+		rec(d.lo)
+		rec(d.hi)
+	}
+	rec(f)
+	return counts
+}
+
+// String renders small families for diagnostics, e.g. "{{}, {x1,x3}}".
+func (m *Manager) FamilyString(f Node) string {
+	fam := m.ToFamily(f)
+	parts := make([]string, len(fam))
+	for i, s := range fam {
+		var elems []string
+		for _, v := range s.Members(nil) {
+			elems = append(elems, fmt.Sprintf("x%d", v+1))
+		}
+		parts[i] = "{" + strings.Join(elems, ",") + "}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func minNode(a, b Node) Node {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxNode(a, b Node) Node {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

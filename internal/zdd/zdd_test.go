@@ -1,0 +1,253 @@
+package zdd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+// refFamily materializes a family as a map for reference comparisons.
+type refFamily map[bitops.Mask]bool
+
+func toRef(sets []bitops.Mask) refFamily {
+	r := refFamily{}
+	for _, s := range sets {
+		r[s] = true
+	}
+	return r
+}
+
+func randomFamily(n, m int, rng *rand.Rand) []bitops.Mask {
+	if max := 1 << uint(n); m > max {
+		m = max
+	}
+	seen := map[bitops.Mask]bool{}
+	for len(seen) < m {
+		seen[bitops.Mask(rng.Uint64())&bitops.FullMask(n)] = true
+	}
+	var out []bitops.Mask
+	for s := range seen {
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestTerminalsAndSingle(t *testing.T) {
+	m := New(3, nil)
+	if m.Count(Empty) != 0 || m.Count(Unit) != 1 {
+		t.Fatalf("terminal counts wrong")
+	}
+	s := m.Single(1)
+	if m.Count(s) != 1 || !m.Contains(s, bitops.Mask(0b010)) {
+		t.Errorf("Single(1) wrong")
+	}
+	if m.Contains(s, 0) {
+		t.Errorf("Single(1) should not contain ∅")
+	}
+	if m.Base() != Unit {
+		t.Errorf("Base should be Unit")
+	}
+}
+
+func TestFromToFamilyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + trial%6
+		maxM := 1 << uint(n)
+		fam := randomFamily(n, 1+rng.Intn(maxM), rng)
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		f := m.FromFamily(fam)
+		if m.Count(f) != uint64(len(fam)) {
+			t.Fatalf("Count %d != %d", m.Count(f), len(fam))
+		}
+		back := toRef(m.ToFamily(f))
+		want := toRef(fam)
+		if len(back) != len(want) {
+			t.Fatalf("family round trip size mismatch")
+		}
+		for s := range want {
+			if !back[s] {
+				t.Fatalf("set %b lost in round trip", s)
+			}
+			if !m.Contains(f, s) {
+				t.Fatalf("Contains(%b) false for member", s)
+			}
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + trial%4
+		m := New(n, truthtable.RandomOrdering(n, rng))
+		fa := randomFamily(n, 1+rng.Intn(6), rng)
+		fb := randomFamily(n, 1+rng.Intn(6), rng)
+		a, b := m.FromFamily(fa), m.FromFamily(fb)
+		ra, rb := toRef(fa), toRef(fb)
+
+		union := toRef(m.ToFamily(m.Union(a, b)))
+		inter := toRef(m.ToFamily(m.Intersect(a, b)))
+		diff := toRef(m.ToFamily(m.Diff(a, b)))
+		for s := bitops.Mask(0); s < 1<<uint(n); s++ {
+			if union[s] != (ra[s] || rb[s]) {
+				t.Fatalf("union wrong at %b", s)
+			}
+			if inter[s] != (ra[s] && rb[s]) {
+				t.Fatalf("intersect wrong at %b", s)
+			}
+			if diff[s] != (ra[s] && !rb[s]) {
+				t.Fatalf("diff wrong at %b", s)
+			}
+		}
+		// Join: all pairwise unions.
+		join := toRef(m.ToFamily(m.Join(a, b)))
+		wantJoin := refFamily{}
+		for s := range ra {
+			for u := range rb {
+				wantJoin[s|u] = true
+			}
+		}
+		if len(join) != len(wantJoin) {
+			t.Fatalf("join size %d != %d", len(join), len(wantJoin))
+		}
+		for s := range wantJoin {
+			if !join[s] {
+				t.Fatalf("join missing %b", s)
+			}
+		}
+	}
+}
+
+func TestJoinIdentities(t *testing.T) {
+	m := New(4, nil)
+	fam := m.FromFamily([]bitops.Mask{0b0011, 0b0100})
+	if m.Join(fam, Unit) != fam || m.Join(Unit, fam) != fam {
+		t.Errorf("Unit is not the Join identity")
+	}
+	if m.Join(fam, Empty) != Empty {
+		t.Errorf("Empty does not annihilate Join")
+	}
+}
+
+func TestChange(t *testing.T) {
+	m := New(3, nil)
+	fam := m.FromFamily([]bitops.Mask{0b000, 0b011})
+	c := m.Change(fam, 0)
+	got := toRef(m.ToFamily(c))
+	want := toRef([]bitops.Mask{0b001, 0b010})
+	for s := range want {
+		if !got[s] {
+			t.Fatalf("Change missing %b: got %v", s, m.FamilyString(c))
+		}
+	}
+	// Change is an involution.
+	if m.Change(c, 0) != fam {
+		t.Errorf("Change twice is not identity")
+	}
+}
+
+func TestZeroSuppressionCanonicity(t *testing.T) {
+	// Families over different universe sizes: adding unused elements must
+	// not change the diagram node count — the defining ZDD property.
+	fam := []bitops.Mask{0b01, 0b10}
+	m3 := New(2, nil)
+	m8 := New(8, nil)
+	f3 := m3.FromFamily(fam)
+	f8 := m8.FromFamily(fam)
+	if m3.CountNodes(f3) != m8.CountNodes(f8) {
+		t.Errorf("ZDD size depends on unused universe elements: %d vs %d",
+			m3.CountNodes(f3), m8.CountNodes(f8))
+	}
+}
+
+func TestLevelCountsMatchDPZDDProfile(t *testing.T) {
+	// Cross-check of the dynamic program's ZDD compaction rule
+	// (experiment E9): manager level counts equal DP widths.
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + trial%5
+		tt := truthtable.Random(n, rng)
+		ord := truthtable.RandomOrdering(n, rng)
+		m := New(n, ord)
+		f := m.FromTruthTable(tt)
+		got := m.LevelCounts(f)
+		want := core.Profile(tt, ord, core.ZDD, nil)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: ZDD level %d count %d != DP width %d (f=%s ord=%v)",
+					n, i+1, got[i], want[i], tt.Hex(), ord)
+			}
+		}
+	}
+}
+
+func TestZDDOptimalMatchesManager(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + trial%4
+		tt := truthtable.Random(n, rng)
+		res := core.OptimalOrdering(tt, &core.Options{Rule: core.ZDD})
+		m := New(n, res.Ordering)
+		f := m.FromTruthTable(tt)
+		if m.CountNodes(f) != res.MinCost {
+			t.Fatalf("manager ZDD nodes %d != DP MinCost %d", m.CountNodes(f), res.MinCost)
+		}
+	}
+}
+
+func TestFromTruthTableMatchesFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	n := 5
+	fam := randomFamily(n, 7, rng)
+	tt := truthtable.New(n)
+	for _, s := range fam {
+		tt.Set(uint64(s), true)
+	}
+	m := New(n, truthtable.RandomOrdering(n, rng))
+	if m.FromTruthTable(tt) != m.FromFamily(fam) {
+		t.Errorf("FromTruthTable and FromFamily disagree")
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	m := New(3, nil)
+	f := m.FromFamily([]bitops.Mask{0, 0b101})
+	s := m.FamilyString(f)
+	if s != "{{}, {x1,x3}}" {
+		t.Errorf("FamilyString = %q", s)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	m := New(2, nil)
+	for name, fn := range map[string]func(){
+		"bad order":   func() { New(2, truthtable.Ordering{1, 1}) },
+		"single oob":  func() { m.Single(2) },
+		"tt mismatch": func() { m.FromTruthTable(truthtable.New(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	m := New(2, nil)
+	f := m.FromFamily([]bitops.Mask{0b01, 0b10})
+	dot := m.DOT(f, "pair")
+	for _, want := range []string{"digraph", "x1", "x2", "shape=box", "style=dashed", "ε"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
