@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments examples fuzz clean
+.PHONY: all build test test-short race bench experiments examples fuzz trace-demo clean
 
 all: build test
 
@@ -35,6 +35,14 @@ examples:
 	$(GO) run ./examples/ordering-quality
 	$(GO) run ./examples/dynamic-reordering
 	$(GO) run ./examples/factorization
+
+# Observability demo: live per-layer progress on stderr plus the JSON run
+# report on stdout for a 12-variable instance (three disjoint AND pairs
+# plus a parity tail — large enough that the layer cadence is visible).
+trace-demo:
+	$(GO) run ./cmd/optobdd \
+		-expr 'x1&x2 | x3&x4 | x5&x6 | x7&x8 | x9&x10 | x11&x12' \
+		-progress -json
 
 # Short fuzzing sessions over the two text-format parsers.
 fuzz:

@@ -7,44 +7,117 @@
 //	bddbench -exp E4    # run one experiment at full size
 //	bddbench -exp all   # run everything (minutes)
 //	bddbench -exp all -quick -seed 7
+//	bddbench -exp E2 -json          # machine-readable per-experiment reports
+//	bddbench -exp all -progress     # live per-experiment status on stderr
+//	bddbench -exp E5 -debug-addr localhost:6060
+//
+// Observability: -json wraps each experiment in a run report (schema
+// internal/obs.RunReport) carrying wall time, the experiment's table text
+// in `details`, and the delta of the process-wide obs metrics counters
+// (cell ops, compactions, evaluations, …) attributable to that
+// experiment; the reports are emitted as one JSON array on stdout.
+// -progress announces each experiment on stderr as it starts and
+// finishes. -debug-addr serves net/http/pprof and expvar (/debug/vars).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"obddopt/internal/exp"
+	"obddopt/internal/obs"
 )
 
 func main() {
 	var (
-		expID = flag.String("exp", "", "experiment ID (E1..E18) or 'all'")
-		seed  = flag.Int64("seed", 1, "random seed for workload generation")
-		quick = flag.Bool("quick", false, "shrink problem sizes (CI-friendly)")
+		expID     = flag.String("exp", "", "experiment ID (E1..E18) or 'all'")
+		seed      = flag.Int64("seed", 1, "random seed for workload generation")
+		quick     = flag.Bool("quick", false, "shrink problem sizes (CI-friendly)")
+		jsonOut   = flag.Bool("json", false, "emit one JSON run report per experiment (array on stdout)")
+		progress  = flag.Bool("progress", false, "announce each experiment on stderr")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this address")
 	)
 	flag.Parse()
-	if err := runMain(os.Stdout, *expID, *seed, *quick); err != nil {
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bddbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bddbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
+	if err := runMain(os.Stdout, os.Stderr, *expID, *seed, *quick, *jsonOut, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "bddbench:", err)
 		os.Exit(1)
 	}
 }
 
 // runMain dispatches one invocation; factored out of main for testing.
-func runMain(w io.Writer, expID string, seed int64, quick bool) error {
+func runMain(stdout, stderr io.Writer, expID string, seed int64, quick, jsonOut, progress bool) error {
 	cfg := exp.Config{Seed: seed, Quick: quick}
-	switch expID {
-	case "":
-		fmt.Fprintln(w, "available experiments (run with -exp <id> or -exp all):")
+	if expID == "" {
+		fmt.Fprintln(stdout, "available experiments (run with -exp <id> or -exp all):")
 		for _, id := range exp.IDs() {
 			desc, _ := exp.Describe(id)
-			fmt.Fprintf(w, "  %-4s %s\n", id, desc)
+			fmt.Fprintf(stdout, "  %-4s %s\n", id, desc)
 		}
 		return nil
-	case "all":
-		return exp.RunAll(w, cfg)
-	default:
-		return exp.Run(expID, w, cfg)
 	}
+
+	ids := []string{expID}
+	if expID == "all" {
+		ids = exp.IDs()
+	}
+
+	var reports []*obs.RunReport
+	for _, id := range ids {
+		if progress {
+			desc, _ := exp.Describe(id)
+			fmt.Fprintf(stderr, "[bddbench] %s: %s ...\n", id, desc)
+		}
+		out := stdout
+		var buf bytes.Buffer
+		if jsonOut {
+			out = &buf
+		}
+		before := obs.MetricsSnapshot()
+		start := time.Now()
+		err := exp.Run(id, out, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			if expID == "all" {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			return err
+		}
+		if progress {
+			fmt.Fprintf(stderr, "[bddbench] %s: done in %s\n", id, elapsed.Round(time.Millisecond))
+		}
+		if jsonOut {
+			desc, _ := exp.Describe(id)
+			reports = append(reports, &obs.RunReport{
+				Tool:      "bddbench",
+				Algorithm: id,
+				ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+				Metrics:   obs.MetricsDelta(before, obs.MetricsSnapshot()),
+				Details: map[string]string{
+					"description": desc,
+					"output":      buf.String(),
+				},
+			})
+		} else if expID == "all" {
+			fmt.Fprintln(stdout)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	return nil
 }

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
+
+	"obddopt/internal/obs"
 )
 
 func TestRunMainList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "", 1, true); err != nil {
+	if err := runMain(&buf, io.Discard, "", 1, true, false, false); err != nil {
 		t.Fatalf("list: %v", err)
 	}
 	for _, want := range []string{"E1", "E18", "available experiments"} {
@@ -20,7 +24,7 @@ func TestRunMainList(t *testing.T) {
 
 func TestRunMainSingle(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "E2", 1, true); err != nil {
+	if err := runMain(&buf, io.Discard, "E2", 1, true, false, false); err != nil {
 		t.Fatalf("E2: %v", err)
 	}
 	if !strings.Contains(buf.String(), "2.97625") {
@@ -28,9 +32,43 @@ func TestRunMainSingle(t *testing.T) {
 	}
 }
 
+func TestRunMainJSON(t *testing.T) {
+	var out, errw bytes.Buffer
+	// E4 runs the FS dynamic program, so the metrics delta must show the
+	// cell operations it performed.
+	if err := runMain(&out, &errw, "E4", 1, true, true, true); err != nil {
+		t.Fatalf("E4 json: %v", err)
+	}
+	var reports []obs.RunReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 1 {
+		t.Fatalf("want 1 report, got %d", len(reports))
+	}
+	rep := reports[0]
+	if rep.Tool != "bddbench" || rep.Algorithm != "E4" {
+		t.Errorf("report identity wrong: %+v", rep)
+	}
+	details, ok := rep.Details.(map[string]any)
+	if !ok || details["output"].(string) == "" {
+		t.Errorf("report details missing experiment table: %v", rep.Details)
+	}
+	metrics, ok := rep.Metrics.(map[string]any)
+	if !ok {
+		t.Fatalf("metrics delta missing: %T", rep.Metrics)
+	}
+	if v, ok := metrics["cell_ops"].(float64); !ok || v <= 0 {
+		t.Errorf("metrics delta cell_ops missing or zero: %v", metrics["cell_ops"])
+	}
+	if !strings.Contains(errw.String(), "E4: done in") {
+		t.Errorf("progress lines missing from stderr: %q", errw.String())
+	}
+}
+
 func TestRunMainUnknown(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runMain(&buf, "E99", 1, true); err == nil {
+	if err := runMain(&buf, io.Discard, "E99", 1, true, false, false); err == nil {
 		t.Errorf("unknown experiment should error")
 	}
 }

@@ -8,11 +8,15 @@
 //	bddstats -expr 'x1 & x2 | x3 & x4'
 //	bddstats -expr '…' -order 3,1,2,4       # root-first, 1-based
 //	bddstats -hex '4:8001' -compare
+//	bddstats -hex '4:8001' -compare -json   # machine-readable report
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -20,6 +24,7 @@ import (
 	"obddopt/internal/core"
 	"obddopt/internal/expr"
 	"obddopt/internal/heuristics"
+	"obddopt/internal/obs"
 	"obddopt/internal/sym"
 	"obddopt/internal/truthtable"
 )
@@ -31,15 +36,48 @@ func main() {
 		hexSrc   = flag.String("hex", "", "truth-table literal n:hexdigits")
 		orderStr = flag.String("order", "", "root-first 1-based ordering, e.g. 3,1,2 (default natural)")
 		compare  = flag.Bool("compare", false, "also compute the exact optimum and the sifting result")
+		jsonOut  = flag.Bool("json", false, "emit a JSON run report on stdout instead of the text summary")
 	)
 	flag.Parse()
-	if err := run(*exprSrc, *nVars, *hexSrc, *orderStr, *compare); err != nil {
+	// Buffer stdout and flush exactly once, after the run completes, so
+	// output is emitted deterministically even when interleaved with
+	// stderr diagnostics.
+	w := bufio.NewWriter(os.Stdout)
+	err := run(w, *exprSrc, *nVars, *hexSrc, *orderStr, *compare, *jsonOut)
+	w.Flush()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bddstats:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exprSrc string, nVars int, hexSrc, orderStr string, compare bool) error {
+// statsReport is the `details` payload of the bddstats -json report.
+type statsReport struct {
+	Hex        string              `json:"hex"`
+	Satisfying uint64              `json:"satisfying"`
+	Assignment uint64              `json:"assignments"`
+	Support    int                 `json:"support"`
+	Ordering   truthtable.Ordering `json:"ordering"`
+	Rules      []ruleStats         `json:"rules"`
+	Symmetry   []string            `json:"symmetry,omitempty"`
+	Compare    *compareStats       `json:"compare,omitempty"`
+}
+
+type ruleStats struct {
+	Rule    core.Rule `json:"rule"`
+	Size    uint64    `json:"size"`
+	Profile []uint64  `json:"profile"`
+}
+
+type compareStats struct {
+	OptimalSize     uint64              `json:"optimal_size"`
+	OptimalOrdering truthtable.Ordering `json:"optimal_ordering"`
+	SiftCost        uint64              `json:"sift_nonterminals"`
+	SiftOrdering    truthtable.Ordering `json:"sift_ordering"`
+	Ratio           float64             `json:"size_ratio"`
+}
+
+func run(w io.Writer, exprSrc string, nVars int, hexSrc, orderStr string, compare, jsonOut bool) error {
 	var tt *truthtable.Table
 	switch {
 	case exprSrc != "" && hexSrc == "":
@@ -75,37 +113,68 @@ func run(exprSrc string, nVars int, hexSrc, orderStr string, compare bool) error
 		ord = parsed
 	}
 
-	fmt.Printf("function:   %d variables, %d/%d satisfying, support %d vars\n",
-		n, tt.CountOnes(), tt.Size(), tt.Support().Count())
-	fmt.Printf("hex:        %s\n", tt.Hex())
-	fmt.Printf("ordering:   %s (read first → last)\n", ord)
+	stats := statsReport{
+		Hex:        tt.Hex(),
+		Satisfying: tt.CountOnes(),
+		Assignment: tt.Size(),
+		Support:    tt.Support().Count(),
+		Ordering:   ord,
+	}
 	for _, rule := range []core.Rule{core.OBDD, core.ZDD} {
-		widths := core.Profile(tt, ord, rule, nil)
-		size := core.SizeUnder(tt, ord, rule, nil)
-		fmt.Printf("%-5s size: %d   level widths (bottom-up): %v\n", rule, size, widths)
+		stats.Rules = append(stats.Rules, ruleStats{
+			Rule:    rule,
+			Size:    core.SizeUnder(tt, ord, rule, nil),
+			Profile: core.Profile(tt, ord, rule, nil),
+		})
 	}
 	groups := sym.Groups(tt)
 	if len(groups) < n {
-		var parts []string
 		for _, g := range groups {
 			var names []string
 			for _, v := range g.Members(nil) {
 				names = append(names, fmt.Sprintf("x%d", v+1))
 			}
-			parts = append(parts, "{"+strings.Join(names, ",")+"}")
+			stats.Symmetry = append(stats.Symmetry, "{"+strings.Join(names, ",")+"}")
 		}
-		fmt.Printf("symmetry:   %s (%.3g effective orderings of %d! total)\n",
-			strings.Join(parts, " "), sym.EffectiveOrderings(groups), n)
-	} else {
-		fmt.Printf("symmetry:   none (all %d variables asymmetric)\n", n)
 	}
 	if compare {
 		opt := core.OptimalOrdering(tt, nil)
 		sift := heuristics.Sift(tt, core.OBDD, 0)
 		cur := core.SizeUnder(tt, ord, core.OBDD, nil)
-		fmt.Printf("optimum:    %d nodes under %s\n", opt.Size, opt.Ordering)
-		fmt.Printf("sifting:    %d nonterminals under %s\n", sift.MinCost, sift.Ordering)
-		fmt.Printf("your order: %.3f× the optimal size\n", float64(cur)/float64(opt.Size))
+		stats.Compare = &compareStats{
+			OptimalSize:     opt.Size,
+			OptimalOrdering: opt.Ordering,
+			SiftCost:        sift.MinCost,
+			SiftOrdering:    sift.Ordering,
+			Ratio:           float64(cur) / float64(opt.Size),
+		}
+	}
+
+	if jsonOut {
+		rep := &obs.RunReport{Tool: "bddstats", N: n, Details: stats}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+
+	fmt.Fprintf(w, "function:   %d variables, %d/%d satisfying, support %d vars\n",
+		n, stats.Satisfying, stats.Assignment, stats.Support)
+	fmt.Fprintf(w, "hex:        %s\n", stats.Hex)
+	fmt.Fprintf(w, "ordering:   %s (read first → last)\n", ord)
+	for _, rs := range stats.Rules {
+		fmt.Fprintf(w, "%-5s size: %d   level widths (bottom-up): %v\n", rs.Rule, rs.Size, rs.Profile)
+	}
+	if len(stats.Symmetry) > 0 {
+		fmt.Fprintf(w, "symmetry:   %s (%.3g effective orderings of %d! total)\n",
+			strings.Join(stats.Symmetry, " "), sym.EffectiveOrderings(groups), n)
+	} else {
+		fmt.Fprintf(w, "symmetry:   none (all %d variables asymmetric)\n", n)
+	}
+	if stats.Compare != nil {
+		c := stats.Compare
+		fmt.Fprintf(w, "optimum:    %d nodes under %s\n", c.OptimalSize, c.OptimalOrdering)
+		fmt.Fprintf(w, "sifting:    %d nonterminals under %s\n", c.SiftCost, c.SiftOrdering)
+		fmt.Fprintf(w, "your order: %.3f× the optimal size\n", c.Ratio)
 	}
 	return nil
 }

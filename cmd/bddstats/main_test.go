@@ -1,20 +1,53 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
 func TestRunBasics(t *testing.T) {
-	if err := run("x1 & x2 | x3 & x4", 0, "", "", true); err != nil {
+	if err := run(io.Discard, "x1 & x2 | x3 & x4", 0, "", "", true, false); err != nil {
 		t.Errorf("expr+compare: %v", err)
 	}
-	if err := run("", 0, "3:e8", "3,1,2", false); err != nil {
+	if err := run(io.Discard, "", 0, "3:e8", "3,1,2", false, false); err != nil {
 		t.Errorf("hex+order: %v", err)
 	}
-	if err := run("x1 ^ x2", 4, "", "", false); err != nil {
+	if err := run(io.Discard, "x1 ^ x2", 4, "", "", false, false); err != nil {
 		t.Errorf("explicit n: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "x1 & x2 | x3 & x4", 0, "", "", true, true); err != nil {
+		t.Fatalf("json run: %v", err)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Tool != "bddstats" || rep.N != 4 {
+		t.Errorf("report identity wrong: tool=%s n=%d", rep.Tool, rep.N)
+	}
+	details, ok := rep.Details.(map[string]any)
+	if !ok {
+		t.Fatalf("details missing: %T", rep.Details)
+	}
+	rules, ok := details["rules"].([]any)
+	if !ok || len(rules) != 2 {
+		t.Errorf("want OBDD+ZDD rule stats, got %v", details["rules"])
+	}
+	if _, ok := details["compare"].(map[string]any); !ok {
+		t.Errorf("compare section missing: %v", details["compare"])
+	}
+	if !strings.Contains(out.String(), `"rule": "OBDD"`) {
+		t.Errorf("rule names not serialized: %s", out.String())
 	}
 }
 
@@ -23,14 +56,14 @@ func TestRunErrors(t *testing.T) {
 		name string
 		err  error
 	}{
-		{"no source", run("", 0, "", "", false)},
-		{"two sources", run("x1", 0, "1:2", "", false)},
-		{"bad expr", run("x1 |", 0, "", "", false)},
-		{"bad hex", run("", 0, "nope", "", false)},
-		{"order length", run("x1 & x2", 0, "", "1", false)},
-		{"order value", run("x1 & x2", 0, "", "1,5", false)},
-		{"order dup", run("x1 & x2", 0, "", "1,1", false)},
-		{"order junk", run("x1 & x2", 0, "", "a,b", false)},
+		{"no source", run(io.Discard, "", 0, "", "", false, false)},
+		{"two sources", run(io.Discard, "x1", 0, "1:2", "", false, false)},
+		{"bad expr", run(io.Discard, "x1 |", 0, "", "", false, false)},
+		{"bad hex", run(io.Discard, "", 0, "nope", "", false, false)},
+		{"order length", run(io.Discard, "x1 & x2", 0, "", "1", false, false)},
+		{"order value", run(io.Discard, "x1 & x2", 0, "", "1,5", false, false)},
+		{"order dup", run(io.Discard, "x1 & x2", 0, "", "1,1", false, false)},
+		{"order junk", run(io.Discard, "x1 & x2", 0, "", "a,b", false, false)},
 	}
 	for _, c := range cases {
 		if c.err == nil {

@@ -9,129 +9,210 @@
 //	optobdd -circuit adder.ckt -output 2 -rule zdd -meter
 //	optobdd -pla benchmark.pla -output 0 -algo bnb
 //	optobdd -expr 'x1 ^ x2 ^ x3' -dot out.dot
+//	optobdd -expr 'x1 & x2 | x3 & x4' -progress -json
+//	optobdd -hex '4:cafe' -debug-addr localhost:6060
 //
 // The function is given as exactly one of -expr (formula over x1, x2, …),
 // -hex (truth-table literal "n:hexdigits"), -circuit (netlist file, see
 // internal/circuit), or -pla (Berkeley/espresso two-level cover); -output
 // selects the primary output for multi-output sources.
+//
+// Observability: -progress streams per-layer DP progress to stderr as the
+// run advances; -json replaces the human-readable summary with one JSON
+// run report (schema internal/obs.RunReport) on stdout; -debug-addr
+// serves net/http/pprof and expvar metrics (/debug/vars) while running.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"obddopt/internal/circuit"
 	"obddopt/internal/core"
 	"obddopt/internal/expr"
+	"obddopt/internal/obs"
 	"obddopt/internal/pla"
 	"obddopt/internal/truthtable"
 
 	obddopt "obddopt"
 )
 
+// config carries all flag values plus the output streams, so tests can
+// drive the tool end to end without touching process-global state.
+type config struct {
+	exprSrc  string
+	nVars    int
+	hexSrc   string
+	circFile string
+	plaFile  string
+	outIdx   int
+	algo     string
+	ruleName string
+	meter    bool
+	dotFile  string
+	progress bool
+	jsonOut  bool
+	stdout   io.Writer
+	stderr   io.Writer
+}
+
 func main() {
-	var (
-		exprSrc   = flag.String("expr", "", "Boolean formula over x1, x2, … (operators ! & ^ | -> <->)")
-		nVars     = flag.Int("n", 0, "variable count for -expr (default: highest variable used)")
-		hexSrc    = flag.String("hex", "", "truth-table literal in n:hexdigits form")
-		circFile  = flag.String("circuit", "", "netlist file (see internal/circuit format)")
-		plaFile   = flag.String("pla", "", "PLA (espresso) file")
-		outIdx    = flag.Int("output", 0, "primary output index for -circuit")
-		algo      = flag.String("algo", "fs", "algorithm: fs | brute | bnb | dnc")
-		ruleName  = flag.String("rule", "obdd", "diagram rule: obdd | zdd")
-		meterFlag = flag.Bool("meter", false, "print operation counts")
-		dotFile   = flag.String("dot", "", "write the minimum diagram in Graphviz format to this file")
-		shared    = flag.Bool("shared", false, "optimize all outputs of a -circuit/-pla source as one shared forest")
-	)
+	var cfg config
+	flag.StringVar(&cfg.exprSrc, "expr", "", "Boolean formula over x1, x2, … (operators ! & ^ | -> <->)")
+	flag.IntVar(&cfg.nVars, "n", 0, "variable count for -expr (default: highest variable used)")
+	flag.StringVar(&cfg.hexSrc, "hex", "", "truth-table literal in n:hexdigits form")
+	flag.StringVar(&cfg.circFile, "circuit", "", "netlist file (see internal/circuit format)")
+	flag.StringVar(&cfg.plaFile, "pla", "", "PLA (espresso) file")
+	flag.IntVar(&cfg.outIdx, "output", 0, "primary output index for -circuit")
+	flag.StringVar(&cfg.algo, "algo", "fs", "algorithm: fs | brute | bnb | dnc")
+	flag.StringVar(&cfg.ruleName, "rule", "obdd", "diagram rule: obdd | zdd")
+	flag.BoolVar(&cfg.meter, "meter", false, "print operation counts")
+	flag.StringVar(&cfg.dotFile, "dot", "", "write the minimum diagram in Graphviz format to this file")
+	flag.BoolVar(&cfg.progress, "progress", false, "stream per-layer progress to stderr")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a JSON run report on stdout instead of the text summary")
+	shared := flag.Bool("shared", false, "optimize all outputs of a -circuit/-pla source as one shared forest")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *shared {
-		if err := runShared(*circFile, *plaFile, *ruleName, *meterFlag); err != nil {
+	cfg.stdout, cfg.stderr = os.Stdout, os.Stderr
+
+	if *debugAddr != "" {
+		addr, err := obs.StartDebugServer(*debugAddr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "optobdd:", err)
 			os.Exit(1)
 		}
-		return
+		fmt.Fprintf(os.Stderr, "optobdd: debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
-	if err := run(*exprSrc, *nVars, *hexSrc, *circFile, *plaFile, *outIdx, *algo, *ruleName, *meterFlag, *dotFile); err != nil {
+
+	var err error
+	if *shared {
+		err = cfg.runShared()
+	} else {
+		err = cfg.run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "optobdd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exprSrc string, nVars int, hexSrc, circFile, plaFile string, outIdx int, algo, ruleName string, meterFlag bool, dotFile string) error {
-	tt, err := loadFunction(exprSrc, nVars, hexSrc, circFile, plaFile, outIdx)
+// tracer assembles the run's tracer chain: a Collector when a JSON report
+// is requested, a live Progress renderer when -progress is set. The
+// returned Tracer is nil when neither is active (the zero-cost path).
+func (c *config) tracer() (*obs.Collector, obs.Tracer) {
+	var chain []obs.Tracer
+	var col *obs.Collector
+	if c.jsonOut {
+		col = obs.NewCollector()
+		chain = append(chain, col)
+	}
+	if c.progress {
+		chain = append(chain, obs.NewProgress(c.stderr))
+	}
+	return col, obs.Multi(chain...)
+}
+
+// emitReport fills the run-identification fields and writes the report as
+// indented JSON to stdout.
+func (c *config) emitReport(rep *obs.RunReport, elapsed time.Duration) error {
+	rep.Tool = "optobdd"
+	rep.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	rep.Metrics = obs.MetricsSnapshot()
+	enc := json.NewEncoder(c.stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func (c *config) run() error {
+	tt, err := loadFunction(c.exprSrc, c.nVars, c.hexSrc, c.circFile, c.plaFile, c.outIdx)
 	if err != nil {
 		return err
 	}
 
-	var rule core.Rule
-	switch strings.ToLower(ruleName) {
-	case "obdd":
-		rule = core.OBDD
-	case "zdd":
-		rule = core.ZDD
-	default:
-		return fmt.Errorf("unknown rule %q (obdd or zdd)", ruleName)
+	rule, err := parseRule(c.ruleName)
+	if err != nil {
+		return err
 	}
 
+	col, tr := c.tracer()
 	meter := &core.Meter{}
-	opts := &core.Options{Rule: rule, Meter: meter}
+	opts := &core.Options{Rule: rule, Meter: meter, Trace: tr}
 	var res *core.Result
-	switch strings.ToLower(algo) {
+	start := time.Now()
+	switch strings.ToLower(c.algo) {
 	case "fs":
 		res = core.OptimalOrdering(tt, opts)
 	case "brute":
 		res = core.BruteForce(tt, &core.BruteForceOptions{Rule: rule, Meter: meter})
 	case "bnb":
-		res = core.BranchAndBound(tt, &core.BnBOptions{Rule: rule, Meter: meter})
+		res = core.BranchAndBound(tt, &core.BnBOptions{Rule: rule, Meter: meter, Trace: tr})
 	case "dnc":
-		res = core.DivideAndConquer(tt, &core.DnCOptions{Rule: rule, Meter: meter})
+		res = core.DivideAndConquer(tt, &core.DnCOptions{Rule: rule, Meter: meter, Trace: tr})
 	default:
-		return fmt.Errorf("unknown algorithm %q (fs, brute, bnb or dnc)", algo)
+		return fmt.Errorf("unknown algorithm %q (fs, brute, bnb or dnc)", c.algo)
 	}
+	elapsed := time.Since(start)
 
-	fmt.Printf("function:        %d variables, %d satisfying assignments\n", tt.NumVars(), tt.CountOnes())
-	fmt.Printf("rule:            %s\n", res.Rule)
-	fmt.Printf("optimal ordering %s (read first → last)\n", res.Ordering)
-	fmt.Printf("minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
-	fmt.Printf("level widths:    %v (bottom-up)\n", res.Profile)
-	if meterFlag {
-		fmt.Printf("meter:           %d cell ops, %d compactions, peak %d cells, %d evaluations\n",
-			meter.CellOps, meter.Compactions, meter.PeakCells, meter.Evaluations)
+	if c.jsonOut {
+		rep := col.Report()
+		rep.Algorithm = strings.ToLower(c.algo)
+		rep.Rule = res.Rule.String()
+		rep.N = res.N
+		rep.Meter = meter
+		rep.Result = res
+		if err := c.emitReport(rep, elapsed); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(c.stdout, "function:        %d variables, %d satisfying assignments\n", tt.NumVars(), tt.CountOnes())
+		fmt.Fprintf(c.stdout, "rule:            %s\n", res.Rule)
+		fmt.Fprintf(c.stdout, "optimal ordering %s (read first → last)\n", res.Ordering)
+		fmt.Fprintf(c.stdout, "minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
+		fmt.Fprintf(c.stdout, "level widths:    %v (bottom-up)\n", res.Profile)
+		if c.meter {
+			fmt.Fprintf(c.stdout, "meter:           %d cell ops, %d compactions, peak %d cells, %d evaluations\n",
+				meter.CellOps, meter.Compactions, meter.PeakCells, meter.Evaluations)
+		}
 	}
-	if dotFile != "" {
+	if c.dotFile != "" {
 		if rule != core.OBDD {
 			return fmt.Errorf("-dot supports the OBDD rule only")
 		}
 		m, root := obddopt.BuildBDD(tt, res.Ordering)
-		if err := os.WriteFile(dotFile, []byte(m.DOT(root, "optobdd")), 0o644); err != nil {
+		if err := os.WriteFile(c.dotFile, []byte(m.DOT(root, "optobdd")), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote diagram:   %s\n", dotFile)
+		if !c.jsonOut {
+			fmt.Fprintf(c.stdout, "wrote diagram:   %s\n", c.dotFile)
+		}
 	}
 	return nil
 }
 
 // runShared optimizes all outputs of a multi-output source jointly.
-func runShared(circFile, plaFile, ruleName string, meterFlag bool) error {
+func (c *config) runShared() error {
 	var tts []*truthtable.Table
 	switch {
-	case circFile != "" && plaFile == "":
-		f, err := os.Open(circFile)
+	case c.circFile != "" && c.plaFile == "":
+		f, err := os.Open(c.circFile)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		c, err := circuit.Parse(f)
+		ck, err := circuit.Parse(f)
 		if err != nil {
 			return err
 		}
-		for i := range c.Outputs {
-			tts = append(tts, c.OutputTable(i))
+		for i := range ck.Outputs {
+			tts = append(tts, ck.OutputTable(i))
 		}
-	case plaFile != "" && circFile == "":
-		f, err := os.Open(plaFile)
+	case c.plaFile != "" && c.circFile == "":
+		f, err := os.Open(c.plaFile)
 		if err != nil {
 			return err
 		}
@@ -144,27 +225,45 @@ func runShared(circFile, plaFile, ruleName string, meterFlag bool) error {
 	default:
 		return fmt.Errorf("-shared needs exactly one of -circuit or -pla")
 	}
-	var rule core.Rule
-	switch strings.ToLower(ruleName) {
-	case "obdd":
-		rule = core.OBDD
-	case "zdd":
-		rule = core.ZDD
-	default:
-		return fmt.Errorf("unknown rule %q", ruleName)
+	rule, err := parseRule(c.ruleName)
+	if err != nil {
+		return err
 	}
+	col, tr := c.tracer()
 	meter := &core.Meter{}
-	res := core.OptimalOrderingShared(tts, &core.Options{Rule: rule, Meter: meter})
-	fmt.Printf("shared forest:   %d roots over %d variables\n", res.Roots, res.N)
-	fmt.Printf("rule:            %s\n", res.Rule)
-	fmt.Printf("optimal ordering %s (read first → last)\n", res.Ordering)
-	fmt.Printf("minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
-	fmt.Printf("level widths:    %v (bottom-up)\n", res.Profile)
-	if meterFlag {
-		fmt.Printf("meter:           %d cell ops, %d compactions, peak %d cells\n",
+	start := time.Now()
+	res := core.OptimalOrderingShared(tts, &core.Options{Rule: rule, Meter: meter, Trace: tr})
+	elapsed := time.Since(start)
+	if c.jsonOut {
+		rep := col.Report()
+		rep.Algorithm = "shared"
+		rep.Rule = res.Rule.String()
+		rep.N = res.N
+		rep.Meter = meter
+		rep.Result = res
+		return c.emitReport(rep, elapsed)
+	}
+	fmt.Fprintf(c.stdout, "shared forest:   %d roots over %d variables\n", res.Roots, res.N)
+	fmt.Fprintf(c.stdout, "rule:            %s\n", res.Rule)
+	fmt.Fprintf(c.stdout, "optimal ordering %s (read first → last)\n", res.Ordering)
+	fmt.Fprintf(c.stdout, "minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
+	fmt.Fprintf(c.stdout, "level widths:    %v (bottom-up)\n", res.Profile)
+	if c.meter {
+		fmt.Fprintf(c.stdout, "meter:           %d cell ops, %d compactions, peak %d cells\n",
 			meter.CellOps, meter.Compactions, meter.PeakCells)
 	}
 	return nil
+}
+
+func parseRule(name string) (core.Rule, error) {
+	switch strings.ToLower(name) {
+	case "obdd":
+		return core.OBDD, nil
+	case "zdd":
+		return core.ZDD, nil
+	default:
+		return core.OBDD, fmt.Errorf("unknown rule %q (obdd or zdd)", name)
+	}
 }
 
 func loadFunction(exprSrc string, nVars int, hexSrc, circFile, plaFile string, outIdx int) (*truthtable.Table, error) {
@@ -213,13 +312,13 @@ func loadFunction(exprSrc string, nVars int, hexSrc, circFile, plaFile string, o
 			return nil, err
 		}
 		defer f.Close()
-		c, err := circuit.Parse(f)
+		ck, err := circuit.Parse(f)
 		if err != nil {
 			return nil, err
 		}
-		if outIdx < 0 || outIdx >= len(c.Outputs) {
-			return nil, fmt.Errorf("circuit has %d outputs; -output %d out of range", len(c.Outputs), outIdx)
+		if outIdx < 0 || outIdx >= len(ck.Outputs) {
+			return nil, fmt.Errorf("circuit has %d outputs; -output %d out of range", len(ck.Outputs), outIdx)
 		}
-		return c.OutputTable(outIdx), nil
+		return ck.OutputTable(outIdx), nil
 	}
 }

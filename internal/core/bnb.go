@@ -2,6 +2,7 @@ package core
 
 import (
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -11,6 +12,9 @@ type BnBOptions struct {
 	Rule Rule
 	// Meter, if non-nil, accumulates operation counts.
 	Meter *Meter
+	// Trace, if non-nil, receives node expand / prune / incumbent
+	// events as the search runs.
+	Trace obs.Tracer
 	// InitialBound seeds the incumbent with a known upper bound on
 	// MinCost (e.g. from a heuristic); 0 means start unbounded. A tight
 	// seed can prune most of the search.
@@ -34,6 +38,13 @@ func (o *BnBOptions) meter() *Meter {
 	return o.Meter
 }
 
+func (o *BnBOptions) trace() obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
 // BranchAndBound finds the exact optimal ordering by depth-first search
 // over bottom-set prefixes with three prunings:
 //
@@ -50,7 +61,8 @@ func (o *BnBOptions) meter() *Meter {
 // along one DFS path — Θ(2ⁿ⁺¹) cells — trading recomputation for space.
 // Exactness is unconditional; experiment E15 measures the trade.
 func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
-	rule, m := opts.rule(), opts.meter()
+	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
+	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
 	base := baseContext(tt)
 	m.alloc(base.cells())
@@ -64,10 +76,14 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 	bestOrder := make([]int, n)
 	order := make([]int, 0, n)
 	memo := make(map[bitops.Mask]uint64)
+	var searchOps, searchCompactions uint64
 
 	var dfs func(c *context, mask bitops.Mask)
 	dfs = func(c *context, mask bitops.Mask) {
 		if seen, ok := memo[mask]; ok && c.cost >= seen {
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindBnBPruneMemo, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: seen})
+			}
 			return
 		}
 		memo[mask] = c.cost
@@ -75,27 +91,43 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 			if m != nil {
 				m.Evaluations++
 			}
+			obs.Metrics.Evaluations.Inc()
 			if c.cost < best {
 				best = c.cost
 				copy(bestOrder, order)
 				found = true
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindBnBBest, Cost: best})
+				}
 			}
 			return
 		}
 		if c.cost >= best {
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindBnBPruneIncumbent, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: best})
+			}
 			return
 		}
 		if useLB {
 			lb := c.cost + remainingLowerBound(c, rule)
 			if lb >= best {
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindBnBPruneBound, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: lb})
+				}
 				return
 			}
 		}
+		ops := c.cells() / 2
 		for v := 0; v < n; v++ {
 			if !c.free.Has(v) {
 				continue
 			}
 			next, _ := compact(c, v, rule, m)
+			searchOps += ops
+			searchCompactions++
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindBnBExpand, Depth: len(order), Var: v, Cost: next.cost, CellOps: ops})
+			}
 			order = append(order, v)
 			dfs(next, mask.With(v))
 			order = order[:len(order)-1]
@@ -104,12 +136,15 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 	}
 	dfs(base, 0)
 	m.free(base.cells())
+	obs.Metrics.CellOps.Add(searchOps)
+	obs.Metrics.Compactions.Add(searchCompactions)
 
 	if !found {
 		// The seeded bound was at or below the true optimum, so no
 		// complete ordering was ever recorded; rerun unseeded.
-		return BranchAndBound(tt, &BnBOptions{Rule: rule, Meter: m})
+		return BranchAndBound(tt, &BnBOptions{Rule: rule, Meter: m, Trace: tr})
 	}
+	finishMetrics(m)
 	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
 }
 

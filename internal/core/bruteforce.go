@@ -1,6 +1,7 @@
 package core
 
 import (
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -38,6 +39,7 @@ func (o *BruteForceOptions) meter() *Meter {
 // realize experiment E5. It returns the same Result an FS run would.
 func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 	rule, m := opts.rule(), opts.meter()
+	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
 	base := baseContext(tt)
 	m.alloc(base.cells())
@@ -45,6 +47,7 @@ func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 	best := ^uint64(0)
 	bestOrder := make([]int, n)
 	order := make([]int, 0, n)
+	var searchOps, searchCompactions, evals uint64
 
 	var dfs func(c *context)
 	dfs = func(c *context) {
@@ -52,6 +55,7 @@ func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 			if m != nil {
 				m.Evaluations++
 			}
+			evals++
 			if c.cost < best {
 				best = c.cost
 				copy(bestOrder, order)
@@ -61,11 +65,14 @@ func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 		if opts != nil && opts.Prune && c.cost >= best {
 			return
 		}
+		ops := c.cells() / 2
 		for v := 0; v < n; v++ {
 			if !c.free.Has(v) {
 				continue
 			}
 			next, _ := compact(c, v, rule, m)
+			searchOps += ops
+			searchCompactions++
 			order = append(order, v)
 			dfs(next)
 			order = order[:len(order)-1]
@@ -74,6 +81,10 @@ func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 	}
 	dfs(base)
 	m.free(base.cells())
+	obs.Metrics.CellOps.Add(searchOps)
+	obs.Metrics.Compactions.Add(searchCompactions)
+	obs.Metrics.Evaluations.Add(evals)
+	finishMetrics(m)
 
 	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
 }

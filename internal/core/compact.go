@@ -50,24 +50,49 @@ func (r Rule) String() string {
 	}
 }
 
+// MarshalJSON renders the rule as its conventional name, so run reports
+// read "OBDD"/"ZDD" instead of enum integers.
+func (r Rule) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + r.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the conventional name (or a bare integer, for
+// compatibility with numerically encoded reports).
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"OBDD"`, "0":
+		*r = OBDD
+	case `"ZDD"`, "1":
+		*r = ZDD
+	default:
+		return fmt.Errorf("core: unknown rule %s", data)
+	}
+	return nil
+}
+
 // Meter accumulates the operation counts the complexity claims are stated
 // in. CellOps counts table-compaction cell visits — the unit in which the
 // 3^n bound of Theorem 5 is measured. A nil *Meter is accepted everywhere
-// and disables metering.
+// and disables metering. The JSON tags define the meter section of the
+// CLI `-json` run reports (see internal/obs).
 type Meter struct {
 	// CellOps counts individual table cells visited by compaction; the
 	// classical time bound is Σ_k k·C(n,k)·2^{n−k} ≤ n·3^{n−1} cell ops.
-	CellOps uint64
+	CellOps uint64 `json:"cell_ops"`
 	// Compactions counts COMPACT invocations (DP transitions).
-	Compactions uint64
+	Compactions uint64 `json:"compactions"`
 	// LiveCells tracks the current number of table cells held by the DP;
 	// PeakCells its maximum — the space bound of Remark 1.
-	LiveCells uint64
-	PeakCells uint64
+	LiveCells uint64 `json:"live_cells"`
+	PeakCells uint64 `json:"peak_cells"`
 	// Evaluations counts cost-oracle evaluations performed by search
 	// drivers (brute force, minimum finding).
-	Evaluations uint64
+	Evaluations uint64 `json:"evaluations"`
 }
+
+// Reset zeroes every counter, so one Meter can be reused across runs
+// (benchmark loops, batched CLI invocations).
+func (m *Meter) Reset() { *m = Meter{} }
 
 func (m *Meter) addCells(n uint64) {
 	if m == nil {

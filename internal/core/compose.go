@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/quantum"
 	"obddopt/internal/truthtable"
 )
@@ -26,6 +27,9 @@ type LadderOptions struct {
 	Rule Rule
 	// Meter, if non-nil, accumulates compaction counts.
 	Meter *Meter
+	// Trace, if non-nil, receives split/merge and inner-DP layer events
+	// (see DnCOptions.Trace).
+	Trace obs.Tracer
 	// Minimizer performs minimum finding (nil = exact simulator).
 	Minimizer quantum.Minimizer
 	// Alphas are the division fractions (nil = DefaultAlphas).
@@ -42,40 +46,45 @@ type LadderOptions struct {
 func DivideAndConquerComposed(tt *truthtable.Table, opts *LadderOptions) *Result {
 	rule := OBDD
 	var m *Meter
+	var tr obs.Tracer
 	alphas := DefaultAlphas
 	depth := 0
 	if opts != nil {
 		rule = opts.Rule
 		m = opts.Meter
+		tr = opts.Trace
 		if opts.Alphas != nil {
 			alphas = opts.Alphas
 		}
 		depth = opts.Depth
 	}
 	n := tt.NumVars()
+	obs.Metrics.RunsStarted.Inc()
 	var minz quantum.Minimizer
 	if opts != nil && opts.Minimizer != nil {
 		minz = opts.Minimizer
 	} else {
-		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n))}
+		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n)), Trace: tr}
 	}
 
 	base := baseContext(tt)
 	m.alloc(base.cells())
 	full := bitops.FullMask(n)
-	l := &ladder{rule: rule, m: m, minz: minz, alphas: alphas}
+	l := &ladder{rule: rule, m: m, tr: tr, minz: minz, alphas: alphas}
 	ctx, order, owned := l.extend(base, full, depth)
 	minCost := ctx.cost
 	if owned {
 		m.free(ctx.cells())
 	}
 	m.free(base.cells())
+	finishMetrics(m)
 	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m)
 }
 
 type ladder struct {
 	rule   Rule
 	m      *Meter
+	tr     obs.Tracer
 	minz   quantum.Minimizer
 	alphas []float64
 }
@@ -93,14 +102,14 @@ func (l *ladder) extend(ctx *context, J bitops.Mask, depth int) (out *context, o
 	sizes := normalizeSizes(nj, l.alphas)
 	if depth <= 0 || len(sizes) == 0 {
 		// Classical FS* extension.
-		st := runDP(ctx, J, nj, l.rule, l.m)
+		st := runDP(ctx, J, nj, l.rule, l.m, l.tr)
 		fin := st.layer[J]
 		return fin, st.reconstruct(J), fin != ctx
 	}
 
 	// Preprocess: FS(⟨…, K⟩) for all K ⊆ J with |K| = sizes[0], computed
 	// with the classical DP (line 3 of the pseudocode).
-	pre := runDP(ctx, J, sizes[0], l.rule, l.m)
+	pre := runDP(ctx, J, sizes[0], l.rule, l.m, l.tr)
 
 	var solve func(L bitops.Mask, t int) (*context, []int, bool)
 	solve = func(L bitops.Mask, t int) (*context, []int, bool) {
@@ -116,6 +125,9 @@ func (l *ladder) extend(ctx *context, J bitops.Mask, depth int) (out *context, o
 			return solve(L, t-1)
 		}
 		cands := subsetsWithin(L, s)
+		if l.tr != nil {
+			l.tr.Emit(obs.Event{Kind: obs.KindDnCSplit, Depth: t, Mask: uint64(L), Subsets: len(cands)})
+		}
 		eval := func(i uint64) uint64 {
 			K := cands[i]
 			ctxK, _, ownedK := solve(K, t-1)
@@ -131,12 +143,16 @@ func (l *ladder) extend(ctx *context, J bitops.Mask, depth int) (out *context, o
 			if l.m != nil {
 				l.m.Evaluations++
 			}
+			obs.Metrics.Evaluations.Inc()
 			return cost
 		}
 		best := l.minz.MinIndex(uint64(len(cands)), eval)
 		K := cands[best]
 		ctxK, orderK, ownedK := solve(K, t-1)
 		fin, orderRest, ownedFin := l.extend(ctxK, L&^K, depth-1)
+		if l.tr != nil {
+			l.tr.Emit(obs.Event{Kind: obs.KindDnCMerge, Depth: t, Mask: uint64(K), Cost: fin.cost})
+		}
 		order := append(append([]int{}, orderK...), orderRest...)
 		if !ownedFin {
 			return ctxK, order, ownedK

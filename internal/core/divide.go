@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/quantum"
 	"obddopt/internal/truthtable"
 )
@@ -15,6 +16,12 @@ type DnCOptions struct {
 	Rule Rule
 	// Meter, if non-nil, accumulates table-compaction counts.
 	Meter *Meter
+	// Trace, if non-nil, receives split/merge recursion events, the
+	// layer events of every inner dynamic program, and — when the
+	// default minimizer is used — quantum query batches. A caller-
+	// supplied Minimizer wires its own Trace field if batch events are
+	// wanted.
+	Trace obs.Tracer
 	// Minimizer performs minimum finding over division-point candidates.
 	// Nil selects the exact simulator (quantum.Exact with ε = 2^−n).
 	Minimizer quantum.Minimizer
@@ -37,6 +44,13 @@ func (o *DnCOptions) meter() *Meter {
 		return nil
 	}
 	return o.Meter
+}
+
+func (o *DnCOptions) trace() obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
 }
 
 // DefaultAlphas is the two-division-point parameter vector α* of the
@@ -73,7 +87,7 @@ func normalizeSizes(n int, alphas []float64) []int {
 // non-minimum with the injected probability — exactly the guarantee of
 // Theorem 1.
 func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
-	rule, m := opts.rule(), opts.meter()
+	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
 	n := tt.NumVars()
 	alphas := DefaultAlphas
 	if opts != nil && opts.Alphas != nil {
@@ -83,13 +97,14 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 	if len(sizes) == 0 {
 		// The function is too small to split; the algorithm degenerates
 		// to plain FS, as the papers' analysis assumes Ω(n) block sizes.
-		return OptimalOrdering(tt, &Options{Rule: rule, Meter: m})
+		return OptimalOrdering(tt, &Options{Rule: rule, Meter: m, Trace: tr})
 	}
+	obs.Metrics.RunsStarted.Inc()
 	var minz quantum.Minimizer
 	if opts != nil && opts.Minimizer != nil {
 		minz = opts.Minimizer
 	} else {
-		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n))}
+		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n)), Trace: tr}
 	}
 
 	base := baseContext(tt)
@@ -98,9 +113,9 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 
 	// Preprocessing phase (line 3 of the pseudocode): compute FS(K) for
 	// every K of size sizes[0] classically and keep the whole layer.
-	pre := runDP(base, full, sizes[0], rule, m)
+	pre := runDP(base, full, sizes[0], rule, m, tr)
 
-	d := &dncRun{rule: rule, m: m, minz: minz, sizes: sizes, pre: pre}
+	d := &dncRun{rule: rule, m: m, tr: tr, minz: minz, sizes: sizes, pre: pre}
 	ctx, order, owned := d.solve(full, len(sizes))
 	minCost := ctx.cost
 	if owned {
@@ -110,6 +125,7 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 		m.free(c.cells())
 	}
 	m.free(base.cells())
+	finishMetrics(m)
 	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m)
 }
 
@@ -117,6 +133,7 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 type dncRun struct {
 	rule  Rule
 	m     *Meter
+	tr    obs.Tracer
 	minz  quantum.Minimizer
 	sizes []int
 	pre   *dpState // precomputed bottom layer: FS(K) for |K| = sizes[0]
@@ -142,11 +159,14 @@ func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned b
 	}
 	// Enumerate the candidate division subsets K ⊆ L, |K| = s.
 	cands := subsetsWithin(L, s)
+	if d.tr != nil {
+		d.tr.Emit(obs.Event{Kind: obs.KindDnCSplit, Depth: t, Mask: uint64(L), Subsets: len(cands)})
+	}
 
 	eval := func(i uint64) uint64 {
 		K := cands[i]
 		ctxK, _, ownedK := d.solve(K, t-1)
-		st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m)
+		st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr)
 		cost := st.minCost[L&^K]
 		if fin := st.layer[L&^K]; fin != nil && fin != ctxK {
 			d.m.free(fin.cells())
@@ -157,6 +177,7 @@ func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned b
 		if d.m != nil {
 			d.m.Evaluations++
 		}
+		obs.Metrics.Evaluations.Inc()
 		return cost
 	}
 	bestIdx := d.minz.MinIndex(uint64(len(cands)), eval)
@@ -164,7 +185,10 @@ func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned b
 	// Recompute the winning split to obtain its context and ordering.
 	K := cands[bestIdx]
 	ctxK, orderK, ownedK := d.solve(K, t-1)
-	st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m)
+	st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr)
+	if d.tr != nil {
+		d.tr.Emit(obs.Event{Kind: obs.KindDnCMerge, Depth: t, Mask: uint64(K), Cost: st.minCost[L&^K]})
+	}
 	fin := st.layer[L&^K]
 	order = append(append([]int{}, orderK...), st.reconstruct(L&^K)...)
 	if fin == ctxK {

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -14,6 +16,10 @@ type Options struct {
 	Rule Rule
 	// Meter, if non-nil, accumulates operation counts.
 	Meter *Meter
+	// Trace, if non-nil, receives typed events as the dynamic program
+	// runs (layer start/end, per-compaction transitions). A nil tracer
+	// costs one branch per layer; see internal/obs.
+	Trace obs.Tracer
 }
 
 func (o *Options) rule() Rule {
@@ -30,31 +36,39 @@ func (o *Options) meter() *Meter {
 	return o.Meter
 }
 
-// Result reports an exact minimization outcome.
+func (o *Options) trace() obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Result reports an exact minimization outcome. The JSON tags define the
+// run-report schema shared with the CLI `-json` modes (see internal/obs).
 type Result struct {
 	// N is the number of variables of the input function.
-	N int
+	N int `json:"n"`
 	// Rule is the diagram variant that was minimized.
-	Rule Rule
+	Rule Rule `json:"rule"`
 	// MinCost is MINCOST_[n]: the number of nonterminal nodes of the
 	// minimum diagram.
-	MinCost uint64
+	MinCost uint64 `json:"min_cost"`
 	// Terminals is the number of terminal nodes of the diagram (the
 	// number of distinct function values; 2 for a nonconstant Boolean f).
-	Terminals int
+	Terminals int `json:"terminals"`
 	// Size is the total diagram size MinCost + Terminals, the quantity
 	// the papers call OBDD size (e.g. 2n+2 for the Fig. 1 function).
-	Size uint64
+	Size uint64 `json:"size"`
 	// Ordering is an optimal variable ordering in bottom-up convention
 	// (Ordering[0] is read last). Ties are broken deterministically by
 	// preferring the smallest variable index at each DP step.
-	Ordering truthtable.Ordering
+	Ordering truthtable.Ordering `json:"ordering"`
 	// Profile[i] is the width Cost_{Ordering[i]}(f, π) of level i+1 under
 	// the optimal ordering; the widths sum to MinCost.
-	Profile []uint64
+	Profile []uint64 `json:"profile"`
 	// TerminalValues lists the function values of the terminals in
 	// increasing order (0/1 for Boolean inputs).
-	TerminalValues []int
+	TerminalValues []int `json:"terminal_values"`
 }
 
 // dpState is the rolling-layer subset dynamic program shared by FS and FS*.
@@ -77,7 +91,7 @@ type dpState struct {
 // It returns the DP state whose layer field holds the contexts for all
 // stop-element subsets K of vars, each being FS(⟨…, K⟩) with cost
 // minCost[K]. The input ctx is not modified.
-func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
+func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs.Tracer) *dpState {
 	if vars&^ctx.free != 0 {
 		panic("core: runDP vars not free in context")
 	}
@@ -96,13 +110,25 @@ func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter) *dpSta
 	members := vars.Members(make([]int, 0, nv))
 
 	for k := 1; k <= stop; k++ {
+		var layerStart time.Time
+		if tr != nil {
+			layerStart = time.Now()
+			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(st.layer)})
+		}
+		var layerOps, transitions uint64
 		next := make(map[bitops.Mask]*context, len(st.layer)*nv/k)
 		for prevMask, prevCtx := range st.layer {
+			ops := prevCtx.cells() / 2
 			for _, v := range members {
 				if prevMask.Has(v) {
 					continue
 				}
-				cand, _ := compact(prevCtx, v, rule, m)
+				cand, w := compact(prevCtx, v, rule, m)
+				layerOps += ops
+				transitions++
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindCompaction, K: k, Var: v, Cost: w, CellOps: ops})
+				}
 				key := prevMask.With(v)
 				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
 					(cand.cost == cur.cost && v < st.bestLast[key]) {
@@ -127,6 +153,21 @@ func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter) *dpSta
 			_ = mask
 		}
 		st.layer = next
+		obs.Metrics.CellOps.Add(layerOps)
+		obs.Metrics.Compactions.Add(transitions)
+		if tr != nil {
+			ev := obs.Event{
+				Kind:    obs.KindLayerEnd,
+				K:       k,
+				Subsets: len(next),
+				CellOps: layerOps,
+				Elapsed: time.Since(layerStart),
+			}
+			if m != nil {
+				ev.LiveCells, ev.PeakCells = m.LiveCells, m.PeakCells
+			}
+			tr.Emit(ev)
+		}
 	}
 	return st
 }
@@ -153,10 +194,11 @@ func (st *dpState) reconstruct(mask bitops.Mask) []int {
 // O*(3^n) in the number of variables n.
 func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
 	rule, m := opts.rule(), opts.meter()
+	obs.Metrics.RunsStarted.Inc()
 	base := baseContext(tt)
 	m.alloc(base.cells())
 	n := tt.NumVars()
-	st := runDP(base, bitops.FullMask(n), n, rule, m)
+	st := runDP(base, bitops.FullMask(n), n, rule, m, opts.trace())
 
 	full := bitops.FullMask(n)
 	order := truthtable.Ordering(st.reconstruct(full))
@@ -165,7 +207,16 @@ func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
 		m.free(fin.cells())
 	}
 	m.free(base.cells())
+	finishMetrics(m)
 	return res
+}
+
+// finishMetrics folds a completed run into the process-wide registry.
+func finishMetrics(m *Meter) {
+	obs.Metrics.RunsCompleted.Inc()
+	if m != nil {
+		obs.Metrics.PeakCells.Observe(m.PeakCells)
+	}
 }
 
 // OptimalOrderingMulti is the MTBDD generalization of Remark 2: it minimizes
@@ -177,10 +228,11 @@ func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
 		panic("core: OptimalOrderingMulti requires the OBDD rule")
 	}
 	m := opts.meter()
+	obs.Metrics.RunsStarted.Inc()
 	base, terminals := baseContextMulti(mt)
 	m.alloc(base.cells())
 	n := mt.NumVars()
-	st := runDP(base, bitops.FullMask(n), n, OBDD, m)
+	st := runDP(base, bitops.FullMask(n), n, OBDD, m, opts.trace())
 
 	full := bitops.FullMask(n)
 	order := truthtable.Ordering(st.reconstruct(full))
@@ -190,6 +242,7 @@ func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
 		m.free(fin.cells())
 	}
 	m.free(base.cells())
+	finishMetrics(m)
 	return &Result{
 		N:              n,
 		Rule:           OBDD,
@@ -250,6 +303,7 @@ func Profile(tt *truthtable.Table, order truthtable.Ordering, rule Rule, m *Mete
 	if m != nil {
 		m.Evaluations++
 	}
+	obs.Metrics.Evaluations.Inc()
 	return widths
 }
 

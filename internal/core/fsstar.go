@@ -58,7 +58,7 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 	res := &BlockResult{Blocks: blocks}
 	var order []int
 	for _, b := range blocks {
-		st := runDP(cur, b, b.Count(), rule, m)
+		st := runDP(cur, b, b.Count(), rule, m, opts.trace())
 		blockOrder := st.reconstruct(b)
 		order = append(order, blockOrder...)
 		next := st.layer[b]
@@ -84,5 +84,5 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 // divide-and-conquer algorithm. The caller owns the returned layer
 // contexts and must release their cells via the meter when done.
 func extendAll(ctx *context, J bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
-	return runDP(ctx, J, stop, rule, m)
+	return runDP(ctx, J, stop, rule, m, nil)
 }

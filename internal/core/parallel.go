@@ -4,8 +4,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -19,6 +21,11 @@ type ParallelOptions struct {
 	// merged once per layer, not per compaction, so LiveCells/PeakCells
 	// are layer-granular approximations of the serial meter.
 	Meter *Meter
+	// Trace, if non-nil, receives layer-granular events. Events are
+	// emitted only from the coordinating goroutine — workers never touch
+	// the tracer — so any Tracer implementation is race-free here;
+	// per-compaction events are not emitted by the parallel solver.
+	Trace obs.Tracer
 }
 
 // OptimalOrderingParallel is OptimalOrdering with each DP layer fanned out
@@ -30,10 +37,12 @@ type ParallelOptions struct {
 func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Result {
 	rule := OBDD
 	var meter *Meter
+	var tr obs.Tracer
 	workers := runtime.GOMAXPROCS(0)
 	if opts != nil {
 		rule = opts.Rule
 		meter = opts.Meter
+		tr = opts.Trace
 		if opts.Workers > 0 {
 			workers = opts.Workers
 		}
@@ -43,8 +52,9 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		workers = 1
 	}
 	if n <= 2 || workers == 1 {
-		return OptimalOrdering(tt, &Options{Rule: rule, Meter: meter})
+		return OptimalOrdering(tt, &Options{Rule: rule, Meter: meter, Trace: tr})
 	}
+	obs.Metrics.RunsStarted.Inc()
 
 	base := baseContext(tt)
 	meter.alloc(base.cells())
@@ -57,6 +67,11 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		ctx  *context
 	}
 	for k := 1; k <= n; k++ {
+		var layerStart time.Time
+		if tr != nil {
+			layerStart = time.Now()
+			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(layer)})
+		}
 		// Snapshot the previous layer into a deterministic work list.
 		prev := make([]bitops.Mask, 0, len(layer))
 		for m := range layer {
@@ -66,6 +81,7 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 
 		results := make([][]cand, workers)
 		meters := make([]*Meter, workers)
+		obs.Metrics.WorkerSpawns.Add(uint64(workers))
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -118,6 +134,11 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		// Merge worker meters; account candidate tables at layer
 		// granularity (alloc everything produced, free what was dropped
 		// plus the consumed previous layer).
+		var layerOps, layerCompactions uint64
+		for _, lm := range meters {
+			layerOps += lm.CellOps
+			layerCompactions += lm.Compactions
+		}
 		if meter != nil {
 			for _, lm := range meters {
 				meter.CellOps += lm.CellOps
@@ -133,6 +154,21 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 			}
 		}
 		layer = next
+		obs.Metrics.CellOps.Add(layerOps)
+		obs.Metrics.Compactions.Add(layerCompactions)
+		if tr != nil {
+			ev := obs.Event{
+				Kind:    obs.KindLayerEnd,
+				K:       k,
+				Subsets: len(next),
+				CellOps: layerOps,
+				Elapsed: time.Since(layerStart),
+			}
+			if meter != nil {
+				ev.LiveCells, ev.PeakCells = meter.LiveCells, meter.PeakCells
+			}
+			tr.Emit(ev)
+		}
 	}
 
 	full := bitops.FullMask(n)
@@ -150,5 +186,6 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		order[i] = v
 		mask = mask.Without(v)
 	}
+	finishMetrics(meter)
 	return finishResult(tt, nil, order, minCost, rule, meter)
 }

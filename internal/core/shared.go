@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"obddopt/internal/bitops"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -107,23 +110,25 @@ func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext
 	return next, width
 }
 
-// SharedResult reports a shared-forest minimization.
+// SharedResult reports a shared-forest minimization. The JSON tags keep
+// it interchangeable with Result in CLI run reports.
 type SharedResult struct {
 	// N is the variable count; Roots the number of functions.
-	N, Roots int
+	N     int `json:"n"`
+	Roots int `json:"roots"`
 	// Rule is the diagram variant minimized.
-	Rule Rule
+	Rule Rule `json:"rule"`
 	// MinCost is the minimum number of nonterminal nodes of the shared
 	// forest.
-	MinCost uint64
+	MinCost uint64 `json:"min_cost"`
 	// Terminals counts the distinct terminal values across all roots.
-	Terminals int
+	Terminals int `json:"terminals"`
 	// Size is MinCost + Terminals.
-	Size uint64
+	Size uint64 `json:"size"`
 	// Ordering is an optimal ordering, bottom-up.
-	Ordering truthtable.Ordering
+	Ordering truthtable.Ordering `json:"ordering"`
 	// Profile is the shared width per level under Ordering, bottom-up.
-	Profile []uint64
+	Profile []uint64 `json:"profile"`
 }
 
 // OptimalOrderingShared runs the subset dynamic program on the shared
@@ -134,7 +139,8 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 	if len(tts) == 0 {
 		panic("core: OptimalOrderingShared needs at least one root")
 	}
-	rule, m := opts.rule(), opts.meter()
+	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
+	obs.Metrics.RunsStarted.Inc()
 	n := tts[0].NumVars()
 	base := baseSharedContext(tts)
 	m.alloc(base.cells())
@@ -142,13 +148,25 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 	bestLast := make(map[bitops.Mask]int)
 	layer := map[bitops.Mask]*sharedContext{0: base}
 	for k := 1; k <= n; k++ {
+		var layerStart time.Time
+		if tr != nil {
+			layerStart = time.Now()
+			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(layer)})
+		}
+		var layerOps, transitions uint64
 		next := make(map[bitops.Mask]*sharedContext)
 		for prevMask, prevCtx := range layer {
+			ops := prevCtx.cells() / 2
 			for v := 0; v < n; v++ {
 				if prevMask.Has(v) {
 					continue
 				}
-				cand, _ := compactShared(prevCtx, v, rule, m)
+				cand, w := compactShared(prevCtx, v, rule, m)
+				layerOps += ops
+				transitions++
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindCompaction, K: k, Var: v, Cost: w, CellOps: ops})
+				}
 				key := prevMask.With(v)
 				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
 					(cand.cost == cur.cost && v < bestLast[key]) {
@@ -168,11 +186,27 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 			}
 		}
 		layer = next
+		obs.Metrics.CellOps.Add(layerOps)
+		obs.Metrics.Compactions.Add(transitions)
+		if tr != nil {
+			ev := obs.Event{
+				Kind:    obs.KindLayerEnd,
+				K:       k,
+				Subsets: len(next),
+				CellOps: layerOps,
+				Elapsed: time.Since(layerStart),
+			}
+			if m != nil {
+				ev.LiveCells, ev.PeakCells = m.LiveCells, m.PeakCells
+			}
+			tr.Emit(ev)
+		}
 	}
 	full := bitops.FullMask(n)
 	minCost := layer[full].cost
 	m.free(layer[full].cells())
 	m.free(base.cells())
+	finishMetrics(m)
 
 	order := make(truthtable.Ordering, n)
 	mask := full

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"obddopt/internal/core"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -21,6 +22,9 @@ type AnnealOptions struct {
 	Cooling float64
 	// Rng drives proposals and acceptance; it must be non-nil.
 	Rng *rand.Rand
+	// Trace, if non-nil, receives a KindHeurSwap event per accepted move
+	// that improves the best-so-far cost, and one final KindHeurPass.
+	Trace obs.Tracer
 }
 
 // Anneal runs simulated annealing on the ordering space: proposals are
@@ -76,11 +80,17 @@ func Anneal(tt *truthtable.Table, rule core.Rule, opts *AnnealOptions) Result {
 			if curCost < bestCost {
 				bestCost = curCost
 				copy(best, cur)
+				if opts.Trace != nil {
+					opts.Trace.Emit(obs.Event{Kind: obs.KindHeurSwap, K: step + 1, Var: cur[i], Depth: i, Cost: bestCost})
+				}
 			}
 		} else {
 			cur.Swap(i, j) // reject: undo
 		}
 		temp *= cooling
+	}
+	if opts.Trace != nil {
+		opts.Trace.Emit(obs.Event{Kind: obs.KindHeurPass, K: 1, Cost: bestCost, Evals: o.Evaluations()})
 	}
 	return Result{Ordering: best, MinCost: bestCost, Evaluations: o.Evaluations(), Passes: 1}
 }

@@ -12,8 +12,31 @@ import (
 	"math/rand"
 
 	"obddopt/internal/core"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
+
+// SiftOptions configures the sifting heuristic.
+type SiftOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule core.Rule
+	// MaxPasses bounds the improvement sweeps; 0 means run to
+	// convergence.
+	MaxPasses int
+	// Trace, if non-nil, receives KindHeurPass events per sweep and
+	// KindHeurSwap events per accepted variable move.
+	Trace obs.Tracer
+}
+
+// WindowOptions configures the window-permutation heuristic.
+type WindowOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule core.Rule
+	// Width is the window width (2, 3 or 4).
+	Width int
+	// Trace, if non-nil, receives pass and swap events.
+	Trace obs.Tracer
+}
 
 // Result reports a heuristic outcome.
 type Result struct {
@@ -61,6 +84,17 @@ func (o *Oracle) Evaluations() uint64 { return o.evals }
 // reached (0 means unbounded). Variables are processed in decreasing order
 // of their current level width, the classic schedule.
 func Sift(tt *truthtable.Table, rule core.Rule, maxPasses int) Result {
+	return SiftOpts(tt, &SiftOptions{Rule: rule, MaxPasses: maxPasses})
+}
+
+// SiftOpts is Sift with full configuration, including tracing.
+func SiftOpts(tt *truthtable.Table, opts *SiftOptions) Result {
+	var rule core.Rule
+	maxPasses := 0
+	var tr obs.Tracer
+	if opts != nil {
+		rule, maxPasses, tr = opts.Rule, opts.MaxPasses, opts.Trace
+	}
 	n := tt.NumVars()
 	o := NewOracle(tt, rule)
 	ord := truthtable.IdentityOrdering(n)
@@ -87,7 +121,13 @@ func Sift(tt *truthtable.Table, rule core.Rule, maxPasses int) Result {
 				ord.MoveTo(pos, bestPos)
 				best = bestCost
 				improvedThisPass = true
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindHeurSwap, K: passes, Var: v, Depth: bestPos, Cost: best})
+				}
 			}
+		}
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindHeurPass, K: passes, Cost: best, Evals: o.Evaluations()})
 		}
 		if !improvedThisPass || (maxPasses > 0 && passes >= maxPasses) {
 			break
@@ -117,6 +157,17 @@ func siftSchedule(tt *truthtable.Table, ord truthtable.Ordering, rule core.Rule)
 // 4): every block of w adjacent levels is replaced by its best internal
 // permutation, sweeping until a fixpoint.
 func Window(tt *truthtable.Table, rule core.Rule, w int) Result {
+	return WindowOpts(tt, &WindowOptions{Rule: rule, Width: w})
+}
+
+// WindowOpts is Window with full configuration, including tracing.
+func WindowOpts(tt *truthtable.Table, opts *WindowOptions) Result {
+	var rule core.Rule
+	w := 0
+	var tr obs.Tracer
+	if opts != nil {
+		rule, w, tr = opts.Rule, opts.Width, opts.Trace
+	}
 	if w < 2 || w > 4 {
 		panic("heuristics: window width must be 2, 3 or 4")
 	}
@@ -141,7 +192,13 @@ func Window(tt *truthtable.Table, rule core.Rule, w int) Result {
 			if bestCost < best {
 				ord, best = bestPerm, bestCost
 				improved = true
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindHeurSwap, K: passes, Var: ord[start], Depth: start, Cost: best})
+				}
 			}
+		}
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindHeurPass, K: passes, Cost: best, Evals: o.Evaluations()})
 		}
 		if !improved {
 			break

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+
+	// Register /debug/pprof handlers on the default mux; expvar's own
+	// init registers /debug/vars the same way, so serving the default
+	// mux exposes both.
+	_ "net/http/pprof"
+)
+
+// StartDebugServer serves net/http/pprof and expvar (/debug/pprof/*,
+// /debug/vars) on addr in a background goroutine and returns the bound
+// address (useful with ":0"). The server lives until the process exits —
+// it exists to profile long exact runs, which end with the process.
+func StartDebugServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// The listener closes only at process exit; Serve's error is
+		// irrelevant by then.
+		_ = http.Serve(ln, http.DefaultServeMux)
+	}()
+	return ln.Addr().String(), nil
+}

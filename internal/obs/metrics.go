@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"expvar"
+	"strconv"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. It implements
+// expvar.Var so it can be published on /debug/vars.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// String implements expvar.Var.
+func (c *Counter) String() string { return strconv.FormatUint(c.v.Load(), 10) }
+
+// MaxGauge tracks the maximum value ever observed. It implements
+// expvar.Var.
+type MaxGauge struct{ v atomic.Uint64 }
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (g *MaxGauge) Observe(n uint64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the maximum observed so far.
+func (g *MaxGauge) Value() uint64 { return g.v.Load() }
+
+// String implements expvar.Var.
+func (g *MaxGauge) String() string { return strconv.FormatUint(g.v.Load(), 10) }
+
+// Metrics is the process-wide registry: every solver run in the process
+// accumulates into these counters regardless of whether a Meter or Tracer
+// is attached (updates are layer- or run-granular, never per cell). The
+// registry is published on expvar under the "obddopt" map, so a process
+// serving /debug/vars (see StartDebugServer) exposes live totals.
+var Metrics struct {
+	// RunsStarted / RunsCompleted count solver entry points entered and
+	// finished (OptimalOrdering and friends).
+	RunsStarted   Counter
+	RunsCompleted Counter
+	// CellOps counts table-compaction cell visits across all runs — the
+	// unit of the papers' n·3^{n−1} time bound.
+	CellOps Counter
+	// Compactions counts COMPACT invocations (DP transitions).
+	Compactions Counter
+	// Evaluations counts cost-oracle evaluations (complete orderings
+	// costed by search drivers and heuristics).
+	Evaluations Counter
+	// WorkerSpawns counts goroutines launched by the parallel solver.
+	WorkerSpawns Counter
+	// PeakCells is the largest metered live-cell count ever observed —
+	// Remark 1's space quantity, process-wide.
+	PeakCells MaxGauge
+}
+
+func init() {
+	m := expvar.NewMap("obddopt")
+	m.Set("runs_started", &Metrics.RunsStarted)
+	m.Set("runs_completed", &Metrics.RunsCompleted)
+	m.Set("cell_ops", &Metrics.CellOps)
+	m.Set("compactions", &Metrics.Compactions)
+	m.Set("evaluations", &Metrics.Evaluations)
+	m.Set("worker_spawns", &Metrics.WorkerSpawns)
+	m.Set("peak_cells", &Metrics.PeakCells)
+}
+
+// MetricsSnapshot returns the current value of every registry metric,
+// keyed by its expvar name. Subtracting two snapshots isolates one run's
+// contribution.
+func MetricsSnapshot() map[string]uint64 {
+	return map[string]uint64{
+		"runs_started":   Metrics.RunsStarted.Value(),
+		"runs_completed": Metrics.RunsCompleted.Value(),
+		"cell_ops":       Metrics.CellOps.Value(),
+		"compactions":    Metrics.Compactions.Value(),
+		"evaluations":    Metrics.Evaluations.Value(),
+		"worker_spawns":  Metrics.WorkerSpawns.Value(),
+		"peak_cells":     Metrics.PeakCells.Value(),
+	}
+}
+
+// MetricsDelta subtracts snapshot before from after, field by field.
+// Gauges (peak_cells) are passed through from after, since a maximum is
+// not additive.
+func MetricsDelta(before, after map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(after))
+	for k, v := range after {
+		if k == "peak_cells" {
+			out[k] = v
+			continue
+		}
+		out[k] = v - before[k]
+	}
+	return out
+}

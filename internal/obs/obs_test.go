@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := KindLayerStart; k <= KindQuantumBatch; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := EventKind(200).String(); s != "kind(200)" {
+		t.Errorf("unknown kind = %q", s)
+	}
+	b, err := KindLayerEnd.MarshalJSON()
+	if err != nil || string(b) != `"layer_end"` {
+		t.Errorf("MarshalJSON = %s, %v", b, err)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Kind: KindLayerEnd, K: 1, CellOps: 10})
+	r.Emit(Event{Kind: KindLayerEnd, K: 2, CellOps: 20})
+	r.Emit(Event{Kind: KindBnBBest, Cost: 7})
+	if got := r.Count(KindLayerEnd); got != 2 {
+		t.Errorf("Count(layer_end) = %d, want 2", got)
+	}
+	if got := r.SumCellOps(KindLayerEnd); got != 30 {
+		t.Errorf("SumCellOps = %d, want 30", got)
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[2].Cost != 7 {
+		t.Errorf("Events = %+v", evs)
+	}
+	r.Reset()
+	if len(r.Events()) != 0 {
+		t.Error("Reset did not clear events")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Kind: KindCompaction, CellOps: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.SumCellOps(KindCompaction); got != 800 {
+		t.Errorf("concurrent SumCellOps = %d, want 800", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of nothing should be nil")
+	}
+	a, b := NewRecorder(), NewRecorder()
+	if got := Multi(a); got != Tracer(a) {
+		t.Error("Multi of one tracer should return it directly")
+	}
+	m := Multi(a, nil, b)
+	m.Emit(Event{Kind: KindLayerEnd})
+	if a.Count(KindLayerEnd) != 1 || b.Count(KindLayerEnd) != 1 {
+		t.Error("Multi did not fan out")
+	}
+}
+
+func TestProgressRendersSelectedKinds(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.Emit(Event{Kind: KindLayerEnd, K: 3, Subsets: 10, CellOps: 99, Elapsed: time.Millisecond})
+	p.Emit(Event{Kind: KindCompaction}) // ignored
+	p.Emit(Event{Kind: KindBnBBest, Cost: 5})
+	p.Emit(Event{Kind: KindDnCSplit, Depth: 1, Mask: 0x3f, Subsets: 6})
+	p.Emit(Event{Kind: KindDnCMerge, Mask: 0x3, Cost: 4})
+	p.Emit(Event{Kind: KindHeurPass, K: 1, Cost: 9, Evals: 12})
+	p.Emit(Event{Kind: KindQuantumBatch, Evals: 20, Queries: 4.5, Cost: 2})
+	out := buf.String()
+	for _, want := range []string{"layer  3", "incumbent 5", "split level 1", "chose subset 0x3",
+		"pass 1", "quantum: min over 20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 6 {
+		t.Errorf("progress printed %d lines, want 6", lines)
+	}
+}
+
+func TestCollectorReport(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Kind: KindLayerStart, K: 1})
+	c.Emit(Event{Kind: KindLayerEnd, K: 1, Subsets: 4, CellOps: 32, LiveCells: 64, PeakCells: 96, Elapsed: 2 * time.Millisecond})
+	c.Emit(Event{Kind: KindBnBExpand, CellOps: 8})
+	c.Emit(Event{Kind: KindBnBPruneMemo})
+	c.Emit(Event{Kind: KindBnBPruneIncumbent})
+	c.Emit(Event{Kind: KindBnBPruneBound})
+	c.Emit(Event{Kind: KindBnBBest, Cost: 11})
+	c.Emit(Event{Kind: KindDnCSplit, Subsets: 15})
+	c.Emit(Event{Kind: KindDnCMerge})
+	c.Emit(Event{Kind: KindHeurSwap})
+	c.Emit(Event{Kind: KindHeurPass, K: 1, Cost: 12, Evals: 30})
+	c.Emit(Event{Kind: KindQuantumBatch, Evals: 15, Queries: 7.5, Cost: 3})
+	rep := c.Report()
+	if rep.Events != 12 {
+		t.Errorf("Events = %d, want 12", rep.Events)
+	}
+	if len(rep.Layers) != 1 || rep.Layers[0].CellOps != 32 || rep.Layers[0].ElapsedMS != 2 {
+		t.Errorf("Layers = %+v", rep.Layers)
+	}
+	if rep.BnB == nil || rep.BnB.Expansions != 1 || rep.BnB.PrunedMemo != 1 ||
+		rep.BnB.PrunedIncumbent != 1 || rep.BnB.PrunedLowerBound != 1 ||
+		rep.BnB.Improvements != 1 || rep.BnB.BestCost != 11 || rep.BnB.CellOps != 8 {
+		t.Errorf("BnB = %+v", rep.BnB)
+	}
+	if rep.DnC == nil || rep.DnC.Splits != 1 || rep.DnC.Candidates != 15 || rep.DnC.Merges != 1 {
+		t.Errorf("DnC = %+v", rep.DnC)
+	}
+	if rep.Heuristic == nil || rep.Heuristic.Passes != 1 || rep.Heuristic.Swaps != 1 ||
+		rep.Heuristic.FinalCost != 12 || rep.Heuristic.Evals != 30 {
+		t.Errorf("Heuristic = %+v", rep.Heuristic)
+	}
+	if rep.Quantum == nil || rep.Quantum.Batches != 1 || rep.Quantum.OracleEvals != 15 ||
+		rep.Quantum.Queries != 7.5 {
+		t.Errorf("Quantum = %+v", rep.Quantum)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"layers", "bnb", "dnc", "heuristic", "quantum"} {
+		if _, ok := round[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, data)
+		}
+	}
+}
+
+func TestCollectorEmptySections(t *testing.T) {
+	rep := NewCollector().Report()
+	if rep.BnB != nil || rep.DnC != nil || rep.Heuristic != nil || rep.Quantum != nil {
+		t.Errorf("empty collector grew sections: %+v", rep)
+	}
+	data, _ := json.Marshal(rep)
+	for _, absent := range []string{"bnb", "dnc", "heuristic", "quantum", "layers"} {
+		if strings.Contains(string(data), `"`+absent+`"`) {
+			t.Errorf("empty report should omit %q: %s", absent, data)
+		}
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 || c.String() != "5" {
+		t.Errorf("counter = %v / %s", c.Value(), c.String())
+	}
+	var g MaxGauge
+	g.Observe(10)
+	g.Observe(3)
+	if g.Value() != 10 || g.String() != "10" {
+		t.Errorf("gauge = %v / %s", g.Value(), g.String())
+	}
+	g.Observe(12)
+	if g.Value() != 12 {
+		t.Errorf("gauge did not raise: %v", g.Value())
+	}
+}
+
+func TestMetricsSnapshotAndDelta(t *testing.T) {
+	before := MetricsSnapshot()
+	Metrics.CellOps.Add(100)
+	Metrics.RunsStarted.Inc()
+	Metrics.PeakCells.Observe(before["peak_cells"] + 50)
+	after := MetricsSnapshot()
+	delta := MetricsDelta(before, after)
+	if delta["cell_ops"] != 100 {
+		t.Errorf("delta cell_ops = %d, want 100", delta["cell_ops"])
+	}
+	if delta["runs_started"] != 1 {
+		t.Errorf("delta runs_started = %d, want 1", delta["runs_started"])
+	}
+	if delta["peak_cells"] != after["peak_cells"] {
+		t.Errorf("peak_cells should pass through the after value")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	addr, err := StartDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("StartDebugServer: %v", err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"obddopt"`) {
+		t.Errorf("/debug/vars missing obddopt map")
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Errorf("/debug/vars is not JSON: %v", err)
+	}
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/cmdline: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status %d", resp2.StatusCode)
+	}
+}

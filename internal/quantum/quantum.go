@@ -23,6 +23,8 @@ package quantum
 import (
 	"math"
 	"math/rand"
+
+	"obddopt/internal/obs"
 )
 
 // Meter accumulates cost-model counters across minimum-finding calls.
@@ -83,6 +85,9 @@ type Exact struct {
 	Eps float64
 	// Meter, if non-nil, accumulates cost counters.
 	Meter *Meter
+	// Trace, if non-nil, receives one KindQuantumBatch event per
+	// minimum-finding call.
+	Trace obs.Tracer
 }
 
 // MinIndex implements Minimizer.
@@ -91,7 +96,8 @@ func (e *Exact) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 		panic("quantum: MinIndex over empty domain")
 	}
 	e.Meter.invoked()
-	e.Meter.addQueries(LemmaSixQueries(n, e.Eps))
+	queries := LemmaSixQueries(n, e.Eps)
+	e.Meter.addQueries(queries)
 	e.Meter.addEvals(n)
 	best, bestCost := uint64(0), cost(0)
 	for x := uint64(1); x < n; x++ {
@@ -99,7 +105,15 @@ func (e *Exact) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 			best, bestCost = x, c
 		}
 	}
+	emitBatch(e.Trace, n, queries, bestCost)
 	return best
+}
+
+// emitBatch reports one completed minimum-finding batch to the tracer.
+func emitBatch(tr obs.Tracer, n uint64, queries float64, minCost uint64) {
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.KindQuantumBatch, Evals: n, Queries: queries, Cost: minCost})
+	}
 }
 
 // Noisy wraps exhaustive minimum finding with error injection: with
@@ -113,6 +127,8 @@ type Noisy struct {
 	Rng *rand.Rand
 	// Meter, if non-nil, accumulates cost counters.
 	Meter *Meter
+	// Trace, if non-nil, receives one KindQuantumBatch event per call.
+	Trace obs.Tracer
 }
 
 // MinIndex implements Minimizer.
@@ -121,7 +137,8 @@ func (q *Noisy) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 		panic("quantum: MinIndex over empty domain")
 	}
 	q.Meter.invoked()
-	q.Meter.addQueries(LemmaSixQueries(n, q.Eps))
+	queries := LemmaSixQueries(n, q.Eps)
+	q.Meter.addQueries(queries)
 	q.Meter.addEvals(n)
 	costs := make([]uint64, n)
 	best, bestCost := uint64(0), cost(0)
@@ -133,6 +150,7 @@ func (q *Noisy) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 			best, bestCost = x, c
 		}
 	}
+	emitBatch(q.Trace, n, queries, bestCost)
 	if q.Rng.Float64() < q.Eps {
 		// Collect non-minimal indices; return one at random if any exist.
 		var others []uint64
@@ -161,6 +179,8 @@ type DurrHoyer struct {
 	Rng *rand.Rand
 	// Meter, if non-nil, accumulates cost counters.
 	Meter *Meter
+	// Trace, if non-nil, receives one KindQuantumBatch event per call.
+	Trace obs.Tracer
 }
 
 // MinIndex implements Minimizer.
@@ -178,6 +198,7 @@ func (d *DurrHoyer) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	d.Meter.addEvals(n)
 
 	y := uint64(d.Rng.Int63n(int64(n)))
+	queries := 1.0
 	d.Meter.addQueries(1)
 	for {
 		// Elements strictly better than the current threshold.
@@ -192,11 +213,14 @@ func (d *DurrHoyer) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 			// Final verification search: no marked elements; Grover
 			// needs Θ(√N) iterations to conclude absence w.h.p.
 			d.Meter.addQueries(math.Sqrt(float64(n)))
+			queries += math.Sqrt(float64(n))
+			emitBatch(d.Trace, n, queries, costs[y])
 			return y
 		}
 		// Quantum exponential search finds a uniformly random marked
 		// element in expected Θ(√(N/t)) iterations.
 		d.Meter.addQueries(math.Sqrt(float64(n) / float64(t)))
+		queries += math.Sqrt(float64(n) / float64(t))
 		y = better[d.Rng.Intn(len(better))]
 	}
 }

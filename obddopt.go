@@ -26,6 +26,7 @@ package obddopt
 
 import (
 	"fmt"
+	"io"
 
 	"obddopt/internal/bdd"
 	"obddopt/internal/bitops"
@@ -33,6 +34,7 @@ import (
 	"obddopt/internal/dynbdd"
 	"obddopt/internal/expr"
 	"obddopt/internal/heuristics"
+	"obddopt/internal/obs"
 	"obddopt/internal/sym"
 	"obddopt/internal/truthtable"
 )
@@ -223,6 +225,42 @@ type GroupSiftResult = sym.Result
 // sifted as indivisible blocks, typically matching plain sifting's
 // quality at a fraction of the evaluations on structured functions.
 func GroupSift(f *Table, rule Rule) GroupSiftResult { return sym.GroupSift(f, rule) }
+
+// Tracer receives typed solver events (DP layers, compactions,
+// branch-and-bound nodes, divide-and-conquer splits, heuristic passes,
+// quantum query batches); attach one via Options.Trace or the per-solver
+// option structs. A nil tracer costs nothing.
+type Tracer = obs.Tracer
+
+// TraceEvent is one typed solver event; see internal/obs for the kinds
+// and field conventions.
+type TraceEvent = obs.Event
+
+// RunReport is the machine-readable run summary emitted by the CLI
+// `-json` modes and assembled by NewRunCollector.
+type RunReport = obs.RunReport
+
+// NewTraceRecorder returns a Tracer that buffers every event in memory,
+// for tests and offline analysis.
+func NewTraceRecorder() *obs.Recorder { return &obs.Recorder{} }
+
+// NewProgressTracer returns a Tracer that renders coarse live progress
+// (layer completions, incumbent improvements) to w.
+func NewProgressTracer(w io.Writer) Tracer { return obs.NewProgress(w) }
+
+// NewRunCollector returns a Tracer folding the event stream into a
+// RunReport as it arrives; call Report when the run finishes.
+func NewRunCollector() *obs.Collector { return obs.NewCollector() }
+
+// MultiTracer fans events out to several tracers; nil entries are
+// skipped and an empty call returns nil.
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// StartDebugServer serves net/http/pprof and expvar metrics
+// (/debug/vars, including the process-wide "obddopt" counter map) on
+// addr, returning the bound address. Pass "localhost:0" for an
+// OS-assigned port.
+func StartDebugServer(addr string) (string, error) { return obs.StartDebugServer(addr) }
 
 // BDDManager is a shared-node BDD package (unique table, memoized ITE,
 // quantification, satisfiability counting, DOT export).
