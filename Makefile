@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments examples fuzz trace-demo clean
+.PHONY: all build test test-short race bench experiments examples fuzz trace-demo portfolio-demo clean
 
 all: build test
 
@@ -43,6 +43,18 @@ trace-demo:
 	$(GO) run ./cmd/optobdd \
 		-expr 'x1&x2 | x3&x4 | x5&x6 | x7&x8 | x9&x10 | x11&x12' \
 		-progress -json
+
+# Portfolio demo: the heuristic phase seeds a DP-vs-BnB race (watch the
+# lane_start/race_won/lane_canceled narration on stderr), then the same
+# solver under a 50ms deadline on a 14-variable parity chain degrades to
+# the heuristic incumbent instead of hanging.
+portfolio-demo:
+	$(GO) run ./cmd/optobdd \
+		-expr 'x1&x2 | x3&x4 | x5&x6 | x7&x8' \
+		-solver portfolio -progress
+	$(GO) run ./cmd/optobdd \
+		-expr 'x1^x2^x3^x4^x5^x6^x7 | x8&x9&x10 | x11&x12&x13&x14' \
+		-solver portfolio -deadline 50ms -progress
 
 # Short fuzzing sessions over the two text-format parsers.
 fuzz:

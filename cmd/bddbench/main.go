@@ -1,5 +1,6 @@
 // Command bddbench regenerates the evaluation tables and figures
-// (experiments E1–E14 of DESIGN.md).
+// (experiments E1–E14 of DESIGN.md) and benchmarks individual solvers
+// from the named-solver registry.
 //
 // Usage:
 //
@@ -10,6 +11,8 @@
 //	bddbench -exp E2 -json          # machine-readable per-experiment reports
 //	bddbench -exp all -progress     # live per-experiment status on stderr
 //	bddbench -exp E5 -debug-addr localhost:6060
+//	bddbench -solver portfolio -n 12 -reps 3      # time one solver
+//	bddbench -solver fs -n 14 -deadline 100ms     # deadline behavior
 //
 // Observability: -json wraps each experiment in a run report (schema
 // internal/obs.RunReport) carrying wall time, the experiment's table text
@@ -23,14 +26,19 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"time"
 
+	"obddopt/internal/cliutil"
+	"obddopt/internal/core"
 	"obddopt/internal/exp"
 	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
 )
 
 func main() {
@@ -41,7 +49,12 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit one JSON run report per experiment (array on stdout)")
 		progress  = flag.Bool("progress", false, "announce each experiment on stderr")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this address")
+		benchN    = flag.Int("n", 10, "variable count for -solver benchmark mode")
+		reps      = flag.Int("reps", 3, "random functions per -solver benchmark run")
+		ruleName  = flag.String("rule", "obdd", "diagram rule for -solver benchmark mode: obdd | zdd")
 	)
+	var solverFlags cliutil.SolverFlags
+	solverFlags.Register(flag.CommandLine, "")
 	flag.Parse()
 	if *debugAddr != "" {
 		addr, err := obs.StartDebugServer(*debugAddr)
@@ -51,9 +64,76 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "bddbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
-	if err := runMain(os.Stdout, os.Stderr, *expID, *seed, *quick, *jsonOut, *progress); err != nil {
+	var err error
+	if solverFlags.Solver != "" {
+		err = runSolverBench(os.Stdout, solverFlags, *benchN, *reps, *ruleName, *seed)
+	} else {
+		err = runMain(os.Stdout, os.Stderr, *expID, *seed, *quick, *jsonOut, *progress)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bddbench:", err)
 		os.Exit(1)
+	}
+}
+
+// runSolverBench is the -solver benchmark mode: it times one registered
+// solver on reps uniformly random functions of n variables — the same
+// registry and flag semantics as optobdd's -solver, so solvers can be
+// compared across tools on identical names. Runs that hit the -deadline
+// or budget count as timeouts; an incumbent-carrying timeout still
+// reports its (unproven) cost.
+func runSolverBench(stdout io.Writer, flags cliutil.SolverFlags, n, reps int, ruleName string, seed int64) error {
+	solver, name, err := flags.Resolve()
+	if err != nil {
+		return err
+	}
+	rule, err := cliutil.ParseRule(ruleName)
+	if err != nil {
+		return err
+	}
+	if n < 1 || n > truthtable.MaxVars {
+		return fmt.Errorf("-n %d out of range [1,%d]", n, truthtable.MaxVars)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Fprintf(stdout, "solver %s, rule %s, %d random functions of n=%d (seed %d)\n",
+		name, rule, reps, n, seed)
+	var total time.Duration
+	for i := 0; i < reps; i++ {
+		tt := truthtable.Random(n, rng)
+		ctx, cancel := flags.Context()
+		start := time.Now()
+		res, runErr := solver(ctx, tt, &core.SolveOptions{Rule: rule, Budget: flags.Budget()})
+		elapsed := time.Since(start)
+		cancel()
+		total += elapsed
+		switch {
+		case runErr == nil:
+			fmt.Fprintf(stdout, "  rep %d: cost %d in %v\n", i+1, res.MinCost, elapsed.Round(time.Microsecond))
+		case res != nil:
+			fmt.Fprintf(stdout, "  rep %d: stopped early (%v), incumbent cost %d after %v\n",
+				i+1, shortErr(runErr), res.MinCost, elapsed.Round(time.Microsecond))
+		default:
+			fmt.Fprintf(stdout, "  rep %d: stopped early (%v), no incumbent, after %v\n",
+				i+1, shortErr(runErr), elapsed.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintf(stdout, "mean wall time: %v\n", (total / time.Duration(reps)).Round(time.Microsecond))
+	return nil
+}
+
+// shortErr collapses wrapped sentinel errors to their bare names for
+// compact benchmark lines.
+func shortErr(err error) error {
+	switch {
+	case errors.Is(err, core.ErrCanceled):
+		return core.ErrCanceled
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return core.ErrBudgetExceeded
+	default:
+		return err
 	}
 }
 

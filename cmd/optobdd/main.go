@@ -1,21 +1,29 @@
 // Command optobdd computes an exact optimal variable ordering for a
-// Boolean function using the Friedman–Supowit dynamic program (or the
-// brute-force / divide-and-conquer alternatives).
+// Boolean function using any registered solver: the Friedman–Supowit
+// dynamic program (serial or parallel), branch-and-bound, divide-and-
+// conquer, brute force, or the portfolio racing them.
 //
 // Usage examples:
 //
 //	optobdd -expr 'x1 & x2 | x3 & x4 | x5 & x6' -n 6
-//	optobdd -hex '3:e8' -algo brute
+//	optobdd -hex '3:e8' -solver brute
 //	optobdd -circuit adder.ckt -output 2 -rule zdd -meter
-//	optobdd -pla benchmark.pla -output 0 -algo bnb
+//	optobdd -pla benchmark.pla -output 0 -solver bnb
 //	optobdd -expr 'x1 ^ x2 ^ x3' -dot out.dot
 //	optobdd -expr 'x1 & x2 | x3 & x4' -progress -json
 //	optobdd -hex '4:cafe' -debug-addr localhost:6060
+//	optobdd -expr '…' -n 14 -solver portfolio -deadline 100ms
 //
 // The function is given as exactly one of -expr (formula over x1, x2, …),
 // -hex (truth-table literal "n:hexdigits"), -circuit (netlist file, see
 // internal/circuit), or -pla (Berkeley/espresso two-level cover); -output
 // selects the primary output for multi-output sources.
+//
+// Cancellation and budgets: -deadline bounds wall-clock time; -max-cells
+// and -max-nodes bound space and work. When a limit stops the run early,
+// solvers that carry an incumbent (bnb, brute, portfolio) report the best
+// ordering found — flagged as not proven optimal — and the process exits
+// zero; solvers without one (fs, parallel, dnc) fail with the error.
 //
 // Observability: -progress streams per-layer DP progress to stderr as the
 // run advances; -json replaces the human-readable summary with one JSON
@@ -33,6 +41,7 @@ import (
 	"time"
 
 	"obddopt/internal/circuit"
+	"obddopt/internal/cliutil"
 	"obddopt/internal/core"
 	"obddopt/internal/expr"
 	"obddopt/internal/obs"
@@ -51,14 +60,27 @@ type config struct {
 	circFile string
 	plaFile  string
 	outIdx   int
-	algo     string
+	algo     string // deprecated alias of flags.Solver
 	ruleName string
 	meter    bool
 	dotFile  string
 	progress bool
 	jsonOut  bool
+	flags    cliutil.SolverFlags
 	stdout   io.Writer
 	stderr   io.Writer
+}
+
+// solverName resolves the -solver / legacy -algo pair: -solver wins,
+// then -algo, then the historical default "fs".
+func (c *config) solverName() string {
+	if s := strings.ToLower(c.flags.Solver); s != "" {
+		return s
+	}
+	if s := strings.ToLower(c.algo); s != "" {
+		return s
+	}
+	return "fs"
 }
 
 func main() {
@@ -69,7 +91,8 @@ func main() {
 	flag.StringVar(&cfg.circFile, "circuit", "", "netlist file (see internal/circuit format)")
 	flag.StringVar(&cfg.plaFile, "pla", "", "PLA (espresso) file")
 	flag.IntVar(&cfg.outIdx, "output", 0, "primary output index for -circuit")
-	flag.StringVar(&cfg.algo, "algo", "fs", "algorithm: fs | brute | bnb | dnc")
+	flag.StringVar(&cfg.algo, "algo", "", "deprecated alias of -solver")
+	cfg.flags.Register(flag.CommandLine, "")
 	flag.StringVar(&cfg.ruleName, "rule", "obdd", "diagram rule: obdd | zdd")
 	flag.BoolVar(&cfg.meter, "meter", false, "print operation counts")
 	flag.StringVar(&cfg.dotFile, "dot", "", "write the minimum diagram in Graphviz format to this file")
@@ -139,40 +162,55 @@ func (c *config) run() error {
 		return err
 	}
 
+	name := c.solverName()
+	solver, ok := core.LookupSolver(name)
+	if !ok {
+		return fmt.Errorf("unknown solver %q (have %s)", name, strings.Join(core.SolverNames(), ", "))
+	}
+
 	col, tr := c.tracer()
 	meter := &core.Meter{}
-	opts := &core.Options{Rule: rule, Meter: meter, Trace: tr}
-	var res *core.Result
+	ctx, cancel := c.flags.Context()
+	defer cancel()
 	start := time.Now()
-	switch strings.ToLower(c.algo) {
-	case "fs":
-		res = core.OptimalOrdering(tt, opts)
-	case "brute":
-		res = core.BruteForce(tt, &core.BruteForceOptions{Rule: rule, Meter: meter})
-	case "bnb":
-		res = core.BranchAndBound(tt, &core.BnBOptions{Rule: rule, Meter: meter, Trace: tr})
-	case "dnc":
-		res = core.DivideAndConquer(tt, &core.DnCOptions{Rule: rule, Meter: meter, Trace: tr})
-	default:
-		return fmt.Errorf("unknown algorithm %q (fs, brute, bnb or dnc)", c.algo)
-	}
+	res, runErr := solver(ctx, tt, &core.SolveOptions{
+		Rule:   rule,
+		Meter:  meter,
+		Trace:  tr,
+		Budget: c.flags.Budget(),
+	})
 	elapsed := time.Since(start)
+	if runErr != nil {
+		if res == nil {
+			return runErr
+		}
+		// Degrade gracefully: report the incumbent, flagged as unproven.
+		fmt.Fprintf(c.stderr, "optobdd: %v — reporting best incumbent, optimality NOT proven\n", runErr)
+	}
 
 	if c.jsonOut {
 		rep := col.Report()
-		rep.Algorithm = strings.ToLower(c.algo)
+		rep.Algorithm = name
 		rep.Rule = res.Rule.String()
 		rep.N = res.N
 		rep.Meter = meter
 		rep.Result = res
+		if runErr != nil {
+			rep.Details = map[string]string{"stopped_early": runErr.Error()}
+		}
 		if err := c.emitReport(rep, elapsed); err != nil {
 			return err
 		}
 	} else {
 		fmt.Fprintf(c.stdout, "function:        %d variables, %d satisfying assignments\n", tt.NumVars(), tt.CountOnes())
+		fmt.Fprintf(c.stdout, "solver:          %s\n", name)
 		fmt.Fprintf(c.stdout, "rule:            %s\n", res.Rule)
-		fmt.Fprintf(c.stdout, "optimal ordering %s (read first → last)\n", res.Ordering)
-		fmt.Fprintf(c.stdout, "minimum size:    %d nodes (%d nonterminal + %d terminal)\n", res.Size, res.MinCost, res.Terminals)
+		sizeLabel, ordLabel := "minimum size:   ", "optimal ordering"
+		if runErr != nil {
+			sizeLabel, ordLabel = "incumbent size: ", "best ordering   "
+		}
+		fmt.Fprintf(c.stdout, "%s %s (read first → last)\n", ordLabel, res.Ordering)
+		fmt.Fprintf(c.stdout, "%s %d nodes (%d nonterminal + %d terminal)\n", sizeLabel, res.Size, res.MinCost, res.Terminals)
 		fmt.Fprintf(c.stdout, "level widths:    %v (bottom-up)\n", res.Profile)
 		if c.meter {
 			fmt.Fprintf(c.stdout, "meter:           %d cell ops, %d compactions, peak %d cells, %d evaluations\n",
@@ -231,9 +269,14 @@ func (c *config) runShared() error {
 	}
 	col, tr := c.tracer()
 	meter := &core.Meter{}
+	ctx, cancel := c.flags.Context()
+	defer cancel()
 	start := time.Now()
-	res := core.OptimalOrderingShared(tts, &core.Options{Rule: rule, Meter: meter, Trace: tr})
+	res, err := core.OptimalOrderingSharedCtx(ctx, tts, &core.Options{Rule: rule, Meter: meter, Trace: tr, Budget: c.flags.Budget()})
 	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
 	if c.jsonOut {
 		rep := col.Report()
 		rep.Algorithm = "shared"
@@ -255,16 +298,7 @@ func (c *config) runShared() error {
 	return nil
 }
 
-func parseRule(name string) (core.Rule, error) {
-	switch strings.ToLower(name) {
-	case "obdd":
-		return core.OBDD, nil
-	case "zdd":
-		return core.ZDD, nil
-	default:
-		return core.OBDD, fmt.Errorf("unknown rule %q (obdd or zdd)", name)
-	}
-}
+func parseRule(name string) (core.Rule, error) { return cliutil.ParseRule(name) }
 
 func loadFunction(exprSrc string, nVars int, hexSrc, circFile, plaFile string, outIdx int) (*truthtable.Table, error) {
 	sources := 0

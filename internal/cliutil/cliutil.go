@@ -1,0 +1,79 @@
+// Package cliutil holds the flag plumbing shared by the command-line
+// tools: the -solver selection resolved through core's named-solver
+// registry, the -deadline / budget flags feeding the cancellable Solve
+// API, and the -rule parser. Keeping it in one place guarantees optobdd
+// and bddbench accept the same names with the same semantics.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"obddopt/internal/core"
+	_ "obddopt/internal/heuristics" // installs the portfolio's default seeder
+)
+
+// SolverFlags is the shared flag block for choosing and bounding a
+// solver run. Register it on a FlagSet (or flag.CommandLine), then call
+// Resolve / Context / Budget after parsing.
+type SolverFlags struct {
+	Solver   string
+	Deadline time.Duration
+	MaxCells uint64
+	MaxNodes uint64
+}
+
+// Register declares the shared flags on fs. defaultSolver is the value
+// used when -solver is not given (empty keeps the flag optional so a
+// legacy alias like optobdd's -algo can take precedence).
+func (f *SolverFlags) Register(fs *flag.FlagSet, defaultSolver string) {
+	fs.StringVar(&f.Solver, "solver", defaultSolver,
+		"solver: "+strings.Join(core.SolverNames(), " | "))
+	fs.DurationVar(&f.Deadline, "deadline", 0,
+		"wall-clock limit; on expiry the run stops with the best incumbent (0 = none)")
+	fs.Uint64Var(&f.MaxCells, "max-cells", 0,
+		"budget: max live DP table cells (0 = unlimited)")
+	fs.Uint64Var(&f.MaxNodes, "max-nodes", 0,
+		"budget: max DP transitions / search-node expansions (0 = unlimited)")
+}
+
+// Resolve looks the chosen solver up in the registry, returning the
+// solver, its normalized name, and a listing error on unknown names.
+func (f *SolverFlags) Resolve() (core.Solver, string, error) {
+	name := strings.ToLower(f.Solver)
+	s, ok := core.LookupSolver(name)
+	if !ok {
+		return nil, name, fmt.Errorf("unknown solver %q (have %s)",
+			f.Solver, strings.Join(core.SolverNames(), ", "))
+	}
+	return s, name, nil
+}
+
+// Context returns the run context implied by -deadline; the caller must
+// invoke the cancel function when the run ends.
+func (f *SolverFlags) Context() (context.Context, context.CancelFunc) {
+	if f.Deadline <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), f.Deadline)
+}
+
+// Budget returns the resource budget implied by the -max-* flags.
+func (f *SolverFlags) Budget() core.Budget {
+	return core.Budget{MaxCells: f.MaxCells, MaxNodes: f.MaxNodes}
+}
+
+// ParseRule maps a -rule flag value to the diagram rule.
+func ParseRule(name string) (core.Rule, error) {
+	switch strings.ToLower(name) {
+	case "obdd":
+		return core.OBDD, nil
+	case "zdd":
+		return core.ZDD, nil
+	default:
+		return core.OBDD, fmt.Errorf("unknown rule %q (obdd or zdd)", name)
+	}
+}

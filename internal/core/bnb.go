@@ -1,6 +1,8 @@
 package core
 
 import (
+	stdctx "context"
+
 	"obddopt/internal/bitops"
 	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
@@ -22,6 +24,9 @@ type BnBOptions struct {
 	// DisableLowerBound turns off the dependence-count lower bound,
 	// leaving only memo/incumbent pruning (for ablation measurements).
 	DisableLowerBound bool
+	// Budget bounds the run's resources (live cells, node expansions);
+	// the zero value is unlimited. Enforced only by BranchAndBoundCtx.
+	Budget Budget
 }
 
 func (o *BnBOptions) rule() Rule {
@@ -45,6 +50,13 @@ func (o *BnBOptions) trace() obs.Tracer {
 	return o.Trace
 }
 
+func (o *BnBOptions) budget() Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
+}
+
 // BranchAndBound finds the exact optimal ordering by depth-first search
 // over bottom-set prefixes with three prunings:
 //
@@ -61,7 +73,20 @@ func (o *BnBOptions) trace() obs.Tracer {
 // along one DFS path — Θ(2ⁿ⁺¹) cells — trading recomputation for space.
 // Exactness is unconditional; experiment E15 measures the trade.
 func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
-	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
+	return mustResult(BranchAndBoundCtx(nil, tt, opts))
+}
+
+// BranchAndBoundCtx is BranchAndBound under a context and resource
+// budget: the checkpoint is polled once per node expansion, and an early
+// stop unwinds the DFS releasing every path table. Unlike the dynamic
+// program, the search carries a usable incumbent: when it is stopped
+// after at least one complete ordering was evaluated, the returned
+// Result holds the best incumbent (not proven optimal) alongside the
+// ErrCanceled / ErrBudgetExceeded error.
+func BranchAndBoundCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BnBOptions) (*Result, error) {
+	rule, tr := opts.rule(), opts.trace()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
 	base := baseContext(tt)
@@ -78,13 +103,13 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 	memo := make(map[bitops.Mask]uint64)
 	var searchOps, searchCompactions uint64
 
-	var dfs func(c *context, mask bitops.Mask)
-	dfs = func(c *context, mask bitops.Mask) {
+	var dfs func(c *fsContext, mask bitops.Mask) error
+	dfs = func(c *fsContext, mask bitops.Mask) error {
 		if seen, ok := memo[mask]; ok && c.cost >= seen {
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindBnBPruneMemo, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: seen})
 			}
-			return
+			return nil
 		}
 		memo[mask] = c.cost
 		if len(order) == n {
@@ -100,13 +125,13 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 					tr.Emit(obs.Event{Kind: obs.KindBnBBest, Cost: best})
 				}
 			}
-			return
+			return nil
 		}
 		if c.cost >= best {
 			if tr != nil {
 				tr.Emit(obs.Event{Kind: obs.KindBnBPruneIncumbent, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: best})
 			}
-			return
+			return nil
 		}
 		if useLB {
 			lb := c.cost + remainingLowerBound(c, rule)
@@ -114,13 +139,16 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 				if tr != nil {
 					tr.Emit(obs.Event{Kind: obs.KindBnBPruneBound, Depth: len(order), Mask: uint64(mask), Cost: c.cost, Bound: lb})
 				}
-				return
+				return nil
 			}
 		}
 		ops := c.cells() / 2
 		for v := 0; v < n; v++ {
 			if !c.free.Has(v) {
 				continue
+			}
+			if err := lim.spend(1); err != nil {
+				return err
 			}
 			next, _ := compact(c, v, rule, m)
 			searchOps += ops
@@ -129,23 +157,35 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 				tr.Emit(obs.Event{Kind: obs.KindBnBExpand, Depth: len(order), Var: v, Cost: next.cost, CellOps: ops})
 			}
 			order = append(order, v)
-			dfs(next, mask.With(v))
+			err := dfs(next, mask.With(v))
 			order = order[:len(order)-1]
 			m.free(next.cells())
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	dfs(base, 0)
+	err := dfs(base, 0)
 	m.free(base.cells())
 	obs.Metrics.CellOps.Add(searchOps)
 	obs.Metrics.Compactions.Add(searchCompactions)
 
+	if err != nil {
+		// Stopped early: surface the best incumbent, if any, alongside
+		// the error so callers can degrade gracefully.
+		if found {
+			return finishResult(tt, nil, truthtable.Ordering(append([]int(nil), bestOrder...)), best, rule, m), err
+		}
+		return nil, err
+	}
 	if !found {
 		// The seeded bound was at or below the true optimum, so no
 		// complete ordering was ever recorded; rerun unseeded.
-		return BranchAndBound(tt, &BnBOptions{Rule: rule, Meter: m, Trace: tr})
+		return BranchAndBoundCtx(ctx, tt, &BnBOptions{Rule: rule, Meter: opts.meter(), Trace: tr, Budget: opts.budget()})
 	}
 	finishMetrics(m)
-	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
+	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m), nil
 }
 
 // remainingLowerBound counts the free variables whose level must hold at
@@ -157,7 +197,7 @@ func BranchAndBound(tt *truthtable.Table, opts *BnBOptions) *Result {
 // dependent variable's level can still be empty (the skip condition is
 // u1 == 0, not u0 == u1), so no per-variable contribution is claimed and
 // only memo/incumbent pruning applies.
-func remainingLowerBound(c *context, rule Rule) uint64 {
+func remainingLowerBound(c *fsContext, rule Rule) uint64 {
 	var lb uint64
 	for _, v := range c.free.Members(make([]int, 0, c.free.Count())) {
 		pos := bitops.RelativePosition(c.free, v)

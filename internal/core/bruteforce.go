@@ -1,6 +1,8 @@
 package core
 
 import (
+	stdctx "context"
+
 	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
@@ -16,6 +18,10 @@ type BruteForceOptions struct {
 	// With Prune false the search visits every ordering prefix, realizing
 	// the full O*(n!·2^n) work the papers quote for brute force.
 	Prune bool
+	// Budget bounds the run's resources (live cells, prefix
+	// extensions); the zero value is unlimited. Enforced only by
+	// BruteForceCtx.
+	Budget Budget
 }
 
 func (o *BruteForceOptions) rule() Rule {
@@ -32,25 +38,44 @@ func (o *BruteForceOptions) meter() *Meter {
 	return o.Meter
 }
 
+func (o *BruteForceOptions) budget() Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
+}
+
 // BruteForce finds the exact optimal ordering by exhaustive search over all
 // n! orderings, sharing work across common prefixes (a DFS over ordering
 // prefixes, each step one table compaction). This is the trivial baseline
 // whose O*(n!·2^n) bound both papers quote; it exists to validate FS and to
 // realize experiment E5. It returns the same Result an FS run would.
 func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
-	rule, m := opts.rule(), opts.meter()
+	return mustResult(BruteForceCtx(nil, tt, opts))
+}
+
+// BruteForceCtx is BruteForce under a context and resource budget: the
+// checkpoint is polled once per prefix extension. Like the
+// branch-and-bound search, an early stop returns the best incumbent
+// found so far (if any complete ordering was reached) alongside the
+// ErrCanceled / ErrBudgetExceeded error.
+func BruteForceCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BruteForceOptions) (*Result, error) {
+	rule := opts.rule()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
 	base := baseContext(tt)
 	m.alloc(base.cells())
 
 	best := ^uint64(0)
+	found := false
 	bestOrder := make([]int, n)
 	order := make([]int, 0, n)
 	var searchOps, searchCompactions, evals uint64
 
-	var dfs func(c *context)
-	dfs = func(c *context) {
+	var dfs func(c *fsContext) error
+	dfs = func(c *fsContext) error {
 		if len(order) == n {
 			if m != nil {
 				m.Evaluations++
@@ -59,32 +84,46 @@ func BruteForce(tt *truthtable.Table, opts *BruteForceOptions) *Result {
 			if c.cost < best {
 				best = c.cost
 				copy(bestOrder, order)
+				found = true
 			}
-			return
+			return nil
 		}
 		if opts != nil && opts.Prune && c.cost >= best {
-			return
+			return nil
 		}
 		ops := c.cells() / 2
 		for v := 0; v < n; v++ {
 			if !c.free.Has(v) {
 				continue
 			}
+			if err := lim.spend(1); err != nil {
+				return err
+			}
 			next, _ := compact(c, v, rule, m)
 			searchOps += ops
 			searchCompactions++
 			order = append(order, v)
-			dfs(next)
+			err := dfs(next)
 			order = order[:len(order)-1]
 			m.free(next.cells())
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	dfs(base)
+	err := dfs(base)
 	m.free(base.cells())
 	obs.Metrics.CellOps.Add(searchOps)
 	obs.Metrics.Compactions.Add(searchCompactions)
 	obs.Metrics.Evaluations.Add(evals)
-	finishMetrics(m)
 
-	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m)
+	if err != nil {
+		if found {
+			return finishResult(tt, nil, truthtable.Ordering(append([]int(nil), bestOrder...)), best, rule, m), err
+		}
+		return nil, err
+	}
+	finishMetrics(m)
+	return finishResult(tt, nil, truthtable.Ordering(bestOrder), best, rule, m), nil
 }

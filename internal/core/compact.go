@@ -123,7 +123,7 @@ func (m *Meter) free(cells uint64) {
 	m.LiveCells -= cells
 }
 
-// context is the quadruple FS(⟨I₁, …, I_m⟩) of the papers minus the
+// fsContext is the quadruple FS(⟨I₁, …, I_m⟩) of the papers minus the
 // explicit NODE set: a partially absorbed problem state. The absorbed
 // variables occupy the bottom |absorbed| levels in some optimal order; the
 // table maps each assignment of the free (unabsorbed) variables to the
@@ -132,7 +132,7 @@ func (m *Meter) free(cells uint64) {
 // Node IDs: 0 … nTerm−1 are terminal IDs (false=0, true=1 for Boolean
 // rules); nonterminal nodes are numbered from nTerm upward in creation
 // order, so nextID = nTerm + cost at all times.
-type context struct {
+type fsContext struct {
 	n     int         // total number of variables of f
 	free  bitops.Mask // variables not yet absorbed
 	table []uint32    // 2^{|free|} cells: node ID per free-variable assignment
@@ -141,21 +141,21 @@ type context struct {
 }
 
 // nextID returns the ID the next created node will receive.
-func (c *context) nextID() uint32 { return c.nTerm + uint32(c.cost) }
+func (c *fsContext) nextID() uint32 { return c.nTerm + uint32(c.cost) }
 
 // clone returns a deep copy of the context (table included).
-func (c *context) clone() *context {
+func (c *fsContext) clone() *fsContext {
 	t := make([]uint32, len(c.table))
 	copy(t, c.table)
-	return &context{n: c.n, free: c.free, table: t, cost: c.cost, nTerm: c.nTerm}
+	return &fsContext{n: c.n, free: c.free, table: t, cost: c.cost, nTerm: c.nTerm}
 }
 
 // cells returns the table length as a uint64.
-func (c *context) cells() uint64 { return uint64(len(c.table)) }
+func (c *fsContext) cells() uint64 { return uint64(len(c.table)) }
 
 // baseContext builds the initial context FS(∅) from a Boolean truth table:
 // the table is simply the truth table with terminal IDs 0/1 per cell.
-func baseContext(tt *truthtable.Table) *context {
+func baseContext(tt *truthtable.Table) *fsContext {
 	n := tt.NumVars()
 	table := make([]uint32, tt.Size())
 	for idx := uint64(0); idx < tt.Size(); idx++ {
@@ -163,15 +163,15 @@ func baseContext(tt *truthtable.Table) *context {
 			table[idx] = 1
 		}
 	}
-	return &context{n: n, free: bitops.FullMask(n), table: table, cost: 0, nTerm: 2}
+	return &fsContext{n: n, free: bitops.FullMask(n), table: table, cost: 0, nTerm: 2}
 }
 
 // baseContextMulti builds the initial context from a multi-valued table
 // (MTBDD minimization, Remark 2). Terminal IDs are the dense value codes.
-func baseContextMulti(mt *truthtable.MultiTable) (*context, []int) {
+func baseContextMulti(mt *truthtable.MultiTable) (*fsContext, []int) {
 	codes, terminals := mt.Dense()
 	n := mt.NumVars()
-	return &context{
+	return &fsContext{
 		n:     n,
 		free:  bitops.FullMask(n),
 		table: codes,
@@ -198,7 +198,7 @@ func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
 // happen to share a child pair (see DESIGN.md).
 //
 // The input context is not modified.
-func compact(c *context, v int, rule Rule, m *Meter) (next *context, width uint64) {
+func compact(c *fsContext, v int, rule Rule, m *Meter) (next *fsContext, width uint64) {
 	if !c.free.Has(v) {
 		panic(fmt.Sprintf("core: compact on non-free variable %d (free %#x)", v, uint64(c.free)))
 	}
@@ -237,7 +237,7 @@ func compact(c *context, v int, rule Rule, m *Meter) (next *context, width uint6
 		width++
 	}
 	m.addCells(size)
-	return &context{
+	return &fsContext{
 		n:     c.n,
 		free:  newFree,
 		table: table,
@@ -250,7 +250,7 @@ func compact(c *context, v int, rule Rule, m *Meter) (next *context, width uint6
 // (bottom-up) and returns the width of each produced level. It is the
 // Cost_j evaluator used for brute force, heuristics and verification.
 // order must list exactly the free variables of c.
-func profileAlong(c *context, order []int, rule Rule, m *Meter) (widths []uint64, final *context) {
+func profileAlong(c *fsContext, order []int, rule Rule, m *Meter) (widths []uint64, final *fsContext) {
 	cur := c
 	widths = make([]uint64, 0, len(order))
 	for _, v := range order {

@@ -94,7 +94,7 @@ type ladder struct {
 // (one subset DP over J); at depth d it divides J at the α fractions,
 // searches the division subsets with the minimizer, and extends
 // recursively at depth d−1.
-func (l *ladder) extend(ctx *context, J bitops.Mask, depth int) (out *context, order []int, owned bool) {
+func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContext, order []int, owned bool) {
 	nj := J.Count()
 	if nj == 0 {
 		return ctx, nil, false
@@ -102,17 +102,17 @@ func (l *ladder) extend(ctx *context, J bitops.Mask, depth int) (out *context, o
 	sizes := normalizeSizes(nj, l.alphas)
 	if depth <= 0 || len(sizes) == 0 {
 		// Classical FS* extension.
-		st := runDP(ctx, J, nj, l.rule, l.m, l.tr)
+		st := mustResult(runDP(ctx, J, nj, l.rule, l.m, l.tr, nil))
 		fin := st.layer[J]
 		return fin, st.reconstruct(J), fin != ctx
 	}
 
 	// Preprocess: FS(⟨…, K⟩) for all K ⊆ J with |K| = sizes[0], computed
 	// with the classical DP (line 3 of the pseudocode).
-	pre := runDP(ctx, J, sizes[0], l.rule, l.m, l.tr)
+	pre := mustResult(runDP(ctx, J, sizes[0], l.rule, l.m, l.tr, nil))
 
-	var solve func(L bitops.Mask, t int) (*context, []int, bool)
-	solve = func(L bitops.Mask, t int) (*context, []int, bool) {
+	var solve func(L bitops.Mask, t int) (*fsContext, []int, bool)
+	solve = func(L bitops.Mask, t int) (*fsContext, []int, bool) {
 		if t == 0 {
 			c, ok := pre.layer[L]
 			if !ok {

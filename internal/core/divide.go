@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdctx "context"
 	"math"
 	"sort"
 
@@ -30,6 +31,9 @@ type DnCOptions struct {
 	// (α = 0.192754, 0.334571). Fractions are rounded to level counts and
 	// deduplicated for small n.
 	Alphas []float64
+	// Budget bounds the run's resources; the zero value is unlimited.
+	// Enforced only by DivideAndConquerCtx.
+	Budget Budget
 }
 
 func (o *DnCOptions) rule() Rule {
@@ -51,6 +55,13 @@ func (o *DnCOptions) trace() obs.Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+func (o *DnCOptions) budget() Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
 }
 
 // DefaultAlphas is the two-division-point parameter vector α* of the
@@ -87,7 +98,18 @@ func normalizeSizes(n int, alphas []float64) []int {
 // non-minimum with the injected probability — exactly the guarantee of
 // Theorem 1.
 func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
-	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
+	return mustResult(DivideAndConquerCtx(nil, tt, opts))
+}
+
+// DivideAndConquerCtx is DivideAndConquer under a context and resource
+// budget: every inner dynamic program polls the cooperative checkpoint,
+// and the minimum-finding recursion unwinds — releasing all owned
+// tables — as soon as a checkpoint fires. The recursion holds no
+// complete ordering before it finishes, so an early stop returns a nil
+// Result with ErrCanceled / ErrBudgetExceeded.
+func DivideAndConquerCtx(ctx stdctx.Context, tt *truthtable.Table, opts *DnCOptions) (*Result, error) {
+	rule, tr := opts.rule(), opts.trace()
+	m := meterFor(opts.meter(), opts.budget())
 	n := tt.NumVars()
 	alphas := DefaultAlphas
 	if opts != nil && opts.Alphas != nil {
@@ -97,14 +119,15 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 	if len(sizes) == 0 {
 		// The function is too small to split; the algorithm degenerates
 		// to plain FS, as the papers' analysis assumes Ω(n) block sizes.
-		return OptimalOrdering(tt, &Options{Rule: rule, Meter: m, Trace: tr})
+		return OptimalOrderingCtx(ctx, tt, &Options{Rule: rule, Meter: m, Trace: tr, Budget: opts.budget()})
 	}
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	var minz quantum.Minimizer
 	if opts != nil && opts.Minimizer != nil {
 		minz = opts.Minimizer
 	} else {
-		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n)), Trace: tr}
+		minz = &quantum.Exact{Eps: math.Pow(2, -float64(n)), Ctx: ctx, Trace: tr}
 	}
 
 	base := baseContext(tt)
@@ -113,20 +136,38 @@ func DivideAndConquer(tt *truthtable.Table, opts *DnCOptions) *Result {
 
 	// Preprocessing phase (line 3 of the pseudocode): compute FS(K) for
 	// every K of size sizes[0] classically and keep the whole layer.
-	pre := runDP(base, full, sizes[0], rule, m, tr)
+	pre, err := runDP(base, full, sizes[0], rule, m, tr, lim)
+	if err != nil {
+		m.free(base.cells())
+		return nil, err
+	}
 
-	d := &dncRun{rule: rule, m: m, tr: tr, minz: minz, sizes: sizes, pre: pre}
-	ctx, order, owned := d.solve(full, len(sizes))
-	minCost := ctx.cost
+	d := &dncRun{rule: rule, m: m, tr: tr, minz: minz, sizes: sizes, pre: pre, lim: lim}
+	fin, order, owned, err := d.solve(full, len(sizes))
+	if err == nil && d.err != nil {
+		// A checkpoint fired inside a minimizer-driven evaluation.
+		err = d.err
+	}
+	if err != nil {
+		if owned {
+			m.free(fin.cells())
+		}
+		for _, c := range pre.layer {
+			m.free(c.cells())
+		}
+		m.free(base.cells())
+		return nil, err
+	}
+	minCost := fin.cost
 	if owned {
-		m.free(ctx.cells())
+		m.free(fin.cells())
 	}
 	for _, c := range pre.layer {
 		m.free(c.cells())
 	}
 	m.free(base.cells())
 	finishMetrics(m)
-	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m)
+	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m), nil
 }
 
 // dncRun carries the shared state of one DivideAndConquer invocation.
@@ -137,20 +178,25 @@ type dncRun struct {
 	minz  quantum.Minimizer
 	sizes []int
 	pre   *dpState // precomputed bottom layer: FS(K) for |K| = sizes[0]
+	lim   *limiter
+	// err latches the first checkpoint failure observed inside a
+	// minimizer-driven cost evaluation, whose uint64-only signature
+	// cannot carry it; once set, further evaluations return immediately.
+	err error
 }
 
 // solve implements Function DivideAndConquer(L, t) of the pseudocode: it
 // returns the optimal context absorbing exactly the variables of L, the
 // bottom-up order of L, and whether the caller owns (must free) the
 // context's table.
-func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned bool) {
+func (d *dncRun) solve(L bitops.Mask, t int) (out *fsContext, order []int, owned bool, err error) {
 	if t == 0 {
 		// FS(L) has been precomputed (line 7).
 		c, ok := d.pre.layer[L]
 		if !ok {
 			panic("core: missing precomputed FS layer entry")
 		}
-		return c, d.pre.reconstruct(L), false
+		return c, d.pre.reconstruct(L), false, nil
 	}
 	s := d.sizes[t-1]
 	if s >= L.Count() {
@@ -164,9 +210,25 @@ func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned b
 	}
 
 	eval := func(i uint64) uint64 {
+		if d.err != nil {
+			// A previous evaluation hit a checkpoint; drain the
+			// remaining minimizer queries without doing work.
+			return ^uint64(0)
+		}
 		K := cands[i]
-		ctxK, _, ownedK := d.solve(K, t-1)
-		st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr)
+		ctxK, _, ownedK, errK := d.solve(K, t-1)
+		if errK != nil {
+			d.err = errK
+			return ^uint64(0)
+		}
+		st, errDP := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr, d.lim)
+		if errDP != nil {
+			if ownedK {
+				d.m.free(ctxK.cells())
+			}
+			d.err = errDP
+			return ^uint64(0)
+		}
 		cost := st.minCost[L&^K]
 		if fin := st.layer[L&^K]; fin != nil && fin != ctxK {
 			d.m.free(fin.cells())
@@ -181,23 +243,35 @@ func (d *dncRun) solve(L bitops.Mask, t int) (ctx *context, order []int, owned b
 		return cost
 	}
 	bestIdx := d.minz.MinIndex(uint64(len(cands)), eval)
+	if d.err != nil {
+		return nil, nil, false, d.err
+	}
 
 	// Recompute the winning split to obtain its context and ordering.
 	K := cands[bestIdx]
-	ctxK, orderK, ownedK := d.solve(K, t-1)
-	st := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr)
+	ctxK, orderK, ownedK, err := d.solve(K, t-1)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	st, err := runDP(ctxK, L&^K, (L &^ K).Count(), d.rule, d.m, d.tr, d.lim)
+	if err != nil {
+		if ownedK {
+			d.m.free(ctxK.cells())
+		}
+		return nil, nil, false, err
+	}
 	if d.tr != nil {
 		d.tr.Emit(obs.Event{Kind: obs.KindDnCMerge, Depth: t, Mask: uint64(K), Cost: st.minCost[L&^K]})
 	}
 	fin := st.layer[L&^K]
 	order = append(append([]int{}, orderK...), st.reconstruct(L&^K)...)
 	if fin == ctxK {
-		return ctxK, order, ownedK
+		return ctxK, order, ownedK, nil
 	}
 	if ownedK {
 		d.m.free(ctxK.cells())
 	}
-	return fin, order, true
+	return fin, order, true, nil
 }
 
 // subsetsWithin lists all s-element subsets of the set L, in deterministic

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file is the cancellation-and-budget layer threaded through every
+// solver loop: the sentinel errors of the Solve API, the resource Budget,
+// and the limiter the loops poll at cooperative checkpoints. A nil
+// *limiter disables all checking, so the legacy (context-free) entry
+// points pay nothing.
+
+// Sentinel errors of the context-aware solver API. Callers test them with
+// errors.Is; the concrete error returned by a solver may wrap additional
+// detail (the context cause, the exhausted budget dimension).
+var (
+	// ErrCanceled reports that the run stopped early because its
+	// context was canceled or its deadline expired. The accompanying
+	// *Result, when non-nil, is the best incumbent found before the stop
+	// (exactness is NOT guaranteed).
+	ErrCanceled = errors.New("obddopt: run canceled")
+	// ErrBudgetExceeded reports that the run stopped early because a
+	// resource budget (live DP cells, search nodes) was exhausted. The
+	// accompanying *Result, when non-nil, is the best incumbent found.
+	ErrBudgetExceeded = errors.New("obddopt: resource budget exceeded")
+	// ErrInvalidInput reports a malformed problem (nil table, variable
+	// count out of range, unknown solver or rule name).
+	ErrInvalidInput = errors.New("obddopt: invalid input")
+)
+
+// Budget bounds the resources a solver run may consume. The zero value is
+// unlimited. Budgets are enforced cooperatively at the same checkpoints as
+// context cancellation, so enforcement granularity is one DP transition /
+// one search-node expansion.
+type Budget struct {
+	// MaxCells caps the live table cells (the Meter.LiveCells gauge —
+	// Remark 1's space measure). 0 means unlimited. Enforcing it
+	// requires metering; solvers allocate a private Meter when the
+	// caller did not supply one.
+	MaxCells uint64
+	// MaxNodes caps the number of DP transitions / branch-and-bound
+	// node expansions / brute-force prefix extensions. 0 means
+	// unlimited.
+	MaxNodes uint64
+}
+
+// zero reports whether the budget imposes no limit.
+func (b Budget) zero() bool { return b.MaxCells == 0 && b.MaxNodes == 0 }
+
+// limiter carries the cooperative-checkpoint state of one run: the
+// context, the budget, and the node counter. Methods are nil-safe; a nil
+// limiter is the legacy unlimited path.
+type limiter struct {
+	ctx    context.Context
+	budget Budget
+	meter  *Meter
+	nodes  uint64
+}
+
+// newLimiter returns the limiter for one run, or nil when neither
+// cancellation nor budget enforcement is requested (ctx == nil and a zero
+// budget), keeping the legacy fast path allocation-free.
+func newLimiter(ctx context.Context, budget Budget, m *Meter) *limiter {
+	if ctx == nil && budget.zero() {
+		return nil
+	}
+	return &limiter{ctx: ctx, budget: budget, meter: m}
+}
+
+// check polls the cancellation and budget state; it is the cooperative
+// checkpoint every solver loop calls once per transition/expansion.
+func (l *limiter) check() error {
+	if l == nil {
+		return nil
+	}
+	if l.ctx != nil {
+		select {
+		case <-l.ctx.Done():
+			return fmt.Errorf("%w: %v", ErrCanceled, l.ctx.Err())
+		default:
+		}
+	}
+	if l.budget.MaxCells > 0 && l.meter != nil && l.meter.LiveCells > l.budget.MaxCells {
+		return fmt.Errorf("%w: live cells %d > budget %d", ErrBudgetExceeded, l.meter.LiveCells, l.budget.MaxCells)
+	}
+	if l.budget.MaxNodes > 0 && l.nodes > l.budget.MaxNodes {
+		return fmt.Errorf("%w: %d nodes > budget %d", ErrBudgetExceeded, l.nodes, l.budget.MaxNodes)
+	}
+	return nil
+}
+
+// spend charges n nodes against the budget and then checks.
+func (l *limiter) spend(n uint64) error {
+	if l == nil {
+		return nil
+	}
+	l.nodes += n
+	return l.check()
+}
+
+// stopped reports (cheaply, and safely from any goroutine) whether the
+// run's context is done. Workers of the parallel solver poll it so a
+// cancellation does not have to wait for a whole layer.
+func (l *limiter) stopped() bool {
+	if l == nil || l.ctx == nil {
+		return false
+	}
+	select {
+	case <-l.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// meterFor returns the meter the run should use: the caller's, or a
+// private one when a cell budget demands metering the caller did not set
+// up.
+func meterFor(m *Meter, budget Budget) *Meter {
+	if m == nil && budget.MaxCells > 0 {
+		return &Meter{}
+	}
+	return m
+}
+
+// mustResult asserts that a context-free run cannot fail: the legacy
+// wrappers call their Ctx counterparts with a background context and no
+// budget, where the only error sources are disabled.
+func mustResult[T any](res T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("core: context-free run failed unexpectedly: %v", err))
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	stdctx "context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// cancelAfterLayers is a Tracer that cancels a context once it has seen
+// the given number of completed DP layers, and counts every layer
+// completed after the cancellation fired.
+type cancelAfterLayers struct {
+	cancel      stdctx.CancelFunc
+	after       int
+	seen        atomic.Int32
+	afterCancel atomic.Int32
+}
+
+func (t *cancelAfterLayers) Emit(ev obs.Event) {
+	if ev.Kind != obs.KindLayerEnd {
+		return
+	}
+	n := t.seen.Add(1)
+	if int(n) == t.after {
+		t.cancel()
+	} else if int(n) > t.after {
+		t.afterCancel.Add(1)
+	}
+}
+
+// TestCancelStopsWithinOneLayer verifies the tentpole promptness
+// contract: a cancellation that fires at a layer boundary stops the
+// dynamic program before it completes another full layer, releases every
+// table it owns (the meter returns to zero live cells), and surfaces
+// ErrCanceled.
+func TestCancelStopsWithinOneLayer(t *testing.T) {
+	tt := truthtable.Random(10, rand.New(rand.NewSource(42)))
+	for _, run := range []struct {
+		name  string
+		solve func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error)
+	}{
+		{"fs", func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error) {
+			return OptimalOrderingCtx(ctx, tt, &Options{Meter: m, Trace: tr})
+		}},
+		{"parallel", func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error) {
+			return OptimalOrderingParallelCtx(ctx, tt, &ParallelOptions{Meter: m, Trace: tr, Workers: 4})
+		}},
+	} {
+		t.Run(run.name, func(t *testing.T) {
+			ctx, cancel := stdctx.WithCancel(stdctx.Background())
+			defer cancel()
+			tr := &cancelAfterLayers{cancel: cancel, after: 2}
+			m := &Meter{}
+			res, err := run.solve(ctx, m, tr)
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if res != nil {
+				t.Fatalf("res = %+v, want nil (the DP has no incumbent)", res)
+			}
+			if got := tr.afterCancel.Load(); got > 1 {
+				t.Errorf("%d layers completed after cancellation, want ≤ 1", got)
+			}
+			if m.LiveCells != 0 {
+				t.Errorf("LiveCells = %d after abort, want 0 (all tables released)", m.LiveCells)
+			}
+		})
+	}
+}
+
+// TestPreCanceledContext verifies every registered solver notices a
+// context that is already done without grinding through the search, and
+// that solvers with incumbents still return none (nothing was explored).
+func TestPreCanceledContext(t *testing.T) {
+	tt := truthtable.Random(9, rand.New(rand.NewSource(7)))
+	ctx, cancel := stdctx.WithCancel(stdctx.Background())
+	cancel()
+	for _, name := range SolverNames() {
+		solver, ok := LookupSolver(name)
+		if !ok {
+			t.Fatalf("registered solver %q vanished", name)
+		}
+		start := time.Now()
+		_, err := solver(ctx, tt, &SolveOptions{})
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", name, err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("%s: took %v on a pre-canceled context", name, el)
+		}
+	}
+}
+
+// TestBudgetNodesBnBIncumbent verifies budget exhaustion surfaces
+// ErrBudgetExceeded together with the best incumbent the search had, and
+// that the meter balances.
+func TestBudgetNodesBnBIncumbent(t *testing.T) {
+	tt := truthtable.Random(8, rand.New(rand.NewSource(3)))
+	m := &Meter{}
+	res, err := BranchAndBoundCtx(nil, tt, &BnBOptions{Meter: m, Budget: Budget{MaxNodes: 60}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("no incumbent returned; 60 expansions cover several complete orderings at n=8")
+	}
+	if len(res.Ordering) != 8 || !res.Ordering.Valid() {
+		t.Fatalf("incumbent ordering %v is not a permutation", res.Ordering)
+	}
+	// The incumbent must be an actual achievable cost.
+	if got := SizeUnder(tt, res.Ordering, OBDD, nil); got != res.Size {
+		t.Errorf("incumbent size %d but ordering achieves %d", res.Size, got)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after abort, want 0", m.LiveCells)
+	}
+}
+
+// TestBudgetCells verifies the space budget: a cap far below the DP's
+// peak aborts the run with ErrBudgetExceeded and a balanced meter, even
+// without a caller-supplied meter (the solver must meter internally).
+func TestBudgetCells(t *testing.T) {
+	tt := truthtable.Random(10, rand.New(rand.NewSource(5)))
+	res, err := OptimalOrderingCtx(nil, tt, &Options{Budget: Budget{MaxCells: 4096}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil", res)
+	}
+	m := &Meter{}
+	if _, err := OptimalOrderingCtx(nil, tt, &Options{Meter: m, Budget: Budget{MaxCells: 4096}}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("metered: err = %v, want ErrBudgetExceeded", err)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after abort, want 0", m.LiveCells)
+	}
+}
+
+// TestCancelSharedAndDnC covers the remaining context-aware entry points'
+// abort bookkeeping.
+func TestCancelSharedAndDnC(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tts := []*truthtable.Table{truthtable.Random(8, rng), truthtable.Random(8, rng)}
+	m := &Meter{}
+	if _, err := OptimalOrderingSharedCtx(nil, tts, &Options{Meter: m, Budget: Budget{MaxNodes: 40}}); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("shared: err = %v, want ErrBudgetExceeded", err)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("shared: LiveCells = %d after abort, want 0", m.LiveCells)
+	}
+
+	tt := truthtable.Random(10, rng)
+	m2 := &Meter{}
+	res, err := DivideAndConquerCtx(nil, tt, &DnCOptions{Meter: m2, Budget: Budget{MaxNodes: 200}})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("dnc: err = %v, want ErrBudgetExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("dnc: res = %+v, want nil", res)
+	}
+	if m2.LiveCells != 0 {
+		t.Errorf("dnc: LiveCells = %d after abort, want 0", m2.LiveCells)
+	}
+}
+
+// TestCtxEntryPointsMatchLegacy pins the refactor: the Ctx variants with
+// a nil context and zero budget produce exactly the legacy results.
+func TestCtxEntryPointsMatchLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 5; i++ {
+		tt := truthtable.Random(7, rng)
+		want := OptimalOrdering(tt, nil)
+		for _, name := range []string{"fs", "parallel", "bnb", "brute", "dnc"} {
+			solver, _ := LookupSolver(name)
+			got, err := solver(nil, tt, &SolveOptions{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got.MinCost != want.MinCost {
+				t.Errorf("%s: MinCost = %d, want %d", name, got.MinCost, want.MinCost)
+			}
+		}
+	}
+}

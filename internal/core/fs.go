@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,6 +21,10 @@ type Options struct {
 	// runs (layer start/end, per-compaction transitions). A nil tracer
 	// costs one branch per layer; see internal/obs.
 	Trace obs.Tracer
+	// Budget bounds the run's resources (live cells, DP transitions);
+	// the zero value is unlimited. Enforced only by the Ctx entry
+	// points.
+	Budget Budget
 }
 
 func (o *Options) rule() Rule {
@@ -41,6 +46,13 @@ func (o *Options) trace() obs.Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+func (o *Options) budget() Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
 }
 
 // Result reports an exact minimization outcome. The JSON tags define the
@@ -83,7 +95,7 @@ type dpState struct {
 	// minCost[K] is the optimal context cost after absorbing K.
 	minCost map[bitops.Mask]uint64
 	// layer holds the contexts of the most recently completed layer.
-	layer map[bitops.Mask]*context
+	layer map[bitops.Mask]*fsContext
 }
 
 // runDP absorbs subsets of vars on top of ctx up to layer stop
@@ -91,7 +103,13 @@ type dpState struct {
 // It returns the DP state whose layer field holds the contexts for all
 // stop-element subsets K of vars, each being FS(⟨…, K⟩) with cost
 // minCost[K]. The input ctx is not modified.
-func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs.Tracer) *dpState {
+//
+// lim, when non-nil, is polled before every transition; on cancellation
+// or budget exhaustion every table the DP still owns (current layer and
+// partial next layer, never the caller's base context) is released
+// through the meter and the error is returned, so Meter.LiveCells drops
+// back to exactly the caller-owned cells.
+func runDP(ctx *fsContext, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs.Tracer, lim *limiter) (*dpState, error) {
 	if vars&^ctx.free != 0 {
 		panic("core: runDP vars not free in context")
 	}
@@ -104,10 +122,24 @@ func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs
 		meter:    m,
 		bestLast: make(map[bitops.Mask]int),
 		minCost:  make(map[bitops.Mask]uint64),
-		layer:    map[bitops.Mask]*context{0: ctx},
+		layer:    map[bitops.Mask]*fsContext{0: ctx},
 	}
 	st.minCost[0] = ctx.cost
 	members := vars.Members(make([]int, 0, nv))
+
+	// abort releases every context the DP still owns when a checkpoint
+	// fires mid-layer.
+	abort := func(next map[bitops.Mask]*fsContext) {
+		for _, c := range next {
+			m.free(c.cells())
+		}
+		for mask, c := range st.layer {
+			if mask != 0 || c != ctx {
+				m.free(c.cells())
+			}
+		}
+		st.layer = nil
+	}
 
 	for k := 1; k <= stop; k++ {
 		var layerStart time.Time
@@ -116,12 +148,16 @@ func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs
 			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(st.layer)})
 		}
 		var layerOps, transitions uint64
-		next := make(map[bitops.Mask]*context, len(st.layer)*nv/k)
+		next := make(map[bitops.Mask]*fsContext, len(st.layer)*nv/k)
 		for prevMask, prevCtx := range st.layer {
 			ops := prevCtx.cells() / 2
 			for _, v := range members {
 				if prevMask.Has(v) {
 					continue
+				}
+				if err := lim.spend(1); err != nil {
+					abort(next)
+					return nil, err
 				}
 				cand, w := compact(prevCtx, v, rule, m)
 				layerOps += ops
@@ -169,7 +205,7 @@ func runDP(ctx *context, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs
 			tr.Emit(ev)
 		}
 	}
-	return st
+	return st, nil
 }
 
 // reconstruct returns the bottom-up order in which the DP absorbed the
@@ -193,12 +229,29 @@ func (st *dpState) reconstruct(mask bitops.Mask) []int {
 // size together with an optimal variable ordering. Time and space are
 // O*(3^n) in the number of variables n.
 func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
-	rule, m := opts.rule(), opts.meter()
+	return mustResult(OptimalOrderingCtx(nil, tt, opts))
+}
+
+// OptimalOrderingCtx is OptimalOrdering under a context and resource
+// budget (opts.Budget): the dynamic program polls a cooperative
+// checkpoint before every table compaction and stops with ErrCanceled /
+// ErrBudgetExceeded — releasing every live table, so an attached Meter
+// ends with LiveCells == 0 — instead of running to completion. The
+// dynamic program holds no usable incumbent before it finishes, so an
+// early stop returns a nil Result.
+func OptimalOrderingCtx(ctx context.Context, tt *truthtable.Table, opts *Options) (*Result, error) {
+	rule := opts.rule()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	base := baseContext(tt)
 	m.alloc(base.cells())
 	n := tt.NumVars()
-	st := runDP(base, bitops.FullMask(n), n, rule, m, opts.trace())
+	st, err := runDP(base, bitops.FullMask(n), n, rule, m, opts.trace(), lim)
+	if err != nil {
+		m.free(base.cells())
+		return nil, err
+	}
 
 	full := bitops.FullMask(n)
 	order := truthtable.Ordering(st.reconstruct(full))
@@ -208,7 +261,7 @@ func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
 	}
 	m.free(base.cells())
 	finishMetrics(m)
-	return res
+	return res, nil
 }
 
 // finishMetrics folds a completed run into the process-wide registry.
@@ -224,15 +277,26 @@ func finishMetrics(m *Meter) {
 // ZDD rule is not meaningful for multi-valued terminals, so opts.Rule must
 // be OBDD (the zero value).
 func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
+	return mustResult(OptimalOrderingMultiCtx(nil, mt, opts))
+}
+
+// OptimalOrderingMultiCtx is OptimalOrderingMulti under a context and
+// resource budget; see OptimalOrderingCtx for the early-stop contract.
+func OptimalOrderingMultiCtx(ctx context.Context, mt *truthtable.MultiTable, opts *Options) (*Result, error) {
 	if opts.rule() != OBDD {
 		panic("core: OptimalOrderingMulti requires the OBDD rule")
 	}
-	m := opts.meter()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	base, terminals := baseContextMulti(mt)
 	m.alloc(base.cells())
 	n := mt.NumVars()
-	st := runDP(base, bitops.FullMask(n), n, OBDD, m, opts.trace())
+	st, err := runDP(base, bitops.FullMask(n), n, OBDD, m, opts.trace(), lim)
+	if err != nil {
+		m.free(base.cells())
+		return nil, err
+	}
 
 	full := bitops.FullMask(n)
 	order := truthtable.Ordering(st.reconstruct(full))
@@ -252,7 +316,7 @@ func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
 		Ordering:       order,
 		Profile:        profile,
 		TerminalValues: terminals,
-	}
+	}, nil
 }
 
 // finishResult assembles a Result for a Boolean input: it recomputes the

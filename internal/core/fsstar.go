@@ -58,7 +58,7 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 	res := &BlockResult{Blocks: blocks}
 	var order []int
 	for _, b := range blocks {
-		st := runDP(cur, b, b.Count(), rule, m, opts.trace())
+		st := mustResult(runDP(cur, b, b.Count(), rule, m, opts.trace(), nil))
 		blockOrder := st.reconstruct(b)
 		order = append(order, blockOrder...)
 		next := st.layer[b]
@@ -83,6 +83,6 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 // |K| = stop. It is the preprocessing and composition step of the
 // divide-and-conquer algorithm. The caller owns the returned layer
 // contexts and must release their cells via the meter when done.
-func extendAll(ctx *context, J bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
-	return runDP(ctx, J, stop, rule, m, nil)
+func extendAll(ctx *fsContext, J bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
+	return mustResult(runDP(ctx, J, stop, rule, m, nil, nil))
 }

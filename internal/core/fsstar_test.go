@@ -13,8 +13,8 @@ import (
 // for OptimalOrderingBlocks.
 func restrictedBrute(f *truthtable.Table, blocks []bitops.Mask, rule Rule) uint64 {
 	best := ^uint64(0)
-	var rec func(c *context, bi int)
-	rec = func(c *context, bi int) {
+	var rec func(c *fsContext, bi int)
+	rec = func(c *fsContext, bi int) {
 		if bi == len(blocks) {
 			if c.cost < best {
 				best = c.cost

@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdctx "context"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +27,11 @@ type ParallelOptions struct {
 	// the tracer — so any Tracer implementation is race-free here;
 	// per-compaction events are not emitted by the parallel solver.
 	Trace obs.Tracer
+	// Budget bounds the run's resources; the zero value is unlimited.
+	// Enforced only by OptimalOrderingParallelCtx, at layer granularity
+	// for MaxCells (the meter merges once per layer) and transition
+	// granularity for MaxNodes.
+	Budget Budget
 }
 
 // OptimalOrderingParallel is OptimalOrdering with each DP layer fanned out
@@ -35,36 +41,61 @@ type ParallelOptions struct {
 // layers deterministically. Results are bit-identical to the serial
 // algorithm, including tie-breaking.
 func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Result {
+	return mustResult(OptimalOrderingParallelCtx(nil, tt, opts))
+}
+
+// OptimalOrderingParallelCtx is OptimalOrderingParallel under a context
+// and resource budget. Workers poll the context once per previous-layer
+// subset, so a cancellation stops the fan-out well inside one layer; the
+// coordinator then releases every table produced so far and returns
+// ErrCanceled / ErrBudgetExceeded with a nil Result (the DP holds no
+// incumbent before it completes).
+func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *ParallelOptions) (*Result, error) {
 	rule := OBDD
 	var meter *Meter
 	var tr obs.Tracer
+	var budget Budget
 	workers := runtime.GOMAXPROCS(0)
 	if opts != nil {
 		rule = opts.Rule
 		meter = opts.Meter
 		tr = opts.Trace
+		budget = opts.Budget
 		if opts.Workers > 0 {
 			workers = opts.Workers
 		}
 	}
+	meter = meterFor(meter, budget)
 	n := tt.NumVars()
 	if workers < 1 {
 		workers = 1
 	}
 	if n <= 2 || workers == 1 {
-		return OptimalOrdering(tt, &Options{Rule: rule, Meter: meter, Trace: tr})
+		return OptimalOrderingCtx(ctx, tt, &Options{Rule: rule, Meter: meter, Trace: tr, Budget: budget})
 	}
+	lim := newLimiter(ctx, budget, meter)
 	obs.Metrics.RunsStarted.Inc()
 
 	base := baseContext(tt)
 	meter.alloc(base.cells())
 	bestLast := make(map[bitops.Mask]int)
-	layer := map[bitops.Mask]*context{0: base}
+	layer := map[bitops.Mask]*fsContext{0: base}
+
+	// releaseLayer returns the current layer's tables to the meter (the
+	// caller-owned base context excluded); used on both the normal
+	// per-layer hand-over and the abort path.
+	releaseLayer := func() {
+		for m, c := range layer {
+			if m != 0 || c != base {
+				meter.free(c.cells())
+			}
+		}
+	}
 
 	type cand struct {
 		mask bitops.Mask
 		v    int
-		ctx  *context
+		ctx  *fsContext
 	}
 	for k := 1; k <= n; k++ {
 		var layerStart time.Time
@@ -90,6 +121,12 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 				var local []cand
 				lm := &Meter{}
 				for i := w; i < len(prev); i += workers {
+					// Cooperative checkpoint: ctx polling is safe from
+					// any goroutine; budget accounting stays with the
+					// coordinator.
+					if lim.stopped() {
+						break
+					}
 					prevMask := prev[i]
 					prevCtx := layer[prevMask]
 					for v := 0; v < n; v++ {
@@ -112,13 +149,23 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		for _, r := range results {
 			all = append(all, r...)
 		}
+
+		// Charge the layer's transitions against the budget and poll the
+		// context once per layer boundary; on a stop, every candidate
+		// table is dropped before any entered the meter, so LiveCells
+		// falls back to the surviving layers only.
+		if err := lim.spend(uint64(len(all))); err != nil {
+			releaseLayer()
+			meter.free(base.cells())
+			return nil, err
+		}
 		sort.Slice(all, func(i, j int) bool {
 			if all[i].mask != all[j].mask {
 				return all[i].mask < all[j].mask
 			}
 			return all[i].v < all[j].v
 		})
-		next := make(map[bitops.Mask]*context, len(all)/k+1)
+		next := make(map[bitops.Mask]*fsContext, len(all)/k+1)
 		var layerCells, keptCells uint64
 		for _, c := range all {
 			layerCells += c.ctx.cells()
@@ -147,15 +194,19 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 			}
 			meter.alloc(layerCells)
 			meter.free(layerCells - keptCells)
-			for m, c := range layer {
-				if m != 0 || c != base {
-					meter.free(c.cells())
-				}
-			}
 		}
+		releaseLayer()
 		layer = next
 		obs.Metrics.CellOps.Add(layerOps)
 		obs.Metrics.Compactions.Add(layerCompactions)
+
+		// The cell budget is enforced at the layer boundary, after the
+		// meter has absorbed the layer's surviving tables.
+		if err := lim.check(); err != nil {
+			releaseLayer()
+			meter.free(base.cells())
+			return nil, err
+		}
 		if tr != nil {
 			ev := obs.Event{
 				Kind:    obs.KindLayerEnd,
@@ -187,5 +238,5 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 		mask = mask.Without(v)
 	}
 	finishMetrics(meter)
-	return finishResult(tt, nil, order, minCost, rule, meter)
+	return finishResult(tt, nil, order, minCost, rule, meter), nil
 }

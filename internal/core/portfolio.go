@@ -1,0 +1,354 @@
+package core
+
+import (
+	stdctx "context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// This file is the portfolio engine and the named-solver registry behind
+// the top-level Solve API. The portfolio races the two exact strategies
+// with complementary cost profiles — the Friedman–Supowit dynamic program
+// (predictable O*(3^n) work, no usable incumbent until it finishes) and
+// branch-and-bound (unpredictable but often far cheaper when seeded with
+// a tight bound, carries an incumbent throughout) — after a cheap
+// heuristic phase whose incumbent both seeds the branch-and-bound bound
+// and serves as the graceful-degradation answer when a deadline or budget
+// stops the race before either lane proves optimality.
+
+// SolveOptions is the option set shared by every registered solver. It is
+// a superset of the per-algorithm option structs: fields irrelevant to a
+// given solver (Workers for the serial DP, Seeder for anything but the
+// portfolio) are ignored.
+type SolveOptions struct {
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule Rule
+	// Meter, if non-nil, accumulates operation counts. The portfolio
+	// gives each lane a private meter and merges them after all lanes
+	// have joined, so the final counters aggregate the whole race.
+	Meter *Meter
+	// Trace, if non-nil, receives the solver's events; the portfolio
+	// additionally emits lane_start / lane_result / race_won /
+	// lane_canceled events. Implementations must be safe for concurrent
+	// Emit calls (all of internal/obs's are).
+	Trace obs.Tracer
+	// Budget bounds the run's resources; the zero value is unlimited.
+	// The portfolio applies the budget to each lane independently.
+	Budget Budget
+	// Workers is the goroutine count for the parallel DP lanes; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Seeder overrides the heuristic seeding phase of the portfolio; nil
+	// selects DefaultSeeder.
+	Seeder Seeder
+}
+
+func (o *SolveOptions) rule() Rule {
+	if o == nil {
+		return OBDD
+	}
+	return o.Rule
+}
+
+// Seeder is a heuristic ordering pass: it returns an ordering of tt's
+// variables, the diagram cost (nonterminals) under that ordering, and
+// whether it produced anything. It must respect ctx — stopping early and
+// returning its best-so-far — and must tolerate a nil tracer.
+type Seeder func(ctx stdctx.Context, tt *truthtable.Table, rule Rule, tr obs.Tracer) (truthtable.Ordering, uint64, bool)
+
+// DefaultSeeder is the heuristic phase the portfolio uses when
+// SolveOptions.Seeder is nil. The heuristics package installs its
+// Sift→Anneal pipeline here from an init function — a package hook in
+// the database/sql-driver style, needed because heuristics imports core
+// and core cannot import it back. A nil DefaultSeeder (heuristics not
+// linked in) skips the seeding phase.
+var DefaultSeeder Seeder
+
+// Solver is a registered solving strategy behind one name of the Solve
+// API. Implementations honor ctx and opts.Budget cooperatively and
+// return ErrCanceled / ErrBudgetExceeded on early stops, with a non-nil
+// *Result alongside the error when a usable incumbent exists.
+type Solver func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error)
+
+var (
+	solverMu  sync.RWMutex
+	solverReg = make(map[string]Solver)
+)
+
+// RegisterSolver makes a solving strategy available under name (as used
+// by Solve's WithSolver option and the CLIs' -solver flag). It panics if
+// the name is empty, the solver nil, or the name already taken — the
+// same contract as database/sql.Register.
+func RegisterSolver(name string, s Solver) {
+	solverMu.Lock()
+	defer solverMu.Unlock()
+	if name == "" || s == nil {
+		panic("core: RegisterSolver with empty name or nil solver")
+	}
+	if _, dup := solverReg[name]; dup {
+		panic("core: RegisterSolver called twice for " + name)
+	}
+	solverReg[name] = s
+}
+
+// LookupSolver returns the solver registered under name.
+func LookupSolver(name string) (Solver, bool) {
+	solverMu.RLock()
+	defer solverMu.RUnlock()
+	s, ok := solverReg[name]
+	return s, ok
+}
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string {
+	solverMu.RLock()
+	defer solverMu.RUnlock()
+	names := make([]string, 0, len(solverReg))
+	for n := range solverReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterSolver("fs", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+		return OptimalOrderingCtx(ctx, tt, &Options{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
+	})
+	RegisterSolver("parallel", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+		return OptimalOrderingParallelCtx(ctx, tt, &ParallelOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts), Workers: optWorkers(opts)})
+	})
+	RegisterSolver("bnb", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+		return BranchAndBoundCtx(ctx, tt, &BnBOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
+	})
+	RegisterSolver("dnc", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+		return DivideAndConquerCtx(ctx, tt, &DnCOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
+	})
+	RegisterSolver("brute", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+		return BruteForceCtx(ctx, tt, &BruteForceOptions{Rule: opts.rule(), Meter: optMeter(opts), Budget: optBudget(opts), Prune: true})
+	})
+	RegisterSolver("portfolio", Portfolio)
+}
+
+func optMeter(o *SolveOptions) *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+func optTrace(o *SolveOptions) obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+func optBudget(o *SolveOptions) Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
+}
+
+func optWorkers(o *SolveOptions) int {
+	if o == nil {
+		return 0
+	}
+	return o.Workers
+}
+
+// parallelLaneThreshold is the variable count above which the portfolio's
+// DP lane uses the multi-core dynamic program: below it the layers are
+// too small for the fan-out to pay for goroutine coordination.
+const parallelLaneThreshold = 12
+
+// laneOutcome is one exact lane's final state.
+type laneOutcome struct {
+	name    string
+	res     *Result
+	err     error
+	meter   *Meter
+	elapsed time.Duration
+}
+
+// Portfolio is the registered "portfolio" solver: a heuristic phase
+// (DefaultSeeder — Sift then simulated annealing) followed by a race
+// between the Friedman–Supowit dynamic program (parallel above
+// parallelLaneThreshold variables) and branch-and-bound seeded with the
+// heuristic incumbent. The first lane to prove optimality wins and the
+// loser is canceled. The returned cost is exact whenever err is nil —
+// both lanes are exact algorithms, so the race only changes which proof
+// arrives first, never the answer.
+//
+// On cancellation or budget exhaustion before either lane finishes, the
+// heuristic incumbent (or the best incumbent of the branch-and-bound
+// lane, whichever is better) is returned alongside the error, so callers
+// degrade to a valid — merely unproven — ordering instead of nothing.
+func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+	rule, tr := opts.rule(), optTrace(opts)
+	budget := optBudget(opts)
+	n := tt.NumVars()
+	start := time.Now()
+
+	// Phase 1: heuristic seeding. Runs inline (it is polynomial-time and
+	// brief next to the exact lanes) but under ctx, so a short deadline
+	// still yields a best-so-far incumbent.
+	seeder := DefaultSeeder
+	if opts != nil && opts.Seeder != nil {
+		seeder = opts.Seeder
+	}
+	var (
+		incOrder truthtable.Ordering
+		incCost  uint64
+		haveInc  bool
+	)
+	if seeder != nil {
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindLaneStart, Lane: "heuristic"})
+		}
+		heurStart := time.Now()
+		incOrder, incCost, haveInc = seeder(ctx, tt, rule, tr)
+		if tr != nil {
+			ev := obs.Event{Kind: obs.KindLaneResult, Lane: "heuristic", Elapsed: time.Since(heurStart)}
+			if haveInc {
+				ev.Cost = incCost
+			}
+			tr.Emit(ev)
+		}
+	}
+	incumbent := func() *Result {
+		if !haveInc {
+			return nil
+		}
+		return finishResult(tt, nil, incOrder, incCost, rule, nil)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return incumbent(), fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+	}
+
+	// Phase 2: race the exact lanes. Each lane gets a private meter (so
+	// worker accounting never races) and the same per-lane budget; the
+	// first successful finisher cancels the other.
+	raceCtx, cancel := stdctx.WithCancel(ctxOrBackground(ctx))
+	defer cancel()
+
+	dpName := "fs"
+	if n > parallelLaneThreshold {
+		dpName = "parallel"
+	}
+	lanes := []struct {
+		name string
+		run  func(stdctx.Context, *Meter) (*Result, error)
+	}{
+		{dpName, func(c stdctx.Context, m *Meter) (*Result, error) {
+			if dpName == "parallel" {
+				return OptimalOrderingParallelCtx(c, tt, &ParallelOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget, Workers: optWorkers(opts)})
+			}
+			return OptimalOrderingCtx(c, tt, &Options{Rule: rule, Meter: m, Trace: tr, Budget: budget})
+		}},
+		{"bnb", func(c stdctx.Context, m *Meter) (*Result, error) {
+			o := &BnBOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget}
+			if haveInc {
+				// Seed one above the incumbent so a truly-optimal
+				// incumbent is still rediscovered (and thereby proven)
+				// rather than pruned away.
+				o.InitialBound = incCost + 1
+			}
+			return BranchAndBoundCtx(c, tt, o)
+		}},
+	}
+
+	results := make(chan laneOutcome, len(lanes))
+	for _, lane := range lanes {
+		lane := lane
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: obs.KindLaneStart, Lane: lane.name})
+		}
+		go func() {
+			m := &Meter{}
+			laneStart := time.Now()
+			res, err := lane.run(raceCtx, m)
+			results <- laneOutcome{name: lane.name, res: res, err: err, meter: m, elapsed: time.Since(laneStart)}
+		}()
+	}
+
+	var winner, loserInc *laneOutcome
+	var firstErr error
+	outcomes := make([]laneOutcome, 0, len(lanes))
+	for range lanes {
+		out := <-results
+		outcomes = append(outcomes, out)
+		// A lane that died without a result (typically: canceled after the
+		// race was decided) emits only lane_canceled below, not a
+		// misleading zero-cost lane_result.
+		if tr != nil && (out.err == nil || out.res != nil) {
+			tr.Emit(obs.Event{Kind: obs.KindLaneResult, Lane: out.name, Cost: out.res.MinCost, Elapsed: out.elapsed})
+		}
+		switch {
+		case out.err == nil:
+			if winner == nil {
+				w := out
+				winner = &w
+				if tr != nil {
+					tr.Emit(obs.Event{Kind: obs.KindRaceWon, Lane: out.name, Cost: out.res.MinCost, Elapsed: time.Since(start)})
+				}
+				cancel()
+			}
+		default:
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if out.res != nil && (loserInc == nil || out.res.MinCost < loserInc.res.MinCost) {
+				l := out
+				loserInc = &l
+			}
+			if winner != nil && tr != nil {
+				tr.Emit(obs.Event{Kind: obs.KindLaneCanceled, Lane: out.name})
+			}
+		}
+	}
+
+	// All lanes have joined; merging their private meters into the
+	// caller's is now race-free.
+	if m := optMeter(opts); m != nil {
+		for _, out := range outcomes {
+			m.CellOps += out.meter.CellOps
+			m.Compactions += out.meter.Compactions
+			m.Evaluations += out.meter.Evaluations
+			// Each lane frees everything it owns on both paths, so lane
+			// LiveCells is 0 here; fold the lane's peak into the
+			// caller's as if the lane had run on the caller's meter.
+			if p := m.LiveCells + out.meter.PeakCells; p > m.PeakCells {
+				m.PeakCells = p
+			}
+			m.LiveCells += out.meter.LiveCells
+		}
+	}
+
+	if winner != nil {
+		return winner.res, nil
+	}
+	// No lane finished: degrade to the best incumbent available — the
+	// branch-and-bound lane's (exact search, so at least as good as its
+	// seed) or the heuristic's.
+	best := incumbent()
+	if loserInc != nil && (best == nil || loserInc.res.MinCost < best.MinCost) {
+		best = loserInc.res
+	}
+	return best, firstErr
+}
+
+// ctxOrBackground keeps nil-context callers working with the stdlib
+// context tree (WithCancel panics on nil).
+func ctxOrBackground(ctx stdctx.Context) stdctx.Context {
+	if ctx == nil {
+		return stdctx.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,147 @@
+package core_test
+
+// The portfolio tests live in the external test package so they can link
+// internal/heuristics — which installs core.DefaultSeeder from its init —
+// the same way real users get it via the top-level facade. Inside package
+// core that import would be a cycle.
+
+import (
+	stdctx "context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"obddopt/internal/core"
+	_ "obddopt/internal/heuristics" // installs core.DefaultSeeder
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// TestPortfolioMatchesDP is the acceptance equality check: on random
+// functions of up to 10 variables, under both diagram rules, the
+// portfolio returns exactly the dynamic program's optimal cost.
+func TestPortfolioMatchesDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, rule := range []core.Rule{core.OBDD, core.ZDD} {
+		for i := 0; i < 8; i++ {
+			n := 4 + rng.Intn(7) // 4..10
+			tt := truthtable.Random(n, rng)
+			want := core.OptimalOrdering(tt, &core.Options{Rule: rule})
+			got, err := core.Portfolio(nil, tt, &core.SolveOptions{Rule: rule})
+			if err != nil {
+				t.Fatalf("rule %v n=%d: %v", rule, n, err)
+			}
+			if got.MinCost != want.MinCost {
+				t.Errorf("rule %v n=%d: portfolio MinCost = %d, DP = %d", rule, n, got.MinCost, want.MinCost)
+			}
+			if got.Size != core.SizeUnder(tt, got.Ordering, rule, nil) {
+				t.Errorf("rule %v n=%d: reported size %d not achieved by returned ordering", rule, n, got.Size)
+			}
+		}
+	}
+}
+
+// TestPortfolioDeadlineReturnsIncumbent is the acceptance deadline check:
+// on a function large enough that no exact lane can finish in 50ms, the
+// portfolio returns ErrCanceled promptly, carrying the heuristic
+// incumbent — a valid ordering — instead of hanging.
+func TestPortfolioDeadlineReturnsIncumbent(t *testing.T) {
+	n := 14
+	tt := truthtable.Random(n, rand.New(rand.NewSource(123)))
+	ctx, cancel := stdctx.WithTimeout(stdctx.Background(), 50*time.Millisecond)
+	defer cancel()
+	m := &core.Meter{}
+	start := time.Now()
+	res, err := core.Portfolio(ctx, tt, &core.SolveOptions{Meter: m})
+	elapsed := time.Since(start)
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil {
+		t.Fatal("no incumbent returned; the heuristic phase always yields one")
+	}
+	if len(res.Ordering) != n || !res.Ordering.Valid() {
+		t.Fatalf("incumbent ordering %v is not a permutation of %d variables", res.Ordering, n)
+	}
+	if got := core.SizeUnder(tt, res.Ordering, core.OBDD, nil); got != res.Size {
+		t.Errorf("incumbent size %d but ordering achieves %d", res.Size, got)
+	}
+	// Promptness: the cooperative checkpoints fire per transition, so the
+	// return should follow the deadline closely, not by seconds.
+	if elapsed > 5*time.Second {
+		t.Errorf("portfolio took %v past a 50ms deadline", elapsed)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after the race, want 0", m.LiveCells)
+	}
+}
+
+// TestPortfolioTraceShowsWinner is the acceptance trace check: a
+// completed portfolio run emits lane_start events for every lane and
+// exactly one race_won naming an exact lane.
+func TestPortfolioTraceShowsWinner(t *testing.T) {
+	tt := truthtable.Random(8, rand.New(rand.NewSource(5)))
+	rec := obs.NewRecorder()
+	res, err := core.Portfolio(nil, tt, &core.SolveOptions{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(obs.KindLaneStart) < 3 {
+		t.Errorf("lane_start events = %d, want ≥ 3 (heuristic + 2 exact lanes)", rec.Count(obs.KindLaneStart))
+	}
+	var won []obs.Event
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindRaceWon {
+			won = append(won, ev)
+		}
+	}
+	if len(won) != 1 {
+		t.Fatalf("race_won events = %d, want exactly 1", len(won))
+	}
+	if lane := won[0].Lane; lane != "fs" && lane != "parallel" && lane != "bnb" {
+		t.Errorf("race won by %q, want an exact lane", lane)
+	}
+	if won[0].Cost != res.MinCost {
+		t.Errorf("race_won cost %d != result MinCost %d", won[0].Cost, res.MinCost)
+	}
+	// The collector folds the same stream into a portfolio report section.
+	col := obs.NewCollector()
+	for _, ev := range rec.Events() {
+		col.Emit(ev)
+	}
+	rep := col.Report()
+	if rep.Portfolio == nil || rep.Portfolio.Winner == "" {
+		t.Errorf("collector report has no portfolio winner: %+v", rep.Portfolio)
+	}
+}
+
+// TestPortfolioBudget verifies budget exhaustion degrades to the
+// heuristic incumbent with ErrBudgetExceeded.
+func TestPortfolioBudget(t *testing.T) {
+	tt := truthtable.Random(10, rand.New(rand.NewSource(77)))
+	res, err := core.Portfolio(nil, tt, &core.SolveOptions{Budget: core.Budget{MaxNodes: 30}})
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("no incumbent returned")
+	}
+	if len(res.Ordering) != 10 || !res.Ordering.Valid() {
+		t.Fatalf("incumbent ordering %v invalid", res.Ordering)
+	}
+}
+
+// TestRegistryNames pins the public solver names.
+func TestRegistryNames(t *testing.T) {
+	want := []string{"bnb", "brute", "dnc", "fs", "parallel", "portfolio"}
+	got := core.SolverNames()
+	if len(got) != len(want) {
+		t.Fatalf("SolverNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SolverNames() = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	stdctx "context"
 	"time"
 
 	"obddopt/internal/bitops"
@@ -136,14 +137,41 @@ type SharedResult struct {
 // count and an ordering achieving it. Time and space are O*(m·3^n) for m
 // roots over n variables.
 func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult {
+	return mustResult(OptimalOrderingSharedCtx(nil, tts, opts))
+}
+
+// OptimalOrderingSharedCtx is OptimalOrderingShared under a context and
+// resource budget: the cooperative checkpoint is polled once per table
+// compaction. On an early stop every layer table is released and a nil
+// result is returned with ErrCanceled / ErrBudgetExceeded (the DP holds
+// no incumbent before it completes).
+func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts *Options) (*SharedResult, error) {
 	if len(tts) == 0 {
 		panic("core: OptimalOrderingShared needs at least one root")
 	}
-	rule, m, tr := opts.rule(), opts.meter(), opts.trace()
+	rule, tr := opts.rule(), opts.trace()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tts[0].NumVars()
 	base := baseSharedContext(tts)
 	m.alloc(base.cells())
+
+	// abort releases everything the DP owns — the partial next layer and
+	// the current layer (including the base, which this function
+	// allocated) — so the meter's live-cell gauge returns to its
+	// pre-call value.
+	abort := func(layer, next map[bitops.Mask]*sharedContext) {
+		for _, c := range next {
+			m.free(c.cells())
+		}
+		for mask, c := range layer {
+			if mask != 0 || c != base {
+				m.free(c.cells())
+			}
+		}
+		m.free(base.cells())
+	}
 
 	bestLast := make(map[bitops.Mask]int)
 	layer := map[bitops.Mask]*sharedContext{0: base}
@@ -160,6 +188,10 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 			for v := 0; v < n; v++ {
 				if prevMask.Has(v) {
 					continue
+				}
+				if err := lim.spend(1); err != nil {
+					abort(layer, next)
+					return nil, err
 				}
 				cand, w := compactShared(prevCtx, v, rule, m)
 				layerOps += ops
@@ -228,7 +260,7 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 		Size:      minCost + uint64(sharedTerminals(tts)),
 		Ordering:  order,
 		Profile:   profile,
-	}
+	}, nil
 }
 
 func sharedTerminals(tts []*truthtable.Table) int {

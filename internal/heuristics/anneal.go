@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -25,6 +26,9 @@ type AnnealOptions struct {
 	// Trace, if non-nil, receives a KindHeurSwap event per accepted move
 	// that improves the best-so-far cost, and one final KindHeurPass.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between proposal steps; once it is done
+	// the walk stops and the best ordering visited so far is returned.
+	Ctx context.Context
 }
 
 // Anneal runs simulated annealing on the ordering space: proposals are
@@ -60,6 +64,9 @@ func Anneal(tt *truthtable.Table, rule core.Rule, opts *AnnealOptions) Result {
 	rng := opts.Rng
 
 	for step := 0; step < steps && n > 1; step++ {
+		if ctxDone(opts.Ctx) {
+			break
+		}
 		i := rng.Intn(n)
 		var j int
 		if rng.Intn(2) == 0 {

@@ -1,0 +1,51 @@
+package heuristics
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+// TestHeuristicsHonorContext verifies the heuristics return a valid
+// (merely unimproved) ordering instead of running on when their context
+// is already done — the behavior the portfolio's seeding phase relies on
+// under tight deadlines.
+func TestHeuristicsHonorContext(t *testing.T) {
+	tt := truthtable.Random(8, rand.New(rand.NewSource(6)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if res := SiftOpts(tt, &SiftOptions{Ctx: ctx}); !res.Ordering.Valid() || len(res.Ordering) != 8 {
+		t.Errorf("SiftOpts under canceled ctx returned invalid ordering %v", res.Ordering)
+	}
+	if res := WindowOpts(tt, &WindowOptions{Width: 2, Ctx: ctx}); !res.Ordering.Valid() || len(res.Ordering) != 8 {
+		t.Errorf("WindowOpts under canceled ctx returned invalid ordering %v", res.Ordering)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if res := Anneal(tt, core.OBDD, &AnnealOptions{Steps: 1000, Rng: rng, Ctx: ctx}); !res.Ordering.Valid() || len(res.Ordering) != 8 {
+		t.Errorf("Anneal under canceled ctx returned invalid ordering %v", res.Ordering)
+	}
+}
+
+// TestSeederAlwaysYields pins the portfolio contract of the default
+// seeder: it reports ok even when the context is already done, so the
+// portfolio always has an incumbent to degrade to.
+func TestSeederAlwaysYields(t *testing.T) {
+	tt := truthtable.Random(7, rand.New(rand.NewSource(8)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ord, cost, ok := Seed(ctx, tt, core.OBDD, nil)
+	if !ok {
+		t.Fatal("Seed reported no incumbent")
+	}
+	if !ord.Valid() || len(ord) != 7 {
+		t.Fatalf("Seed ordering %v invalid", ord)
+	}
+	// Seed's cost is in MinCost units (nonterminal nodes), the oracle's.
+	if got := NewOracle(tt, core.OBDD).Cost(ord); got != cost {
+		t.Errorf("Seed cost %d but ordering achieves %d", cost, got)
+	}
+}

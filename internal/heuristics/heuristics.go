@@ -9,6 +9,7 @@
 package heuristics
 
 import (
+	"context"
 	"math/rand"
 
 	"obddopt/internal/core"
@@ -26,6 +27,11 @@ type SiftOptions struct {
 	// Trace, if non-nil, receives KindHeurPass events per sweep and
 	// KindHeurSwap events per accepted variable move.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between oracle evaluations; once it is
+	// done the sweep stops and the best ordering found so far is
+	// returned. Heuristics carry no optimality proof either way, so a
+	// canceled run degrades gracefully rather than failing.
+	Ctx context.Context
 }
 
 // WindowOptions configures the window-permutation heuristic.
@@ -36,6 +42,22 @@ type WindowOptions struct {
 	Width int
 	// Trace, if non-nil, receives pass and swap events.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between window positions; once it is
+	// done the sweep stops and the best ordering so far is returned.
+	Ctx context.Context
+}
+
+// ctxDone reports whether the optional cancellation context has fired.
+func ctxDone(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Result reports a heuristic outcome.
@@ -87,20 +109,23 @@ func Sift(tt *truthtable.Table, rule core.Rule, maxPasses int) Result {
 	return SiftOpts(tt, &SiftOptions{Rule: rule, MaxPasses: maxPasses})
 }
 
-// SiftOpts is Sift with full configuration, including tracing.
+// SiftOpts is Sift with full configuration, including tracing and
+// cooperative cancellation.
 func SiftOpts(tt *truthtable.Table, opts *SiftOptions) Result {
 	var rule core.Rule
 	maxPasses := 0
 	var tr obs.Tracer
+	var ctx context.Context
 	if opts != nil {
-		rule, maxPasses, tr = opts.Rule, opts.MaxPasses, opts.Trace
+		rule, maxPasses, tr, ctx = opts.Rule, opts.MaxPasses, opts.Trace, opts.Ctx
 	}
 	n := tt.NumVars()
 	o := NewOracle(tt, rule)
 	ord := truthtable.IdentityOrdering(n)
 	best := o.Cost(ord)
 	passes := 0
-	for {
+	stopped := false
+	for !stopped {
 		passes++
 		improvedThisPass := false
 		for _, v := range siftSchedule(tt, ord, rule) {
@@ -109,6 +134,10 @@ func SiftOpts(tt *truthtable.Table, opts *SiftOptions) Result {
 			for target := 0; target < n; target++ {
 				if target == pos {
 					continue
+				}
+				if ctxDone(ctx) {
+					stopped = true
+					break
 				}
 				cand := ord.Clone()
 				cand.MoveTo(pos, target)
@@ -124,6 +153,9 @@ func SiftOpts(tt *truthtable.Table, opts *SiftOptions) Result {
 				if tr != nil {
 					tr.Emit(obs.Event{Kind: obs.KindHeurSwap, K: passes, Var: v, Depth: bestPos, Cost: best})
 				}
+			}
+			if stopped {
+				break
 			}
 		}
 		if tr != nil {
@@ -160,13 +192,15 @@ func Window(tt *truthtable.Table, rule core.Rule, w int) Result {
 	return WindowOpts(tt, &WindowOptions{Rule: rule, Width: w})
 }
 
-// WindowOpts is Window with full configuration, including tracing.
+// WindowOpts is Window with full configuration, including tracing and
+// cooperative cancellation.
 func WindowOpts(tt *truthtable.Table, opts *WindowOptions) Result {
 	var rule core.Rule
 	w := 0
 	var tr obs.Tracer
+	var ctx context.Context
 	if opts != nil {
-		rule, w, tr = opts.Rule, opts.Width, opts.Trace
+		rule, w, tr, ctx = opts.Rule, opts.Width, opts.Trace, opts.Ctx
 	}
 	if w < 2 || w > 4 {
 		panic("heuristics: window width must be 2, 3 or 4")
@@ -179,10 +213,15 @@ func WindowOpts(tt *truthtable.Table, opts *WindowOptions) Result {
 	if w > n {
 		w = n
 	}
-	for {
+	stopped := false
+	for !stopped {
 		passes++
 		improved := false
 		for start := 0; start+w <= n; start++ {
+			if ctxDone(ctx) {
+				stopped = true
+				break
+			}
 			bestPerm, bestCost := ord.Clone(), best
 			permute(ord, start, w, func(cand truthtable.Ordering) {
 				if c := o.Cost(cand); c < bestCost {

@@ -1,0 +1,48 @@
+package heuristics
+
+import (
+	"context"
+	"math/rand"
+
+	"obddopt/internal/core"
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// init installs the Sift→Anneal pipeline as the portfolio engine's
+// default heuristic seeding phase. The hook (core.DefaultSeeder) exists
+// because this package imports core for its cost oracle, so core cannot
+// import it back; linking heuristics in — which every Solve user does via
+// the top-level facade — wires the portfolio automatically, in the
+// database/sql-driver style.
+func init() {
+	core.DefaultSeeder = Seed
+}
+
+// Seed is the portfolio's heuristic phase: a sifting pass followed by a
+// short simulated-annealing walk started independently (the annealer
+// explores from the identity ordering; its acceptance of uphill moves
+// covers a different part of the ordering space than sifting's steepest
+// descent). The better of the two orderings is returned. Both passes poll
+// ctx and return best-so-far on cancellation; the seed is deterministic —
+// the annealer runs on a fixed-seed source — so portfolio runs are
+// reproducible.
+func Seed(ctx context.Context, tt *truthtable.Table, rule core.Rule, tr obs.Tracer) (truthtable.Ordering, uint64, bool) {
+	if tt.NumVars() == 0 {
+		return truthtable.Ordering{}, 0, true
+	}
+	sift := SiftOpts(tt, &SiftOptions{Rule: rule, MaxPasses: 2, Trace: tr, Ctx: ctx})
+	best, bestCost := sift.Ordering, sift.MinCost
+	if !ctxDone(ctx) {
+		ann := Anneal(tt, rule, &AnnealOptions{
+			Steps: 50 * tt.NumVars(),
+			Rng:   rand.New(rand.NewSource(1)),
+			Trace: tr,
+			Ctx:   ctx,
+		})
+		if ann.MinCost < bestCost {
+			best, bestCost = ann.Ordering, ann.MinCost
+		}
+	}
+	return best, bestCost, true
+}

@@ -78,6 +78,19 @@ const (
 	// Evals is the candidate-set size, Queries the metered quantum oracle
 	// queries, Cost the found minimum.
 	KindQuantumBatch
+	// KindLaneStart marks a portfolio lane starting: Lane names the lane
+	// ("heuristic", or a registered solver name like "fs" / "bnb").
+	KindLaneStart
+	// KindLaneResult marks a lane finishing on its own: Lane names it,
+	// Cost carries the cost it achieved (when it produced a result) and
+	// Elapsed its wall-clock time. A lane that failed carries no Cost.
+	KindLaneResult
+	// KindRaceWon marks the portfolio race deciding: Lane is the winning
+	// lane, Cost the proven-optimal cost, Elapsed the race duration.
+	KindRaceWon
+	// KindLaneCanceled marks a losing lane being canceled after the race
+	// was decided: Lane names the canceled lane.
+	KindLaneCanceled
 )
 
 var kindNames = [...]string{
@@ -94,6 +107,10 @@ var kindNames = [...]string{
 	KindHeurPass:          "heur_pass",
 	KindHeurSwap:          "heur_swap",
 	KindQuantumBatch:      "quantum_batch",
+	KindLaneStart:         "lane_start",
+	KindLaneResult:        "lane_result",
+	KindRaceWon:           "race_won",
+	KindLaneCanceled:      "lane_canceled",
 }
 
 // String returns the snake_case event name used in JSON reports.
@@ -127,6 +144,9 @@ type Event struct {
 	Evals     uint64        `json:"evals,omitempty"`
 	Queries   float64       `json:"queries,omitempty"`
 	Elapsed   time.Duration `json:"elapsed_ns,omitempty"`
+	// Lane names the portfolio lane for the Lane* kinds ("heuristic", or
+	// a registered solver name); empty for all other kinds.
+	Lane string `json:"lane,omitempty"`
 }
 
 // Tracer receives trace events. Implementations used with the parallel

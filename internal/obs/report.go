@@ -23,6 +23,7 @@ type RunReport struct {
 	DnC       *DnCStats   `json:"dnc,omitempty"`
 	Heuristic *HeurStats  `json:"heuristic,omitempty"`
 	Quantum   *QuantStats `json:"quantum,omitempty"`
+	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
 	Metrics   any         `json:"metrics,omitempty"`
 	Meter     any         `json:"meter,omitempty"`
 	Result    any         `json:"result,omitempty"`
@@ -72,6 +73,22 @@ type QuantStats struct {
 	Queries     float64 `json:"queries"`
 }
 
+// LaneStat summarizes one portfolio lane.
+type LaneStat struct {
+	Lane      string  `json:"lane"`
+	Cost      uint64  `json:"cost,omitempty"`
+	Canceled  bool    `json:"canceled,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// PortfolioStats aggregates portfolio race events.
+type PortfolioStats struct {
+	Lanes   []LaneStat `json:"lanes,omitempty"`
+	Winner  string     `json:"winner,omitempty"`
+	WonCost uint64     `json:"won_cost,omitempty"`
+	RaceMS  float64    `json:"race_ms,omitempty"`
+}
+
 // Collector is a Tracer that folds the event stream into a RunReport as
 // it arrives, so emitting a JSON report at the end of a run needs no
 // event buffering. It is safe for concurrent use.
@@ -88,6 +105,8 @@ type Collector struct {
 	hasHeur bool
 	quant   QuantStats
 	hasQu   bool
+	port    PortfolioStats
+	hasPort bool
 }
 
 // NewCollector returns a Collector; elapsed time in the report is
@@ -146,6 +165,23 @@ func (c *Collector) Emit(ev Event) {
 		c.quant.Batches++
 		c.quant.OracleEvals += ev.Evals
 		c.quant.Queries += ev.Queries
+	case KindLaneStart:
+		c.hasPort = true
+	case KindLaneResult:
+		c.hasPort = true
+		c.port.Lanes = append(c.port.Lanes, LaneStat{
+			Lane:      ev.Lane,
+			Cost:      ev.Cost,
+			ElapsedMS: float64(ev.Elapsed) / float64(time.Millisecond),
+		})
+	case KindLaneCanceled:
+		c.hasPort = true
+		c.port.Lanes = append(c.port.Lanes, LaneStat{Lane: ev.Lane, Canceled: true})
+	case KindRaceWon:
+		c.hasPort = true
+		c.port.Winner = ev.Lane
+		c.port.WonCost = ev.Cost
+		c.port.RaceMS = float64(ev.Elapsed) / float64(time.Millisecond)
 	}
 }
 
@@ -174,6 +210,11 @@ func (c *Collector) Report() *RunReport {
 	if c.hasQu {
 		q := c.quant
 		rep.Quantum = &q
+	}
+	if c.hasPort {
+		p := c.port
+		p.Lanes = append([]LaneStat(nil), c.port.Lanes...)
+		rep.Portfolio = &p
 	}
 	return rep
 }

@@ -1,0 +1,51 @@
+package quantum
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestMinimizersHonorContext verifies every simulator degrades to a
+// valid best-seen-so-far index under a canceled context instead of
+// scanning the full domain — the cooperative-cancellation contract the
+// divide-and-conquer solver relies on.
+func TestMinimizersHonorContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const n = 1000
+	cost := func(x uint64) uint64 { return n - x } // true min at n-1, last scanned
+
+	for _, tc := range []struct {
+		name string
+		min  Minimizer
+	}{
+		{"exact", &Exact{Ctx: ctx, Meter: &Meter{}}},
+		{"noisy", &Noisy{Eps: 0.5, Rng: rand.New(rand.NewSource(1)), Ctx: ctx, Meter: &Meter{}}},
+		{"durrhoyer", &DurrHoyer{Rng: rand.New(rand.NewSource(1)), Ctx: ctx, Meter: &Meter{}}},
+	} {
+		got := tc.min.MinIndex(n, cost)
+		if got >= n {
+			t.Errorf("%s: index %d out of domain", tc.name, got)
+		}
+		// With the context pre-canceled, only index 0 is evaluated before
+		// the scan stops, so the degraded answer must be 0 — never the
+		// true minimum at n-1, which a full scan would have found.
+		if got != 0 {
+			t.Errorf("%s: index = %d, want 0 (only evaluated entry)", tc.name, got)
+		}
+	}
+
+	// Sanity: without a context the same minimizers find the true minimum.
+	for _, tc := range []struct {
+		name string
+		min  Minimizer
+	}{
+		{"exact", &Exact{}},
+		{"durrhoyer", &DurrHoyer{Rng: rand.New(rand.NewSource(2))}},
+	} {
+		if got := tc.min.MinIndex(n, cost); got != n-1 {
+			t.Errorf("%s without ctx: index = %d, want %d", tc.name, got, n-1)
+		}
+	}
+}

@@ -21,11 +21,30 @@
 package quantum
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"obddopt/internal/obs"
 )
+
+// ctxStopped reports whether the optional cancellation context has fired.
+// All simulators poll it between oracle evaluations and, once it fires,
+// stop scanning and return the best index seen so far — the result stays
+// a valid index but loses the minimality guarantee, exactly the
+// degradation mode the consuming algorithms must already tolerate for the
+// noisy simulator.
+func ctxStopped(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
 
 // Meter accumulates cost-model counters across minimum-finding calls.
 type Meter struct {
@@ -88,6 +107,10 @@ type Exact struct {
 	// Trace, if non-nil, receives one KindQuantumBatch event per
 	// minimum-finding call.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between oracle evaluations; once it is
+	// done the scan stops early and the best index seen so far is
+	// returned (see ctxStopped).
+	Ctx context.Context
 }
 
 // MinIndex implements Minimizer.
@@ -98,13 +121,18 @@ func (e *Exact) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	e.Meter.invoked()
 	queries := LemmaSixQueries(n, e.Eps)
 	e.Meter.addQueries(queries)
-	e.Meter.addEvals(n)
 	best, bestCost := uint64(0), cost(0)
+	evals := uint64(1)
 	for x := uint64(1); x < n; x++ {
+		if ctxStopped(e.Ctx) {
+			break
+		}
+		evals++
 		if c := cost(x); c < bestCost {
 			best, bestCost = x, c
 		}
 	}
+	e.Meter.addEvals(evals)
 	emitBatch(e.Trace, n, queries, bestCost)
 	return best
 }
@@ -129,6 +157,10 @@ type Noisy struct {
 	Meter *Meter
 	// Trace, if non-nil, receives one KindQuantumBatch event per call.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between oracle evaluations; once it is
+	// done the scan stops early and the best index seen so far is
+	// returned (see ctxStopped).
+	Ctx context.Context
 }
 
 // MinIndex implements Minimizer.
@@ -139,18 +171,28 @@ func (q *Noisy) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	q.Meter.invoked()
 	queries := LemmaSixQueries(n, q.Eps)
 	q.Meter.addQueries(queries)
-	q.Meter.addEvals(n)
 	costs := make([]uint64, n)
 	best, bestCost := uint64(0), cost(0)
 	costs[0] = bestCost
+	scanned := uint64(1)
 	for x := uint64(1); x < n; x++ {
+		if ctxStopped(q.Ctx) {
+			break
+		}
 		c := cost(x)
 		costs[x] = c
+		scanned++
 		if c < bestCost {
 			best, bestCost = x, c
 		}
 	}
+	q.Meter.addEvals(scanned)
 	emitBatch(q.Trace, n, queries, bestCost)
+	if scanned < n {
+		// Partial scan: injecting a "non-minimal" index from unscanned
+		// entries would be meaningless, so return the incumbent directly.
+		return best
+	}
 	if q.Rng.Float64() < q.Eps {
 		// Collect non-minimal indices; return one at random if any exist.
 		var others []uint64
@@ -181,6 +223,10 @@ type DurrHoyer struct {
 	Meter *Meter
 	// Trace, if non-nil, receives one KindQuantumBatch event per call.
 	Trace obs.Tracer
+	// Ctx, if non-nil, is polled between oracle evaluations; once it is
+	// done the scan stops early and the best index seen so far is
+	// returned (see ctxStopped).
+	Ctx context.Context
 }
 
 // MinIndex implements Minimizer.
@@ -193,6 +239,20 @@ func (d *DurrHoyer) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	// the metered quantum cost is accumulated per threshold round.
 	costs := make([]uint64, n)
 	for x := uint64(0); x < n; x++ {
+		if ctxStopped(d.Ctx) {
+			// Partial scan: fall back to a plain argmin over what was
+			// evaluated so far; the threshold rounds below would read
+			// unevaluated zeros.
+			best := uint64(0)
+			for y := uint64(1); y < x; y++ {
+				if costs[y] < costs[best] {
+					best = y
+				}
+			}
+			d.Meter.addEvals(x)
+			emitBatch(d.Trace, n, 0, costs[best])
+			return best
+		}
 		costs[x] = cost(x)
 	}
 	d.Meter.addEvals(n)

@@ -37,12 +37,24 @@ type Table struct {
 	words []uint64
 }
 
-// New returns the all-false function over n variables.
+// New returns the all-false function over n variables. It panics when n
+// is out of range; NewChecked is the error-returning variant for callers
+// handling untrusted input.
 func New(n int) *Table {
-	if n < 0 || n > MaxVars {
-		panic(fmt.Sprintf("truthtable: variable count %d out of range [0,%d]", n, MaxVars))
+	t, err := NewChecked(n)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Table{n: n, words: make([]uint64, wordsFor(n))}
+	return t
+}
+
+// NewChecked is New returning an error instead of panicking when the
+// variable count is outside [0, MaxVars].
+func NewChecked(n int) (*Table, error) {
+	if n < 0 || n > MaxVars {
+		return nil, fmt.Errorf("truthtable: variable count %d out of range [0,%d]", n, MaxVars)
+	}
+	return &Table{n: n, words: make([]uint64, wordsFor(n))}, nil
 }
 
 func wordsFor(n int) int {

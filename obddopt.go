@@ -105,6 +105,10 @@ func MustParseExpr(src string, n int) *Table {
 // OptimalOrdering runs the Friedman–Supowit dynamic program: the exact
 // minimum OBDD (or ZDD, per opts.Rule) size and an ordering achieving it,
 // in O*(3^n) time and space. A nil opts minimizes OBDDs without metering.
+//
+// Deprecated: use Solve with WithSolver("fs") — it adds cancellation,
+// deadlines and resource budgets. This wrapper remains for source
+// compatibility and cannot be interrupted.
 func OptimalOrdering(tt *Table, opts *Options) *Result {
 	return core.OptimalOrdering(tt, opts)
 }
@@ -117,6 +121,8 @@ func OptimalOrderingMulti(mt *MultiTable, opts *Options) *Result {
 
 // BruteForce finds the optimum by exhaustive O*(n!·2^n) search — the
 // baseline the dynamic program improves on; useful for validation only.
+//
+// Deprecated: use Solve with WithSolver("brute").
 func BruteForce(tt *Table, opts *Options) *Result {
 	var bfOpts *core.BruteForceOptions
 	if opts != nil {
@@ -131,6 +137,8 @@ type ParallelOptions = core.ParallelOptions
 // OptimalOrderingParallel is OptimalOrdering with each DP layer fanned
 // out over a worker pool; results are bit-identical to the serial
 // algorithm (including tie-breaking), verified under the race detector.
+//
+// Deprecated: use Solve with WithSolver("parallel") and WithWorkers.
 func OptimalOrderingParallel(tt *Table, opts *ParallelOptions) *Result {
 	return core.OptimalOrderingParallel(tt, opts)
 }
@@ -142,6 +150,9 @@ type BnBOptions = core.BnBOptions
 // depth-first search — same results as OptimalOrdering with Θ(2ⁿ) table
 // space instead of the dynamic program's layer space, at the price of
 // more operations (experiment E15 quantifies the trade).
+//
+// Deprecated: use Solve with WithSolver("bnb"); the portfolio solver
+// additionally seeds the search with a heuristic incumbent.
 func BranchAndBound(tt *Table, opts *BnBOptions) *Result {
 	return core.BranchAndBound(tt, opts)
 }
@@ -153,6 +164,8 @@ type DnCOptions = core.DnCOptions
 // DivideAndConquer runs OptOBDD(k, α): the recursive splitting algorithm
 // whose minimum finding is performed by a (simulated) quantum subroutine.
 // With the default exact simulator its results equal OptimalOrdering's.
+//
+// Deprecated: use Solve with WithSolver("dnc").
 func DivideAndConquer(tt *Table, opts *DnCOptions) *Result {
 	return core.DivideAndConquer(tt, opts)
 }
@@ -164,6 +177,9 @@ type SharedResult = core.SharedResult
 // forest of several functions over the same variables — the node count
 // that matters for multi-output circuits, where equal subfunctions of
 // different outputs are represented once. O*(m·3ⁿ) for m roots.
+//
+// Deprecated: use SolveShared — it adds cancellation, deadlines and
+// resource budgets.
 func OptimalOrderingShared(tts []*Table, opts *Options) *SharedResult {
 	return core.OptimalOrderingShared(tts, opts)
 }

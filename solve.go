@@ -1,0 +1,190 @@
+package obddopt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"obddopt/internal/core"
+	_ "obddopt/internal/heuristics" // installs the portfolio's default heuristic seeder
+	"obddopt/internal/truthtable"
+)
+
+// This file is the unified entry point of the package: one Solve call
+// behind which every solving strategy — the Friedman–Supowit dynamic
+// program, its parallel variant, branch-and-bound, divide-and-conquer,
+// brute force, and the portfolio racing them — is selected by name,
+// configured by functional options, and supervised by a context deadline
+// and a resource budget.
+
+// Sentinel errors of the Solve API; test with errors.Is.
+var (
+	// ErrCanceled reports that the run stopped early because its context
+	// was canceled or its deadline expired. The *Result returned
+	// alongside it, when non-nil, is the best incumbent found before the
+	// stop — a valid ordering whose optimality is NOT proven.
+	ErrCanceled = core.ErrCanceled
+	// ErrBudgetExceeded reports that the run stopped early because a
+	// resource budget (live DP cells, search nodes) was exhausted; the
+	// incumbent contract matches ErrCanceled's.
+	ErrBudgetExceeded = core.ErrBudgetExceeded
+	// ErrInvalidInput reports a malformed problem: nil table, variable
+	// count out of range, or an unknown solver name.
+	ErrInvalidInput = core.ErrInvalidInput
+)
+
+// Budget bounds the resources a Solve run may consume; the zero value is
+// unlimited. Enforcement is cooperative, at the same checkpoints as
+// context cancellation.
+type Budget = core.Budget
+
+// Option configures one Solve call.
+type Option func(*solveConfig)
+
+type solveConfig struct {
+	solver   string
+	opts     core.SolveOptions
+	deadline time.Duration
+}
+
+// WithSolver selects the solving strategy by registered name: "fs" (the
+// serial dynamic program), "parallel", "bnb", "dnc", "brute" or
+// "portfolio" (the default). SolverNames lists what is available.
+func WithSolver(name string) Option {
+	return func(c *solveConfig) { c.solver = name }
+}
+
+// WithRule selects the diagram variant to minimize (OBDD, the default,
+// or ZDD).
+func WithRule(rule Rule) Option {
+	return func(c *solveConfig) { c.opts.Rule = rule }
+}
+
+// WithDeadline bounds the run's wall-clock time: after d the solver
+// stops cooperatively and Solve returns ErrCanceled, carrying the best
+// incumbent when one exists. It composes with (tightens, never loosens)
+// any deadline already on the ctx passed to Solve.
+func WithDeadline(d time.Duration) Option {
+	return func(c *solveConfig) { c.deadline = d }
+}
+
+// WithBudget bounds the run's resources (live DP cells, search nodes);
+// exhaustion surfaces as ErrBudgetExceeded, carrying the best incumbent
+// when one exists.
+func WithBudget(b Budget) Option {
+	return func(c *solveConfig) { c.opts.Budget = b }
+}
+
+// WithTrace attaches a Tracer to the run. The portfolio solver runs
+// lanes concurrently against one tracer, so the implementation must be
+// safe for concurrent Emit calls (all tracers in this package are).
+func WithTrace(tr Tracer) Option {
+	return func(c *solveConfig) { c.opts.Trace = tr }
+}
+
+// WithMeter attaches a Meter accumulating the run's operation counts.
+// The portfolio merges its lanes' private meters into it after the race.
+func WithMeter(m *Meter) Option {
+	return func(c *solveConfig) { c.opts.Meter = m }
+}
+
+// WithWorkers sets the goroutine count of the parallel lanes; 0 (the
+// default) selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *solveConfig) { c.opts.Workers = n }
+}
+
+// SolverNames lists the registered solver names, sorted — the valid
+// arguments to WithSolver and the CLIs' -solver flag.
+func SolverNames() []string { return core.SolverNames() }
+
+// NewTableChecked returns the all-false function over n variables, or
+// ErrInvalidInput when n is outside [0, 30] — the error-returning
+// counterpart of NewTable for untrusted input.
+func NewTableChecked(n int) (*Table, error) {
+	t, err := truthtable.NewChecked(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	return t, nil
+}
+
+// Solve finds an optimal variable ordering for tt under the configured
+// strategy. With no options it runs the portfolio solver on OBDDs: a
+// heuristic phase (sifting, then simulated annealing) seeds a race
+// between the Friedman–Supowit dynamic program and branch-and-bound, and
+// the first lane to prove optimality wins.
+//
+// A nil error guarantees Result.MinCost is the exact optimum. On
+// cancellation, deadline expiry or budget exhaustion, Solve returns
+// ErrCanceled / ErrBudgetExceeded — and, when the strategy holds one, a
+// non-nil *Result with the best incumbent found, so callers can degrade
+// to a valid (merely unproven) ordering:
+//
+//	res, err := obddopt.Solve(ctx, f,
+//	    obddopt.WithDeadline(100*time.Millisecond))
+//	if errors.Is(err, obddopt.ErrCanceled) && res != nil {
+//	    // use res.Ordering, exactness not proven
+//	}
+func Solve(ctx context.Context, tt *Table, opts ...Option) (*Result, error) {
+	cfg := solveConfig{solver: "portfolio"}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if tt == nil {
+		return nil, fmt.Errorf("%w: nil truth table", ErrInvalidInput)
+	}
+	solver, ok := core.LookupSolver(cfg.solver)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown solver %q (have %v)", ErrInvalidInput, cfg.solver, SolverNames())
+	}
+	ctx, cancel := applyDeadline(ctx, cfg.deadline)
+	defer cancel()
+	return solver(ctx, tt, &cfg.opts)
+}
+
+// SolveShared is Solve for the multi-rooted (shared-forest) problem: the
+// ordering minimizing the node count of the shared diagram of several
+// functions over the same variables. Only the dynamic program solves the
+// shared problem, so WithSolver is ignored; deadline, budget, rule,
+// meter and trace options apply as in Solve. The early-stop contract
+// matches Solve's, except the dynamic program carries no incumbent, so
+// an early stop always returns a nil result with the error.
+func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResult, error) {
+	var cfg solveConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(tts) == 0 {
+		return nil, fmt.Errorf("%w: no truth tables", ErrInvalidInput)
+	}
+	n := -1
+	for _, tt := range tts {
+		if tt == nil {
+			return nil, fmt.Errorf("%w: nil truth table", ErrInvalidInput)
+		}
+		if n >= 0 && tt.NumVars() != n {
+			return nil, fmt.Errorf("%w: shared roots must have the same variable count", ErrInvalidInput)
+		}
+		n = tt.NumVars()
+	}
+	ctx, cancel := applyDeadline(ctx, cfg.deadline)
+	defer cancel()
+	return core.OptimalOrderingSharedCtx(ctx, tts, &core.Options{
+		Rule:   cfg.opts.Rule,
+		Meter:  cfg.opts.Meter,
+		Trace:  cfg.opts.Trace,
+		Budget: cfg.opts.Budget,
+	})
+}
+
+// applyDeadline layers the WithDeadline option onto the caller's context.
+func applyDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -1,0 +1,125 @@
+package obddopt
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSolveDefaultMatchesLegacy pins the migration contract: a bare
+// Solve call returns the same optimal cost as the deprecated
+// OptimalOrdering, for both rules.
+func TestSolveDefaultMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, rule := range []Rule{OBDD, ZDD} {
+		for i := 0; i < 4; i++ {
+			tt := RandomTable(3+rng.Intn(6), rng)
+			want := OptimalOrdering(tt, &Options{Rule: rule})
+			got, err := Solve(context.Background(), tt, WithRule(rule))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MinCost != want.MinCost {
+				t.Errorf("rule %v: Solve MinCost = %d, OptimalOrdering = %d", rule, got.MinCost, want.MinCost)
+			}
+		}
+	}
+}
+
+// TestSolveNamedSolvers drives every registered solver through the
+// facade and checks agreement on one function.
+func TestSolveNamedSolvers(t *testing.T) {
+	tt := RandomTable(7, rand.New(rand.NewSource(2)))
+	want := OptimalOrdering(tt, nil)
+	for _, name := range SolverNames() {
+		res, err := Solve(context.Background(), tt, WithSolver(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MinCost != want.MinCost {
+			t.Errorf("%s: MinCost = %d, want %d", name, res.MinCost, want.MinCost)
+		}
+	}
+}
+
+// TestSolveInvalidInput verifies malformed calls surface ErrInvalidInput
+// instead of panicking.
+func TestSolveInvalidInput(t *testing.T) {
+	if _, err := Solve(context.Background(), nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil table: err = %v, want ErrInvalidInput", err)
+	}
+	tt := NewTable(3)
+	_, err := Solve(context.Background(), tt, WithSolver("no-such-solver"))
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("unknown solver: err = %v, want ErrInvalidInput", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "portfolio") {
+		t.Errorf("unknown-solver error %q should list the registered names", err)
+	}
+	if _, err := NewTableChecked(-1); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("NewTableChecked(-1): err = %v, want ErrInvalidInput", err)
+	}
+	if _, err := NewTableChecked(31); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("NewTableChecked(31): err = %v, want ErrInvalidInput", err)
+	}
+	if tbl, err := NewTableChecked(4); err != nil || tbl == nil || tbl.NumVars() != 4 {
+		t.Errorf("NewTableChecked(4) = %v, %v", tbl, err)
+	}
+	if _, err := SolveShared(context.Background(), nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("SolveShared(nil): err = %v, want ErrInvalidInput", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	mixed := []*Table{RandomTable(4, rng), RandomTable(5, rng)}
+	if _, err := SolveShared(context.Background(), mixed); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("SolveShared mixed arity: err = %v, want ErrInvalidInput", err)
+	}
+}
+
+// TestSolveDeadlineOption verifies WithDeadline cancels a large run and
+// the portfolio degrades to an incumbent.
+func TestSolveDeadlineOption(t *testing.T) {
+	tt := RandomTable(14, rand.New(rand.NewSource(9)))
+	res, err := Solve(context.Background(), tt, WithDeadline(50*time.Millisecond))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil || len(res.Ordering) != 14 {
+		t.Fatalf("res = %+v, want a 14-variable incumbent", res)
+	}
+}
+
+// TestSolveBudgetOption verifies WithBudget surfaces ErrBudgetExceeded
+// through the facade and the meter option balances.
+func TestSolveBudgetOption(t *testing.T) {
+	tt := RandomTable(10, rand.New(rand.NewSource(13)))
+	var m Meter
+	_, err := Solve(context.Background(), tt,
+		WithSolver("fs"), WithMeter(&m), WithBudget(Budget{MaxCells: 4096}))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after abort, want 0", m.LiveCells)
+	}
+	if m.CellOps == 0 {
+		t.Error("CellOps = 0; the aborted run still did work that the meter should count")
+	}
+}
+
+// TestSolveSharedMatchesLegacy verifies the shared facade against the
+// deprecated entry point.
+func TestSolveSharedMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tts := []*Table{RandomTable(6, rng), RandomTable(6, rng)}
+	want := OptimalOrderingShared(tts, nil)
+	got, err := SolveShared(context.Background(), tts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinCost != want.MinCost {
+		t.Errorf("SolveShared MinCost = %d, legacy = %d", got.MinCost, want.MinCost)
+	}
+}
