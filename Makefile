@@ -3,13 +3,20 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments examples fuzz trace-demo portfolio-demo clean
+.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Static analysis: go vet plus the repository's own invariant checkers
+# (see "Static analysis" in README.md). bddlint must exit 0 — fix the
+# finding or annotate the sanctioned site with //lint:allow <rule> <why>.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/bddlint ./...
 
 test:
 	$(GO) test ./...
@@ -56,10 +63,19 @@ portfolio-demo:
 		-expr 'x1^x2^x3^x4^x5^x6^x7 | x8&x9&x10 | x11&x12&x13&x14' \
 		-solver portfolio -deadline 50ms -progress
 
-# Short fuzzing sessions over the two text-format parsers.
+# Short fuzzing sessions over the text-format parsers, the table
+# constructors, and the FS-vs-brute-force differential oracle.
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/expr/
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pla/
+	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 30s ./internal/truthtable/
+	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 30s ./internal/core/
+
+# CI-sized fuzz pass: long enough to exercise the mutators, short enough
+# for every push.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 10s ./internal/truthtable/
+	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 10s ./internal/core/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,157 @@
+// Command bddlint is the repository's multichecker: it runs the custom
+// invariant analyzers of internal/analysis — the solver-engine contracts
+// that go vet and staticcheck cannot know about — over the module and
+// exits nonzero when any unsuppressed finding remains.
+//
+// Usage:
+//
+//	bddlint [flags] [packages]
+//
+// Packages default to ./... and follow the go tool's pattern syntax
+// (testdata, vendor and hidden directories are skipped). Findings print
+// as path:line:col: [analyzer] message. A finding is suppressed by a
+//
+//	//lint:allow <analyzer> <justification>
+//
+// comment on the flagged line or the line above; the justification is
+// mandatory. -verbose additionally prints the suppressed findings, which
+// doubles as an inventory of every sanctioned contract violation in the
+// tree.
+//
+// Each analyzer is pinned to the packages its contract is stated for
+// (e.g. meterbalance to internal/core); -all-packages lifts the scopes
+// for exploratory runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"obddopt/internal/analysis"
+)
+
+// scopes pins each analyzer to the packages whose contract it encodes.
+// meterbalance and tracesafe are self-scoping (they key on the Meter and
+// Tracer types) and solverregistry triggers only where RegisterSolver is
+// called, so they run everywhere; the ctx and panic rules are stated for
+// the solver engine packages.
+var scopes = map[string][]string{
+	"ctxcheckpoint": {"internal/core", "internal/heuristics", "internal/quantum"},
+	"nopanic":       {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs"},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("bddlint", flag.ExitOnError)
+	var (
+		verbose     = fs.Bool("verbose", false, "also print suppressed findings and their justifications")
+		allPackages = fs.Bool("all-packages", false, "ignore the per-analyzer package scopes and lint everything")
+		list        = fs.Bool("list", false, "list the analyzers and exit")
+		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bddlint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := analysis.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bddlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddlint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddlint:", err)
+		return 2
+	}
+
+	// Surface type-check failures: an analyzer running on a package it
+	// could not fully resolve may under-report, and that must be visible.
+	typeErrs := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "bddlint: %s: %v\n", pkg.Path, e)
+			typeErrs++
+		}
+	}
+
+	opts := &analysis.RunOptions{Scopes: scopes}
+	if *allPackages {
+		opts = nil
+	}
+	findings, err := analysis.Run(pkgs, analyzers, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bddlint:", err)
+		return 2
+	}
+
+	active, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s (suppressed: %s)\n", rel(cwd, f), f.Justification)
+			}
+			continue
+		}
+		active++
+		fmt.Println(rel(cwd, f))
+	}
+	if *verbose || active > 0 {
+		fmt.Fprintf(os.Stderr, "bddlint: %d package(s), %d finding(s), %d suppressed\n",
+			len(pkgs), active, suppressed)
+	}
+	if active > 0 || typeErrs > 0 {
+		return 1
+	}
+	return 0
+}
+
+// rel shortens a finding's path relative to the working directory.
+func rel(cwd string, f analysis.Finding) string {
+	if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}

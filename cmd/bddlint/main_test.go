@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunRealTree is the self-audit acceptance gate: the multichecker
+// must exit 0 over the repository's own module — every engine contract
+// holds (or carries a justified //lint:allow).
+func TestRunRealTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	if code := run(nil); code != 0 {
+		t.Fatalf("bddlint over the module exited %d, want 0", code)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Fatalf("bddlint -list exited %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"meterbalance", "ctxcheckpoint", "nopanic", "tracesafe", "solverregistry"} {
+		if !strings.Contains(out, name+":") {
+			t.Errorf("bddlint -list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestOnlyFlagSelects(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-only", "nopanic", "-list"}); code != 0 {
+			t.Fatalf("bddlint -only=nopanic -list exited %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "nopanic:") {
+		t.Errorf("-only=nopanic -list did not print nopanic:\n%s", out)
+	}
+	if strings.Contains(out, "meterbalance:") {
+		t.Errorf("-only=nopanic -list still printed meterbalance:\n%s", out)
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	if code := run([]string{"-only", "nosuchrule", "-list"}); code != 2 {
+		t.Fatalf("bddlint -only=nosuchrule exited %d, want 2", code)
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns what it wrote.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	return out
+}

@@ -1,0 +1,77 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"obddopt/internal/analysis"
+	"obddopt/internal/analysis/analysistest"
+)
+
+// TestAnalyzers runs every analyzer over its golden fixture package and
+// checks the findings against the // want expectations embedded there.
+// Each fixture contains, per rule: at least one violation that must be
+// flagged, the sanctioned pattern that must stay silent, and a
+// //lint:allow-suppressed site that must also stay silent.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		dir string
+		a   *analysis.Analyzer
+	}{
+		{"meterbalance", analysis.MeterBalance},
+		{"ctxcheckpoint", analysis.CtxCheckpoint},
+		{"nopanic", analysis.NoPanic},
+		{"tracesafe", analysis.TraceSafe},
+		{"solverregistry", analysis.SolverRegistry},
+		// A second, entirely non-flagging solverregistry fixture: a test
+		// sweeping SolverNames() under cancellation covers all names.
+		{"solverregistry_sweep", analysis.SolverRegistry},
+	}
+	for _, tc := range tests {
+		t.Run(tc.dir, func(t *testing.T) {
+			analysistest.Run(t, "testdata/src/"+tc.dir, tc.a)
+		})
+	}
+}
+
+func TestAllAnalyzersRegistered(t *testing.T) {
+	all := analysis.All()
+	if len(all) != 5 {
+		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing a name, doc or run function", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("analyzer name %q registered twice", a.Name)
+		}
+		seen[a.Name] = true
+		got, ok := analysis.ByName(a.Name)
+		if !ok || got != a {
+			t.Errorf("ByName(%q) = %v, %v; want the analyzer itself", a.Name, got, ok)
+		}
+	}
+	for _, name := range []string{"meterbalance", "ctxcheckpoint", "nopanic", "tracesafe", "solverregistry"} {
+		if !seen[name] {
+			t.Errorf("analyzer %q missing from All()", name)
+		}
+	}
+	if _, ok := analysis.ByName("nosuchrule"); ok {
+		t.Error("ByName accepted an unknown analyzer name")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := analysis.Finding{Analyzer: "nopanic", Message: "panic in library code"}
+	f.Pos.Filename = "internal/core/fs.go"
+	f.Pos.Line = 42
+	f.Pos.Column = 7
+	got := f.String()
+	for _, part := range []string{"internal/core/fs.go:42:7", "[nopanic]", "panic in library code"} {
+		if !strings.Contains(got, part) {
+			t.Errorf("Finding.String() = %q, missing %q", got, part)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package analysistest runs an analyzer over a golden fixture package and
+// compares its findings against // want expectations embedded in the
+// fixture source — the stdlib mirror of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// with one quoted (double- or back-quoted) regular expression per
+// expected finding on that line. Suppressed findings (a //lint:allow
+// directive the runner honors exactly as the bddlint driver does) must
+// NOT carry a want — fixtures thereby also pin the escape-hatch
+// behavior.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"obddopt/internal/analysis"
+)
+
+var (
+	loaderMu sync.Mutex
+	loader   *analysis.Loader
+)
+
+// sharedLoader returns one process-wide loader so fixtures share the
+// (source-importer) type-checking of the standard library.
+func sharedLoader(dir string) (*analysis.Loader, error) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	if loader == nil {
+		l, err := analysis.NewLoader(dir)
+		if err != nil {
+			return nil, err
+		}
+		loader = l
+	}
+	return loader, nil
+}
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the expectations of one file.
+func parseWants(fset *token.FileSet, file *ast.File) ([]expectation, error) {
+	var out []expectation
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(m[1])
+			for rest != "" {
+				var lit string
+				switch rest[0] {
+				case '"':
+					end := -1
+					for i := 1; i < len(rest); i++ {
+						if rest[i] == '"' && rest[i-1] != '\\' {
+							end = i
+							break
+						}
+					}
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want string: %s", pos, rest)
+					}
+					unq, err := strconv.Unquote(rest[:end+1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want string %s: %v", pos, rest[:end+1], err)
+					}
+					lit, rest = unq, strings.TrimSpace(rest[end+1:])
+				case '`':
+					end := strings.Index(rest[1:], "`")
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want raw string: %s", pos, rest)
+					}
+					lit, rest = rest[1:end+1], strings.TrimSpace(rest[end+2:])
+				default:
+					return nil, fmt.Errorf("%s: want expects quoted regexps, got: %s", pos, rest)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+				}
+				out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Run loads the fixture package in dir, applies the analyzer, and reports
+// any mismatch between its unsuppressed findings and the fixture's want
+// expectations as test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l, err := sharedLoader(abs)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := l.LoadDir(abs, "fixtures/"+filepath.Base(abs))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("analysistest: fixture does not type-check: %v", e)
+	}
+
+	var wants []expectation
+	for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...) {
+		ws, err := parseWants(pkg.Fset, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	findings, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

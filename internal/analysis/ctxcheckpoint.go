@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxCheckpoint enforces the cooperative-cancellation contract of the
+// solver engine: work under a deadline or budget must stop within one
+// DP transition / node expansion of the signal, which requires that
+//
+//   - solver code threads the caller's context instead of minting its
+//     own: context.Background() and context.TODO() are forbidden inside
+//     the solver packages (the sanctioned nil-context compatibility shim
+//     carries an allow directive);
+//   - exported entry points named *Ctx accept a context.Context, and any
+//     function taking a context takes it as the first parameter, so the
+//     context is visibly threaded top-down;
+//   - every unbounded loop (`for { ... }`) contains a cancellation
+//     checkpoint: a limiter check/spend/stopped call, a ctxStopped /
+//     ctxDone helper, a ctx.Done() receive, or a select statement.
+//
+// Bounded loops (`for i := ...; cond; ...` and range loops) are exempt:
+// the engine's promptness contract is stated per transition, and those
+// loops sit inside checkpointed outer loops.
+var CtxCheckpoint = &Analyzer{
+	Name: "ctxcheckpoint",
+	Doc: "enforce context threading in solver packages: no context.Background/TODO, " +
+		"ctx-first signatures for *Ctx entry points, and a cancellation checkpoint in every unbounded loop",
+	Run: runCtxCheckpoint,
+}
+
+// checkpointFuncNames are the callables whose presence inside a loop body
+// counts as a cooperative checkpoint.
+var checkpointFuncNames = map[string]bool{
+	"check":      true, // (*limiter).check
+	"spend":      true, // (*limiter).spend
+	"stopped":    true, // (*limiter).stopped
+	"ctxStopped": true, // quantum's nil-safe poll
+	"ctxDone":    true, // heuristics' nil-safe poll
+	"Done":       true, // raw <-ctx.Done()
+	"Err":        true, // ctx.Err() != nil polls
+}
+
+func runCtxCheckpoint(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// Binaries own their root context; minting one there is the
+		// point, not a violation.
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name, ok := pkgFuncCall(pass.TypesInfo, n); ok && pkg == "context" &&
+					(name == "Background" || name == "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s inside a solver package: thread the caller's ctx down instead (nil-context shims need //lint:allow ctxcheckpoint <why>)",
+						name)
+				}
+			case *ast.FuncDecl:
+				checkCtxSignature(pass, n)
+			case *ast.ForStmt:
+				if n.Cond == nil && !hasCheckpoint(n.Body) {
+					pass.Reportf(n.Pos(),
+						"unbounded loop without a cancellation checkpoint: poll the limiter (check/spend/stopped) or ctx.Done() once per iteration")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxSignature flags *Ctx entry points without a context and any
+// signature where the context is not the first parameter.
+func checkCtxSignature(pass *Pass, fd *ast.FuncDecl) {
+	params := fd.Type.Params
+	ctxIndex := -1
+	if params != nil {
+		flat := 0
+		for _, field := range params.List {
+			isCtx := isContextParamField(field)
+			if !isCtx {
+				if tv, ok := pass.TypesInfo.Types[field.Type]; ok {
+					isCtx = isContextType(tv.Type)
+				}
+			}
+			names := len(field.Names)
+			if names == 0 {
+				names = 1
+			}
+			if isCtx && ctxIndex < 0 {
+				ctxIndex = flat
+			}
+			flat += names
+		}
+	}
+	name := fd.Name.Name
+	exported := ast.IsExported(name)
+	if exported && len(name) > 3 && name[len(name)-3:] == "Ctx" && ctxIndex != 0 {
+		pass.Reportf(fd.Pos(),
+			"exported entry point %s must accept a context.Context as its first parameter", name)
+		return
+	}
+	if ctxIndex > 0 {
+		pass.Reportf(fd.Pos(),
+			"%s takes a context.Context but not as the first parameter; keep ctx first so threading is auditable", name)
+	}
+}
+
+// hasCheckpoint reports whether the loop body contains a cooperative
+// cancellation checkpoint.
+func hasCheckpoint(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			// Event loops block on channels; any select is a yield
+			// point the race coordinator can cancel through.
+			found = true
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if checkpointFuncNames[fun.Sel.Name] {
+					found = true
+				}
+			case *ast.Ident:
+				if checkpointFuncNames[fun.Name] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// walkStack traverses the AST in depth-first order, invoking fn with each
+// node and the stack of its ancestors (outermost first, not including the
+// node itself). Returning false from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push/pop symmetrically: Inspect will send the nil
+			// pop only if we return true, so unwind here instead.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// exprText renders an expression to its source form, the structural key
+// used to match nil checks against call receivers ("tr", "opts.Trace",
+// "l.tr").
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// namedTypeName unwraps pointers and aliases and returns the name of the
+// underlying named type, or "" when the type is unnamed.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return namedTypeName(types.Unalias(t))
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isContextParamField reports (syntactically) whether a parameter field's
+// type is context.Context — the fallback when type information is absent.
+func isContextParamField(f *ast.Field) bool {
+	sel, ok := f.Type.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && (id.Name == "context" || id.Name == "stdctx")
+}
+
+// pkgFuncCall resolves a call to a package-level function and returns its
+// package path and name ("context", "Background"). The second result is
+// false when the callee is not a package-level function or cannot be
+// resolved.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	// A method call has a receiver; package-level functions do not.
+	if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// enclosingFuncs returns the innermost and outermost function nodes
+// (FuncDecl or FuncLit) on the stack.
+func enclosingFuncs(stack []ast.Node) (inner, outer ast.Node) {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if outer == nil {
+				outer = n
+			}
+			inner = n
+		}
+	}
+	return inner, outer
+}
+
+// isTestFile reports whether the file belongs to the package's test
+// corpus (the loader keeps those in Pass.TestFiles, but analyzers that
+// walk merged slices can double-check by filename).
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	name := fset.Position(f.Pos()).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

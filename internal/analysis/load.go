@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and (for its non-test files) type-checked
+// package of the enclosing module.
+type Package struct {
+	// Path is the import path; Dir the directory holding the sources.
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files are the compiled (non-test) files; TestFiles the package's
+	// _test.go files, parsed with comments but not type-checked.
+	Files     []*ast.File
+	TestFiles []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// TypeErrors collects soft type-checking errors. The analyzers run
+	// regardless (degrading where type information is missing); the
+	// driver surfaces them so a broken tree is not silently half-linted.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library. Imports within the module resolve recursively through
+// the loader itself; all other imports (the standard library — the module
+// has no third-party dependencies) resolve through go/importer's source
+// importer, which type-checks $GOROOT/src directly and therefore needs no
+// pre-built export data.
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	RootDir    string
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at the module containing dir: it
+// walks upward to the nearest go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		RootDir:    root,
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Import implements types.Importer so a Loader can be handed straight to
+// types.Config: module-local paths load recursively, everything else is
+// delegated to the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.RootDir, 0)
+}
+
+// dirFor maps a module-local import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return filepath.Join(l.RootDir, filepath.FromSlash(rel))
+}
+
+// Load returns the package with the given module-local import path,
+// parsing and type-checking it (and, recursively, its module-local
+// imports) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	pkg, err := l.loadDir(l.dirFor(path), path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir loads the package in dir under a caller-chosen import path
+// without requiring the directory to sit at the path's location in the
+// module. The analysistest fixture runner uses it to load golden packages
+// from testdata while their imports still resolve through the module.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[asPath]; ok {
+		return pkg, nil
+	}
+	pkg, err := l.loadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[asPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	var fileNames, testNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
+		} else {
+			fileNames = append(fileNames, name)
+		}
+	}
+	sort.Strings(fileNames)
+	sort.Strings(testNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, name := range testNames {
+		// Test files are parsed for syntactic audits only; parse errors
+		// are soft (recorded, not fatal) so a broken test file cannot
+		// take the whole lint run down.
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+			continue
+		}
+		pkg.TestFiles = append(pkg.TestFiles, f)
+	}
+
+	pkg.TypesInfo = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Check returns a usable (if incomplete) *types.Package even when
+	// soft errors were reported; the hard-error case still yields a
+	// non-nil placeholder, so analyzers can rely on pkg.Types.
+	tpkg, _ := conf.Check(path, l.Fset, pkg.Files, pkg.TypesInfo)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Expand resolves package patterns relative to the module root into
+// import paths. Supported forms mirror the go tool: "./..." (and
+// "./prefix/..."), "./relative/dir", and plain import paths within the
+// module. Directories named testdata or vendor and hidden directories are
+// skipped, as the go tool does.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walk(l.RootDir, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir := l.dirForPattern(base)
+			if err := l.walk(dir, add); err != nil {
+				return nil, err
+			}
+		default:
+			dir := l.dirForPattern(pat)
+			path, ok := l.pathForDir(dir)
+			if !ok {
+				return nil, fmt.Errorf("analysis: pattern %q is outside module %s", pat, l.ModulePath)
+			}
+			add(path)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// dirForPattern maps one non-wildcard pattern to a directory.
+func (l *Loader) dirForPattern(pat string) string {
+	if pat == "." || pat == "./" {
+		return l.RootDir
+	}
+	if strings.HasPrefix(pat, "./") {
+		return filepath.Join(l.RootDir, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	}
+	if pat == l.ModulePath || strings.HasPrefix(pat, l.ModulePath+"/") {
+		return l.dirFor(pat)
+	}
+	return filepath.Join(l.RootDir, filepath.FromSlash(pat))
+}
+
+// pathForDir maps a directory back to its import path.
+func (l *Loader) pathForDir(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.RootDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return l.ModulePath, true
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true
+}
+
+// walk collects the import path of every package directory under root.
+func (l *Loader) walk(root string, add func(string)) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") ||
+			strings.HasPrefix(d.Name(), ".") || strings.HasPrefix(d.Name(), "_") {
+			return nil
+		}
+		if path, ok := l.pathForDir(filepath.Dir(p)); ok {
+			add(path)
+		}
+		return nil
+	})
+}
+
+// LoadPatterns expands the patterns and loads every matched package,
+// returning them in deterministic (sorted-path) order.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

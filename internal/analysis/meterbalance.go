@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MeterBalance enforces the cell-accounting contract behind the paper's
+// complexity claims: the Meter's LiveCells gauge (Remark 1's two-layer
+// space measure) is only trustworthy if every (*Meter).alloc is paired
+// with a (*Meter).free on every exit path — including the early
+// ErrCanceled / ErrBudgetExceeded returns the cancellable engine added.
+//
+// The check is a lexical approximation of path balance, tuned to the
+// repository's idiom rather than a full data-flow analysis:
+//
+//   - a function that calls alloc but never free on any path is flagged
+//     at the alloc (the classic leak, unless ownership of the cells
+//     transfers to the caller — annotate those sites);
+//   - a return statement lexically after the first alloc with no free
+//     (and no deferred free) anywhere before it is flagged (the classic
+//     early-return-on-error leak);
+//   - free calls inside function literals defined earlier in the same
+//     function (the abort/cleanup-closure idiom of runDP) count, since
+//     the closure's text precedes the return.
+//
+// Ownership-transfer helpers (compact, compactShared: the callee
+// allocates a table the caller must free) are sanctioned false positives,
+// suppressed with //lint:allow meterbalance <why>.
+var MeterBalance = &Analyzer{
+	Name: "meterbalance",
+	Doc: "report functions that alloc Meter cells without freeing them on every return path; " +
+		"pair every (*Meter).alloc with a (*Meter).free or annotate the ownership transfer",
+	Run: runMeterBalance,
+}
+
+// meterMethodCall reports whether call is m.<name>(...) on a receiver
+// whose (possibly pointer) type is named Meter.
+func meterMethodCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[sel.X]; ok {
+		return namedTypeName(tv.Type) == "Meter"
+	}
+	return false
+}
+
+func runMeterBalance(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The Meter's own methods are the accounting primitives, not
+			// their users.
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]; ok && namedTypeName(tv.Type) == "Meter" {
+					continue
+				}
+			}
+			checkMeterBalance(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMeterBalance(pass *Pass, fd *ast.FuncDecl) {
+	var (
+		allocs  []token.Pos
+		frees   []token.Pos
+		returns []token.Pos
+		deferOK bool
+	)
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if meterMethodCall(pass, n, "alloc") {
+				allocs = append(allocs, n.Pos())
+			}
+			if meterMethodCall(pass, n, "free") {
+				frees = append(frees, n.Pos())
+			}
+		case *ast.ReturnStmt:
+			// A return inside a nested function literal exits the
+			// closure, not this function: only the function's own
+			// returns are its exit paths. (Closure frees still count
+			// above: a cleanup closure defined before a return
+			// lexically precedes it.)
+			if inner, _ := enclosingFuncs(stack); inner == nil {
+				returns = append(returns, n.Pos())
+			}
+		case *ast.DeferStmt:
+			// A deferred free (directly or inside a deferred closure)
+			// balances every path at once.
+			ast.Inspect(n, func(d ast.Node) bool {
+				if call, ok := d.(*ast.CallExpr); ok && meterMethodCall(pass, call, "free") {
+					deferOK = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(allocs) == 0 || deferOK {
+		return
+	}
+	firstAlloc := allocs[0]
+	if len(frees) == 0 {
+		pass.Reportf(firstAlloc,
+			"(*Meter).alloc with no (*Meter).free anywhere in %s: metered cells leak unless ownership transfers to the caller (annotate with //lint:allow meterbalance <why>)",
+			fd.Name.Name)
+		return
+	}
+	for _, ret := range returns {
+		if ret <= firstAlloc {
+			continue
+		}
+		balanced := false
+		for _, fr := range frees {
+			if fr < ret {
+				balanced = true
+				break
+			}
+		}
+		if !balanced {
+			pass.Reportf(ret,
+				"return path in %s after (*Meter).alloc with no (*Meter).free before it: early exits (ErrCanceled/ErrBudgetExceeded) must release every table they own",
+				fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic, log.Fatal* and os.Exit in library packages: a
+// production engine serving traffic must surface malformed input as a
+// wrapped core.ErrInvalidInput (the pattern PR 2 introduced with
+// truthtable.NewChecked) rather than tearing the process down.
+//
+// Programmer-error invariants — states unreachable through any exported
+// API, where limping on would corrupt the DP tables — remain legitimate
+// panic sites in the stdlib tradition; each such site carries an
+// explicit //lint:allow nopanic <why>, which doubles as an inventory of
+// the engine's internal invariants.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic/log.Fatal/os.Exit in library packages; return wrapped ErrInvalidInput for bad input, " +
+		"and annotate sanctioned programmer-error invariants with //lint:allow nopanic <why>",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name != "panic" {
+					return true
+				}
+				if obj, ok := pass.TypesInfo.Uses[fun]; ok {
+					if _, builtin := obj.(*types.Builtin); !builtin {
+						return true // a local function shadowing panic
+					}
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library code: return a wrapped ErrInvalidInput for bad input, or annotate a programmer-error invariant with //lint:allow nopanic <why>")
+			case *ast.SelectorExpr:
+				pkg, name, ok := pkgFuncCall(pass.TypesInfo, call)
+				if !ok {
+					return true
+				}
+				if pkg == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+					name == "Panic" || name == "Panicf" || name == "Panicln") {
+					pass.Reportf(call.Pos(), "log.%s in library code terminates the process; return an error instead", name)
+				}
+				if pkg == "os" && name == "Exit" {
+					pass.Reportf(call.Pos(), "os.Exit in library code terminates the process; return an error instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

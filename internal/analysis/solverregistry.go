@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// SolverRegistry audits the named-solver registry behind the Solve
+// facade. Every RegisterSolver call must be statically auditable and
+// every registered lane must keep the engine's cancellation promise:
+//
+//   - the solver name must be a non-empty lowercase string literal (a
+//     computed name defeats the -solver flag documentation and this very
+//     audit), unique within the package;
+//   - the registered function must take a context.Context first, so the
+//     lane is cancellable by construction;
+//   - the package's tests must exercise cancellation for the name: a
+//     Test function that references the name literal (or sweeps the
+//     whole registry via SolverNames/LookupSolver) and uses ErrCanceled,
+//     context.WithCancel or context.WithTimeout.
+//
+// Together with the runtime duplicate-name panic in RegisterSolver this
+// keeps the registry and the Solve facade in lockstep: a lane nobody can
+// reach or cancel fails the lint run, not a production deadline.
+var SolverRegistry = &Analyzer{
+	Name: "solverregistry",
+	Doc: "require RegisterSolver calls to use literal, unique, lowercase names, ctx-first solver " +
+		"functions, and a cancellation test covering every registered name",
+	Run: runSolverRegistry,
+}
+
+var solverNameRe = regexp.MustCompile(`^[a-z][a-z0-9_-]*$`)
+
+func runSolverRegistry(pass *Pass) error {
+	type registration struct {
+		name string
+		call *ast.CallExpr
+	}
+	var regs []registration
+	seen := make(map[string]bool)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 || calleeName(call) != "RegisterSolver" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"solver name must be a string literal so the registry is statically auditable")
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || !solverNameRe.MatchString(name) {
+				pass.Reportf(lit.Pos(),
+					"solver name %s must be lowercase ([a-z][a-z0-9_-]*): it doubles as the -solver flag value", lit.Value)
+				return true
+			}
+			if seen[name] {
+				pass.Reportf(lit.Pos(), "solver %q registered more than once", name)
+				return true
+			}
+			seen[name] = true
+			regs = append(regs, registration{name: name, call: call})
+			if !solverTakesCtxFirst(pass, call.Args[1]) {
+				pass.Reportf(call.Args[1].Pos(),
+					"registered solver %q must be a function taking a context.Context as its first parameter", name)
+			}
+			return true
+		})
+	}
+	if len(regs) == 0 {
+		return nil
+	}
+
+	covered, coversAll := cancelTestCoverage(pass)
+	if coversAll {
+		return nil
+	}
+	for _, reg := range regs {
+		if !covered[reg.name] {
+			pass.Reportf(reg.call.Pos(),
+				"registered solver %q has no cancellation test: add a Test that runs it under ErrCanceled/WithCancel/WithTimeout (or sweep SolverNames())", reg.name)
+		}
+	}
+	return nil
+}
+
+// calleeName returns the bare name of the called function ("RegisterSolver"
+// for both RegisterSolver(...) and core.RegisterSolver(...)).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// solverTakesCtxFirst reports whether the expression registered as a
+// solver has a ctx-first signature. Falls back to accepting the site when
+// type information is unavailable (go vet covers the type errors).
+func solverTakesCtxFirst(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		sig, ok := types.Unalias(tv.Type).Underlying().(*types.Signature)
+		if !ok {
+			return false
+		}
+		return sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type())
+	}
+	if lit, ok := e.(*ast.FuncLit); ok {
+		params := lit.Type.Params
+		return params != nil && len(params.List) > 0 && isContextParamField(params.List[0])
+	}
+	return true
+}
+
+// cancelTestCoverage scans the package's test files for cancellation
+// tests, returning the solver names covered by name and whether some test
+// sweeps the entire registry.
+func cancelTestCoverage(pass *Pass) (covered map[string]bool, coversAll bool) {
+	covered = make(map[string]bool)
+	for _, file := range pass.TestFiles {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || len(fd.Name.Name) < 5 || fd.Name.Name[:4] != "Test" {
+				continue
+			}
+			hasCancel := false
+			sweepsRegistry := false
+			var names []string
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.Ident:
+					switch n.Name {
+					case "ErrCanceled", "WithCancel", "WithTimeout", "WithDeadline":
+						hasCancel = true
+					case "SolverNames":
+						sweepsRegistry = true
+					}
+				case *ast.SelectorExpr:
+					switch n.Sel.Name {
+					case "ErrCanceled", "WithCancel", "WithTimeout", "WithDeadline":
+						hasCancel = true
+					case "SolverNames":
+						sweepsRegistry = true
+					}
+					return false // don't double-count the .Sel ident
+				case *ast.BasicLit:
+					if s, err := strconv.Unquote(n.Value); err == nil && solverNameRe.MatchString(s) {
+						names = append(names, s)
+					}
+				}
+				return true
+			})
+			if !hasCancel {
+				continue
+			}
+			if sweepsRegistry {
+				coversAll = true
+			}
+			for _, s := range names {
+				covered[s] = true
+			}
+		}
+	}
+	return covered, coversAll
+}

@@ -1,0 +1,89 @@
+// Fixture for the ctxcheckpoint analyzer.
+package ctxcheckpoint
+
+import "context"
+
+// mint forges a fresh context inside solver code: forbidden.
+func mint() context.Context {
+	return context.Background() // want `context\.Background inside a solver package`
+}
+
+// todo is the other spelling of the same sin.
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO inside a solver package`
+}
+
+// orBackground is the sanctioned nil-context compatibility shim: the
+// allow directive keeps it silent.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background() //lint:allow ctxcheckpoint nil-context compatibility shim for legacy callers
+	}
+	return ctx
+}
+
+// SolveCtx is a *Ctx entry point without a context: the name promises
+// cancellability the signature does not deliver.
+func SolveCtx(n int) error { // want `exported entry point SolveCtx must accept a context\.Context as its first parameter`
+	_ = n
+	return nil
+}
+
+// RunCtx is the compliant shape. Must stay silent.
+func RunCtx(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// misplaced buries the context mid-signature, hiding the threading.
+func misplaced(n int, ctx context.Context) { // want `takes a context\.Context but not as the first parameter`
+	_ = n
+	_ = ctx
+}
+
+// spin is an unbounded loop with no cancellation checkpoint: under a
+// deadline this lane can never be stopped cooperatively.
+func spin(n *int) {
+	for { // want `unbounded loop without a cancellation checkpoint`
+		*n++
+	}
+}
+
+// pump is an event loop: the select is the yield point. Must stay silent.
+func pump(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// poll checks ctx.Err per iteration: a checkpoint. Must stay silent.
+func poll(ctx context.Context, n *int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		*n++
+	}
+}
+
+// limiter mirrors the engine's cooperative checkpoint object.
+type limiter struct{}
+
+func (l *limiter) spend(n uint64) error { return nil }
+
+// metered polls the limiter per transition: a checkpoint. Must stay
+// silent.
+func metered(l *limiter, n *int) {
+	for {
+		if err := l.spend(1); err != nil {
+			return
+		}
+		*n++
+	}
+}

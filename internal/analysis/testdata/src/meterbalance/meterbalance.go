@@ -1,0 +1,83 @@
+// Fixture for the meterbalance analyzer: a local double of core.Meter
+// (the analyzer keys on the type name and the alloc/free method names,
+// so the fixture needs no import of internal/core).
+package meterbalance
+
+import "errors"
+
+type Meter struct{ live uint64 }
+
+func (m *Meter) alloc(n uint64) { m.live += n }
+func (m *Meter) free(n uint64) {
+	if n > m.live {
+		m.live = 0
+		return
+	}
+	m.live -= n
+}
+
+var errBoom = errors.New("boom")
+
+// leakNoFree allocs and never frees: the classic leak.
+func leakNoFree(m *Meter) {
+	m.alloc(8) // want `no \(\*Meter\)\.free anywhere in leakNoFree`
+}
+
+// leakEarlyReturn frees on the happy path but not on the error path —
+// the shape the cancellable engine must never regress into.
+func leakEarlyReturn(m *Meter, fail bool) error {
+	m.alloc(8)
+	if fail {
+		return errBoom // want `return path in leakEarlyReturn after \(\*Meter\)\.alloc`
+	}
+	m.free(8)
+	return nil
+}
+
+// balancedAbort is the runDP idiom: a cleanup closure defined before the
+// early exits releases everything the function owns. Must stay silent.
+func balancedAbort(m *Meter, fail bool) error {
+	abort := func() { m.free(8) }
+	m.alloc(8)
+	if fail {
+		abort()
+		return errBoom
+	}
+	m.free(8)
+	return nil
+}
+
+// balancedDefer releases through a defer: every path is balanced at
+// once. Must stay silent.
+func balancedDefer(m *Meter, fail bool) error {
+	m.alloc(8)
+	defer m.free(8)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// closureReturns: returns inside a nested function literal are the
+// closure's exits, not this function's. Must stay silent.
+func closureReturns(m *Meter, xs []int) {
+	m.alloc(8)
+	ok := func(x int) bool {
+		if x < 0 {
+			return false
+		}
+		return true
+	}
+	for _, x := range xs {
+		_ = ok(x)
+	}
+	m.free(8)
+}
+
+// newBlock transfers ownership of the allocated cells to the caller: the
+// sanctioned, annotated false positive (compact's shape). Must stay
+// silent because of the allow directive.
+func newBlock(m *Meter) uint64 {
+	m.alloc(16) //lint:allow meterbalance ownership of the cells transfers to the caller, which frees them
+	return 16
+}

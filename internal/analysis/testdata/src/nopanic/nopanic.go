@@ -1,0 +1,52 @@
+// Fixture for the nopanic analyzer.
+package nopanic
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+var errInvalid = errors.New("nopanic: invalid input")
+
+// validate panics on bad input where it should return an error.
+func validate(n int) error {
+	if n < 0 {
+		panic("negative") // want `panic in library code`
+	}
+	return nil
+}
+
+// fatal tears the process down from library code.
+func fatal(err error) {
+	log.Fatalf("boom: %v", err) // want `log\.Fatalf in library code`
+}
+
+// exit is the same sin without the log line.
+func exit() {
+	os.Exit(1) // want `os\.Exit in library code`
+}
+
+// checked is the sanctioned shape: a wrapped sentinel error. Must stay
+// silent.
+func checked(n int) error {
+	if n < 0 {
+		return errInvalid
+	}
+	return nil
+}
+
+// invariant is a sanctioned programmer-error panic with the documented
+// escape hatch. Must stay silent.
+func invariant(state int) {
+	if state != 0 {
+		panic("nopanic: corrupt state") //lint:allow nopanic internal invariant unreachable via the public API
+	}
+}
+
+// shadowed calls a local function that happens to be named panic: the
+// analyzer resolves the builtin through go/types and must stay silent.
+func shadowed() {
+	panic := func(string) {}
+	panic("fine")
+}

@@ -1,0 +1,38 @@
+// Fixture for the solverregistry analyzer: local doubles of the core
+// registry surface (the analyzer keys on the RegisterSolver callee name,
+// so the fixture needs no import of internal/core).
+package solverregistry
+
+import (
+	"context"
+	"errors"
+)
+
+type Result struct{ Cost int }
+
+var ErrCanceled = errors.New("solverregistry: canceled")
+
+var registry = map[string]any{}
+
+func RegisterSolver(name string, fn any) { registry[name] = fn }
+
+func goodSolver(ctx context.Context, n int) (Result, error) {
+	if ctx.Err() != nil {
+		return Result{}, ErrCanceled
+	}
+	return Result{Cost: n}, nil
+}
+
+// noCtxSolver cannot be cancelled by construction.
+func noCtxSolver(n int) (Result, error) { return Result{Cost: n}, nil }
+
+var computedName = "dyn" + "amic"
+
+func init() {
+	RegisterSolver("good", goodSolver)
+	RegisterSolver("BadName", goodSolver)    // want `solver name "BadName" must be lowercase`
+	RegisterSolver(computedName, goodSolver) // want `solver name must be a string literal`
+	RegisterSolver("good", goodSolver)       // want `solver "good" registered more than once`
+	RegisterSolver("noctx", noCtxSolver)     // want `registered solver "noctx" must be a function taking a context\.Context as its first parameter`
+	RegisterSolver("orphan", goodSolver)     // want `registered solver "orphan" has no cancellation test`
+}

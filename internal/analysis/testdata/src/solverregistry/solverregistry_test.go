@@ -1,0 +1,16 @@
+package solverregistry
+
+import "testing"
+
+// TestGoodCancellation covers "good" and "noctx" by name under an
+// ErrCanceled assertion; "orphan" is deliberately left uncovered so the
+// analyzer's coverage finding fires in the fixture.
+func TestGoodCancellation(t *testing.T) {
+	if _, ok := registry["good"]; !ok {
+		t.Fatal("solver good is not registered")
+	}
+	if _, ok := registry["noctx"]; !ok {
+		t.Fatal("solver noctx is not registered")
+	}
+	_ = ErrCanceled
+}

@@ -1,0 +1,28 @@
+// Fixture for the solverregistry analyzer's registry-sweep path: a test
+// that iterates SolverNames() under cancellation covers every registered
+// name at once, so nothing here may be flagged.
+package solverregistry_sweep
+
+import "context"
+
+type Result struct{ Cost int }
+
+var registry = map[string]any{}
+
+func RegisterSolver(name string, fn any) { registry[name] = fn }
+
+func SolverNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	return names
+}
+
+func alphaSolver(ctx context.Context, n int) (Result, error) { return Result{Cost: n}, nil }
+func betaSolver(ctx context.Context, n int) (Result, error)  { return Result{Cost: -n}, nil }
+
+func init() {
+	RegisterSolver("alpha", alphaSolver)
+	RegisterSolver("beta", betaSolver)
+}

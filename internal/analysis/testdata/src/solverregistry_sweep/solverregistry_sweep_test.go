@@ -1,0 +1,18 @@
+package solverregistry_sweep
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSweepCancellation sweeps the whole registry under a canceled
+// context: the analyzer treats this as covering every registered name.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range SolverNames() {
+		if ctx.Err() == nil {
+			t.Fatalf("context not canceled while sweeping %s", name)
+		}
+	}
+}

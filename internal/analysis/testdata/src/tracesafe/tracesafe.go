@@ -1,0 +1,62 @@
+// Fixture for the tracesafe analyzer: a local double of the obs.Tracer
+// interface (the analyzer keys on the interface name and Emit method, so
+// the fixture needs no import of internal/obs).
+package tracesafe
+
+type Event struct{ K int }
+
+type Tracer interface{ Emit(Event) }
+
+type opts struct{ Trace Tracer }
+
+// unguarded emits without any nil check: panics the first time a run
+// starts without tracing.
+func unguarded(tr Tracer) {
+	tr.Emit(Event{K: 1}) // want `Emit on possibly-nil tracer tr without a nil check`
+}
+
+// fieldUnguarded is the same bug through an options field.
+func fieldUnguarded(o *opts) {
+	o.Trace.Emit(Event{K: 2}) // want `Emit on possibly-nil tracer o\.Trace without a nil check`
+}
+
+// guarded is the engine idiom. Must stay silent.
+func guarded(tr Tracer) {
+	if tr != nil {
+		tr.Emit(Event{K: 3})
+	}
+}
+
+// wrapper is the nil-safe wrapper pattern (quantum's emitBatch): the
+// early return is the guard. Must stay silent.
+func wrapper(tr Tracer, ev Event) {
+	if tr == nil {
+		return
+	}
+	tr.Emit(ev)
+}
+
+// fieldGuarded guards the exact field expression. Must stay silent.
+func fieldGuarded(o *opts) {
+	if o.Trace != nil {
+		o.Trace.Emit(Event{K: 4})
+	}
+}
+
+// otherGuard checks a DIFFERENT expression: guarding tr does not make
+// o.Trace safe.
+func otherGuard(o *opts, tr Tracer) {
+	if tr != nil {
+		o.Trace.Emit(Event{K: 5}) // want `Emit on possibly-nil tracer o\.Trace without a nil check`
+	}
+}
+
+// recorder is a concrete tracer: calling Emit on a concrete type is
+// ordinary use, not a nil hazard the contract covers. Must stay silent.
+type recorder struct{ events []Event }
+
+func (r *recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+
+func concrete(r *recorder) {
+	r.Emit(Event{K: 6})
+}

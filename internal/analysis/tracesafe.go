@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TraceSafe enforces the nil-safe tracing contract of internal/obs: a nil
+// Tracer disables tracing, so every solver holds an interface value that
+// is nil on the hot path, and every Emit must sit behind a nil check (or
+// go through a nil-safe wrapper such as quantum's emitBatch). An
+// unguarded Emit works in every traced test and then panics in production
+// the first time a run is started without tracing.
+//
+// A call x.Emit(...) on a Tracer-typed interface value is accepted when
+// the enclosing top-level function contains a nil comparison of the same
+// expression (`x != nil` guard, or an `x == nil` early return) lexically
+// before the call. The obs package itself — home of the wrappers and the
+// concrete tracer implementations — is exempt.
+var TraceSafe = &Analyzer{
+	Name: "tracesafe",
+	Doc: "forbid Emit calls on possibly-nil Tracer interface values outside a nil check " +
+		"or a nil-safe wrapper",
+	Run: runTraceSafe,
+}
+
+func runTraceSafe(pass *Pass) error {
+	if strings.HasSuffix(pass.Path, "internal/obs") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// nilChecks maps the printed form of an expression to the
+		// positions where it is compared against nil.
+		nilChecks := make(map[string][]token.Pos)
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			other := be.X
+			if id, ok := be.Y.(*ast.Ident); !ok || id.Name != "nil" {
+				if id, ok := be.X.(*ast.Ident); ok && id.Name == "nil" {
+					other = be.Y
+				} else {
+					return true
+				}
+			}
+			key := exprText(other)
+			nilChecks[key] = append(nilChecks[key], be.Pos())
+			return true
+		})
+
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Emit" || !isTracerInterface(pass, sel.X) {
+				return true
+			}
+			_, outer := enclosingFuncs(stack)
+			if outer == nil {
+				return true
+			}
+			key := exprText(sel.X)
+			guarded := false
+			for _, pos := range nilChecks[key] {
+				if pos >= outer.Pos() && pos < call.Pos() {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				pass.Reportf(call.Pos(),
+					"Emit on possibly-nil tracer %s without a nil check in the enclosing function; guard with `if %s != nil` or route through a nil-safe wrapper",
+					key, key)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isTracerInterface reports whether the static type of e is an interface
+// named Tracer (obs.Tracer, or a structurally identical local double in
+// fixtures). Concrete tracer implementations (*Recorder, *Progress) are
+// excluded: calling Emit on a value of concrete type is ordinary use.
+func isTracerInterface(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok || named.Obj().Name() != "Tracer" {
+		return false
+	}
+	_, isIface := named.Underlying().(*types.Interface)
+	return isIface
+}

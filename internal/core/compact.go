@@ -200,13 +200,13 @@ func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
 // The input context is not modified.
 func compact(c *fsContext, v int, rule Rule, m *Meter) (next *fsContext, width uint64) {
 	if !c.free.Has(v) {
-		panic(fmt.Sprintf("core: compact on non-free variable %d (free %#x)", v, uint64(c.free)))
+		panic(fmt.Sprintf("core: compact on non-free variable %d (free %#x)", v, uint64(c.free))) //lint:allow nopanic internal invariant: compacting a non-free variable is a DP-driver bug, unreachable via the public API
 	}
 	pos := bitops.RelativePosition(c.free, v)
 	newFree := c.free.Without(v)
 	size := uint64(len(c.table)) / 2
 	table := make([]uint32, size)
-	m.alloc(size)
+	m.alloc(size) //lint:allow meterbalance ownership of the compacted table transfers to the caller, which frees it (see runDP)
 
 	dedup := make(map[uint64]uint32)
 	id := c.nextID()
@@ -220,7 +220,7 @@ func compact(c *fsContext, v int, rule Rule, m *Meter) (next *fsContext, width u
 		case ZDD:
 			skip = u1 == 0
 		default:
-			panic("core: unknown rule")
+			panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
 		}
 		if skip {
 			table[idx] = u0

@@ -116,7 +116,7 @@ func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContex
 		if t == 0 {
 			c, ok := pre.layer[L]
 			if !ok {
-				panic("core: ladder missing precomputed layer entry")
+				panic("core: ladder missing precomputed layer entry") //lint:allow nopanic internal invariant: the ladder precomputes every layer it later reads
 			}
 			return c, pre.reconstruct(L), false
 		}

@@ -194,7 +194,7 @@ func (d *dncRun) solve(L bitops.Mask, t int) (out *fsContext, order []int, owned
 		// FS(L) has been precomputed (line 7).
 		c, ok := d.pre.layer[L]
 		if !ok {
-			panic("core: missing precomputed FS layer entry")
+			panic("core: missing precomputed FS layer entry") //lint:allow nopanic internal invariant: extendAll precomputes every FS layer the merge reads
 		}
 		return c, d.pre.reconstruct(L), false, nil
 	}

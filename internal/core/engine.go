@@ -130,7 +130,7 @@ func meterFor(m *Meter, budget Budget) *Meter {
 // budget, where the only error sources are disabled.
 func mustResult[T any](res T, err error) T {
 	if err != nil {
-		panic(fmt.Sprintf("core: context-free run failed unexpectedly: %v", err))
+		panic(fmt.Sprintf("core: context-free run failed unexpectedly: %v", err)) //lint:allow nopanic impossible-error assertion: legacy context-free wrappers disable every error source
 	}
 	return res
 }

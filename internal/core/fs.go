@@ -111,11 +111,11 @@ type dpState struct {
 // back to exactly the caller-owned cells.
 func runDP(ctx *fsContext, vars bitops.Mask, stop int, rule Rule, m *Meter, tr obs.Tracer, lim *limiter) (*dpState, error) {
 	if vars&^ctx.free != 0 {
-		panic("core: runDP vars not free in context")
+		panic("core: runDP vars not free in context") //lint:allow nopanic internal invariant: runDP callers pass masks drawn from ctx.free
 	}
 	nv := vars.Count()
 	if stop < 0 || stop > nv {
-		panic(fmt.Sprintf("core: runDP stop %d out of range [0,%d]", stop, nv))
+		panic(fmt.Sprintf("core: runDP stop %d out of range [0,%d]", stop, nv)) //lint:allow nopanic internal invariant: runDP callers bound stop by the mask cardinality
 	}
 	st := &dpState{
 		rule:     rule,
@@ -216,7 +216,7 @@ func (st *dpState) reconstruct(mask bitops.Mask) []int {
 	for i := k - 1; i >= 0; i-- {
 		v, ok := st.bestLast[mask]
 		if !ok {
-			panic(fmt.Sprintf("core: no parent pointer for subset %#x", uint64(mask)))
+			panic(fmt.Sprintf("core: no parent pointer for subset %#x", uint64(mask))) //lint:allow nopanic internal invariant: the DP records a parent pointer for every kept subset
 		}
 		order[i] = v
 		mask = mask.Without(v)
@@ -284,7 +284,7 @@ func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
 // resource budget; see OptimalOrderingCtx for the early-stop contract.
 func OptimalOrderingMultiCtx(ctx context.Context, mt *truthtable.MultiTable, opts *Options) (*Result, error) {
 	if opts.rule() != OBDD {
-		panic("core: OptimalOrderingMulti requires the OBDD rule")
+		panic("core: OptimalOrderingMulti requires the OBDD rule") //lint:allow nopanic documented programmer-error precondition: MTBDD minimization is OBDD-rule only
 	}
 	m := meterFor(opts.meter(), opts.budget())
 	lim := newLimiter(ctx, opts.budget(), m)
@@ -355,7 +355,7 @@ func finishResult(tt *truthtable.Table, _ []uint64, order truthtable.Ordering, m
 // under that ordering. It runs in O(n·2^n) time.
 func Profile(tt *truthtable.Table, order truthtable.Ordering, rule Rule, m *Meter) []uint64 {
 	if len(order) != tt.NumVars() || !order.Valid() {
-		panic("core: Profile ordering is not a permutation of the variables")
+		panic("core: Profile ordering is not a permutation of the variables") //lint:allow nopanic documented programmer-error precondition: the ordering must be a permutation
 	}
 	base := baseContext(tt)
 	m.alloc(base.cells())

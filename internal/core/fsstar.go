@@ -41,13 +41,13 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 	var seen bitops.Mask
 	for i, b := range blocks {
 		if b == 0 {
-			panic(fmt.Sprintf("core: block %d is empty", i))
+			panic(fmt.Sprintf("core: block %d is empty", i)) //lint:allow nopanic documented programmer-error precondition on the block structure
 		}
 		if b&seen != 0 {
-			panic(fmt.Sprintf("core: block %d overlaps earlier blocks", i))
+			panic(fmt.Sprintf("core: block %d overlaps earlier blocks", i)) //lint:allow nopanic documented programmer-error precondition on the block structure
 		}
 		if b&^bitops.FullMask(n) != 0 {
-			panic(fmt.Sprintf("core: block %d references variables ≥ n", i))
+			panic(fmt.Sprintf("core: block %d references variables ≥ n", i)) //lint:allow nopanic documented programmer-error precondition on the block structure
 		}
 		seen |= b
 	}

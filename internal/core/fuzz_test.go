@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"obddopt/internal/truthtable"
+)
+
+// FuzzFSvsBrute cross-validates the Friedman–Supowit dynamic program
+// against the factorial brute-force baseline on random functions of up
+// to 6 variables: the DP's MINCOST must equal the true minimum over all
+// n! orderings, and the ordering the DP reconstructs must actually
+// achieve that cost. Run the seed corpus with plain `go test`; explore
+// with `go test -fuzz FuzzFSvsBrute ./internal/core`.
+func FuzzFSvsBrute(f *testing.F) {
+	f.Add(0, uint64(0))
+	f.Add(1, uint64(1))
+	f.Add(3, uint64(0xCA))            // the 3-variable multiplexer
+	f.Add(4, uint64(0x8000))          // AND of 4 variables
+	f.Add(5, uint64(0x96696996_00FF)) // parity-ish upper half
+	f.Add(6, uint64(0x0123456789ABCDEF))
+	f.Fuzz(func(t *testing.T, n int, bits uint64) {
+		n = ((n % 7) + 7) % 7 // fold the arity into [0, 6]
+		tt := truthtable.New(n)
+		size := tt.Size()
+		for idx := uint64(0); idx < size && idx < 64; idx++ {
+			tt.Set(idx, bits>>idx&1 == 1)
+		}
+
+		fs := OptimalOrdering(tt, nil)
+		bf := BruteForce(tt, nil)
+		if fs.MinCost != bf.MinCost {
+			t.Fatalf("n=%d bits=%#x: FS MinCost %d != brute force %d",
+				n, bits, fs.MinCost, bf.MinCost)
+		}
+		if !fs.Ordering.Valid() {
+			t.Fatalf("n=%d bits=%#x: FS returned invalid ordering %v", n, bits, fs.Ordering)
+		}
+		// The reconstructed ordering must achieve the claimed minimum:
+		// SizeUnder counts nonterminals plus terminals, MinCost only the
+		// nonterminals.
+		want := fs.MinCost + uint64(fs.Terminals)
+		if got := SizeUnder(tt, fs.Ordering, fs.Rule, nil); got != want {
+			t.Fatalf("n=%d bits=%#x: ordering %v has size %d, FS claims %d",
+				n, bits, fs.Ordering, got, want)
+		}
+		// And the level profile is an accounting of that same cost.
+		var sum uint64
+		for _, w := range fs.Profile {
+			sum += w
+		}
+		if sum != fs.MinCost {
+			t.Fatalf("n=%d bits=%#x: profile %v sums to %d, want %d",
+				n, bits, fs.Profile, sum, fs.MinCost)
+		}
+	})
+}

@@ -232,7 +232,7 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 	for i := n - 1; i >= 0; i-- {
 		v, ok := bestLast[mask]
 		if !ok {
-			panic("core: parallel DP missing parent pointer")
+			panic("core: parallel DP missing parent pointer") //lint:allow nopanic internal invariant: the DP records a parent pointer for every kept subset
 		}
 		order[i] = v
 		mask = mask.Without(v)

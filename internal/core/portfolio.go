@@ -88,10 +88,10 @@ func RegisterSolver(name string, s Solver) {
 	solverMu.Lock()
 	defer solverMu.Unlock()
 	if name == "" || s == nil {
-		panic("core: RegisterSolver with empty name or nil solver")
+		panic("core: RegisterSolver with empty name or nil solver") //lint:allow nopanic database/sql-style registration contract: misregistration is a linker-time programmer error
 	}
 	if _, dup := solverReg[name]; dup {
-		panic("core: RegisterSolver called twice for " + name)
+		panic("core: RegisterSolver called twice for " + name) //lint:allow nopanic database/sql-style registration contract: misregistration is a linker-time programmer error
 	}
 	solverReg[name] = s
 }
@@ -348,7 +348,7 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 // context tree (WithCancel panics on nil).
 func ctxOrBackground(ctx stdctx.Context) stdctx.Context {
 	if ctx == nil {
-		return stdctx.Background()
+		return stdctx.Background() //lint:allow ctxcheckpoint sanctioned nil-context shim: WithCancel panics on nil, legacy callers pass nil
 	}
 	return ctx
 }

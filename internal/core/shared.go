@@ -44,7 +44,7 @@ func baseSharedContext(tts []*truthtable.Table) *sharedContext {
 	tables := make([][]uint32, len(tts))
 	for r, tt := range tts {
 		if tt.NumVars() != n {
-			panic("core: shared roots must have the same variable count")
+			panic("core: shared roots must have the same variable count") //lint:allow nopanic documented programmer-error precondition: shared roots share one variable set
 		}
 		tbl := make([]uint32, tt.Size())
 		for idx := uint64(0); idx < tt.Size(); idx++ {
@@ -61,7 +61,7 @@ func baseSharedContext(tts []*truthtable.Table) *sharedContext {
 // per-level unique map.
 func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext, uint64) {
 	if !c.free.Has(v) {
-		panic("core: compactShared on non-free variable")
+		panic("core: compactShared on non-free variable") //lint:allow nopanic internal invariant: compacting a non-free variable is a DP-driver bug
 	}
 	pos := bitops.RelativePosition(c.free, v)
 	size := uint64(len(c.tables[0])) / 2
@@ -87,7 +87,7 @@ func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext
 			case ZDD:
 				skip = u1 == 0
 			default:
-				panic("core: unknown rule")
+				panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
 			}
 			if skip {
 				out[idx] = u0
@@ -107,7 +107,7 @@ func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext
 		m.addCells(size)
 	}
 	next.cost += width
-	m.alloc(next.cells())
+	m.alloc(next.cells()) //lint:allow meterbalance ownership of the compacted table transfers to the caller, which frees it
 	return next, width
 }
 
@@ -147,7 +147,7 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 // no incumbent before it completes).
 func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts *Options) (*SharedResult, error) {
 	if len(tts) == 0 {
-		panic("core: OptimalOrderingShared needs at least one root")
+		panic("core: OptimalOrderingShared needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
 	}
 	rule, tr := opts.rule(), opts.trace()
 	m := meterFor(opts.meter(), opts.budget())
@@ -245,7 +245,7 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 	for i := n - 1; i >= 0; i-- {
 		v, ok := bestLast[mask]
 		if !ok {
-			panic("core: shared DP missing parent pointer")
+			panic("core: shared DP missing parent pointer") //lint:allow nopanic internal invariant: the DP records a parent pointer for every kept subset
 		}
 		order[i] = v
 		mask = mask.Without(v)
@@ -301,10 +301,10 @@ func profileShared(tts []*truthtable.Table, order truthtable.Ordering, rule Rule
 // under the given ordering (no optimization), bottom-up.
 func SharedProfile(tts []*truthtable.Table, order truthtable.Ordering, rule Rule) []uint64 {
 	if len(tts) == 0 {
-		panic("core: SharedProfile needs at least one root")
+		panic("core: SharedProfile needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
 	}
 	if len(order) != tts[0].NumVars() || !order.Valid() {
-		panic("core: SharedProfile ordering is not a permutation")
+		panic("core: SharedProfile ordering is not a permutation") //lint:allow nopanic documented programmer-error precondition: the ordering must be a permutation
 	}
 	widths, _ := profileShared(tts, order, rule)
 	return widths
@@ -324,7 +324,7 @@ func SharedSizeUnder(tts []*truthtable.Table, order truthtable.Ordering, rule Ru
 // shared forest (validation baseline for OptimalOrderingShared).
 func BruteForceShared(tts []*truthtable.Table, rule Rule) *SharedResult {
 	if len(tts) == 0 {
-		panic("core: BruteForceShared needs at least one root")
+		panic("core: BruteForceShared needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
 	}
 	n := tts[0].NumVars()
 	best := ^uint64(0)

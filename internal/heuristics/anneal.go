@@ -39,7 +39,7 @@ type AnnealOptions struct {
 // ordering is exact, only the search is stochastic.
 func Anneal(tt *truthtable.Table, rule core.Rule, opts *AnnealOptions) Result {
 	if opts == nil || opts.Rng == nil {
-		panic("heuristics: Anneal requires options with a random source")
+		panic("heuristics: Anneal requires options with a random source") //lint:allow nopanic documented programmer-error precondition: Anneal requires a seeded Rng
 	}
 	n := tt.NumVars()
 	o := NewOracle(tt, rule)

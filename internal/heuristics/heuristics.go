@@ -203,7 +203,7 @@ func WindowOpts(tt *truthtable.Table, opts *WindowOptions) Result {
 		rule, w, tr, ctx = opts.Rule, opts.Width, opts.Trace, opts.Ctx
 	}
 	if w < 2 || w > 4 {
-		panic("heuristics: window width must be 2, 3 or 4")
+		panic("heuristics: window width must be 2, 3 or 4") //lint:allow nopanic documented programmer-error precondition: window width is 2, 3 or 4
 	}
 	n := tt.NumVars()
 	o := NewOracle(tt, rule)

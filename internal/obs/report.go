@@ -12,22 +12,22 @@ import (
 // `core.Meter` / `core.Result` (or shared/heuristic equivalents) of the
 // run, which carry their own JSON tags.
 type RunReport struct {
-	Tool      string      `json:"tool,omitempty"`
-	Algorithm string      `json:"algorithm,omitempty"`
-	Rule      string      `json:"rule,omitempty"`
-	N         int         `json:"n,omitempty"`
-	ElapsedMS float64     `json:"elapsed_ms,omitempty"`
-	Events    int         `json:"events,omitempty"`
-	Layers    []LayerStat `json:"layers,omitempty"`
-	BnB       *BnBStats   `json:"bnb,omitempty"`
-	DnC       *DnCStats   `json:"dnc,omitempty"`
-	Heuristic *HeurStats  `json:"heuristic,omitempty"`
-	Quantum   *QuantStats `json:"quantum,omitempty"`
+	Tool      string          `json:"tool,omitempty"`
+	Algorithm string          `json:"algorithm,omitempty"`
+	Rule      string          `json:"rule,omitempty"`
+	N         int             `json:"n,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
+	Events    int             `json:"events,omitempty"`
+	Layers    []LayerStat     `json:"layers,omitempty"`
+	BnB       *BnBStats       `json:"bnb,omitempty"`
+	DnC       *DnCStats       `json:"dnc,omitempty"`
+	Heuristic *HeurStats      `json:"heuristic,omitempty"`
+	Quantum   *QuantStats     `json:"quantum,omitempty"`
 	Portfolio *PortfolioStats `json:"portfolio,omitempty"`
-	Metrics   any         `json:"metrics,omitempty"`
-	Meter     any         `json:"meter,omitempty"`
-	Result    any         `json:"result,omitempty"`
-	Details   any         `json:"details,omitempty"`
+	Metrics   any             `json:"metrics,omitempty"`
+	Meter     any             `json:"meter,omitempty"`
+	Result    any             `json:"result,omitempty"`
+	Details   any             `json:"details,omitempty"`
 }
 
 // LayerStat summarizes one completed DP layer (one KindLayerEnd event).

@@ -22,7 +22,7 @@ type GroverState struct {
 // NewGroverState returns the uniform superposition over n = 2^q states.
 func NewGroverState(q int) *GroverState {
 	if q < 0 || q > 24 {
-		panic("quantum: qubit count out of simulable range")
+		panic("quantum: qubit count out of simulable range") //lint:allow nopanic documented programmer-error precondition: qubit count bounded by the simulator
 	}
 	n := 1 << uint(q)
 	s := &GroverState{amps: make([]float64, n)}

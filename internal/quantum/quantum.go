@@ -116,7 +116,7 @@ type Exact struct {
 // MinIndex implements Minimizer.
 func (e *Exact) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	if n == 0 {
-		panic("quantum: MinIndex over empty domain")
+		panic("quantum: MinIndex over empty domain") //lint:allow nopanic documented programmer-error precondition: minimum over an empty domain is undefined
 	}
 	e.Meter.invoked()
 	queries := LemmaSixQueries(n, e.Eps)
@@ -166,7 +166,7 @@ type Noisy struct {
 // MinIndex implements Minimizer.
 func (q *Noisy) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	if n == 0 {
-		panic("quantum: MinIndex over empty domain")
+		panic("quantum: MinIndex over empty domain") //lint:allow nopanic documented programmer-error precondition: minimum over an empty domain is undefined
 	}
 	q.Meter.invoked()
 	queries := LemmaSixQueries(n, q.Eps)
@@ -232,7 +232,7 @@ type DurrHoyer struct {
 // MinIndex implements Minimizer.
 func (d *DurrHoyer) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	if n == 0 {
-		panic("quantum: MinIndex over empty domain")
+		panic("quantum: MinIndex over empty domain") //lint:allow nopanic documented programmer-error precondition: minimum over an empty domain is undefined
 	}
 	d.Meter.invoked()
 	// The simulator evaluates every cost once (classically unavoidable);
@@ -261,6 +261,15 @@ func (d *DurrHoyer) MinIndex(n uint64, cost func(uint64) uint64) uint64 {
 	queries := 1.0
 	d.Meter.addQueries(1)
 	for {
+		// The threshold strictly improves every round, so the loop
+		// terminates — but a caller's deadline must not have to wait for
+		// the full descent. Stopping here keeps the same degradation
+		// contract as the scan above: y is a valid index, merely not
+		// proven minimal.
+		if ctxStopped(d.Ctx) {
+			emitBatch(d.Trace, n, queries, costs[y])
+			return y
+		}
 		// Elements strictly better than the current threshold.
 		var better []uint64
 		for x := uint64(0); x < n; x++ {

@@ -1,0 +1,57 @@
+package truthtable
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTruthTableNew checks the untrusted-input surface of the package:
+// NewChecked must reject out-of-range arities with an error (never a
+// panic), and ParseHex must either reject a malformed literal with an
+// error or produce a table that round-trips through Hex unchanged. Run
+// the seed corpus with plain `go test`; explore with
+// `go test -fuzz FuzzTruthTableNew ./internal/truthtable`.
+func FuzzTruthTableNew(f *testing.F) {
+	f.Add(0, "0:0")
+	f.Add(3, "3:ff")
+	f.Add(5, "5:deadbeef")
+	f.Add(MaxVars, "2:bad")
+	f.Add(-1, "30:")
+	f.Add(1<<30, ":")
+	f.Add(4, "4:012g")
+	f.Add(2, "-7:f")
+	f.Fuzz(func(t *testing.T, n int, hex string) {
+		tt, err := NewChecked(n)
+		if err != nil {
+			if n >= 0 && n <= MaxVars {
+				t.Fatalf("NewChecked(%d) rejected an in-range arity: %v", n, err)
+			}
+		} else {
+			if n < 0 || n > MaxVars {
+				t.Fatalf("NewChecked(%d) accepted an out-of-range arity", n)
+			}
+			if tt.NumVars() != n || tt.CountOnes() != 0 {
+				t.Fatalf("NewChecked(%d) = %d vars, %d ones; want %d vars, all false",
+					n, tt.NumVars(), tt.CountOnes(), n)
+			}
+		}
+
+		parsed, err := ParseHex(hex)
+		if err != nil {
+			return // rejected with an error: that is the contract
+		}
+		// Accepted literals must survive a Hex round trip with identical
+		// semantics (case and the canonical "n:" prefix normalize).
+		out := parsed.Hex()
+		back, err := ParseHex(out)
+		if err != nil {
+			t.Fatalf("Hex output %q of accepted literal %q does not reparse: %v", out, hex, err)
+		}
+		if !back.Equal(parsed) {
+			t.Fatalf("round trip changed the table: %q -> %q", hex, out)
+		}
+		if !strings.EqualFold(back.Hex(), out) {
+			t.Fatalf("Hex is not a fixed point: %q -> %q", out, back.Hex())
+		}
+	})
+}

@@ -363,13 +363,15 @@ func ParseHex(s string) (*Table, error) {
 	if n < 0 || n > MaxVars {
 		return nil, fmt.Errorf("truthtable: variable count %d out of range", n)
 	}
+	// Validate the digit count before allocating: a bare "30:" must not
+	// cost a 128 MiB table just to be rejected.
 	hexpart := s[colon+1:]
-	t := New(n)
-	size := t.Size()
+	size := uint64(1) << uint(n)
 	digits := int((size + 3) / 4)
 	if len(hexpart) != digits {
 		return nil, fmt.Errorf("truthtable: expected %d hex digits for n=%d, got %d", digits, n, len(hexpart))
 	}
+	t := New(n)
 	for pos, ch := range hexpart {
 		d := digits - 1 - pos // digit index from least significant
 		var nib uint64
