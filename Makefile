@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo clean
+.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo clean
 
 all: build lint test
 
@@ -25,7 +25,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/dynbdd/
+	$(GO) test -race ./internal/core/ ./internal/dynbdd/ ./internal/server/ ./internal/cache/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -62,6 +62,12 @@ portfolio-demo:
 	$(GO) run ./cmd/optobdd \
 		-expr 'x1^x2^x3^x4^x5^x6^x7 | x8&x9&x10 | x11&x12&x13&x14' \
 		-solver portfolio -deadline 50ms -progress
+
+# Serving demo: an in-process obddd exercises the whole admission story
+# under the race detector — cold solve, cached re-solve (single-flight),
+# 429s under a 32-request burst against a 2-worker pool, graceful drain.
+serve-demo:
+	$(GO) run -race ./cmd/obddd -smoke
 
 # Short fuzzing sessions over the text-format parsers, the table
 # constructors, and the FS-vs-brute-force differential oracle.

@@ -1,0 +1,223 @@
+// Command obddd is the network solve daemon: the cancellable Solve
+// engine served over HTTP/JSON behind admission control and a canonical
+// result cache (see internal/server for the endpoint and wire schema
+// documentation).
+//
+// Typical invocations:
+//
+//	obddd -addr :8344                      # serve with production defaults
+//	obddd -workers 4 -queue 16 -cache-mb 128
+//	obddd -smoke                           # self-test: cold/cached/429/drain
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: it stops admitting
+// (new requests get 503), cancels in-flight solver contexts — those
+// requests still receive their best incumbents — and exits once the
+// in-flight count reaches zero or -drain-timeout expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"obddopt/internal/cliutil"
+	"obddopt/internal/core"
+	"obddopt/internal/obs"
+	"obddopt/internal/server"
+	"obddopt/internal/truthtable"
+)
+
+func main() {
+	var (
+		sf       cliutil.ServeFlags
+		progress bool
+		smoke    bool
+	)
+	fs := flag.NewFlagSet("obddd", flag.ExitOnError)
+	sf.Register(fs)
+	fs.BoolVar(&progress, "progress", false, "stream solver progress events to stderr")
+	fs.BoolVar(&smoke, "smoke", false, "run the serving self-test against an in-process server and exit")
+	_ = fs.Parse(os.Args[1:])
+
+	var tr obs.Tracer
+	if progress {
+		tr = obs.NewProgress(os.Stderr)
+	}
+
+	if smoke {
+		if err := runSmoke(sf.Config(tr)); err != nil {
+			log.Fatalf("obddd: smoke test failed: %v", err)
+		}
+		fmt.Println("obddd: smoke test ok")
+		return
+	}
+	if err := serve(sf, tr); err != nil {
+		log.Fatalf("obddd: %v", err)
+	}
+}
+
+// serve runs the daemon until a termination signal, then drains.
+func serve(sf cliutil.ServeFlags, tr obs.Tracer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := server.New(ctx, sf.Config(tr))
+	hs := &http.Server{Addr: sf.Addr, Handler: s.Handler()}
+
+	ln, err := net.Listen("tcp", sf.Addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("obddd: serving on %s (workers/queue per /v1/solvers)", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("obddd: draining (timeout %s)", sf.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), sf.DrainTimeout)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		log.Printf("obddd: drain incomplete: %v", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("obddd: drained cleanly")
+	return nil
+}
+
+// runSmoke drives the serving contract end to end against an in-process
+// server: a cold solve, a cached re-solve that must skip the solver,
+// load shedding under saturation, and a graceful drain. It is the CI
+// smoke test (run under -race) and a deployment sanity check.
+func runSmoke(cfg server.Config) error {
+	// Small fixed pool so saturation is reachable with modest load.
+	cfg.Workers = 2
+	cfg.QueueDepth = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s := server.New(ctx, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	base := "http://" + ln.Addr().String()
+	c, err := server.Dial(ctx, base)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+
+	// 1. Cold solve: the Fig. 1 three-pair function, known optimum 6.
+	tt := truthtable.FromFunc(6, func(x []bool) bool {
+		return x[0] && x[1] || x[2] && x[3] || x[4] && x[5]
+	})
+	res, err := c.Solve(ctx, tt, &server.Params{Solver: "fs"})
+	if err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+	if res.MinCost != 6 {
+		return fmt.Errorf("cold solve: MinCost = %d, want 6", res.MinCost)
+	}
+	log.Printf("smoke: cold solve ok (MinCost %d)", res.MinCost)
+
+	// 2. Cached re-solve: same request again must not run a solver.
+	before := s.SolveCount()
+	if _, err := c.Solve(ctx, tt, &server.Params{Solver: "fs"}); err != nil {
+		return fmt.Errorf("warm solve: %w", err)
+	}
+	if got := s.SolveCount(); got != before {
+		return fmt.Errorf("warm solve ran the solver (%d -> %d invocations); cache not serving", before, got)
+	}
+	if st := s.CacheStats(); st.Hits == 0 {
+		return fmt.Errorf("no cache hit recorded: %+v", st)
+	}
+	log.Printf("smoke: cached re-solve ok (no solver run)")
+
+	// 3. Saturation: 32 concurrent 13-variable solves against the
+	// 4-slot building must shed load with 429/ErrSaturated and must
+	// never fail any other way.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := map[string]int{}
+	fail := func(f string, a ...any) {
+		mu.Lock()
+		counts["other"]++
+		mu.Unlock()
+		log.Printf("smoke: "+f, a...)
+	}
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			big := truthtable.FromFunc(13, func(x []bool) bool {
+				acc := i%2 == 0
+				for j, b := range x {
+					if b && j%(i%5+2) == 0 {
+						acc = !acc
+					}
+				}
+				return acc
+			})
+			_, err := c.Solve(ctx, big, &server.Params{Solver: "fs", NoCache: true})
+			switch {
+			case err == nil:
+				mu.Lock()
+				counts["ok"]++
+				mu.Unlock()
+			case errors.Is(err, server.ErrSaturated):
+				mu.Lock()
+				counts["saturated"]++
+				mu.Unlock()
+			case errors.Is(err, core.ErrCanceled), errors.Is(err, core.ErrBudgetExceeded):
+				mu.Lock()
+				counts["stopped"]++
+				mu.Unlock()
+			default:
+				fail("unexpected solve error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if counts["other"] != 0 {
+		return fmt.Errorf("saturation run had %d unexpected failures", counts["other"])
+	}
+	if counts["saturated"] == 0 {
+		return fmt.Errorf("no request was shed under saturation: %v", counts)
+	}
+	if counts["ok"] == 0 {
+		return fmt.Errorf("no request succeeded under saturation: %v", counts)
+	}
+	log.Printf("smoke: saturation ok (%d served, %d shed)", counts["ok"]+counts["stopped"], counts["saturated"])
+
+	// 4. Graceful drain: stops admitting, then refuses new work.
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := s.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if _, err := c.Solve(context.Background(), tt, nil); !errors.Is(err, server.ErrDraining) {
+		return fmt.Errorf("post-drain solve error = %v, want ErrDraining", err)
+	}
+	log.Printf("smoke: drain ok")
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+
+	"obddopt/internal/server"
+)
+
+// TestRunSmoke drives the daemon's self-test end to end: cold solve,
+// cached re-solve, load shedding under saturation, graceful drain.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving smoke test skipped in -short mode")
+	}
+	if err := runSmoke(server.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

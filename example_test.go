@@ -1,6 +1,7 @@
 package obddopt_test
 
 import (
+	"context"
 	"fmt"
 
 	obddopt "obddopt"
@@ -8,10 +9,14 @@ import (
 
 // The paper's running example: the Fig. 1 function has an 8-node OBDD
 // under the optimal (interleaved) ordering and a 16-node one under the
-// blocked ordering.
+// blocked ordering. WithSolver("fs") pins the Friedman–Supowit dynamic
+// program, whose tie-breaking makes the reported ordering deterministic.
 func Example() {
 	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4 | x5 & x6", 6)
-	res := obddopt.OptimalOrdering(f, nil)
+	res, err := obddopt.Solve(context.Background(), f, obddopt.WithSolver("fs"))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.Size, res.Ordering)
 
 	blocked := obddopt.Ordering{5, 3, 1, 4, 2, 0}
@@ -21,22 +26,28 @@ func Example() {
 	// 16
 }
 
-// ExampleOptimalOrdering shows the exact dynamic program on a multiplexer:
-// the optimum reads the select variable first.
-func ExampleOptimalOrdering() {
+// ExampleSolve shows the exact solve on a multiplexer: the optimum reads
+// the select variable first. A nil error proves res.MinCost is optimal.
+func ExampleSolve() {
 	// f = s ? d1 : d0 over variables s=x1, d0=x2, d1=x3.
 	f := obddopt.MustParseExpr("(!x1 & x2) | (x1 & x3)", 3)
-	res := obddopt.OptimalOrdering(f, nil)
+	res, err := obddopt.Solve(context.Background(), f, obddopt.WithSolver("fs"))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.MinCost, res.Ordering)
 	// Output:
 	// 3 (x1, x2, x3)
 }
 
-// ExampleOptimalOrdering_zdd minimizes a zero-suppressed DD instead: the
-// family {∅} needs no nonterminal nodes at all.
-func ExampleOptimalOrdering_zdd() {
+// ExampleSolve_zdd minimizes a zero-suppressed DD instead: the family
+// {∅} needs no nonterminal nodes at all.
+func ExampleSolve_zdd() {
 	f := obddopt.MustParseExpr("!x1 & !x2 & !x3", 3)
-	res := obddopt.OptimalOrdering(f, &obddopt.Options{Rule: obddopt.ZDD})
+	res, err := obddopt.Solve(context.Background(), f, obddopt.WithRule(obddopt.ZDD))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.MinCost)
 	// Output:
 	// 0
@@ -45,7 +56,10 @@ func ExampleOptimalOrdering_zdd() {
 // ExampleBuildBDD materializes the minimum diagram and queries it.
 func ExampleBuildBDD() {
 	f := obddopt.MustParseExpr("x1 ^ x2 ^ x3", 3)
-	res := obddopt.OptimalOrdering(f, nil)
+	res, err := obddopt.Solve(context.Background(), f)
+	if err != nil {
+		panic(err)
+	}
 	m, root := obddopt.BuildBDD(f, res.Ordering)
 	fmt.Println(m.SatCount(root))
 	fmt.Println(m.Size(root) == res.Size)
@@ -58,7 +72,10 @@ func ExampleBuildBDD() {
 func ExampleSift() {
 	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4", 4)
 	s := obddopt.Sift(f, obddopt.OBDD, 0)
-	opt := obddopt.OptimalOrdering(f, nil)
+	opt, err := obddopt.Solve(context.Background(), f)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(s.MinCost == opt.MinCost)
 	// Output:
 	// true
@@ -76,12 +93,15 @@ func ExampleSymmetryGroups() {
 	// [2 3]
 }
 
-// ExampleOptimalOrderingShared optimizes two functions jointly: the shared
-// forest of a function and a cofactor-like variant reuses structure.
-func ExampleOptimalOrderingShared() {
+// ExampleSolveShared optimizes two functions jointly: the shared forest
+// of a full adder's sum and carry reuses structure across the roots.
+func ExampleSolveShared() {
 	sum := obddopt.MustParseExpr("x1 ^ x2 ^ x3", 3)
 	carry := obddopt.MustParseExpr("x1 & x2 | x3 & (x1 ^ x2)", 3)
-	res := obddopt.OptimalOrderingShared([]*obddopt.Table{sum, carry}, nil)
+	res, err := obddopt.SolveShared(context.Background(), []*obddopt.Table{sum, carry})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(res.Roots, res.MinCost)
 	// Output:
 	// 2 8

@@ -7,10 +7,21 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	obddopt "obddopt"
 )
+
+// solve runs the exact portfolio and fails loudly on the impossible.
+func solve(f *obddopt.Table) *obddopt.Result {
+	res, err := obddopt.Solve(context.Background(), f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
 
 func achilles(pairs int) *obddopt.Table {
 	return obddopt.FromFunc(2*pairs, func(x []bool) bool {
@@ -42,13 +53,13 @@ func main() {
 		}
 		good := obddopt.SizeUnder(f, fromRootFirst(inter), obddopt.OBDD)
 		bad := obddopt.SizeUnder(f, fromRootFirst(blockedRF), obddopt.OBDD)
-		opt := obddopt.OptimalOrdering(f, nil)
+		opt := solve(f)
 		fmt.Printf("%5d %4d %12d %12d %10d\n", k, n, good, bad, opt.Size)
 	}
 
 	// Render the two k=3 diagrams of Fig. 1.
 	f := achilles(3)
-	res := obddopt.OptimalOrdering(f, nil)
+	res := solve(f)
 	mGood, rGood := obddopt.BuildBDD(f, res.Ordering)
 	fmt.Println("\n--- minimum OBDD (Fig. 1 left), Graphviz ---")
 	fmt.Print(mGood.DOT(rGood, "achilles_optimal"))

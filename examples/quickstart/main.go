@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	obddopt "obddopt"
 )
@@ -14,8 +16,13 @@ func main() {
 	// The running example of the paper (Fig. 1): x1·x2 + x3·x4 + x5·x6.
 	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4 | x5 & x6", 6)
 
-	// The exact optimum via the Friedman–Supowit O*(3^n) dynamic program.
-	res := obddopt.OptimalOrdering(f, nil)
+	// The exact optimum: Solve races the Friedman–Supowit O*(3^n)
+	// dynamic program against branch-and-bound behind a heuristic seed;
+	// a nil error proves optimality.
+	res, err := obddopt.Solve(context.Background(), f)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("optimal ordering:", res.Ordering)       // (x1, x2, x3, x4, x5, x6)
 	fmt.Println("minimum OBDD size:", res.Size, "nodes") // 8 = 2k+2 with k=3 pairs
 	fmt.Println("level widths bottom-up:", res.Profile)  // [1 1 1 1 1 1]

@@ -1,6 +1,7 @@
 package obddopt
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ func TestFacadePLA(t *testing.T) {
 		t.Fatalf("ParsePLA: %v", err)
 	}
 	tt := p.OutputTable(0)
-	if OptimalOrdering(tt, nil).MinCost != 2 {
+	if mustSolve(t, tt).MinCost != 2 {
 		t.Errorf("AND cover optimum wrong")
 	}
 	back := PLAFromTable(tt)
@@ -22,12 +23,49 @@ func TestFacadePLA(t *testing.T) {
 	}
 }
 
+// TestPLASolveRoundTrip drives the full frontend-to-facade pipeline: a
+// multi-output PLA source parses, each output table solves through the
+// unified Solve API, and the certified optimum is consistent with an
+// explicit size evaluation under the returned ordering.
+func TestPLASolveRoundTrip(t *testing.T) {
+	// Two outputs over three inputs: an AND3 cover and a parity-ish one.
+	src := ".i 3\n.o 2\n111 10\n1-0 01\n011 01\n.e\n"
+	p, err := ParsePLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParsePLA: %v", err)
+	}
+	for out := 0; out < 2; out++ {
+		tt := p.OutputTable(out)
+		res, err := Solve(context.Background(), tt, WithSolver("fs"))
+		if err != nil {
+			t.Fatalf("output %d: %v", out, err)
+		}
+		if res.N != 3 {
+			t.Fatalf("output %d: N = %d", out, res.N)
+		}
+		if got := SizeUnder(tt, res.Ordering, OBDD); got != res.Size {
+			t.Errorf("output %d: SizeUnder(optimal ordering) = %d, result says %d", out, got, res.Size)
+		}
+	}
+	// The two outputs jointly, through the shared facade.
+	shared, err := SolveShared(context.Background(), []*Table{p.OutputTable(0), p.OutputTable(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Roots != 2 {
+		t.Errorf("shared roots = %d", shared.Roots)
+	}
+}
+
 func TestFacadeCircuit(t *testing.T) {
 	c := RippleCarryAdder(2)
 	if len(c.Outputs) != 3 {
 		t.Fatalf("adder outputs %d", len(c.Outputs))
 	}
-	shared := OptimalOrderingShared(c.AllOutputTables(), nil)
+	shared, err := SolveShared(context.Background(), c.AllOutputTables())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if shared.Roots != 3 || shared.MinCost == 0 {
 		t.Errorf("shared adder optimization wrong: %+v", shared)
 	}
@@ -52,11 +90,45 @@ func TestFacadeCircuit(t *testing.T) {
 	}
 }
 
+// TestCircuitSolveRoundTrip parses a gate netlist, evaluates it to truth
+// tables, and solves each through the facade — the full circuit
+// frontend to Solve pipeline on a hand-written source.
+func TestCircuitSolveRoundTrip(t *testing.T) {
+	// Signals 0-3 are inputs; 4 = x0·x1, 5 = x2·x3, 6 = 4 + 5 — the
+	// Fig. 1 function with k=2 pairs, optimum size 2k+2 = 6.
+	src := `inputs 4
+4 = and 0 1
+5 = and 2 3
+6 = or 4 5
+outputs 6
+`
+	c, err := ParseCircuit(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseCircuit: %v", err)
+	}
+	tt := c.OutputTable(0)
+	res, err := Solve(context.Background(), tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 6 {
+		t.Errorf("netlist optimum size = %d, want 6 (Fig. 1 with k=2)", res.Size)
+	}
+	// The same function built directly must agree.
+	direct, err := Solve(context.Background(), AchillesHeel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.MinCost != res.MinCost {
+		t.Errorf("netlist MinCost %d != direct construction %d", res.MinCost, direct.MinCost)
+	}
+}
+
 func TestFacadeFunctionFamilies(t *testing.T) {
-	if OptimalOrdering(AchillesHeel(3), nil).Size != 8 {
+	if mustSolve(t, AchillesHeel(3)).Size != 8 {
 		t.Errorf("AchillesHeel optimum wrong")
 	}
-	if OptimalOrdering(Parity(4), nil).MinCost != 7 {
+	if mustSolve(t, Parity(4)).MinCost != 7 {
 		t.Errorf("Parity optimum wrong")
 	}
 	if Majority(3).CountOnes() != 4 {

@@ -1,0 +1,260 @@
+// Package cache is the canonical solve-result cache behind the network
+// service (internal/server): a sharded, byte-size-bounded LRU keyed by a
+// canonical digest of the problem, with single-flight coalescing so
+// concurrent identical requests run the underlying computation once.
+//
+// The cache stores only canonical values — results whose derivation is a
+// pure function of the key (for the solve service: proven-optimal
+// results of (truth-table, rule, exactness class), which every exact
+// solver agrees on) — so a hit is always a correct answer regardless of
+// which request populated it. Hit/miss/evict/coalesce counts accumulate
+// both per cache (Stats) and in the process-wide internal/obs expvar
+// registry, so /debug/vars shows live cache effectiveness.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"obddopt/internal/obs"
+)
+
+// numShards spreads keys over independently locked shards; a power of
+// two so the digest's low bits select the shard uniformly.
+const numShards = 16
+
+// Key returns the canonical digest of a problem: a fixed-length hex
+// string over (table, rule, class). table is the truth-table literal in
+// canonical "n:hexdigits" form, rule names the diagram variant, and
+// class names the exactness contract of the cached value ("exact" for
+// proven-optimal solves) — the class keeps future value families
+// (shared forests, heuristic incumbents) from colliding with exact
+// results under the same table.
+func Key(table, rule, class string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s|%d:%s|%d:%s", len(table), table, len(rule), rule, len(class), class)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	// Hits counts lookups answered from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the compute function.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that waited on an identical in-flight
+	// computation instead of starting their own (single-flight).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries displaced by the byte bound.
+	Evictions uint64 `json:"evictions"`
+	// Bytes is the current stored size; Entries the current entry count.
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
+}
+
+// Cache is a sharded LRU of canonical results, bounded by total byte
+// size and safe for concurrent use.
+type Cache struct {
+	shardBytes int64
+	shards     [numShards]shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	flights map[string]*flight
+	bytes   int64
+}
+
+type entry struct {
+	key   string
+	value any
+	bytes int64
+	elem  *list.Element
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a cache bounded to roughly maxBytes of stored values
+// (entry sizes are the caller's estimates). maxBytes <= 0 selects a
+// 64 MiB default. The bound is enforced per shard, so a pathological
+// key distribution can under-use up to (numShards-1)/numShards of it.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	c := &Cache{shardBytes: (maxBytes + numShards - 1) / numShards}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*entry)
+		c.shards[i].flights = make(map[string]*flight)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// shardFor selects the shard by a cheap string hash; Key produces
+// uniformly distributed digests, so any mixing of the bytes do.
+func (c *Cache) shardFor(key string) *shard {
+	var h uint
+	for i := 0; i < len(key); i++ {
+		h = h*31 + uint(key[i])
+	}
+	return &c.shards[h%numShards]
+}
+
+// Do returns the cached value for key, or runs compute to produce it.
+// Concurrent Do calls with the same key coalesce: one runs compute, the
+// rest wait for its outcome. compute returns the value, its byte-size
+// estimate for the LRU bound, and an error; errors are never cached —
+// they propagate to every coalesced waiter, and the next Do retries.
+//
+// If a coalesced computation fails while this caller's ctx is still
+// live (the typical case: the owning request was canceled, the waiter
+// was not), Do retries with this caller as the new owner rather than
+// surfacing a cancellation the caller never asked for. The second
+// return reports whether the value came from the cache (true) or from
+// a compute run owned by, or coalesced with, this call (false).
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, int64, error)) (any, bool, error) {
+	s := c.shardFor(key)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.lru.MoveToFront(e.elem)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			obs.Metrics.CacheHits.Inc()
+			return e.value, true, nil
+		}
+		if f, ok := s.flights[key]; ok {
+			s.mu.Unlock()
+			c.coalesced.Add(1)
+			obs.Metrics.CacheCoalesced.Inc()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, false, nil
+			}
+			// The owner failed; if our ctx is live the failure was the
+			// owner's (deadline, budget), so loop and recompute as owner.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		c.misses.Add(1)
+		obs.Metrics.CacheMisses.Inc()
+		val, bytes, err := compute()
+		f.val, f.err = val, err
+
+		s.mu.Lock()
+		delete(s.flights, key)
+		if err == nil {
+			c.store(s, key, val, bytes)
+		}
+		s.mu.Unlock()
+		close(f.done)
+		return val, false, err
+	}
+}
+
+// Get returns the cached value for key without computing on a miss. A
+// hit counts toward Stats.Hits; a miss counts nothing, so a Get probe
+// followed by Do (the server's fast-path pattern) records exactly one
+// miss per computed entry.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(e.elem)
+	c.hits.Add(1)
+	obs.Metrics.CacheHits.Inc()
+	return e.value, true
+}
+
+// Put stores value under key unconditionally (replacing any previous
+// entry), evicting least-recently-used entries to fit the byte bound.
+func (c *Cache) Put(key string, value any, bytes int64) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.store(s, key, value, bytes)
+}
+
+// store inserts or replaces under s.mu.
+func (c *Cache) store(s *shard, key string, value any, bytes int64) {
+	if bytes < 1 {
+		bytes = 1
+	}
+	if bytes > c.shardBytes {
+		// An entry larger than a whole shard would evict everything and
+		// still not fit; refuse it rather than thrash.
+		return
+	}
+	if e, ok := s.entries[key]; ok {
+		s.bytes += bytes - e.bytes
+		e.value, e.bytes = value, bytes
+		s.lru.MoveToFront(e.elem)
+	} else {
+		e := &entry{key: key, value: value, bytes: bytes}
+		e.elem = s.lru.PushFront(e)
+		s.entries[key] = e
+		s.bytes += bytes
+	}
+	for s.bytes > c.shardBytes {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			break
+		}
+		victim := oldest.Value.(*entry)
+		s.lru.Remove(oldest)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.bytes
+		c.evictions.Add(1)
+		obs.Metrics.CacheEvictions.Inc()
+	}
+}
+
+// Stats snapshots the cache's counters and current occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Bytes += s.bytes
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -14,6 +14,8 @@ import (
 
 	"obddopt/internal/core"
 	_ "obddopt/internal/heuristics" // installs the portfolio's default seeder
+	"obddopt/internal/obs"
+	"obddopt/internal/server"
 )
 
 // SolverFlags is the shared flag block for choosing and bounding a
@@ -64,6 +66,66 @@ func (f *SolverFlags) Context() (context.Context, context.CancelFunc) {
 // Budget returns the resource budget implied by the -max-* flags.
 func (f *SolverFlags) Budget() core.Budget {
 	return core.Budget{MaxCells: f.MaxCells, MaxNodes: f.MaxNodes}
+}
+
+// ServeFlags is the flag block sizing the obddd network service's
+// admission control and result cache. Register it on a FlagSet, then
+// pass Config() to server.New after parsing.
+type ServeFlags struct {
+	Addr            string
+	Workers         int
+	QueueDepth      int
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	MaxCells        uint64
+	MaxNodes        uint64
+	MaxVars         int
+	CacheMB         int64
+	RetryAfter      time.Duration
+	DrainTimeout    time.Duration
+}
+
+// Register declares the serving flags on fs. Zero values defer to the
+// server's production defaults (workers = GOMAXPROCS, queue = 4×workers,
+// 30s deadline cap, 64 MiB cache).
+func (f *ServeFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Addr, "addr", ":8344", "listen address")
+	fs.IntVar(&f.Workers, "workers", 0,
+		"max concurrent solver runs (0 = GOMAXPROCS)")
+	fs.IntVar(&f.QueueDepth, "queue", 0,
+		"max requests waiting for a worker before 429 (0 = 4x workers)")
+	fs.DurationVar(&f.DefaultDeadline, "default-deadline", 0,
+		"deadline applied to requests that set none (0 = the -max-deadline cap)")
+	fs.DurationVar(&f.MaxDeadline, "max-deadline", 0,
+		"cap on per-request deadlines (0 = 30s, negative = uncapped)")
+	fs.Uint64Var(&f.MaxCells, "max-cells", 0,
+		"cap on per-request live DP cell budgets (0 = uncapped)")
+	fs.Uint64Var(&f.MaxNodes, "max-nodes", 0,
+		"cap on per-request node-expansion budgets (0 = uncapped)")
+	fs.IntVar(&f.MaxVars, "max-vars", 0,
+		"largest accepted variable count (0 = the engine limit)")
+	fs.Int64Var(&f.CacheMB, "cache-mb", 0,
+		"result cache size in MiB (0 = 64, negative = disabled)")
+	fs.DurationVar(&f.RetryAfter, "retry-after", 0,
+		"Retry-After hint on 429 responses (0 = 1s)")
+	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 10*time.Second,
+		"max wait for in-flight solves on shutdown")
+}
+
+// Config resolves the flags to a server configuration; tr (optional)
+// receives every request's solver events.
+func (f *ServeFlags) Config(tr obs.Tracer) server.Config {
+	return server.Config{
+		Workers:         f.Workers,
+		QueueDepth:      f.QueueDepth,
+		DefaultDeadline: f.DefaultDeadline,
+		MaxDeadline:     f.MaxDeadline,
+		MaxBudget:       core.Budget{MaxCells: f.MaxCells, MaxNodes: f.MaxNodes},
+		MaxVars:         f.MaxVars,
+		CacheBytes:      f.CacheMB << 20,
+		RetryAfter:      f.RetryAfter,
+		Trace:           tr,
+	}
 }
 
 // ParseRule maps a -rule flag value to the diagram rule.

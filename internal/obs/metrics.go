@@ -65,6 +65,20 @@ var Metrics struct {
 	// PeakCells is the largest metered live-cell count ever observed —
 	// Remark 1's space quantity, process-wide.
 	PeakCells MaxGauge
+	// CacheHits / CacheMisses / CacheEvictions / CacheCoalesced count
+	// canonical-result-cache lookups (see internal/cache): entries served
+	// without a solver run, entries that required one, entries displaced
+	// by the byte bound, and lookups coalesced onto an identical
+	// in-flight computation by single-flight.
+	CacheHits      Counter
+	CacheMisses    Counter
+	CacheEvictions Counter
+	CacheCoalesced Counter
+	// RequestsServed / RequestsRejected count network solve requests
+	// admitted and completed versus turned away by admission control
+	// (saturated queue or draining server); see internal/server.
+	RequestsServed   Counter
+	RequestsRejected Counter
 }
 
 func init() {
@@ -76,6 +90,12 @@ func init() {
 	m.Set("evaluations", &Metrics.Evaluations)
 	m.Set("worker_spawns", &Metrics.WorkerSpawns)
 	m.Set("peak_cells", &Metrics.PeakCells)
+	m.Set("cache_hits", &Metrics.CacheHits)
+	m.Set("cache_misses", &Metrics.CacheMisses)
+	m.Set("cache_evictions", &Metrics.CacheEvictions)
+	m.Set("cache_coalesced", &Metrics.CacheCoalesced)
+	m.Set("requests_served", &Metrics.RequestsServed)
+	m.Set("requests_rejected", &Metrics.RequestsRejected)
 }
 
 // MetricsSnapshot returns the current value of every registry metric,
@@ -83,13 +103,19 @@ func init() {
 // contribution.
 func MetricsSnapshot() map[string]uint64 {
 	return map[string]uint64{
-		"runs_started":   Metrics.RunsStarted.Value(),
-		"runs_completed": Metrics.RunsCompleted.Value(),
-		"cell_ops":       Metrics.CellOps.Value(),
-		"compactions":    Metrics.Compactions.Value(),
-		"evaluations":    Metrics.Evaluations.Value(),
-		"worker_spawns":  Metrics.WorkerSpawns.Value(),
-		"peak_cells":     Metrics.PeakCells.Value(),
+		"runs_started":      Metrics.RunsStarted.Value(),
+		"runs_completed":    Metrics.RunsCompleted.Value(),
+		"cell_ops":          Metrics.CellOps.Value(),
+		"compactions":       Metrics.Compactions.Value(),
+		"evaluations":       Metrics.Evaluations.Value(),
+		"worker_spawns":     Metrics.WorkerSpawns.Value(),
+		"peak_cells":        Metrics.PeakCells.Value(),
+		"cache_hits":        Metrics.CacheHits.Value(),
+		"cache_misses":      Metrics.CacheMisses.Value(),
+		"cache_evictions":   Metrics.CacheEvictions.Value(),
+		"cache_coalesced":   Metrics.CacheCoalesced.Value(),
+		"requests_served":   Metrics.RequestsServed.Value(),
+		"requests_rejected": Metrics.RequestsRejected.Value(),
 	}
 }
 

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"obddopt/internal/obs"
+)
+
+// admission is the server's load-shedding layer. It bounds the work a
+// process accepts with two counting semaphores:
+//
+//   - running (capacity Workers) bounds concurrent solver executions —
+//     the "worker pool", sized to GOMAXPROCS by default, except that the
+//     pool is a semaphore acquired by the request's own goroutine rather
+//     than a set of long-lived workers, so there is no job handoff and
+//     nothing to leak on shutdown;
+//   - admitted (capacity Workers+QueueDepth) bounds the total requests
+//     in the building: at most QueueDepth requests wait for a running
+//     slot. When admitted is full the request is rejected immediately
+//     with ErrSaturated (HTTP 429 + Retry-After) instead of queueing
+//     unboundedly — the engine's O*(3^n) worst case makes an unbounded
+//     queue a memory-and-latency time bomb.
+//
+// Draining flips the gate shut: new requests fail with ErrDraining and
+// the drain caller can wait for the in-flight count to reach zero.
+type admission struct {
+	admitted chan struct{}
+	running  chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+func newAdmission(workers, queueDepth int) *admission {
+	return &admission{
+		admitted: make(chan struct{}, workers+queueDepth),
+		running:  make(chan struct{}, workers),
+	}
+}
+
+// admit claims a building slot without blocking. The returned release
+// function must be called exactly once when the request finishes. admit
+// accounts admission metrics for both outcomes.
+func (a *admission) admit() (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		obs.Metrics.RequestsRejected.Inc()
+		return nil, ErrDraining
+	}
+	// Claim under the lock so a concurrent drain() observes a stable
+	// inflight count once it has flipped the gate.
+	select {
+	case a.admitted <- struct{}{}:
+		a.inflight.Add(1)
+		a.mu.Unlock()
+	default:
+		a.mu.Unlock()
+		obs.Metrics.RequestsRejected.Inc()
+		return nil, ErrSaturated
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-a.admitted
+			a.inflight.Done()
+		})
+	}, nil
+}
+
+// acquireWorker blocks until a running slot frees up or ctx dies; on
+// success the returned release function returns the slot.
+func (a *admission) acquireWorker(ctx context.Context) (release func(), err error) {
+	select {
+	case a.running <- struct{}{}:
+		return func() { <-a.running }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// startDrain closes the gate: subsequent admits fail with ErrDraining.
+func (a *admission) startDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// wait blocks until every admitted request has released, or ctx dies.
+func (a *admission) wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		a.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

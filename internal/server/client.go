@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"obddopt/internal/core"
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// Client is the typed Go client of the obddd service. Its Solve mirrors
+// the in-process Solve contract: the wire schema round-trips back into
+// *core.Result, and service error codes map onto the engine's sentinel
+// errors, so errors.Is(err, core.ErrCanceled) (and friends) holds for
+// remote calls exactly as for local ones — callers switch between
+// in-process and remote solving without touching their error handling.
+// A Client is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Params configures one remote solve; the zero value requests the
+// portfolio solver on OBDDs under the server's default limits.
+type Params struct {
+	// Solver names the strategy; empty selects the portfolio.
+	Solver string
+	// Rule selects the diagram variant (OBDD or ZDD).
+	Rule core.Rule
+	// Deadline bounds the solve's wall-clock time (clamped by the
+	// server's cap); 0 adopts the server default.
+	Deadline time.Duration
+	// Budget bounds the solve's resources (clamped by the server).
+	Budget core.Budget
+	// Workers is the goroutine count for parallel lanes.
+	Workers int
+	// NoCache bypasses the server's canonical result cache.
+	NoCache bool
+	// Report requests the per-run obs.RunReport (retrievable via
+	// SolveReport).
+	Report bool
+}
+
+// Dial validates baseURL ("http://host:port") and verifies the service
+// is reachable by fetching GET /v1/solvers. Use DialWithClient to
+// supply a custom http.Client (timeouts, transports).
+func Dial(ctx context.Context, baseURL string) (*Client, error) {
+	return DialWithClient(ctx, baseURL, nil)
+}
+
+// DialWithClient is Dial with a caller-supplied http.Client; nil uses a
+// fresh default client.
+func DialWithClient(ctx context.Context, baseURL string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("obddd client: bad base URL %q: %v", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("obddd client: base URL %q must be http(s)", baseURL)
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: hc}
+	if _, err := c.Solvers(ctx); err != nil {
+		return nil, fmt.Errorf("obddd client: service unreachable at %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+// Solvers fetches the service's registered solver names and limits.
+func (c *Client) Solvers(ctx context.Context) (*SolversResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/solvers", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out SolversResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Solve solves tt remotely. The outcome contract matches the local
+// Solve API: a nil error guarantees the result is a proven optimum
+// (possibly served from the server's canonical cache); ErrCanceled /
+// ErrBudgetExceeded arrive with the best incumbent when the server
+// found one; malformed input surfaces ErrInvalidInput; a saturated
+// server surfaces ErrSaturated.
+func (c *Client) Solve(ctx context.Context, tt *truthtable.Table, p *Params) (*core.Result, error) {
+	res, _, err := c.SolveReport(ctx, tt, p)
+	return res, err
+}
+
+// SolveReport is Solve returning the server-side run report as well
+// (nil unless Params.Report was set and a solver actually ran — cached
+// and coalesced answers carry no fresh report).
+func (c *Client) SolveReport(ctx context.Context, tt *truthtable.Table, p *Params) (*core.Result, *obs.RunReport, error) {
+	if tt == nil {
+		return nil, nil, fmt.Errorf("%w: nil truth table", core.ErrInvalidInput)
+	}
+	wire, err := c.post(ctx, "/v1/solve", toWire(tt, p))
+	if err != nil {
+		return nil, nil, err
+	}
+	return wire.Result, wire.Report, wireToError(wire.Error)
+}
+
+// BatchResult is one outcome of SolveBatch, index-aligned with its
+// input; Result and Err follow the Solve contract.
+type BatchResult struct {
+	Result *core.Result
+	Err    error
+}
+
+// SolveBatch solves several tables in one request. The batch occupies
+// one server admission slot and runs sequentially there; per-item
+// outcomes (including per-item errors) come back index-aligned. The
+// returned error covers transport and whole-batch failures only.
+func (c *Client) SolveBatch(ctx context.Context, tts []*truthtable.Table, p *Params) ([]BatchResult, error) {
+	if len(tts) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", core.ErrInvalidInput)
+	}
+	breq := BatchRequest{Requests: make([]SolveRequest, len(tts))}
+	for i, tt := range tts {
+		if tt == nil {
+			return nil, fmt.Errorf("%w: nil truth table at index %d", core.ErrInvalidInput, i)
+		}
+		breq.Requests[i] = *toWire(tt, p)
+	}
+	body, err := json.Marshal(&breq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out BatchResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Responses) != len(tts) {
+		return nil, fmt.Errorf("obddd client: batch returned %d responses for %d requests", len(out.Responses), len(tts))
+	}
+	results := make([]BatchResult, len(out.Responses))
+	for i := range out.Responses {
+		results[i] = BatchResult{Result: out.Responses[i].Result, Err: wireToError(out.Responses[i].Error)}
+	}
+	return results, nil
+}
+
+// toWire renders (tt, p) as a wire request.
+func toWire(tt *truthtable.Table, p *Params) *SolveRequest {
+	if p == nil {
+		p = &Params{}
+	}
+	return &SolveRequest{
+		Table:      tt.Hex(),
+		Rule:       strings.ToLower(p.Rule.String()),
+		Solver:     p.Solver,
+		DeadlineMS: p.Deadline.Milliseconds(),
+		MaxCells:   p.Budget.MaxCells,
+		MaxNodes:   p.Budget.MaxNodes,
+		Workers:    p.Workers,
+		NoCache:    p.NoCache,
+		Report:     p.Report,
+	}
+}
+
+// post sends one SolveRequest and decodes the SolveResponse envelope
+// regardless of HTTP status (the service encodes solve and admission
+// outcomes in the body; do surfaces transport-level failures).
+func (c *Client) post(ctx context.Context, path string, sreq *SolveRequest) (*SolveResponse, error) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out SolveResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do executes req and decodes the JSON body into out. Non-2xx statuses
+// are not errors by themselves: the service carries its outcome in the
+// body envelope. A body that fails to decode is a transport error.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("obddd client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return fmt.Errorf("obddd client: reading response: %w", err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("obddd client: HTTP %d with undecodable body: %v", resp.StatusCode, err)
+	}
+	return nil
+}

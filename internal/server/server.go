@@ -1,0 +1,391 @@
+// Package server is the obddd network solve service: an HTTP/JSON
+// daemon exposing the cancellable Solve engine behind admission control
+// and a canonical result cache.
+//
+// Endpoints:
+//
+//	POST /v1/solve        one solve; body SolveRequest, reply SolveResponse
+//	POST /v1/solve/batch  several solves under one admission slot
+//	GET  /v1/solvers      registered solvers, rules and server limits
+//	GET  /v1/stats        admission, cache and process metrics snapshot
+//	GET  /healthz         liveness ("ok", or "draining" while shutting down)
+//	GET  /debug/vars      the process-wide expvar registry (internal/obs)
+//
+// Admission control bounds concurrent solver runs (Workers) and waiting
+// requests (QueueDepth); excess load is rejected with 429 + Retry-After
+// rather than queued unboundedly. Identical concurrent requests
+// coalesce onto one solver run through the single-flight result cache
+// (internal/cache), and proven-optimal results are memoized so repeat
+// queries — the dominant pattern of re-minimization loops — are served
+// in microseconds without re-running the O*(3^n) dynamic program.
+// Graceful drain (Server.Drain, wired to SIGTERM by cmd/obddd) stops
+// admitting, cancels in-flight solver contexts, and waits for handlers
+// to flush their (incumbent-carrying) responses.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"obddopt/internal/cache"
+	"obddopt/internal/core"
+	_ "obddopt/internal/heuristics" // installs the portfolio's default heuristic seeder
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// production default applied by New.
+type Config struct {
+	// Workers bounds concurrent solver executions; 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// running ones; further requests get 429. 0 selects 4×Workers.
+	QueueDepth int
+	// DefaultDeadline applies to requests that set no deadline; 0
+	// means MaxDeadline (requests never run unbounded when a cap is
+	// configured).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps every request's deadline; 0 selects 30s.
+	// Negative disables the cap (trusted single-tenant deployments).
+	MaxDeadline time.Duration
+	// MaxBudget caps every request's resource budget component-wise;
+	// zero components leave the caller's budget unchanged.
+	MaxBudget core.Budget
+	// MaxVars caps the accepted variable count; 0 selects
+	// truthtable.MaxVars (30). Solves are exponential in this.
+	MaxVars int
+	// CacheBytes bounds the canonical result cache; 0 selects 64 MiB,
+	// negative disables caching.
+	CacheBytes int64
+	// RetryAfter is the hint returned with 429 responses; 0 selects 1s.
+	RetryAfter time.Duration
+	// Trace, if non-nil, receives every request's solver events (it
+	// must be safe for concurrent Emit; all internal/obs tracers are).
+	Trace obs.Tracer
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline < 0 {
+		c.MaxDeadline = 0
+	}
+	if c.MaxVars <= 0 || c.MaxVars > truthtable.MaxVars {
+		c.MaxVars = truthtable.MaxVars
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the solve service. Create with New, expose via Handler,
+// shut down via Drain.
+type Server struct {
+	cfg   Config
+	adm   *admission
+	cache *cache.Cache
+	mux   *http.ServeMux
+
+	// lifeCtx is canceled by Drain: every solver context derives from
+	// it, so draining cancels in-flight runs cooperatively.
+	lifeCtx  context.Context
+	lifeStop context.CancelFunc
+
+	// solves counts solver invocations (not requests): the observable
+	// that proves cache hits and single-flight coalescing skip work.
+	solves atomic.Uint64
+}
+
+// New returns a ready-to-serve Server. ctx is the server's lifetime
+// anchor: canceling it is equivalent to Drain (cmd/obddd passes its
+// signal context).
+func New(ctx context.Context, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.Workers, cfg.QueueDepth),
+	}
+	if cfg.CacheBytes >= 0 {
+		s.cache = cache.New(cfg.CacheBytes)
+	}
+	s.lifeCtx, s.lifeStop = context.WithCancel(ctx)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	return s
+}
+
+// Handler returns the service's HTTP handler (mountable under any
+// http.Server or test harness).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SolveCount reports how many solver invocations the server has made —
+// cache hits and coalesced requests do not increment it.
+func (s *Server) SolveCount() uint64 { return s.solves.Load() }
+
+// CacheStats snapshots the result cache (zero Stats when disabled).
+func (s *Server) CacheStats() cache.Stats {
+	if s.cache == nil {
+		return cache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+// Drain gracefully shuts the service down: it stops admitting (new
+// requests get 503), cancels every in-flight solver context — solves
+// return promptly with ErrCanceled and their responses carry the best
+// incumbent — and waits for the in-flight count to reach zero or ctx
+// to expire. It is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.adm.startDrain()
+	s.lifeStop()
+	return s.adm.wait(ctx)
+}
+
+// handleSolve serves POST /v1/solve.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: err.Error()}}, 0)
+		return
+	}
+	release, err := s.adm.admit()
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer release()
+	resp, status := s.solveOne(r.Context(), &req)
+	writeResponse(w, status, resp, s.cfg.RetryAfter)
+}
+
+// handleBatch serves POST /v1/solve/batch: the whole batch occupies one
+// admission slot and runs its items sequentially, so a batch cannot
+// monopolize the worker pool ahead of interactive traffic.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: err.Error()}}, 0)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: "empty batch"}}, 0)
+		return
+	}
+	release, err := s.adm.admit()
+	if err != nil {
+		s.writeAdmissionError(w, err)
+		return
+	}
+	defer release()
+	out := BatchResponse{Responses: make([]SolveResponse, len(req.Requests))}
+	for i := range req.Requests {
+		resp, _ := s.solveOne(r.Context(), &req.Requests[i])
+		out.Responses[i] = *resp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(&out)
+}
+
+// solveOne runs one admitted request end to end: validation, worker
+// acquisition, cache lookup / single-flight solve, error mapping. It
+// returns the response body and HTTP status (always 200 for solve
+// outcomes, including early-stopped ones — the outcome is in the body).
+func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResponse, int) {
+	start := time.Now()
+	tt, rule, solverName, opts, deadline, err := s.parseRequest(req)
+	if err != nil {
+		return &SolveResponse{Error: errorToWire(err)}, http.StatusBadRequest
+	}
+
+	// The request context is bounded by the request deadline and by the
+	// server's lifetime, so Drain cancels in-flight solves.
+	ctx, cancel := context.WithCancel(reqCtx)
+	defer cancel()
+	stop := context.AfterFunc(s.lifeCtx, cancel)
+	defer stop()
+	if deadline > 0 {
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithTimeout(ctx, deadline)
+		defer dcancel()
+	}
+
+	// Fast path: a cached canonical result needs no worker slot — the
+	// microsecond answer path for repeat queries stays open even when
+	// the solver pool is saturated.
+	var key string
+	if s.cache != nil && !req.NoCache {
+		key = cache.Key(tt.Hex(), rule.String(), "exact")
+		if v, ok := s.cache.Get(key); ok {
+			obs.Metrics.RequestsServed.Inc()
+			return &SolveResponse{Result: v.(*core.Result), Cached: true, ElapsedMS: msSince(start)}, http.StatusOK
+		}
+	}
+
+	// Wait (bounded by QueueDepth occupancy) for a worker slot.
+	releaseWorker, err := s.adm.acquireWorker(ctx)
+	if err != nil {
+		resp := &SolveResponse{Error: errorToWire(fmt.Errorf("%w: while queued: %v", core.ErrCanceled, err)), ElapsedMS: msSince(start)}
+		return resp, http.StatusOK
+	}
+	defer releaseWorker()
+
+	run := func() (*core.Result, *obs.RunReport, error) {
+		var col *obs.Collector
+		runOpts := *opts
+		if req.Report {
+			// A typed-nil *Collector would defeat Multi's nil filtering,
+			// so col only enters the fan-out when it exists.
+			col = obs.NewCollector()
+			runOpts.Trace = obs.Multi(col, s.cfg.Trace)
+		} else {
+			runOpts.Trace = s.cfg.Trace
+		}
+		solver, _ := core.LookupSolver(solverName)
+		s.solves.Add(1)
+		res, err := solver(ctx, tt, &runOpts)
+		var rep *obs.RunReport
+		if col != nil {
+			rep = col.Report()
+			rep.Tool = "obddd"
+			rep.Algorithm = solverName
+			rep.Rule = rule.String()
+			rep.N = tt.NumVars()
+			rep.Result = res
+		}
+		return res, rep, err
+	}
+
+	var (
+		res    *core.Result
+		rep    *obs.RunReport
+		cached bool
+	)
+	if s.cache != nil && !req.NoCache {
+		var v any
+		v, cached, err = s.cache.Do(ctx, key, func() (any, int64, error) {
+			r, report, err := run()
+			rep = report
+			if err != nil {
+				// Early-stopped incumbents are not canonical; surface
+				// them to this caller but never cache them.
+				res = r
+				return nil, 0, err
+			}
+			return r, resultBytes(r), nil
+		})
+		if err == nil {
+			res = v.(*core.Result)
+		}
+	} else {
+		res, rep, err = run()
+	}
+
+	resp := &SolveResponse{Result: res, Report: rep, Cached: cached, ElapsedMS: msSince(start)}
+	if err != nil {
+		resp.Error = errorToWire(err)
+		// Solve outcomes — including cancellation and budget exhaustion,
+		// which carry graceful-degradation incumbents — are 200s; only
+		// input rejection is a 4xx.
+		if resp.Error.Code == CodeInvalidInput {
+			return resp, http.StatusBadRequest
+		}
+		obs.Metrics.RequestsServed.Inc()
+		return resp, http.StatusOK
+	}
+	obs.Metrics.RequestsServed.Inc()
+	return resp, http.StatusOK
+}
+
+// handleSolvers serves GET /v1/solvers.
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	resp := SolversResponse{
+		Solvers:       core.SolverNames(),
+		Rules:         []string{"obdd", "zdd"},
+		MaxVars:       s.cfg.MaxVars,
+		MaxDeadlineMS: s.cfg.MaxDeadline.Milliseconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache":   s.CacheStats(),
+		"solves":  s.SolveCount(),
+		"metrics": obs.MetricsSnapshot(),
+	})
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.lifeCtx.Err() != nil {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// writeAdmissionError renders saturation/draining rejections with their
+// HTTP statuses and the Retry-After hint.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+	status := http.StatusServiceUnavailable
+	if err == ErrSaturated {
+		status = http.StatusTooManyRequests
+	}
+	writeResponse(w, status, &SolveResponse{Error: errorToWire(err)}, s.cfg.RetryAfter)
+}
+
+// decodeJSON reads a JSON body, bounded and strict.
+func decodeJSON(r *http.Request, dst any) error {
+	const maxBody = 512 << 20 // a 30-var table literal is ~268 MiB of hex
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	return dec.Decode(dst)
+}
+
+// writeResponse writes a SolveResponse with the status and, for 429s,
+// the Retry-After header.
+func writeResponse(w http.ResponseWriter, status int, resp *SolveResponse, retryAfter time.Duration) {
+	if status == http.StatusTooManyRequests && retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}

@@ -12,8 +12,17 @@
 // # Quick start
 //
 //	f := obddopt.MustParseExpr("x1 & x2 | x3 & x4 | x5 & x6", 6)
-//	res := obddopt.OptimalOrdering(f, nil)
+//	res, err := obddopt.Solve(context.Background(), f)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	fmt.Println(res.Size, res.Ordering) // 8 (x1, x2, x3, x4, x5, x6)
+//
+// Solve races the exact solvers behind a heuristic seed (the portfolio)
+// and honors context cancellation, deadlines (WithDeadline) and resource
+// budgets (WithBudget); WithSolver selects a single strategy. The same
+// engine is served over HTTP by cmd/obddd — Dial returns a Client whose
+// Solve keeps this exact error contract across the wire.
 //
 // This package is a facade over the implementation packages under
 // internal/: the type aliases below expose the full public surface.
@@ -308,9 +317,10 @@ func NewReorderableManager(n int, order Ordering) *ReorderableManager {
 
 // BuildBDD constructs the reduced OBDD of tt in a fresh manager under the
 // given ordering and returns the manager and root — the way to
-// materialize the minimum diagram found by OptimalOrdering:
+// materialize the minimum diagram found by Solve:
 //
-//	res := obddopt.OptimalOrdering(f, nil)
+//	res, err := obddopt.Solve(ctx, f)
+//	// handle err
 //	m, root := obddopt.BuildBDD(f, res.Ordering)
 func BuildBDD(tt *Table, order Ordering) (*BDDManager, BDDNode) {
 	m := bdd.New(tt.NumVars(), order)

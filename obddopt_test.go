@@ -1,6 +1,7 @@
 package obddopt
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -8,9 +9,20 @@ import (
 	"obddopt/internal/truthtable"
 )
 
+// mustSolve runs the unified Solve facade and fails the test on error —
+// the migration shim for the old always-succeeding entry points.
+func mustSolve(t *testing.T, f *Table, opts ...Option) *Result {
+	t.Helper()
+	res, err := Solve(context.Background(), f, opts...)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	f := MustParseExpr("x1 & x2 | x3 & x4 | x5 & x6", 6)
-	res := OptimalOrdering(f, nil)
+	res := mustSolve(t, f)
 	if res.Size != 8 {
 		t.Fatalf("Fig. 1 optimal size = %d, want 8", res.Size)
 	}
@@ -41,9 +53,9 @@ func TestParseExprErrors(t *testing.T) {
 func TestFacadeAgreement(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	f := truthtable.Random(5, rng)
-	a := OptimalOrdering(f, nil)
-	b := BruteForce(f, nil)
-	c := DivideAndConquer(f, nil)
+	a := mustSolve(t, f, WithSolver("fs"))
+	b := mustSolve(t, f, WithSolver("brute"))
+	c := mustSolve(t, f, WithSolver("dnc"))
 	if a.MinCost != b.MinCost || a.MinCost != c.MinCost {
 		t.Fatalf("facade algorithms disagree: %d %d %d", a.MinCost, b.MinCost, c.MinCost)
 	}
@@ -62,7 +74,7 @@ func TestFacadeAgreement(t *testing.T) {
 
 func TestFacadeZDDAndMulti(t *testing.T) {
 	f := MustParseExpr("x1 & !x2 | x3", 3)
-	z := OptimalOrdering(f, &Options{Rule: ZDD})
+	z := mustSolve(t, f, WithRule(ZDD))
 	if z.Rule != ZDD {
 		t.Errorf("rule not propagated")
 	}
@@ -85,7 +97,7 @@ func TestFacadeHeuristics(t *testing.T) {
 	f := MustParseExpr("x1 & x2 | x3 & x4", 4)
 	s := Sift(f, OBDD, 0)
 	w := WindowPermute(f, OBDD, 2)
-	opt := OptimalOrdering(f, nil).MinCost
+	opt := mustSolve(t, f).MinCost
 	if s.MinCost < opt || w.MinCost < opt {
 		t.Errorf("heuristics beat the optimum")
 	}
@@ -110,7 +122,7 @@ func TestTableHelpers(t *testing.T) {
 func TestMeterExposed(t *testing.T) {
 	m := &Meter{}
 	f := MustParseExpr("x1 ^ x2 ^ x3", 3)
-	OptimalOrdering(f, &Options{Meter: m})
+	mustSolve(t, f, WithSolver("fs"), WithMeter(m))
 	if m.CellOps == 0 {
 		t.Errorf("meter not counting through the facade")
 	}
@@ -119,11 +131,11 @@ func TestMeterExposed(t *testing.T) {
 func TestFacadeExtendedAlgorithms(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	f := truthtable.Random(6, rng)
-	want := OptimalOrdering(f, nil).MinCost
-	if got := BranchAndBound(f, nil).MinCost; got != want {
+	want := mustSolve(t, f).MinCost
+	if got := mustSolve(t, f, WithSolver("bnb")).MinCost; got != want {
 		t.Errorf("facade B&B %d != %d", got, want)
 	}
-	if got := OptimalOrderingParallel(f, &ParallelOptions{Workers: 2}).MinCost; got != want {
+	if got := mustSolve(t, f, WithSolver("parallel"), WithWorkers(2)).MinCost; got != want {
 		t.Errorf("facade parallel %d != %d", got, want)
 	}
 	if got := Anneal(f, OBDD, &AnnealOptions{Rng: rng, Steps: 200}).MinCost; got < want {

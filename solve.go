@@ -145,15 +145,29 @@ func Solve(ctx context.Context, tt *Table, opts ...Option) (*Result, error) {
 
 // SolveShared is Solve for the multi-rooted (shared-forest) problem: the
 // ordering minimizing the node count of the shared diagram of several
-// functions over the same variables. Only the dynamic program solves the
-// shared problem, so WithSolver is ignored; deadline, budget, rule,
-// meter and trace options apply as in Solve. The early-stop contract
-// matches Solve's, except the dynamic program carries no incumbent, so
-// an early stop always returns a nil result with the error.
+// functions over the same variables.
+//
+// Only the Friedman–Supowit dynamic program solves the shared problem,
+// so SolveShared accepts a subset of Solve's options: WithRule,
+// WithDeadline, WithBudget, WithMeter and WithTrace, plus
+// WithSolver("fs") as an explicit no-op. Any other WithSolver name and
+// any WithWorkers value return ErrInvalidInput — an option that cannot
+// take effect is rejected, never silently ignored. The early-stop
+// contract matches Solve's, except the dynamic program carries no
+// incumbent, so an early stop always returns a nil result with the
+// error.
 func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResult, error) {
 	var cfg solveConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.solver != "" && cfg.solver != "fs" {
+		return nil, fmt.Errorf("%w: SolveShared supports only the dynamic program; WithSolver(%q) cannot take effect (omit the option or pass \"fs\")",
+			ErrInvalidInput, cfg.solver)
+	}
+	if cfg.opts.Workers != 0 {
+		return nil, fmt.Errorf("%w: SolveShared has no parallel lanes; WithWorkers(%d) cannot take effect",
+			ErrInvalidInput, cfg.opts.Workers)
 	}
 	if len(tts) == 0 {
 		return nil, fmt.Errorf("%w: no truth tables", ErrInvalidInput)
@@ -178,13 +192,16 @@ func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResu
 	})
 }
 
-// applyDeadline layers the WithDeadline option onto the caller's context.
+// applyDeadline layers the WithDeadline option onto the caller's
+// context. A nil ctx is normalized to context.Background before any
+// other handling — previously a nil ctx with no deadline flowed through
+// untouched and crashed the solver's first checkpoint.
 func applyDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
-	if d <= 0 {
-		return ctx, func() {}
-	}
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if d <= 0 {
+		return ctx, func() {}
 	}
 	return context.WithTimeout(ctx, d)
 }

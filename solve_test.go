@@ -7,17 +7,19 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"obddopt/internal/core"
 )
 
 // TestSolveDefaultMatchesLegacy pins the migration contract: a bare
-// Solve call returns the same optimal cost as the deprecated
-// OptimalOrdering, for both rules.
+// Solve call returns the same optimal cost as the original dynamic
+// program entry point, for both rules.
 func TestSolveDefaultMatchesLegacy(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	for _, rule := range []Rule{OBDD, ZDD} {
 		for i := 0; i < 4; i++ {
 			tt := RandomTable(3+rng.Intn(6), rng)
-			want := OptimalOrdering(tt, &Options{Rule: rule})
+			want := core.OptimalOrdering(tt, &Options{Rule: rule})
 			got, err := Solve(context.Background(), tt, WithRule(rule))
 			if err != nil {
 				t.Fatal(err)
@@ -30,10 +32,12 @@ func TestSolveDefaultMatchesLegacy(t *testing.T) {
 }
 
 // TestSolveNamedSolvers drives every registered solver through the
-// facade and checks agreement on one function.
+// facade and checks agreement on one function. Test-only registrations
+// from other packages ("slowtest") don't exist here, so the full
+// registry is exercised.
 func TestSolveNamedSolvers(t *testing.T) {
 	tt := RandomTable(7, rand.New(rand.NewSource(2)))
-	want := OptimalOrdering(tt, nil)
+	want := core.OptimalOrdering(tt, nil)
 	for _, name := range SolverNames() {
 		res, err := Solve(context.Background(), tt, WithSolver(name))
 		if err != nil {
@@ -42,6 +46,74 @@ func TestSolveNamedSolvers(t *testing.T) {
 		if res.MinCost != want.MinCost {
 			t.Errorf("%s: MinCost = %d, want %d", name, res.MinCost, want.MinCost)
 		}
+	}
+}
+
+// TestSolveNilContext is the regression test for the nil-context hole:
+// applyDeadline used to return a nil ctx untouched when no deadline was
+// configured, crashing the solver's first checkpoint. Both facade entry
+// points must normalize nil to context.Background.
+func TestSolveNilContext(t *testing.T) {
+	var nilCtx context.Context
+	tt := RandomTable(5, rand.New(rand.NewSource(31)))
+
+	// No deadline: the path that previously passed nil through.
+	res, err := Solve(nilCtx, tt, WithSolver("fs"))
+	if err != nil || res == nil {
+		t.Fatalf("Solve(nil ctx) = %v, %v", res, err)
+	}
+	// With a deadline: the path that always worked, pinned against
+	// regressions in the reordered normalization.
+	res, err = Solve(nilCtx, tt, WithSolver("fs"), WithDeadline(time.Minute))
+	if err != nil || res == nil {
+		t.Fatalf("Solve(nil ctx, deadline) = %v, %v", res, err)
+	}
+
+	shared, err := SolveShared(nilCtx, []*Table{tt, RandomTable(5, rand.New(rand.NewSource(32)))})
+	if err != nil || shared == nil {
+		t.Fatalf("SolveShared(nil ctx) = %v, %v", shared, err)
+	}
+}
+
+// TestSolveSharedOptionValidation pins the option contract: options that
+// cannot take effect on the shared problem are rejected with
+// ErrInvalidInput, never silently ignored.
+func TestSolveSharedOptionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tts := []*Table{RandomTable(5, rng), RandomTable(5, rng)}
+	cases := []struct {
+		name    string
+		opts    []Option
+		wantErr bool
+	}{
+		{"no options", nil, false},
+		{"explicit fs", []Option{WithSolver("fs")}, false},
+		{"accepted subset", []Option{WithRule(ZDD), WithDeadline(time.Minute), WithBudget(Budget{MaxCells: 1 << 30})}, false},
+		{"portfolio rejected", []Option{WithSolver("portfolio")}, true},
+		{"bnb rejected", []Option{WithSolver("bnb")}, true},
+		{"unknown solver rejected", []Option{WithSolver("no-such")}, true},
+		{"workers rejected", []Option{WithWorkers(4)}, true},
+		{"workers with fs rejected", []Option{WithSolver("fs"), WithWorkers(2)}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := SolveShared(context.Background(), tts, tc.opts...)
+			if tc.wantErr {
+				if !errors.Is(err, ErrInvalidInput) {
+					t.Fatalf("err = %v, want ErrInvalidInput", err)
+				}
+				if res != nil {
+					t.Fatalf("res = %+v alongside rejection, want nil", res)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if res == nil || len(res.Ordering) != 5 {
+				t.Fatalf("res = %+v", res)
+			}
+		})
 	}
 }
 
@@ -110,11 +182,11 @@ func TestSolveBudgetOption(t *testing.T) {
 }
 
 // TestSolveSharedMatchesLegacy verifies the shared facade against the
-// deprecated entry point.
+// original core entry point.
 func TestSolveSharedMatchesLegacy(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	tts := []*Table{RandomTable(6, rng), RandomTable(6, rng)}
-	want := OptimalOrderingShared(tts, nil)
+	want := core.OptimalOrderingShared(tts, nil)
 	got, err := SolveShared(context.Background(), tts)
 	if err != nil {
 		t.Fatal(err)
