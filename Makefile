@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo clean
+.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate clean
 
 all: build lint test
 
@@ -25,7 +25,15 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/dynbdd/ ./internal/server/ ./internal/cache/
+	$(GO) test -race ./internal/core/ ./internal/dynbdd/ ./internal/server/ ./internal/cache/ ./internal/conformance/
+
+# The one-command correctness gate (see "Verification" in README.md):
+# golden-corpus replay across every solver, the metamorphic oracle
+# suite, and a 200-request fault-injected chaos round. Reproduce any
+# failure with the printed seed; soak longer with
+# `go run ./cmd/bddverify -duration 60s`.
+verify:
+	$(GO) run ./cmd/bddverify -chaos 200
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -76,12 +84,34 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pla/
 	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 30s ./internal/truthtable/
 	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzSolveFacade -fuzztime 30s .
 
 # CI-sized fuzz pass: long enough to exercise the mutators, short enough
 # for every push.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 10s ./internal/truthtable/
 	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzSolveFacade -fuzztime 10s .
+
+# Per-package coverage table.
+cover:
+	$(GO) test -count=1 -cover ./... | grep -v "no test files"
+
+# Coverage floors for the engine and the network service — measured
+# baselines rounded down; CI fails a PR that regresses below them.
+COVER_FLOOR_CORE ?= 92
+COVER_FLOOR_SERVER ?= 90
+
+cover-gate:
+	@for spec in ./internal/core:$(COVER_FLOOR_CORE) ./internal/server:$(COVER_FLOOR_SERVER); do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		pct=$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover-gate: no coverage reported for $$pkg"; exit 1; fi; \
+		if [ "$$(awk -v p=$$pct -v f=$$floor 'BEGIN{print (p>=f)?1:0}')" != 1 ]; then \
+			echo "cover-gate: $$pkg coverage $$pct% fell below the $$floor% floor"; exit 1; \
+		fi; \
+		echo "cover-gate: $$pkg $$pct% >= $$floor%"; \
+	done
 
 clean:
 	$(GO) clean ./...

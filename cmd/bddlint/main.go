@@ -39,8 +39,8 @@ import (
 // called, so they run everywhere; the ctx and panic rules are stated for
 // the solver engine packages.
 var scopes = map[string][]string{
-	"ctxcheckpoint": {"internal/core", "internal/heuristics", "internal/quantum", "internal/server", "internal/cache"},
-	"nopanic":       {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache"},
+	"ctxcheckpoint": {"internal/core", "internal/heuristics", "internal/quantum", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
+	"nopanic":       {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
 }
 
 func main() {

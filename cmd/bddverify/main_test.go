@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"obddopt/internal/obs"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunSinglePass(t *testing.T) {
+	code, out, errOut := runCLI(t, "-seed", "3", "-chaos", "30", "-tables", "1", "-solvers", "fs,brute")
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "seed=3") || !strings.Contains(out, "golden=") {
+		t.Errorf("summary line missing: %q", out)
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("violations reported: %s", out)
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	code, out, errOut := runCLI(t, "-seed", "4", "-chaos", "0", "-tables", "1", "-solvers", "fs", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut)
+	}
+	var report obs.RunReport
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("output is not a RunReport: %v\n%s", err, out)
+	}
+	if report.Tool != "bddverify" {
+		t.Errorf("tool = %q, want bddverify", report.Tool)
+	}
+	details, err := json.Marshal(report.Details)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum verifySummary
+	if err := json.Unmarshal(details, &sum); err != nil {
+		t.Fatalf("details do not decode as verifySummary: %v", err)
+	}
+	if sum.Seed != 4 || sum.Iterations != 1 || sum.SuiteChecks == 0 || sum.GoldenChecks == 0 {
+		t.Errorf("summary incomplete: %+v", sum)
+	}
+	if len(sum.Violations) != 0 {
+		t.Errorf("violations: %v", sum.Violations)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code, _, errOut := runCLI(t, "-golden", "does-not-exist.json"); code != 1 || errOut == "" {
+		t.Errorf("missing corpus exit = %d (stderr %q), want 1 with a message", code, errOut)
+	}
+	if code, _, errOut := runCLI(t, "-chaos", "0", "-tables", "1", "-solvers", "no-such-solver"); code != 1 || !strings.Contains(errOut, "violation") {
+		t.Errorf("unknown solver exit = %d (stderr %q), want 1 with violations", code, errOut)
+	}
+}
+
+func TestGenRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus regeneration is a long test")
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	code, out, errOut := runCLI(t, "-gen", "-golden", path)
+	if code != 0 {
+		t.Fatalf("gen exit %d, stderr: %s", code, errOut)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("gen output: %q", out)
+	}
+	code, _, errOut = runCLI(t, "-golden", path, "-chaos", "0", "-tables", "1", "-solvers", "fs")
+	if code != 0 {
+		t.Fatalf("verify against regenerated corpus: exit %d, stderr: %s", code, errOut)
+	}
+}

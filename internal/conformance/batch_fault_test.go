@@ -1,0 +1,183 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/server"
+	"obddopt/internal/truthtable"
+)
+
+// These tests pin Client.SolveBatch's partial-failure semantics under
+// injected faults: one bad table in a batch must fail alone — sibling
+// results stay correct and the cache is not poisoned by the failure.
+
+func newBatchHarness(t *testing.T, fault FaultConfig) (*server.Server, *server.Client, *FaultRT) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv := server.New(ctx, server.Config{
+		Workers:     2,
+		MaxVars:     4, // the lever: a 5+ variable table is per-item invalid input
+		MaxDeadline: 10 * time.Second,
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	frt := NewFaultRT(nil, fault)
+	t.Cleanup(frt.CloseIdleConnections)
+	client, err := server.DialWithClient(ctx, hs.URL, &http.Client{Transport: frt})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return srv, client, frt
+}
+
+// reference solves tt locally with the same pinned deterministic solver
+// the batch uses and returns its canonical JSON.
+func reference(t *testing.T, tt *truthtable.Table) (*core.Result, []byte) {
+	t.Helper()
+	res, err := solveWith(context.Background(), "fs", tt, core.OBDD)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+func TestSolveBatchPartialFailureUnderFaults(t *testing.T) {
+	srv, client, frt := newBatchHarness(t, FaultConfig{
+		Seed:        11,
+		LatencyProb: 1, // every request delayed, none dropped: outcomes stay observable
+		MaxLatency:  2 * time.Millisecond,
+	})
+	frt.Enable(true)
+
+	good3 := funcs.Majority(3)
+	bad6 := funcs.Parity(6) // 6 > MaxVars(4): per-item invalid input
+	good4 := funcs.Threshold(4, 2)
+	_, ref3 := reference(t, good3)
+	_, ref4 := reference(t, good4)
+
+	params := &server.Params{Solver: "fs"}
+	batch := []*truthtable.Table{good3, bad6, good4}
+	results, err := client.SolveBatch(context.Background(), batch, params)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results for 3 requests", len(results))
+	}
+
+	if !errors.Is(results[1].Err, core.ErrInvalidInput) {
+		t.Errorf("bad item error = %v, want ErrInvalidInput", results[1].Err)
+	}
+	for i, want := range map[int][]byte{0: ref3, 2: ref4} {
+		if results[i].Err != nil {
+			t.Errorf("sibling %d poisoned by the bad item: %v", i, results[i].Err)
+			continue
+		}
+		got, merr := json.Marshal(results[i].Result)
+		if merr != nil || string(got) != string(want) {
+			t.Errorf("sibling %d diverges from local reference:\n got %s\nwant %s", i, got, want)
+		}
+	}
+
+	// Replaying the same batch must serve the good items from cache —
+	// same bytes, no new solver runs — proving the failure did not
+	// displace or corrupt the cached entries.
+	runsBefore := srv.SolveCount()
+	hitsBefore := srv.CacheStats().Hits
+	again, err := client.SolveBatch(context.Background(), batch, params)
+	if err != nil {
+		t.Fatalf("replay SolveBatch: %v", err)
+	}
+	if !errors.Is(again[1].Err, core.ErrInvalidInput) {
+		t.Errorf("replay bad item error = %v, want ErrInvalidInput", again[1].Err)
+	}
+	for i, want := range map[int][]byte{0: ref3, 2: ref4} {
+		got, merr := json.Marshal(again[i].Result)
+		if again[i].Err != nil || merr != nil || string(got) != string(want) {
+			t.Errorf("replayed sibling %d diverges: err=%v got %s", i, again[i].Err, got)
+		}
+	}
+	if runs := srv.SolveCount(); runs != runsBefore {
+		t.Errorf("replay ran %d fresh solves; the cache should have served both good items", runs-runsBefore)
+	}
+	if hits := srv.CacheStats().Hits; hits < hitsBefore+2 {
+		t.Errorf("cache hits went %d -> %d, want at least +2", hitsBefore, hits)
+	}
+}
+
+// TestSolveBatchTransportFailure: a whole-batch transport fault surfaces
+// as one call-level error with the injector's signature, and a clean
+// retry afterward succeeds with an unpoisoned cache.
+func TestSolveBatchTransportFailure(t *testing.T) {
+	srv, client, frt := newBatchHarness(t, FaultConfig{Seed: 13, ResetProb: 1})
+	good3 := funcs.Majority(3)
+	good4 := funcs.Threshold(4, 2)
+	_, ref3 := reference(t, good3)
+	params := &server.Params{Solver: "fs"}
+	batch := []*truthtable.Table{good3, good4}
+
+	frt.Enable(true)
+	if _, err := client.SolveBatch(context.Background(), batch, params); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("batch under resets returned %v, want ErrInjectedReset", err)
+	}
+	frt.Enable(false)
+
+	results, err := client.SolveBatch(context.Background(), batch, params)
+	if err != nil {
+		t.Fatalf("clean retry: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("retry item %d: %v", i, r.Err)
+		}
+	}
+	if got, _ := json.Marshal(results[0].Result); string(got) != string(ref3) {
+		t.Errorf("retry result diverges from reference:\n got %s\nwant %s", got, ref3)
+	}
+	if srv.SolveCount() == 0 {
+		t.Error("server never solved anything")
+	}
+}
+
+// TestSolveBatchAllInvalid: a batch of only-invalid tables fails per
+// item, leaves the cache empty of junk, and a following valid solve is
+// unaffected.
+func TestSolveBatchAllInvalid(t *testing.T) {
+	_, client, _ := newBatchHarness(t, FaultConfig{Seed: 17})
+	bad5 := funcs.Parity(5)
+	bad6 := funcs.Parity(6)
+	results, err := client.SolveBatch(context.Background(), []*truthtable.Table{bad5, bad6}, &server.Params{Solver: "fs"})
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, core.ErrInvalidInput) {
+			t.Errorf("item %d error = %v, want ErrInvalidInput", i, r.Err)
+		}
+		if r.Result != nil {
+			t.Errorf("item %d carries a result despite invalid input", i)
+		}
+	}
+	good := funcs.Majority(3)
+	res, err := client.Solve(context.Background(), good, &server.Params{Solver: "fs"})
+	if err != nil {
+		t.Fatalf("follow-up solve: %v", err)
+	}
+	refRes, _ := reference(t, good)
+	if res.MinCost != refRes.MinCost {
+		t.Errorf("follow-up MinCost %d, reference %d", res.MinCost, refRes.MinCost)
+	}
+}

@@ -1,0 +1,301 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"obddopt/internal/cache"
+	"obddopt/internal/core"
+	"obddopt/internal/server"
+	"obddopt/internal/truthtable"
+)
+
+// This file is the chaos harness: it boots a real obddd Server on a
+// loopback listener, dials it with the typed Client through the FaultRT
+// injector, drives a deterministic request plan, and checks the service
+// contract under fire. The invariants:
+//
+//  1. Every response is either a result bit-identical to the locally
+//     computed proven optimum (the deterministic fs solver makes cached
+//     and fresh answers byte-equal), or an error mapping onto a known
+//     sentinel (ErrCanceled / ErrBudgetExceeded / ErrSaturated /
+//     ErrDraining), or a transport failure carrying the injector's own
+//     signature (ErrInjectedReset, io.ErrUnexpectedEOF). Anything else
+//     — a wrong result, an unmapped error — is a violation.
+//  2. After drain, the server answers ErrDraining.
+//  3. After shutdown, the goroutine count returns to its pre-run
+//     baseline (no leaked handlers, workers, or keep-alive loops).
+
+// ChaosConfig parameterizes one chaos run. The zero value of every
+// field has a working default applied by RunChaos.
+type ChaosConfig struct {
+	// Seed makes the run reproducible: the table pool, the request
+	// plan, and every fault injection derive from it.
+	Seed int64
+	// Requests is the number of solve calls to drive (default 200).
+	Requests int
+	// Fault is the injection plan; a zero value selects
+	// DefaultFaultConfig(Seed).
+	Fault FaultConfig
+	// Workers sizes the server's admission pool (default 2).
+	Workers int
+	// MaxVars bounds the pooled tables' arity (default 5 — small enough
+	// that the reference solves are microseconds).
+	MaxVars int
+	// BudgetProb is the fraction of requests sent with a starvation
+	// budget (MaxCells=1) to exercise the ErrBudgetExceeded path
+	// end-to-end (default 0.08).
+	BudgetProb float64
+}
+
+// DefaultFaultConfig is the standard chaos mix: frequent small delays,
+// occasional resets and truncations, and short 429/503 storms.
+func DefaultFaultConfig(seed int64) FaultConfig {
+	return FaultConfig{
+		Seed:         seed,
+		ResetProb:    0.06,
+		TruncateProb: 0.06,
+		Code429Prob:  0.03,
+		Code503Prob:  0.02,
+		StormLen:     3,
+		LatencyProb:  0.30,
+		MaxLatency:   2 * time.Millisecond,
+	}
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	zero := FaultConfig{}
+	if c.Fault == zero {
+		c.Fault = DefaultFaultConfig(c.Seed)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxVars <= 0 {
+		c.MaxVars = 5
+	}
+	if c.BudgetProb <= 0 {
+		c.BudgetProb = 0.08
+	}
+	return c
+}
+
+// ChaosReport summarizes one chaos run. A run passes when Violations is
+// empty and GoroutineLeak is false.
+type ChaosReport struct {
+	Seed     int64 `json:"seed"`
+	Requests int   `json:"requests"`
+
+	// Successes are responses with a nil error, every one verified
+	// bit-identical to the local reference solve.
+	Successes int `json:"successes"`
+	// Sentinels counts error responses by sentinel name.
+	Sentinels map[string]int `json:"sentinels,omitempty"`
+	// TransportFaults counts injected-signature transport failures.
+	TransportFaults map[string]int `json:"transport_faults,omitempty"`
+
+	// SolverRuns is the server-side solver invocation count; the gap to
+	// Successes is work served from cache or coalesced away.
+	SolverRuns uint64      `json:"solver_runs"`
+	Cache      cache.Stats `json:"cache"`
+	Fault      FaultStats  `json:"fault"`
+
+	GoroutinesBefore int  `json:"goroutines_before"`
+	GoroutinesAfter  int  `json:"goroutines_after"`
+	GoroutineLeak    bool `json:"goroutine_leak"`
+
+	Violations []string `json:"violations,omitempty"`
+	ElapsedMS  float64  `json:"elapsed_ms"`
+}
+
+// chaosCase is one pooled (table, rule) with its locally computed
+// reference answer, serialized exactly as the client will re-serialize
+// the server's.
+type chaosCase struct {
+	tt   *truthtable.Table
+	rule core.Rule
+	ref  []byte
+}
+
+// RunChaos executes one seeded chaos run against a fresh in-process
+// server and returns the report. The returned error covers harness
+// failures (listener, dial, reference solves, ctx death) — contract
+// violations are reported in ChaosReport.Violations, not as errors.
+func RunChaos(ctx context.Context, cfg ChaosConfig) (*ChaosReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rep := &ChaosReport{
+		Seed:            cfg.Seed,
+		Requests:        cfg.Requests,
+		Sentinels:       map[string]int{},
+		TransportFaults: map[string]int{},
+	}
+	rep.GoroutinesBefore = runtime.NumGoroutine()
+
+	pool, err := buildChaosPool(ctx, cfg)
+	if err != nil {
+		return rep, err
+	}
+
+	// Boot a real server on a loopback listener.
+	srvCtx, srvStop := context.WithCancel(ctx)
+	defer srvStop()
+	srv := server.New(srvCtx, server.Config{
+		Workers:     cfg.Workers,
+		MaxDeadline: 10 * time.Second,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, fmt.Errorf("chaos: listen: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	defer func() {
+		hs.Close()
+		<-serveErr
+	}()
+
+	frt := NewFaultRT(nil, cfg.Fault)
+	defer frt.CloseIdleConnections()
+	client, err := server.DialWithClient(ctx, "http://"+ln.Addr().String(), &http.Client{Transport: frt})
+	if err != nil {
+		return rep, fmt.Errorf("chaos: dial: %w", err)
+	}
+
+	// The request plan is drawn up front so fault alignment depends
+	// only on the seed, not on timing.
+	planRng := rand.New(rand.NewSource(subSeed(cfg.Seed, 0x9a05)))
+	frt.Enable(true)
+	for i := 0; i < cfg.Requests; i++ {
+		if err := ctx.Err(); err != nil {
+			rep.ElapsedMS = msSince(start)
+			return rep, err
+		}
+		cs := pool[planRng.Intn(len(pool))]
+		p := &server.Params{Solver: "fs", Rule: cs.rule}
+		starved := planRng.Float64() < cfg.BudgetProb
+		if starved {
+			p.Budget = core.Budget{MaxCells: 1}
+		}
+		res, err := client.Solve(ctx, cs.tt, p)
+		classifyChaosOutcome(rep, i, cs, starved, res, err)
+	}
+	frt.Enable(false)
+
+	// Drain, then verify the server refuses new work with ErrDraining.
+	if err := srv.Drain(ctx); err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("drain failed: %v", err))
+	}
+	if _, err := client.Solve(ctx, pool[0].tt, &server.Params{Solver: "fs", Rule: pool[0].rule}); !errors.Is(err, server.ErrDraining) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("post-drain solve returned %v, want ErrDraining", err))
+	}
+
+	rep.SolverRuns = srv.SolveCount()
+	rep.Cache = srv.CacheStats()
+	rep.Fault = frt.Stats()
+
+	// Tear down and wait for goroutines to return to baseline.
+	hs.Close()
+	<-serveErr
+	serveErr <- nil // keep the deferred drain from blocking
+	srvStop()
+	frt.CloseIdleConnections()
+	rep.GoroutinesAfter = awaitGoroutineBaseline(ctx, rep.GoroutinesBefore)
+	const slack = 3
+	if rep.GoroutinesAfter > rep.GoroutinesBefore+slack {
+		rep.GoroutineLeak = true
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"goroutine leak: %d before, %d after", rep.GoroutinesBefore, rep.GoroutinesAfter))
+	}
+	rep.ElapsedMS = msSince(start)
+	return rep, nil
+}
+
+// buildChaosPool draws the table pool and computes each case's
+// reference answer locally with the same deterministic fs solver the
+// requests pin, so any server-side divergence — including a corrupted
+// cache hit — is detectable byte-for-byte.
+func buildChaosPool(ctx context.Context, cfg ChaosConfig) ([]chaosCase, error) {
+	var pool []chaosCase
+	fams := Families()
+	for fi, fam := range fams {
+		rng := rand.New(rand.NewSource(subSeed(cfg.Seed, 0xc4a5, uint64(fi))))
+		n := clamp(2+rng.Intn(cfg.MaxVars-1), fam.MinVars, fam.MaxVars)
+		tt := fam.New(n, rng)
+		for _, rule := range bothRules {
+			res, err := solveWith(ctx, "fs", tt, rule)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: reference solve (%s, %s): %w", fam.Name, rule, err)
+			}
+			ref, err := json.Marshal(res)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: marshal reference: %w", err)
+			}
+			pool = append(pool, chaosCase{tt: tt, rule: rule, ref: ref})
+		}
+	}
+	return pool, nil
+}
+
+// classifyChaosOutcome buckets one response under the chaos contract
+// and records a violation when it fits no bucket.
+func classifyChaosOutcome(rep *ChaosReport, i int, cs chaosCase, starved bool, res *core.Result, err error) {
+	switch {
+	case err == nil:
+		got, merr := json.Marshal(res)
+		if merr != nil || !bytes.Equal(got, cs.ref) {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"request %d (table %s rule %s): result diverges from reference: got %s want %s",
+				i, cs.tt.Hex(), cs.rule, got, cs.ref))
+			return
+		}
+		rep.Successes++
+	case errors.Is(err, core.ErrBudgetExceeded):
+		if !starved {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"request %d: ErrBudgetExceeded without a starvation budget: %v", i, err))
+			return
+		}
+		rep.Sentinels["budget_exceeded"]++
+	case errors.Is(err, core.ErrCanceled):
+		rep.Sentinels["canceled"]++
+	case errors.Is(err, server.ErrSaturated):
+		rep.Sentinels["saturated"]++
+	case errors.Is(err, server.ErrDraining):
+		rep.Sentinels["draining"]++
+	case errors.Is(err, ErrInjectedReset):
+		rep.TransportFaults["reset"]++
+	case errors.Is(err, io.ErrUnexpectedEOF):
+		rep.TransportFaults["truncated"]++
+	default:
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"request %d: error maps onto no sentinel and carries no injected signature: %v", i, err))
+	}
+}
+
+// awaitGoroutineBaseline polls until the goroutine count drops to the
+// baseline (+small slack) or five seconds pass, returning the last
+// observed count.
+func awaitGoroutineBaseline(ctx context.Context, baseline int) int {
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline+slack && time.Now().Before(deadline) && ctx.Err() == nil {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package conformance
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func chaosRequests(t *testing.T) int {
+	t.Helper()
+	if testing.Short() {
+		return 60
+	}
+	// The acceptance floor: >= 200 seeded fault-injected requests with
+	// zero invariant violations and zero goroutine leaks.
+	return 200
+}
+
+// TestRunChaos drives the full fault mix against a real in-process
+// server and asserts the service contract held for every response.
+func TestRunChaos(t *testing.T) {
+	rep, err := RunChaos(context.Background(), ChaosConfig{Seed: 1701, Requests: chaosRequests(t)})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation (reproduce with seed %d): %s", rep.Seed, v)
+	}
+	if rep.GoroutineLeak {
+		t.Errorf("goroutine leak: %d before, %d after", rep.GoroutinesBefore, rep.GoroutinesAfter)
+	}
+	if rep.Successes == 0 {
+		t.Error("chaos run produced no verified successes")
+	}
+	if rep.Fault.Resets == 0 || rep.Fault.Truncated == 0 || rep.Fault.Storm429 == 0 {
+		t.Errorf("fault mix injected too little: %+v", rep.Fault)
+	}
+	if len(rep.TransportFaults) == 0 {
+		t.Error("no transport fault ever surfaced to the client")
+	}
+	if rep.SolverRuns == 0 {
+		t.Error("server never ran a solver")
+	}
+	if rep.Cache.Hits == 0 {
+		t.Error("the repeated plan never hit the result cache")
+	}
+	t.Logf("seed=%d successes=%d sentinels=%v transport=%v solver_runs=%d cache=%+v",
+		rep.Seed, rep.Successes, rep.Sentinels, rep.TransportFaults, rep.SolverRuns, rep.Cache)
+}
+
+// TestRunChaosDeterministic: the same seed replays the same outcome
+// counts — what makes a printed chaos seed a reproduction recipe.
+func TestRunChaosDeterministic(t *testing.T) {
+	n := chaosRequests(t)
+	if !testing.Short() {
+		n = 100 // two full runs; keep the pair brisk
+	}
+	run := func() *ChaosReport {
+		rep, err := RunChaos(context.Background(), ChaosConfig{Seed: 77, Requests: n})
+		if err != nil {
+			t.Fatalf("RunChaos: %v", err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("violations: %v", rep.Violations)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Successes != b.Successes ||
+		!reflect.DeepEqual(a.Sentinels, b.Sentinels) ||
+		!reflect.DeepEqual(a.TransportFaults, b.TransportFaults) ||
+		!reflect.DeepEqual(a.Fault, b.Fault) {
+		t.Errorf("same seed, different runs:\n%+v %+v %+v %+v\n%+v %+v %+v %+v",
+			a.Successes, a.Sentinels, a.TransportFaults, a.Fault,
+			b.Successes, b.Sentinels, b.TransportFaults, b.Fault)
+	}
+}
+
+// TestRunChaosStarvationBudget: with a high starvation probability the
+// ErrBudgetExceeded path is exercised end-to-end and still classified
+// as a sentinel, never a violation.
+func TestRunChaosStarvationBudget(t *testing.T) {
+	rep, err := RunChaos(context.Background(), ChaosConfig{
+		Seed:       9,
+		Requests:   80,
+		BudgetProb: 0.5,
+		Fault:      FaultConfig{Seed: 9, LatencyProb: 0.2}, // no drops: every outcome observable
+	})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Sentinels["budget_exceeded"] == 0 {
+		t.Errorf("starvation budgets never surfaced ErrBudgetExceeded: %+v", rep.Sentinels)
+	}
+}
+
+// TestRunChaosCtxDeath: a dead context aborts the harness with its
+// error instead of hanging or fabricating violations.
+func TestRunChaosCtxDeath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunChaos(ctx, ChaosConfig{Seed: 4, Requests: 10}); err == nil {
+		t.Fatal("canceled ctx: want error")
+	}
+}

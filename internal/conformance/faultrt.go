@@ -1,0 +1,277 @@
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the fault injector of the chaos harness: a deterministic
+// seed-driven http.RoundTripper that sits between the obddd Client and
+// Server and injects latency, connection resets, mid-body truncation,
+// and 429/503 storms. Every decision comes from one seeded PRNG drawn
+// under a lock in request order, so a chaos run that drives requests
+// sequentially replays bit-identically from its seed.
+
+// ErrInjectedReset is the transport error FaultRT returns for an
+// injected connection reset. The chaos invariant checker recognizes it
+// (via errors.Is through the client's %w wrapping) as an injected
+// fault rather than a service bug.
+var ErrInjectedReset = errors.New("faultrt: injected connection reset")
+
+// FaultConfig parameterizes one fault plan. Probabilities are per
+// request, evaluated in the fixed order reset → storm → truncate →
+// latency; at most one response-altering fault fires per request
+// (latency composes with a clean forward). The zero value injects
+// nothing.
+type FaultConfig struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// ResetProb drops the request with ErrInjectedReset. Half the
+	// resets (by a deterministic coin) happen before the request is
+	// forwarded — the server never sees it — and half after, discarding
+	// a response the server already produced.
+	ResetProb float64
+	// TruncateProb forwards the request but cuts the response body
+	// mid-stream, so the client's read fails with io.ErrUnexpectedEOF.
+	TruncateProb float64
+	// Code429Prob / Code503Prob synthesize an admission-style rejection
+	// (WireError code "saturated" / "draining") without contacting the
+	// server, opening a storm: the next StormLen-1 requests get the
+	// same synthetic rejection.
+	Code429Prob float64
+	Code503Prob float64
+	// StormLen is the total length of a synthetic 429/503 storm
+	// (default 3).
+	StormLen int
+	// LatencyProb delays the forwarded request by up to MaxLatency
+	// (default 2ms), honoring the request context while sleeping.
+	LatencyProb float64
+	MaxLatency  time.Duration
+}
+
+// FaultStats counts what the injector did, keyed for reports.
+type FaultStats struct {
+	Requests  int `json:"requests"`
+	Clean     int `json:"clean"`
+	Resets    int `json:"resets"`
+	Truncated int `json:"truncated"`
+	Storm429  int `json:"storm_429"`
+	Storm503  int `json:"storm_503"`
+	Delayed   int `json:"delayed"`
+}
+
+// FaultRT is the fault-injecting RoundTripper. Create with NewFaultRT,
+// install as an http.Client Transport, and flip Enable around traffic
+// that must pass untouched (dialing, post-run probes). It is safe for
+// concurrent use; decisions are serialized in arrival order.
+type FaultRT struct {
+	next http.RoundTripper
+	cfg  FaultConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	enabled   bool
+	stormLeft int
+	stormCode int
+	stats     FaultStats
+}
+
+// NewFaultRT wraps next (nil selects a fresh keep-alive-free
+// http.Transport, so chaos runs hold no idle-connection goroutines)
+// with the configured fault plan. The injector starts disabled.
+func NewFaultRT(next http.RoundTripper, cfg FaultConfig) *FaultRT {
+	if next == nil {
+		next = &http.Transport{DisableKeepAlives: true}
+	}
+	if cfg.StormLen <= 0 {
+		cfg.StormLen = 3
+	}
+	if cfg.MaxLatency <= 0 {
+		cfg.MaxLatency = 2 * time.Millisecond
+	}
+	return &FaultRT{next: next, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Enable turns injection on or off. Disabled, FaultRT forwards
+// untouched (still counting Requests/Clean).
+func (f *FaultRT) Enable(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.enabled = on
+}
+
+// Stats snapshots the injection counters.
+func (f *FaultRT) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// CloseIdleConnections releases the underlying transport's idle
+// connections so goroutine counts can return to baseline after a run.
+func (f *FaultRT) CloseIdleConnections() {
+	type closeIdler interface{ CloseIdleConnections() }
+	if ci, ok := f.next.(closeIdler); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
+// decision is the per-request fault plan drawn under the lock.
+type decision struct {
+	reset       bool
+	resetBefore bool
+	truncate    bool
+	stormCode   int // 0 none, else 429 or 503
+	delay       time.Duration
+}
+
+func (f *FaultRT) decide() decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Requests++
+	if !f.enabled {
+		f.stats.Clean++
+		return decision{}
+	}
+	var d decision
+	if f.stormLeft > 0 {
+		f.stormLeft--
+		d.stormCode = f.stormCode
+	} else {
+		switch r := f.rng.Float64(); {
+		case r < f.cfg.ResetProb:
+			d.reset = true
+			d.resetBefore = f.rng.Intn(2) == 0
+		case r < f.cfg.ResetProb+f.cfg.TruncateProb:
+			d.truncate = true
+		case r < f.cfg.ResetProb+f.cfg.TruncateProb+f.cfg.Code429Prob:
+			d.stormCode = http.StatusTooManyRequests
+		case r < f.cfg.ResetProb+f.cfg.TruncateProb+f.cfg.Code429Prob+f.cfg.Code503Prob:
+			d.stormCode = http.StatusServiceUnavailable
+		}
+		if d.stormCode != 0 {
+			f.stormCode = d.stormCode
+			f.stormLeft = f.cfg.StormLen - 1
+		}
+	}
+	if f.rng.Float64() < f.cfg.LatencyProb {
+		d.delay = time.Duration(1 + f.rng.Int63n(int64(f.cfg.MaxLatency)))
+	}
+	switch {
+	case d.reset:
+		f.stats.Resets++
+	case d.truncate:
+		f.stats.Truncated++
+	case d.stormCode == http.StatusTooManyRequests:
+		f.stats.Storm429++
+	case d.stormCode == http.StatusServiceUnavailable:
+		f.stats.Storm503++
+	default:
+		f.stats.Clean++
+	}
+	if d.delay > 0 {
+		f.stats.Delayed++
+	}
+	return d
+}
+
+// RoundTrip implements http.RoundTripper with the drawn fault plan.
+func (f *FaultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := f.decide()
+	if d.delay > 0 {
+		t := time.NewTimer(d.delay)
+		select {
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		case <-t.C:
+		}
+	}
+	if d.reset && d.resetBefore {
+		return nil, ErrInjectedReset
+	}
+	if d.stormCode != 0 {
+		return syntheticRejection(req, d.stormCode), nil
+	}
+	resp, err := f.next.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.reset {
+		// Post-dispatch reset: the server did the work, the client
+		// never learns the outcome.
+		resp.Body.Close()
+		return nil, ErrInjectedReset
+	}
+	if d.truncate {
+		return truncateBody(resp)
+	}
+	return resp, nil
+}
+
+// syntheticRejection fabricates the admission-control rejection the
+// real server would send when saturated (429) or draining (503),
+// matching the wire schema so the typed client maps it onto
+// ErrSaturated / ErrDraining.
+func syntheticRejection(req *http.Request, code int) *http.Response {
+	wireCode := "saturated"
+	if code == http.StatusServiceUnavailable {
+		wireCode = "draining"
+	}
+	body := fmt.Sprintf(`{"error":{"code":%q,"message":"faultrt: injected %d storm"}}`, wireCode, code)
+	h := http.Header{}
+	h.Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody reads the true response and re-bodies it so the reader
+// gets roughly half the bytes and then io.ErrUnexpectedEOF — the
+// signature of a connection cut mid-body.
+func truncateBody(resp *http.Response) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	cut := len(data) / 2
+	resp.Body = io.NopCloser(&truncatedReader{data: data[:cut]})
+	resp.ContentLength = int64(len(data))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(data)))
+	return resp, nil
+}
+
+// truncatedReader yields its data and then fails with
+// io.ErrUnexpectedEOF instead of a clean EOF.
+type truncatedReader struct {
+	data []byte
+	off  int
+}
+
+func (t *truncatedReader) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.data[t.off:])
+	t.off += n
+	return n, nil
+}

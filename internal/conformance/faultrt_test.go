@@ -1,0 +1,223 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubRT answers every request with a fixed 200 JSON body, counting
+// how many requests actually reached it.
+type stubRT struct {
+	hits int
+	body string
+}
+
+func (s *stubRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.hits++
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(s.body)),
+		Request:    req,
+	}, nil
+}
+
+func driveFaultRT(t *testing.T, cfg FaultConfig, n int) (*stubRT, *FaultRT, FaultStats) {
+	t.Helper()
+	stub := &stubRT{body: `{"ok":true}`}
+	frt := NewFaultRT(stub, cfg)
+	frt.Enable(true)
+	for i := 0; i < n; i++ {
+		req, err := http.NewRequest(http.MethodGet, "http://chaos.invalid/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := frt.RoundTrip(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return stub, frt, frt.Stats()
+}
+
+// TestFaultRTDeterministic: same seed, same request count — identical
+// injection statistics, the replay guarantee chaos runs rest on.
+func TestFaultRTDeterministic(t *testing.T) {
+	cfg := DefaultFaultConfig(99)
+	_, _, a := driveFaultRT(t, cfg, 300)
+	_, _, b := driveFaultRT(t, cfg, 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different stats:\n%+v\n%+v", a, b)
+	}
+	if a.Resets == 0 || a.Truncated == 0 || a.Storm429 == 0 || a.Storm503 == 0 || a.Delayed == 0 {
+		t.Errorf("default mix over 300 requests injected nothing of some kind: %+v", a)
+	}
+	if a.Requests != 300 {
+		t.Errorf("counted %d requests, drove 300", a.Requests)
+	}
+}
+
+// TestFaultRTDisabledPassesThrough: a disabled injector forwards every
+// request untouched.
+func TestFaultRTDisabledPassesThrough(t *testing.T) {
+	stub := &stubRT{body: `{"ok":true}`}
+	frt := NewFaultRT(stub, FaultConfig{Seed: 1, ResetProb: 1})
+	for i := 0; i < 10; i++ {
+		req, err := http.NewRequest(http.MethodGet, "http://chaos.invalid/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := frt.RoundTrip(req)
+		if err != nil {
+			t.Fatalf("disabled injector failed a request: %v", err)
+		}
+		resp.Body.Close()
+	}
+	if stub.hits != 10 {
+		t.Errorf("stub saw %d of 10 requests", stub.hits)
+	}
+	if s := frt.Stats(); s.Clean != 10 || s.Resets != 0 {
+		t.Errorf("disabled stats: %+v", s)
+	}
+}
+
+// TestFaultRTReset: ResetProb 1 fails every request with
+// ErrInjectedReset, and pre-dispatch resets never reach the server.
+func TestFaultRTReset(t *testing.T) {
+	stub := &stubRT{body: `{}`}
+	frt := NewFaultRT(stub, FaultConfig{Seed: 5, ResetProb: 1})
+	frt.Enable(true)
+	for i := 0; i < 20; i++ {
+		req, err := http.NewRequest(http.MethodGet, "http://chaos.invalid/x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := frt.RoundTrip(req); !errors.Is(err, ErrInjectedReset) {
+			t.Fatalf("request %d: got %v, want ErrInjectedReset", i, err)
+		}
+	}
+	s := frt.Stats()
+	if s.Resets != 20 {
+		t.Errorf("stats count %d resets of 20", s.Resets)
+	}
+	if stub.hits >= 20 {
+		t.Errorf("every reset reached the server (%d hits): pre-dispatch resets missing", stub.hits)
+	}
+	if stub.hits == 0 {
+		t.Errorf("no reset reached the server: post-dispatch resets missing")
+	}
+}
+
+// TestFaultRTTruncation: a truncated body yields some prefix and then
+// io.ErrUnexpectedEOF — never a clean EOF.
+func TestFaultRTTruncation(t *testing.T) {
+	stub := &stubRT{body: strings.Repeat("x", 4096)}
+	frt := NewFaultRT(stub, FaultConfig{Seed: 2, TruncateProb: 1})
+	frt.Enable(true)
+	req, err := http.NewRequest(http.MethodGet, "http://chaos.invalid/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := frt.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read ended with %v, want io.ErrUnexpectedEOF", err)
+	}
+	if len(data) == 0 || len(data) >= 4096 {
+		t.Errorf("truncation kept %d of 4096 bytes, want a strict prefix", len(data))
+	}
+}
+
+// TestFaultRTStorm: a synthesized 429 opens a storm of StormLen
+// identical rejections whose bodies parse as the service wire error.
+func TestFaultRTStorm(t *testing.T) {
+	stub := &stubRT{body: `{}`}
+	frt := NewFaultRT(stub, FaultConfig{Seed: 3, Code429Prob: 1, StormLen: 4})
+	frt.Enable(true)
+	for i := 0; i < 4; i++ {
+		req, err := http.NewRequest(http.MethodPost, "http://chaos.invalid/v1/solve", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := frt.RoundTrip(req)
+		if err != nil {
+			t.Fatalf("storm request %d: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("storm request %d: status %d, want 429", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var envelope struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "saturated" {
+			t.Errorf("storm body %s does not carry code saturated (%v)", body, err)
+		}
+	}
+	if stub.hits != 0 {
+		t.Errorf("storm leaked %d requests to the server", stub.hits)
+	}
+	if s := frt.Stats(); s.Storm429 != 4 {
+		t.Errorf("stats count %d storm responses of 4: %+v", s.Storm429, s)
+	}
+}
+
+// TestFaultRTLatencyHonorsContext: an injected delay aborts promptly
+// when the request context dies instead of sleeping through it.
+func TestFaultRTLatencyHonorsContext(t *testing.T) {
+	stub := &stubRT{body: `{}`}
+	frt := NewFaultRT(stub, FaultConfig{Seed: 4, LatencyProb: 1, MaxLatency: time.Minute})
+	frt.Enable(true)
+	req, err := http.NewRequest(http.MethodGet, "http://chaos.invalid/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTestTimeout(t)
+	defer cancel()
+	start := time.Now()
+	_, rtErr := frt.RoundTrip(req.WithContext(ctx))
+	if rtErr == nil {
+		t.Fatal("want a context error from the delayed request")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("delay ignored the dying context (%s)", elapsed)
+	}
+}
+
+// TestSyntheticRejectionBodies: both storm codes synthesize the wire
+// envelope the client maps onto ErrSaturated / ErrDraining.
+func TestSyntheticRejectionBodies(t *testing.T) {
+	req, err := http.NewRequest(http.MethodPost, "http://chaos.invalid/v1/solve", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for code, wireCode := range map[int]string{
+		http.StatusTooManyRequests:    "saturated",
+		http.StatusServiceUnavailable: "draining",
+	} {
+		resp := syntheticRejection(req, code)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Contains(body, []byte(wireCode)) {
+			t.Errorf("code %d body %s misses %q", code, body, wireCode)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package conformance
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"obddopt/internal/core"
+	"obddopt/internal/funcs"
+	"obddopt/internal/truthtable"
+)
+
+// This file is the golden corpus: known-optimal (table, rule, MinCost,
+// ordering) entries checked into testdata/golden.json and replayed by
+// the conformance tests and cmd/bddverify. Entries at n≤6 were
+// established by exhaustive brute force over all n! orderings and
+// cross-checked against the FS dynamic program; entries at n=7..10 are
+// FS results cross-checked against the independent parallel
+// implementation. The corpus pins today's verified optima so a future
+// solver change that silently shifts a minimum cost fails loudly.
+
+//go:embed testdata/golden.json
+var goldenJSON []byte
+
+// GoldenEntry is one verified-optimal record. Ordering is one concrete
+// optimal ordering (bottom-up, as everywhere in this module) — solvers
+// may legitimately return a different member of the optimal class, so
+// replay checks the cost, not ordering equality.
+type GoldenEntry struct {
+	// Table is the truth-table literal "n:hexdigits".
+	Table string `json:"table"`
+	// Rule is "obdd" or "zdd".
+	Rule string `json:"rule"`
+	// MinCost and Terminals are the proven minimum internal-node count
+	// and the terminal count.
+	MinCost   uint64 `json:"min_cost"`
+	Terminals int    `json:"terminals"`
+	// Ordering is one ordering achieving MinCost.
+	Ordering []int `json:"ordering"`
+	// Family and Source document where the entry came from and how it
+	// was verified.
+	Family string `json:"family"`
+	Source string `json:"source"`
+}
+
+// DefaultGolden decodes the embedded corpus.
+func DefaultGolden() ([]GoldenEntry, error) {
+	var entries []GoldenEntry
+	if err := json.Unmarshal(goldenJSON, &entries); err != nil {
+		return nil, fmt.Errorf("golden: embedded corpus: %w", err)
+	}
+	return entries, nil
+}
+
+// LoadGolden decodes a corpus file (for -golden overrides).
+func LoadGolden(path string) ([]GoldenEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("golden: %w", err)
+	}
+	var entries []GoldenEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("golden: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// replayCaps bounds the arity each solver is asked to replay: brute
+// force is n! and the divide-and-conquer solver re-enumerates subsets
+// aggressively, so they sit out the largest entries.
+var replayCaps = map[string]int{
+	"brute": 7,
+	"dnc":   9,
+}
+
+const defaultReplayCap = 10
+
+// GoldenViolation records one failed replay.
+type GoldenViolation struct {
+	Entry  GoldenEntry `json:"entry"`
+	Solver string      `json:"solver"`
+	Err    string      `json:"err"`
+}
+
+// GoldenReport summarizes one corpus replay.
+type GoldenReport struct {
+	Entries    int               `json:"entries"`
+	Checks     int               `json:"checks"`
+	Skipped    int               `json:"skipped"`
+	Solvers    []string          `json:"solvers"`
+	Violations []GoldenViolation `json:"violations,omitempty"`
+}
+
+// VerifyGolden replays every entry against every named solver (empty
+// selects all registered), checking that the solver reproduces the
+// recorded MinCost, that its reconstructed ordering achieves it, and
+// that the recorded ordering still evaluates to it. Returns ctx's error
+// if the context dies; violations are collected, not returned.
+func VerifyGolden(ctx context.Context, entries []GoldenEntry, solvers []string) (*GoldenReport, error) {
+	if len(solvers) == 0 {
+		solvers = core.SolverNames()
+	}
+	rep := &GoldenReport{Entries: len(entries), Solvers: solvers}
+	for _, e := range entries {
+		tt, rule, err := e.decode()
+		if err != nil {
+			rep.Violations = append(rep.Violations, GoldenViolation{Entry: e, Err: err.Error()})
+			continue
+		}
+		want := e.MinCost + uint64(e.Terminals)
+		ord := truthtable.Ordering(e.Ordering)
+		if len(ord) != tt.NumVars() || !ord.Valid() {
+			rep.Violations = append(rep.Violations, GoldenViolation{Entry: e,
+				Err: fmt.Sprintf("recorded ordering %v is not a permutation of %d variables", ord, tt.NumVars())})
+			continue
+		}
+		if got := core.SizeUnder(tt, ord, rule, nil); got != want {
+			rep.Violations = append(rep.Violations, GoldenViolation{Entry: e,
+				Err: fmt.Sprintf("recorded ordering evaluates to size %d, corpus claims %d", got, want)})
+			continue
+		}
+		for _, solver := range solvers {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			limit := defaultReplayCap
+			if c, ok := replayCaps[solver]; ok {
+				limit = c
+			}
+			if tt.NumVars() > limit {
+				rep.Skipped++
+				continue
+			}
+			rep.Checks++
+			if err := replayOne(ctx, solver, tt, rule, e, want); err != nil {
+				if ctx.Err() != nil {
+					return rep, ctx.Err()
+				}
+				rep.Violations = append(rep.Violations, GoldenViolation{Entry: e, Solver: solver, Err: err.Error()})
+			}
+		}
+	}
+	return rep, nil
+}
+
+func replayOne(ctx context.Context, solver string, tt *truthtable.Table, rule core.Rule, e GoldenEntry, want uint64) error {
+	res, err := solveWith(ctx, solver, tt, rule)
+	if err != nil {
+		return fmt.Errorf("solve failed: %w", err)
+	}
+	if res.MinCost != e.MinCost {
+		return fmt.Errorf("MinCost %d, corpus says %d", res.MinCost, e.MinCost)
+	}
+	if res.Terminals != e.Terminals {
+		return fmt.Errorf("terminals %d, corpus says %d", res.Terminals, e.Terminals)
+	}
+	if got := core.SizeUnder(tt, res.Ordering, rule, nil); got != want {
+		return fmt.Errorf("solver ordering %v evaluates to %d, want %d", res.Ordering, got, want)
+	}
+	return nil
+}
+
+func (e GoldenEntry) decode() (*truthtable.Table, core.Rule, error) {
+	tt, err := truthtable.ParseHex(e.Table)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad table literal: %v", err)
+	}
+	var rule core.Rule
+	switch strings.ToLower(e.Rule) {
+	case "obdd":
+		rule = core.OBDD
+	case "zdd":
+		rule = core.ZDD
+	default:
+		return nil, 0, fmt.Errorf("bad rule %q", e.Rule)
+	}
+	return tt, rule, nil
+}
+
+// goldenSource is one named table headed for the corpus.
+type goldenSource struct {
+	family string
+	tt     *truthtable.Table
+}
+
+// GenerateGolden regenerates the corpus from scratch: a fixed roster of
+// structured functions plus seeded random draws, each solved under both
+// rules and verified by two independent solvers — brute force + FS at
+// n≤6, FS + parallel at n=7..10. It exists for `bddverify -gen`; the
+// checked-in corpus is the contract.
+func GenerateGolden(ctx context.Context) ([]GoldenEntry, error) {
+	var sources []goldenSource
+	add := func(family string, tt *truthtable.Table) {
+		sources = append(sources, goldenSource{family: family, tt: tt})
+	}
+	for pairs := 1; pairs <= 5; pairs++ {
+		add("achilles", funcs.AchillesHeel(pairs))
+	}
+	for n := 2; n <= 10; n++ {
+		add("parity", funcs.Parity(n))
+	}
+	for n := 3; n <= 8; n++ {
+		add("threshold", funcs.Threshold(n, (n+2)/3))
+	}
+	for _, n := range []int{3, 5, 7, 9} {
+		add("majority", funcs.Majority(n))
+	}
+	add("multiplexer", funcs.Multiplexer(1))
+	add("multiplexer", funcs.Multiplexer(2))
+	for n := 3; n <= 10; n++ {
+		add("readonce", funcs.ReadOnceChain(n))
+	}
+	for n := 4; n <= 8; n++ {
+		add("hwb", funcs.HiddenWeightedBit(n))
+	}
+	for bits := 2; bits <= 4; bits++ {
+		add("comparator", funcs.Comparator(bits))
+		add("equality", funcs.Equality(bits))
+		add("adder-carry", funcs.AdderCarry(bits))
+	}
+	rng := rand.New(rand.NewSource(0x601d))
+	for n := 2; n <= 6; n++ {
+		add("random", truthtable.Random(n, rng))
+		add("sparse", funcs.SparseFamily(n, 1+rng.Intn(3), n, rng))
+	}
+
+	var entries []GoldenEntry
+	for _, src := range sources {
+		for _, rule := range bothRules {
+			e, err := verifiedEntry(ctx, src, rule)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Family != entries[j].Family {
+			return entries[i].Family < entries[j].Family
+		}
+		if entries[i].Table != entries[j].Table {
+			return entries[i].Table < entries[j].Table
+		}
+		return entries[i].Rule < entries[j].Rule
+	})
+	return entries, nil
+}
+
+// verifiedEntry solves src under rule with two independent solvers and
+// refuses to mint an entry they disagree on.
+func verifiedEntry(ctx context.Context, src goldenSource, rule core.Rule) (GoldenEntry, error) {
+	n := src.tt.NumVars()
+	primary, secondary, source := "fs", "parallel", "fs+parallel(n=7..10)"
+	if n <= 6 {
+		primary, secondary, source = "brute", "fs", "brute+fs(n<=6)"
+	}
+	pres, err := solveWith(ctx, primary, src.tt, rule)
+	if err != nil {
+		return GoldenEntry{}, fmt.Errorf("golden: %s n=%d %s via %s: %w", src.family, n, rule, primary, err)
+	}
+	sres, err := solveWith(ctx, secondary, src.tt, rule)
+	if err != nil {
+		return GoldenEntry{}, fmt.Errorf("golden: %s n=%d %s via %s: %w", src.family, n, rule, secondary, err)
+	}
+	if pres.MinCost != sres.MinCost || pres.Terminals != sres.Terminals {
+		return GoldenEntry{}, fmt.Errorf("golden: %s n=%d %s: %s says %d/%d, %s says %d/%d — refusing to mint",
+			src.family, n, rule, primary, pres.MinCost, pres.Terminals, secondary, sres.MinCost, sres.Terminals)
+	}
+	return GoldenEntry{
+		Table:     src.tt.Hex(),
+		Rule:      strings.ToLower(rule.String()),
+		MinCost:   pres.MinCost,
+		Terminals: pres.Terminals,
+		Ordering:  []int(pres.Ordering),
+		Family:    src.family,
+		Source:    source,
+	}, nil
+}

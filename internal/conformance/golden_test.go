@@ -1,0 +1,171 @@
+package conformance
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGoldenCorpusSize pins the acceptance floor: the embedded corpus
+// holds at least 50 verified entries covering both rules and several
+// families, each with a well-formed table and ordering.
+func TestGoldenCorpusSize(t *testing.T) {
+	entries, err := DefaultGolden()
+	if err != nil {
+		t.Fatalf("DefaultGolden: %v", err)
+	}
+	if len(entries) < 50 {
+		t.Fatalf("corpus has %d entries, want >= 50", len(entries))
+	}
+	rules, families := map[string]int{}, map[string]int{}
+	for _, e := range entries {
+		tt, _, err := e.decode()
+		if err != nil {
+			t.Fatalf("entry %q: %v", e.Table, err)
+		}
+		if len(e.Ordering) != tt.NumVars() {
+			t.Errorf("entry %q: ordering length %d for n=%d", e.Table, len(e.Ordering), tt.NumVars())
+		}
+		if e.Source == "" {
+			t.Errorf("entry %q: missing verification source", e.Table)
+		}
+		rules[e.Rule]++
+		families[e.Family]++
+	}
+	if rules["obdd"] == 0 || rules["zdd"] == 0 {
+		t.Errorf("corpus misses a rule: %v", rules)
+	}
+	if len(families) < 5 {
+		t.Errorf("corpus covers %d families, want >= 5: %v", len(families), families)
+	}
+}
+
+// TestVerifyGolden replays the whole corpus against every registered
+// solver (bounded by the per-solver arity caps) — zero violations.
+func TestVerifyGolden(t *testing.T) {
+	entries, err := DefaultGolden()
+	if err != nil {
+		t.Fatalf("DefaultGolden: %v", err)
+	}
+	solvers := []string(nil) // all registered
+	if testing.Short() {
+		solvers = []string{"fs", "brute"}
+	}
+	rep, err := VerifyGolden(context.Background(), entries, solvers)
+	if err != nil {
+		t.Fatalf("VerifyGolden: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s %s solver=%s: %s", v.Entry.Table, v.Entry.Rule, v.Solver, v.Err)
+	}
+	if rep.Checks == 0 {
+		t.Fatal("replay checked nothing")
+	}
+	t.Logf("entries=%d checks=%d skipped=%d", rep.Entries, rep.Checks, rep.Skipped)
+}
+
+// TestVerifyGoldenDetectsCorruption proves the replay can actually
+// fail: corrupting MinCost, the recorded ordering, or the table literal
+// must each surface a violation.
+func TestVerifyGoldenDetectsCorruption(t *testing.T) {
+	entries, err := DefaultGolden()
+	if err != nil {
+		t.Fatalf("DefaultGolden: %v", err)
+	}
+	small := entries[0]
+	for _, e := range entries {
+		if tt, _, err := e.decode(); err == nil && tt.NumVars() <= 4 && e.MinCost > 0 {
+			small = e
+			break
+		}
+	}
+
+	cases := map[string]func(e GoldenEntry) GoldenEntry{
+		"min-cost": func(e GoldenEntry) GoldenEntry { e.MinCost++; return e },
+		"ordering": func(e GoldenEntry) GoldenEntry {
+			e.Ordering = e.Ordering[:len(e.Ordering)-1] // no longer a permutation
+			return e
+		},
+		"table": func(e GoldenEntry) GoldenEntry { e.Table = "not-a-table"; return e },
+		"rule":  func(e GoldenEntry) GoldenEntry { e.Rule = "bogus"; return e },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			rep, err := VerifyGolden(context.Background(), []GoldenEntry{corrupt(small)}, []string{"fs"})
+			if err != nil {
+				t.Fatalf("VerifyGolden: %v", err)
+			}
+			if len(rep.Violations) == 0 {
+				t.Errorf("corrupted entry (%s) replayed clean", name)
+			}
+		})
+	}
+}
+
+// TestLoadGolden round-trips a corpus file and rejects garbage.
+func TestLoadGolden(t *testing.T) {
+	entries, err := DefaultGolden()
+	if err != nil {
+		t.Fatalf("DefaultGolden: %v", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "golden.json")
+	data, err := json.Marshal(entries[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGolden(path)
+	if err != nil {
+		t.Fatalf("LoadGolden: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(got))
+	}
+	if _, err := LoadGolden(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGolden(bad); err == nil {
+		t.Error("malformed file: want error")
+	}
+}
+
+// TestGenerateGoldenMatchesCorpus regenerates the corpus and compares
+// it to the embedded file, so the checked-in artifact can never drift
+// from its generator. Skipped in -short (regeneration solves ~230
+// instances).
+func TestGenerateGoldenMatchesCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regeneration is a long test")
+	}
+	want, err := DefaultGolden()
+	if err != nil {
+		t.Fatalf("DefaultGolden: %v", err)
+	}
+	got, err := GenerateGolden(context.Background())
+	if err != nil {
+		t.Fatalf("GenerateGolden: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("generator yields %d entries, corpus has %d — rerun `bddverify -gen`", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		g.Ordering, w.Ordering = nil, nil // ordering-class: any optimum is valid
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("entry %d drifted:\n gen %+v\n file %+v — rerun `bddverify -gen`", i, g, w)
+		}
+		if gotLen, wantLen := len(got[i].Ordering), len(want[i].Ordering); gotLen != wantLen {
+			t.Errorf("entry %d: ordering length %d vs %d", i, gotLen, wantLen)
+		}
+	}
+}

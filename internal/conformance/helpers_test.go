@@ -1,0 +1,17 @@
+package conformance
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// contextWithTestTimeout is a short-lived context for tests that assert
+// prompt cancellation behavior.
+func contextWithTestTimeout(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 100*time.Millisecond)
+}

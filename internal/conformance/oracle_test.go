@@ -1,0 +1,124 @@
+package conformance
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"obddopt/internal/core"
+
+	_ "obddopt/internal/heuristics" // portfolio seeder, as in production binaries
+)
+
+// TestLibraryShape pins the acceptance floor: at least 5 property
+// families and 5 table families, unique names, every property declaring
+// its applicable rules.
+func TestLibraryShape(t *testing.T) {
+	props := Properties()
+	if len(props) < 5 {
+		t.Fatalf("only %d properties, want >= 5", len(props))
+	}
+	seen := map[string]bool{}
+	for _, p := range props {
+		if p.Name == "" || p.Doc == "" || p.Check == nil {
+			t.Errorf("property %+v incomplete", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate property %q", p.Name)
+		}
+		seen[p.Name] = true
+		if len(p.Rules) == 0 {
+			t.Errorf("property %q declares no applicable rules", p.Name)
+		}
+	}
+	fams := Families()
+	if len(fams) < 5 {
+		t.Fatalf("only %d table families, want >= 5", len(fams))
+	}
+	seen = map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "" || f.New == nil || f.MinVars < 1 || f.MaxVars < f.MinVars {
+			t.Errorf("family %+v incomplete", f.Name)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate family %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	if _, ok := PropertyByName("relabel"); !ok {
+		t.Error("PropertyByName(relabel) not found")
+	}
+	if _, ok := PropertyByName("no-such"); ok {
+		t.Error("PropertyByName invented a property")
+	}
+}
+
+func suiteConfig(t *testing.T, seed int64) SuiteConfig {
+	t.Helper()
+	cfg := SuiteConfig{Seed: seed}
+	if testing.Short() {
+		cfg.TablesPerFamily = 1
+		cfg.MaxVars = 5
+	}
+	return cfg
+}
+
+// TestRunSuite is the tentpole gate: every registered solver, both
+// rules, all properties over all families — zero violations.
+func TestRunSuite(t *testing.T) {
+	rep, err := RunSuite(context.Background(), suiteConfig(t, 42))
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Checks == 0 || rep.Tables == 0 {
+		t.Fatalf("suite ran nothing: %+v", rep)
+	}
+	if len(rep.Solvers) != len(core.SolverNames()) {
+		t.Errorf("suite covered solvers %v, registry has %v", rep.Solvers, core.SolverNames())
+	}
+	t.Logf("seed=%d checks=%d tables=%d", rep.Seed, rep.Checks, rep.Tables)
+}
+
+// TestRunSuiteDeterministic: identical seeds replay identical runs —
+// the property that makes a printed seed a reproduction recipe.
+func TestRunSuiteDeterministic(t *testing.T) {
+	a, err := RunSuite(context.Background(), suiteConfig(t, 7))
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunSuite(context.Background(), suiteConfig(t, 7))
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	a.ElapsedMS, b.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunSuiteCtxDeath: a dead context aborts the run with its error
+// instead of recording bogus violations.
+func TestRunSuiteCtxDeath(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunSuite(ctx, SuiteConfig{Seed: 1})
+	if err == nil {
+		t.Fatal("canceled ctx: want error")
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("canceled run recorded violations: %v", rep.Violations)
+	}
+}
+
+// TestSolveWithUnknownSolver: the oracle surfaces ErrInvalidInput for a
+// solver name outside the registry rather than a panic or nil result.
+func TestSolveWithUnknownSolver(t *testing.T) {
+	fam := Families()[0]
+	tt := fam.New(3, newTestRng(1))
+	if _, err := solveWith(context.Background(), "no-such-solver", tt, core.OBDD); err == nil {
+		t.Fatal("unknown solver: want error")
+	}
+}

@@ -3,8 +3,21 @@ package core
 import (
 	"testing"
 
+	"obddopt/internal/funcs"
 	"obddopt/internal/truthtable"
 )
+
+// seedBits packs the first 64 rows of tt into the (n, bits) seed shape
+// the fuzz targets use.
+func seedBits(tt *truthtable.Table) (int, uint64) {
+	var bits uint64
+	for idx := uint64(0); idx < tt.Size() && idx < 64; idx++ {
+		if tt.Bit(idx) {
+			bits |= 1 << idx
+		}
+	}
+	return tt.NumVars(), bits
+}
 
 // FuzzFSvsBrute cross-validates the Friedman–Supowit dynamic program
 // against the factorial brute-force baseline on random functions of up
@@ -19,6 +32,20 @@ func FuzzFSvsBrute(f *testing.F) {
 	f.Add(4, uint64(0x8000))          // AND of 4 variables
 	f.Add(5, uint64(0x96696996_00FF)) // parity-ish upper half
 	f.Add(6, uint64(0x0123456789ABCDEF))
+	// Structured families with known ordering sensitivity: the
+	// Achilles-heel functions (blocked vs interleaved orderings diverge
+	// exponentially) and thresholds (totally symmetric, every ordering
+	// tied) probe the DP from opposite extremes.
+	for _, tt := range []*truthtable.Table{
+		funcs.AchillesHeel(2),
+		funcs.AchillesHeel(3),
+		funcs.Threshold(4, 1),
+		funcs.Threshold(5, 2),
+		funcs.Threshold(6, 3),
+	} {
+		n, bits := seedBits(tt)
+		f.Add(n, bits)
+	}
 	f.Fuzz(func(t *testing.T, n int, bits uint64) {
 		n = ((n % 7) + 7) % 7 // fold the arity into [0, 6]
 		tt := truthtable.New(n)
