@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate clean
+.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate trajectory trajectory-check clean
 
 all: build lint test
 
@@ -41,6 +41,18 @@ bench:
 # Regenerate every evaluation table/figure at full size (see EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/bddbench -exp all
+
+# Regenerate the committed benchmark-trajectory baseline (see
+# "Performance trajectory" in README.md). Run on a quiet machine, eyeball
+# the diff, and commit BENCH_6.json alongside the change that moved it.
+trajectory:
+	$(GO) run ./cmd/bddbench -trajectory -quick -json > BENCH_6.json
+
+# Diff a fresh sweep against the committed baseline; exits nonzero past
+# the 3x advisory threshold (the CI bench-smoke job runs exactly this).
+trajectory-check:
+	$(GO) run ./cmd/bddbench -trajectory -quick -json > /tmp/bench_new.json
+	$(GO) run ./cmd/bddbench -compare -threshold 3.0 BENCH_6.json /tmp/bench_new.json
 
 examples:
 	$(GO) run ./examples/quickstart

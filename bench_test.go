@@ -20,6 +20,7 @@ import (
 	"obddopt/internal/exp"
 	"obddopt/internal/funcs"
 	"obddopt/internal/heuristics"
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -148,6 +149,29 @@ func BenchmarkOptimalOrderingTraced(b *testing.B) {
 		if col.Report().Events == 0 {
 			b.Fatal("tracer saw no events")
 		}
+	}
+}
+
+// BenchmarkOptimalOrderingHistogram is the same run with the histogram
+// sink attached instead of the Collector: every KindLayerEnd folds into
+// the dp_layer histograms (a few atomic adds per layer). This is the
+// histogram half of the overhead contract — the nil-tracer baseline
+// (BenchmarkOptimalOrdering) must stay within 2% of its
+// pre-instrumentation numbers, and the sink's per-layer cost is
+// amortized over thousands of cell operations per layer.
+func BenchmarkOptimalOrderingHistogram(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	f := truthtable.Random(12, rng)
+	sink := obs.NewHistogramSink()
+	before := obs.Hist(obs.HistNameDPLayer).Count()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.OptimalOrdering(f, &core.Options{Meter: &core.Meter{}, Trace: sink})
+	}
+	b.StopTimer()
+	if obs.Hist(obs.HistNameDPLayer).Count() == before {
+		b.Fatal("histogram sink recorded no layers")
 	}
 }
 

@@ -13,6 +13,8 @@
 //	bddbench -exp E5 -debug-addr localhost:6060
 //	bddbench -solver portfolio -n 12 -reps 3      # time one solver
 //	bddbench -solver fs -n 14 -deadline 100ms     # deadline behavior
+//	bddbench -trajectory -json > BENCH.json       # solver x n sweep artifact
+//	bddbench -compare old.json new.json           # diff artifacts; nonzero on regression
 //
 // Observability: -json wraps each experiment in a run report (schema
 // internal/obs.RunReport) carrying wall time, the experiment's table text
@@ -52,6 +54,12 @@ func main() {
 		benchN    = flag.Int("n", 10, "variable count for -solver benchmark mode")
 		reps      = flag.Int("reps", 3, "random functions per -solver benchmark run")
 		ruleName  = flag.String("rule", "obdd", "diagram rule for -solver benchmark mode: obdd | zdd")
+
+		trajectory = flag.Bool("trajectory", false, "sweep every registered solver over growing n under -time-cap; with -json, emit the trajectory artifact")
+		compare    = flag.Bool("compare", false, "diff two trajectory artifacts given as positional args (old.json new.json); exit nonzero past -threshold")
+		timeCap    = flag.Duration("time-cap", 0, "per-run wall cap in -trajectory mode (0 = 2s, or 300ms with -quick)")
+		threshold  = flag.Float64("threshold", 1.5, "-compare regression threshold: flag points whose ns/op grew more than this factor")
+		maxN       = flag.Int("max-n", 0, "largest variable count swept in -trajectory mode (0 = 16, or 10 with -quick)")
 	)
 	var solverFlags cliutil.SolverFlags
 	solverFlags.Register(flag.CommandLine, "")
@@ -65,9 +73,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bddbench: debug server on http://%s/debug/pprof/ and /debug/vars\n", addr)
 	}
 	var err error
-	if solverFlags.Solver != "" {
+	switch {
+	case *compare:
+		args := flag.Args()
+		if len(args) != 2 {
+			err = errors.New("-compare needs exactly two positional arguments: old.json new.json (flags must precede them)")
+		} else {
+			err = runCompare(os.Stdout, args[0], args[1], *threshold)
+		}
+	case *trajectory:
+		rule, rerr := cliutil.ParseRule(*ruleName)
+		if rerr != nil {
+			err = rerr
+		} else {
+			cfg := resolveTrajectoryConfig(*seed, *quick, *timeCap, *maxN, rule)
+			err = runTrajectory(os.Stdout, os.Stderr, cfg, *jsonOut, *progress)
+		}
+	case solverFlags.Solver != "":
 		err = runSolverBench(os.Stdout, solverFlags, *benchN, *reps, *ruleName, *seed)
-	} else {
+	default:
 		err = runMain(os.Stdout, os.Stderr, *expID, *seed, *quick, *jsonOut, *progress)
 	}
 	if err != nil {

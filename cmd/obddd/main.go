@@ -7,6 +7,7 @@
 //
 //	obddd -addr :8344                      # serve with production defaults
 //	obddd -workers 4 -queue 16 -cache-mb 128
+//	obddd -access-log                      # one JSON line per request on stderr
 //	obddd -smoke                           # self-test: cold/cached/429/drain
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: it stops admitting
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	if smoke {
-		if err := runSmoke(sf.Config(tr)); err != nil {
+		if err := runSmoke(sf.Config(tr, os.Stderr)); err != nil {
 			log.Fatalf("obddd: smoke test failed: %v", err)
 		}
 		fmt.Println("obddd: smoke test ok")
@@ -70,7 +71,7 @@ func serve(sf cliutil.ServeFlags, tr obs.Tracer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s := server.New(ctx, sf.Config(tr))
+	s := server.New(ctx, sf.Config(tr, os.Stderr))
 	hs := &http.Server{Addr: sf.Addr, Handler: s.Handler()}
 
 	ln, err := net.Listen("tcp", sf.Addr)

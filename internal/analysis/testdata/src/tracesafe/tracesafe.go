@@ -60,3 +60,73 @@ func (r *recorder) Emit(ev Event) { r.events = append(r.events, ev) }
 func concrete(r *recorder) {
 	r.Emit(Event{K: 6})
 }
+
+// Histogram and Span are local doubles of the obs handle types: the
+// analyzer keys on the pointer-to-named-type shape and the method names,
+// so the fixture needs no import of internal/obs.
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) Record(v uint64)         { h.count++ }
+func (h *Histogram) RecordDuration(ns int64) { h.count++ }
+
+// Hist stands in for the obs registry getter, which never returns nil.
+func Hist(name string) *Histogram { return &Histogram{} }
+
+type Span struct{ id string }
+
+func (s *Span) Event(name string) {}
+
+type spanOpts struct{ Sp *Span }
+
+// histUnguarded records on a possibly-nil handle: panics on the first
+// run that never touched the registry.
+func histUnguarded(h *Histogram) {
+	h.Record(1)            // want `Record on possibly-nil histogram h without a nil check`
+	h.RecordDuration(1000) // want `RecordDuration on possibly-nil histogram h without a nil check`
+}
+
+// histGuarded is the sanctioned pointer-handle idiom. Must stay silent.
+func histGuarded(h *Histogram) {
+	if h != nil {
+		h.Record(2)
+		h.RecordDuration(2000)
+	}
+}
+
+// histChained records through the registry getter directly: getters never
+// return nil, so the chained form needs no guard. Must stay silent.
+func histChained() {
+	Hist("lane_wall_ns").Record(3)
+	Hist("lane_wall_ns").RecordDuration(3000)
+}
+
+// histValue is a non-pointer handle: it cannot be nil. Must stay silent.
+func histValue(h Histogram) {
+	h.Record(4)
+}
+
+// spanUnguarded events on a possibly-nil span: SpanFromContext-style
+// lookups return nil on every untraced path.
+func spanUnguarded(sp *Span) {
+	sp.Event("admitted") // want `Event on possibly-nil span sp without a nil check`
+}
+
+// spanGuarded is the engine idiom. Must stay silent.
+func spanGuarded(sp *Span) {
+	if sp != nil {
+		sp.Event("admitted")
+	}
+}
+
+// spanFieldOtherGuard checks a DIFFERENT expression: guarding sp does not
+// make o.Sp safe.
+func spanFieldOtherGuard(o *spanOpts, sp *Span) {
+	if sp != nil {
+		o.Sp.Event("worker_acquired") // want `Event on possibly-nil span o\.Sp without a nil check`
+	}
+}
+
+// spanAllowed carries a sanctioned suppression. Must stay silent.
+func spanAllowed(sp *Span) {
+	sp.Event("drain") //lint:allow tracesafe fixture: caller contract guarantees a live span here
+}

@@ -19,11 +19,40 @@ import (
 // expression (`x != nil` guard, or an `x == nil` early return) lexically
 // before the call. The obs package itself — home of the wrappers and the
 // concrete tracer implementations — is exempt.
+//
+// The same contract covers the other observability value types that flow
+// as possibly-nil pointers: Record / RecordDuration on a *Histogram and
+// Event on a *Span (obs.SpanFromContext returns nil when no span is
+// attached, so span handles are nil on every untraced path). Calls chained
+// directly onto another call — obs.Hist(...).Record(v) — are accepted:
+// the registry getters and constructors never return nil, and that
+// guarantee is exactly why the chained form is the recommended idiom.
 var TraceSafe = &Analyzer{
 	Name: "tracesafe",
-	Doc: "forbid Emit calls on possibly-nil Tracer interface values outside a nil check " +
-		"or a nil-safe wrapper",
+	Doc: "forbid Emit on possibly-nil Tracer values, and Record/RecordDuration/Event on " +
+		"possibly-nil *Histogram / *Span handles, outside a nil check or a nil-safe wrapper",
 	Run: runTraceSafe,
+}
+
+// traceSafeTarget classifies a method call as one of the guarded
+// observability call shapes, returning the noun used in diagnostics ("",
+// when the call is not covered by the contract).
+func traceSafeTarget(pass *Pass, sel *ast.SelectorExpr) string {
+	switch sel.Sel.Name {
+	case "Emit":
+		if isTracerInterface(pass, sel.X) {
+			return "tracer"
+		}
+	case "Record", "RecordDuration":
+		if isObsPointer(pass, sel.X, "Histogram") {
+			return "histogram"
+		}
+	case "Event":
+		if isObsPointer(pass, sel.X, "Span") {
+			return "span"
+		}
+	}
+	return ""
 }
 
 func runTraceSafe(pass *Pass) error {
@@ -58,7 +87,16 @@ func runTraceSafe(pass *Pass) error {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Emit" || !isTracerInterface(pass, sel.X) {
+			if !ok {
+				return true
+			}
+			kind := traceSafeTarget(pass, sel)
+			if kind == "" {
+				return true
+			}
+			if _, chained := sel.X.(*ast.CallExpr); chained && kind != "tracer" {
+				// obs.Hist(...).Record(v) and friends: the getters are
+				// documented never to return nil.
 				return true
 			}
 			_, outer := enclosingFuncs(stack)
@@ -75,8 +113,8 @@ func runTraceSafe(pass *Pass) error {
 			}
 			if !guarded {
 				pass.Reportf(call.Pos(),
-					"Emit on possibly-nil tracer %s without a nil check in the enclosing function; guard with `if %s != nil` or route through a nil-safe wrapper",
-					key, key)
+					"%s on possibly-nil %s %s without a nil check in the enclosing function; guard with `if %s != nil` or route through a nil-safe wrapper",
+					sel.Sel.Name, kind, key, key)
 			}
 			return true
 		})
@@ -99,4 +137,20 @@ func isTracerInterface(pass *Pass, e ast.Expr) bool {
 	}
 	_, isIface := named.Underlying().(*types.Interface)
 	return isIface
+}
+
+// isObsPointer reports whether the static type of e is a pointer to a
+// named struct called name ("Histogram", "Span") — obs's handle types, or
+// structurally identical local doubles in fixtures. A non-pointer value of
+// those types cannot be nil and is not flagged.
+func isObsPointer(pass *Pass, e ast.Expr, name string) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := types.Unalias(tv.Type).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return namedTypeName(ptr.Elem()) == name
 }

@@ -20,9 +20,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"obddopt/internal/obs"
 )
+
+// cacheLookupHist distributes lookup latencies (hit or miss) — the
+// microsecond fast path the service's repeat-query contract rests on.
+var cacheLookupHist = obs.Hist(obs.HistNameCacheLookup)
 
 // numShards spreads keys over independently locked shards; a power of
 // two so the digest's low bits select the shard uniformly.
@@ -185,6 +190,8 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, int64, 
 // followed by Do (the server's fast-path pattern) records exactly one
 // miss per computed entry.
 func (c *Cache) Get(key string) (any, bool) {
+	start := time.Now()
+	defer func() { cacheLookupHist.RecordDuration(time.Since(start)) }() //lint:allow tracesafe cacheLookupHist caches obs.Hist, which never returns nil; re-resolving per Get would put a registry lock on the lookup fast path
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()

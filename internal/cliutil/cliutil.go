@@ -9,6 +9,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -83,6 +84,7 @@ type ServeFlags struct {
 	CacheMB         int64
 	RetryAfter      time.Duration
 	DrainTimeout    time.Duration
+	AccessLog       bool
 }
 
 // Register declares the serving flags on fs. Zero values defer to the
@@ -110,12 +112,16 @@ func (f *ServeFlags) Register(fs *flag.FlagSet) {
 		"Retry-After hint on 429 responses (0 = 1s)")
 	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 10*time.Second,
 		"max wait for in-flight solves on shutdown")
+	fs.BoolVar(&f.AccessLog, "access-log", false,
+		"write one JSON access-log line per request to stderr (request ID, route, status, queue wait, solve time, cache outcome)")
 }
 
 // Config resolves the flags to a server configuration; tr (optional)
-// receives every request's solver events.
-func (f *ServeFlags) Config(tr obs.Tracer) server.Config {
-	return server.Config{
+// receives every request's solver events, and accessLog is the sink
+// -access-log enables (typically os.Stderr; ignored unless the flag is
+// set).
+func (f *ServeFlags) Config(tr obs.Tracer, accessLog io.Writer) server.Config {
+	cfg := server.Config{
 		Workers:         f.Workers,
 		QueueDepth:      f.QueueDepth,
 		DefaultDeadline: f.DefaultDeadline,
@@ -126,6 +132,10 @@ func (f *ServeFlags) Config(tr obs.Tracer) server.Config {
 		RetryAfter:      f.RetryAfter,
 		Trace:           tr,
 	}
+	if f.AccessLog {
+		cfg.AccessLog = accessLog
+	}
+	return cfg
 }
 
 // ParseRule maps a -rule flag value to the diagram rule.

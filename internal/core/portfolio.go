@@ -3,7 +3,9 @@ package core
 import (
 	stdctx "context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -195,6 +197,7 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 	budget := optBudget(opts)
 	n := tt.NumVars()
 	start := time.Now()
+	sp := obs.SpanFromContext(ctx)
 
 	// Phase 1: heuristic seeding. Runs inline (it is polynomial-time and
 	// brief next to the exact lanes) but under ctx, so a short deadline
@@ -212,8 +215,14 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindLaneStart, Lane: "heuristic"})
 		}
+		if sp != nil {
+			sp.Event("lane_start:heuristic")
+		}
 		heurStart := time.Now()
 		incOrder, incCost, haveInc = seeder(ctx, tt, rule, tr)
+		if sp != nil {
+			sp.Event("lane_result:heuristic")
+		}
 		if tr != nil {
 			ev := obs.Event{Kind: obs.KindLaneResult, Lane: "heuristic", Elapsed: time.Since(heurStart)}
 			if haveInc {
@@ -270,12 +279,19 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: obs.KindLaneStart, Lane: lane.name})
 		}
-		go func() {
+		if sp != nil {
+			sp.Event("lane_start:" + lane.name)
+		}
+		// Each lane goroutine runs under pprof labels so a CPU profile of
+		// a racing process attributes samples to the lane's solver, problem
+		// size and rule rather than one undifferentiated Portfolio frame.
+		labels := pprof.Labels("solver", lane.name, "n", strconv.Itoa(n), "rule", rule.String())
+		go pprof.Do(raceCtx, labels, func(c stdctx.Context) {
 			m := &Meter{}
 			laneStart := time.Now()
-			res, err := lane.run(raceCtx, m)
+			res, err := lane.run(c, m)
 			results <- laneOutcome{name: lane.name, res: res, err: err, meter: m, elapsed: time.Since(laneStart)}
-		}()
+		})
 	}
 
 	var winner, loserInc *laneOutcome
@@ -284,6 +300,15 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 	for range lanes {
 		out := <-results
 		outcomes = append(outcomes, out)
+		// Per-lane distributions, recorded unconditionally (once per lane
+		// per race — negligible next to the lane itself): wall time, cells
+		// touched, and the lane's peak live-cell footprint.
+		obs.Hist(obs.HistNameLaneWall, "lane", out.name).RecordDuration(out.elapsed)
+		obs.Hist(obs.HistNameLaneCells, "lane", out.name).Record(out.meter.CellOps)
+		obs.Hist(obs.HistNameLanePeak, "lane", out.name).Record(out.meter.PeakCells)
+		if sp != nil {
+			sp.Event("lane_done:" + out.name)
+		}
 		// A lane that died without a result (typically: canceled after the
 		// race was decided) emits only lane_canceled below, not a
 		// misleading zero-cost lane_result.
@@ -297,6 +322,9 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 				winner = &w
 				if tr != nil {
 					tr.Emit(obs.Event{Kind: obs.KindRaceWon, Lane: out.name, Cost: out.res.MinCost, Elapsed: time.Since(start)})
+				}
+				if sp != nil {
+					sp.Event("race_won:" + out.name)
 				}
 				cancel()
 			}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip checks the bucket geometry invariants: every
+// value lands in a bucket whose bounds contain it, bucket bounds are
+// monotone, and the relative bucket width never exceeds 1/8.
+func TestBucketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := []uint64{0, 1, 7, 8, 15, 16, 17, 255, 256, 1 << 20, math.MaxUint64}
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Uint64())
+		values = append(values, uint64(rng.Int63n(1<<16)))
+	}
+	for _, v := range values {
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		upper := bucketUpper(i)
+		if v > upper {
+			t.Fatalf("value %d above its bucket upper bound %d (bucket %d)", v, upper, i)
+		}
+		if i > 0 {
+			lower := bucketUpper(i-1) + 1
+			if v < lower {
+				t.Fatalf("value %d below its bucket lower bound %d (bucket %d)", v, lower, i)
+			}
+			if width := float64(upper - lower + 1); lower > 16 && width/float64(lower) > 0.125+1e-9 {
+				t.Fatalf("bucket %d relative width %g exceeds 1/8", i, width/float64(lower))
+			}
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucket upper bounds not strictly increasing at %d: %d then %d",
+				i, bucketUpper(i-1), bucketUpper(i))
+		}
+	}
+}
+
+// TestQuantileErrorBounds records random samples from several
+// distributions and checks every quantile estimate against the exact
+// order statistic: the estimate must never fall below it and must not
+// exceed it by more than the 12.5% bucket-width bound.
+func TestQuantileErrorBounds(t *testing.T) {
+	distributions := map[string]func(*rand.Rand) uint64{
+		"uniform_small": func(r *rand.Rand) uint64 { return uint64(r.Int63n(1000)) },
+		"uniform_large": func(r *rand.Rand) uint64 { return uint64(r.Int63n(1 << 40)) },
+		"exponentialish": func(r *rand.Rand) uint64 {
+			return uint64(math.Exp(r.Float64()*20)) + 1
+		},
+		"bimodal": func(r *rand.Rand) uint64 {
+			if r.Intn(2) == 0 {
+				return uint64(r.Int63n(100))
+			}
+			return uint64(r.Int63n(1<<30)) + 1<<29
+		},
+	}
+	quantiles := []float64{0, 0.1, 0.5, 0.9, 0.99, 1}
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := NewHistogram()
+			samples := make([]uint64, 5000)
+			for i := range samples {
+				samples[i] = gen(rng)
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range quantiles {
+				rank := int(math.Ceil(q * float64(len(samples))))
+				if rank < 1 {
+					rank = 1
+				}
+				exact := samples[rank-1]
+				est := h.Quantile(q)
+				if est < exact {
+					t.Errorf("q=%g: estimate %d below exact %d", q, est, exact)
+				}
+				if limit := float64(exact)*1.125 + 1; float64(est) > limit {
+					t.Errorf("q=%g: estimate %d exceeds exact %d by more than 12.5%%", q, est, exact)
+				}
+			}
+			if h.Max() != samples[len(samples)-1] {
+				t.Errorf("Max = %d, want %d", h.Max(), samples[len(samples)-1])
+			}
+			if h.Min() != samples[0] {
+				t.Errorf("Min = %d, want %d", h.Min(), samples[0])
+			}
+			if h.Count() != uint64(len(samples)) {
+				t.Errorf("Count = %d, want %d", h.Count(), len(samples))
+			}
+		})
+	}
+}
+
+// TestHistogramEmpty checks the zero-observation edge cases.
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty histogram not all-zero: %+v", h.Snapshot())
+	}
+	var js map[string]uint64
+	if err := json.Unmarshal([]byte(h.String()), &js); err != nil {
+		t.Fatalf("String() is not valid JSON: %v", err)
+	}
+}
+
+// TestMergeAssociativity checks that Merge is associative and
+// commutative on every statistic: (a⊕b)⊕c and a⊕(b⊕c) built from the
+// same three sample sets must agree exactly, and must equal one
+// histogram fed all samples directly.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sets := make([][]uint64, 3)
+	for i := range sets {
+		sets[i] = make([]uint64, 500+rng.Intn(500))
+		for j := range sets[i] {
+			sets[i][j] = uint64(rng.Int63n(1 << uint(10+4*i)))
+		}
+	}
+	fill := func(idx ...int) *Histogram {
+		h := NewHistogram()
+		for _, i := range idx {
+			for _, v := range sets[i] {
+				h.Record(v)
+			}
+		}
+		return h
+	}
+
+	// (a⊕b)⊕c
+	left := fill(0)
+	left.Merge(fill(1))
+	left.Merge(fill(2))
+	// a⊕(b⊕c)
+	bc := fill(1)
+	bc.Merge(fill(2))
+	right := fill(0)
+	right.Merge(bc)
+	// direct
+	direct := fill(0, 1, 2)
+
+	for name, pair := range map[string][2]*Histogram{
+		"left-vs-right":  {left, right},
+		"left-vs-direct": {left, direct},
+	} {
+		a, b := pair[0], pair[1]
+		if a.Count() != b.Count() || a.Sum() != b.Sum() || a.Max() != b.Max() || a.Min() != b.Min() {
+			t.Errorf("%s: summary stats differ: %+v vs %+v", name, a.Snapshot(), b.Snapshot())
+		}
+		for i := range a.buckets {
+			if a.buckets[i].Load() != b.buckets[i].Load() {
+				t.Errorf("%s: bucket %d differs: %d vs %d", name, i, a.buckets[i].Load(), b.buckets[i].Load())
+			}
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if a.Quantile(q) != b.Quantile(q) {
+				t.Errorf("%s: Quantile(%g) differs: %d vs %d", name, q, a.Quantile(q), b.Quantile(q))
+			}
+		}
+	}
+
+	// Merging nil and merging an empty histogram are no-ops.
+	before := direct.Snapshot()
+	direct.Merge(nil)
+	direct.Merge(NewHistogram())
+	if direct.Snapshot() != before {
+		t.Errorf("nil/empty merge changed the histogram: %+v vs %+v", direct.Snapshot(), before)
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines (run
+// under -race in CI) and checks that no observation is lost.
+func TestConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(uint64(rng.Int63n(1 << 30)))
+			}
+		}(g)
+	}
+	// Concurrent readers must be race-free too.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Quantile(0.9)
+			_ = h.Snapshot()
+			_ = h.String()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d (lost observations)", got, goroutines*perG)
+	}
+}
+
+// TestHistRegistry checks the named-registry contract: same name+labels
+// returns the identical histogram, different labels a distinct one, and
+// iteration is deterministic and complete.
+func TestHistRegistry(t *testing.T) {
+	a := Hist("test_registry_ns", "solver", "fs")
+	b := Hist("test_registry_ns", "solver", "fs")
+	c := Hist("test_registry_ns", "solver", "bnb")
+	if a != b {
+		t.Error("same name+labels returned distinct histograms")
+	}
+	if a == c {
+		t.Error("different labels returned the same histogram")
+	}
+	a.Record(10)
+
+	seen := map[string]bool{}
+	var lastKey string
+	EachHistogram(func(name string, labels [][2]string, h *Histogram) {
+		key := histKey(name, labels)
+		if key < lastKey {
+			t.Errorf("EachHistogram out of order: %q after %q", key, lastKey)
+		}
+		lastKey = key
+		seen[key] = true
+	})
+	if !seen[`test_registry_ns{solver="fs"}`] || !seen[`test_registry_ns{solver="bnb"}`] {
+		t.Errorf("registry iteration missed test entries: %v", seen)
+	}
+	snap := HistogramsSnapshot()
+	if snap[`test_registry_ns{solver="fs"}`].Count == 0 {
+		t.Error("HistogramsSnapshot lost the recorded observation")
+	}
+}
+
+// TestHistogramSink checks that the layer sink folds KindLayerEnd
+// events into the dp_layer histograms and ignores everything else.
+func TestHistogramSink(t *testing.T) {
+	sink := NewHistogramSink()
+	beforeNS := Hist(HistNameDPLayer).Count()
+	beforeCells := Hist(HistNameDPLayerCells).Count()
+	sink.Emit(Event{Kind: KindLayerEnd, Elapsed: 5 * time.Millisecond, CellOps: 1234})
+	sink.Emit(Event{Kind: KindCompaction, CellOps: 99})
+	if got := Hist(HistNameDPLayer).Count(); got != beforeNS+1 {
+		t.Errorf("dp_layer_ns count = %d, want %d", got, beforeNS+1)
+	}
+	if got := Hist(HistNameDPLayerCells).Count(); got != beforeCells+1 {
+		t.Errorf("dp_layer_cell_ops count = %d, want %d", got, beforeCells+1)
+	}
+}
+
+// TestRecordDuration checks nanosecond conversion and the negative
+// clamp.
+func TestRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(3 * time.Microsecond)
+	h.RecordDuration(-time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Errorf("negative duration did not clamp to 0: Min = %d", h.Min())
+	}
+	if h.Max() < 3000 || h.Max() > 3375 {
+		t.Errorf("Max = %d, want ~3000 (3µs in ns)", h.Max())
+	}
+}

@@ -22,6 +22,26 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 // String implements expvar.Var.
 func (c *Counter) String() string { return strconv.FormatUint(c.v.Load(), 10) }
 
+// Gauge is an atomic up/down level — a point-in-time quantity such as
+// queue depth or in-flight workers, as opposed to a monotonic Counter.
+// It implements expvar.Var.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set forces the gauge to n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// String implements expvar.Var.
+func (g *Gauge) String() string { return strconv.FormatInt(g.v.Load(), 10) }
+
 // MaxGauge tracks the maximum value ever observed. It implements
 // expvar.Var.
 type MaxGauge struct{ v atomic.Uint64 }
@@ -79,6 +99,12 @@ var Metrics struct {
 	// (saturated queue or draining server); see internal/server.
 	RequestsServed   Counter
 	RequestsRejected Counter
+	// QueueDepth is the number of admitted requests currently waiting
+	// for a worker slot; InFlightWorkers the number currently holding
+	// one (running a solver). Both are levels, not totals — the
+	// admission layer raises and lowers them around its semaphores.
+	QueueDepth      Gauge
+	InFlightWorkers Gauge
 }
 
 func init() {
@@ -96,6 +122,18 @@ func init() {
 	m.Set("cache_coalesced", &Metrics.CacheCoalesced)
 	m.Set("requests_served", &Metrics.RequestsServed)
 	m.Set("requests_rejected", &Metrics.RequestsRejected)
+	m.Set("queue_depth", &Metrics.QueueDepth)
+	m.Set("inflight_workers", &Metrics.InFlightWorkers)
+}
+
+// clampUint64 renders a gauge level for the uint64 snapshot map; levels
+// are never negative in steady state, but a mid-transition read may see
+// a transient dip below zero.
+func clampUint64(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
 }
 
 // MetricsSnapshot returns the current value of every registry metric,
@@ -116,16 +154,18 @@ func MetricsSnapshot() map[string]uint64 {
 		"cache_coalesced":   Metrics.CacheCoalesced.Value(),
 		"requests_served":   Metrics.RequestsServed.Value(),
 		"requests_rejected": Metrics.RequestsRejected.Value(),
+		"queue_depth":       clampUint64(Metrics.QueueDepth.Value()),
+		"inflight_workers":  clampUint64(Metrics.InFlightWorkers.Value()),
 	}
 }
 
 // MetricsDelta subtracts snapshot before from after, field by field.
-// Gauges (peak_cells) are passed through from after, since a maximum is
-// not additive.
+// Gauges (peak_cells, queue_depth, inflight_workers) are passed through
+// from after, since a level or maximum is not additive.
 func MetricsDelta(before, after map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64, len(after))
 	for k, v := range after {
-		if k == "peak_cells" {
+		if gaugeMetrics[k] {
 			out[k] = v
 			continue
 		}

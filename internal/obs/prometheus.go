@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// This file renders the process-wide registry — counters, gauges and
+// histograms — in the Prometheus text exposition format (version
+// 0.0.4), with no dependency beyond the standard library. The obddd
+// service mounts it on GET /metrics, so the same numbers served as JSON
+// on /debug/vars and /v1/stats are scrapeable by any Prometheus-
+// compatible collector.
+
+// promNamespace prefixes every exposed metric name.
+const promNamespace = "obddopt"
+
+// gaugeMetrics names the registry entries that are gauges (point-in-
+// time levels) rather than monotonic counters; MetricsDelta passes them
+// through for the same reason.
+var gaugeMetrics = map[string]bool{
+	"peak_cells":       true,
+	"queue_depth":      true,
+	"inflight_workers": true,
+}
+
+// WritePrometheus renders every registered metric and histogram to w in
+// the Prometheus text format. Counters and gauges come from the Metrics
+// registry; histograms from the histogram registry, with their labels
+// preserved and cumulative le buckets synthesized from the log-linear
+// bucket layout.
+func WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+
+	snap := MetricsSnapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		kind := "counter"
+		if gaugeMetrics[name] {
+			kind = "gauge"
+		}
+		fmt.Fprintf(bw, "# TYPE %s_%s %s\n", promNamespace, name, kind)
+		fmt.Fprintf(bw, "%s_%s %d\n", promNamespace, name, snap[name])
+	}
+
+	// Histograms grouped by metric name so each family gets one # TYPE
+	// header; EachHistogram already iterates in sorted (name, labels)
+	// order.
+	lastName := ""
+	EachHistogram(func(name string, labels [][2]string, h *Histogram) {
+		full := promNamespace + "_" + name
+		if name != lastName {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", full)
+			lastName = name
+		}
+		var cum uint64
+		h.eachBucket(func(upper, n uint64) {
+			cum += n
+			fmt.Fprintf(bw, "%s_bucket{%s} %d\n", full, promLabels(labels, fmt.Sprintf("%d", upper)), cum)
+		})
+		fmt.Fprintf(bw, "%s_bucket{%s} %d\n", full, promLabels(labels, "+Inf"), h.Count())
+		fmt.Fprintf(bw, "%s_sum%s %d\n", full, promLabelBlock(labels), h.Sum())
+		fmt.Fprintf(bw, "%s_count%s %d\n", full, promLabelBlock(labels), h.Count())
+	})
+	return bw.Flush()
+}
+
+// promLabels renders the label pairs plus the le bound as the inside of
+// a label block.
+func promLabels(labels [][2]string, le string) string {
+	var b strings.Builder
+	for _, kv := range labels {
+		fmt.Fprintf(&b, "%s=%s,", kv[0], promQuote(kv[1]))
+	}
+	fmt.Fprintf(&b, "le=%s", promQuote(le))
+	return b.String()
+}
+
+// promLabelBlock renders {k="v",...} or the empty string when there are
+// no labels (for the _sum/_count series).
+func promLabelBlock(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", kv[0], promQuote(kv[1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promQuote escapes a label value per the exposition format: backslash,
+// double quote and newline.
+func promQuote(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return `"` + v + `"`
+}
+
+// PrometheusHandler returns an http.Handler serving WritePrometheus —
+// the GET /metrics endpoint of the obddd service.
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePromLine splits a sample line into (series, value), rejecting
+// malformed lines. Series keeps the label block verbatim.
+func parsePromLine(t *testing.T, line string) (string, uint64) {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		t.Fatalf("malformed sample line %q", line)
+	}
+	v, err := strconv.ParseUint(line[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("malformed value in %q: %v", line, err)
+	}
+	return line[:i], v
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	Metrics.RunsStarted.Inc()
+	h := Hist(HistNameSolveLatency, "solver", `we"ird\`)
+	h.Record(100)
+	h.Record(100000)
+
+	rec := httptest.NewRecorder()
+	PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+
+	typed := map[string]string{}
+	values := map[string]uint64{}
+	var order []string
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if _, dup := typed[parts[2]]; dup {
+				t.Errorf("duplicate TYPE header for %s", parts[2])
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		series, v := parsePromLine(t, line)
+		values[series] = v
+		order = append(order, series)
+	}
+
+	// Counters and gauges are present and typed.
+	if typed["obddopt_runs_started"] != "counter" {
+		t.Errorf("runs_started type = %q, want counter", typed["obddopt_runs_started"])
+	}
+	for _, g := range []string{"obddopt_queue_depth", "obddopt_inflight_workers", "obddopt_peak_cells"} {
+		if typed[g] != "gauge" {
+			t.Errorf("%s type = %q, want gauge", g, typed[g])
+		}
+	}
+	if values["obddopt_runs_started"] < 1 {
+		t.Error("runs_started sample missing or zero")
+	}
+
+	// The histogram family is typed once, label values are escaped, the
+	// le buckets are cumulative and capped by +Inf == _count, and _sum
+	// matches.
+	if typed["obddopt_"+HistNameSolveLatency] != "histogram" {
+		t.Fatalf("solve latency histogram not typed: %v", typed)
+	}
+	esc := `solver="we\"ird\\"`
+	var cum []uint64
+	for _, s := range order {
+		if strings.HasPrefix(s, "obddopt_"+HistNameSolveLatency+"_bucket{"+esc) {
+			cum = append(cum, values[s])
+		}
+	}
+	if len(cum) < 3 { // two value buckets + +Inf at minimum
+		t.Fatalf("expected escaped-label buckets, got %d series in:\n%s", len(cum), body)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("le buckets not cumulative: %v", cum)
+		}
+	}
+	inf := values["obddopt_"+HistNameSolveLatency+`_bucket{`+esc+`,le="+Inf"}`]
+	cnt := values["obddopt_"+HistNameSolveLatency+`_count{`+esc+`}`]
+	sum := values["obddopt_"+HistNameSolveLatency+`_sum{`+esc+`}`]
+	if inf != cnt || cnt < 2 {
+		t.Errorf("+Inf bucket %d != count %d (or count < 2)", inf, cnt)
+	}
+	if sum < 100100 {
+		t.Errorf("sum = %d, want >= 100100", sum)
+	}
+}

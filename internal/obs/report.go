@@ -15,6 +15,12 @@ type RunReport struct {
 	Tool      string          `json:"tool,omitempty"`
 	Algorithm string          `json:"algorithm,omitempty"`
 	Rule      string          `json:"rule,omitempty"`
+	// RequestID is the request/trace ID of the run's span — minted by
+	// Solve, or accepted from the X-Request-ID wire header by obddd —
+	// and Span its phase timeline (admission, queue, cache, solver
+	// lanes). See internal/obs span.go.
+	RequestID string          `json:"request_id,omitempty"`
+	Span      []SpanEvent     `json:"span,omitempty"`
 	N         int             `json:"n,omitempty"`
 	ElapsedMS float64         `json:"elapsed_ms,omitempty"`
 	Events    int             `json:"events,omitempty"`

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNewRequestIDUnique(t *testing.T) {
+	const n = 1000
+	ids := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n/100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				ids <- NewRequestID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, n)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+		if !strings.Contains(id, "-") {
+			t.Fatalf("request ID %q missing nonce-sequence separator", id)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d IDs, want %d", len(seen), n)
+	}
+}
+
+func TestSpanIDAndEvents(t *testing.T) {
+	sp := NewSpan("req-123")
+	if sp.ID() != "req-123" {
+		t.Errorf("ID = %q, want req-123", sp.ID())
+	}
+	sp.Event("admitted")
+	sp.Event("worker_acquired")
+	evs := sp.Events()
+	if len(evs) != 2 || evs[0].Name != "admitted" || evs[1].Name != "worker_acquired" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].AtNS < 0 || evs[1].AtNS < evs[0].AtNS {
+		t.Errorf("event offsets not monotone: %+v", evs)
+	}
+	// Events() returns a copy: mutating it must not affect the span.
+	evs[0].Name = "clobbered"
+	if sp.Events()[0].Name != "admitted" {
+		t.Error("Events() aliases internal storage")
+	}
+
+	if minted := NewSpan(""); minted.ID() == "" {
+		t.Error("NewSpan(\"\") did not mint an ID")
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	if sp := SpanFromContext(context.Background()); sp != nil {
+		t.Errorf("SpanFromContext on empty context = %v, want nil", sp)
+	}
+	if sp := SpanFromContext(nil); sp != nil { //lint:ignore SA1012 nil-context tolerance is part of the contract
+		t.Errorf("SpanFromContext(nil) = %v, want nil", sp)
+	}
+
+	sp := NewSpan("abc")
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Errorf("round trip lost the span: %v", got)
+	}
+
+	// EnsureSpan reuses an existing span and mints otherwise.
+	ctx2, got := EnsureSpan(ctx)
+	if got != sp || ctx2 != ctx {
+		t.Error("EnsureSpan replaced an existing span")
+	}
+	ctx3, fresh := EnsureSpan(context.Background())
+	if fresh == nil || fresh.ID() == "" {
+		t.Fatal("EnsureSpan did not mint a span")
+	}
+	if SpanFromContext(ctx3) != fresh {
+		t.Error("EnsureSpan did not attach the minted span")
+	}
+}
+
+// TestSpanConcurrentEvent exercises concurrent Event/Events under -race.
+func TestSpanConcurrentEvent(t *testing.T) {
+	sp := NewSpan("")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sp.Event("phase")
+				_ = sp.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(sp.Events()); got != 2000 {
+		t.Fatalf("got %d events, want 2000", got)
+	}
+}

@@ -71,12 +71,22 @@ func (a *admission) admit() (release func(), err error) {
 }
 
 // acquireWorker blocks until a running slot frees up or ctx dies; on
-// success the returned release function returns the slot.
+// success the returned release function returns the slot. The wait is
+// accounted in the queue-depth gauge and the hold in the in-flight-
+// worker gauge, so /metrics and /debug/vars show live admission
+// occupancy, not just rejection totals.
 func (a *admission) acquireWorker(ctx context.Context) (release func(), err error) {
+	obs.Metrics.QueueDepth.Inc()
 	select {
 	case a.running <- struct{}{}:
-		return func() { <-a.running }, nil
+		obs.Metrics.QueueDepth.Dec()
+		obs.Metrics.InFlightWorkers.Inc()
+		return func() {
+			<-a.running
+			obs.Metrics.InFlightWorkers.Dec()
+		}, nil
 	case <-ctx.Done():
+		obs.Metrics.QueueDepth.Dec()
 		return nil, ctx.Err()
 	}
 }

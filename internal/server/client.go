@@ -47,6 +47,24 @@ type Params struct {
 	// Report requests the per-run obs.RunReport (retrievable via
 	// SolveReport).
 	Report bool
+	// RequestID, when non-empty, is sent as the X-Request-ID header so
+	// the server adopts the caller's trace ID instead of minting one;
+	// it comes back in the response envelope, the RunReport, and the
+	// server's access log. When empty, a span already on the call's
+	// context (obs.ContextWithSpan) supplies its ID instead.
+	RequestID string
+}
+
+// requestID resolves the trace ID to send: the explicit Params field
+// first, then the context span's ID, else empty (server mints one).
+func requestID(ctx context.Context, p *Params) string {
+	if p != nil && p.RequestID != "" {
+		return p.RequestID
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		return sp.ID()
+	}
+	return ""
 }
 
 // Dial validates baseURL ("http://host:port") and verifies the service
@@ -107,7 +125,7 @@ func (c *Client) SolveReport(ctx context.Context, tt *truthtable.Table, p *Param
 	if tt == nil {
 		return nil, nil, fmt.Errorf("%w: nil truth table", core.ErrInvalidInput)
 	}
-	wire, err := c.post(ctx, "/v1/solve", toWire(tt, p))
+	wire, err := c.post(ctx, "/v1/solve", toWire(tt, p), requestID(ctx, p))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -145,6 +163,9 @@ func (c *Client) SolveBatch(ctx context.Context, tts []*truthtable.Table, p *Par
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := requestID(ctx, p); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
 	var out BatchResponse
 	if err := c.do(req, &out); err != nil {
 		return nil, err
@@ -180,7 +201,7 @@ func toWire(tt *truthtable.Table, p *Params) *SolveRequest {
 // post sends one SolveRequest and decodes the SolveResponse envelope
 // regardless of HTTP status (the service encodes solve and admission
 // outcomes in the body; do surfaces transport-level failures).
-func (c *Client) post(ctx context.Context, path string, sreq *SolveRequest) (*SolveResponse, error) {
+func (c *Client) post(ctx context.Context, path string, sreq *SolveRequest, reqID string) (*SolveResponse, error) {
 	body, err := json.Marshal(sreq)
 	if err != nil {
 		return nil, err
@@ -190,6 +211,9 @@ func (c *Client) post(ctx context.Context, path string, sreq *SolveRequest) (*So
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
 	var out SolveResponse
 	if err := c.do(req, &out); err != nil {
 		return nil, err

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"obddopt/internal/obs"
+)
+
+// TestRequestIDRoundTrip sends a caller-chosen trace ID through the
+// typed client and checks it lands everywhere the contract promises:
+// the response envelope, the X-Request-ID response header, and the
+// RunReport's request_id and span timeline.
+func TestRequestIDRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 6)
+
+	c, err := Dial(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const id = "trace-roundtrip-42"
+	res, rep, err := c.SolveReport(context.Background(), tt, &Params{Solver: "fs", RequestID: id, Report: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.MinCost != 6 {
+		t.Fatalf("result = %+v", res)
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.RequestID != id {
+		t.Errorf("report request_id = %q, want %q", rep.RequestID, id)
+	}
+	if len(rep.Span) == 0 {
+		t.Fatal("report carries no span events")
+	}
+	names := map[string]bool{}
+	for _, ev := range rep.Span {
+		names[ev.Name] = true
+		if ev.AtNS < 0 {
+			t.Errorf("span event %q has negative offset %d", ev.Name, ev.AtNS)
+		}
+	}
+	for _, want := range []string{"admitted", "worker_acquired", "solver_start:fs", "solver_done:fs"} {
+		if !names[want] {
+			t.Errorf("span missing %q (have %v)", want, rep.Span)
+		}
+	}
+
+	// The raw envelope and header echo the same ID.
+	resp, hr := postSolveWithHeader(t, ts.URL, &SolveRequest{Table: tt.Hex(), NoCache: true}, id)
+	if resp.RequestID != id {
+		t.Errorf("envelope request_id = %q, want %q", resp.RequestID, id)
+	}
+	if got := hr.Header.Get("X-Request-ID"); got != id {
+		t.Errorf("X-Request-ID header = %q, want %q", got, id)
+	}
+}
+
+// postSolveWithHeader is postSolve with an X-Request-ID header.
+func postSolveWithHeader(t *testing.T, url string, req *SolveRequest, id string) (*SolveResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		hreq.Header.Set("X-Request-ID", id)
+	}
+	hr, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp SolveResponse
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decoding response (HTTP %d): %v", hr.StatusCode, err)
+	}
+	return &resp, hr
+}
+
+// TestRequestIDMintedAndSanitized checks that a missing or hostile
+// X-Request-ID yields a server-minted ID, never an echo of garbage.
+func TestRequestIDMintedAndSanitized(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 4)
+
+	resp, _ := postSolveWithHeader(t, ts.URL, &SolveRequest{Table: tt.Hex()}, "")
+	if resp.RequestID == "" {
+		t.Error("no request ID minted for a header-less request")
+	}
+
+	// Hostile values over the wire (ones net/http will still transmit).
+	for _, bad := range []string{"has space", strings.Repeat("x", 200)} {
+		resp, _ := postSolveWithHeader(t, ts.URL, &SolveRequest{Table: tt.Hex()}, bad)
+		if resp.RequestID == bad || resp.RequestID == "" {
+			t.Errorf("hostile ID %q not replaced (got %q)", bad, resp.RequestID)
+		}
+	}
+	// Values the client library itself refuses to send still go through
+	// the sanitizer when injected by other fronts.
+	for _, bad := range []string{"ctrl\x01byte", "nl\nbyte", "", "dél"} {
+		if got := sanitizeRequestID(bad); got != "" {
+			t.Errorf("sanitizeRequestID(%q) = %q, want \"\"", bad, got)
+		}
+	}
+	if got := sanitizeRequestID("ok-id_42"); got != "ok-id_42" {
+		t.Errorf("sanitizeRequestID rejected a clean ID: %q", got)
+	}
+}
+
+// TestMetricsEndpoint checks that GET /metrics serves parseable
+// Prometheus text including the solve-latency histogram after a solve.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 6)
+	if resp, _ := postSolve(t, ts.URL, &SolveRequest{Table: tt.Hex(), Solver: "fs", NoCache: true}); resp.Error != nil {
+		t.Fatalf("solve failed: %+v", resp.Error)
+	}
+
+	hr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if ct := hr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var (
+		sawLatencyBucket, sawLatencyCount, sawQueueGauge bool
+	)
+	sc := bufio.NewScanner(hr.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Every sample line must end in a decimal value.
+		if i := strings.LastIndexByte(line, ' '); i < 0 {
+			t.Fatalf("malformed line %q", line)
+		}
+		switch {
+		case strings.HasPrefix(line, "obddopt_solve_latency_ns_bucket{solver=\"fs\""):
+			sawLatencyBucket = true
+		case strings.HasPrefix(line, "obddopt_solve_latency_ns_count{solver=\"fs\"}"):
+			sawLatencyCount = true
+		case strings.HasPrefix(line, "obddopt_queue_depth "):
+			sawQueueGauge = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawLatencyBucket || !sawLatencyCount {
+		t.Error("solve latency histogram series missing from /metrics")
+	}
+	if !sawQueueGauge {
+		t.Error("queue_depth gauge missing from /metrics")
+	}
+}
+
+// TestStatsIncludesHistograms checks /v1/stats carries the histogram
+// snapshot map alongside counters.
+func TestStatsIncludesHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 4)
+	postSolve(t, ts.URL, &SolveRequest{Table: tt.Hex(), Solver: "fs", NoCache: true})
+
+	hr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var stats struct {
+		Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Histograms) == 0 {
+		t.Fatal("stats carry no histograms")
+	}
+	if h, ok := stats.Histograms[`solve_latency_ns{solver="fs"}`]; !ok || h.Count == 0 {
+		t.Errorf("solve_latency_ns{solver=\"fs\"} absent or empty: %+v", stats.Histograms)
+	}
+}
+
+// TestAccessLog checks the one-line-per-request contract: a cold solve
+// logs a miss with solve time, the warm repeat logs a hit, and every
+// line is valid JSON with the request ID and route.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts := newTestServer(t, Config{AccessLog: &buf})
+	tt := mustExprTable(t, 6)
+
+	postSolveWithHeader(t, ts.URL, &SolveRequest{Table: tt.Hex()}, "log-test-1")
+	postSolveWithHeader(t, ts.URL, &SolveRequest{Table: tt.Hex()}, "log-test-2")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d access-log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	type rec struct {
+		TS          string  `json:"ts"`
+		RequestID   string  `json:"request_id"`
+		Route       string  `json:"route"`
+		Status      int     `json:"status"`
+		QueueWaitMS float64 `json:"queue_wait_ms"`
+		SolveMS     float64 `json:"solve_ms"`
+		Cache       string  `json:"cache"`
+	}
+	var cold, warm rec
+	if err := json.Unmarshal([]byte(lines[0]), &cold); err != nil {
+		t.Fatalf("line 1 not JSON: %v (%q)", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &warm); err != nil {
+		t.Fatalf("line 2 not JSON: %v (%q)", err, lines[1])
+	}
+	if cold.RequestID != "log-test-1" || warm.RequestID != "log-test-2" {
+		t.Errorf("request IDs = %q, %q", cold.RequestID, warm.RequestID)
+	}
+	if cold.Route != "/v1/solve" || cold.Status != http.StatusOK {
+		t.Errorf("cold line route/status = %q/%d", cold.Route, cold.Status)
+	}
+	if cold.Cache != "miss" {
+		t.Errorf("cold cache state = %q, want miss", cold.Cache)
+	}
+	if warm.Cache != "hit" {
+		t.Errorf("warm cache state = %q, want hit", warm.Cache)
+	}
+	if cold.SolveMS <= 0 {
+		t.Errorf("cold solve_ms = %v, want > 0", cold.SolveMS)
+	}
+	if cold.TS == "" {
+		t.Error("missing timestamp")
+	}
+}
+
+// TestAccessLogDisabledByDefault checks no lines appear without the
+// config knob.
+func TestAccessLogDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 4)
+	postSolve(t, ts.URL, &SolveRequest{Table: tt.Hex()})
+	// Nothing to assert directly (nil writer): reaching here without a
+	// panic is the contract. Exercise the writer-less path once more via
+	// a rejected request for coverage of logAccess's nil guard.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("nil access log panicked: %v", r)
+			}
+		}()
+		srv := New(context.Background(), Config{})
+		srv.logAccess("/v1/solve", obs.NewSpan("x"), 200, &SolveResponse{})
+	}()
+}
+
+// TestAdmissionGauges observes the queue-depth and in-flight-worker
+// gauges live: during a slow solve holding the single worker slot, the
+// in-flight gauge must read ≥1 and a queued second request must raise
+// queue depth; after quiescence both return to their baselines.
+func TestAdmissionGauges(t *testing.T) {
+	registerSlowSolver()
+	baseQueue := obs.Metrics.QueueDepth.Value()
+	baseWorkers := obs.Metrics.InFlightWorkers.Value()
+
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	tt := mustExprTable(t, 4)
+
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			postSolve(t, ts.URL, &SolveRequest{Table: tt.Hex(), Solver: "slowtest", NoCache: true})
+		}()
+	}
+	sawBusy, sawQueued := false, false
+	deadline := time.Now().Add(5 * time.Second)
+	for (!sawBusy || !sawQueued) && time.Now().Before(deadline) {
+		if obs.Metrics.InFlightWorkers.Value() > baseWorkers {
+			sawBusy = true
+		}
+		if obs.Metrics.QueueDepth.Value() > baseQueue {
+			sawQueued = true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	<-done
+	if !sawBusy {
+		t.Error("in-flight worker gauge never rose during a slow solve")
+	}
+	if !sawQueued {
+		t.Error("queue depth gauge never rose with a queued request")
+	}
+	if got := obs.Metrics.InFlightWorkers.Value(); got != baseWorkers {
+		t.Errorf("in-flight workers = %d after quiescence, want %d", got, baseWorkers)
+	}
+	if got := obs.Metrics.QueueDepth.Value(); got != baseQueue {
+		t.Errorf("queue depth = %d after quiescence, want %d", got, baseQueue)
+	}
+}
+
+// TestBatchRequestID checks every item of a batch response carries the
+// batch's trace ID.
+func TestBatchRequestID(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := mustExprTable(t, 4)
+	breq := BatchRequest{Requests: []SolveRequest{{Table: tt.Hex()}, {Table: tt.Hex()}}}
+	body, _ := json.Marshal(&breq)
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve/batch", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Request-ID", "batch-7")
+	hr, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	data, _ := io.ReadAll(hr.Body)
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Responses) != 2 {
+		t.Fatalf("responses = %d", len(out.Responses))
+	}
+	for i, r := range out.Responses {
+		if r.RequestID != "batch-7" {
+			t.Errorf("response %d request_id = %q, want batch-7", i, r.RequestID)
+		}
+	}
+	if got := hr.Header.Get("X-Request-ID"); got != "batch-7" {
+		t.Errorf("batch X-Request-ID header = %q", got)
+	}
+}

@@ -10,6 +10,7 @@
 //	GET  /v1/stats        admission, cache and process metrics snapshot
 //	GET  /healthz         liveness ("ok", or "draining" while shutting down)
 //	GET  /debug/vars      the process-wide expvar registry (internal/obs)
+//	GET  /metrics         the same registry in Prometheus text format
 //
 // Admission control bounds concurrent solver runs (Workers) and waiting
 // requests (QueueDepth); excess load is rejected with 429 + Retry-After
@@ -28,9 +29,11 @@ import (
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -71,6 +74,11 @@ type Config struct {
 	// Trace, if non-nil, receives every request's solver events (it
 	// must be safe for concurrent Emit; all internal/obs tracers are).
 	Trace obs.Tracer
+	// AccessLog, if non-nil, receives one JSON line per handled request
+	// (request ID, route, status, queue wait, solve time, cache
+	// outcome). Writes are serialized by the server; any io.Writer
+	// works. nil (the default) disables access logging.
+	AccessLog io.Writer
 }
 
 // withDefaults resolves the zero values.
@@ -112,7 +120,16 @@ type Server struct {
 	// solves counts solver invocations (not requests): the observable
 	// that proves cache hits and single-flight coalescing skip work.
 	solves atomic.Uint64
+
+	// accessMu serializes AccessLog writes so concurrent handlers never
+	// interleave lines.
+	accessMu sync.Mutex
 }
+
+// layerSink folds every traced run's KindLayerEnd events into the
+// process-wide dp_layer histograms; one stateless instance serves all
+// requests.
+var layerSink = obs.NewHistogramSink()
 
 // New returns a ready-to-serve Server. ctx is the server's lifetime
 // anchor: canceling it is equivalent to Drain (cmd/obddd passes its
@@ -134,6 +151,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.Handle("GET /metrics", obs.PrometheusHandler())
 	return s
 }
 
@@ -164,6 +182,33 @@ func (s *Server) Drain(ctx context.Context) error {
 	return s.adm.wait(ctx)
 }
 
+// requestSpan attaches a request-scoped span to r's context: the trace
+// ID is the caller's X-Request-ID header when it is sane (printable
+// ASCII, at most 128 bytes), a freshly minted ID otherwise. The ID is
+// echoed in the X-Request-ID response header immediately, so even
+// rejected requests are correlatable.
+func requestSpan(w http.ResponseWriter, r *http.Request) (context.Context, *obs.Span) {
+	sp := obs.NewSpan(sanitizeRequestID(r.Header.Get("X-Request-ID")))
+	w.Header().Set("X-Request-ID", sp.ID())
+	return obs.ContextWithSpan(r.Context(), sp), sp
+}
+
+// sanitizeRequestID accepts a caller-supplied trace ID only when it is
+// non-empty printable ASCII of bounded length; anything else returns ""
+// (mint a fresh one) — the ID lands in headers and log lines, so it
+// must not smuggle control bytes.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if c := id[i]; c < 0x21 || c > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
 // handleSolve serves POST /v1/solve.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
@@ -171,13 +216,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: err.Error()}}, 0)
 		return
 	}
+	ctx, sp := requestSpan(w, r)
 	release, err := s.adm.admit()
 	if err != nil {
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, "/v1/solve", sp, err)
 		return
 	}
 	defer release()
-	resp, status := s.solveOne(r.Context(), &req)
+	if sp != nil {
+		sp.Event("admitted")
+	}
+	resp, status := s.solveOne(ctx, &req)
+	resp.RequestID = sp.ID()
+	s.logAccess("/v1/solve", sp, status, resp)
 	writeResponse(w, status, resp, s.cfg.RetryAfter)
 }
 
@@ -194,17 +245,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: "empty batch"}}, 0)
 		return
 	}
+	ctx, sp := requestSpan(w, r)
 	release, err := s.adm.admit()
 	if err != nil {
-		s.writeAdmissionError(w, err)
+		s.writeAdmissionError(w, "/v1/solve/batch", sp, err)
 		return
 	}
 	defer release()
+	if sp != nil {
+		sp.Event("admitted")
+	}
 	out := BatchResponse{Responses: make([]SolveResponse, len(req.Requests))}
 	for i := range req.Requests {
-		resp, _ := s.solveOne(r.Context(), &req.Requests[i])
+		resp, _ := s.solveOne(ctx, &req.Requests[i])
+		resp.RequestID = sp.ID()
 		out.Responses[i] = *resp
 	}
+	s.logAccess("/v1/solve/batch", sp, http.StatusOK, nil)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -217,6 +274,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // outcomes, including early-stopped ones — the outcome is in the body).
 func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResponse, int) {
 	start := time.Now()
+	sp := obs.SpanFromContext(reqCtx)
 	tt, rule, solverName, opts, deadline, err := s.parseRequest(req)
 	if err != nil {
 		return &SolveResponse{Error: errorToWire(err)}, http.StatusBadRequest
@@ -238,22 +296,42 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 	// microsecond answer path for repeat queries stays open even when
 	// the solver pool is saturated.
 	var key string
+	cacheState := ""
 	if s.cache != nil && !req.NoCache {
 		key = cache.Key(tt.Hex(), rule.String(), "exact")
 		if v, ok := s.cache.Get(key); ok {
+			if sp != nil {
+				sp.Event("cache_hit")
+			}
 			obs.Metrics.RequestsServed.Inc()
-			return &SolveResponse{Result: v.(*core.Result), Cached: true, ElapsedMS: msSince(start)}, http.StatusOK
+			return &SolveResponse{Result: v.(*core.Result), Cached: true, ElapsedMS: msSince(start), cacheState: "hit"}, http.StatusOK
 		}
+		cacheState = "miss"
+		if sp != nil {
+			sp.Event("cache_miss")
+		}
+	} else {
+		cacheState = "bypass"
 	}
 
-	// Wait (bounded by QueueDepth occupancy) for a worker slot.
+	// Wait (bounded by QueueDepth occupancy) for a worker slot. The wait
+	// is the queue-wait distribution — recorded on both outcomes, since a
+	// request that dies queued waited all the same.
+	queueStart := time.Now()
 	releaseWorker, err := s.adm.acquireWorker(ctx)
+	queueWait := time.Since(queueStart)
+	obs.Hist(obs.HistNameQueueWait).RecordDuration(queueWait)
 	if err != nil {
-		resp := &SolveResponse{Error: errorToWire(fmt.Errorf("%w: while queued: %v", core.ErrCanceled, err)), ElapsedMS: msSince(start)}
+		resp := &SolveResponse{Error: errorToWire(fmt.Errorf("%w: while queued: %v", core.ErrCanceled, err)), ElapsedMS: msSince(start),
+			queueWaitNS: queueWait.Nanoseconds(), cacheState: cacheState}
 		return resp, http.StatusOK
 	}
 	defer releaseWorker()
+	if sp != nil {
+		sp.Event("worker_acquired")
+	}
 
+	var solveNS int64
 	run := func() (*core.Result, *obs.RunReport, error) {
 		var col *obs.Collector
 		runOpts := *opts
@@ -261,13 +339,26 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 			// A typed-nil *Collector would defeat Multi's nil filtering,
 			// so col only enters the fan-out when it exists.
 			col = obs.NewCollector()
-			runOpts.Trace = obs.Multi(col, s.cfg.Trace)
+			runOpts.Trace = obs.Multi(col, s.cfg.Trace, layerSink)
 		} else {
-			runOpts.Trace = s.cfg.Trace
+			runOpts.Trace = obs.Multi(s.cfg.Trace, layerSink)
 		}
 		solver, _ := core.LookupSolver(solverName)
 		s.solves.Add(1)
+		if sp != nil {
+			sp.Event("solver_start:" + solverName)
+		}
+		solveStart := time.Now()
 		res, err := solver(ctx, tt, &runOpts)
+		// run executes on this goroutine (cache.Do invokes compute
+		// synchronously in the owning request), so plain assignment is
+		// safe; a coalesced request never calls run and reports 0.
+		elapsed := time.Since(solveStart)
+		solveNS = elapsed.Nanoseconds()
+		obs.Hist(obs.HistNameSolveLatency, "solver", solverName).RecordDuration(elapsed)
+		if sp != nil {
+			sp.Event("solver_done:" + solverName)
+		}
 		var rep *obs.RunReport
 		if col != nil {
 			rep = col.Report()
@@ -276,6 +367,10 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 			rep.Rule = rule.String()
 			rep.N = tt.NumVars()
 			rep.Result = res
+			if sp != nil {
+				rep.RequestID = sp.ID()
+				rep.Span = sp.Events()
+			}
 		}
 		return res, rep, err
 	}
@@ -305,7 +400,8 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 		res, rep, err = run()
 	}
 
-	resp := &SolveResponse{Result: res, Report: rep, Cached: cached, ElapsedMS: msSince(start)}
+	resp := &SolveResponse{Result: res, Report: rep, Cached: cached, ElapsedMS: msSince(start),
+		queueWaitNS: queueWait.Nanoseconds(), solveNS: solveNS, cacheState: cacheState}
 	if err != nil {
 		resp.Error = errorToWire(err)
 		// Solve outcomes — including cancellation and budget exhaustion,
@@ -337,9 +433,10 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 // handleStats serves GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"cache":   s.CacheStats(),
-		"solves":  s.SolveCount(),
-		"metrics": obs.MetricsSnapshot(),
+		"cache":      s.CacheStats(),
+		"solves":     s.SolveCount(),
+		"metrics":    obs.MetricsSnapshot(),
+		"histograms": obs.HistogramsSnapshot(),
 	})
 }
 
@@ -354,13 +451,68 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeAdmissionError renders saturation/draining rejections with their
-// HTTP statuses and the Retry-After hint.
-func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
+// HTTP statuses and the Retry-After hint; rejections are access-logged
+// like every other outcome.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, route string, sp *obs.Span, err error) {
 	status := http.StatusServiceUnavailable
 	if err == ErrSaturated {
 		status = http.StatusTooManyRequests
 	}
-	writeResponse(w, status, &SolveResponse{Error: errorToWire(err)}, s.cfg.RetryAfter)
+	resp := &SolveResponse{Error: errorToWire(err)}
+	if sp != nil {
+		resp.RequestID = sp.ID()
+	}
+	s.logAccess(route, sp, status, resp)
+	writeResponse(w, status, resp, s.cfg.RetryAfter)
+}
+
+// accessRecord is one access-log line: who (request ID), what (route,
+// status, cache outcome, error code), and where the time went (queue
+// wait, solver run, total handling).
+type accessRecord struct {
+	Time        string  `json:"ts"`
+	RequestID   string  `json:"request_id"`
+	Route       string  `json:"route"`
+	Status      int     `json:"status"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	SolveMS     float64 `json:"solve_ms,omitempty"`
+	Cache       string  `json:"cache,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// logAccess writes one JSON line for a handled request when access
+// logging is configured. resp may be nil (batch envelopes log only
+// route/status/ID).
+func (s *Server) logAccess(route string, sp *obs.Span, status int, resp *SolveResponse) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	rec := accessRecord{
+		Time:   time.Now().UTC().Format(time.RFC3339Nano),
+		Route:  route,
+		Status: status,
+	}
+	if sp != nil {
+		rec.RequestID = sp.ID()
+	}
+	if resp != nil {
+		rec.QueueWaitMS = float64(resp.queueWaitNS) / float64(time.Millisecond)
+		rec.SolveMS = float64(resp.solveNS) / float64(time.Millisecond)
+		rec.Cache = resp.cacheState
+		rec.ElapsedMS = resp.ElapsedMS
+		if resp.Error != nil {
+			rec.Error = resp.Error.Code
+		}
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.accessMu.Lock()
+	_, _ = s.cfg.AccessLog.Write(line)
+	s.accessMu.Unlock()
 }
 
 // decodeJSON reads a JSON body, bounded and strict.

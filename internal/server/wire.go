@@ -85,12 +85,25 @@ var (
 type SolveResponse struct {
 	Result *core.Result   `json:"result,omitempty"`
 	Report *obs.RunReport `json:"report,omitempty"`
+	// RequestID is the request's trace ID: the value of the caller's
+	// X-Request-ID header when one was sent, a server-minted ID
+	// otherwise. The same ID appears in the X-Request-ID response
+	// header, the access log, and the RunReport when one was requested.
+	RequestID string `json:"request_id,omitempty"`
 	// Cached reports the result was served from the canonical cache
 	// without running a solver.
 	Cached bool `json:"cached,omitempty"`
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
 	Error     *WireError `json:"error,omitempty"`
+
+	// Access-log bookkeeping, filled by solveOne and never serialized:
+	// time spent waiting for a worker slot, solver run time, and the
+	// cache outcome ("hit", "miss", "bypass", or empty when the request
+	// failed before the lookup).
+	queueWaitNS int64
+	solveNS     int64
+	cacheState  string
 }
 
 // BatchRequest is the body of POST /v1/solve/batch.

@@ -7,6 +7,7 @@ import (
 
 	"obddopt/internal/core"
 	_ "obddopt/internal/heuristics" // installs the portfolio's default heuristic seeder
+	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
@@ -140,7 +141,22 @@ func Solve(ctx context.Context, tt *Table, opts ...Option) (*Result, error) {
 	}
 	ctx, cancel := applyDeadline(ctx, cfg.deadline)
 	defer cancel()
-	return solver(ctx, tt, &cfg.opts)
+	// Every Solve call runs under a request-scoped span: the caller's (a
+	// server handler that already minted a request ID) or a fresh one, so
+	// the run is attributable end to end. Span events and the per-solver
+	// wall-time histogram are run-granular — they never touch the solver's
+	// per-cell hot path.
+	ctx, sp := obs.EnsureSpan(ctx)
+	sp.Event("solver_start:" + cfg.solver) //lint:allow tracesafe EnsureSpan mints a span when the context has none, so sp is never nil
+	start := time.Now()
+	res, err := solver(ctx, tt, &cfg.opts)
+	obs.Hist(obs.HistNameSolverWall, "solver", cfg.solver).RecordDuration(time.Since(start))
+	if m := cfg.opts.Meter; m != nil {
+		obs.Hist(obs.HistNameSolverCells, "solver", cfg.solver).Record(m.CellOps)
+		obs.Hist(obs.HistNameSolverPeak, "solver", cfg.solver).Record(m.PeakCells)
+	}
+	sp.Event("solver_done:" + cfg.solver) //lint:allow tracesafe EnsureSpan mints a span when the context has none, so sp is never nil
+	return res, err
 }
 
 // SolveShared is Solve for the multi-rooted (shared-forest) problem: the

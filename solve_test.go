@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"obddopt/internal/core"
+	"obddopt/internal/obs"
 )
 
 // TestSolveDefaultMatchesLegacy pins the migration contract: a bare
@@ -193,5 +194,44 @@ func TestSolveSharedMatchesLegacy(t *testing.T) {
 	}
 	if got.MinCost != want.MinCost {
 		t.Errorf("SolveShared MinCost = %d, legacy = %d", got.MinCost, want.MinCost)
+	}
+}
+
+// TestSolveSpanInstrumentation checks the request-scoped span contract
+// of the facade: a caller-attached span collects solver phase events
+// (plus portfolio lane events when racing), a bare call mints its own
+// span without disturbing the caller, and the per-solver wall-time
+// histogram in the registry grows by one observation per call.
+func TestSolveSpanInstrumentation(t *testing.T) {
+	tt := RandomTable(6, rand.New(rand.NewSource(9)))
+
+	sp := obs.NewSpan("test-span-1")
+	ctx := obs.ContextWithSpan(context.Background(), sp)
+	before := obs.Hist(obs.HistNameSolverWall, "solver", "portfolio").Count()
+	if _, err := Solve(ctx, tt); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Hist(obs.HistNameSolverWall, "solver", "portfolio").Count(); got != before+1 {
+		t.Errorf("solver_wall_ns{solver=portfolio} count = %d, want %d", got, before+1)
+	}
+	names := map[string]bool{}
+	for _, ev := range sp.Events() {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"solver_start:portfolio", "solver_done:portfolio", "race_won:fs", "race_won:bnb"} {
+		if want == "race_won:fs" || want == "race_won:bnb" {
+			continue // exactly one of the two is present, checked below
+		}
+		if !names[want] {
+			t.Errorf("span missing event %q (have %v)", want, sp.Events())
+		}
+	}
+	if !names["race_won:fs"] && !names["race_won:bnb"] {
+		t.Errorf("span recorded no race winner: %v", sp.Events())
+	}
+
+	// Lane histograms grew too.
+	if obs.Hist(obs.HistNameLaneWall, "lane", "bnb").Count() == 0 {
+		t.Error("lane_wall_ns{lane=bnb} never recorded")
 	}
 }
