@@ -126,7 +126,7 @@ func BenchmarkOptimalOrdering(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.OptimalOrdering(f, &core.Options{Meter: &core.Meter{}})
+		core.OptimalOrdering(f, &core.SolveOptions{Meter: &core.Meter{}})
 	}
 }
 
@@ -145,7 +145,7 @@ func BenchmarkOptimalOrderingTraced(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		col := NewRunCollector()
-		core.OptimalOrdering(f, &core.Options{Meter: &core.Meter{}, Trace: col})
+		core.OptimalOrdering(f, &core.SolveOptions{Meter: &core.Meter{}, Trace: col})
 		if col.Report().Events == 0 {
 			b.Fatal("tracer saw no events")
 		}
@@ -167,7 +167,7 @@ func BenchmarkOptimalOrderingHistogram(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.OptimalOrdering(f, &core.Options{Meter: &core.Meter{}, Trace: sink})
+		core.OptimalOrdering(f, &core.SolveOptions{Meter: &core.Meter{}, Trace: sink})
 	}
 	b.StopTimer()
 	if obs.Hist(obs.HistNameDPLayer).Count() == before {

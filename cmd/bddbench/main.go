@@ -59,7 +59,8 @@ func main() {
 		compare    = flag.Bool("compare", false, "diff two trajectory artifacts given as positional args (old.json new.json); exit nonzero past -threshold")
 		timeCap    = flag.Duration("time-cap", 0, "per-run wall cap in -trajectory mode (0 = 2s, or 300ms with -quick)")
 		threshold  = flag.Float64("threshold", 1.5, "-compare regression threshold: flag points whose ns/op grew more than this factor")
-		maxN       = flag.Int("max-n", 0, "largest variable count swept in -trajectory mode (0 = 16, or 10 with -quick)")
+		nsAdvisory = flag.Bool("ns-advisory", false, "-compare: report ns/op regressions without failing; only max-feasible-n drops exit nonzero")
+		maxN       = flag.Int("max-n", 0, "largest variable count swept in -trajectory mode (0 = 16, or 14 with -quick)")
 	)
 	var solverFlags cliutil.SolverFlags
 	solverFlags.Register(flag.CommandLine, "")
@@ -79,7 +80,7 @@ func main() {
 		if len(args) != 2 {
 			err = errors.New("-compare needs exactly two positional arguments: old.json new.json (flags must precede them)")
 		} else {
-			err = runCompare(os.Stdout, args[0], args[1], *threshold)
+			err = runCompare(os.Stdout, args[0], args[1], *threshold, *nsAdvisory)
 		}
 	case *trajectory:
 		rule, rerr := cliutil.ParseRule(*ruleName)

@@ -93,7 +93,10 @@ func resolveTrajectoryConfig(seed int64, quick bool, timeCap time.Duration, maxN
 	if c.maxN <= 0 {
 		c.maxN = 16
 		if quick {
-			c.maxN = 10
+			// High enough that the committed quick artifact records where
+			// solvers actually stop under the cap (fs clears n=14 since the
+			// arena-backed core), low enough to stay CI-sized.
+			c.maxN = 14
 		}
 	}
 	if c.maxN > truthtable.MaxVars {
@@ -246,7 +249,13 @@ var errRegression = errors.New("bddbench: benchmark regression past threshold")
 // depth, timeouts) are skipped — and a completed point whose ns/op grew
 // by more than threshold× is a regression, as is a solver whose
 // max-feasible-n shrank. Returns errRegression when any were found.
-func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64) error {
+//
+// With nsAdvisory, ns/op growth is still reported but never fails the
+// comparison; only a max-feasible-n drop does. This is the CI gate mode:
+// feasibility is machine-independent (a solver either finishes inside
+// the cap or it does not), while ns/op on shared runners is too noisy to
+// block merges on.
+func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64, nsAdvisory bool) error {
 	if threshold <= 1 {
 		return fmt.Errorf("-threshold must be > 1 (got %g)", threshold)
 	}
@@ -268,8 +277,12 @@ func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64) er
 	}
 	regressions := 0
 	compared := 0
-	fmt.Fprintf(stdout, "comparing %s (rev %s) -> %s (rev %s), threshold %.2fx\n",
-		oldPath, orDash(oldT.GitRev), newPath, orDash(newT.GitRev), threshold)
+	mode := ""
+	if nsAdvisory {
+		mode = " (ns/op advisory)"
+	}
+	fmt.Fprintf(stdout, "comparing %s (rev %s) -> %s (rev %s), threshold %.2fx%s\n",
+		oldPath, orDash(oldT.GitRev), newPath, orDash(newT.GitRev), threshold, mode)
 	for _, np := range newT.Points {
 		op, ok := oldPts[key{np.Solver, np.Rule, np.N}]
 		if !ok || op.TimedOut || np.TimedOut || op.Err != "" || np.Err != "" || op.NsPerOp <= 0 {
@@ -279,8 +292,12 @@ func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64) er
 		ratio := float64(np.NsPerOp) / float64(op.NsPerOp)
 		mark := ""
 		if ratio > threshold {
-			regressions++
-			mark = "  REGRESSION"
+			if nsAdvisory {
+				mark = "  slower (advisory)"
+			} else {
+				regressions++
+				mark = "  REGRESSION"
+			}
 		}
 		fmt.Fprintf(stdout, "  %-10s %-5s n=%-3d %12d -> %12d ns/op  (%.2fx)%s\n",
 			np.Solver, np.Rule, np.N, op.NsPerOp, np.NsPerOp, ratio, mark)

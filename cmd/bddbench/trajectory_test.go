@@ -85,7 +85,7 @@ func TestCompareSelfIsClean(t *testing.T) {
 	traj := tinyTrajectory(t)
 	path := writeTrajectory(t, "self.json", traj)
 	var out bytes.Buffer
-	if err := runCompare(&out, path, path, 1.5); err != nil {
+	if err := runCompare(&out, path, path, 1.5, false); err != nil {
 		t.Fatalf("self-compare: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "0 regressions") {
@@ -105,7 +105,7 @@ func TestCompareDetectsRegression(t *testing.T) {
 	newPath := writeTrajectory(t, "new.json", &slow)
 
 	var out bytes.Buffer
-	err := runCompare(&out, oldPath, newPath, 1.5)
+	err := runCompare(&out, oldPath, newPath, 1.5, false)
 	if err == nil {
 		t.Fatalf("10x slowdown not reported as regression:\n%s", out.String())
 	}
@@ -118,8 +118,42 @@ func TestCompareDetectsRegression(t *testing.T) {
 
 	// The reverse direction (new is faster) must stay clean.
 	out.Reset()
-	if err := runCompare(&out, newPath, oldPath, 1.5); err != nil {
+	if err := runCompare(&out, newPath, oldPath, 1.5, false); err != nil {
 		t.Errorf("speedup flagged as regression: %v", err)
+	}
+}
+
+// TestCompareNsAdvisory pins the CI gate mode: with ns-advisory set, a
+// pure ns/op slowdown is reported but does not fail, while a
+// max-feasible-n drop still does.
+func TestCompareNsAdvisory(t *testing.T) {
+	traj := tinyTrajectory(t)
+	oldPath := writeTrajectory(t, "old.json", traj)
+
+	slow := *traj
+	slow.Points = append([]TrajPoint(nil), traj.Points...)
+	for i := range slow.Points {
+		slow.Points[i].NsPerOp *= 10
+	}
+	slowPath := writeTrajectory(t, "slow.json", &slow)
+
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, slowPath, 1.5, true); err != nil {
+		t.Fatalf("advisory mode failed on a pure ns/op slowdown: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Errorf("advisory output missing the advisory mark:\n%s", out.String())
+	}
+
+	shrunk := slow
+	shrunk.MaxFeasibleN = map[string]int{}
+	for s, n := range traj.MaxFeasibleN {
+		shrunk.MaxFeasibleN[s] = n - 2
+	}
+	shrunkPath := writeTrajectory(t, "shrunk.json", &shrunk)
+	out.Reset()
+	if err := runCompare(&out, oldPath, shrunkPath, 1.5, true); err == nil {
+		t.Fatalf("advisory mode let a max-feasible-n drop pass:\n%s", out.String())
 	}
 }
 
@@ -135,7 +169,7 @@ func TestCompareDetectsFeasibilityDrop(t *testing.T) {
 	newPath := writeTrajectory(t, "new.json", &shrunk)
 
 	var out bytes.Buffer
-	if err := runCompare(&out, oldPath, newPath, 1.5); err == nil {
+	if err := runCompare(&out, oldPath, newPath, 1.5, false); err == nil {
 		t.Fatalf("max-feasible-n drop not reported:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "max feasible n shrank") {
@@ -147,16 +181,16 @@ func TestCompareRejectsBadInputs(t *testing.T) {
 	traj := tinyTrajectory(t)
 	good := writeTrajectory(t, "good.json", traj)
 
-	if err := runCompare(io.Discard, good, good, 0.5); err == nil {
+	if err := runCompare(io.Discard, good, good, 0.5, false); err == nil {
 		t.Error("threshold <= 1 accepted")
 	}
-	if err := runCompare(io.Discard, filepath.Join(t.TempDir(), "absent.json"), good, 1.5); err == nil {
+	if err := runCompare(io.Discard, filepath.Join(t.TempDir(), "absent.json"), good, 1.5, false); err == nil {
 		t.Error("missing old file accepted")
 	}
 	bad := *traj
 	bad.Schema = "some/other/v9"
 	badPath := writeTrajectory(t, "bad.json", &bad)
-	if err := runCompare(io.Discard, good, badPath, 1.5); err == nil || !strings.Contains(err.Error(), "schema") {
+	if err := runCompare(io.Discard, good, badPath, 1.5, false); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Errorf("schema mismatch not rejected: %v", err)
 	}
 }
@@ -165,7 +199,7 @@ func TestCompareRejectsBadInputs(t *testing.T) {
 // carry the current schema, and self-compare clean — so the CI smoke
 // job always has a valid baseline to diff against.
 func TestCommittedArtifactIsCurrent(t *testing.T) {
-	path := filepath.Join("..", "..", "BENCH_6.json")
+	path := filepath.Join("..", "..", "BENCH_7.json")
 	traj, err := loadTrajectory(path)
 	if err != nil {
 		t.Fatalf("committed artifact: %v", err)
@@ -174,7 +208,7 @@ func TestCommittedArtifactIsCurrent(t *testing.T) {
 		t.Fatal("committed artifact is empty")
 	}
 	var out bytes.Buffer
-	if err := runCompare(&out, path, path, 1.5); err != nil {
+	if err := runCompare(&out, path, path, 1.5, false); err != nil {
 		t.Fatalf("committed artifact self-compare: %v\n%s", err, out.String())
 	}
 }

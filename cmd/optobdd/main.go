@@ -272,7 +272,7 @@ func (c *config) runShared() error {
 	ctx, cancel := c.flags.Context()
 	defer cancel()
 	start := time.Now()
-	res, err := core.OptimalOrderingSharedCtx(ctx, tts, &core.Options{Rule: rule, Meter: meter, Trace: tr, Budget: c.flags.Budget()})
+	res, err := core.OptimalOrderingSharedCtx(ctx, tts, core.NewSolveOptions(core.WithRule(rule), core.WithMeter(meter), core.WithTrace(tr), core.WithBudget(c.flags.Budget())))
 	elapsed := time.Since(start)
 	if err != nil {
 		return err

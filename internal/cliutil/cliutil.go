@@ -138,14 +138,8 @@ func (f *ServeFlags) Config(tr obs.Tracer, accessLog io.Writer) server.Config {
 	return cfg
 }
 
-// ParseRule maps a -rule flag value to the diagram rule.
+// ParseRule maps a -rule flag value to the diagram rule; unknown names
+// surface core's typed *UnknownRuleError.
 func ParseRule(name string) (core.Rule, error) {
-	switch strings.ToLower(name) {
-	case "obdd":
-		return core.OBDD, nil
-	case "zdd":
-		return core.ZDD, nil
-	default:
-		return core.OBDD, fmt.Errorf("unknown rule %q (obdd or zdd)", name)
-	}
+	return core.ParseRule(name)
 }

@@ -170,14 +170,9 @@ func (e GoldenEntry) decode() (*truthtable.Table, core.Rule, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("bad table literal: %v", err)
 	}
-	var rule core.Rule
-	switch strings.ToLower(e.Rule) {
-	case "obdd":
-		rule = core.OBDD
-	case "zdd":
-		rule = core.ZDD
-	default:
-		return nil, 0, fmt.Errorf("bad rule %q", e.Rule)
+	rule, err := core.ParseRule(e.Rule)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bad rule: %w", err)
 	}
 	return tt, rule, nil
 }

@@ -247,7 +247,7 @@ func checkSharedSingleton(ctx context.Context, solver string, tt *truthtable.Tab
 	if err != nil {
 		return fmt.Errorf("solve failed: %w", err)
 	}
-	sh, err := core.OptimalOrderingSharedCtx(ctx, []*truthtable.Table{tt}, &core.Options{Rule: rule})
+	sh, err := core.OptimalOrderingSharedCtx(ctx, []*truthtable.Table{tt}, core.NewSolveOptions(core.WithRule(rule)))
 	if err != nil {
 		return fmt.Errorf("shared solve failed: %w", err)
 	}
@@ -269,7 +269,7 @@ func checkAgreement(ctx context.Context, solver string, tt *truthtable.Table, ru
 	if err != nil {
 		return fmt.Errorf("solve failed: %w", err)
 	}
-	ref, err := core.OptimalOrderingCtx(ctx, tt, &core.Options{Rule: rule})
+	ref, err := core.OptimalOrderingCtx(ctx, tt, core.NewSolveOptions(core.WithRule(rule)))
 	if err != nil {
 		return fmt.Errorf("reference DP failed: %w", err)
 	}

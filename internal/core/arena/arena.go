@@ -1,0 +1,104 @@
+// Package arena provides the recycled storage behind the dynamic
+// program's TABLE cells: a slab arena of power-of-two uint32 blocks and
+// a reusable open-addressed deduplication scratch. Both exist for the
+// same reason — the O*(3^n) subset DP allocates and drops one table per
+// transition, and going through the garbage collector for each (a fresh
+// zeroed slice plus a fresh map) dominates the runtime long before the
+// arithmetic does. An Arena keeps dropped blocks on per-size free lists
+// and hands them back dirty (every compaction overwrites every cell), so
+// a layer transition touches the same few cache-resident blocks over and
+// over instead of streaming new memory.
+//
+// Arenas are deliberately trivial: they do not track outstanding blocks.
+// A block that is never Put back is simply collected by the GC with
+// whatever still references it — safety does not depend on the free
+// discipline, only recycling efficiency does. Arenas are NOT safe for
+// concurrent use; acquire one per goroutine (see Acquire/Release).
+package arena
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxClass bounds the size classes: blocks up to 2^(maxClass-1) cells
+// are recycled, larger requests fall through to plain make (unreachable
+// for truth tables, which are capped far below 2^32 cells).
+const maxClass = 33
+
+// Arena recycles []uint32 blocks in power-of-two size classes. The zero
+// value is ready to use.
+type Arena struct {
+	free [maxClass][][]uint32
+	// gets/reuses count block requests and free-list hits, for tests and
+	// effectiveness probes.
+	gets, reuses uint64
+}
+
+// GetU32 returns a block with len(block) == size. The contents are
+// UNSPECIFIED (dirty): callers must overwrite every cell they read.
+// Size zero returns nil.
+func (a *Arena) GetU32(size uint64) []uint32 {
+	if size == 0 {
+		return nil
+	}
+	a.gets++
+	c := class(size)
+	if c < maxClass && uint64(1)<<uint(c) == size {
+		if l := a.free[c]; len(l) > 0 {
+			b := l[len(l)-1]
+			a.free[c] = l[:len(l)-1]
+			a.reuses++
+			return b[:size]
+		}
+		return make([]uint32, size)
+	}
+	// Off-class size: not recycled.
+	return make([]uint32, size)
+}
+
+// PutU32 returns a block to the arena for reuse. Only exact power-of-two
+// blocks (as handed out by GetU32) are recycled; others are dropped for
+// the GC. Put blocks must no longer be referenced by the caller.
+func (a *Arena) PutU32(b []uint32) {
+	size := uint64(cap(b))
+	if size == 0 {
+		return
+	}
+	c := class(size)
+	if c < maxClass && uint64(1)<<uint(c) == size {
+		a.free[c] = append(a.free[c], b[:size])
+	}
+}
+
+// Reset drops every free list, letting the GC reclaim the blocks.
+func (a *Arena) Reset() {
+	for i := range a.free {
+		a.free[i] = nil
+	}
+}
+
+// Stats reports block requests and free-list hits since construction.
+func (a *Arena) Stats() (gets, reuses uint64) { return a.gets, a.reuses }
+
+// class returns ceil(log2(size)).
+func class(size uint64) int {
+	if size <= 1 {
+		return 0
+	}
+	return bits.Len64(size - 1)
+}
+
+// pool recycles whole arenas across solver runs, so consecutive Solve
+// calls on one process reuse the same warmed slabs instead of faulting
+// fresh pages. Arenas carry no per-run state besides their free lists,
+// so reuse cannot bleed results between runs — blocks are dirty by
+// contract either way.
+var pool = sync.Pool{New: func() any { return new(Arena) }}
+
+// Acquire returns an arena for one run (goroutine-local use only).
+func Acquire() *Arena { return pool.Get().(*Arena) }
+
+// Release returns an arena to the process-wide pool. The caller must
+// not use it afterwards, and no goroutine may still Put into it.
+func Release(a *Arena) { pool.Put(a) }

@@ -1,0 +1,75 @@
+package arena
+
+// Dedup is the per-compaction node-uniqueness scratch: an open-addressed
+// hash table from packed (u0, u1) child-pair keys to node IDs, reused
+// across compactions so the hot loop never allocates. It replaces the
+// per-call map[uint64]uint32 the compactor historically built — at table
+// sizes of 2^k cells the map's per-insert overhead (hashing interface
+// plumbing, incremental growth, GC pressure) dominated the compaction
+// arithmetic severalfold.
+//
+// The zero key doubles as the empty-slot sentinel. This is sound for
+// every reduction rule the engine supports: a (0, 0) pair is never
+// inserted, because under the OBDD/MTBDD rule equal children are skipped
+// (u0 == u1) and under the ZDD rule a zero 1-child is skipped (u1 == 0).
+type Dedup struct {
+	keys []uint64
+	vals []uint32
+	// shift turns a mixed 64-bit hash into an index: idx = hash >> shift.
+	shift uint
+}
+
+// Reset prepares the scratch for a compaction expecting at most expect
+// insertions, growing the backing arrays if needed and clearing the
+// previous compaction's keys. Capacity is the next power of two ≥
+// 2·expect (load factor ≤ 0.5), at least 16.
+func (d *Dedup) Reset(expect uint64) {
+	need := expect * 2
+	if need < 16 {
+		need = 16
+	}
+	capacity := uint64(16)
+	for capacity < need {
+		capacity <<= 1
+	}
+	d.shift = 64 - uint(log2(capacity))
+	if uint64(cap(d.keys)) < capacity {
+		d.keys = make([]uint64, capacity)
+		d.vals = make([]uint32, capacity)
+		return
+	}
+	// Re-slice the backing arrays to the requested capacity — smaller
+	// compactions clear proportionally less — and clear the stale keys.
+	d.keys = d.keys[:capacity]
+	d.vals = d.vals[:capacity]
+	clear(d.keys)
+}
+
+// FindOrAssign returns the ID recorded for key, or records id for it.
+// fresh reports whether id was newly assigned.
+func (d *Dedup) FindOrAssign(key uint64, id uint32) (got uint32, fresh bool) {
+	mask := uint64(len(d.keys) - 1)
+	slot := (key * 0x9e3779b97f4a7c15) >> d.shift
+	for { //lint:allow ctxcheckpoint linear probe over a table Reset sizes to ≥ 2x the insertions, so an empty slot is always reached within the table length
+
+		k := d.keys[slot]
+		if k == key {
+			return d.vals[slot], false
+		}
+		if k == 0 {
+			d.keys[slot] = key
+			d.vals[slot] = id
+			return id, true
+		}
+		slot = (slot + 1) & mask
+	}
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -89,6 +89,8 @@ func BranchAndBoundCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BnBOption
 	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
+	ws := acquireWorkspace()
+	defer ws.release()
 	base := baseContext(tt)
 	m.alloc(base.cells())
 
@@ -150,7 +152,7 @@ func BranchAndBoundCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BnBOption
 			if err := lim.spend(1); err != nil {
 				return err
 			}
-			next, _ := compact(c, v, rule, m)
+			next, _ := compact(c, v, rule, m, ws)
 			searchOps += ops
 			searchCompactions++
 			if tr != nil {
@@ -160,6 +162,7 @@ func BranchAndBoundCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BnBOption
 			err := dfs(next, mask.With(v))
 			order = order[:len(order)-1]
 			m.free(next.cells())
+			ws.recycle(next)
 			if err != nil {
 				return err
 			}

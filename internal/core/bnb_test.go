@@ -28,7 +28,7 @@ func TestBranchAndBoundZDD(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		n := 2 + trial%5
 		f := truthtable.Random(n, rng)
-		fs := OptimalOrdering(f, &Options{Rule: ZDD})
+		fs := OptimalOrdering(f, &SolveOptions{Rule: ZDD})
 		bb := BranchAndBound(f, &BnBOptions{Rule: ZDD})
 		if fs.MinCost != bb.MinCost {
 			t.Fatalf("ZDD n=%d: B&B %d != FS %d (f=%s)", n, bb.MinCost, fs.MinCost, f.Hex())
@@ -81,7 +81,7 @@ func TestBranchAndBoundSpaceAdvantage(t *testing.T) {
 	f := truthtable.Random(9, rng)
 	bbM, fsM := &Meter{}, &Meter{}
 	BranchAndBound(f, &BnBOptions{Meter: bbM})
-	OptimalOrdering(f, &Options{Meter: fsM})
+	OptimalOrdering(f, &SolveOptions{Meter: fsM})
 	if bbM.PeakCells >= fsM.PeakCells {
 		t.Errorf("B&B peak %d not below FS peak %d", bbM.PeakCells, fsM.PeakCells)
 	}

@@ -65,6 +65,8 @@ func BruteForceCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BruteForceOpt
 	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tt.NumVars()
+	ws := acquireWorkspace()
+	defer ws.release()
 	base := baseContext(tt)
 	m.alloc(base.cells())
 
@@ -99,13 +101,14 @@ func BruteForceCtx(ctx stdctx.Context, tt *truthtable.Table, opts *BruteForceOpt
 			if err := lim.spend(1); err != nil {
 				return err
 			}
-			next, _ := compact(c, v, rule, m)
+			next, _ := compact(c, v, rule, m, ws)
 			searchOps += ops
 			searchCompactions++
 			order = append(order, v)
 			err := dfs(next)
 			order = order[:len(order)-1]
 			m.free(next.cells())
+			ws.recycle(next)
 			if err != nil {
 				return err
 			}

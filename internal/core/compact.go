@@ -14,61 +14,24 @@
 // needs. Compaction supports three node-elimination rules: OBDD (Shannon),
 // ZDD (zero-suppressed, Remark 2's two-line modification), and MTBDD
 // (multi-terminal, also Remark 2).
+//
+// Storage: every table is a flat []uint32 of 2^{|free|} cells. The hot
+// paths never allocate tables through the garbage collector — they draw
+// dirty power-of-two blocks from a per-goroutine workspace (a slab arena
+// plus a reusable dedup scratch, see internal/core/arena) and return them
+// when a candidate is dropped or a layer retires. The Meter's cell
+// accounting (alloc/free) is kept alongside and is what bddlint's
+// meterbalance analyzer audits; arena recycling is invisible to it.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/core/arena"
 	"obddopt/internal/truthtable"
 )
-
-// Rule selects the reduction rule applied during table compaction, i.e.
-// which decision-diagram variant is being minimized.
-type Rule int
-
-const (
-	// OBDD applies the standard reduction: a node whose 0- and 1-child
-	// coincide is skipped (the function does not depend on the level's
-	// variable).
-	OBDD Rule = iota
-	// ZDD applies the zero-suppressed rule: a node whose 1-child is the
-	// false terminal is skipped. This is the two-line modification of
-	// Remark 2 / Appendix D.
-	ZDD
-)
-
-// String returns the conventional name of the rule.
-func (r Rule) String() string {
-	switch r {
-	case OBDD:
-		return "OBDD"
-	case ZDD:
-		return "ZDD"
-	default:
-		return fmt.Sprintf("Rule(%d)", int(r))
-	}
-}
-
-// MarshalJSON renders the rule as its conventional name, so run reports
-// read "OBDD"/"ZDD" instead of enum integers.
-func (r Rule) MarshalJSON() ([]byte, error) {
-	return []byte(`"` + r.String() + `"`), nil
-}
-
-// UnmarshalJSON accepts the conventional name (or a bare integer, for
-// compatibility with numerically encoded reports).
-func (r *Rule) UnmarshalJSON(data []byte) error {
-	switch string(data) {
-	case `"OBDD"`, "0":
-		*r = OBDD
-	case `"ZDD"`, "1":
-		*r = ZDD
-	default:
-		return fmt.Errorf("core: unknown rule %s", data)
-	}
-	return nil
-}
 
 // Meter accumulates the operation counts the complexity claims are stated
 // in. CellOps counts table-compaction cell visits — the unit in which the
@@ -123,6 +86,39 @@ func (m *Meter) free(cells uint64) {
 	m.LiveCells -= cells
 }
 
+// workspace bundles the goroutine-local scratch of one solver run: the
+// slab arena the table blocks are drawn from and the open-addressed dedup
+// table compaction keys child pairs in. Workspaces are pooled across runs
+// so consecutive Solve calls reuse the same warmed slabs; they carry no
+// run state (arena blocks are dirty by contract, the dedup scratch is
+// reset per compaction), so reuse cannot bleed results between runs.
+//
+// A workspace must not be shared between goroutines; the parallel solver
+// acquires one per worker.
+type workspace struct {
+	ar *arena.Arena
+	dd arena.Dedup
+}
+
+var wsPool = sync.Pool{New: func() any { return &workspace{ar: new(arena.Arena)} }}
+
+// acquireWorkspace returns a workspace for one run (goroutine-local use).
+func acquireWorkspace() *workspace { return wsPool.Get().(*workspace) }
+
+// release returns the workspace — slabs included — to the process-wide
+// pool. The caller must not use it afterwards; blocks it handed out that
+// were not Put back are simply never recycled (see arena.Arena).
+func (ws *workspace) release() { wsPool.Put(ws) }
+
+// recycle returns a context's table block to the workspace's arena. It is
+// the storage-side half of releasing a context; the metering-side half
+// (m.free) stays at the call site where the meterbalance analyzer can see
+// it.
+func (ws *workspace) recycle(c *fsContext) {
+	ws.ar.PutU32(c.table)
+	c.table = nil
+}
+
 // fsContext is the quadruple FS(⟨I₁, …, I_m⟩) of the papers minus the
 // explicit NODE set: a partially absorbed problem state. The absorbed
 // variables occupy the bottom |absorbed| levels in some optimal order; the
@@ -143,7 +139,8 @@ type fsContext struct {
 // nextID returns the ID the next created node will receive.
 func (c *fsContext) nextID() uint32 { return c.nTerm + uint32(c.cost) }
 
-// clone returns a deep copy of the context (table included).
+// clone returns a deep copy of the context. The copy's table is a plain
+// heap slice independent of any arena, so it outlives every workspace.
 func (c *fsContext) clone() *fsContext {
 	t := make([]uint32, len(c.table))
 	copy(t, c.table)
@@ -180,9 +177,135 @@ func baseContextMulti(mt *truthtable.MultiTable) (*fsContext, []int) {
 	}, terminals
 }
 
-// pairKey packs a (u0, u1) child pair into a map key. Node IDs stay far
-// below 2^32 (they are bounded by table size ≤ 2^30 plus terminals).
+// pairKey packs a (u0, u1) child pair into a dedup key. Node IDs stay far
+// below 2^32 (they are bounded by table size ≤ 2^30 plus terminals). The
+// zero key — pair (0, 0) — is never produced for a kept node under any
+// rule (OBDD/MTBDD skip u0 == u1, ZDD skips u1 == 0), which is what lets
+// arena.Dedup use it as the empty-slot sentinel.
 func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
+
+// compactInto is the compaction kernel: it writes the table that absorbs
+// the free-variable bit position pos of src into dst (len(dst) must be
+// len(src)/2), assigning fresh node IDs from id0 upward in ascending dst
+// index order, and returns the number of fresh nodes (the level width).
+// The caller must Reset dd before the first call of a (possibly
+// multi-root) compaction; IDs continue across calls sharing one dd.
+//
+// Layout: absorbing bit pos pairs src cells at stride 2^(pos+1) — each
+// stride block is a contiguous run of 2^pos u0-cells followed by the
+// matching run of u1-cells. The kernel walks those runs sequentially
+// (three linear streams, no per-cell index splicing) and tests eight
+// lanes at a time for the skip condition: a chunk whose lanes all skip is
+// bulk-copied without touching the dedup table, which is the common case
+// for structured functions whose subfunctions collapse early.
+func compactInto(dst, src []uint32, pos uint, rule Rule, id0 uint32, dd *arena.Dedup) (width uint64) {
+	half := uint64(1) << pos
+	stride := half * 2
+	id := id0
+	di := uint64(0)
+	switch rule {
+	case OBDD:
+		for base := uint64(0); base < uint64(len(src)); base += stride {
+			u0s := src[base : base+half : base+half]
+			u1s := src[base+half : base+stride : base+stride]
+			j := uint64(0)
+			for ; j+8 <= half; j += 8 {
+				// Word-parallel skip test: XOR-OR over eight lanes is zero
+				// iff every lane has u0 == u1 (all skips).
+				if (u0s[j]^u1s[j])|(u0s[j+1]^u1s[j+1])|
+					(u0s[j+2]^u1s[j+2])|(u0s[j+3]^u1s[j+3])|
+					(u0s[j+4]^u1s[j+4])|(u0s[j+5]^u1s[j+5])|
+					(u0s[j+6]^u1s[j+6])|(u0s[j+7]^u1s[j+7]) == 0 {
+					copy(dst[di:di+8], u0s[j:j+8])
+					di += 8
+					continue
+				}
+				for l := j; l < j+8; l++ {
+					u0, u1 := u0s[l], u1s[l]
+					if u0 == u1 {
+						dst[di] = u0
+						di++
+						continue
+					}
+					if got, fresh := dd.FindOrAssign(pairKey(u0, u1), id); fresh {
+						dst[di] = id
+						id++
+						width++
+					} else {
+						dst[di] = got
+					}
+					di++
+				}
+			}
+			for ; j < half; j++ {
+				u0, u1 := u0s[j], u1s[j]
+				if u0 == u1 {
+					dst[di] = u0
+					di++
+					continue
+				}
+				if got, fresh := dd.FindOrAssign(pairKey(u0, u1), id); fresh {
+					dst[di] = id
+					id++
+					width++
+				} else {
+					dst[di] = got
+				}
+				di++
+			}
+		}
+	case ZDD:
+		for base := uint64(0); base < uint64(len(src)); base += stride {
+			u0s := src[base : base+half : base+half]
+			u1s := src[base+half : base+stride : base+stride]
+			j := uint64(0)
+			for ; j+8 <= half; j += 8 {
+				// All eight lanes skip iff every u1 is the false terminal.
+				if u1s[j]|u1s[j+1]|u1s[j+2]|u1s[j+3]|
+					u1s[j+4]|u1s[j+5]|u1s[j+6]|u1s[j+7] == 0 {
+					copy(dst[di:di+8], u0s[j:j+8])
+					di += 8
+					continue
+				}
+				for l := j; l < j+8; l++ {
+					u0, u1 := u0s[l], u1s[l]
+					if u1 == 0 {
+						dst[di] = u0
+						di++
+						continue
+					}
+					if got, fresh := dd.FindOrAssign(pairKey(u0, u1), id); fresh {
+						dst[di] = id
+						id++
+						width++
+					} else {
+						dst[di] = got
+					}
+					di++
+				}
+			}
+			for ; j < half; j++ {
+				u0, u1 := u0s[j], u1s[j]
+				if u1 == 0 {
+					dst[di] = u0
+					di++
+					continue
+				}
+				if got, fresh := dd.FindOrAssign(pairKey(u0, u1), id); fresh {
+					dst[di] = id
+					id++
+					width++
+				} else {
+					dst[di] = got
+				}
+				di++
+			}
+		}
+	default:
+		panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
+	}
+	return width
+}
 
 // compact performs table compaction with respect to variable v (§2.3.2):
 // it absorbs v into the solved bottom block, producing the context for
@@ -197,49 +320,23 @@ func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
 // across levels would wrongly merge nodes testing different variables that
 // happen to share a child pair (see DESIGN.md).
 //
-// The input context is not modified.
-func compact(c *fsContext, v int, rule Rule, m *Meter) (next *fsContext, width uint64) {
+// The input context is not modified. The result's table is drawn from
+// ws's arena; the caller owns it and returns it with ws.recycle (plus the
+// matching m.free) when done.
+func compact(c *fsContext, v int, rule Rule, m *Meter, ws *workspace) (next *fsContext, width uint64) {
 	if !c.free.Has(v) {
 		panic(fmt.Sprintf("core: compact on non-free variable %d (free %#x)", v, uint64(c.free))) //lint:allow nopanic internal invariant: compacting a non-free variable is a DP-driver bug, unreachable via the public API
 	}
 	pos := bitops.RelativePosition(c.free, v)
-	newFree := c.free.Without(v)
 	size := uint64(len(c.table)) / 2
-	table := make([]uint32, size)
+	table := ws.ar.GetU32(size)
 	m.alloc(size) //lint:allow meterbalance ownership of the compacted table transfers to the caller, which frees it (see runDP)
-
-	dedup := make(map[uint64]uint32)
-	id := c.nextID()
-	for idx := uint64(0); idx < size; idx++ {
-		u0 := c.table[bitops.SpliceIndex(idx, pos, 0)]
-		u1 := c.table[bitops.SpliceIndex(idx, pos, 1)]
-		var skip bool
-		switch rule {
-		case OBDD:
-			skip = u0 == u1
-		case ZDD:
-			skip = u1 == 0
-		default:
-			panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
-		}
-		if skip {
-			table[idx] = u0
-			continue
-		}
-		key := pairKey(u0, u1)
-		if u, ok := dedup[key]; ok {
-			table[idx] = u
-			continue
-		}
-		dedup[key] = id
-		table[idx] = id
-		id++
-		width++
-	}
+	ws.dd.Reset(size)
+	width = compactInto(table, c.table, pos, rule, c.nextID(), &ws.dd)
 	m.addCells(size)
 	return &fsContext{
 		n:     c.n,
-		free:  newFree,
+		free:  c.free.Without(v),
 		table: table,
 		cost:  c.cost + width,
 		nTerm: c.nTerm,
@@ -249,17 +346,21 @@ func compact(c *fsContext, v int, rule Rule, m *Meter) (next *fsContext, width u
 // profileAlong absorbs the free variables of c in the order given
 // (bottom-up) and returns the width of each produced level. It is the
 // Cost_j evaluator used for brute force, heuristics and verification.
-// order must list exactly the free variables of c.
+// order must list exactly the free variables of c. The returned final
+// context's table is a fresh block the caller may free but not recycle.
 func profileAlong(c *fsContext, order []int, rule Rule, m *Meter) (widths []uint64, final *fsContext) {
+	ws := acquireWorkspace()
 	cur := c
 	widths = make([]uint64, 0, len(order))
 	for _, v := range order {
-		next, w := compact(cur, v, rule, m)
+		next, w := compact(cur, v, rule, m, ws)
 		if cur != c {
 			m.free(cur.cells())
+			ws.recycle(cur)
 		}
 		cur = next
 		widths = append(widths, w)
 	}
+	ws.release()
 	return widths, cur
 }

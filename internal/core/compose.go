@@ -101,10 +101,13 @@ func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContex
 	}
 	sizes := normalizeSizes(nj, l.alphas)
 	if depth <= 0 || len(sizes) == 0 {
-		// Classical FS* extension.
+		// Classical FS* extension. J is non-empty here, so the taken
+		// context is always caller-owned.
 		st := mustResult(runDP(ctx, J, nj, l.rule, l.m, l.tr, nil))
-		fin := st.layer[J]
-		return fin, st.reconstruct(J), fin != ctx
+		order := st.Reconstruct(J)
+		fin, owned := st.Take(J)
+		st.Release()
+		return fin, order, owned
 	}
 
 	// Preprocess: FS(⟨…, K⟩) for all K ⊆ J with |K| = sizes[0], computed
@@ -114,11 +117,7 @@ func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContex
 	var solve func(L bitops.Mask, t int) (*fsContext, []int, bool)
 	solve = func(L bitops.Mask, t int) (*fsContext, []int, bool) {
 		if t == 0 {
-			c, ok := pre.layer[L]
-			if !ok {
-				panic("core: ladder missing precomputed layer entry") //lint:allow nopanic internal invariant: the ladder precomputes every layer it later reads
-			}
-			return c, pre.reconstruct(L), false
+			return pre.Context(L), pre.Reconstruct(L), false
 		}
 		s := sizes[t-1]
 		if s >= L.Count() {
@@ -168,11 +167,9 @@ func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContex
 		// out is an entry of the precomputed layer; clone it so the
 		// whole layer can be released uniformly.
 		out = out.clone()
-		l.m.alloc(out.cells())
+		l.m.alloc(out.cells()) //lint:allow meterbalance ownership of the cloned table transfers to the caller, which frees it
 		owned = true
 	}
-	for _, c := range pre.layer {
-		l.m.free(c.cells())
-	}
+	pre.Release()
 	return out, order, owned
 }

@@ -42,7 +42,7 @@ func TestLadderAllDepthsExact(t *testing.T) {
 func TestLadderZDD(t *testing.T) {
 	rng := rand.New(rand.NewSource(173))
 	f := truthtable.Random(7, rng)
-	want := OptimalOrdering(f, &Options{Rule: ZDD}).MinCost
+	want := OptimalOrdering(f, &SolveOptions{Rule: ZDD}).MinCost
 	got := DivideAndConquerComposed(f, &LadderOptions{Rule: ZDD, Depth: 1})
 	if got.MinCost != want {
 		t.Fatalf("ZDD ladder %d != FS %d", got.MinCost, want)

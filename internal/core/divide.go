@@ -119,7 +119,7 @@ func DivideAndConquerCtx(ctx stdctx.Context, tt *truthtable.Table, opts *DnCOpti
 	if len(sizes) == 0 {
 		// The function is too small to split; the algorithm degenerates
 		// to plain FS, as the papers' analysis assumes Ω(n) block sizes.
-		return OptimalOrderingCtx(ctx, tt, &Options{Rule: rule, Meter: m, Trace: tr, Budget: opts.budget()})
+		return OptimalOrderingCtx(ctx, tt, &SolveOptions{Rule: rule, Meter: m, Trace: tr, Budget: opts.budget()})
 	}
 	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
@@ -152,9 +152,7 @@ func DivideAndConquerCtx(ctx stdctx.Context, tt *truthtable.Table, opts *DnCOpti
 		if owned {
 			m.free(fin.cells())
 		}
-		for _, c := range pre.layer {
-			m.free(c.cells())
-		}
+		pre.Release()
 		m.free(base.cells())
 		return nil, err
 	}
@@ -162,9 +160,7 @@ func DivideAndConquerCtx(ctx stdctx.Context, tt *truthtable.Table, opts *DnCOpti
 	if owned {
 		m.free(fin.cells())
 	}
-	for _, c := range pre.layer {
-		m.free(c.cells())
-	}
+	pre.Release()
 	m.free(base.cells())
 	finishMetrics(m)
 	return finishResult(tt, nil, truthtable.Ordering(order), minCost, rule, m), nil
@@ -191,12 +187,9 @@ type dncRun struct {
 // context's table.
 func (d *dncRun) solve(L bitops.Mask, t int) (out *fsContext, order []int, owned bool, err error) {
 	if t == 0 {
-		// FS(L) has been precomputed (line 7).
-		c, ok := d.pre.layer[L]
-		if !ok {
-			panic("core: missing precomputed FS layer entry") //lint:allow nopanic internal invariant: extendAll precomputes every FS layer the merge reads
-		}
-		return c, d.pre.reconstruct(L), false, nil
+		// FS(L) has been precomputed (line 7); the pre state keeps
+		// ownership of the borrowed context.
+		return d.pre.Context(L), d.pre.Reconstruct(L), false, nil
 	}
 	s := d.sizes[t-1]
 	if s >= L.Count() {
@@ -229,10 +222,8 @@ func (d *dncRun) solve(L bitops.Mask, t int) (out *fsContext, order []int, owned
 			d.err = errDP
 			return ^uint64(0)
 		}
-		cost := st.minCost[L&^K]
-		if fin := st.layer[L&^K]; fin != nil && fin != ctxK {
-			d.m.free(fin.cells())
-		}
+		cost := st.Cost(L &^ K)
+		st.Release()
 		if ownedK {
 			d.m.free(ctxK.cells())
 		}
@@ -261,11 +252,13 @@ func (d *dncRun) solve(L bitops.Mask, t int) (out *fsContext, order []int, owned
 		return nil, nil, false, err
 	}
 	if d.tr != nil {
-		d.tr.Emit(obs.Event{Kind: obs.KindDnCMerge, Depth: t, Mask: uint64(K), Cost: st.minCost[L&^K]})
+		d.tr.Emit(obs.Event{Kind: obs.KindDnCMerge, Depth: t, Mask: uint64(K), Cost: st.Cost(L &^ K)})
 	}
-	fin := st.layer[L&^K]
-	order = append(append([]int{}, orderK...), st.reconstruct(L&^K)...)
-	if fin == ctxK {
+	order = append(append([]int{}, orderK...), st.Reconstruct(L&^K)...)
+	fin, ownedFin := st.Take(L &^ K)
+	st.Release()
+	if !ownedFin {
+		// Zero-layer extension: the "final" context is ctxK itself.
 		return ctxK, order, ownedK, nil
 	}
 	if ownedK {

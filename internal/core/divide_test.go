@@ -54,7 +54,7 @@ func TestDnCZDDRule(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		n := 5 + trial%3
 		f := truthtable.Random(n, rng)
-		fs := OptimalOrdering(f, &Options{Rule: ZDD})
+		fs := OptimalOrdering(f, &SolveOptions{Rule: ZDD})
 		dnc := DivideAndConquer(f, &DnCOptions{Rule: ZDD})
 		if fs.MinCost != dnc.MinCost {
 			t.Fatalf("ZDD n=%d: DnC %d != FS %d", n, dnc.MinCost, fs.MinCost)

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/truthtable"
+)
+
+// referenceDP is a deliberately naive map-based subset DP — the storage
+// scheme the rank-indexed core replaced — kept here as the tie-breaking
+// oracle: at every subset it keeps the strictly cheaper candidate, ties
+// broken toward the smaller variable index, independent of processing
+// order. The arena-backed DP must reproduce its cost AND its ordering
+// bit for bit.
+func referenceDP(tt *truthtable.Table, rule Rule) (uint64, []int) {
+	n := tt.NumVars()
+	ws := acquireWorkspace()
+	defer ws.release()
+	base := baseContext(tt)
+	layer := map[bitops.Mask]*fsContext{0: base}
+	bestLast := make(map[bitops.Mask]int)
+	for k := 1; k <= n; k++ {
+		next := make(map[bitops.Mask]*fsContext)
+		for prevMask, prevCtx := range layer {
+			for v := 0; v < n; v++ {
+				if prevMask.Has(v) {
+					continue
+				}
+				cand, _ := compact(prevCtx, v, rule, nil, ws)
+				key := prevMask.With(v)
+				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
+					(cand.cost == cur.cost && v < bestLast[key]) {
+					next[key] = cand
+					bestLast[key] = v
+				}
+			}
+		}
+		layer = next
+	}
+	full := bitops.FullMask(n)
+	minCost := layer[full].cost
+	order := make([]int, n)
+	mask := full
+	for i := n - 1; i >= 0; i-- {
+		v := bestLast[mask]
+		order[i] = v
+		mask = mask.Without(v)
+	}
+	return minCost, order
+}
+
+// TestReconstructMatchesMapReference pins the rank-indexed DP — cost,
+// reconstruction, and especially tie-breaking — to the map-based
+// reference on random functions under both rules.
+func TestReconstructMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 24; trial++ {
+		n := 3 + trial%5 // 3..7
+		f := truthtable.Random(n, rng)
+		for _, rule := range []Rule{OBDD, ZDD} {
+			wantCost, wantOrder := referenceDP(f, rule)
+			res := OptimalOrdering(f, &SolveOptions{Rule: rule})
+			if res.MinCost != wantCost {
+				t.Fatalf("n=%d rule=%v: MinCost %d, reference %d", n, rule, res.MinCost, wantCost)
+			}
+			if !reflect.DeepEqual([]int(res.Ordering), wantOrder) {
+				t.Fatalf("n=%d rule=%v: ordering %v, reference tie-break picks %v",
+					n, rule, res.Ordering, wantOrder)
+			}
+		}
+	}
+}
+
+// TestReconstructTieBreakSymmetric checks the documented tie rule on
+// fully symmetric functions, where every ordering is optimal and ONLY
+// the tie rule determines the answer: the DP must return the same
+// ordering as the reference, and repeat runs must agree exactly.
+func TestReconstructTieBreakSymmetric(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		f := truthtable.FromFunc(n, func(x []bool) bool {
+			c := 0
+			for _, b := range x {
+				if b {
+					c++
+				}
+			}
+			return c%2 == 1 // parity: invariant under every permutation
+		})
+		_, want := referenceDP(f, OBDD)
+		first := OptimalOrdering(f, nil)
+		if !reflect.DeepEqual([]int(first.Ordering), want) {
+			t.Fatalf("n=%d: symmetric tie-break ordering %v, reference %v", n, first.Ordering, want)
+		}
+		for run := 0; run < 3; run++ {
+			if got := OptimalOrdering(f, nil); !reflect.DeepEqual(got.Ordering, first.Ordering) {
+				t.Fatalf("n=%d run %d: ordering %v changed from %v", n, run, got.Ordering, first.Ordering)
+			}
+		}
+	}
+}
+
+// TestDPStateTakeRelease exercises the ownership contract: Take removes
+// a table from the state, Release frees the rest, and the meter balances
+// to exactly the caller-held cells.
+func TestDPStateTakeRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := truthtable.Random(6, rng)
+	m := &Meter{}
+	base := baseContext(f)
+	m.alloc(base.cells())
+
+	st, err := runDP(base, bitops.FullMask(6), 3, OBDD, m, nil, nil)
+	if err != nil {
+		t.Fatalf("runDP: %v", err)
+	}
+	K := bitops.Mask(0b000111)
+	wantCost := st.Cost(K)
+	ctxK, owned := st.Take(K)
+	if !owned {
+		t.Fatalf("Take(%#x) on a 3-layer state not owned", uint64(K))
+	}
+	if ctxK.cost != wantCost {
+		t.Fatalf("taken context cost %d, Cost says %d", ctxK.cost, wantCost)
+	}
+	if ctxK.free != base.free&^K {
+		t.Fatalf("taken context free %#x, want %#x", uint64(ctxK.free), uint64(base.free&^K))
+	}
+	st.Release()
+	st.Release() // idempotent
+	if want := base.cells() + ctxK.cells(); m.LiveCells != want {
+		t.Fatalf("after Release, LiveCells %d, want base+taken = %d", m.LiveCells, want)
+	}
+	m.free(ctxK.cells())
+	m.free(base.cells())
+	if m.LiveCells != 0 {
+		t.Fatalf("meter out of balance: LiveCells %d", m.LiveCells)
+	}
+
+	// A zero-layer state hands back the caller's own base, unowned.
+	st0, err := runDP(base, bitops.FullMask(6), 0, OBDD, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("runDP stop=0: %v", err)
+	}
+	c0, owned0 := st0.Take(0)
+	if owned0 || c0 != base {
+		t.Fatalf("Take on zero-layer state: owned=%v ctx==base=%v", owned0, c0 == base)
+	}
+	st0.Release()
+}
+
+// TestArenaReuseAcrossSolves runs the same problem repeatedly with other
+// solves interleaved, so pooled workspaces are reused dirty: results and
+// meters must not drift, and every run must balance to LiveCells == 0.
+func TestArenaReuseAcrossSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := truthtable.Random(8, rng)
+	g := truthtable.Random(8, rng)
+	first := OptimalOrdering(f, &SolveOptions{Meter: &Meter{}})
+	var prev Meter
+	for i := 0; i < 8; i++ {
+		m := &Meter{}
+		res := OptimalOrdering(f, &SolveOptions{Meter: m})
+		// Dirty the pooled arenas between the runs under test.
+		OptimalOrdering(g, &SolveOptions{Rule: ZDD})
+		BranchAndBound(g, nil)
+		if res.MinCost != first.MinCost ||
+			!reflect.DeepEqual(res.Ordering, first.Ordering) ||
+			!reflect.DeepEqual(res.Profile, first.Profile) {
+			t.Fatalf("run %d: result drifted under workspace reuse: %+v vs %+v", i, res, first)
+		}
+		if m.LiveCells != 0 {
+			t.Fatalf("run %d: LiveCells %d after a completed solve", i, m.LiveCells)
+		}
+		if i > 0 && *m != prev {
+			t.Fatalf("run %d: meter drifted under workspace reuse: %+v vs %+v", i, *m, prev)
+		}
+		prev = *m
+	}
+}
+
+// TestArenaCleanAfterAbort aborts a run on a budget, then solves the
+// same function to completion: the abort must leave the meter balanced
+// and the recycled workspace must not bleed state into the next run.
+func TestArenaCleanAfterAbort(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	f := truthtable.Random(8, rng)
+	want := OptimalOrdering(f, nil)
+	for _, nodes := range []uint64{1, 17, 100} {
+		m := &Meter{}
+		res, err := OptimalOrderingCtx(nil, f, &SolveOptions{Meter: m, Budget: Budget{MaxNodes: nodes}})
+		if !errors.Is(err, ErrBudgetExceeded) || res != nil {
+			t.Fatalf("MaxNodes=%d: res=%v err=%v, want nil result with ErrBudgetExceeded", nodes, res, err)
+		}
+		if m.LiveCells != 0 {
+			t.Fatalf("MaxNodes=%d: LiveCells %d after abort", nodes, m.LiveCells)
+		}
+		got := OptimalOrdering(f, nil)
+		if got.MinCost != want.MinCost || !reflect.DeepEqual(got.Ordering, want.Ordering) {
+			t.Fatalf("MaxNodes=%d: post-abort solve drifted: %+v vs %+v", nodes, got, want)
+		}
+	}
+}

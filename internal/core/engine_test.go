@@ -46,10 +46,10 @@ func TestCancelStopsWithinOneLayer(t *testing.T) {
 		solve func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error)
 	}{
 		{"fs", func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error) {
-			return OptimalOrderingCtx(ctx, tt, &Options{Meter: m, Trace: tr})
+			return OptimalOrderingCtx(ctx, tt, &SolveOptions{Meter: m, Trace: tr})
 		}},
 		{"parallel", func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error) {
-			return OptimalOrderingParallelCtx(ctx, tt, &ParallelOptions{Meter: m, Trace: tr, Workers: 4})
+			return OptimalOrderingParallelCtx(ctx, tt, &SolveOptions{Meter: m, Trace: tr, Workers: 4})
 		}},
 	} {
 		t.Run(run.name, func(t *testing.T) {
@@ -127,7 +127,7 @@ func TestBudgetNodesBnBIncumbent(t *testing.T) {
 // without a caller-supplied meter (the solver must meter internally).
 func TestBudgetCells(t *testing.T) {
 	tt := truthtable.Random(10, rand.New(rand.NewSource(5)))
-	res, err := OptimalOrderingCtx(nil, tt, &Options{Budget: Budget{MaxCells: 4096}})
+	res, err := OptimalOrderingCtx(nil, tt, &SolveOptions{Budget: Budget{MaxCells: 4096}})
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
@@ -135,7 +135,7 @@ func TestBudgetCells(t *testing.T) {
 		t.Fatalf("res = %+v, want nil", res)
 	}
 	m := &Meter{}
-	if _, err := OptimalOrderingCtx(nil, tt, &Options{Meter: m, Budget: Budget{MaxCells: 4096}}); !errors.Is(err, ErrBudgetExceeded) {
+	if _, err := OptimalOrderingCtx(nil, tt, &SolveOptions{Meter: m, Budget: Budget{MaxCells: 4096}}); !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("metered: err = %v, want ErrBudgetExceeded", err)
 	}
 	if m.LiveCells != 0 {
@@ -149,7 +149,7 @@ func TestCancelSharedAndDnC(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	tts := []*truthtable.Table{truthtable.Random(8, rng), truthtable.Random(8, rng)}
 	m := &Meter{}
-	if _, err := OptimalOrderingSharedCtx(nil, tts, &Options{Meter: m, Budget: Budget{MaxNodes: 40}}); !errors.Is(err, ErrBudgetExceeded) {
+	if _, err := OptimalOrderingSharedCtx(nil, tts, &SolveOptions{Meter: m, Budget: Budget{MaxNodes: 40}}); !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("shared: err = %v, want ErrBudgetExceeded", err)
 	}
 	if m.LiveCells != 0 {

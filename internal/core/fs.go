@@ -3,57 +3,49 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"obddopt/internal/bitops"
+	"obddopt/internal/core/lattice"
 	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
 )
 
-// Options configures the exact-ordering algorithms.
-type Options struct {
-	// Rule selects the diagram variant to minimize (OBDD or ZDD). The
-	// zero value minimizes OBDDs.
-	Rule Rule
-	// Meter, if non-nil, accumulates operation counts.
-	Meter *Meter
-	// Trace, if non-nil, receives typed events as the dynamic program
-	// runs (layer start/end, per-compaction transitions). A nil tracer
-	// costs one branch per layer; see internal/obs.
-	Trace obs.Tracer
-	// Budget bounds the run's resources (live cells, DP transitions);
-	// the zero value is unlimited. Enforced only by the Ctx entry
-	// points.
-	Budget Budget
+// Opt configures a solver run; the root facade's options translate to
+// these 1:1. Apply a set with NewSolveOptions.
+type Opt func(*SolveOptions)
+
+// NewSolveOptions resolves a list of options into the unified option set
+// every registered solver accepts.
+func NewSolveOptions(opts ...Opt) *SolveOptions {
+	o := &SolveOptions{}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
 }
 
-func (o *Options) rule() Rule {
-	if o == nil {
-		return OBDD
-	}
-	return o.Rule
-}
+// WithRule selects the diagram variant to minimize (OBDD, the default,
+// or ZDD).
+func WithRule(r Rule) Opt { return func(o *SolveOptions) { o.Rule = r } }
 
-func (o *Options) meter() *Meter {
-	if o == nil {
-		return nil
-	}
-	return o.Meter
-}
+// WithMeter attaches a Meter accumulating the run's operation counts.
+func WithMeter(m *Meter) Opt { return func(o *SolveOptions) { o.Meter = m } }
 
-func (o *Options) trace() obs.Tracer {
-	if o == nil {
-		return nil
-	}
-	return o.Trace
-}
+// WithTrace attaches a Tracer receiving the run's events.
+func WithTrace(tr obs.Tracer) Opt { return func(o *SolveOptions) { o.Trace = tr } }
 
-func (o *Options) budget() Budget {
-	if o == nil {
-		return Budget{}
-	}
-	return o.Budget
-}
+// WithBudget bounds the run's resources (live DP cells, transitions);
+// enforced only by the Ctx entry points.
+func WithBudget(b Budget) Opt { return func(o *SolveOptions) { o.Budget = b } }
+
+// WithWorkers sets the goroutine count of the parallel dynamic program;
+// 0 (the default) selects GOMAXPROCS.
+func WithWorkers(n int) Opt { return func(o *SolveOptions) { o.Workers = n } }
+
+// WithSeeder overrides the portfolio's heuristic seeding phase.
+func WithSeeder(s Seeder) Opt { return func(o *SolveOptions) { o.Seeder = s } }
 
 // Result reports an exact minimization outcome. The JSON tags define the
 // run-report schema shared with the CLI `-json` modes (see internal/obs).
@@ -83,26 +75,45 @@ type Result struct {
 	TerminalValues []int `json:"terminal_values"`
 }
 
-// dpState is the rolling-layer subset dynamic program shared by FS and FS*.
-// It absorbs subsets of vars (a subset of ctx.free) on top of the fixed
-// context ctx, layer by layer (Lemma 4 / Lemma 7).
+// dpState is the rolling-layer subset dynamic program shared by FS and
+// FS*: it absorbs subsets of vars (a subset of base.free) on top of the
+// fixed context base, layer by layer (Lemma 4 / Lemma 7).
+//
+// Storage is dense: popcount layer j is three flat arrays — tables
+// (arena blocks), costs, and the per-layer parents byte array — each
+// indexed by the combinadic rank of the subset (see internal/core/
+// lattice), not by hashing masks. Only the newest layer's tables and
+// costs are retained (Remark 1's two-layer space bound); the one-byte
+// parent pointers are kept for every layer, Σ_j C(nv, j) ≤ 2^nv bytes in
+// total, so any absorbed chain can be reconstructed afterwards.
 type dpState struct {
 	rule  Rule
 	meter *Meter
-	// bestLast[K] is the variable read at the top of block K in the
-	// optimal ordering of K — the parent pointer for reconstruction.
-	bestLast map[bitops.Mask]int
-	// minCost[K] is the optimal context cost after absorbing K.
-	minCost map[bitops.Mask]uint64
-	// layer holds the contexts of the most recently completed layer.
-	layer map[bitops.Mask]*fsContext
+	// base is the caller-owned context FS(⟨…⟩) the layers build on; it is
+	// never released by the state.
+	base *fsContext
+	// vars are the absolute variables the DP absorbs; members lists them
+	// ascending, so relative member position p ↔ absolute variable
+	// members[p] and ordering ties break identically in either index.
+	vars    bitops.Mask
+	members []int
+	rk      *lattice.Ranker
+	// k is the completed layer: tables/costs describe the C(nv, k)
+	// subsets of size k.
+	k      int
+	costs  []uint64
+	tables [][]uint32
+	// parents[j][r] is the relative member position absorbed last by the
+	// rank-r subset of layer j under its optimal order.
+	parents [][]uint8
+	ws      *workspace
 }
 
 // runDP absorbs subsets of vars on top of ctx up to layer stop
 // (0 ≤ stop ≤ |vars|), keeping for every subset the minimum-cost context.
-// It returns the DP state whose layer field holds the contexts for all
-// stop-element subsets K of vars, each being FS(⟨…, K⟩) with cost
-// minCost[K]. The input ctx is not modified.
+// The returned state answers Cost/Context/Take/Reconstruct queries for
+// the stop-element subsets K of vars — each context being FS(⟨…, K⟩) —
+// and must be retired with Release. The input ctx is not modified.
 //
 // lim, when non-nil, is polled before every transition; on cancellation
 // or budget exhaustion every table the DP still owns (current layer and
@@ -118,84 +129,124 @@ func runDP(ctx *fsContext, vars bitops.Mask, stop int, rule Rule, m *Meter, tr o
 		panic(fmt.Sprintf("core: runDP stop %d out of range [0,%d]", stop, nv)) //lint:allow nopanic internal invariant: runDP callers bound stop by the mask cardinality
 	}
 	st := &dpState{
-		rule:     rule,
-		meter:    m,
-		bestLast: make(map[bitops.Mask]int),
-		minCost:  make(map[bitops.Mask]uint64),
-		layer:    map[bitops.Mask]*fsContext{0: ctx},
+		rule:    rule,
+		meter:   m,
+		base:    ctx,
+		vars:    vars,
+		members: vars.Members(make([]int, 0, nv)),
+		rk:      lattice.For(nv),
+		costs:   []uint64{ctx.cost},
+		tables:  [][]uint32{ctx.table},
+		parents: make([][]uint8, stop+1),
+		ws:      acquireWorkspace(),
 	}
-	st.minCost[0] = ctx.cost
-	members := vars.Members(make([]int, 0, nv))
-
-	// abort releases every context the DP still owns when a checkpoint
-	// fires mid-layer.
-	abort := func(next map[bitops.Mask]*fsContext) {
-		for _, c := range next {
-			m.free(c.cells())
-		}
-		for mask, c := range st.layer {
-			if mask != 0 || c != ctx {
-				m.free(c.cells())
-			}
-		}
-		st.layer = nil
-	}
+	baseCells := ctx.cells()
 
 	for k := 1; k <= stop; k++ {
+		prevCount := int(st.rk.LayerSize(k - 1))
+		curCount := int(st.rk.LayerSize(k))
+		prevCells := baseCells >> uint(k-1)
+		// One transition out of a layer-(k−1) table touches size cells —
+		// the candidate's table length and the CellOps unit at once.
+		size := prevCells / 2
 		var layerStart time.Time
 		if tr != nil {
 			layerStart = time.Now()
-			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(st.layer)})
+			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: prevCount})
 		}
 		var layerOps, transitions uint64
-		next := make(map[bitops.Mask]*fsContext, len(st.layer)*nv/k)
-		for prevMask, prevCtx := range st.layer {
-			ops := prevCtx.cells() / 2
-			for _, v := range members {
-				if prevMask.Has(v) {
+		tables := make([][]uint32, curCount)
+		costs := make([]uint64, curCount)
+		for i := range costs {
+			costs[i] = ^uint64(0) // no candidate kept yet
+		}
+		lastVar := make([]uint8, curCount)
+
+		// Gosper enumeration visits the previous layer's subsets exactly
+		// in rank order, so prevRank walks 0, 1, 2, … in lockstep with
+		// prevRel and the layer is three sequential array scans.
+		prevRel := bitops.FirstSubsetOfSize(k - 1)
+		for prevRank := 0; prevRank < prevCount; prevRank++ {
+			prevTable := st.tables[prevRank]
+			prevCost := st.costs[prevRank]
+			prevFree := ctx.free &^ st.abs(prevRel)
+			id0 := ctx.nTerm + uint32(prevCost)
+			for p := 0; p < nv; p++ {
+				if prevRel.Has(p) {
 					continue
 				}
+				v := st.members[p]
 				if err := lim.spend(1); err != nil {
-					abort(next)
+					// Release everything the DP owns: the partial next
+					// layer and the completed previous layer (never the
+					// caller's base).
+					for _, t := range tables {
+						if t != nil {
+							m.free(size)
+							st.ws.ar.PutU32(t)
+						}
+					}
+					if k > 1 {
+						for _, t := range st.tables {
+							m.free(prevCells)
+							st.ws.ar.PutU32(t)
+						}
+					}
+					st.tables, st.costs = nil, nil
+					st.ws.release()
+					st.ws = nil
 					return nil, err
 				}
-				cand, w := compact(prevCtx, v, rule, m)
-				layerOps += ops
+				dst := st.ws.ar.GetU32(size)
+				m.alloc(size)
+				st.ws.dd.Reset(size)
+				w := compactInto(dst, prevTable, bitops.RelativePosition(prevFree, v), rule, id0, &st.ws.dd)
+				m.addCells(size)
+				layerOps += size
 				transitions++
 				if tr != nil {
-					tr.Emit(obs.Event{Kind: obs.KindCompaction, K: k, Var: v, Cost: w, CellOps: ops})
+					tr.Emit(obs.Event{Kind: obs.KindCompaction, K: k, Var: v, Cost: w, CellOps: size})
 				}
-				key := prevMask.With(v)
-				if cur, ok := next[key]; !ok || cand.cost < cur.cost ||
-					(cand.cost == cur.cost && v < st.bestLast[key]) {
-					if ok {
-						m.free(cur.cells())
+				cand := prevCost + w
+				r := st.rk.Rank(prevRel.With(p))
+				// Keep the candidate iff it improves the incumbent, ties
+				// broken toward the smaller variable — the processing
+				// order never shows in the outcome.
+				switch cur := costs[r]; {
+				case cand < cur || (cand == cur && uint8(p) < lastVar[r]):
+					if cur != ^uint64(0) {
+						m.free(size)
+						st.ws.ar.PutU32(tables[r])
 					}
-					next[key] = cand
-					st.bestLast[key] = v
-					st.minCost[key] = cand.cost
-				} else {
-					m.free(cand.cells())
+					tables[r], costs[r], lastVar[r] = dst, cand, uint8(p)
+				default:
+					m.free(size)
+					st.ws.ar.PutU32(dst)
 				}
 			}
-		}
-		// Release the tables of the completed layer (Remark 1: only two
-		// layers are live at a time). The base context (layer 0) belongs
-		// to the caller and is not released.
-		for mask, c := range st.layer {
-			if mask != 0 || c != ctx {
-				m.free(c.cells())
+			if prevRank+1 < prevCount {
+				prevRel, _ = bitops.NextSubsetSameSize(prevRel, nv)
 			}
-			_ = mask
 		}
-		st.layer = next
+		// Retire the completed layer's tables (Remark 1: only two layers
+		// are live at a time). Layer 0 is the caller-owned base context
+		// and is not released.
+		if k > 1 {
+			for _, t := range st.tables {
+				m.free(prevCells)
+				st.ws.ar.PutU32(t)
+			}
+		}
+		st.tables, st.costs = tables, costs
+		st.parents[k] = lastVar
+		st.k = k
 		obs.Metrics.CellOps.Add(layerOps)
 		obs.Metrics.Compactions.Add(transitions)
 		if tr != nil {
 			ev := obs.Event{
 				Kind:    obs.KindLayerEnd,
 				K:       k,
-				Subsets: len(next),
+				Subsets: curCount,
 				CellOps: layerOps,
 				Elapsed: time.Since(layerStart),
 			}
@@ -208,27 +259,124 @@ func runDP(ctx *fsContext, vars bitops.Mask, stop int, rule Rule, m *Meter, tr o
 	return st, nil
 }
 
-// reconstruct returns the bottom-up order in which the DP absorbed the
-// variables of mask, by walking the bestLast parent pointers.
-func (st *dpState) reconstruct(mask bitops.Mask) []int {
-	k := mask.Count()
-	order := make([]int, k)
-	for i := k - 1; i >= 0; i-- {
-		v, ok := st.bestLast[mask]
-		if !ok {
-			panic(fmt.Sprintf("core: no parent pointer for subset %#x", uint64(mask))) //lint:allow nopanic internal invariant: the DP records a parent pointer for every kept subset
+// abs expands a relative member mask to the absolute variable mask.
+func (st *dpState) abs(rel bitops.Mask) bitops.Mask {
+	var a bitops.Mask
+	for t := uint64(rel); t != 0; t &= t - 1 {
+		a = a.With(st.members[bits.TrailingZeros64(t)])
+	}
+	return a
+}
+
+// rel compresses an absolute variable mask (⊆ vars) to member positions.
+func (st *dpState) rel(abs bitops.Mask) bitops.Mask {
+	if abs&^st.vars != 0 {
+		panic(fmt.Sprintf("core: mask %#x outside the DP variables %#x", uint64(abs), uint64(st.vars))) //lint:allow nopanic internal invariant: state queries use masks drawn from the DP's variable set
+	}
+	var r bitops.Mask
+	for p, v := range st.members {
+		if abs.Has(v) {
+			r = r.With(p)
 		}
-		order[i] = v
-		mask = mask.Without(v)
+	}
+	return r
+}
+
+// finalRank maps a final-layer subset to its rank, enforcing the layer
+// cardinality.
+func (st *dpState) finalRank(mask bitops.Mask) uint64 {
+	rel := st.rel(mask)
+	if rel.Count() != st.k {
+		panic(fmt.Sprintf("core: subset %#x is not in the completed layer %d", uint64(mask), st.k)) //lint:allow nopanic internal invariant: final-layer queries use stop-element subsets
+	}
+	return st.rk.Rank(rel)
+}
+
+// Cost returns the optimal context cost after absorbing mask (a
+// stop-element subset of the DP's variables).
+func (st *dpState) Cost(mask bitops.Mask) uint64 {
+	return st.costs[st.finalRank(mask)]
+}
+
+// Context returns the kept context FS(⟨…, mask⟩) of the final layer as a
+// borrowed view: the state keeps ownership of the table, which stays
+// valid until Release.
+func (st *dpState) Context(mask bitops.Mask) *fsContext {
+	r := st.finalRank(mask)
+	if st.k == 0 {
+		return st.base
+	}
+	return &fsContext{
+		n:     st.base.n,
+		free:  st.base.free &^ mask,
+		table: st.tables[r],
+		cost:  st.costs[r],
+		nTerm: st.base.nTerm,
+	}
+}
+
+// Take transfers ownership of the final-layer context for mask to the
+// caller: Release will no longer touch its table, and the caller must
+// free its cells through the meter when done. owned is false only for a
+// zero-layer state, where the "final" context is the caller's own base.
+func (st *dpState) Take(mask bitops.Mask) (c *fsContext, owned bool) {
+	r := st.finalRank(mask)
+	if st.k == 0 {
+		return st.base, false
+	}
+	c = &fsContext{
+		n:     st.base.n,
+		free:  st.base.free &^ mask,
+		table: st.tables[r],
+		cost:  st.costs[r],
+		nTerm: st.base.nTerm,
+	}
+	st.tables[r] = nil
+	return c, true
+}
+
+// Reconstruct returns the bottom-up order in which the DP absorbed the
+// variables of mask, by walking the per-layer parent pointers.
+func (st *dpState) Reconstruct(mask bitops.Mask) []int {
+	rel := st.rel(mask)
+	k := rel.Count()
+	order := make([]int, k)
+	for j := k; j >= 1; j-- {
+		p := int(st.parents[j][st.rk.Rank(rel)])
+		order[j-1] = st.members[p]
+		rel = rel.Without(p)
 	}
 	return order
+}
+
+// Release retires the state: every final-layer table still owned returns
+// to the arena with a matching meter free, and the workspace goes back
+// to the process pool. The caller's base context is untouched. Release
+// is idempotent; the state must not be queried afterwards.
+func (st *dpState) Release() {
+	if st.ws == nil {
+		return
+	}
+	if st.k > 0 {
+		size := st.base.cells() >> uint(st.k)
+		for i, t := range st.tables {
+			if t == nil {
+				continue
+			}
+			st.meter.free(size)
+			st.ws.ar.PutU32(t)
+			st.tables[i] = nil
+		}
+	}
+	st.ws.release()
+	st.ws = nil
 }
 
 // OptimalOrdering runs the Friedman–Supowit dynamic program (algorithm FS,
 // Theorem 5) on the truth table of f and returns the exact minimum diagram
 // size together with an optimal variable ordering. Time and space are
 // O*(3^n) in the number of variables n.
-func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
+func OptimalOrdering(tt *truthtable.Table, opts *SolveOptions) *Result {
 	return mustResult(OptimalOrderingCtx(nil, tt, opts))
 }
 
@@ -239,7 +387,7 @@ func OptimalOrdering(tt *truthtable.Table, opts *Options) *Result {
 // ends with LiveCells == 0 — instead of running to completion. The
 // dynamic program holds no usable incumbent before it finishes, so an
 // early stop returns a nil Result.
-func OptimalOrderingCtx(ctx context.Context, tt *truthtable.Table, opts *Options) (*Result, error) {
+func OptimalOrderingCtx(ctx context.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
 	rule := opts.rule()
 	m := meterFor(opts.meter(), opts.budget())
 	lim := newLimiter(ctx, opts.budget(), m)
@@ -254,11 +402,10 @@ func OptimalOrderingCtx(ctx context.Context, tt *truthtable.Table, opts *Options
 	}
 
 	full := bitops.FullMask(n)
-	order := truthtable.Ordering(st.reconstruct(full))
-	res := finishResult(tt, nil, order, st.minCost[full], rule, m)
-	if fin := st.layer[full]; fin != nil {
-		m.free(fin.cells())
-	}
+	order := truthtable.Ordering(st.Reconstruct(full))
+	minCost := st.Cost(full)
+	st.Release()
+	res := finishResult(tt, nil, order, minCost, rule, m)
 	m.free(base.cells())
 	finishMetrics(m)
 	return res, nil
@@ -276,13 +423,13 @@ func finishMetrics(m *Meter) {
 // a multi-terminal decision diagram for the multi-valued function mt. The
 // ZDD rule is not meaningful for multi-valued terminals, so opts.Rule must
 // be OBDD (the zero value).
-func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *Options) *Result {
+func OptimalOrderingMulti(mt *truthtable.MultiTable, opts *SolveOptions) *Result {
 	return mustResult(OptimalOrderingMultiCtx(nil, mt, opts))
 }
 
 // OptimalOrderingMultiCtx is OptimalOrderingMulti under a context and
 // resource budget; see OptimalOrderingCtx for the early-stop contract.
-func OptimalOrderingMultiCtx(ctx context.Context, mt *truthtable.MultiTable, opts *Options) (*Result, error) {
+func OptimalOrderingMultiCtx(ctx context.Context, mt *truthtable.MultiTable, opts *SolveOptions) (*Result, error) {
 	if opts.rule() != OBDD {
 		panic("core: OptimalOrderingMulti requires the OBDD rule") //lint:allow nopanic documented programmer-error precondition: MTBDD minimization is OBDD-rule only
 	}
@@ -299,12 +446,10 @@ func OptimalOrderingMultiCtx(ctx context.Context, mt *truthtable.MultiTable, opt
 	}
 
 	full := bitops.FullMask(n)
-	order := truthtable.Ordering(st.reconstruct(full))
-	minCost := st.minCost[full]
+	order := truthtable.Ordering(st.Reconstruct(full))
+	minCost := st.Cost(full)
+	st.Release()
 	profile, _ := profileAlong(base, order, OBDD, nil)
-	if fin := st.layer[full]; fin != nil {
-		m.free(fin.cells())
-	}
 	m.free(base.cells())
 	finishMetrics(m)
 	return &Result{

@@ -225,7 +225,7 @@ func TestProfileMatchesSizeUnder(t *testing.T) {
 func TestMeterCounts(t *testing.T) {
 	m := &Meter{}
 	f := achilles(2)
-	OptimalOrdering(f, &Options{Meter: m})
+	OptimalOrdering(f, &SolveOptions{Meter: m})
 	n := f.NumVars()
 	// Cell ops: Σ_k C(n,k)·k·2^{n−k}. For n=4: Σ = 4·8 + 12·2·4 + ... compute.
 	var want uint64

@@ -35,7 +35,7 @@ type BlockResult struct {
 // Blocks are given bottom-up and must be disjoint; they need not cover all
 // variables (uncovered variables conceptually sit above the last block and
 // contribute no cost here).
-func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Options) *BlockResult {
+func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *SolveOptions) *BlockResult {
 	rule, m := opts.rule(), opts.meter()
 	n := tt.NumVars()
 	var seen bitops.Mask
@@ -59,9 +59,12 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 	var order []int
 	for _, b := range blocks {
 		st := mustResult(runDP(cur, b, b.Count(), rule, m, opts.trace(), nil))
-		blockOrder := st.reconstruct(b)
+		blockOrder := st.Reconstruct(b)
 		order = append(order, blockOrder...)
-		next := st.layer[b]
+		// Blocks are non-empty, so the taken context is always owned; the
+		// state retires with nothing left to release but its workspace.
+		next, _ := st.Take(b)
+		st.Release()
 		prevCost := cur.cost
 		if cur != base {
 			m.free(cur.cells())
@@ -81,8 +84,8 @@ func OptimalOrderingBlocks(tt *truthtable.Table, blocks []bitops.Mask, opts *Opt
 // extendAll runs FS* in its general form (Lemma 8): starting from a
 // context, it produces the DP state holding FS(⟨…, K⟩) for all K ⊆ J with
 // |K| = stop. It is the preprocessing and composition step of the
-// divide-and-conquer algorithm. The caller owns the returned layer
-// contexts and must release their cells via the meter when done.
+// divide-and-conquer algorithm. The caller retires the returned state
+// with Release when done.
 func extendAll(ctx *fsContext, J bitops.Mask, stop int, rule Rule, m *Meter) *dpState {
 	return mustResult(runDP(ctx, J, stop, rule, m, nil, nil))
 }

@@ -13,6 +13,8 @@ import (
 // for OptimalOrderingBlocks.
 func restrictedBrute(f *truthtable.Table, blocks []bitops.Mask, rule Rule) uint64 {
 	best := ^uint64(0)
+	ws := acquireWorkspace()
+	defer ws.release()
 	var rec func(c *fsContext, bi int)
 	rec = func(c *fsContext, bi int) {
 		if bi == len(blocks) {
@@ -27,8 +29,9 @@ func restrictedBrute(f *truthtable.Table, blocks []bitops.Mask, rule Rule) uint6
 			return
 		}
 		for _, v := range remaining.Members(nil) {
-			next, _ := compact(c, v, rule, nil)
+			next, _ := compact(c, v, rule, nil, ws)
 			rec(next, bi)
+			ws.recycle(next)
 		}
 	}
 	rec(baseContext(f), 0)
@@ -177,7 +180,7 @@ func TestBlocksZDDRule(t *testing.T) {
 	rng := rand.New(rand.NewSource(37))
 	f := truthtable.Random(5, rng)
 	blocks := []bitops.Mask{0b00111, 0b11000}
-	got := OptimalOrderingBlocks(f, blocks, &Options{Rule: ZDD})
+	got := OptimalOrderingBlocks(f, blocks, &SolveOptions{Rule: ZDD})
 	want := restrictedBrute(f, blocks, ZDD)
 	if got.MinCost != want {
 		t.Fatalf("ZDD blocks: %d != %d", got.MinCost, want)
@@ -187,7 +190,7 @@ func TestBlocksZDDRule(t *testing.T) {
 func TestBlocksMeterLeakFree(t *testing.T) {
 	m := &Meter{}
 	f := achilles(3)
-	OptimalOrderingBlocks(f, []bitops.Mask{0b000111, 0b111000}, &Options{Meter: m})
+	OptimalOrderingBlocks(f, []bitops.Mask{0b000111, 0b111000}, &SolveOptions{Meter: m})
 	if m.LiveCells != 0 {
 		t.Errorf("LiveCells = %d after blocks run, want 0", m.LiveCells)
 	}

@@ -1,0 +1,78 @@
+package lattice
+
+import (
+	"testing"
+
+	"obddopt/internal/bitops"
+)
+
+// TestRankMatchesGosperOrder pins the property the DP relies on: Gosper
+// enumeration of a layer visits masks exactly in rank order 0, 1, 2, …
+func TestRankMatchesGosperOrder(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		r := New(n)
+		for k := 0; k <= n; k++ {
+			want := uint64(0)
+			bitops.SubsetsOfSize(n, k, func(m bitops.Mask) {
+				if got := r.Rank(m); got != want {
+					t.Fatalf("n=%d k=%d mask=%#x: Rank = %d, want %d", n, k, uint64(m), got, want)
+				}
+				want++
+			})
+			if want != r.LayerSize(k) {
+				t.Fatalf("n=%d k=%d: enumerated %d masks, LayerSize = %d", n, k, want, r.LayerSize(k))
+			}
+		}
+	}
+}
+
+func TestUnrankInvertsRank(t *testing.T) {
+	r := New(10)
+	for k := 0; k <= 10; k++ {
+		for rank := uint64(0); rank < r.LayerSize(k); rank++ {
+			m := r.Unrank(k, rank)
+			if m.Count() != k {
+				t.Fatalf("Unrank(%d, %d) = %#x has popcount %d", k, rank, uint64(m), m.Count())
+			}
+			if got := r.Rank(m); got != rank {
+				t.Fatalf("Rank(Unrank(%d, %d)) = %d", k, rank, got)
+			}
+		}
+	}
+}
+
+func TestLayerSizesSumToPowerOfTwo(t *testing.T) {
+	for n := 0; n <= 20; n++ {
+		r := New(n)
+		var sum uint64
+		for k := 0; k <= n; k++ {
+			sum += r.LayerSize(k)
+		}
+		if sum != 1<<uint(n) {
+			t.Fatalf("n=%d: layer sizes sum to %d, want %d", n, sum, uint64(1)<<uint(n))
+		}
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	r := New(6)
+	if r.LayerSize(-1) != 0 || r.LayerSize(7) != 0 {
+		t.Fatalf("out-of-range LayerSize should be 0")
+	}
+	if r.N() != 6 {
+		t.Fatalf("N = %d, want 6", r.N())
+	}
+	mustPanic(t, func() { r.Unrank(3, r.LayerSize(3)) })
+	mustPanic(t, func() { New(-1) })
+	mustPanic(t, func() { New(MaxVars + 1) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	f()
+}

@@ -12,35 +12,19 @@ import (
 	"obddopt/internal/truthtable"
 )
 
-// ParallelOptions configures the multi-core dynamic program.
-type ParallelOptions struct {
-	// Rule selects the diagram variant (OBDD or ZDD).
-	Rule Rule
-	// Workers is the goroutine count; 0 selects GOMAXPROCS.
-	Workers int
-	// Meter, if non-nil, accumulates operation counts. Updates are
-	// merged once per layer, not per compaction, so LiveCells/PeakCells
-	// are layer-granular approximations of the serial meter.
-	Meter *Meter
-	// Trace, if non-nil, receives layer-granular events. Events are
-	// emitted only from the coordinating goroutine — workers never touch
-	// the tracer — so any Tracer implementation is race-free here;
-	// per-compaction events are not emitted by the parallel solver.
-	Trace obs.Tracer
-	// Budget bounds the run's resources; the zero value is unlimited.
-	// Enforced only by OptimalOrderingParallelCtx, at layer granularity
-	// for MaxCells (the meter merges once per layer) and transition
-	// granularity for MaxNodes.
-	Budget Budget
-}
-
 // OptimalOrderingParallel is OptimalOrdering with each DP layer fanned out
-// over a worker pool: the transitions of one layer are independent
-// (subset I's candidates read only layer k−1), so workers process
-// disjoint slices of the previous layer and merge their partial next
-// layers deterministically. Results are bit-identical to the serial
-// algorithm, including tie-breaking.
-func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Result {
+// over a worker pool (opts.Workers goroutines; 0 selects GOMAXPROCS): the
+// transitions of one layer are independent (subset I's candidates read
+// only layer k−1), so workers process disjoint slices of the previous
+// layer and merge their partial next layers deterministically. Results
+// are bit-identical to the serial algorithm, including tie-breaking.
+//
+// Meter updates are merged once per layer, not per compaction, so
+// LiveCells/PeakCells are layer-granular approximations of the serial
+// meter; trace events are layer-granular and emitted only from the
+// coordinating goroutine. A budget is enforced at layer granularity for
+// MaxCells and transition granularity for MaxNodes.
+func OptimalOrderingParallel(tt *truthtable.Table, opts *SolveOptions) *Result {
 	return mustResult(OptimalOrderingParallelCtx(nil, tt, opts))
 }
 
@@ -50,44 +34,52 @@ func OptimalOrderingParallel(tt *truthtable.Table, opts *ParallelOptions) *Resul
 // coordinator then releases every table produced so far and returns
 // ErrCanceled / ErrBudgetExceeded with a nil Result (the DP holds no
 // incumbent before it completes).
-func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *ParallelOptions) (*Result, error) {
-	rule := OBDD
-	var meter *Meter
-	var tr obs.Tracer
-	var budget Budget
-	workers := runtime.GOMAXPROCS(0)
-	if opts != nil {
-		rule = opts.Rule
-		meter = opts.Meter
-		tr = opts.Trace
-		budget = opts.Budget
-		if opts.Workers > 0 {
-			workers = opts.Workers
-		}
+func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+	rule, tr, budget := opts.rule(), opts.trace(), opts.budget()
+	meter := meterFor(opts.meter(), budget)
+	workers := opts.workers()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	meter = meterFor(meter, budget)
 	n := tt.NumVars()
 	if workers < 1 {
 		workers = 1
 	}
 	if n <= 2 || workers == 1 {
-		return OptimalOrderingCtx(ctx, tt, &Options{Rule: rule, Meter: meter, Trace: tr, Budget: budget})
+		return OptimalOrderingCtx(ctx, tt, &SolveOptions{Rule: rule, Meter: meter, Trace: tr, Budget: budget})
 	}
 	lim := newLimiter(ctx, budget, meter)
 	obs.Metrics.RunsStarted.Inc()
+
+	// One workspace per worker, reused across every layer of the run and
+	// returned to the pool only after all goroutines have joined — a
+	// worker's arena must never be visible to another goroutine while the
+	// coordinator still recycles dropped candidate blocks into it.
+	wss := make([]*workspace, workers)
+	for w := range wss {
+		wss[w] = acquireWorkspace()
+	}
+	defer func() {
+		for _, ws := range wss {
+			ws.release()
+		}
+	}()
 
 	base := baseContext(tt)
 	meter.alloc(base.cells())
 	bestLast := make(map[bitops.Mask]int)
 	layer := map[bitops.Mask]*fsContext{0: base}
 
-	// releaseLayer returns the current layer's tables to the meter (the
-	// caller-owned base context excluded); used on both the normal
-	// per-layer hand-over and the abort path.
+	// releaseLayer returns the current layer's tables to the meter and its
+	// blocks to an arena (the caller-owned base context excluded); used on
+	// both the normal per-layer hand-over and the abort path. It runs only
+	// from the coordinator after wg.Wait, so recycling into wss[0] never
+	// races with that worker.
 	releaseLayer := func() {
 		for m, c := range layer {
 			if m != 0 || c != base {
 				meter.free(c.cells())
+				wss[0].recycle(c)
 			}
 		}
 	}
@@ -96,6 +88,7 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 		mask bitops.Mask
 		v    int
 		ctx  *fsContext
+		ws   *workspace // the producing worker's workspace, for recycling
 	}
 	for k := 1; k <= n; k++ {
 		var layerStart time.Time
@@ -133,8 +126,8 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 						if prevMask.Has(v) {
 							continue
 						}
-						c, _ := compact(prevCtx, v, rule, lm)
-						local = append(local, cand{mask: prevMask.With(v), v: v, ctx: c})
+						c, _ := compact(prevCtx, v, rule, lm, wss[w])
+						local = append(local, cand{mask: prevMask.With(v), v: v, ctx: c, ws: wss[w]})
 					}
 				}
 				results[w] = local
@@ -155,6 +148,9 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 		// table is dropped before any entered the meter, so LiveCells
 		// falls back to the surviving layers only.
 		if err := lim.spend(uint64(len(all))); err != nil {
+			for _, c := range all {
+				c.ws.recycle(c.ctx)
+			}
 			releaseLayer()
 			meter.free(base.cells())
 			return nil, err
@@ -165,18 +161,28 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 			}
 			return all[i].v < all[j].v
 		})
-		next := make(map[bitops.Mask]*fsContext, len(all)/k+1)
+		// Keep the first (smallest v) strictly-cheapest candidate per mask;
+		// dropped tables go back to the arena of the worker that produced
+		// them (safe: all workers have joined).
+		kept := make(map[bitops.Mask]cand, len(all)/k+1)
 		var layerCells, keptCells uint64
 		for _, c := range all {
 			layerCells += c.ctx.cells()
-			if cur, ok := next[c.mask]; !ok || c.ctx.cost < cur.cost {
+			if cur, ok := kept[c.mask]; !ok || c.ctx.cost < cur.ctx.cost {
 				if ok {
-					keptCells -= cur.cells()
+					keptCells -= cur.ctx.cells()
+					cur.ws.recycle(cur.ctx)
 				}
-				next[c.mask] = c.ctx
+				kept[c.mask] = c
 				bestLast[c.mask] = c.v
 				keptCells += c.ctx.cells()
+			} else {
+				c.ws.recycle(c.ctx)
 			}
+		}
+		next := make(map[bitops.Mask]*fsContext, len(kept))
+		for m, c := range kept {
+			next[m] = c.ctx
 		}
 		// Merge worker meters; account candidate tables at layer
 		// granularity (alloc everything produced, free what was dropped
@@ -225,6 +231,7 @@ func OptimalOrderingParallelCtx(ctx stdctx.Context, tt *truthtable.Table, opts *
 	full := bitops.FullMask(n)
 	minCost := layer[full].cost
 	meter.free(layer[full].cells())
+	wss[0].recycle(layer[full])
 	meter.free(base.cells())
 
 	order := make(truthtable.Ordering, n)

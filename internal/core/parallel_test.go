@@ -14,7 +14,7 @@ func TestParallelMatchesSerialExactly(t *testing.T) {
 		f := truthtable.Random(n, rng)
 		for _, workers := range []int{1, 2, 4, 7} {
 			serial := OptimalOrdering(f, nil)
-			par := OptimalOrderingParallel(f, &ParallelOptions{Workers: workers})
+			par := OptimalOrderingParallel(f, &SolveOptions{Workers: workers})
 			if serial.MinCost != par.MinCost {
 				t.Fatalf("n=%d w=%d: parallel %d != serial %d", n, workers, par.MinCost, serial.MinCost)
 			}
@@ -34,8 +34,8 @@ func TestParallelZDD(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		n := 3 + trial%4
 		f := truthtable.Random(n, rng)
-		serial := OptimalOrdering(f, &Options{Rule: ZDD})
-		par := OptimalOrderingParallel(f, &ParallelOptions{Rule: ZDD, Workers: 3})
+		serial := OptimalOrdering(f, &SolveOptions{Rule: ZDD})
+		par := OptimalOrderingParallel(f, &SolveOptions{Rule: ZDD, Workers: 3})
 		if serial.MinCost != par.MinCost {
 			t.Fatalf("ZDD n=%d: parallel %d != serial %d", n, par.MinCost, serial.MinCost)
 		}
@@ -46,8 +46,8 @@ func TestParallelMeterConsistent(t *testing.T) {
 	rng := rand.New(rand.NewSource(153))
 	f := truthtable.Random(8, rng)
 	sm, pm := &Meter{}, &Meter{}
-	OptimalOrdering(f, &Options{Meter: sm})
-	OptimalOrderingParallel(f, &ParallelOptions{Workers: 4, Meter: pm})
+	OptimalOrdering(f, &SolveOptions{Meter: sm})
+	OptimalOrderingParallel(f, &SolveOptions{Workers: 4, Meter: pm})
 	// Cell operations are identical work regardless of scheduling.
 	if sm.CellOps != pm.CellOps {
 		t.Errorf("parallel CellOps %d != serial %d", pm.CellOps, sm.CellOps)

@@ -57,6 +57,34 @@ func (o *SolveOptions) rule() Rule {
 	return o.Rule
 }
 
+func (o *SolveOptions) meter() *Meter {
+	if o == nil {
+		return nil
+	}
+	return o.Meter
+}
+
+func (o *SolveOptions) trace() obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+func (o *SolveOptions) budget() Budget {
+	if o == nil {
+		return Budget{}
+	}
+	return o.Budget
+}
+
+func (o *SolveOptions) workers() int {
+	if o == nil {
+		return 0
+	}
+	return o.Workers
+}
+
 // Seeder is a heuristic ordering pass: it returns an ordering of tt's
 // variables, the diagram cost (nonterminals) under that ordering, and
 // whether it produced anything. It must respect ctx — stopping early and
@@ -119,50 +147,18 @@ func SolverNames() []string {
 }
 
 func init() {
-	RegisterSolver("fs", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-		return OptimalOrderingCtx(ctx, tt, &Options{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
-	})
-	RegisterSolver("parallel", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-		return OptimalOrderingParallelCtx(ctx, tt, &ParallelOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts), Workers: optWorkers(opts)})
-	})
+	RegisterSolver("fs", OptimalOrderingCtx)
+	RegisterSolver("parallel", OptimalOrderingParallelCtx)
 	RegisterSolver("bnb", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-		return BranchAndBoundCtx(ctx, tt, &BnBOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
+		return BranchAndBoundCtx(ctx, tt, &BnBOptions{Rule: opts.rule(), Meter: opts.meter(), Trace: opts.trace(), Budget: opts.budget()})
 	})
 	RegisterSolver("dnc", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-		return DivideAndConquerCtx(ctx, tt, &DnCOptions{Rule: opts.rule(), Meter: optMeter(opts), Trace: optTrace(opts), Budget: optBudget(opts)})
+		return DivideAndConquerCtx(ctx, tt, &DnCOptions{Rule: opts.rule(), Meter: opts.meter(), Trace: opts.trace(), Budget: opts.budget()})
 	})
 	RegisterSolver("brute", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-		return BruteForceCtx(ctx, tt, &BruteForceOptions{Rule: opts.rule(), Meter: optMeter(opts), Budget: optBudget(opts), Prune: true})
+		return BruteForceCtx(ctx, tt, &BruteForceOptions{Rule: opts.rule(), Meter: opts.meter(), Budget: opts.budget(), Prune: true})
 	})
 	RegisterSolver("portfolio", Portfolio)
-}
-
-func optMeter(o *SolveOptions) *Meter {
-	if o == nil {
-		return nil
-	}
-	return o.Meter
-}
-
-func optTrace(o *SolveOptions) obs.Tracer {
-	if o == nil {
-		return nil
-	}
-	return o.Trace
-}
-
-func optBudget(o *SolveOptions) Budget {
-	if o == nil {
-		return Budget{}
-	}
-	return o.Budget
-}
-
-func optWorkers(o *SolveOptions) int {
-	if o == nil {
-		return 0
-	}
-	return o.Workers
 }
 
 // parallelLaneThreshold is the variable count above which the portfolio's
@@ -193,8 +189,8 @@ type laneOutcome struct {
 // lane, whichever is better) is returned alongside the error, so callers
 // degrade to a valid — merely unproven — ordering instead of nothing.
 func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
-	rule, tr := opts.rule(), optTrace(opts)
-	budget := optBudget(opts)
+	rule, tr := opts.rule(), opts.trace()
+	budget := opts.budget()
 	n := tt.NumVars()
 	start := time.Now()
 	sp := obs.SpanFromContext(ctx)
@@ -256,10 +252,11 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 		run  func(stdctx.Context, *Meter) (*Result, error)
 	}{
 		{dpName, func(c stdctx.Context, m *Meter) (*Result, error) {
+			laneOpts := &SolveOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget, Workers: opts.workers()}
 			if dpName == "parallel" {
-				return OptimalOrderingParallelCtx(c, tt, &ParallelOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget, Workers: optWorkers(opts)})
+				return OptimalOrderingParallelCtx(c, tt, laneOpts)
 			}
-			return OptimalOrderingCtx(c, tt, &Options{Rule: rule, Meter: m, Trace: tr, Budget: budget})
+			return OptimalOrderingCtx(c, tt, laneOpts)
 		}},
 		{"bnb", func(c stdctx.Context, m *Meter) (*Result, error) {
 			o := &BnBOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget}
@@ -344,7 +341,7 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 
 	// All lanes have joined; merging their private meters into the
 	// caller's is now race-free.
-	if m := optMeter(opts); m != nil {
+	if m := opts.meter(); m != nil {
 		for _, out := range outcomes {
 			m.CellOps += out.meter.CellOps
 			m.Compactions += out.meter.Compactions

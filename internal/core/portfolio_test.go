@@ -27,7 +27,7 @@ func TestPortfolioMatchesDP(t *testing.T) {
 		for i := 0; i < 8; i++ {
 			n := 4 + rng.Intn(7) // 4..10
 			tt := truthtable.Random(n, rng)
-			want := core.OptimalOrdering(tt, &core.Options{Rule: rule})
+			want := core.OptimalOrdering(tt, &core.SolveOptions{Rule: rule})
 			got, err := core.Portfolio(nil, tt, &core.SolveOptions{Rule: rule})
 			if err != nil {
 				t.Fatalf("rule %v n=%d: %v", rule, n, err)

@@ -139,17 +139,17 @@ func TestZDDKnownValues(t *testing.T) {
 			}
 			return true
 		})
-		res := OptimalOrdering(f, &Options{Rule: ZDD})
+		res := OptimalOrdering(f, &SolveOptions{Rule: ZDD})
 		if res.MinCost != 0 {
 			t.Errorf("ZDD({∅}) n=%d: MinCost = %d, want 0", n, res.MinCost)
 		}
 	}
 	// f = x0 over one variable: one ZDD node. f = ¬x0: zero nodes (the
 	// zero-suppressed skip applies at the root).
-	if res := OptimalOrdering(truthtable.Var(1, 0), &Options{Rule: ZDD}); res.MinCost != 1 {
+	if res := OptimalOrdering(truthtable.Var(1, 0), &SolveOptions{Rule: ZDD}); res.MinCost != 1 {
 		t.Errorf("ZDD(x0): MinCost = %d, want 1", res.MinCost)
 	}
-	if res := OptimalOrdering(truthtable.Var(1, 0).Not(), &Options{Rule: ZDD}); res.MinCost != 0 {
+	if res := OptimalOrdering(truthtable.Var(1, 0).Not(), &SolveOptions{Rule: ZDD}); res.MinCost != 0 {
 		t.Errorf("ZDD(¬x0): MinCost = %d, want 0", res.MinCost)
 	}
 }
@@ -159,7 +159,7 @@ func TestZDDOptimalAgreesWithBruteForce(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		n := 2 + trial%4
 		f := truthtable.Random(n, rng)
-		fs := OptimalOrdering(f, &Options{Rule: ZDD})
+		fs := OptimalOrdering(f, &SolveOptions{Rule: ZDD})
 		bf := BruteForce(f, &BruteForceOptions{Rule: ZDD})
 		if fs.MinCost != bf.MinCost {
 			t.Fatalf("ZDD n=%d: FS %d != BF %d (f=%s)", n, fs.MinCost, bf.MinCost, f.Hex())
@@ -219,5 +219,5 @@ func TestMTBDDPanicsOnZDDRule(t *testing.T) {
 			t.Errorf("OptimalOrderingMulti with ZDD rule did not panic")
 		}
 	}()
-	OptimalOrderingMulti(truthtable.NewMulti(2), &Options{Rule: ZDD})
+	OptimalOrderingMulti(truthtable.NewMulti(2), &SolveOptions{Rule: ZDD})
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule selects the reduction rule applied during table compaction, i.e.
+// which decision-diagram variant is being minimized.
+type Rule int
+
+const (
+	// OBDD applies the standard reduction: a node whose 0- and 1-child
+	// coincide is skipped (the function does not depend on the level's
+	// variable).
+	OBDD Rule = iota
+	// ZDD applies the zero-suppressed rule: a node whose 1-child is the
+	// false terminal is skipped. This is the two-line modification of
+	// Remark 2 / Appendix D.
+	ZDD
+)
+
+// String returns the conventional name of the rule.
+func (r Rule) String() string {
+	switch r {
+	case OBDD:
+		return "OBDD"
+	case ZDD:
+		return "ZDD"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// UnknownRuleError reports a rule name that names no known diagram
+// variant. It matches both itself and ErrInvalidInput under errors.Is,
+// so transport layers can classify it without a dedicated branch.
+type UnknownRuleError struct {
+	// Name is the rejected rule spelling, verbatim.
+	Name string
+}
+
+func (e *UnknownRuleError) Error() string {
+	return fmt.Sprintf("obddopt: unknown rule %q (want OBDD or ZDD)", e.Name)
+}
+
+// Is makes errors.Is(err, ErrInvalidInput) true for unknown-rule errors.
+func (e *UnknownRuleError) Is(target error) bool { return target == ErrInvalidInput }
+
+// ParseRule maps a rule name to the Rule value. Names are matched
+// case-insensitively ("obdd", "OBDD", "zdd", …); anything else returns a
+// *UnknownRuleError (which errors.Is-matches ErrInvalidInput).
+func ParseRule(name string) (Rule, error) {
+	switch strings.ToLower(name) {
+	case "obdd":
+		return OBDD, nil
+	case "zdd":
+		return ZDD, nil
+	default:
+		return OBDD, &UnknownRuleError{Name: name}
+	}
+}
+
+// MarshalJSON renders the rule as its conventional name, so run reports
+// read "OBDD"/"ZDD" instead of enum integers.
+func (r Rule) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + r.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the conventional name in any case (or a bare
+// integer, for compatibility with numerically encoded reports). Unknown
+// spellings are rejected with a *UnknownRuleError rather than silently
+// defaulting.
+func (r *Rule) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	switch s {
+	case "0":
+		*r = OBDD
+		return nil
+	case "1":
+		*r = ZDD
+		return nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		rule, err := ParseRule(s[1 : len(s)-1])
+		if err != nil {
+			return err
+		}
+		*r = rule
+		return nil
+	}
+	return &UnknownRuleError{Name: s}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestParseRule(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Rule
+		wantErr bool
+	}{
+		{"obdd", OBDD, false},
+		{"OBDD", OBDD, false},
+		{"Obdd", OBDD, false},
+		{"zdd", ZDD, false},
+		{"ZDD", ZDD, false},
+		{"", OBDD, true},
+		{"mtbdd", OBDD, true},
+		{"obdd ", OBDD, true},
+		{"bdd", OBDD, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRule(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseRule(%q): err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			var ure *UnknownRuleError
+			if !errors.As(err, &ure) {
+				t.Errorf("ParseRule(%q): error %T, want *UnknownRuleError", c.in, err)
+			} else if ure.Name != c.in {
+				t.Errorf("ParseRule(%q): error names %q", c.in, ure.Name)
+			}
+			if !errors.Is(err, ErrInvalidInput) {
+				t.Errorf("ParseRule(%q): error does not match ErrInvalidInput", c.in)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRule(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRuleUnmarshalJSON(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Rule
+		wantErr bool
+	}{
+		{`"OBDD"`, OBDD, false},
+		{`"obdd"`, OBDD, false},
+		{`"ZDD"`, ZDD, false},
+		{`"zdd"`, ZDD, false},
+		{`0`, OBDD, false},
+		{`1`, ZDD, false},
+		{`"mtbdd"`, OBDD, true},
+		{`""`, OBDD, true},
+		{`2`, OBDD, true},
+		{`"2"`, OBDD, true},
+		{`null`, OBDD, true},
+		{`true`, OBDD, true},
+	}
+	for _, c := range cases {
+		var r Rule
+		err := json.Unmarshal([]byte(c.in), &r)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Unmarshal(%s): err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			var ure *UnknownRuleError
+			if !errors.As(err, &ure) {
+				t.Errorf("Unmarshal(%s): error %T, want *UnknownRuleError", c.in, err)
+			}
+			continue
+		}
+		if r != c.want {
+			t.Errorf("Unmarshal(%s) = %v, want %v", c.in, r, c.want)
+		}
+	}
+}
+
+// TestRuleJSONRoundTrip pins the report encoding: rules marshal as their
+// conventional names and decode back to themselves.
+func TestRuleJSONRoundTrip(t *testing.T) {
+	for _, r := range []Rule{OBDD, ZDD} {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", r, err)
+		}
+		var back Rule
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("Unmarshal(%s): %v", b, err)
+		}
+		if back != r {
+			t.Errorf("round trip %v -> %s -> %v", r, b, back)
+		}
+	}
+}

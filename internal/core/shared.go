@@ -57,9 +57,22 @@ func baseSharedContext(tts []*truthtable.Table) *sharedContext {
 	return &sharedContext{n: n, free: bitops.FullMask(n), tables: tables, cost: 0, nTerm: 2}
 }
 
-// compactShared absorbs variable v across all roots with a shared
-// per-level unique map.
-func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext, uint64) {
+// recycleShared returns a shared context's table blocks to the
+// workspace's arena; the metering-side m.free stays at the call site.
+func (ws *workspace) recycleShared(c *sharedContext) {
+	for _, t := range c.tables {
+		ws.ar.PutU32(t)
+	}
+	c.tables = nil
+}
+
+// compactShared absorbs variable v across all roots with one dedup table
+// shared by every root: cross-root equal subfunctions must collapse to a
+// single ID. The dedup scratch is reset once and IDs continue across the
+// per-root kernel calls, reproducing the papers' joint NODE set. The
+// result's tables are drawn from ws's arena; the caller returns them with
+// ws.recycleShared (plus the matching m.free) when done.
+func compactShared(c *sharedContext, v int, rule Rule, m *Meter, ws *workspace) (*sharedContext, uint64) {
 	if !c.free.Has(v) {
 		panic("core: compactShared on non-free variable") //lint:allow nopanic internal invariant: compacting a non-free variable is a DP-driver bug
 	}
@@ -72,42 +85,16 @@ func compactShared(c *sharedContext, v int, rule Rule, m *Meter) (*sharedContext
 		cost:   c.cost,
 		nTerm:  c.nTerm,
 	}
-	dedup := make(map[uint64]uint32)
-	id := c.nextID()
+	ws.dd.Reset(size * uint64(len(c.tables)))
 	var width uint64
 	for r, tbl := range c.tables {
-		out := make([]uint32, size)
-		for idx := uint64(0); idx < size; idx++ {
-			u0 := tbl[bitops.SpliceIndex(idx, pos, 0)]
-			u1 := tbl[bitops.SpliceIndex(idx, pos, 1)]
-			var skip bool
-			switch rule {
-			case OBDD:
-				skip = u0 == u1
-			case ZDD:
-				skip = u1 == 0
-			default:
-				panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
-			}
-			if skip {
-				out[idx] = u0
-				continue
-			}
-			key := pairKey(u0, u1)
-			if u, ok := dedup[key]; ok {
-				out[idx] = u
-				continue
-			}
-			dedup[key] = id
-			out[idx] = id
-			id++
-			width++
-		}
+		out := ws.ar.GetU32(size)
+		width += compactInto(out, tbl, pos, rule, c.nextID()+uint32(width), &ws.dd)
 		next.tables[r] = out
 		m.addCells(size)
 	}
 	next.cost += width
-	m.alloc(next.cells()) //lint:allow meterbalance ownership of the compacted table transfers to the caller, which frees it
+	m.alloc(next.cells()) //lint:allow meterbalance ownership of the compacted tables transfers to the caller, which frees it
 	return next, width
 }
 
@@ -136,7 +123,7 @@ type SharedResult struct {
 // forest of the given functions, returning the exact minimum shared node
 // count and an ordering achieving it. Time and space are O*(m·3^n) for m
 // roots over n variables.
-func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult {
+func OptimalOrderingShared(tts []*truthtable.Table, opts *SolveOptions) *SharedResult {
 	return mustResult(OptimalOrderingSharedCtx(nil, tts, opts))
 }
 
@@ -145,7 +132,7 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *Options) *SharedResult
 // compaction. On an early stop every layer table is released and a nil
 // result is returned with ErrCanceled / ErrBudgetExceeded (the DP holds
 // no incumbent before it completes).
-func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts *Options) (*SharedResult, error) {
+func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts *SolveOptions) (*SharedResult, error) {
 	if len(tts) == 0 {
 		panic("core: OptimalOrderingShared needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
 	}
@@ -154,6 +141,8 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 	lim := newLimiter(ctx, opts.budget(), m)
 	obs.Metrics.RunsStarted.Inc()
 	n := tts[0].NumVars()
+	ws := acquireWorkspace()
+	defer ws.release()
 	base := baseSharedContext(tts)
 	m.alloc(base.cells())
 
@@ -164,10 +153,12 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 	abort := func(layer, next map[bitops.Mask]*sharedContext) {
 		for _, c := range next {
 			m.free(c.cells())
+			ws.recycleShared(c)
 		}
 		for mask, c := range layer {
 			if mask != 0 || c != base {
 				m.free(c.cells())
+				ws.recycleShared(c)
 			}
 		}
 		m.free(base.cells())
@@ -193,7 +184,7 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 					abort(layer, next)
 					return nil, err
 				}
-				cand, w := compactShared(prevCtx, v, rule, m)
+				cand, w := compactShared(prevCtx, v, rule, m, ws)
 				layerOps += ops
 				transitions++
 				if tr != nil {
@@ -204,17 +195,20 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 					(cand.cost == cur.cost && v < bestLast[key]) {
 					if ok {
 						m.free(cur.cells())
+						ws.recycleShared(cur)
 					}
 					next[key] = cand
 					bestLast[key] = v
 				} else {
 					m.free(cand.cells())
+					ws.recycleShared(cand)
 				}
 			}
 		}
 		for mask, c := range layer {
 			if mask != 0 || c != base {
 				m.free(c.cells())
+				ws.recycleShared(c)
 			}
 		}
 		layer = next
@@ -237,7 +231,10 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 	full := bitops.FullMask(n)
 	minCost := layer[full].cost
 	m.free(layer[full].cells())
-	m.free(base.cells())
+	if layer[full] != base {
+		ws.recycleShared(layer[full])
+		m.free(base.cells())
+	}
 	finishMetrics(m)
 
 	order := make(truthtable.Ordering, n)
@@ -285,14 +282,23 @@ func sharedTerminals(tts []*truthtable.Table) int {
 }
 
 func profileShared(tts []*truthtable.Table, order truthtable.Ordering, rule Rule) ([]uint64, uint64) {
-	c := baseSharedContext(tts)
+	ws := acquireWorkspace()
+	defer ws.release()
+	base := baseSharedContext(tts)
+	c := base
 	widths := make([]uint64, 0, len(order))
 	var total uint64
 	for _, v := range order {
-		next, w := compactShared(c, v, rule, nil)
+		next, w := compactShared(c, v, rule, nil, ws)
+		if c != base {
+			ws.recycleShared(c)
+		}
 		c = next
 		widths = append(widths, w)
 		total += w
+	}
+	if c != base {
+		ws.recycleShared(c)
 	}
 	return widths, total
 }
@@ -327,6 +333,7 @@ func BruteForceShared(tts []*truthtable.Table, rule Rule) *SharedResult {
 		panic("core: BruteForceShared needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
 	}
 	n := tts[0].NumVars()
+	ws := acquireWorkspace()
 	best := ^uint64(0)
 	bestOrder := make([]int, n)
 	order := make([]int, 0, n)
@@ -343,13 +350,15 @@ func BruteForceShared(tts []*truthtable.Table, rule Rule) *SharedResult {
 			if !c.free.Has(v) {
 				continue
 			}
-			next, _ := compactShared(c, v, rule, nil)
+			next, _ := compactShared(c, v, rule, nil, ws)
 			order = append(order, v)
 			dfs(next)
 			order = order[:len(order)-1]
+			ws.recycleShared(next)
 		}
 	}
 	dfs(baseSharedContext(tts))
+	ws.release()
 	profile, _ := profileShared(tts, bestOrder, rule)
 	return &SharedResult{
 		N:         n,

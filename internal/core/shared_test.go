@@ -50,7 +50,7 @@ func TestSharedZDDAgreesWithBruteForce(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		n := 2 + trial%4
 		roots := randomRoots(n, 2, rng)
-		dp := OptimalOrderingShared(roots, &Options{Rule: ZDD})
+		dp := OptimalOrderingShared(roots, &SolveOptions{Rule: ZDD})
 		bf := BruteForceShared(roots, ZDD)
 		if dp.MinCost != bf.MinCost {
 			t.Fatalf("ZDD shared: DP %d != brute %d", dp.MinCost, bf.MinCost)
@@ -217,7 +217,7 @@ func TestSharedPanics(t *testing.T) {
 func TestSharedMeterLeakFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(128))
 	m := &Meter{}
-	OptimalOrderingShared(randomRoots(5, 3, rng), &Options{Meter: m})
+	OptimalOrderingShared(randomRoots(5, 3, rng), &SolveOptions{Meter: m})
 	if m.LiveCells != 0 {
 		t.Errorf("LiveCells = %d after shared run", m.LiveCells)
 	}

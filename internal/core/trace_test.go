@@ -26,7 +26,7 @@ func TestTraceLayerEventsFS(t *testing.T) {
 	n := tt.NumVars()
 	rec := obs.NewRecorder()
 	m := &Meter{}
-	res := OptimalOrdering(tt, &Options{Meter: m, Trace: rec})
+	res := OptimalOrdering(tt, &SolveOptions{Meter: m, Trace: rec})
 
 	if got := rec.Count(obs.KindLayerStart); got != n {
 		t.Errorf("LayerStart events = %d, want %d", got, n)
@@ -68,7 +68,7 @@ func TestTraceLayerEventsParallel(t *testing.T) {
 	n := tt.NumVars()
 	rec := obs.NewRecorder()
 	m := &Meter{}
-	res := OptimalOrderingParallel(tt, &ParallelOptions{Meter: m, Trace: rec, Workers: 4})
+	res := OptimalOrderingParallel(tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4})
 
 	if got := rec.Count(obs.KindLayerEnd); got != n {
 		t.Errorf("LayerEnd events = %d, want %d", got, n)
@@ -145,7 +145,7 @@ func TestTraceShared(t *testing.T) {
 	g := truthtable.FromFunc(4, func(x []bool) bool { return x[1] != x[3] })
 	rec := obs.NewRecorder()
 	m := &Meter{}
-	OptimalOrderingShared([]*truthtable.Table{f, g}, &Options{Meter: m, Trace: rec})
+	OptimalOrderingShared([]*truthtable.Table{f, g}, &SolveOptions{Meter: m, Trace: rec})
 	if got := rec.Count(obs.KindLayerEnd); got != 4 {
 		t.Errorf("LayerEnd events = %d, want 4", got)
 	}
@@ -165,7 +165,7 @@ func TestTraceParallelRace(t *testing.T) {
 			defer wg.Done()
 			rec := obs.NewRecorder()
 			m := &Meter{}
-			res := OptimalOrderingParallel(tt, &ParallelOptions{Meter: m, Trace: rec, Workers: 4})
+			res := OptimalOrderingParallel(tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4})
 			if res.MinCost == 0 || rec.Count(obs.KindLayerEnd) != tt.NumVars() {
 				t.Errorf("traced parallel run inconsistent: cost %d, layers %d",
 					res.MinCost, rec.Count(obs.KindLayerEnd))

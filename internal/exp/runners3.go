@@ -107,7 +107,7 @@ func E12(w io.Writer, cfg Config) error {
 		}
 		J := bitops.FullMask(n) &^ I
 		m := &core.Meter{}
-		res := core.OptimalOrderingBlocks(f, []bitops.Mask{I, J}, &core.Options{Meter: m})
+		res := core.OptimalOrderingBlocks(f, []bitops.Mask{I, J}, core.NewSolveOptions(core.WithMeter(m)))
 		if res.MinCost < global.MinCost {
 			return fmt.Errorf("E12: constrained optimum beat global at |I|=%d", k)
 		}
@@ -183,7 +183,7 @@ func E14(w io.Writer, cfg Config) error {
 	for n := minN; n <= maxN; n++ {
 		f := truthtable.Random(n, rng)
 		m := &core.Meter{}
-		core.OptimalOrdering(f, &core.Options{Meter: m})
+		core.OptimalOrdering(f, core.NewSolveOptions(core.WithMeter(m)))
 		var bound uint64
 		for k := 1; k <= n; k++ {
 			v := bitops.Binomial(n, k)<<uint(n-k) + bitops.Binomial(n, k-1)<<uint(n-k+1)

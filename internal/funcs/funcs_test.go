@@ -197,7 +197,7 @@ func TestSparseFamily(t *testing.T) {
 	// ZDDs of sparse families are much smaller than their OBDDs on
 	// average; at minimum the minimized ZDD must not exceed the OBDD by
 	// more than the structural bound here — we just check both run.
-	z := core.OptimalOrdering(f, &core.Options{Rule: core.ZDD})
+	z := core.OptimalOrdering(f, &core.SolveOptions{Rule: core.ZDD})
 	b := core.OptimalOrdering(f, nil)
 	if z.MinCost == 0 && b.MinCost == 0 {
 		t.Errorf("degenerate family")

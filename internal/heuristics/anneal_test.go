@@ -81,7 +81,7 @@ func TestAnnealZDD(t *testing.T) {
 	rng := rand.New(rand.NewSource(164))
 	f := funcs.SparseFamily(7, 9, 3, rng)
 	res := Anneal(f, core.ZDD, &AnnealOptions{Rng: rng})
-	opt := core.OptimalOrdering(f, &core.Options{Rule: core.ZDD}).MinCost
+	opt := core.OptimalOrdering(f, &core.SolveOptions{Rule: core.ZDD}).MinCost
 	if res.MinCost < opt {
 		t.Fatalf("ZDD anneal beat the ZDD optimum")
 	}

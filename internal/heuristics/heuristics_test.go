@@ -157,7 +157,7 @@ func TestGreedyIsDeterministic(t *testing.T) {
 func TestHeuristicsOnZDDRule(t *testing.T) {
 	rng := rand.New(rand.NewSource(96))
 	tt := funcs.SparseFamily(7, 9, 3, rng)
-	opt := core.OptimalOrdering(tt, &core.Options{Rule: core.ZDD}).MinCost
+	opt := core.OptimalOrdering(tt, &core.SolveOptions{Rule: core.ZDD}).MinCost
 	res := Sift(tt, core.ZDD, 0)
 	if res.MinCost < opt {
 		t.Fatalf("ZDD sifting beat the ZDD optimum")

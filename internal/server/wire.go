@@ -194,13 +194,13 @@ func (s *Server) parseRequest(req *SolveRequest) (*truthtable.Table, core.Rule, 
 			core.ErrInvalidInput, tt.NumVars(), s.cfg.MaxVars)
 	}
 	rule := core.OBDD
-	switch req.Rule {
-	case "", "obdd", "OBDD":
-		rule = core.OBDD
-	case "zdd", "ZDD":
-		rule = core.ZDD
-	default:
-		return nil, 0, "", nil, 0, fmt.Errorf("%w: unknown rule %q (obdd or zdd)", core.ErrInvalidInput, req.Rule)
+	if req.Rule != "" {
+		// core.ParseRule's *UnknownRuleError already errors.Is-matches
+		// core.ErrInvalidInput, so the transport classifies it as a 400.
+		var err error
+		if rule, err = core.ParseRule(req.Rule); err != nil {
+			return nil, 0, "", nil, 0, err
+		}
 	}
 	name := req.Solver
 	if name == "" {

@@ -191,7 +191,7 @@ func TestZDDOptimalMatchesManager(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 3 + trial%4
 		tt := truthtable.Random(n, rng)
-		res := core.OptimalOrdering(tt, &core.Options{Rule: core.ZDD})
+		res := core.OptimalOrdering(tt, &core.SolveOptions{Rule: core.ZDD})
 		m := New(n, res.Ordering)
 		f := m.FromTruthTable(tt)
 		if m.CountNodes(f) != res.MinCost {

@@ -64,9 +64,6 @@ type Ordering = truthtable.Ordering
 // and the per-level width profile.
 type Result = core.Result
 
-// Options configures the exact algorithms (diagram rule, metering).
-type Options = core.Options
-
 // Meter accumulates operation counts (table-compaction cells, peak space).
 type Meter = core.Meter
 
@@ -111,87 +108,22 @@ func MustParseExpr(src string, n int) *Table {
 	return t
 }
 
-// OptimalOrdering runs the Friedman–Supowit dynamic program: the exact
-// minimum OBDD (or ZDD, per opts.Rule) size and an ordering achieving it,
-// in O*(3^n) time and space. A nil opts minimizes OBDDs without metering.
-//
-// Deprecated: use Solve with WithSolver("fs") — it adds cancellation,
-// deadlines and resource budgets. This wrapper remains for source
-// compatibility and cannot be interrupted.
-func OptimalOrdering(tt *Table, opts *Options) *Result {
-	return core.OptimalOrdering(tt, opts)
-}
-
 // OptimalOrderingMulti minimizes a multi-terminal decision diagram for a
-// multi-valued function (the papers' Remark 2 generalization).
-func OptimalOrderingMulti(mt *MultiTable, opts *Options) *Result {
-	return core.OptimalOrderingMulti(mt, opts)
-}
-
-// BruteForce finds the optimum by exhaustive O*(n!·2^n) search — the
-// baseline the dynamic program improves on; useful for validation only.
-//
-// Deprecated: use Solve with WithSolver("brute").
-func BruteForce(tt *Table, opts *Options) *Result {
-	var bfOpts *core.BruteForceOptions
-	if opts != nil {
-		bfOpts = &core.BruteForceOptions{Rule: opts.Rule, Meter: opts.Meter}
+// multi-valued function (the papers' Remark 2 generalization). It accepts
+// the same functional options as Solve that apply to a single serial DP
+// run: WithMeter, WithTrace (WithRule must stay at the OBDD default — the
+// MTBDD generalization has no ZDD analogue).
+func OptimalOrderingMulti(mt *MultiTable, opts ...Option) *Result {
+	var cfg solveConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return core.BruteForce(tt, bfOpts)
+	return core.OptimalOrderingMulti(mt, &cfg.opts)
 }
 
-// ParallelOptions configures the multi-core dynamic program.
-type ParallelOptions = core.ParallelOptions
-
-// OptimalOrderingParallel is OptimalOrdering with each DP layer fanned
-// out over a worker pool; results are bit-identical to the serial
-// algorithm (including tie-breaking), verified under the race detector.
-//
-// Deprecated: use Solve with WithSolver("parallel") and WithWorkers.
-func OptimalOrderingParallel(tt *Table, opts *ParallelOptions) *Result {
-	return core.OptimalOrderingParallel(tt, opts)
-}
-
-// BnBOptions configures the branch-and-bound exact search.
-type BnBOptions = core.BnBOptions
-
-// BranchAndBound finds the exact optimum by memoized, bounded
-// depth-first search — same results as OptimalOrdering with Θ(2ⁿ) table
-// space instead of the dynamic program's layer space, at the price of
-// more operations (experiment E15 quantifies the trade).
-//
-// Deprecated: use Solve with WithSolver("bnb"); the portfolio solver
-// additionally seeds the search with a heuristic incumbent.
-func BranchAndBound(tt *Table, opts *BnBOptions) *Result {
-	return core.BranchAndBound(tt, opts)
-}
-
-// DnCOptions configures the divide-and-conquer algorithm OptOBDD(k, α);
-// see internal/core and internal/quantum for minimizer strategies.
-type DnCOptions = core.DnCOptions
-
-// DivideAndConquer runs OptOBDD(k, α): the recursive splitting algorithm
-// whose minimum finding is performed by a (simulated) quantum subroutine.
-// With the default exact simulator its results equal OptimalOrdering's.
-//
-// Deprecated: use Solve with WithSolver("dnc").
-func DivideAndConquer(tt *Table, opts *DnCOptions) *Result {
-	return core.DivideAndConquer(tt, opts)
-}
-
-// SharedResult reports a multi-rooted (shared-forest) minimization.
+// SharedResult reports a multi-rooted (shared-forest) minimization; see
+// SolveShared.
 type SharedResult = core.SharedResult
-
-// OptimalOrderingShared finds the exact ordering minimizing the SHARED
-// forest of several functions over the same variables — the node count
-// that matters for multi-output circuits, where equal subfunctions of
-// different outputs are represented once. O*(m·3ⁿ) for m roots.
-//
-// Deprecated: use SolveShared — it adds cancellation, deadlines and
-// resource budgets.
-func OptimalOrderingShared(tts []*Table, opts *Options) *SharedResult {
-	return core.OptimalOrderingShared(tts, opts)
-}
 
 // SharedSizeUnder returns the total shared-forest size of the functions
 // under the given ordering.

@@ -87,7 +87,7 @@ func TestFacadeZDDAndMulti(t *testing.T) {
 		}
 		return c
 	})
-	res := OptimalOrderingMulti(mt, nil)
+	res := OptimalOrderingMulti(mt)
 	if res.MinCost != 6 || res.Terminals != 4 {
 		t.Errorf("weight-3 MTBDD: %d nodes %d terminals", res.MinCost, res.Terminals)
 	}

@@ -200,12 +200,7 @@ func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResu
 	}
 	ctx, cancel := applyDeadline(ctx, cfg.deadline)
 	defer cancel()
-	return core.OptimalOrderingSharedCtx(ctx, tts, &core.Options{
-		Rule:   cfg.opts.Rule,
-		Meter:  cfg.opts.Meter,
-		Trace:  cfg.opts.Trace,
-		Budget: cfg.opts.Budget,
-	})
+	return core.OptimalOrderingSharedCtx(ctx, tts, &cfg.opts)
 }
 
 // applyDeadline layers the WithDeadline option onto the caller's

@@ -20,7 +20,7 @@ func TestSolveDefaultMatchesLegacy(t *testing.T) {
 	for _, rule := range []Rule{OBDD, ZDD} {
 		for i := 0; i < 4; i++ {
 			tt := RandomTable(3+rng.Intn(6), rng)
-			want := core.OptimalOrdering(tt, &Options{Rule: rule})
+			want := core.OptimalOrdering(tt, core.NewSolveOptions(core.WithRule(rule)))
 			got, err := Solve(context.Background(), tt, WithRule(rule))
 			if err != nil {
 				t.Fatal(err)
