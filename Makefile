@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate trajectory trajectory-check clean
+.PHONY: all build lint lint-fixtures test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate trajectory trajectory-check clean
 
 all: build lint test
 
@@ -17,6 +17,13 @@ build:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/bddlint ./...
+
+# The analyzers' own test corpus: golden fixture packages with // want
+# expectations plus the CFG builder's table-driven shape tests, under
+# the race detector (the dataflow solver must stay data-race free — CI
+# gates on this next to lint).
+lint-fixtures:
+	$(GO) test -race ./internal/analysis/... ./cmd/bddlint/
 
 test:
 	$(GO) test ./...

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"obddopt/internal/analysis"
@@ -35,12 +36,16 @@ import (
 
 // scopes pins each analyzer to the packages whose contract it encodes.
 // meterbalance and tracesafe are self-scoping (they key on the Meter and
-// Tracer types) and solverregistry triggers only where RegisterSolver is
-// called, so they run everywhere; the ctx and panic rules are stated for
-// the solver engine packages.
+// Tracer types), atomicfield triggers only where sync/atomic is used, and
+// solverregistry only where RegisterSolver is called, so they run
+// everywhere; the ctx and panic rules are stated for the solver engine
+// packages, and the ownership rules (arenaowner, pooldiscipline) for the
+// engine core, whose arena and workspace pools they audit.
 var scopes = map[string][]string{
-	"ctxcheckpoint": {"internal/core", "internal/heuristics", "internal/quantum", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
-	"nopanic":       {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
+	"arenaowner":     {"internal/core"},
+	"pooldiscipline": {"internal/core"},
+	"ctxcheckpoint":  {"internal/core", "internal/heuristics", "internal/quantum", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
+	"nopanic":        {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
 }
 
 func main() {
@@ -54,6 +59,7 @@ func run(args []string) int {
 		allPackages = fs.Bool("all-packages", false, "ignore the per-analyzer package scopes and lint everything")
 		list        = fs.Bool("list", false, "list the analyzers and exit")
 		only        = fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+		summary     = fs.Bool("summary", false, "print a per-analyzer findings table (markdown) after linting")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: bddlint [flags] [packages]\n\nAnalyzers:\n")
@@ -73,7 +79,12 @@ func run(args []string) int {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := analysis.ByName(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "bddlint: unknown analyzer %q\n", name)
+				valid := make([]string, 0, len(analysis.All()))
+				for _, a := range analysis.All() {
+					valid = append(valid, a.Name)
+				}
+				fmt.Fprintf(os.Stderr, "bddlint: unknown analyzer %q (valid analyzers: %s)\n",
+					name, strings.Join(valid, ", "))
 				return 2
 			}
 			analyzers = append(analyzers, a)
@@ -127,16 +138,41 @@ func run(args []string) int {
 	}
 
 	active, suppressed := 0, 0
+	type ruleCount struct{ active, suppressed int }
+	perRule := map[string]*ruleCount{}
+	for _, a := range analyzers {
+		perRule[a.Name] = &ruleCount{}
+	}
 	for _, f := range findings {
+		rc := perRule[f.Analyzer]
+		if rc == nil {
+			// Pseudo-analyzers (malformed allow directives).
+			rc = &ruleCount{}
+			perRule[f.Analyzer] = rc
+		}
 		if f.Suppressed {
 			suppressed++
+			rc.suppressed++
 			if *verbose {
 				fmt.Printf("%s (suppressed: %s)\n", rel(cwd, f), f.Justification)
 			}
 			continue
 		}
 		active++
+		rc.active++
 		fmt.Println(rel(cwd, f))
+	}
+	if *summary {
+		names := make([]string, 0, len(perRule))
+		for name := range perRule {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("| analyzer | findings | suppressed |\n|---|---:|---:|\n")
+		for _, name := range names {
+			rc := perRule[name]
+			fmt.Printf("| %s | %d | %d |\n", name, rc.active, rc.suppressed)
+		}
 	}
 	if *verbose || active > 0 {
 		fmt.Fprintf(os.Stderr, "bddlint: %d package(s), %d finding(s), %d suppressed\n",

@@ -24,7 +24,10 @@ func TestListFlag(t *testing.T) {
 			t.Fatalf("bddlint -list exited %d, want 0", code)
 		}
 	})
-	for _, name := range []string{"meterbalance", "ctxcheckpoint", "nopanic", "tracesafe", "solverregistry"} {
+	for _, name := range []string{
+		"meterbalance", "arenaowner", "pooldiscipline", "atomicfield",
+		"ctxcheckpoint", "nopanic", "tracesafe", "solverregistry",
+	} {
 		if !strings.Contains(out, name+":") {
 			t.Errorf("bddlint -list output missing analyzer %q:\n%s", name, out)
 		}
@@ -46,9 +49,75 @@ func TestOnlyFlagSelects(t *testing.T) {
 }
 
 func TestUnknownAnalyzerRejected(t *testing.T) {
-	if code := run([]string{"-only", "nosuchrule", "-list"}); code != 2 {
-		t.Fatalf("bddlint -only=nosuchrule exited %d, want 2", code)
+	errOut := captureStderr(t, func() {
+		if code := run([]string{"-only", "nosuchrule", "-list"}); code != 2 {
+			t.Fatalf("bddlint -only=nosuchrule exited %d, want 2", code)
+		}
+	})
+	if !strings.Contains(errOut, `unknown analyzer "nosuchrule"`) {
+		t.Errorf("error message does not name the rejected analyzer:\n%s", errOut)
 	}
+	// The error must list every valid rule so the caller can fix the
+	// invocation without consulting -list.
+	for _, name := range []string{
+		"meterbalance", "arenaowner", "pooldiscipline", "atomicfield",
+		"ctxcheckpoint", "nopanic", "tracesafe", "solverregistry",
+	} {
+		if !strings.Contains(errOut, name) {
+			t.Errorf("error message does not list valid analyzer %q:\n%s", name, errOut)
+		}
+	}
+}
+
+// TestSummaryFlag checks the per-rule findings table the CI job summary
+// is built from: one row per analyzer run, findings and suppressed
+// columns.
+func TestSummaryFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages; skipped in -short mode")
+	}
+	out := captureStdout(t, func() {
+		if code := run([]string{"-only", "pooldiscipline", "-summary", "internal/core/arena"}); code != 0 {
+			t.Fatalf("bddlint -summary over internal/core/arena exited %d, want 0", code)
+		}
+	})
+	if !strings.Contains(out, "| analyzer | findings | suppressed |") {
+		t.Errorf("-summary output missing table header:\n%s", out)
+	}
+	// arena.Release carries the one sanctioned pooldiscipline waiver.
+	if !strings.Contains(out, "| pooldiscipline | 0 | 1 |") {
+		t.Errorf("-summary output missing pooldiscipline row with the arena.Release waiver counted:\n%s", out)
+	}
+}
+
+// captureStderr redirects os.Stderr around fn and returns what it wrote.
+func captureStderr(t *testing.T, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = orig }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 1024)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stderr = orig
+	return out
 }
 
 // captureStdout redirects os.Stdout around fn and returns what it wrote.

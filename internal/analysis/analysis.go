@@ -248,6 +248,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts *RunOptions) ([]Finding, e
 func All() []*Analyzer {
 	return []*Analyzer{
 		MeterBalance,
+		ArenaOwner,
+		PoolDiscipline,
+		AtomicField,
 		CtxCheckpoint,
 		NoPanic,
 		TraceSafe,

@@ -19,6 +19,9 @@ func TestAnalyzers(t *testing.T) {
 		a   *analysis.Analyzer
 	}{
 		{"meterbalance", analysis.MeterBalance},
+		{"arenaowner", analysis.ArenaOwner},
+		{"pooldiscipline", analysis.PoolDiscipline},
+		{"atomicfield", analysis.AtomicField},
 		{"ctxcheckpoint", analysis.CtxCheckpoint},
 		{"nopanic", analysis.NoPanic},
 		{"tracesafe", analysis.TraceSafe},
@@ -36,8 +39,8 @@ func TestAnalyzers(t *testing.T) {
 
 func TestAllAnalyzersRegistered(t *testing.T) {
 	all := analysis.All()
-	if len(all) != 5 {
-		t.Fatalf("All() returned %d analyzers, want 5", len(all))
+	if len(all) != 8 {
+		t.Fatalf("All() returned %d analyzers, want 8", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
@@ -53,7 +56,10 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 			t.Errorf("ByName(%q) = %v, %v; want the analyzer itself", a.Name, got, ok)
 		}
 	}
-	for _, name := range []string{"meterbalance", "ctxcheckpoint", "nopanic", "tracesafe", "solverregistry"} {
+	for _, name := range []string{
+		"meterbalance", "arenaowner", "pooldiscipline", "atomicfield",
+		"ctxcheckpoint", "nopanic", "tracesafe", "solverregistry",
+	} {
 		if !seen[name] {
 			t.Errorf("analyzer %q missing from All()", name)
 		}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a
+// field that is accessed through a sync/atomic function anywhere in the
+// package (atomic.AddUint64(&s.f, 1), atomic.LoadUint32(&s.f), …) must
+// be accessed that way everywhere — one plain read or write racing with
+// the atomic users is a data race the race detector only catches on the
+// schedules that happen to collide.
+//
+// The check is two-pass and package-wide rather than path-sensitive:
+// pass one collects every struct field whose address is taken by a
+// sync/atomic call; pass two reports every other access to those fields
+// (reads, writes, compound assignments) that does not go through
+// sync/atomic. Fields of the typed atomic.Uint64 / atomic.Int64 /
+// atomic.Value family are immune by construction — the type system
+// already forbids plain access — and are the recommended fix.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "report struct fields accessed both through sync/atomic functions and plainly: a field " +
+		"used atomically anywhere must be used atomically everywhere (or become a typed atomic.*)",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass 1: fields addressed by sync/atomic calls, and the exact
+	// selector nodes inside those calls (legitimate accesses).
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic site
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fld := fieldVar(pass, sel)
+				if fld == nil {
+					continue
+				}
+				sanctioned[sel] = true
+				if _, seen := atomicFields[fld]; !seen {
+					atomicFields[fld] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a racing plain
+	// access.
+	type plainAccess struct {
+		pos token.Pos
+		fld *types.Var
+	}
+	var plains []plainAccess
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fld := fieldVar(pass, sel)
+			if fld == nil {
+				return true
+			}
+			if _, ok := atomicFields[fld]; ok {
+				plains = append(plains, plainAccess{pos: sel.Pos(), fld: fld})
+			}
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, p := range plains {
+		pass.Reportf(p.pos,
+			"plain access to field %s, which is accessed with sync/atomic at line %d: a field used "+
+				"atomically anywhere must be used atomically everywhere (or become a typed atomic.*)",
+			p.fld.Name(), pass.Fset.Position(atomicFields[p.fld]).Line)
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a function of package
+// sync/atomic (atomic.AddUint64, atomic.LoadUint32, …).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldVar resolves sel to the struct field it selects, or nil.
+func fieldVar(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,616 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// This file builds the intraprocedural control-flow graphs the dataflow
+// analyzers (meterbalance, arenaowner, pooldiscipline) run on. It is the
+// stdlib mirror of golang.org/x/tools/go/cfg, specialized to what the
+// engine contracts need:
+//
+//   - structured statements are decomposed: a block holds only simple
+//     statements and the expression parts of control headers (an if
+//     condition, a range operand, a switch tag), never a statement whose
+//     body belongs to another block — so a transfer function can
+//     ast.Inspect every node of a block without double-visiting;
+//   - returns edge into one synthetic Exit block and panic-shaped
+//     terminators (panic, os.Exit, log.Fatal*, runtime.Goexit) into a
+//     separate Panic block, so analyzers can demand release-on-return
+//     while exempting paths the runtime tears down anyway;
+//   - a function body that can fall off its end gets a synthetic bare
+//     ReturnStmt (positioned at the closing brace), so "every exit path"
+//     uniformly means "every node that is a *ast.ReturnStmt";
+//   - defer statements appear in their block (they execute their
+//     arguments in path order) and are additionally recorded in
+//     CFG.Defers, so an exit check can replay deferred releases.
+//
+// Nested function literals are NOT traversed: a FuncLit is one opaque
+// node of its enclosing block, and callers build a separate CFG for its
+// body (see funcCFGs).
+
+// BlockKind classifies the special blocks of a CFG.
+type BlockKind uint8
+
+const (
+	// BlockBody is an ordinary straight-line block.
+	BlockBody BlockKind = iota
+	// BlockEntry is the function entry (always Blocks[0], no nodes).
+	BlockEntry
+	// BlockExit collects every normal return path (no nodes).
+	BlockExit
+	// BlockPanic collects every panic-terminated path (no nodes).
+	BlockPanic
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockEntry:
+		return "entry"
+	case BlockExit:
+		return "exit"
+	case BlockPanic:
+		return "panic"
+	}
+	return "body"
+}
+
+// Block is one basic block: a maximal run of simple nodes with a single
+// entry and a set of successor edges.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	// Nodes holds, in execution order, the simple statements of the block
+	// and the expression parts of any control headers (conditions, range
+	// operands, switch tags, case expressions).
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Panic is non-nil only when at least one path terminates in a
+	// panic-shaped call.
+	Panic *Block
+	// Defers lists every defer statement of the body in source order.
+	// A path-sensitive exit check replays their release effects before
+	// judging the fact at a return.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the state of one BuildCFG run.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// loops is the stack of enclosing breakable/continuable constructs.
+	loops []loopFrame
+	// labels maps a label name to its pending goto target and loop frame.
+	labels map[string]*labelInfo
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type labelInfo struct {
+	// target is the block a goto to this label jumps to; created lazily
+	// for forward gotos and wired when the label is reached.
+	target *Block
+	placed bool
+}
+
+// BuildCFG constructs the CFG of one function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*labelInfo{}}
+	entry := b.newBlock(BlockEntry)
+	exit := b.newBlock(BlockExit)
+	b.cfg.Entry, b.cfg.Exit = entry, exit
+	b.cur = b.newBlock(BlockBody)
+	b.edge(entry, b.cur)
+	b.stmtList(body.List)
+	// A body that can still fall through exits with an implicit bare
+	// return; synthesize one so exit checks see a ReturnStmt on every
+	// normal path.
+	if b.cur != nil {
+		b.cur.Nodes = append(b.cur.Nodes, &ast.ReturnStmt{Return: body.Rbrace})
+		b.edge(b.cur, exit)
+	}
+	// Drop unreachable empty blocks the builder created after terminators
+	// (removal can cascade through empty chains), then renumber.
+	for {
+		blocks := b.cfg.Blocks[:0]
+		pruned := false
+		for _, blk := range b.cfg.Blocks {
+			if blk.Kind == BlockBody && len(blk.Preds) == 0 && len(blk.Nodes) == 0 {
+				for _, s := range blk.Succs {
+					s.Preds = removeBlock(s.Preds, blk)
+				}
+				pruned = true
+				continue
+			}
+			blocks = append(blocks, blk)
+		}
+		b.cfg.Blocks = blocks
+		if !pruned {
+			break
+		}
+	}
+	for i, blk := range b.cfg.Blocks {
+		blk.Index = i
+	}
+	return b.cfg
+}
+
+func removeBlock(list []*Block, b *Block) []*Block {
+	out := list[:0]
+	for _, x := range list {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (b *cfgBuilder) newBlock(kind BlockKind) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a simple node to the current block (no-op after a
+// terminator made the path dead).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// panicBlock lazily creates the shared panic exit.
+func (b *cfgBuilder) panicBlock() *Block {
+	if b.cfg.Panic == nil {
+		b.cfg.Panic = b.newBlock(BlockPanic)
+	}
+	return b.cfg.Panic
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt translates one statement. label is the pending label when the
+// statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	if b.cur == nil {
+		// Dead code after a terminator still needs a block so inner
+		// labels/gotos resolve; it has no predecessors and the solver
+		// treats it as unreachable.
+		b.cur = b.newBlock(BlockBody)
+	}
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		li := b.labelFor(name)
+		// The label's target is the start of the labeled statement.
+		target := b.startNewBlock()
+		if li.placed {
+			// Duplicate label: malformed source; ignore.
+		} else {
+			// Wire any earlier gotos that jumped forward to this label.
+			if li.target != nil {
+				b.edge(li.target, target)
+			}
+			li.target = target
+			li.placed = true
+		}
+		b.stmt(s.Stmt, name)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		join := b.newBlock(BlockBody)
+		// Then branch.
+		thenBlk := b.newBlock(BlockBody)
+		b.edge(condBlk, thenBlk)
+		b.cur = thenBlk
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, join)
+		// Else branch (or fallthrough to join).
+		if s.Else != nil {
+			elseBlk := b.newBlock(BlockBody)
+			b.edge(condBlk, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else, "")
+			b.edge(b.cur, join)
+		} else {
+			b.edge(condBlk, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startNewBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		condBlk := b.cur
+		body := b.newBlock(BlockBody)
+		after := b.newBlock(BlockBody)
+		post := b.newBlock(BlockBody)
+		b.edge(condBlk, body)
+		if s.Cond != nil {
+			b.edge(condBlk, after)
+		}
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, post)
+		b.loops = b.loops[:len(b.loops)-1]
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+		}
+		b.edge(post, head)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.startNewBlock()
+		// The head performs the per-iteration key/value assignment; the
+		// range operand was evaluated once above.
+		if s.Key != nil {
+			b.add(&ast.AssignStmt{Lhs: rangeLhs(s), Tok: s.Tok, TokPos: s.TokPos, Rhs: []ast.Expr{&ast.Ident{Name: "range", NamePos: s.For}}})
+		}
+		headBlk := b.cur
+		body := b.newBlock(BlockBody)
+		after := b.newBlock(BlockBody)
+		b.edge(headBlk, body)
+		b.edge(headBlk, after)
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+			nodes := make([]ast.Node, 0, len(cc.List))
+			for _, e := range cc.List {
+				nodes = append(nodes, e)
+			}
+			return nodes
+		}, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) []ast.Node { return nil }, true)
+
+	case *ast.SelectStmt:
+		clauses := make([]ast.Stmt, len(s.Body.List))
+		copy(clauses, s.Body.List)
+		b.commClauses(clauses, label)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminatingCall(s.X) {
+			b.edge(b.cur, b.panicBlock())
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt, BadStmt:
+		// simple nodes.
+		b.add(s)
+	}
+}
+
+// rangeLhs collects the assignable operands of a range head.
+func rangeLhs(s *ast.RangeStmt) []ast.Expr {
+	lhs := []ast.Expr{s.Key}
+	if s.Value != nil {
+		lhs = append(lhs, s.Value)
+	}
+	return lhs
+}
+
+// startNewBlock ends the current block with a fallthrough edge into a
+// fresh one and returns the fresh block (the target for loop back edges
+// and labels).
+func (b *cfgBuilder) startNewBlock() *Block {
+	next := b.newBlock(BlockBody)
+	b.edge(b.cur, next)
+	b.cur = next
+	return next
+}
+
+// caseClauses lowers a (type) switch body: every clause block branches
+// from the header, falls out to a shared join, and fallthrough edges link
+// consecutive clause bodies. breakable installs a break frame.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node, breakable bool) {
+	header := b.cur
+	join := b.newBlock(BlockBody)
+	if breakable {
+		b.loops = append(b.loops, loopFrame{label: label, breakTo: join})
+		defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+	}
+	hasDefault := false
+	var prevBody *Block // for fallthrough
+	var pendingFallthrough bool
+	for _, cs := range list {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clause := b.newBlock(BlockBody)
+		b.edge(header, clause)
+		if pendingFallthrough && prevBody != nil {
+			b.edge(prevBody, clause)
+		}
+		b.cur = clause
+		for _, n := range caseNodes(cc) {
+			b.add(n)
+		}
+		pendingFallthrough = false
+		for _, inner := range cc.Body {
+			if br, ok := inner.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				pendingFallthrough = true
+				continue
+			}
+			b.stmt(inner, "")
+		}
+		prevBody = b.cur
+		b.edge(b.cur, join)
+	}
+	if !hasDefault {
+		b.edge(header, join)
+	}
+	b.cur = join
+}
+
+// commClauses lowers a select body.
+func (b *cfgBuilder) commClauses(list []ast.Stmt, label string) {
+	header := b.cur
+	join := b.newBlock(BlockBody)
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: join})
+	defer func() { b.loops = b.loops[:len(b.loops)-1] }()
+	hasDefault := false
+	for _, cs := range list {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasDefault = true
+		}
+		clause := b.newBlock(BlockBody)
+		b.edge(header, clause)
+		b.cur = clause
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	// A select with no default still always takes one of its clauses, so
+	// no header→join edge; with zero clauses it blocks forever.
+	_ = hasDefault
+	b.cur = join
+}
+
+// branch lowers break/continue/goto.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			fr := b.loops[i]
+			if s.Label == nil || fr.label == s.Label.Name {
+				b.edge(b.cur, fr.breakTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			fr := b.loops[i]
+			if fr.continueTo == nil {
+				continue // switch/select frames are not continuable
+			}
+			if s.Label == nil || fr.label == s.Label.Name {
+				b.edge(b.cur, fr.continueTo)
+				b.cur = nil
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			li := b.labelFor(s.Label.Name)
+			if li.placed {
+				b.edge(b.cur, li.target)
+			} else {
+				// Forward goto: route through a placeholder join that the
+				// label wires up when reached.
+				if li.target == nil {
+					li.target = b.newBlock(BlockBody)
+				}
+				b.edge(b.cur, li.target)
+			}
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by caseClauses; a stray one ends the path.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	return li
+}
+
+// isTerminatingCall reports whether an expression statement is a call
+// that never returns: panic, os.Exit, runtime.Goexit, log.Fatal*.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the CFG compactly for tests and debugging:
+//
+//	0 entry → 2
+//	2 [x := f(); x.Close()] → 1
+//	1 exit
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "%d", blk.Index)
+		if blk.Kind != BlockBody {
+			fmt.Fprintf(&sb, " %s", blk.Kind)
+		}
+		if len(blk.Nodes) > 0 {
+			sb.WriteString(" [")
+			for i, n := range blk.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(nodeText(n))
+			}
+			sb.WriteString("]")
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" →")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText renders one CFG node on a single line, truncated.
+func nodeText(n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), n); err != nil {
+		return fmt.Sprintf("%T", n)
+	}
+	s := buf.String()
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// funcCFGs builds the CFG of fd's body plus one CFG per nested function
+// literal (each literal analyzed as its own function). The returned map
+// carries the function type of each body so exit checks can resolve named
+// results and carrier returns.
+type funcGraph struct {
+	cfg *CFG
+	typ *ast.FuncType
+	// name identifies the function in diagnostics ("runDP", "func literal").
+	name string
+}
+
+func funcCFGs(fd *ast.FuncDecl) []funcGraph {
+	if fd.Body == nil {
+		return nil
+	}
+	graphs := []funcGraph{{cfg: buildWithoutLits(fd.Body), typ: fd.Type, name: fd.Name.Name}}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			graphs = append(graphs, funcGraph{cfg: buildWithoutLits(lit.Body), typ: lit.Type, name: fd.Name.Name + ": func literal"})
+		}
+		return true
+	})
+	return graphs
+}
+
+// buildWithoutLits is BuildCFG; the builder already treats a FuncLit as
+// one opaque node (it never descends into nested bodies through stmt —
+// literals only appear inside expressions, which are added whole).
+func buildWithoutLits(body *ast.BlockStmt) *CFG {
+	return BuildCFG(body)
+}

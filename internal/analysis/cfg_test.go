@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFor parses one function and builds its CFG.
+func buildFor(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// TestCFGShapes pins the block/edge structure of the control shapes the
+// dataflow analyzers depend on, so an analyzer bug bisects cleanly to
+// engine (CFG) vs rule (transfer function). The golden strings are the
+// deterministic CFG.String() rendering: one line per block with its
+// nodes and successor indices.
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "straight line",
+			src:  `func f() { x := 1; use(x) }`,
+			want: `0 entry → 2
+1 exit
+2 [x := 1; use(x); return] → 1
+`,
+		},
+		{
+			name: "multi return",
+			src: `func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 2
+}`,
+			want: `0 entry → 2
+1 exit
+2 [a] → 4 3
+3 [return 2] → 1
+4 [return 1] → 1
+`,
+		},
+		{
+			name: "panic terminated",
+			src: `func f(a bool) {
+	if a {
+		panic("boom")
+	}
+	done()
+}`,
+			want: `0 entry → 2
+1 exit
+2 [a] → 4 3
+3 [done(); return] → 1
+4 [panic("boom")] → 5
+5 panic
+`,
+		},
+		{
+			name: "defer in loop",
+			src: `func f(xs []int) {
+	for _, x := range xs {
+		defer release(x)
+	}
+}`,
+			want: `0 entry → 2
+1 exit
+2 [xs] → 3
+3 [_, x := range] → 4 5
+4 [defer release(x)] → 3
+5 [return] → 1
+`,
+		},
+		{
+			name: "labeled break",
+			src: `func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if stop() {
+				break outer
+			}
+			step()
+		}
+	}
+	done()
+}`,
+			want: `0 entry → 2
+1 exit
+2 → 3
+3 [i := 0] → 4
+4 [i < n] → 5 6
+5 → 8
+6 [done(); return] → 1
+7 [i++] → 4
+8 → 9
+9 [stop()] → 12 11
+10 → 8
+11 [step()] → 10
+12 → 6
+`,
+		},
+		{
+			name: "unbounded loop with early error return",
+			src: `func f() error {
+	acquire()
+	for {
+		if err := poll(); err != nil {
+			release()
+			return err
+		}
+		work()
+	}
+}`,
+			want: `0 entry → 2
+1 exit
+2 [acquire()] → 3
+3 → 4
+4 [err := poll(); err != nil] → 8 7
+5 [return] → 1
+6 → 3
+7 [work()] → 6
+8 [release(); return err] → 1
+`,
+		},
+		{
+			name: "switch with fallthrough and default",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		one()
+		fallthrough
+	case 2:
+		two()
+	default:
+		other()
+	}
+	done()
+}`,
+			want: `0 entry → 2
+1 exit
+2 [x] → 4 5 6
+3 [done(); return] → 1
+4 [1; one()] → 3 5
+5 [2; two()] → 3
+6 [other()] → 3
+`,
+		},
+		{
+			name: "select",
+			src: `func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+	}
+	return 0
+}`,
+			want: `0 entry → 2
+1 exit
+2 → 4 5
+3 [return 0] → 1
+4 [v := <-a; return v] → 1
+5 [<-b] → 3
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := buildFor(t, tc.src)
+			if got := cfg.String(); got != tc.want {
+				t.Errorf("CFG mismatch\n--- got:\n%s--- want:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCFGDefersRecorded pins that every defer site is captured exactly
+// once, including defers inside loops and branches.
+func TestCFGDefersRecorded(t *testing.T) {
+	cfg := buildFor(t, `func f(xs []int, a bool) {
+	defer top()
+	if a {
+		defer inIf()
+	}
+	for _, x := range xs {
+		defer inLoop(x)
+	}
+}`)
+	if got := len(cfg.Defers); got != 3 {
+		t.Fatalf("recorded %d defers, want 3:\n%s", got, cfg.String())
+	}
+}
+
+// TestCFGSyntheticReturn pins that a body falling off its end gets an
+// implicit return edge into Exit, and that a body that cannot fall
+// through does not.
+func TestCFGSyntheticReturn(t *testing.T) {
+	fall := buildFor(t, `func f() { work() }`)
+	if n := len(fall.Exit.Preds); n != 1 {
+		t.Errorf("fallthrough body: exit has %d preds, want 1\n%s", n, fall.String())
+	}
+	noFall := buildFor(t, `func f() int { return 1 }`)
+	for _, blk := range noFall.Blocks {
+		for _, n := range blk.Nodes {
+			if r, ok := n.(*ast.ReturnStmt); ok && len(r.Results) == 0 {
+				t.Errorf("non-fallthrough body grew a synthetic bare return\n%s", noFall.String())
+			}
+		}
+	}
+	panics := buildFor(t, `func f() { panic("x") }`)
+	if panics.Panic == nil || len(panics.Panic.Preds) != 1 {
+		t.Errorf("panic-only body: missing panic block\n%s", panics.String())
+	}
+	if n := len(panics.Exit.Preds); n != 0 {
+		t.Errorf("panic-only body: exit has %d preds, want 0\n%s", n, panics.String())
+	}
+}
+
+// TestCFGFixpointSmoke runs a trivial reachability transfer over a looped
+// CFG, checking the solver terminates and marks every live block.
+func TestCFGFixpointSmoke(t *testing.T) {
+	cfg := buildFor(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`)
+	tr := unitTransfer{}
+	sol := Fixpoint[struct{}](cfg, tr)
+	for _, blk := range cfg.Blocks {
+		if !sol.Reachable[blk.Index] {
+			t.Errorf("block %d unreachable in a fully live function\n%s", blk.Index, cfg.String())
+		}
+	}
+	visited := 0
+	ReplayFacts[struct{}](cfg, tr, sol, func(_ struct{}, n ast.Node) { visited++ })
+	total := 0
+	for _, blk := range cfg.Blocks {
+		total += len(blk.Nodes)
+	}
+	if visited != total {
+		t.Errorf("ReplayFacts visited %d nodes, want %d", visited, total)
+	}
+}
+
+type unitTransfer struct{}
+
+func (unitTransfer) Entry() struct{}                       { return struct{}{} }
+func (unitTransfer) Apply(f struct{}, _ ast.Node) struct{} { return f }
+func (unitTransfer) Clone(f struct{}) struct{}             { return f }
+func (unitTransfer) Join(into, _ struct{}) struct{}        { return into }
+func (unitTransfer) Equal(_, _ struct{}) bool              { return true }
+
+// TestCFGNodeTextTruncation keeps the debug rendering bounded.
+func TestCFGNodeTextTruncation(t *testing.T) {
+	cfg := buildFor(t, `func f() { veryLongFunctionName(argumentOne, argumentTwo, argumentThree, argumentFour, argumentFive) }`)
+	for _, line := range strings.Split(cfg.String(), "\n") {
+		if len(line) > 120 {
+			t.Errorf("over-long rendering line: %q", line)
+		}
+	}
+}

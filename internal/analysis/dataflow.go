@@ -1,0 +1,151 @@
+package analysis
+
+import "go/ast"
+
+// This file is the worklist fixpoint solver the path-sensitive analyzers
+// share. A rule supplies a Transfer over its own fact lattice; the solver
+// iterates block transfer functions to a fixpoint and then replays the
+// facts so the rule can check each node against the fact that holds
+// immediately before it on every path.
+//
+// Termination is the rule's contract: Join must be monotone over a
+// finite-height lattice. The resource rules all use maps from a finite
+// key set (acquisition sites / variables of the function) to small state
+// bitsets, where Join is pointwise bitwise-or — height ≤ |keys|·|bits|.
+
+// Transfer is one rule's fact lattice and transfer function over fact
+// type F.
+type Transfer[F any] interface {
+	// Entry returns the fact holding at function entry.
+	Entry() F
+	// Apply transforms a fact across one CFG node. It may mutate and
+	// return its argument; the solver clones facts at block boundaries.
+	Apply(f F, n ast.Node) F
+	// Clone returns an independent copy of a fact.
+	Clone(f F) F
+	// Join merges a predecessor's exit fact into an accumulating fact.
+	// It may mutate and return its first argument.
+	Join(into, from F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal(a, b F) bool
+}
+
+// Solution holds the entry fact of every block after Fixpoint, indexed by
+// Block.Index. Reachable reports whether the block was ever entered
+// (unreachable code keeps a zero fact and is skipped by ReplayFacts).
+type Solution[F any] struct {
+	In        []F
+	Reachable []bool
+}
+
+// Fixpoint runs the forward worklist algorithm over c.
+func Fixpoint[F any](c *CFG, t Transfer[F]) *Solution[F] {
+	sol := &Solution[F]{
+		In:        make([]F, len(c.Blocks)),
+		Reachable: make([]bool, len(c.Blocks)),
+	}
+	sol.In[c.Entry.Index] = t.Entry()
+	sol.Reachable[c.Entry.Index] = true
+
+	work := []*Block{c.Entry}
+	queued := make([]bool, len(c.Blocks))
+	queued[c.Entry.Index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.Index] = false
+
+		out := t.Clone(sol.In[blk.Index])
+		for _, n := range blk.Nodes {
+			out = t.Apply(out, n)
+		}
+		for _, succ := range blk.Succs {
+			var merged F
+			if sol.Reachable[succ.Index] {
+				merged = t.Join(t.Clone(sol.In[succ.Index]), out)
+			} else {
+				merged = t.Clone(out)
+			}
+			if sol.Reachable[succ.Index] && t.Equal(merged, sol.In[succ.Index]) {
+				continue
+			}
+			sol.In[succ.Index] = merged
+			sol.Reachable[succ.Index] = true
+			if !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return sol
+}
+
+// ReplayFacts walks every reachable block, invoking visit with each node
+// and the fact holding immediately BEFORE that node, then applying the
+// transfer to advance the fact. Rules report diagnostics from visit.
+func ReplayFacts[F any](c *CFG, t Transfer[F], sol *Solution[F], visit func(f F, n ast.Node)) {
+	for _, blk := range c.Blocks {
+		if !sol.Reachable[blk.Index] {
+			continue
+		}
+		f := t.Clone(sol.In[blk.Index])
+		for _, n := range blk.Nodes {
+			visit(f, n)
+			f = t.Apply(f, n)
+		}
+	}
+}
+
+// resState is the possible-states bitset the resource-ownership rules
+// (meterbalance, arenaowner, pooldiscipline) track per resource. A fact
+// maps each resource to the set of states it may be in on some path
+// reaching the program point; Join is pointwise union.
+type resState uint8
+
+const (
+	// stateHeld: the resource is owned here and not yet released.
+	stateHeld resState = 1 << iota
+	// stateReleased: ownership was returned (freed / Put back).
+	stateReleased
+	// stateEscaped: ownership transferred out of the function's hands
+	// (stored into sanctioned storage, returned to the caller).
+	stateEscaped
+	// stateReset: the value was Reset on this path (pooldiscipline's
+	// Reset-before-Put bit; carried alongside the ownership states).
+	stateReset
+)
+
+// mayBeHeld reports whether some path reaches this point with the
+// resource still owned.
+func (s resState) mayBeHeld() bool { return s&stateHeld != 0 }
+
+// joinStates merges two resource-state maps pointwise (missing keys are
+// adopted as-is: a resource acquired on one arm of a branch simply does
+// not exist on the other, and its states on the acquiring arm are the
+// only evidence).
+func joinStates[K comparable](into, from map[K]resState) map[K]resState {
+	for k, v := range from {
+		into[k] |= v
+	}
+	return into
+}
+
+func cloneStates[K comparable](f map[K]resState) map[K]resState {
+	out := make(map[K]resState, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func equalStates[K comparable](a, b map[K]resState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,633 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolDiscipline enforces the sync.Pool round-trip contract on the
+// engine's pooled scratch (workspaces via wsPool, arenas via the
+// process-wide arena pool): a value obtained from a pool — directly with
+// (*sync.Pool).Get or through an acquire wrapper like acquireWorkspace /
+// arena.Acquire — must on every path to every return be
+//
+//   - put back (directly with (*sync.Pool).Put, through a release
+//     wrapper like (*workspace).release / arena.Release, or via a
+//     deferred release), or
+//   - transferred out of the function (stored into a slot, returned).
+//
+// Additionally:
+//
+//   - a pooled value must not be used after it was put back on every
+//     path reaching the use (use-after-Put races with the next Get), and
+//   - a value whose type has a Reset method must be Reset before a
+//     direct (*sync.Pool).Put — unless the pool's contract is that
+//     values carry no per-use state, which is exactly the kind of
+//     decision that belongs in a //lint:allow justification at the Put.
+//
+// Wrapper recognition is intraprocedural but package-aware: a function
+// whose body returns a (*sync.Pool).Get result is an acquire wrapper; a
+// function or method that Puts one of its parameters (or its receiver)
+// into a sync.Pool is a release wrapper. Like the other resource rules,
+// leaks are reported as definite leaks only (no path released or
+// transferred the value).
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc: "report pool Get/Put imbalance on the pooled workspaces and arenas: values acquired from a " +
+		"sync.Pool (directly or via acquire wrappers) must be put back or transferred on every path, " +
+		"never used after Put, and Reset before a direct Put when the type has a Reset method",
+	Run: runPoolDiscipline,
+}
+
+// poolWrappers is the package-level pre-scan result: which function
+// objects acquire from and release to a sync.Pool.
+type poolWrappers struct {
+	// acquirers: function objects whose body returns a pool.Get result.
+	acquirers map[types.Object]bool
+	// releasers: function objects that Put a parameter into a pool,
+	// keyed to the index of that parameter.
+	releasers map[types.Object]int
+	// methodReleasers: method objects that Put their receiver.
+	methodReleasers map[types.Object]bool
+}
+
+func runPoolDiscipline(pass *Pass) error {
+	pw := collectPoolWrappers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, g := range funcCFGs(fd) {
+				checkPoolGraph(pass, pw, g)
+			}
+		}
+	}
+	return nil
+}
+
+// poolCall reports whether call is p.<name>(...) on a sync.Pool.
+func poolCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// collectPoolWrappers pre-scans the package for acquire/release wrappers.
+func collectPoolWrappers(pass *Pass) *poolWrappers {
+	pw := &poolWrappers{
+		acquirers:       map[types.Object]bool{},
+		releasers:       map[types.Object]int{},
+		methodReleasers: map[types.Object]bool{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			// Parameter and receiver objects, for Put-target matching.
+			paramIdx := map[types.Object]int{}
+			if fd.Type.Params != nil {
+				i := 0
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						if po := pass.TypesInfo.Defs[name]; po != nil {
+							paramIdx[po] = i
+						}
+						i++
+					}
+				}
+			}
+			var recvObj types.Object
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvObj = pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+			}
+			ast.Inspect(fd.Body, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.ReturnStmt:
+					for _, e := range x.Results {
+						if c := poolGetUnder(pass, e); c != nil {
+							pw.acquirers[obj] = true
+						}
+					}
+				case *ast.CallExpr:
+					if poolCall(pass, x, "Put") && len(x.Args) == 1 {
+						if id, ok := x.Args[0].(*ast.Ident); ok {
+							po := pass.TypesInfo.Uses[id]
+							if po == nil {
+								break
+							}
+							if idx, ok := paramIdx[po]; ok {
+								pw.releasers[obj] = idx
+							} else if po == recvObj {
+								pw.methodReleasers[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return pw
+}
+
+// poolGetUnder unwraps type assertions and returns the (*sync.Pool).Get
+// call under e, or nil.
+func poolGetUnder(pass *Pass, e ast.Expr) *ast.CallExpr {
+	for {
+		switch x := e.(type) {
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if poolCall(pass, x, "Get") {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// poolKey identifies one tracked pooled value: the variable and the
+// acquisition site.
+type poolKey struct {
+	obj  types.Object
+	site token.Pos
+}
+
+type poolFact = map[poolKey]resState
+
+// poolFlow is the pooldiscipline transfer function over one function
+// graph.
+type poolFlow struct {
+	pass *Pass
+	pw   *poolWrappers
+	g    funcGraph
+	// diags collects use-after-put / double-put / put-after-escape /
+	// missing-Reset reports found while walking facts (deduped by
+	// position, emitted after replay). They are recorded only when
+	// record is set — i.e. during the replay over the FINAL facts: the
+	// conditions are not monotone in the fact, so a partial fact seen
+	// mid-fixpoint could assert states the converged solution refutes.
+	record bool
+	diags  map[token.Pos]string
+}
+
+func (pf *poolFlow) Entry() poolFact             { return poolFact{} }
+func (pf *poolFlow) Clone(f poolFact) poolFact   { return cloneStates(f) }
+func (pf *poolFlow) Join(a, b poolFact) poolFact { return joinStates(a, b) }
+func (pf *poolFlow) Equal(a, b poolFact) bool    { return equalStates(a, b) }
+
+func (pf *poolFlow) Apply(f poolFact, n ast.Node) poolFact {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// Deferred releases run at the exits, not at registration: they
+		// are replayed into the exit fact by checkPoolGraph.
+		return f
+	}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		// Releases and uses buried in the RHS (err := run(ws)) first,
+		// then the binding itself.
+		for _, rhs := range as.Rhs {
+			if pf.acquisition(rhs) != nil {
+				continue
+			}
+			inspectNoLits(rhs, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok {
+					pf.applyCall(f, c)
+				}
+				return true
+			})
+		}
+		pf.applyAssign(f, as)
+		return f
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok {
+		for _, e := range ret.Results {
+			inspectNoLits(e, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok {
+					// A result expression reading a value every path
+					// already put back (return len(s.buf)) races like any
+					// other use.
+					pf.checkUseAfterPut(f, id)
+					pf.markObjState(f, id, stateEscaped)
+				}
+				return true
+			})
+		}
+		return f
+	}
+	inspectNoLits(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.CallExpr:
+			pf.applyCall(f, x)
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if id, ok := v.(*ast.Ident); ok {
+					pf.markObjState(f, id, stateEscaped)
+				}
+			}
+		case *ast.AssignStmt:
+			pf.applyAssign(f, x)
+		}
+		return true
+	})
+	return f
+}
+
+// acquisition returns the Get/acquire-wrapper call under e, or nil.
+func (pf *poolFlow) acquisition(e ast.Expr) *ast.CallExpr {
+	if c := poolGetUnder(pf.pass, e); c != nil {
+		return c
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var fnObj types.Object
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		fnObj = pf.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		fnObj = pf.pass.TypesInfo.Uses[fn.Sel]
+	}
+	if fnObj != nil && pf.pw.acquirers[fnObj] {
+		return call
+	}
+	return nil
+}
+
+func (pf *poolFlow) applyAssign(f poolFact, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lhs := as.Lhs[i]
+		if call := pf.acquisition(rhs); call != nil {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pf.identObj(id); obj != nil {
+					for k := range f {
+						if k.obj == obj {
+							delete(f, k)
+						}
+					}
+					f[poolKey{obj: obj, site: call.Pos()}] = stateHeld
+				}
+			}
+			// Acquired straight into a slot (wss[w] = acquireWorkspace()):
+			// the container owns it.
+			continue
+		}
+		if id, ok := rhs.(*ast.Ident); ok {
+			// Storing or aliasing a tracked value transfers it.
+			if obj := pf.identObj(id); obj != nil && pf.tracked(f, obj) {
+				pf.markObjState(f, id, stateEscaped)
+			}
+		}
+	}
+}
+
+// applyCall handles releases (direct Put, release wrappers, release
+// methods) and flags use-after-put on arguments.
+func (pf *poolFlow) applyCall(f poolFact, call *ast.CallExpr) {
+	// Direct (*sync.Pool).Put(x).
+	if poolCall(pf.pass, call, "Put") && len(call.Args) == 1 {
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			pf.checkResetBeforePut(f, call, id)
+			pf.release(f, id, call)
+		}
+		return
+	}
+	// Release wrapper: Release(x) / helper(…, x, …).
+	var fnObj types.Object
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		fnObj = pf.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		fnObj = pf.pass.TypesInfo.Uses[fn.Sel]
+	}
+	if fnObj != nil {
+		if idx, ok := pf.pw.releasers[fnObj]; ok && idx < len(call.Args) {
+			if id, ok := call.Args[idx].(*ast.Ident); ok {
+				pf.release(f, id, call)
+				return
+			}
+		}
+		if pf.pw.methodReleasers[fnObj] {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					pf.release(f, id, call)
+					return
+				}
+			}
+		}
+	}
+	// Any other call mentioning a released value is a use-after-put.
+	for _, arg := range call.Args {
+		inspectNoLits(arg, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				pf.checkUseAfterPut(f, id)
+			}
+			return true
+		})
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			pf.checkUseAfterPut(f, id)
+		}
+	}
+}
+
+// release marks id's value released, reporting double puts and puts of
+// escaped values.
+func (pf *poolFlow) release(f poolFact, id *ast.Ident, call *ast.CallExpr) {
+	obj := pf.identObj(id)
+	if obj == nil {
+		return
+	}
+	for k, s := range f {
+		if k.obj != obj {
+			continue
+		}
+		switch {
+		case s.mayBeHeld():
+			f[k] = (s &^ stateHeld) | stateReleased
+		case s&stateReleased != 0:
+			if pf.record {
+				pf.diags[call.Pos()] = "pooled value " + id.Name + " is put back twice on some path: " +
+					"the second Put races with whoever Got it in between"
+			}
+		case s&stateEscaped != 0:
+			if pf.record {
+				pf.diags[call.Pos()] = "pooled value " + id.Name + " is put back after escaping " +
+					"(stored or returned): the new owner still holds it"
+			}
+		}
+	}
+}
+
+// checkUseAfterPut reports uses of values that every path has already
+// put back.
+func (pf *poolFlow) checkUseAfterPut(f poolFact, id *ast.Ident) {
+	if !pf.record {
+		return
+	}
+	obj := pf.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return
+	}
+	for k, s := range f {
+		// Definite only: put back on every path, never re-held or moved.
+		if k.obj == obj && s&(stateHeld|stateEscaped) == 0 && s&stateReleased != 0 {
+			pf.diags[id.Pos()] = "pooled value " + id.Name + " used after it was put back: " +
+				"the pool may already have handed it to another goroutine"
+		}
+	}
+}
+
+// checkResetBeforePut reports a direct Put of a value whose type has a
+// Reset method that no path called. For tracked values the check is
+// path-sensitive (the stateReset bit); for parameters and receivers it
+// is lexical over the function body.
+func (pf *poolFlow) checkResetBeforePut(f poolFact, call *ast.CallExpr, id *ast.Ident) {
+	if !pf.record {
+		return
+	}
+	obj := pf.identObj(id)
+	if obj == nil || !hasResetMethod(obj.Type()) {
+		return
+	}
+	tracked := false
+	for k, s := range f {
+		if k.obj == obj {
+			tracked = true
+			if s&stateReset == 0 && s.mayBeHeld() {
+				pf.diags[call.Pos()] = resetDiag(id.Name)
+			}
+		}
+	}
+	if tracked {
+		return
+	}
+	// Untracked (parameter/receiver, e.g. a release wrapper's body):
+	// accept any lexical <id>.Reset(...) call in the graph.
+	for _, blk := range pf.g.cfg.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			inspectNoLits(n, func(x ast.Node) bool {
+				if c, ok := x.(*ast.CallExpr); ok && isResetCallOn(pf.pass, c, obj) {
+					found = true
+				}
+				return true
+			})
+			if found {
+				return
+			}
+		}
+	}
+	pf.diags[call.Pos()] = resetDiag(id.Name)
+}
+
+func resetDiag(name string) string {
+	return "pooled value " + name + " is Put without a Reset: its type has a Reset method, so per-use " +
+		"state bleeds into the next Get (call Reset first, or annotate with //lint:allow pooldiscipline <why> " +
+		"if the pool's contract is that values carry no per-use state)"
+}
+
+// isResetCallOn reports whether call is <x>.Reset(...) where x resolves
+// to obj.
+func isResetCallOn(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reset" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// hasResetMethod reports whether t (or *t) has a Reset method.
+func hasResetMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == "Reset" {
+			return true
+		}
+	}
+	return false
+}
+
+func (pf *poolFlow) markObjState(f poolFact, id *ast.Ident, state resState) {
+	obj := pf.identObj(id)
+	if obj == nil {
+		return
+	}
+	for k, s := range f {
+		if k.obj == obj && s.mayBeHeld() {
+			f[k] = (s &^ stateHeld) | state
+		}
+	}
+}
+
+func (pf *poolFlow) identObj(id *ast.Ident) types.Object {
+	if obj := pf.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pf.pass.TypesInfo.Defs[id]
+}
+
+func (pf *poolFlow) tracked(f poolFact, obj types.Object) bool {
+	for k := range f {
+		if k.obj == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPoolGraph runs the fixpoint over one function graph, reports
+// definite leaks at returns, and emits the usage diagnostics collected
+// along the way.
+func checkPoolGraph(pass *Pass, pw *poolWrappers, g funcGraph) {
+	pf := &poolFlow{pass: pass, pw: pw, g: g, diags: map[token.Pos]string{}}
+	// Track Reset calls path-sensitively by folding them into Apply via a
+	// wrapper: Reset on a tracked value sets the stateReset bit.
+	sol := Fixpoint[poolFact](g.cfg, &poolResetFlow{pf})
+	pf.record = true
+	reported := map[token.Pos]bool{}
+	ReplayFacts[poolFact](g.cfg, &poolResetFlow{pf}, sol, func(f poolFact, n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		eff := pf.Clone(f)
+		eff = pf.Apply(eff, ret)
+		for _, d := range g.cfg.Defers {
+			applyDeferredPoolReleases(pf, eff, d)
+		}
+		var leaks []poolKey
+		for k, s := range eff {
+			if s.mayBeHeld() && s&(stateReleased|stateEscaped) == 0 {
+				leaks = append(leaks, k)
+			}
+		}
+		if len(leaks) == 0 || reported[ret.Pos()] {
+			return
+		}
+		reported[ret.Pos()] = true
+		sort.Slice(leaks, func(i, j int) bool { return leaks[i].site < leaks[j].site })
+		k := leaks[0]
+		pass.Reportf(ret.Pos(),
+			"return path in %s never puts back the pooled value %q acquired at line %d: "+
+				"pair every Get/acquire with a Put/release on every path (a defer is the usual shape)",
+			g.name, k.obj.Name(), pass.Fset.Position(k.site).Line)
+	})
+	var ps []token.Pos
+	for p := range pf.diags {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	for _, p := range ps {
+		pass.Reportf(p, "%s", pf.diags[p])
+	}
+}
+
+// poolResetFlow wraps poolFlow to also record Reset calls on tracked
+// values (the stateReset bit) before delegating.
+type poolResetFlow struct{ *poolFlow }
+
+func (pr *poolResetFlow) Apply(f poolFact, n ast.Node) poolFact {
+	inspectNoLits(n, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Reset" {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if obj := pr.poolFlow.pass.TypesInfo.Uses[id]; obj != nil {
+					for k, s := range f {
+						if k.obj == obj {
+							f[k] = s | stateReset
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pr.poolFlow.Apply(f, n)
+}
+
+// applyDeferredPoolReleases replays releases a defer performs (directly
+// or inside a deferred closure) into the exit fact.
+func applyDeferredPoolReleases(pf *poolFlow, f poolFact, d *ast.DeferStmt) {
+	ast.Inspect(d, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if poolCall(pf.pass, call, "Put") && len(call.Args) == 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				pf.markObjState(f, id, stateReleased)
+			}
+			return true
+		}
+		var fnObj types.Object
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			fnObj = pf.pass.TypesInfo.Uses[fn]
+		case *ast.SelectorExpr:
+			fnObj = pf.pass.TypesInfo.Uses[fn.Sel]
+		}
+		if fnObj != nil {
+			if idx, ok := pf.pw.releasers[fnObj]; ok && idx < len(call.Args) {
+				if id, ok := call.Args[idx].(*ast.Ident); ok {
+					pf.markObjState(f, id, stateReleased)
+				}
+			}
+			if pf.pw.methodReleasers[fnObj] {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						pf.markObjState(f, id, stateReleased)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,54 @@
+// Fixture for the atomicfield analyzer: fields mixing sync/atomic and
+// plain access are flagged at every plain access; typed atomic.* fields
+// and consistently-plain fields stay silent.
+package atomicfield
+
+import (
+	"sync/atomic"
+)
+
+// gauge mixes atomic and plain access to hits: every plain touch races
+// with the atomic users.
+type gauge struct {
+	hits  uint64
+	limit uint64
+}
+
+func (g *gauge) recordAtomic() {
+	atomic.AddUint64(&g.hits, 1)
+}
+
+func (g *gauge) readPlain() uint64 {
+	return g.hits // want `plain access to field hits, which is accessed with sync/atomic`
+}
+
+func (g *gauge) bumpPlain() {
+	g.hits++ // want `plain access to field hits, which is accessed with sync/atomic`
+}
+
+// limit is only ever accessed plainly: no finding.
+func (g *gauge) checkLimit() bool {
+	return g.limit > 0
+}
+
+// typedGauge uses the typed atomic family: plain access is impossible,
+// the analyzer has nothing to say.
+type typedGauge struct {
+	hits atomic.Uint64
+}
+
+func (t *typedGauge) record() { t.hits.Add(1) }
+func (t *typedGauge) read() uint64 {
+	return t.hits.Load()
+}
+
+// mixedInOneFunc is flagged even when both access kinds share a
+// function: the analyzer is package-wide, not path-sensitive.
+type flags struct {
+	state uint32
+}
+
+func toggle(f *flags) uint32 {
+	atomic.StoreUint32(&f.state, 1)
+	return f.state // want `plain access to field state, which is accessed with sync/atomic`
+}

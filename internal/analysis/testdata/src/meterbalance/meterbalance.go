@@ -74,10 +74,80 @@ func closureReturns(m *Meter, xs []int) {
 	m.free(8)
 }
 
-// newBlock transfers ownership of the allocated cells to the caller: the
-// sanctioned, annotated false positive (compact's shape). Must stay
-// silent because of the allow directive.
+// newBlock allocates cells the caller is meant to free, but nothing in
+// the signature carries them: the transfer cannot be proven, so the
+// annotated allow is still required. Must stay silent because of the
+// directive.
 func newBlock(m *Meter) uint64 {
 	m.alloc(16) //lint:allow meterbalance ownership of the cells transfers to the caller, which frees them
 	return 16
+}
+
+// fsContext mirrors the engine's table-carrying context: returning one
+// is a PROVEN ownership transfer (the allocated table leaves through the
+// return value).
+type fsContext struct {
+	table []uint32
+	cost  uint64
+}
+
+// transferByReturn is compact's shape: alloc, build a table-carrying
+// context, return it. The dataflow engine proves the transfer — no
+// annotation needed. Must stay silent.
+func transferByReturn(m *Meter, size uint64) *fsContext {
+	m.alloc(size)
+	return &fsContext{table: make([]uint32, size)}
+}
+
+// leakOnErrorPath transfers on the happy path but the nil-carrier error
+// return exits with the cells still held and never freed on any path
+// into it: the classic early-exit leak, now caught path-sensitively.
+func leakOnErrorPath(m *Meter, size uint64, fail bool) (*fsContext, error) {
+	m.alloc(size)
+	if fail {
+		return nil, errBoom // want `return path in leakOnErrorPath after \(\*Meter\)\.alloc`
+	}
+	return &fsContext{table: make([]uint32, size)}, nil
+}
+
+// balancedErrorPath is the engine's cancellable idiom proven end to end:
+// the early exit frees before returning a nil carrier, the happy path
+// transfers. Must stay silent — this is the shape the old lexical
+// analyzer could not distinguish from a leak.
+func balancedErrorPath(m *Meter, size uint64, fail bool) (*fsContext, error) {
+	m.alloc(size)
+	if fail {
+		m.free(size)
+		return nil, errBoom
+	}
+	return &fsContext{table: make([]uint32, size)}, nil
+}
+
+// loopRetire is runDP's rolling-layer shape: each iteration allocates a
+// block and either keeps it (freeing the incumbent) or frees it; the
+// loop exit retires through a free. Must stay silent.
+func loopRetire(m *Meter, rounds int, keep func(int) bool) {
+	var live bool
+	for i := 0; i < rounds; i++ {
+		m.alloc(8)
+		if keep(i) {
+			if live {
+				m.free(8)
+			}
+			live = true
+		} else {
+			m.free(8)
+		}
+	}
+	if live {
+		m.free(8)
+	}
+}
+
+// namedCarrierReturn transfers through a named result: the bare return
+// hands the table-carrying context to the caller. Must stay silent.
+func namedCarrierReturn(m *Meter, size uint64) (out *fsContext) {
+	m.alloc(size)
+	out = &fsContext{table: make([]uint32, size)}
+	return
 }

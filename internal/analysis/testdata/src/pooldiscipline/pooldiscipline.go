@@ -1,0 +1,109 @@
+// Fixture for the pooldiscipline analyzer: a local double of the
+// engine's pooled workspace (wsPool / acquireWorkspace / release) and
+// pooled arena (Acquire / Release). The analyzer recognizes the acquire
+// and release wrappers from their bodies, so the fixture defines its
+// own.
+package pooldiscipline
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf []byte }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// acquireScratch is the acquire-wrapper shape (returns a pool.Get).
+func acquireScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+// release is the release-method shape (Puts its receiver).
+func (s *scratch) release() { scratchPool.Put(s) }
+
+// counter has a Reset method, so a direct Put must Reset first.
+type counter struct{ n int }
+
+func (c *counter) Reset() { c.n = 0 }
+
+var counterPool = sync.Pool{New: func() any { return new(counter) }}
+
+// releaseCounter Puts a parameter without Reset: flagged (the engine's
+// arena.Release carries a justified allow for exactly this shape).
+func releaseCounter(c *counter) {
+	counterPool.Put(c) // want `pooled value c is Put without a Reset`
+}
+
+// releaseCounterReset Resets before the Put. Must stay silent.
+func releaseCounterReset(c *counter) {
+	c.Reset()
+	counterPool.Put(c)
+}
+
+var errBoom = errors.New("boom")
+
+// missingPutOnErrorPath is the seeded acceptance violation: the error
+// exit returns without putting the scratch back.
+func missingPutOnErrorPath(fail bool) error {
+	s := acquireScratch()
+	if fail {
+		return errBoom // want `return path in missingPutOnErrorPath never puts back the pooled value "s"`
+	}
+	s.release()
+	return nil
+}
+
+// balancedDefer releases through a defer: every path balanced at once.
+// Must stay silent.
+func balancedDefer(fail bool) error {
+	s := acquireScratch()
+	defer s.release()
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+// balancedStraightLine is profileAlong's shape: acquire, work, release,
+// return. Must stay silent.
+func balancedStraightLine(xs []int) int {
+	s := acquireScratch()
+	total := 0
+	for _, x := range xs {
+		total += x
+		_ = s.buf
+	}
+	s.release()
+	return total
+}
+
+// useAfterPut touches the scratch after every path has put it back: the
+// pool may already have handed it to another goroutine.
+func useAfterPut() int {
+	s := acquireScratch()
+	s.release()
+	return len(s.buf) // want `pooled value s used after it was put back`
+}
+
+// doublePut puts the scratch back twice on the same path.
+func doublePut() {
+	s := acquireScratch()
+	s.release()
+	s.release() // want `pooled value s is put back twice on some path`
+}
+
+// transferIntoSlot hands ownership to a container (the parallel solver's
+// per-worker slice). Must stay silent: the container releases later.
+func transferIntoSlot(n int) []*scratch {
+	out := make([]*scratch, n)
+	for i := range out {
+		out[i] = acquireScratch()
+	}
+	return out
+}
+
+// directGetRoundTrip uses the pool without wrappers. Must stay silent.
+func directGetRoundTrip() {
+	s := scratchPool.Get().(*scratch)
+	s.buf = s.buf[:0]
+	scratchPool.Put(s)
+}

@@ -330,7 +330,7 @@ func compact(c *fsContext, v int, rule Rule, m *Meter, ws *workspace) (next *fsC
 	pos := bitops.RelativePosition(c.free, v)
 	size := uint64(len(c.table)) / 2
 	table := ws.ar.GetU32(size)
-	m.alloc(size) //lint:allow meterbalance ownership of the compacted table transfers to the caller, which frees it (see runDP)
+	m.alloc(size) // ownership transfers via the returned context; proven by meterbalance's carrier-return rule
 	ws.dd.Reset(size)
 	width = compactInto(table, c.table, pos, rule, c.nextID(), &ws.dd)
 	m.addCells(size)

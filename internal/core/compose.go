@@ -167,7 +167,7 @@ func (l *ladder) extend(ctx *fsContext, J bitops.Mask, depth int) (out *fsContex
 		// out is an entry of the precomputed layer; clone it so the
 		// whole layer can be released uniformly.
 		out = out.clone()
-		l.m.alloc(out.cells()) //lint:allow meterbalance ownership of the cloned table transfers to the caller, which frees it
+		l.m.alloc(out.cells()) // ownership transfers via the returned context; proven by meterbalance's carrier-return rule
 		owned = true
 	}
 	pre.Release()
