@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fixtures test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo verify cover cover-gate trajectory trajectory-check clean
+.PHONY: all build lint lint-fixtures test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo steal-demo verify cover cover-gate trajectory trajectory-check clean
 
 all: build lint test
 
@@ -51,16 +51,16 @@ experiments:
 
 # Regenerate the committed benchmark-trajectory baseline (see
 # "Performance trajectory" in README.md). Run on a quiet machine, eyeball
-# the diff, and commit BENCH_7.json alongside the change that moved it.
+# the diff, and commit BENCH_8.json alongside the change that moved it.
 trajectory:
-	$(GO) run ./cmd/bddbench -trajectory -quick -json > BENCH_7.json
+	$(GO) run ./cmd/bddbench -trajectory -quick -json > BENCH_8.json
 
 # Diff a fresh sweep against the committed baseline; a max-feasible-n
 # drop exits nonzero, ns/op growth past 3x is reported but advisory (the
 # CI bench-smoke job runs exactly this and gates on it).
 trajectory-check:
 	$(GO) run ./cmd/bddbench -trajectory -quick -json > /tmp/bench_new.json
-	$(GO) run ./cmd/bddbench -compare -threshold 3.0 -ns-advisory BENCH_7.json /tmp/bench_new.json
+	$(GO) run ./cmd/bddbench -compare -threshold 3.0 -ns-advisory BENCH_8.json /tmp/bench_new.json
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -90,6 +90,16 @@ portfolio-demo:
 	$(GO) run ./cmd/optobdd \
 		-expr 'x1^x2^x3^x4^x5^x6^x7 | x8&x9&x10 | x11&x12&x13&x14' \
 		-solver portfolio -deadline 50ms -progress
+
+# Scheduler demo: a deliberately contended parallel run — 8 workers over
+# 2-rank shards on a 13-variable instance — whose JSON report's metrics
+# block shows the work-stealing pipeline at work (shards_executed,
+# shard_steals; distributions under ws_shard_occupancy / ws_run_steals
+# in /v1/stats when serving).
+steal-demo:
+	$(GO) run ./cmd/optobdd \
+		-expr '(x1^x2^x3^x4^x5^x6) | x7&x8&x9 | x10&x11 | x12&x13' \
+		-solver parallel -workers 8 -shard-bits 1 -json
 
 # Serving demo: an in-process obddd exercises the whole admission story
 # under the race detector — cold solve, cached re-solve (single-flight),

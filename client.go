@@ -29,6 +29,11 @@ type ClientParams = server.Params
 // its input.
 type BatchResult = server.BatchResult
 
+// SchedulingEcho reports the server's batch co-scheduling decision for
+// one item (see ClientParams.Coschedule); it arrives in
+// BatchResult.Scheduling when the request carried hints.
+type SchedulingEcho = server.SchedulingEcho
+
 // ServerConfig sizes an embedded solve service (workers, queue depth,
 // deadline and budget caps, cache bytes); the zero value selects
 // production defaults.

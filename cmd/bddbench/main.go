@@ -60,7 +60,7 @@ func main() {
 		timeCap    = flag.Duration("time-cap", 0, "per-run wall cap in -trajectory mode (0 = 2s, or 300ms with -quick)")
 		threshold  = flag.Float64("threshold", 1.5, "-compare regression threshold: flag points whose ns/op grew more than this factor")
 		nsAdvisory = flag.Bool("ns-advisory", false, "-compare: report ns/op regressions without failing; only max-feasible-n drops exit nonzero")
-		maxN       = flag.Int("max-n", 0, "largest variable count swept in -trajectory mode (0 = 16, or 14 with -quick)")
+		maxN       = flag.Int("max-n", 0, "largest variable count swept in -trajectory mode (0 = 16)")
 	)
 	var solverFlags cliutil.SolverFlags
 	solverFlags.Register(flag.CommandLine, "")
@@ -130,7 +130,9 @@ func runSolverBench(stdout io.Writer, flags cliutil.SolverFlags, n, reps int, ru
 		tt := truthtable.Random(n, rng)
 		ctx, cancel := flags.Context()
 		start := time.Now()
-		res, runErr := solver(ctx, tt, &core.SolveOptions{Rule: rule, Budget: flags.Budget()})
+		runOpts := &core.SolveOptions{Rule: rule, Budget: flags.Budget()}
+		flags.Schedule(runOpts)
+		res, runErr := solver(ctx, tt, runOpts)
 		elapsed := time.Since(start)
 		cancel()
 		total += elapsed

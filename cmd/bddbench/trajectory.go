@@ -91,18 +91,28 @@ func resolveTrajectoryConfig(seed int64, quick bool, timeCap time.Duration, maxN
 		}
 	}
 	if c.maxN <= 0 {
+		// High enough that the committed quick artifact records where
+		// solvers actually stop under the cap (the work-stealing parallel
+		// engine clears n=15 since the width-counting kernel), low enough
+		// to stay CI-sized — the exponential solvers bail out at their
+		// first over-cap point anyway.
 		c.maxN = 16
-		if quick {
-			// High enough that the committed quick artifact records where
-			// solvers actually stop under the cap (fs clears n=14 since the
-			// arena-backed core), low enough to stay CI-sized.
-			c.maxN = 14
-		}
 	}
 	if c.maxN > truthtable.MaxVars {
 		c.maxN = truthtable.MaxVars
 	}
 	return c
+}
+
+// trajectoryStep densifies the sweep where each increment is decisive:
+// steps of 2 through n=12 (the low points move together), then every n —
+// the layer-DP solvers' max-feasible frontier sits above 12, and a
+// 2-step would overshoot the time cap and under-report it.
+func trajectoryStep(n int) int {
+	if n >= 12 {
+		return 1
+	}
+	return 2
 }
 
 // trajectoryTable is the shared workload: one fixed random function per
@@ -125,7 +135,7 @@ func runTrajectory(stdout, stderr io.Writer, cfg trajectoryConfig, jsonOut, prog
 	}
 	for _, solverName := range core.SolverNames() {
 		solver, _ := core.LookupSolver(solverName)
-		for n := 4; n <= cfg.maxN; n += 2 {
+		for n := 4; n <= cfg.maxN; n += trajectoryStep(n) {
 			if progress {
 				fmt.Fprintf(stderr, "[bddbench] trajectory %s n=%d ...\n", solverName, n)
 			}

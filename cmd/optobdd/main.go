@@ -173,12 +173,14 @@ func (c *config) run() error {
 	ctx, cancel := c.flags.Context()
 	defer cancel()
 	start := time.Now()
-	res, runErr := solver(ctx, tt, &core.SolveOptions{
+	runOpts := &core.SolveOptions{
 		Rule:   rule,
 		Meter:  meter,
 		Trace:  tr,
 		Budget: c.flags.Budget(),
-	})
+	}
+	c.flags.Schedule(runOpts)
+	res, runErr := solver(ctx, tt, runOpts)
 	elapsed := time.Since(start)
 	if runErr != nil {
 		if res == nil {

@@ -17,8 +17,8 @@ import (
 //   - transferred to a sanctioned owner: stored into a table slot
 //     (an element of a local slice or of a whitelisted struct's slice
 //     field) or into a field of one of the engine's owning structs
-//     (fsContext, sharedContext, dpState, workspace, Arena), or
-//     returned to the caller.
+//     (fsContext, sharedContext, dpState, workspace, wsLayer, Arena),
+//     or returned to the caller.
 //
 // A store into a field of any other struct is an escape out of the
 // ownership model and is reported at the store: a block squirreled away
@@ -42,12 +42,16 @@ var ArenaOwner = &Analyzer{
 }
 
 // arenaOwnerWhitelist names the struct types sanctioned to own arena
-// blocks: the DP's context/state carriers and the arena itself.
+// blocks: the DP's context/state carriers — including the work-stealing
+// scheduler's per-layer result arrays (wsLayer), whose tables are
+// released by the unique layer completer or the engine's releaseAll —
+// and the arena itself.
 var arenaOwnerWhitelist = map[string]bool{
 	"fsContext":     true,
 	"sharedContext": true,
 	"dpState":       true,
 	"workspace":     true,
+	"wsLayer":       true,
 	"Arena":         true,
 }
 
@@ -246,7 +250,7 @@ func (af *arenaFlow) checkStoreTarget(f arenaFact, lhs ast.Expr, pos token.Pos) 
 			at = lhs.Pos()
 		}
 		af.escapes[at] = "arena block stored into field " + exprText(lhs) + " of " + name +
-			": outside the fsContext/sharedContext/dpState/workspace ownership whitelist, " +
+			": outside the fsContext/sharedContext/dpState/workspace/wsLayer ownership whitelist, " +
 			"the block can never be recycled (annotate with //lint:allow arenaowner <why> if sanctioned)"
 	}
 }
@@ -288,7 +292,7 @@ func (af *arenaFlow) applyCompositeLit(f arenaFact, lit *ast.CompositeLit) {
 	if name != "" && !arenaOwnerWhitelist[name] {
 		if _, isStruct := structUnder(af.pass, lit); isStruct {
 			af.escapes[lit.Pos()] = "arena block stored into a " + name + " literal: outside the " +
-				"fsContext/sharedContext/dpState/workspace ownership whitelist, the block can never be " +
+				"fsContext/sharedContext/dpState/workspace/wsLayer ownership whitelist, the block can never be " +
 				"recycled (annotate with //lint:allow arenaowner <why> if sanctioned)"
 		}
 	}

@@ -199,6 +199,16 @@ func pairKey(u0, u1 uint32) uint64 { return uint64(u0) | uint64(u1)<<32 }
 // bulk-copied without touching the dedup table, which is the common case
 // for structured functions whose subfunctions collapse early.
 func compactInto(dst, src []uint32, pos uint, rule Rule, id0 uint32, dd *arena.Dedup) (width uint64) {
+	if dd.Compact32() {
+		switch rule {
+		case OBDD:
+			return compactOBDD32(dst, src, pos, id0, dd)
+		case ZDD:
+			return compactZDD32(dst, src, pos, id0, dd)
+		default:
+			panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
+		}
+	}
 	half := uint64(1) << pos
 	stride := half * 2
 	id := id0
@@ -307,6 +317,189 @@ func compactInto(dst, src []uint32, pos uint, rule Rule, id0 uint32, dd *arena.D
 	return width
 }
 
+// resetDedup prepares ws.dd for a compaction of expect insertions whose
+// first fresh ID is id0, selecting the packed 32-bit probe layout when
+// every ID the compaction can meet provably fits in 16 bits (IDs already
+// in the source table are below id0 by construction, fresh ones stay
+// below id0 + expect). The threshold is exact, not heuristic: crossing
+// it falls back to the wide layout with identical results.
+func resetDedup(dd *arena.Dedup, expect uint64, id0 uint32) {
+	if uint64(id0)+expect <= 1<<16 {
+		dd.Reset32(expect)
+	} else {
+		dd.Reset(expect)
+	}
+}
+
+// compactOBDD32 is the OBDD compaction kernel for the packed 32-bit
+// dedup layout (see Dedup.Reset32): the (u0, u1) pair packs into a
+// 32-bit key sharing one slot with its assigned ID, so the probe loop is
+// one load per hit and one store per miss. The probe is hand-inlined —
+// keeping the slot array, shift and mask in registers across the cell
+// loop is worth ~1.5x end to end over calling through the Dedup methods.
+// IDs are assigned in ascending dst order exactly like the wide kernel,
+// so the produced tables are bit-identical.
+func compactOBDD32(dst, src []uint32, pos uint, id0 uint32, dd *arena.Dedup) (width uint64) {
+	slots, shift := dd.Slots32()
+	mask := uint64(len(slots) - 1)
+	half := uint64(1) << pos
+	stride := half * 2
+	id := id0
+	di := uint64(0)
+	for base := uint64(0); base < uint64(len(src)); base += stride {
+		u0s := src[base : base+half : base+half]
+		u1s := src[base+half : base+stride : base+stride]
+		j := uint64(0)
+		for ; j+8 <= half; j += 8 {
+			// Word-parallel skip test: XOR-OR over eight lanes is zero
+			// iff every lane has u0 == u1 (all skips).
+			if (u0s[j]^u1s[j])|(u0s[j+1]^u1s[j+1])|
+				(u0s[j+2]^u1s[j+2])|(u0s[j+3]^u1s[j+3])|
+				(u0s[j+4]^u1s[j+4])|(u0s[j+5]^u1s[j+5])|
+				(u0s[j+6]^u1s[j+6])|(u0s[j+7]^u1s[j+7]) == 0 {
+				copy(dst[di:di+8], u0s[j:j+8])
+				di += 8
+				continue
+			}
+			for l := j; l < j+8; l++ {
+				u0, u1 := u0s[l], u1s[l]
+				if u0 == u1 {
+					dst[di] = u0
+					di++
+					continue
+				}
+				key := u0 | u1<<16
+				slot := ((uint64(key) * 0x9e3779b97f4a7c15) >> shift) & mask
+				for { //lint:allow ctxcheckpoint linear probe over a table Reset32 sizes to ≥ 2x the insertions, so an empty slot is always reached within the table length
+
+					s := slots[slot]
+					if uint32(s) == key {
+						dst[di] = uint32(s >> 32)
+						break
+					}
+					if s == 0 {
+						slots[slot] = uint64(key) | uint64(id)<<32
+						dst[di] = id
+						id++
+						width++
+						break
+					}
+					slot = (slot + 1) & mask
+				}
+				di++
+			}
+		}
+		for ; j < half; j++ {
+			u0, u1 := u0s[j], u1s[j]
+			if u0 == u1 {
+				dst[di] = u0
+				di++
+				continue
+			}
+			key := u0 | u1<<16
+			slot := ((uint64(key) * 0x9e3779b97f4a7c15) >> shift) & mask
+			for { //lint:allow ctxcheckpoint linear probe over a table Reset32 sizes to ≥ 2x the insertions, so an empty slot is always reached within the table length
+
+				s := slots[slot]
+				if uint32(s) == key {
+					dst[di] = uint32(s >> 32)
+					break
+				}
+				if s == 0 {
+					slots[slot] = uint64(key) | uint64(id)<<32
+					dst[di] = id
+					id++
+					width++
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			di++
+		}
+	}
+	return width
+}
+
+// compactZDD32 is compactOBDD32's ZDD twin: the skip condition is a zero
+// 1-child instead of equal children.
+func compactZDD32(dst, src []uint32, pos uint, id0 uint32, dd *arena.Dedup) (width uint64) {
+	slots, shift := dd.Slots32()
+	mask := uint64(len(slots) - 1)
+	half := uint64(1) << pos
+	stride := half * 2
+	id := id0
+	di := uint64(0)
+	for base := uint64(0); base < uint64(len(src)); base += stride {
+		u0s := src[base : base+half : base+half]
+		u1s := src[base+half : base+stride : base+stride]
+		j := uint64(0)
+		for ; j+8 <= half; j += 8 {
+			// All eight lanes skip iff every u1 is the false terminal.
+			if u1s[j]|u1s[j+1]|u1s[j+2]|u1s[j+3]|
+				u1s[j+4]|u1s[j+5]|u1s[j+6]|u1s[j+7] == 0 {
+				copy(dst[di:di+8], u0s[j:j+8])
+				di += 8
+				continue
+			}
+			for l := j; l < j+8; l++ {
+				u0, u1 := u0s[l], u1s[l]
+				if u1 == 0 {
+					dst[di] = u0
+					di++
+					continue
+				}
+				key := u0 | u1<<16
+				slot := ((uint64(key) * 0x9e3779b97f4a7c15) >> shift) & mask
+				for { //lint:allow ctxcheckpoint linear probe over a table Reset32 sizes to ≥ 2x the insertions, so an empty slot is always reached within the table length
+
+					s := slots[slot]
+					if uint32(s) == key {
+						dst[di] = uint32(s >> 32)
+						break
+					}
+					if s == 0 {
+						slots[slot] = uint64(key) | uint64(id)<<32
+						dst[di] = id
+						id++
+						width++
+						break
+					}
+					slot = (slot + 1) & mask
+				}
+				di++
+			}
+		}
+		for ; j < half; j++ {
+			u0, u1 := u0s[j], u1s[j]
+			if u1 == 0 {
+				dst[di] = u0
+				di++
+				continue
+			}
+			key := u0 | u1<<16
+			slot := ((uint64(key) * 0x9e3779b97f4a7c15) >> shift) & mask
+			for { //lint:allow ctxcheckpoint linear probe over a table Reset32 sizes to ≥ 2x the insertions, so an empty slot is always reached within the table length
+
+				s := slots[slot]
+				if uint32(s) == key {
+					dst[di] = uint32(s >> 32)
+					break
+				}
+				if s == 0 {
+					slots[slot] = uint64(key) | uint64(id)<<32
+					dst[di] = id
+					id++
+					width++
+					break
+				}
+				slot = (slot + 1) & mask
+			}
+			di++
+		}
+	}
+	return width
+}
+
 // compact performs table compaction with respect to variable v (§2.3.2):
 // it absorbs v into the solved bottom block, producing the context for
 // (I ⊔ {v}) from the context for I. The returned width is the number of
@@ -331,7 +524,7 @@ func compact(c *fsContext, v int, rule Rule, m *Meter, ws *workspace) (next *fsC
 	size := uint64(len(c.table)) / 2
 	table := ws.ar.GetU32(size)
 	m.alloc(size) // ownership transfers via the returned context; proven by meterbalance's carrier-return rule
-	ws.dd.Reset(size)
+	resetDedup(&ws.dd, size, c.nextID())
 	width = compactInto(table, c.table, pos, rule, c.nextID(), &ws.dd)
 	m.addCells(size)
 	return &fsContext{

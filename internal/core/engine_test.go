@@ -49,7 +49,7 @@ func TestCancelStopsWithinOneLayer(t *testing.T) {
 			return OptimalOrderingCtx(ctx, tt, &SolveOptions{Meter: m, Trace: tr})
 		}},
 		{"parallel", func(ctx stdctx.Context, m *Meter, tr obs.Tracer) (*Result, error) {
-			return OptimalOrderingParallelCtx(ctx, tt, &SolveOptions{Meter: m, Trace: tr, Workers: 4})
+			return OptimalOrderingParallel(ctx, tt, &SolveOptions{Meter: m, Trace: tr, Workers: 4})
 		}},
 	} {
 		t.Run(run.name, func(t *testing.T) {

@@ -199,7 +199,7 @@ func runDP(ctx *fsContext, vars bitops.Mask, stop int, rule Rule, m *Meter, tr o
 				}
 				dst := st.ws.ar.GetU32(size)
 				m.alloc(size)
-				st.ws.dd.Reset(size)
+				resetDedup(&st.ws.dd, size, id0)
 				w := compactInto(dst, prevTable, bitops.RelativePosition(prevFree, v), rule, id0, &st.ws.dd)
 				m.addCells(size)
 				layerOps += size

@@ -99,6 +99,66 @@ func (r *Ranker) Rank(mask bitops.Mask) uint64 {
 	return rank
 }
 
+// PredRanks writes the layer-(k−1) ranks of mask's one-bit-removal
+// predecessors into out and returns them: out[i] is the rank of
+// mask \ {p_i} where p_1 < p_2 < … < p_k are mask's set bits. out must
+// have room for popcount(mask) entries.
+//
+// All k ranks come out of one O(k) pass. With members p_1 < … < p_k,
+// removing p_i leaves members whose combinadic weights are C(p_t, t)
+// for t < i (indices unchanged) and C(p_t, t−1) for t > i (each index
+// shifts down by one), so
+//
+//	rank(mask \ {p_i}) = Σ_{t<i} C(p_t, t) + Σ_{t>i} C(p_t, t−1)
+//
+// — a prefix sum plus a suffix sum over the same member list.
+func (r *Ranker) PredRanks(mask bitops.Mask, out []uint64) []uint64 {
+	k := mask.Count()
+	out = out[:k]
+	// prefix: out[i] accumulates Σ_{t<i} C(p_t, t) in place.
+	var prefix uint64
+	j := 1
+	for t := uint64(mask); t != 0; t &= t - 1 {
+		p := bits.TrailingZeros64(t)
+		out[j-1] = prefix
+		prefix += r.binom[p][j]
+		j++
+	}
+	// suffix: add Σ_{t>i} C(p_t, t−1) walking members high to low.
+	var suffix uint64
+	j = k
+	for t := uint64(mask); t != 0; {
+		p := 63 - bits.LeadingZeros64(t)
+		t &^= 1 << uint(p)
+		out[j-1] += suffix
+		suffix += r.binom[p][j-1]
+		j--
+	}
+	return out
+}
+
+// MaxPredRank returns the largest layer-(k−1) rank among the one-bit
+// removal predecessors of the layer-k mask of the given rank — the rank
+// of mask \ {min member}, by the exchange argument below. It is the
+// watermark the work-stealing scheduler uses: a layer-k shard ending at
+// this mask may start as soon as the layer-(k−1) prefix up to and
+// including MaxPredRank is compacted.
+//
+// Two facts make the single evaluation sound:
+//
+//  1. For a fixed mask, rank(mask \ {p_i}) is maximized at i = 1 (the
+//     smallest member): removing a smaller member leaves the larger
+//     residual as a plain number, and within a layer colex rank is
+//     monotone in numeric value, so the largest predecessor mask is the
+//     highest-ranked one.
+//  2. Monotonicity across a shard (proved in the tests exhaustively):
+//     if S ≤ T numerically with equal popcount, then
+//     S \ {min S} ≤ T \ {min T}, so the maximum over a rank range is
+//     attained at the range's last mask.
+func (r *Ranker) MaxPredRank(mask bitops.Mask) uint64 {
+	return r.Rank(mask.Without(mask.Lowest()))
+}
+
 // Unrank is the inverse of Rank: it returns the k-element mask of the
 // given rank within layer k. It panics when rank ≥ C(n, k).
 func (r *Ranker) Unrank(k int, rank uint64) bitops.Mask {

@@ -1,6 +1,7 @@
 package lattice
 
 import (
+	"math/bits"
 	"testing"
 
 	"obddopt/internal/bitops"
@@ -75,4 +76,55 @@ func mustPanic(t *testing.T, f func()) {
 		}
 	}()
 	f()
+}
+
+// TestPredRanks cross-checks the O(k) prefix/suffix predecessor ranks
+// against direct ranking of each one-bit removal, exhaustively for small
+// universes.
+func TestPredRanks(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		r := New(n)
+		buf := make([]uint64, n)
+		for mask := bitops.Mask(1); mask < bitops.Mask(1)<<uint(n); mask++ {
+			got := r.PredRanks(mask, buf)
+			i := 0
+			for t2 := uint64(mask); t2 != 0; t2 &= t2 - 1 {
+				p := bits.TrailingZeros64(t2)
+				want := r.Rank(mask.Without(p))
+				if got[i] != want {
+					t.Fatalf("n=%d mask=%#x pred %d: rank %d, want %d", n, uint64(mask), p, got[i], want)
+				}
+				i++
+			}
+		}
+	}
+}
+
+// TestMaxPredRankWatermark verifies the two facts the scheduler's shard
+// watermark rests on, exhaustively: (1) MaxPredRank is the maximum over
+// all one-bit-removal predecessor ranks, and (2) it is nondecreasing in
+// the destination's rank within a layer — so the maximum over a rank
+// range is attained at the range's last mask.
+func TestMaxPredRankWatermark(t *testing.T) {
+	for n := 1; n <= 14; n++ {
+		r := New(n)
+		buf := make([]uint64, n)
+		for k := 1; k <= n; k++ {
+			prev := uint64(0)
+			mask := bitops.FirstSubsetOfSize(k)
+			for rank := uint64(0); rank < r.LayerSize(k); rank++ {
+				wm := r.MaxPredRank(mask)
+				for _, pr := range r.PredRanks(mask, buf) {
+					if pr > wm {
+						t.Fatalf("n=%d mask=%#x: pred rank %d exceeds MaxPredRank %d", n, uint64(mask), pr, wm)
+					}
+				}
+				if wm < prev {
+					t.Fatalf("n=%d k=%d rank=%d: MaxPredRank %d decreased below %d", n, k, rank, wm, prev)
+				}
+				prev = wm
+				mask, _ = bitops.NextSubsetSameSize(mask, n)
+			}
+		}
+	}
 }

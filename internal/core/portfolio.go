@@ -45,6 +45,17 @@ type SolveOptions struct {
 	// Workers is the goroutine count for the parallel DP lanes; 0 selects
 	// GOMAXPROCS.
 	Workers int
+	// ShardBits overrides the work-stealing scheduler's shard granularity:
+	// when positive, each popcount layer is split into shards of 2^ShardBits
+	// ranks. 0 (the default) sizes shards automatically from the layer size
+	// and worker count. Setting it also keeps the pipeline engaged at
+	// Workers == 1, which scheduling tests use to exercise shard seams
+	// without concurrency.
+	ShardBits int
+	// Pinned disables work stealing: each worker runs only shards it
+	// claimed itself. Useful for isolating scheduling effects; throughput
+	// is generally worse than the stealing default.
+	Pinned bool
 	// Seeder overrides the heuristic seeding phase of the portfolio; nil
 	// selects DefaultSeeder.
 	Seeder Seeder
@@ -83,6 +94,20 @@ func (o *SolveOptions) workers() int {
 		return 0
 	}
 	return o.Workers
+}
+
+func (o *SolveOptions) shardBits() int {
+	if o == nil {
+		return 0
+	}
+	return o.ShardBits
+}
+
+func (o *SolveOptions) pinnedSchedule() bool {
+	if o == nil {
+		return false
+	}
+	return o.Pinned
 }
 
 // Seeder is a heuristic ordering pass: it returns an ordering of tt's
@@ -148,7 +173,7 @@ func SolverNames() []string {
 
 func init() {
 	RegisterSolver("fs", OptimalOrderingCtx)
-	RegisterSolver("parallel", OptimalOrderingParallelCtx)
+	RegisterSolver("parallel", OptimalOrderingParallel)
 	RegisterSolver("bnb", func(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
 		return BranchAndBoundCtx(ctx, tt, &BnBOptions{Rule: opts.rule(), Meter: opts.meter(), Trace: opts.trace(), Budget: opts.budget()})
 	})
@@ -252,9 +277,12 @@ func Portfolio(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*R
 		run  func(stdctx.Context, *Meter) (*Result, error)
 	}{
 		{dpName, func(c stdctx.Context, m *Meter) (*Result, error) {
-			laneOpts := &SolveOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget, Workers: opts.workers()}
+			laneOpts := &SolveOptions{
+				Rule: rule, Meter: m, Trace: tr, Budget: budget,
+				Workers: opts.workers(), ShardBits: opts.shardBits(), Pinned: opts.pinnedSchedule(),
+			}
 			if dpName == "parallel" {
-				return OptimalOrderingParallelCtx(c, tt, laneOpts)
+				return OptimalOrderingParallel(c, tt, laneOpts)
 			}
 			return OptimalOrderingCtx(c, tt, laneOpts)
 		}},

@@ -2,6 +2,8 @@ package core
 
 import (
 	stdctx "context"
+	"sort"
+	"sync"
 	"time"
 
 	"obddopt/internal/bitops"
@@ -85,7 +87,7 @@ func compactShared(c *sharedContext, v int, rule Rule, m *Meter, ws *workspace) 
 		cost:   c.cost,
 		nTerm:  c.nTerm,
 	}
-	ws.dd.Reset(size * uint64(len(c.tables)))
+	resetDedup(&ws.dd, size*uint64(len(c.tables)), c.nextID())
 	var width uint64
 	for r, tbl := range c.tables {
 		out := ws.ar.GetU32(size)
@@ -132,9 +134,18 @@ func OptimalOrderingShared(tts []*truthtable.Table, opts *SolveOptions) *SharedR
 // compaction. On an early stop every layer table is released and a nil
 // result is returned with ErrCanceled / ErrBudgetExceeded (the DP holds
 // no incumbent before it completes).
+//
+// An explicit schedule with opts.Workers > 1 fans each popcount layer
+// out over a worker pool with a deterministic merge; results stay
+// bit-identical to the serial path (the keep rule is arrival-order
+// independent). opts.Workers <= 1 — including the 0 default — runs
+// serially.
 func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts *SolveOptions) (*SharedResult, error) {
 	if len(tts) == 0 {
 		panic("core: OptimalOrderingShared needs at least one root") //lint:allow nopanic documented programmer-error precondition: at least one root required
+	}
+	if w := opts.workers(); w > 1 && tts[0].NumVars() > 2 {
+		return optimalOrderingSharedParallel(ctx, tts, opts, w)
 	}
 	rule, tr := opts.rule(), opts.trace()
 	m := meterFor(opts.meter(), opts.budget())
@@ -235,6 +246,215 @@ func OptimalOrderingSharedCtx(ctx stdctx.Context, tts []*truthtable.Table, opts 
 		ws.recycleShared(layer[full])
 		m.free(base.cells())
 	}
+	finishMetrics(m)
+
+	order := make(truthtable.Ordering, n)
+	mask := full
+	for i := n - 1; i >= 0; i-- {
+		v, ok := bestLast[mask]
+		if !ok {
+			panic("core: shared DP missing parent pointer") //lint:allow nopanic internal invariant: the DP records a parent pointer for every kept subset
+		}
+		order[i] = v
+		mask = mask.Without(v)
+	}
+	profile, _ := profileShared(tts, order, rule)
+	return &SharedResult{
+		N:         n,
+		Roots:     len(tts),
+		Rule:      rule,
+		MinCost:   minCost,
+		Terminals: sharedTerminals(tts),
+		Size:      minCost + uint64(sharedTerminals(tts)),
+		Ordering:  order,
+		Profile:   profile,
+	}, nil
+}
+
+// optimalOrderingSharedParallel is the worker-pool shared DP: each layer's
+// transitions fan out over opts.Workers goroutines (the transitions of one
+// layer are independent — they read only the previous layer), and the
+// coordinator merges the candidates deterministically, sorted by
+// (destination mask, absorbed variable), under the same keep rule as the
+// serial loop — so results are bit-identical, including tie-breaking.
+//
+// Meter updates merge once per layer: lane meters contribute CellOps /
+// Compactions exactly, while LiveCells/PeakCells are layer-granular (the
+// whole candidate layer is accounted at the barrier). Trace events are
+// layer-granular, emitted only by the coordinator. MaxNodes is charged at
+// the layer barrier; MaxCells is checked after each layer's merge.
+func optimalOrderingSharedParallel(ctx stdctx.Context, tts []*truthtable.Table, opts *SolveOptions, workers int) (*SharedResult, error) {
+	rule, tr := opts.rule(), opts.trace()
+	m := meterFor(opts.meter(), opts.budget())
+	lim := newLimiter(ctx, opts.budget(), m)
+	obs.Metrics.RunsStarted.Inc()
+	obs.Metrics.WorkerSpawns.Add(uint64(workers))
+	n := tts[0].NumVars()
+
+	wss := make([]*workspace, workers)
+	for w := range wss {
+		wss[w] = acquireWorkspace()
+	}
+	defer func() {
+		for _, ws := range wss {
+			ws.release()
+		}
+	}()
+
+	base := baseSharedContext(tts)
+	m.alloc(base.cells())
+
+	// releaseLayer returns the current layer's contexts (base excluded) to
+	// the meter and the coordinator's arena; it runs only between barriers,
+	// after every worker has joined.
+	releaseLayer := func(layer map[bitops.Mask]*sharedContext) {
+		for mask, c := range layer {
+			if mask != 0 || c != base {
+				m.free(c.cells())
+				wss[0].recycleShared(c)
+			}
+		}
+	}
+
+	type cand struct {
+		mask bitops.Mask
+		v    int
+		ctx  *sharedContext
+		ws   *workspace // producing worker's workspace, for recycling
+	}
+	bestLast := make(map[bitops.Mask]int)
+	layer := map[bitops.Mask]*sharedContext{0: base}
+	for k := 1; k <= n; k++ {
+		var layerStart time.Time
+		if tr != nil {
+			layerStart = time.Now()
+			tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: k, Subsets: len(layer)})
+		}
+		// Snapshot the previous layer into a deterministic work list.
+		prev := make([]bitops.Mask, 0, len(layer))
+		for mask := range layer {
+			prev = append(prev, mask)
+		}
+		sort.Slice(prev, func(i, j int) bool { return prev[i] < prev[j] })
+
+		results := make([][]cand, workers)
+		meters := make([]*Meter, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var local []cand
+				lm := &Meter{}
+				for i := w; i < len(prev); i += workers {
+					// Cooperative checkpoint: ctx polling is safe from any
+					// goroutine; budget accounting stays with the
+					// coordinator at the barrier.
+					if lim.stopped() {
+						break
+					}
+					prevMask := prev[i]
+					prevCtx := layer[prevMask]
+					for v := 0; v < n; v++ {
+						if prevMask.Has(v) {
+							continue
+						}
+						c, _ := compactShared(prevCtx, v, rule, lm, wss[w])
+						local = append(local, cand{mask: prevMask.With(v), v: v, ctx: c, ws: wss[w]})
+					}
+				}
+				results[w] = local
+				meters[w] = lm
+			}(w)
+		}
+		wg.Wait()
+
+		var all []cand
+		for _, r := range results {
+			all = append(all, r...)
+		}
+		// Charge the layer's transitions and poll the context once per
+		// barrier; on a stop, drop every candidate before it enters the
+		// caller's meter.
+		if err := lim.spend(uint64(len(all))); err != nil {
+			for _, c := range all {
+				c.ws.recycleShared(c.ctx)
+			}
+			releaseLayer(layer)
+			m.free(base.cells())
+			return nil, err
+		}
+		// Deterministic merge in (mask, v) order under the serial keep
+		// rule: minimum cost, ties to the smallest absorbed variable.
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].mask != all[j].mask {
+				return all[i].mask < all[j].mask
+			}
+			return all[i].v < all[j].v
+		})
+		next := make(map[bitops.Mask]*sharedContext, len(all)/k+1)
+		var layerCells, keptCells, layerOps uint64
+		for _, c := range all {
+			layerCells += c.ctx.cells()
+			if cur, ok := next[c.mask]; !ok || c.ctx.cost < cur.cost ||
+				(c.ctx.cost == cur.cost && c.v < bestLast[c.mask]) {
+				if ok {
+					keptCells -= cur.cells()
+					c.ws.recycleShared(cur)
+				}
+				next[c.mask] = c.ctx
+				bestLast[c.mask] = c.v
+				keptCells += c.ctx.cells()
+			} else {
+				c.ws.recycleShared(c.ctx)
+			}
+		}
+		var layerCompactions uint64
+		for _, lm := range meters {
+			layerOps += lm.CellOps
+			layerCompactions += lm.Compactions
+		}
+		if m != nil {
+			for _, lm := range meters {
+				m.CellOps += lm.CellOps
+				m.Compactions += lm.Compactions
+				m.Evaluations += lm.Evaluations
+			}
+			m.alloc(layerCells)
+			m.free(layerCells - keptCells)
+		}
+		releaseLayer(layer)
+		layer = next
+		obs.Metrics.CellOps.Add(layerOps)
+		obs.Metrics.Compactions.Add(layerCompactions)
+
+		// The cell budget is enforced at the layer boundary, after the
+		// meter has absorbed the layer's surviving tables.
+		if err := lim.check(); err != nil {
+			releaseLayer(layer)
+			m.free(base.cells())
+			return nil, err
+		}
+		if tr != nil {
+			ev := obs.Event{
+				Kind:    obs.KindLayerEnd,
+				K:       k,
+				Subsets: len(next),
+				CellOps: layerOps,
+				Elapsed: time.Since(layerStart),
+			}
+			if m != nil {
+				ev.LiveCells, ev.PeakCells = m.LiveCells, m.PeakCells
+			}
+			tr.Emit(ev)
+		}
+	}
+
+	full := bitops.FullMask(n)
+	minCost := layer[full].cost
+	m.free(layer[full].cells())
+	wss[0].recycleShared(layer[full])
+	m.free(base.cells())
 	finishMetrics(m)
 
 	order := make(truthtable.Ordering, n)

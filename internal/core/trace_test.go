@@ -68,7 +68,7 @@ func TestTraceLayerEventsParallel(t *testing.T) {
 	n := tt.NumVars()
 	rec := obs.NewRecorder()
 	m := &Meter{}
-	res := OptimalOrderingParallel(tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4})
+	res := mustResult(OptimalOrderingParallel(nil, tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4}))
 
 	if got := rec.Count(obs.KindLayerEnd); got != n {
 		t.Errorf("LayerEnd events = %d, want %d", got, n)
@@ -165,7 +165,7 @@ func TestTraceParallelRace(t *testing.T) {
 			defer wg.Done()
 			rec := obs.NewRecorder()
 			m := &Meter{}
-			res := OptimalOrderingParallel(tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4})
+			res := mustResult(OptimalOrderingParallel(nil, tt, &SolveOptions{Meter: m, Trace: rec, Workers: 4}))
 			if res.MinCost == 0 || rec.Count(obs.KindLayerEnd) != tt.NumVars() {
 				t.Errorf("traced parallel run inconsistent: cost %d, layers %d",
 					res.MinCost, rec.Count(obs.KindLayerEnd))
@@ -180,7 +180,7 @@ func TestTraceParallelRace(t *testing.T) {
 func TestTraceNilSafety(t *testing.T) {
 	tt := traceFixture(t)
 	OptimalOrdering(tt, nil)
-	OptimalOrderingParallel(tt, nil)
+	mustResult(OptimalOrderingParallel(nil, tt, nil))
 	BranchAndBound(tt, nil)
 	DivideAndConquer(tt, nil)
 	BruteForce(tt, nil)

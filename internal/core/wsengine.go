@@ -1,0 +1,844 @@
+package core
+
+import (
+	stdctx "context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"obddopt/internal/bitops"
+	"obddopt/internal/core/lattice"
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// This file is the work-stealing layer pipeline behind the "parallel"
+// solver: the subset DP of fs.go re-scheduled so that no worker ever
+// waits at a popcount-layer barrier.
+//
+// Each popcount layer k is the dense rank range [0, C(n,k)) of the
+// lattice package; the scheduler partitions it into cache-line-aligned
+// shards of whole ranks. A layer-k shard may start as soon as the
+// contiguous compacted prefix of layer k−1 covers the shard's
+// predecessor watermark — the largest layer-(k−1) rank reachable from
+// any of the shard's destinations by one-bit removal, which
+// lattice.MaxPredRank evaluates in O(k) and which is monotone in the
+// destination rank, so one watermark per shard (its last destination)
+// suffices and shards become eligible strictly in rank order. Workers
+// therefore run ahead into layer k+1 while slower shards of layer k are
+// still compacting; the full-layer barrier of the old coordinator
+// design exists only implicitly, as the last watermark of each layer.
+//
+// Each destination subset S with |S| = k has k predecessors S\{p}. The
+// serial DP compacts all k candidate tables and keeps the cheapest;
+// here only ONE candidate (the smallest member, fixed independently of
+// which candidate wins) is compacted into a table, and the remaining
+// k−1 candidates are costed by a width-counting pass that never writes
+// a table. This is sound because the kept table is used downstream only
+// through value *equality* (the u0 == u1 / u1 == 0 skip tests and the
+// dedup key), and any candidate's table induces the same partition of
+// cells into equal-subfunction classes:
+//
+//   - table(S)[i] == table(S)[j]  iff  the subfunctions of f at dest
+//     cells i and j (cofactors over the absorbed set S) are equal — by
+//     induction over layers, since compactInto assigns IDs by (u0, u1)
+//     pair equality and copies skip cells verbatim.
+//   - the width of candidate p is the number of distinct (u0, u1) pairs
+//     among the cells that actually create a node (u0 != u1 for OBDD,
+//     u1 != 0 for ZDD, both read from the p-predecessor's table), and
+//     pair equality coincides with dest-subfunction equality — so the
+//     width equals the number of distinct *built-table labels* among
+//     those cells, countable with a generation-stamped direct-index
+//     array when every label fits in 16 bits.
+//
+// Costs, parents and tie-breaking replicate fs.go exactly (minimum
+// cost, ties to the smallest member position), so results are
+// bit-identical to the serial solver at every worker count and shard
+// size. Cell-operation metering is also identical: every candidate —
+// built or counted — is charged size cells, the unit of Theorem 5.
+//
+// Memory: the serial DP holds two layers (Remark 1); the pipeline holds
+// at most three — layer k−1 is released by the unique completer of
+// layer k, and spawning is gated so layer k+1 may only start once layer
+// k−1 is complete. See DESIGN.md for the liveness argument.
+
+// wsTask identifies one shard of one layer.
+type wsTask struct {
+	layer int
+	shard int
+}
+
+// wsDeque is one worker's task deque: the owner pushes and pops at the
+// back (LIFO — freshly unlocked shards are cache-hot), thieves take
+// from the front (FIFO — the oldest task is the most likely to gate a
+// frontier). Shards are coarse (thousands of cell operations each), so
+// a mutex costs nothing measurable next to the work.
+type wsDeque struct {
+	mu sync.Mutex
+	q  []wsTask
+}
+
+func (d *wsDeque) push(t wsTask) {
+	d.mu.Lock()
+	d.q = append(d.q, t)
+	d.mu.Unlock()
+}
+
+func (d *wsDeque) pop() (wsTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return wsTask{}, false
+	}
+	t := d.q[len(d.q)-1]
+	d.q = d.q[:len(d.q)-1]
+	return t, true
+}
+
+func (d *wsDeque) steal() (wsTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return wsTask{}, false
+	}
+	t := d.q[0]
+	d.q = d.q[1:]
+	return t, true
+}
+
+// wsShardAlign is the shard granularity in ranks: 16 ranks keep each
+// shard's slice of the per-rank cost (8 B) and base (4 B) arrays on
+// whole cache lines, so adjacent shards running on different workers
+// never write the same line.
+const wsShardAlign = 16
+
+// wsLayer is one popcount layer of the pipeline: the per-rank result
+// arrays plus the shard-scheduling state.
+type wsLayer struct {
+	k         int
+	count     uint64 // C(n, k) ranks
+	cells     uint64 // table cells per rank: 2^(n-k)
+	shardSize uint64 // ranks per shard (last shard may be short)
+	nShards   int
+
+	// watermark[s] is the number of layer-(k−1) ranks that must be
+	// compacted before shard s may start: MaxPredRank(last dest of s)+1.
+	// Monotone in s (lattice.MaxPredRank), so shards unlock in order.
+	watermark []uint64
+
+	// Per-rank results, written by exactly one shard each. tables[r] is
+	// freed (set nil) by the completer of layer k+1. bases[r] is the
+	// first fresh node ID for compactions reading tables[r] — the
+	// built table's ID ceiling, which exceeds nTerm+costs[r] whenever
+	// the built candidate lost the cost comparison.
+	tables  [][]uint32
+	costs   []uint64
+	bases   []uint32
+	parents []uint8
+
+	spawned   atomic.Int64 // shards claimed so far (next to claim)
+	frontier  atomic.Int64 // contiguous completed shard prefix
+	done      []atomic.Bool
+	remaining atomic.Int64 // shards not yet completed
+	ops       atomic.Uint64
+	startNS   atomic.Int64 // layer start (trace Elapsed), unix nanos
+}
+
+// covered returns the contiguous compacted rank prefix of the layer.
+func (l *wsLayer) covered() uint64 {
+	c := uint64(l.frontier.Load()) * l.shardSize
+	if c > l.count {
+		c = l.count
+	}
+	return c
+}
+
+func (l *wsLayer) complete() bool { return l.remaining.Load() == 0 }
+
+// wsWorker is the goroutine-local state of one pipeline worker.
+type wsWorker struct {
+	ws    *workspace
+	meter *Meter
+	// seen/gen implement the width-counting distinct-label set: seen is
+	// indexed directly by built-table label (< 2^16 by the counting
+	// eligibility test) and a stamp is current iff it equals gen.
+	seen     []uint32
+	gen      uint32
+	predBuf  []uint64
+	executed uint64
+	steals   uint64
+}
+
+func (wk *wsWorker) nextGen() uint32 {
+	if wk.seen == nil {
+		wk.seen = make([]uint32, 1<<16)
+	}
+	wk.gen++
+	if wk.gen == 0 {
+		clear(wk.seen)
+		wk.gen = 1
+	}
+	return wk.gen
+}
+
+// wsEngine is one work-stealing DP run over the full variable set.
+type wsEngine struct {
+	n         int
+	rule      Rule
+	base      *fsContext
+	baseCells uint64
+	rk        *lattice.Ranker
+	layers    []*wsLayer
+	workers   []*wsWorker
+	deques    []wsDeque
+	pinned    bool
+	tr        obs.Tracer
+
+	ctx    stdctx.Context
+	budget Budget
+	checks bool // any of ctx / budget active
+
+	// spawnLo is the lowest layer that may still have unclaimed shards;
+	// claim scans upward from it through the 3-layer window.
+	spawnLo atomic.Int64
+
+	// live/peak gauge the engine-owned table cells (the caller-owned
+	// base excluded); nodes counts DP transitions against MaxNodes.
+	live  atomic.Int64
+	peak  atomic.Int64
+	nodes atomic.Uint64
+
+	stop  atomic.Bool
+	errMu sync.Mutex
+	err   error
+}
+
+// fail records the first error and stops every worker.
+func (e *wsEngine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+}
+
+func (e *wsEngine) failErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+func (e *wsEngine) gaugeAlloc(cells uint64) {
+	v := e.live.Add(int64(cells))
+	for { //lint:allow ctxcheckpoint bounded CAS retry on the peak gauge: each failure means another worker raised the peak, which can happen at most once per concurrent allocation
+		p := e.peak.Load()
+		if v <= p || e.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+func (e *wsEngine) gaugeFree(cells uint64) { e.live.Add(-int64(cells)) }
+
+// checkpoint is the per-transition cooperative stop test: context
+// cancellation and the node budget, mirroring limiter.spend(1) of the
+// serial DP at the same granularity.
+func (e *wsEngine) checkpoint() bool {
+	if e.stop.Load() {
+		return false
+	}
+	if !e.checks {
+		return true
+	}
+	if e.budget.MaxNodes > 0 {
+		if n := e.nodes.Add(1); n > e.budget.MaxNodes {
+			e.fail(fmt.Errorf("%w: %d nodes > budget %d", ErrBudgetExceeded, n, e.budget.MaxNodes))
+			return false
+		}
+	}
+	if e.ctx != nil {
+		select {
+		case <-e.ctx.Done():
+			e.fail(fmt.Errorf("%w: %v", ErrCanceled, e.ctx.Err()))
+			return false
+		default:
+		}
+	}
+	return true
+}
+
+// checkCells enforces the live-cell budget at allocation granularity.
+func (e *wsEngine) checkCells() bool {
+	if e.budget.MaxCells == 0 {
+		return true
+	}
+	if live := e.baseCells + uint64(e.live.Load()); live > e.budget.MaxCells {
+		e.fail(fmt.Errorf("%w: live cells %d > budget %d", ErrBudgetExceeded, live, e.budget.MaxCells))
+		return false
+	}
+	return true
+}
+
+// wsShardSize picks the shard granularity of a layer: with b explicit
+// shard bits, 2^b ranks; otherwise about an eighth of the layer per
+// worker, rounded up to the cache-line alignment so neighboring shards
+// never share a line of the per-rank arrays.
+func wsShardSize(count uint64, workers, shardBits int) uint64 {
+	var size uint64
+	if shardBits > 0 {
+		size = uint64(1) << uint(shardBits)
+	} else {
+		size = count / uint64(workers*8)
+		size = (size + wsShardAlign - 1) / wsShardAlign * wsShardAlign
+		if size < wsShardAlign {
+			size = wsShardAlign
+		}
+	}
+	if size > count {
+		size = count
+	}
+	if size == 0 {
+		size = 1
+	}
+	return size
+}
+
+// newWSEngine lays out every layer's result arrays, shard table and
+// watermarks. The layer-0 pseudo-layer wraps the caller-owned base
+// context and is born complete.
+func newWSEngine(ctx stdctx.Context, base *fsContext, rule Rule, workers int, shardBits int, pinned bool, budget Budget, tr obs.Tracer) *wsEngine {
+	n := base.n
+	rk := lattice.For(n)
+	e := &wsEngine{
+		n:         n,
+		rule:      rule,
+		base:      base,
+		baseCells: base.cells(),
+		rk:        rk,
+		pinned:    pinned,
+		tr:        tr,
+		ctx:       ctx,
+		budget:    budget,
+		checks:    ctx != nil || !budget.zero(),
+		layers:    make([]*wsLayer, n+1),
+		deques:    make([]wsDeque, workers),
+		workers:   make([]*wsWorker, workers),
+	}
+	for w := range e.workers {
+		e.workers[w] = &wsWorker{
+			ws:      acquireWorkspace(),
+			meter:   &Meter{},
+			predBuf: make([]uint64, n),
+		}
+	}
+
+	l0 := &wsLayer{
+		k:         0,
+		count:     1,
+		cells:     e.baseCells,
+		shardSize: 1,
+		nShards:   1,
+		tables:    [][]uint32{base.table},
+		costs:     []uint64{base.cost},
+		bases:     []uint32{base.nextID()},
+	}
+	l0.frontier.Store(1)
+	e.layers[0] = l0
+
+	for k := 1; k <= n; k++ {
+		count := rk.LayerSize(k)
+		size := wsShardSize(count, workers, shardBits)
+		nShards := int((count + size - 1) / size)
+		l := &wsLayer{
+			k:         k,
+			count:     count,
+			cells:     e.baseCells >> uint(k),
+			shardSize: size,
+			nShards:   nShards,
+			watermark: make([]uint64, nShards),
+			tables:    make([][]uint32, count),
+			costs:     make([]uint64, count),
+			bases:     make([]uint32, count),
+			parents:   make([]uint8, count),
+			done:      make([]atomic.Bool, nShards),
+		}
+		l.remaining.Store(int64(nShards))
+		for s := 0; s < nShards; s++ {
+			last := (uint64(s)+1)*size - 1
+			if last >= count {
+				last = count - 1
+			}
+			l.watermark[s] = rk.MaxPredRank(rk.Unrank(k, last)) + 1
+		}
+		e.layers[k] = l
+	}
+	e.spawnLo.Store(1)
+	return e
+}
+
+// claim scans the spawn window for eligible shards and pushes up to
+// wsClaimBatch of them onto worker w's deque. A layer-j shard is
+// eligible when (a) layer j−2 is complete — the three-layer liveness
+// window — and (b) the compacted prefix of layer j−1 covers the shard's
+// predecessor watermark. Watermarks are monotone within a layer, so
+// claiming through the spawned counter in rank order never skips an
+// eligible shard.
+const wsClaimBatch = 2
+
+func (e *wsEngine) claim(w int) bool {
+	claimed := 0
+	for j := int(e.spawnLo.Load()); j <= e.n && claimed < wsClaimBatch; j++ {
+		l := e.layers[j]
+		if lo := int64(j); l.spawned.Load() >= int64(l.nShards) {
+			// Fully claimed layers at the window floor advance it.
+			e.spawnLo.CompareAndSwap(lo, lo+1)
+			continue
+		}
+		if j >= 2 && !e.layers[j-2].complete() {
+			break // window closed; higher layers are closed a fortiori
+		}
+		prev := e.layers[j-1]
+		for claimed < wsClaimBatch {
+			s := l.spawned.Load()
+			if s >= int64(l.nShards) || prev.covered() < l.watermark[s] {
+				break
+			}
+			if !l.spawned.CompareAndSwap(s, s+1) {
+				continue
+			}
+			if s == 0 && e.tr != nil {
+				l.startNS.Store(time.Now().UnixNano())
+				e.tr.Emit(obs.Event{Kind: obs.KindLayerStart, K: j, Subsets: int(prev.count)})
+			}
+			e.deques[w].push(wsTask{layer: j, shard: int(s)})
+			claimed++
+		}
+	}
+	return claimed > 0
+}
+
+// trySteal takes the oldest task from another worker's deque.
+func (e *wsEngine) trySteal(w int) (wsTask, bool) {
+	for i := 1; i < len(e.deques); i++ {
+		victim := (w + i) % len(e.deques)
+		if t, ok := e.deques[victim].steal(); ok {
+			e.workers[w].steals++
+			return t, true
+		}
+	}
+	return wsTask{}, false
+}
+
+// finished reports pipeline completion: the last layer has no shards
+// outstanding.
+func (e *wsEngine) finished() bool { return e.layers[e.n].complete() }
+
+// run is one worker's scheduling loop: own deque first (LIFO), then
+// claiming newly eligible shards, then stealing (unless pinned), then
+// an idle backoff.
+func (e *wsEngine) run(w int) {
+	idle := 0
+	for { //lint:allow ctxcheckpoint the scheduling loop's first action every iteration is the stop-flag test, and runShard polls the engine checkpoint (ctx + budget) once per DP transition
+		if e.stop.Load() || e.finished() {
+			return
+		}
+		if t, ok := e.deques[w].pop(); ok {
+			e.runShard(w, t)
+			idle = 0
+			continue
+		}
+		if e.claim(w) {
+			continue
+		}
+		if !e.pinned {
+			if t, ok := e.trySteal(w); ok {
+				e.runShard(w, t)
+				idle = 0
+				continue
+			}
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(time.Duration(idle) * time.Microsecond)
+			if idle > 256 {
+				idle = 256
+			}
+		}
+	}
+}
+
+// runShard compacts every destination of one shard: for each dest, one
+// real compaction from the smallest-member predecessor plus a width-
+// counting pass per remaining predecessor (or, above the 16-bit label
+// ceiling, a full compaction per predecessor, serial-style).
+func (e *wsEngine) runShard(w int, t wsTask) {
+	wk := e.workers[w]
+	l := e.layers[t.layer]
+	prev := e.layers[t.layer-1]
+	j := t.layer
+	size := l.cells
+	lo := uint64(t.shard) * l.shardSize
+	hi := lo + l.shardSize
+	if hi > l.count {
+		hi = l.count
+	}
+	rel := e.rk.Unrank(j, lo)
+	preds := wk.predBuf[:j]
+	var layerOps uint64
+	aborted := false
+
+	for r := lo; r < hi; r++ {
+		e.rk.PredRanks(rel, preds)
+		var (
+			dst      []uint32
+			best     uint64
+			bestP    uint8
+			idCap    uint32
+			canCount bool
+		)
+		i := 0
+		for rest := uint64(rel); rest != 0; rest &= rest - 1 {
+			p := bits.TrailingZeros64(rest)
+			if !e.checkpoint() {
+				aborted = true
+				break
+			}
+			pr := preds[i]
+			prevTable := prev.tables[pr]
+			prevCost := prev.costs[pr]
+			// p is the (i+1)-th member of rel, so i smaller members of
+			// rel remain absorbed in the predecessor and p sits at free
+			// position p−i of the predecessor's table.
+			pos := uint(p - i)
+			switch {
+			case dst == nil:
+				id0 := prev.bases[pr]
+				dst = wk.ws.ar.GetU32(size)
+				e.gaugeAlloc(size)
+				if !e.checkCells() {
+					aborted = true
+					break
+				}
+				resetDedup(&wk.ws.dd, size, id0)
+				width := compactInto(dst, prevTable, pos, e.rule, id0, &wk.ws.dd)
+				wk.meter.addCells(size)
+				layerOps += size
+				best = prevCost + width
+				bestP = uint8(p)
+				idCap = id0 + uint32(width)
+				canCount = uint64(idCap) <= 1<<16
+			case canCount:
+				gen := wk.nextGen()
+				width := countWidth(prevTable, pos, e.rule, dst, wk.seen, gen)
+				wk.meter.addCells(size)
+				layerOps += size
+				if cand := prevCost + width; cand < best {
+					best, bestP = cand, uint8(p)
+				}
+			default:
+				// Wide mode (node IDs past 2^16): no direct-index label
+				// set, so cost this candidate with a full compaction and
+				// keep the cheaper table, exactly like the serial DP.
+				id0 := prev.bases[pr]
+				alt := wk.ws.ar.GetU32(size)
+				e.gaugeAlloc(size)
+				if !e.checkCells() {
+					wk.ws.ar.PutU32(alt)
+					e.gaugeFree(size)
+					aborted = true
+					break
+				}
+				resetDedup(&wk.ws.dd, size, id0)
+				width := compactInto(alt, prevTable, pos, e.rule, id0, &wk.ws.dd)
+				wk.meter.addCells(size)
+				layerOps += size
+				if cand := prevCost + width; cand < best {
+					wk.ws.ar.PutU32(dst)
+					e.gaugeFree(size)
+					dst, best, bestP = alt, cand, uint8(p)
+					idCap = id0 + uint32(width)
+				} else {
+					wk.ws.ar.PutU32(alt)
+					e.gaugeFree(size)
+				}
+			}
+			i++
+		}
+		if aborted {
+			if dst != nil {
+				wk.ws.ar.PutU32(dst)
+				e.gaugeFree(size)
+			}
+			break
+		}
+		l.tables[r] = dst
+		l.costs[r] = best
+		l.bases[r] = idCap
+		l.parents[r] = bestP
+		if r+1 < hi {
+			rel, _ = bitops.NextSubsetSameSize(rel, e.n)
+		}
+	}
+
+	l.ops.Add(layerOps)
+	wk.executed++
+	if aborted {
+		return // shard incomplete: frontier stalls, every worker drains
+	}
+	l.done[t.shard].Store(true)
+	for { //lint:allow ctxcheckpoint bounded frontier advance: each CAS success moves the frontier forward over at most nShards completed shards
+		f := l.frontier.Load()
+		if f >= int64(l.nShards) || !l.done[f].Load() {
+			break
+		}
+		l.frontier.CompareAndSwap(f, f+1)
+	}
+	if l.remaining.Add(-1) == 0 {
+		e.completeLayer(w, j)
+	}
+}
+
+// completeLayer runs once per layer, on the worker that finished its
+// last shard: it retires the now-unreadable previous layer (opening the
+// liveness window for layer j+2) and emits the layer-granular
+// observability the serial DP emits from its loop.
+func (e *wsEngine) completeLayer(w int, j int) {
+	l := e.layers[j]
+	if j > 1 {
+		prev := e.layers[j-1]
+		for r, tbl := range prev.tables {
+			if tbl != nil {
+				// Blocks migrate to the completer's arena; arenas are
+				// origin-agnostic by contract (see internal/core/arena).
+				e.workers[w].ws.ar.PutU32(tbl)
+				prev.tables[r] = nil
+			}
+		}
+		e.gaugeFree(prev.count * prev.cells)
+	}
+	ops := l.ops.Load()
+	obs.Metrics.CellOps.Add(ops)
+	obs.Metrics.Compactions.Add(uint64(j) * l.count)
+	if e.tr != nil {
+		ev := obs.Event{
+			Kind:    obs.KindLayerEnd,
+			K:       j,
+			Subsets: int(l.count),
+			CellOps: ops,
+			Elapsed: time.Duration(time.Now().UnixNano() - l.startNS.Load()),
+		}
+		ev.LiveCells = e.baseCells + uint64(e.live.Load())
+		ev.PeakCells = e.baseCells + uint64(e.peak.Load())
+		e.tr.Emit(ev)
+	}
+}
+
+// countWidth returns the width of one DP candidate without building its
+// table: the number of distinct labels among the cells of the (already
+// built) destination table whose predecessor child pair creates a node
+// under the rule. src is the candidate predecessor's table, pos the
+// absorbed variable's free position in it, labels the built destination
+// table, and seen/gen the caller's generation-stamped scratch (labels
+// are < len(seen) by the caller's eligibility test). Chunks whose eight
+// lanes all skip are skipped wholesale, mirroring compactInto's
+// word-parallel fast path.
+func countWidth(src []uint32, pos uint, rule Rule, labels []uint32, seen []uint32, gen uint32) (width uint64) {
+	half := uint64(1) << pos
+	stride := half * 2
+	di := uint64(0)
+	switch rule {
+	case OBDD:
+		for base := uint64(0); base < uint64(len(src)); base += stride {
+			u0s := src[base : base+half : base+half]
+			u1s := src[base+half : base+stride : base+stride]
+			j := uint64(0)
+			for ; j+8 <= half; j += 8 {
+				if (u0s[j]^u1s[j])|(u0s[j+1]^u1s[j+1])|
+					(u0s[j+2]^u1s[j+2])|(u0s[j+3]^u1s[j+3])|
+					(u0s[j+4]^u1s[j+4])|(u0s[j+5]^u1s[j+5])|
+					(u0s[j+6]^u1s[j+6])|(u0s[j+7]^u1s[j+7]) == 0 {
+					di += 8
+					continue
+				}
+				for l := j; l < j+8; l++ {
+					if u0s[l] != u1s[l] {
+						if lb := labels[di]; seen[lb] != gen {
+							seen[lb] = gen
+							width++
+						}
+					}
+					di++
+				}
+			}
+			for ; j < half; j++ {
+				if u0s[j] != u1s[j] {
+					if lb := labels[di]; seen[lb] != gen {
+						seen[lb] = gen
+						width++
+					}
+				}
+				di++
+			}
+		}
+	case ZDD:
+		for base := uint64(0); base < uint64(len(src)); base += stride {
+			u1s := src[base+half : base+stride : base+stride]
+			j := uint64(0)
+			for ; j+8 <= half; j += 8 {
+				if u1s[j]|u1s[j+1]|u1s[j+2]|u1s[j+3]|
+					u1s[j+4]|u1s[j+5]|u1s[j+6]|u1s[j+7] == 0 {
+					di += 8
+					continue
+				}
+				for l := j; l < j+8; l++ {
+					if u1s[l] != 0 {
+						if lb := labels[di]; seen[lb] != gen {
+							seen[lb] = gen
+							width++
+						}
+					}
+					di++
+				}
+			}
+			for ; j < half; j++ {
+				if u1s[j] != 0 {
+					if lb := labels[di]; seen[lb] != gen {
+						seen[lb] = gen
+						width++
+					}
+				}
+				di++
+			}
+		}
+	default:
+		panic("core: unknown rule") //lint:allow nopanic internal invariant: Rule enum is exhaustive; a new rule must extend this switch
+	}
+	return width
+}
+
+// releaseAll frees every engine-owned table still live (abort path, or
+// the normal path after the final table is consumed) and returns the
+// workers' workspaces to the pool.
+func (e *wsEngine) releaseAll() {
+	ar := e.workers[0].ws.ar
+	for j := 1; j <= e.n; j++ {
+		l := e.layers[j]
+		for r, tbl := range l.tables {
+			if tbl != nil {
+				ar.PutU32(tbl)
+				l.tables[r] = nil
+				e.gaugeFree(l.cells)
+			}
+		}
+	}
+	for _, wk := range e.workers {
+		wk.ws.release()
+		wk.ws = nil
+	}
+}
+
+// OptimalOrderingParallel runs the Friedman–Supowit dynamic program on
+// the work-stealing layer pipeline above: popcount layers are sharded
+// over opts.Workers goroutines (0 selects GOMAXPROCS) with deque-based
+// work stealing, and workers flow into the next layer as soon as its
+// predecessor watermark is covered instead of waiting at a layer
+// barrier. Results — cost, ordering, tie-breaking, profile — are
+// bit-identical to OptimalOrderingCtx at every worker count and shard
+// size; CellOps/Compactions metering is identical too, while
+// LiveCells/PeakCells reflect the pipeline's three-layer window
+// (against the serial rolling two, see DESIGN.md).
+//
+// Cancellation and budget exhaustion are polled per DP transition; on
+// an early stop every worker drains, every engine-owned table is
+// released — an attached Meter ends with the caller-visible LiveCells
+// it started with — and ErrCanceled / ErrBudgetExceeded is returned
+// with a nil Result (the DP holds no incumbent before it completes).
+//
+// opts.ShardBits overrides the shard granularity (2^b ranks per shard)
+// for scheduling experiments; opts.Pinned disables stealing so each
+// worker runs only shards it claimed itself.
+func OptimalOrderingParallel(ctx stdctx.Context, tt *truthtable.Table, opts *SolveOptions) (*Result, error) {
+	rule, tr, budget := opts.rule(), opts.trace(), opts.budget()
+	m := meterFor(opts.meter(), budget)
+	workers := opts.workers()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := tt.NumVars()
+	// Tiny inputs fall back to the serial DP (bit-identical by
+	// construction). Larger ones run the pipeline even at one worker:
+	// the width-counting kernel does real work only for one of each
+	// destination's k candidates, which beats the serial all-build DP by
+	// a wide margin regardless of parallelism.
+	if n <= 2 {
+		return OptimalOrderingCtx(ctx, tt, &SolveOptions{Rule: rule, Meter: m, Trace: tr, Budget: budget})
+	}
+	obs.Metrics.RunsStarted.Inc()
+	obs.Metrics.WorkerSpawns.Add(uint64(workers))
+
+	base := baseContext(tt)
+	m.alloc(base.cells())
+	e := newWSEngine(ctx, base, rule, workers, opts.shardBits(), opts.pinnedSchedule(), budget, tr)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.run(w)
+		}(w)
+	}
+	wg.Wait()
+
+	// All workers have joined: merge the per-worker lane meters (the
+	// portfolio idiom) and fold the engine's cell gauge into the
+	// caller's meter at run granularity.
+	var shards, steals uint64
+	for _, wk := range e.workers {
+		lm := wk.meter
+		if m != nil {
+			m.CellOps += lm.CellOps
+			m.Compactions += lm.Compactions
+			m.Evaluations += lm.Evaluations
+		}
+		shards += wk.executed
+		steals += wk.steals
+		obs.Hist(obs.HistNameShardOccupancy).Record(wk.executed)
+	}
+	obs.Metrics.ShardsExecuted.Add(shards)
+	obs.Metrics.ShardSteals.Add(steals)
+	obs.Hist(obs.HistNameRunSteals).Record(steals)
+	peak := uint64(e.peak.Load())
+	if err := e.failErr(); err != nil {
+		e.releaseAll()
+		m.alloc(peak)
+		m.free(peak)
+		m.free(base.cells())
+		return nil, err
+	}
+
+	final := uint64(e.live.Load())
+	m.alloc(peak)
+	m.free(peak - final)
+
+	minCost := e.layers[n].costs[0]
+	order := make(truthtable.Ordering, n)
+	rel := bitops.FullMask(n)
+	for j := n; j >= 1; j-- {
+		p := int(e.layers[j].parents[e.rk.Rank(rel)])
+		order[j-1] = p
+		rel = rel.Without(p)
+	}
+	e.releaseAll()
+	m.free(final)
+	m.free(base.cells())
+	res := finishResult(tt, nil, order, minCost, rule, m)
+	finishMetrics(m)
+	return res, nil
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	stdctx "context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"obddopt/internal/obs"
+	"obddopt/internal/truthtable"
+)
+
+// TestWSDequeSemantics pins the deque discipline the scheduler relies
+// on: the owner pops LIFO at the back, thieves steal FIFO at the front,
+// and both report emptiness instead of blocking.
+func TestWSDequeSemantics(t *testing.T) {
+	var d wsDeque
+	for s := 0; s < 3; s++ {
+		d.push(wsTask{layer: 1, shard: s})
+	}
+	if got, ok := d.steal(); !ok || got.shard != 0 {
+		t.Fatalf("steal = %+v, %v; want shard 0 (FIFO front)", got, ok)
+	}
+	if got, ok := d.pop(); !ok || got.shard != 2 {
+		t.Fatalf("pop = %+v, %v; want shard 2 (LIFO back)", got, ok)
+	}
+	if got, ok := d.pop(); !ok || got.shard != 1 {
+		t.Fatalf("pop = %+v, %v; want shard 1", got, ok)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop on empty deque reported a task")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal on empty deque reported a task")
+	}
+}
+
+// TestWSEngineStealPath drives the run loop's steal branch
+// deterministically: with one shard per layer, worker 1 claims the only
+// eligible shard, then worker 0's scheduling loop — own deque empty,
+// nothing left to claim — must steal it and carry the whole pipeline to
+// completion single-handedly. The final layer's cost must still match
+// the serial dynamic program.
+func TestWSEngineStealPath(t *testing.T) {
+	f := truthtable.Random(6, rand.New(rand.NewSource(221)))
+	serial := OptimalOrdering(f, nil)
+
+	base := baseContext(f)
+	e := newWSEngine(nil, base, OBDD, 2, 30, false, Budget{}, nil)
+	if !e.claim(1) {
+		t.Fatal("claim(1) found no eligible shard")
+	}
+	if _, ok := e.deques[0].pop(); ok {
+		t.Fatal("worker 0's deque should start empty")
+	}
+	e.run(0)
+	if err := e.failErr(); err != nil {
+		t.Fatalf("engine failed: %v", err)
+	}
+	if !e.finished() {
+		t.Fatal("pipeline did not finish")
+	}
+	if e.workers[0].steals == 0 {
+		t.Fatal("worker 0 completed the pipeline without stealing the claimed shard")
+	}
+	if got := e.layers[e.n].costs[0]; got != serial.MinCost {
+		t.Fatalf("final-layer cost %d != serial %d", got, serial.MinCost)
+	}
+	e.releaseAll()
+}
+
+// TestWSWorkerGenWraparound checks the width-counting scratch's stamp
+// discipline: the first use allocates the label set lazily, and a
+// generation wraparound clears it instead of aliasing stale stamps.
+func TestWSWorkerGenWraparound(t *testing.T) {
+	wk := &wsWorker{}
+	if g := wk.nextGen(); g != 1 {
+		t.Fatalf("first nextGen = %d, want 1", g)
+	}
+	if len(wk.seen) != 1<<16 {
+		t.Fatalf("seen len = %d, want %d", len(wk.seen), 1<<16)
+	}
+	wk.seen[7] = wk.gen
+	wk.gen = ^uint32(0)
+	if g := wk.nextGen(); g != 1 {
+		t.Fatalf("nextGen after wrap = %d, want 1", g)
+	}
+	if wk.seen[7] != 0 {
+		t.Fatal("wraparound did not clear stale stamps")
+	}
+}
+
+// TestParallelCellBudget covers the live-cell budget at allocation
+// granularity: a cap below base+first-table trips ErrBudgetExceeded
+// with the drain contract, while a generous cap completes bit-identical
+// to the serial DP through the same checked path.
+func TestParallelCellBudget(t *testing.T) {
+	f := truthtable.Random(10, rand.New(rand.NewSource(222)))
+	m := &Meter{}
+	res, err := OptimalOrderingParallel(nil, f, &SolveOptions{
+		Workers: 2,
+		Meter:   m,
+		Budget:  Budget{MaxCells: 1100}, // base 1024 + first 512-cell table exceeds this
+	})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res != nil {
+		t.Fatalf("res = %+v, want nil", res)
+	}
+	if m.LiveCells != 0 {
+		t.Errorf("LiveCells = %d after budget stop, want 0", m.LiveCells)
+	}
+
+	g := truthtable.Random(7, rand.New(rand.NewSource(223)))
+	serial := OptimalOrdering(g, nil)
+	ok := mustResult(OptimalOrderingParallel(nil, g, &SolveOptions{
+		Workers: 2,
+		Budget:  Budget{MaxCells: 1 << 20},
+	}))
+	if ok.MinCost != serial.MinCost {
+		t.Fatalf("budgeted run cost %d != serial %d", ok.MinCost, serial.MinCost)
+	}
+}
+
+type tracerStub struct{ events int }
+
+func (s *tracerStub) Emit(obs.Event) { s.events++ }
+
+// TestSolveOptionHelpers covers the functional-option constructors the
+// facade translates into; each must set exactly its field.
+func TestSolveOptionHelpers(t *testing.T) {
+	m := &Meter{}
+	tr := &tracerStub{}
+	seeder := Seeder(func(_ stdctx.Context, _ *truthtable.Table, _ Rule, _ obs.Tracer) (truthtable.Ordering, uint64, bool) {
+		return nil, 0, false
+	})
+	o := NewSolveOptions(
+		WithRule(ZDD),
+		WithMeter(m),
+		WithTrace(tr),
+		WithBudget(Budget{MaxCells: 5, MaxNodes: 9}),
+		WithWorkers(3),
+		WithSeeder(seeder),
+	)
+	if o.Rule != ZDD {
+		t.Errorf("Rule = %v, want ZDD", o.Rule)
+	}
+	if o.Meter != m {
+		t.Error("Meter not set")
+	}
+	if o.Trace != obs.Tracer(tr) {
+		t.Error("Trace not set")
+	}
+	if o.Budget != (Budget{MaxCells: 5, MaxNodes: 9}) {
+		t.Errorf("Budget = %+v", o.Budget)
+	}
+	if o.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", o.Workers)
+	}
+	if o.Seeder == nil {
+		t.Error("Seeder not set")
+	}
+}

@@ -82,6 +82,11 @@ var Metrics struct {
 	Evaluations Counter
 	// WorkerSpawns counts goroutines launched by the parallel solver.
 	WorkerSpawns Counter
+	// ShardsExecuted counts lattice shards processed by the work-stealing
+	// DP scheduler; ShardSteals the subset of those a worker took from
+	// another worker's deque rather than its own.
+	ShardsExecuted Counter
+	ShardSteals    Counter
 	// PeakCells is the largest metered live-cell count ever observed —
 	// Remark 1's space quantity, process-wide.
 	PeakCells MaxGauge
@@ -115,6 +120,8 @@ func init() {
 	m.Set("compactions", &Metrics.Compactions)
 	m.Set("evaluations", &Metrics.Evaluations)
 	m.Set("worker_spawns", &Metrics.WorkerSpawns)
+	m.Set("shards_executed", &Metrics.ShardsExecuted)
+	m.Set("shard_steals", &Metrics.ShardSteals)
 	m.Set("peak_cells", &Metrics.PeakCells)
 	m.Set("cache_hits", &Metrics.CacheHits)
 	m.Set("cache_misses", &Metrics.CacheMisses)
@@ -147,6 +154,8 @@ func MetricsSnapshot() map[string]uint64 {
 		"compactions":       Metrics.Compactions.Value(),
 		"evaluations":       Metrics.Evaluations.Value(),
 		"worker_spawns":     Metrics.WorkerSpawns.Value(),
+		"shards_executed":   Metrics.ShardsExecuted.Value(),
+		"shard_steals":      Metrics.ShardSteals.Value(),
 		"peak_cells":        Metrics.PeakCells.Value(),
 		"cache_hits":        Metrics.CacheHits.Value(),
 		"cache_misses":      Metrics.CacheMisses.Value(),

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"obddopt/internal/core"
@@ -26,6 +27,21 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// feats is the server's advertised feature set, captured from the
+	// latest Solvers call (Dial always makes one). Optional request
+	// fields are sent only when the matching feature is present, so old
+	// servers — which reject unknown fields — keep working unchanged.
+	featMu sync.Mutex
+	feats  map[string]bool
+}
+
+// hasFeature reports whether the server advertised the named wire
+// feature.
+func (c *Client) hasFeature(name string) bool {
+	c.featMu.Lock()
+	defer c.featMu.Unlock()
+	return c.feats[name]
 }
 
 // Params configures one remote solve; the zero value requests the
@@ -44,6 +60,14 @@ type Params struct {
 	Workers int
 	// NoCache bypasses the server's canonical result cache.
 	NoCache bool
+	// Coschedule marks SolveBatch items as co-scheduling candidates: the
+	// server may solve overlapping items of the batch as one shared
+	// forest, returning each item's cost under the group's jointly
+	// optimal ordering (see SolveHints.Coschedule). Best-effort: the
+	// hint is sent only when the server advertises the "batch-hints"
+	// feature, and the server's decision comes back in
+	// BatchResult.Scheduling. Ignored by Solve.
+	Coschedule bool
 	// Report requests the per-run obs.RunReport (retrievable via
 	// SolveReport).
 	Report bool
@@ -104,6 +128,12 @@ func (c *Client) Solvers(ctx context.Context) (*SolversResponse, error) {
 	if err := c.do(req, &out); err != nil {
 		return nil, err
 	}
+	c.featMu.Lock()
+	c.feats = make(map[string]bool, len(out.Features))
+	for _, f := range out.Features {
+		c.feats[f] = true
+	}
+	c.featMu.Unlock()
 	return &out, nil
 }
 
@@ -137,6 +167,10 @@ func (c *Client) SolveReport(ctx context.Context, tt *truthtable.Table, p *Param
 type BatchResult struct {
 	Result *core.Result
 	Err    error
+	// Scheduling echoes the server's co-scheduling decision for this
+	// item; nil when the request carried no hints (Params.Coschedule
+	// unset, or the server predates the batch-hints feature).
+	Scheduling *SchedulingEcho
 }
 
 // SolveBatch solves several tables in one request. The batch occupies
@@ -148,11 +182,15 @@ func (c *Client) SolveBatch(ctx context.Context, tts []*truthtable.Table, p *Par
 		return nil, fmt.Errorf("%w: empty batch", core.ErrInvalidInput)
 	}
 	breq := BatchRequest{Requests: make([]SolveRequest, len(tts))}
+	sendHints := p != nil && p.Coschedule && c.hasFeature(FeatureBatchHints)
 	for i, tt := range tts {
 		if tt == nil {
 			return nil, fmt.Errorf("%w: nil truth table at index %d", core.ErrInvalidInput, i)
 		}
 		breq.Requests[i] = *toWire(tt, p)
+		if sendHints {
+			breq.Requests[i].Hints = &SolveHints{Coschedule: true}
+		}
 	}
 	body, err := json.Marshal(&breq)
 	if err != nil {
@@ -175,7 +213,11 @@ func (c *Client) SolveBatch(ctx context.Context, tts []*truthtable.Table, p *Par
 	}
 	results := make([]BatchResult, len(out.Responses))
 	for i := range out.Responses {
-		results[i] = BatchResult{Result: out.Responses[i].Result, Err: wireToError(out.Responses[i].Error)}
+		results[i] = BatchResult{
+			Result:     out.Responses[i].Result,
+			Err:        wireToError(out.Responses[i].Error),
+			Scheduling: out.Responses[i].Scheduling,
+		}
 	}
 	return results, nil
 }

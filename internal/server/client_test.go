@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -250,5 +251,105 @@ func TestClientContextCancel(t *testing.T) {
 	}
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestBatchCoschedule drives the batch co-scheduling hint end to end:
+// overlapping opted-in items solve as one shared forest (one solver
+// invocation for the pair), the planner's decision is echoed per item,
+// and the co-scheduled costs are never mistaken for canonical optima.
+func TestBatchCoschedule(t *testing.T) {
+	s, c := newTestClient(t, Config{})
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(91))
+
+	// a and b agree on the top half of their cells — same digest prefix,
+	// high overlap — while d has a different variable count and can
+	// never join their group.
+	a := truthtable.Random(7, rng)
+	b := a.Clone()
+	for _, idx := range []uint64{3, 17, 41, 60} {
+		b.Set(idx, !b.Bit(idx))
+	}
+	d := truthtable.Random(6, rng)
+
+	results, err := c.SolveBatch(ctx, []*truthtable.Table{a, b, d}, &Params{Coschedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r := results[i]
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Scheduling == nil || !r.Scheduling.Coscheduled || r.Scheduling.GroupSize != 2 {
+			t.Fatalf("item %d scheduling = %+v, want coscheduled group of 2", i, r.Scheduling)
+		}
+	}
+	if results[0].Scheduling.Group != results[1].Scheduling.Group {
+		t.Errorf("group labels differ: %q vs %q", results[0].Scheduling.Group, results[1].Scheduling.Group)
+	}
+	if results[2].Scheduling == nil || results[2].Scheduling.Coscheduled {
+		t.Errorf("item 2 scheduling = %+v, want declined echo", results[2].Scheduling)
+	}
+	// One shared run for {a, b} plus one solo run for d.
+	if got := s.SolveCount(); got != 2 {
+		t.Errorf("solver ran %d times, want 2", got)
+	}
+	// Group members share the jointly optimal ordering, and each item's
+	// cost under it can only be at or above the item's own optimum.
+	for i := range results[0].Result.Ordering {
+		if results[0].Result.Ordering[i] != results[1].Result.Ordering[i] {
+			t.Fatalf("group orderings differ: %v vs %v", results[0].Result.Ordering, results[1].Result.Ordering)
+		}
+	}
+	opt := core.OptimalOrdering(a, nil)
+	if results[0].Result.MinCost < opt.MinCost {
+		t.Errorf("co-scheduled cost %d below the true optimum %d", results[0].Result.MinCost, opt.MinCost)
+	}
+	// Co-scheduled results must not have been cached as canonical: a
+	// direct solve of a still runs the solver and returns the optimum.
+	res, err := c.Solve(ctx, a, &Params{Solver: "fs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SolveCount(); got != 3 {
+		t.Errorf("direct solve after co-scheduling hit a cache (solves = %d, want 3)", got)
+	}
+	if res.MinCost != opt.MinCost {
+		t.Errorf("direct solve cost %d != optimum %d", res.MinCost, opt.MinCost)
+	}
+}
+
+// TestBatchHintsNegotiation pins the compatibility contract: against a
+// server that does not advertise the batch-hints feature, the client
+// omits the hints field entirely — old servers reject unknown fields,
+// so the hint must never reach one.
+func TestBatchHintsNegotiation(t *testing.T) {
+	var batchBody string
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, &SolversResponse{Solvers: []string{"fs"}, Rules: []string{"obdd"}, MaxVars: 30})
+	})
+	mux.HandleFunc("POST /v1/solve/batch", func(w http.ResponseWriter, r *http.Request) {
+		data, _ := io.ReadAll(r.Body)
+		batchBody = string(data)
+		writeJSON(w, http.StatusOK, &BatchResponse{Responses: make([]SolveResponse, 1)})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c, err := Dial(context.Background(), ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := truthtable.Random(5, rand.New(rand.NewSource(7)))
+	if _, err := c.SolveBatch(context.Background(), []*truthtable.Table{tt}, &Params{Coschedule: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(batchBody, "hints") {
+		t.Errorf("hints sent to a server that never advertised them: %s", batchBody)
+	}
+	if c.hasFeature(FeatureBatchHints) {
+		t.Error("client believes an old server supports batch-hints")
 	}
 }

@@ -256,9 +256,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		sp.Event("admitted")
 	}
 	out := BatchResponse{Responses: make([]SolveResponse, len(req.Requests))}
+	// Co-scheduling pass first: opted-in overlapping items solve as one
+	// shared forest each; everything else (and every item whose group
+	// never formed) takes the independent path below.
+	done := s.runCoscheduled(ctx, &req, &out)
 	for i := range req.Requests {
+		if done[i] {
+			out.Responses[i].RequestID = sp.ID()
+			continue
+		}
 		resp, _ := s.solveOne(ctx, &req.Requests[i])
 		resp.RequestID = sp.ID()
+		if req.Requests[i].Hints != nil {
+			// The item sent hints but was not co-scheduled; echo the
+			// decision so the client can tell "declined" from "ignored".
+			resp.Scheduling = &SchedulingEcho{}
+		}
 		out.Responses[i] = *resp
 	}
 	s.logAccess("/v1/solve/batch", sp, http.StatusOK, nil)
@@ -426,6 +439,7 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 		MaxDeadlineMS: s.cfg.MaxDeadline.Milliseconds(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.cfg.QueueDepth,
+		Features:      []string{FeatureBatchHints},
 	}
 	writeJSON(w, http.StatusOK, &resp)
 }

@@ -47,6 +47,38 @@ type SolveRequest struct {
 	NoCache bool `json:"no_cache,omitempty"`
 	// Report requests the per-run obs.RunReport in the response.
 	Report bool `json:"report,omitempty"`
+	// Hints carries optional scheduling hints. Servers that predate the
+	// "batch-hints" feature reject unknown fields, so clients send it
+	// only after seeing the feature in GET /v1/solvers.
+	Hints *SolveHints `json:"hints,omitempty"`
+}
+
+// SolveHints are best-effort scheduling hints; the server is free to
+// ignore them, and the decision it took is echoed in
+// SolveResponse.Scheduling.
+type SolveHints struct {
+	// Coschedule marks a batch item as a co-scheduling candidate: the
+	// batch planner may group it with other opted-in items of the same
+	// variable count and rule whose tables overlap, and solve the group
+	// as one shared forest under a single worker slot. A co-scheduled
+	// item's result carries the cost of the item's diagram under the
+	// group's jointly optimal ordering — optimal for the shared forest,
+	// not necessarily for the item alone — so such results are never
+	// cached as canonical optima. Ignored outside /v1/solve/batch.
+	Coschedule bool `json:"coschedule,omitempty"`
+}
+
+// SchedulingEcho reports the batch planner's decision for one item; it
+// is present exactly when the request carried hints.
+type SchedulingEcho struct {
+	// Coscheduled reports whether the item was solved as part of a
+	// shared-forest group.
+	Coscheduled bool `json:"coscheduled"`
+	// Group identifies the co-scheduling group (variable count, rule and
+	// canonical-digest prefix); empty when Coscheduled is false.
+	Group string `json:"group,omitempty"`
+	// GroupSize is the number of batch items solved together.
+	GroupSize int `json:"group_size,omitempty"`
 }
 
 // WireError is the service error envelope. Code is stable and machine-
@@ -96,6 +128,9 @@ type SolveResponse struct {
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
 	Error     *WireError `json:"error,omitempty"`
+	// Scheduling echoes the batch planner's decision when the request
+	// carried hints; nil otherwise.
+	Scheduling *SchedulingEcho `json:"scheduling,omitempty"`
 
 	// Access-log bookkeeping, filled by solveOne and never serialized:
 	// time spent waiting for a worker slot, solver run time, and the
@@ -127,7 +162,16 @@ type SolversResponse struct {
 	// Workers and QueueDepth describe the admission configuration.
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
+	// Features lists optional wire-protocol capabilities this server
+	// understands (see the Feature* constants). Clients gate optional
+	// request fields on the advertised set, so old servers — whose
+	// strict decoder rejects unknown fields — never see them.
+	Features []string `json:"features,omitempty"`
 }
+
+// FeatureBatchHints advertises that SolveRequest.Hints is understood and
+// the batch planner may co-schedule opted-in items.
+const FeatureBatchHints = "batch-hints"
 
 // errorToWire maps an engine or admission error onto its wire envelope.
 func errorToWire(err error) *WireError {

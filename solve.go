@@ -89,8 +89,45 @@ func WithMeter(m *Meter) Option {
 	return func(c *solveConfig) { c.opts.Meter = m }
 }
 
+// Schedule configures the work-stealing scheduler behind the parallel
+// solver paths: worker count, shard granularity, and whether stealing is
+// enabled. The zero value is the automatic default (GOMAXPROCS workers,
+// auto-sized shards, stealing on).
+type Schedule struct {
+	// Workers is the goroutine count of the parallel dynamic program and
+	// the shared-forest worker pool; 0 selects GOMAXPROCS.
+	Workers int
+	// ShardBits overrides the shard granularity of the work-stealing DP:
+	// when positive, each popcount layer is split into shards of
+	// 2^ShardBits lattice ranks. 0 sizes shards automatically from the
+	// layer size and worker count. Scheduling-experiment knob; the
+	// default is right for production use.
+	ShardBits int
+	// Pinned disables work stealing: each worker runs only shards it
+	// claimed itself. Throughput is generally worse than the stealing
+	// default; useful for isolating scheduling effects.
+	Pinned bool
+}
+
+// WithSchedule configures the parallel scheduler: worker count, shard
+// granularity, and stealing. It applies to the "parallel" solver, to the
+// portfolio's DP lane, and to SolveShared's worker pool (which uses the
+// schedule's Workers; shard granularity and pinning only affect the
+// work-stealing single-function engine).
+func WithSchedule(s Schedule) Option {
+	return func(c *solveConfig) {
+		c.opts.Workers = s.Workers
+		c.opts.ShardBits = s.ShardBits
+		c.opts.Pinned = s.Pinned
+	}
+}
+
 // WithWorkers sets the goroutine count of the parallel lanes; 0 (the
 // default) selects GOMAXPROCS.
+//
+// Deprecated: Use WithSchedule(Schedule{Workers: n}), which also exposes
+// shard granularity and pinning. WithWorkers remains as a shim and sets
+// only the worker count.
 func WithWorkers(n int) Option {
 	return func(c *solveConfig) { c.opts.Workers = n }
 }
@@ -165,13 +202,14 @@ func Solve(ctx context.Context, tt *Table, opts ...Option) (*Result, error) {
 //
 // Only the Friedman–Supowit dynamic program solves the shared problem,
 // so SolveShared accepts a subset of Solve's options: WithRule,
-// WithDeadline, WithBudget, WithMeter and WithTrace, plus
-// WithSolver("fs") as an explicit no-op. Any other WithSolver name and
-// any WithWorkers value return ErrInvalidInput — an option that cannot
-// take effect is rejected, never silently ignored. The early-stop
-// contract matches Solve's, except the dynamic program carries no
-// incumbent, so an early stop always returns a nil result with the
-// error.
+// WithDeadline, WithBudget, WithMeter, WithTrace and WithSchedule /
+// WithWorkers (a schedule with more than one worker fans each DP layer
+// out over a worker pool, bit-identical to the serial path), plus
+// WithSolver("fs") as an explicit no-op. Any other WithSolver name
+// returns ErrInvalidInput — an option that cannot take effect is
+// rejected, never silently ignored. The early-stop contract matches
+// Solve's, except the dynamic program carries no incumbent, so an early
+// stop always returns a nil result with the error.
 func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResult, error) {
 	var cfg solveConfig
 	for _, o := range opts {
@@ -180,10 +218,6 @@ func SolveShared(ctx context.Context, tts []*Table, opts ...Option) (*SharedResu
 	if cfg.solver != "" && cfg.solver != "fs" {
 		return nil, fmt.Errorf("%w: SolveShared supports only the dynamic program; WithSolver(%q) cannot take effect (omit the option or pass \"fs\")",
 			ErrInvalidInput, cfg.solver)
-	}
-	if cfg.opts.Workers != 0 {
-		return nil, fmt.Errorf("%w: SolveShared has no parallel lanes; WithWorkers(%d) cannot take effect",
-			ErrInvalidInput, cfg.opts.Workers)
 	}
 	if len(tts) == 0 {
 		return nil, fmt.Errorf("%w: no truth tables", ErrInvalidInput)

@@ -93,8 +93,9 @@ func TestSolveSharedOptionValidation(t *testing.T) {
 		{"portfolio rejected", []Option{WithSolver("portfolio")}, true},
 		{"bnb rejected", []Option{WithSolver("bnb")}, true},
 		{"unknown solver rejected", []Option{WithSolver("no-such")}, true},
-		{"workers rejected", []Option{WithWorkers(4)}, true},
-		{"workers with fs rejected", []Option{WithSolver("fs"), WithWorkers(2)}, true},
+		{"workers accepted", []Option{WithWorkers(4)}, false},
+		{"workers with fs accepted", []Option{WithSolver("fs"), WithWorkers(2)}, false},
+		{"schedule accepted", []Option{WithSchedule(Schedule{Workers: 2})}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -115,6 +116,56 @@ func TestSolveSharedOptionValidation(t *testing.T) {
 				t.Fatalf("res = %+v", res)
 			}
 		})
+	}
+}
+
+// TestWithScheduleFacade drives the Schedule API end to end through the
+// facade: a scheduled parallel solve, the deprecated WithWorkers shim,
+// and a scheduled shared solve all return results bit-identical to their
+// default-configured counterparts.
+func TestWithScheduleFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	tt := RandomTable(7, rng)
+	want, err := Solve(context.Background(), tt, WithSolver("fs"))
+	if err != nil {
+		t.Fatalf("serial reference: %v", err)
+	}
+	for name, opts := range map[string][]Option{
+		"schedule": {WithSolver("parallel"), WithSchedule(Schedule{Workers: 3, ShardBits: 2, Pinned: true})},
+		"shim":     {WithSolver("parallel"), WithWorkers(2)},
+	} {
+		got, err := Solve(context.Background(), tt, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.MinCost != want.MinCost {
+			t.Errorf("%s: MinCost %d != serial %d", name, got.MinCost, want.MinCost)
+		}
+		for i := range want.Ordering {
+			if got.Ordering[i] != want.Ordering[i] {
+				t.Errorf("%s: ordering %v != serial %v", name, got.Ordering, want.Ordering)
+				break
+			}
+		}
+	}
+
+	roots := []*Table{RandomTable(5, rng), RandomTable(5, rng), RandomTable(5, rng)}
+	sharedWant, err := SolveShared(context.Background(), roots)
+	if err != nil {
+		t.Fatalf("shared reference: %v", err)
+	}
+	sharedGot, err := SolveShared(context.Background(), roots, WithSchedule(Schedule{Workers: 4}))
+	if err != nil {
+		t.Fatalf("scheduled shared: %v", err)
+	}
+	if sharedGot.MinCost != sharedWant.MinCost {
+		t.Errorf("scheduled shared MinCost %d != serial %d", sharedGot.MinCost, sharedWant.MinCost)
+	}
+	for i := range sharedWant.Ordering {
+		if sharedGot.Ordering[i] != sharedWant.Ordering[i] {
+			t.Errorf("scheduled shared ordering %v != serial %v", sharedGot.Ordering, sharedWant.Ordering)
+			break
+		}
 	}
 }
 
