@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint lint-fixtures test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo steal-demo verify cover cover-gate trajectory trajectory-check clean
+.PHONY: all build lint lint-fixtures test test-short race bench experiments examples fuzz fuzz-smoke trace-demo portfolio-demo serve-demo steal-demo artifact-demo verify cover cover-gate trajectory trajectory-check clean
 
 all: build lint test
 
@@ -101,6 +101,15 @@ steal-demo:
 		-expr '(x1^x2^x3^x4^x5^x6) | x7&x8&x9 | x10&x11 | x12&x13' \
 		-solver parallel -workers 8 -shard-bits 1 -json
 
+# Artifact demo: solve the Achilles-heel 8-variable instance, emit the
+# compressed OBDD artifact, and independently re-verify it against the
+# original function (bddverify replays the pinned golden digests too).
+artifact-demo:
+	$(GO) run ./cmd/optobdd \
+		-expr 'x1&x2 | x3&x4 | x5&x6 | x7&x8' \
+		-emit-bdd /tmp/achilles8.obdd
+	$(GO) run ./cmd/bddverify -chaos 0
+
 # Serving demo: an in-process obddd exercises the whole admission story
 # under the race detector — cold solve, cached re-solve (single-flight),
 # 429s under a 32-request burst against a 2-worker pool, graceful drain.
@@ -114,6 +123,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/pla/
 	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 30s ./internal/truthtable/
 	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzArtifactRoundTrip -fuzztime 30s ./internal/artifact/
 	$(GO) test -fuzz FuzzSolveFacade -fuzztime 30s .
 
 # CI-sized fuzz pass: long enough to exercise the mutators, short enough
@@ -121,6 +131,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzTruthTableNew -fuzztime 10s ./internal/truthtable/
 	$(GO) test -fuzz FuzzFSvsBrute -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzArtifactRoundTrip -fuzztime 10s ./internal/artifact/
 	$(GO) test -fuzz FuzzSolveFacade -fuzztime 10s .
 
 # Per-package coverage table.
@@ -131,9 +142,10 @@ cover:
 # baselines rounded down; CI fails a PR that regresses below them.
 COVER_FLOOR_CORE ?= 92
 COVER_FLOOR_SERVER ?= 90
+COVER_FLOOR_ARTIFACT ?= 90
 
 cover-gate:
-	@for spec in ./internal/core:$(COVER_FLOOR_CORE) ./internal/server:$(COVER_FLOOR_SERVER); do \
+	@for spec in ./internal/core:$(COVER_FLOOR_CORE) ./internal/server:$(COVER_FLOOR_SERVER) ./internal/artifact:$(COVER_FLOOR_ARTIFACT); do \
 		pkg=$${spec%:*}; floor=$${spec#*:}; \
 		pct=$$($(GO) test -count=1 -cover $$pkg | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover-gate: no coverage reported for $$pkg"; exit 1; fi; \

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/server"
 )
 
@@ -52,6 +53,39 @@ var (
 	// longer admits work (HTTP 503).
 	ErrDraining = server.ErrDraining
 )
+
+// Artifact is a function's reduced OBDD under a concrete ordering in
+// the compact canonical level-indexed form served by /v1/solve and
+// emitted by optobdd -emit-bdd: equal (function, ordering) pairs
+// always encode to byte-identical artifacts, so the bytes are suitable
+// as content-addressed store values. Obtain one locally with
+// BuildArtifact or SolveArtifact, remotely with Client.SolveArtifact,
+// or from stored bytes with DecodeArtifact.
+type Artifact = artifact.Artifact
+
+// ArtifactMediaType is the HTTP content type of a raw encoded artifact
+// (Client.SolveArtifactRaw negotiates it via the Accept header).
+const ArtifactMediaType = artifact.MediaType
+
+// BuildArtifact constructs the canonical artifact of tt's reduced OBDD
+// under the given bottom-up ordering (nil selects the natural
+// ordering). Serialize with Artifact.Encode.
+func BuildArtifact(tt *Table, order Ordering) (*Artifact, error) {
+	return artifact.Build(tt, order)
+}
+
+// DecodeArtifact parses and fully validates encoded artifact bytes; it
+// never panics on arbitrary input. Accepted streams are canonical:
+// re-encoding reproduces the input byte for byte.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	return artifact.Decode(data)
+}
+
+// VerifyArtifact checks that a denotes exactly the function tt
+// (exhaustively up to 16 variables, by deterministic sampling above).
+func VerifyArtifact(a *Artifact, tt *Table) error {
+	return artifact.Verify(a, tt)
+}
 
 // Dial validates baseURL ("http://host:port") and verifies an obddd
 // service is reachable there.

@@ -45,7 +45,7 @@ var scopes = map[string][]string{
 	"arenaowner":     {"internal/core"},
 	"pooldiscipline": {"internal/core"},
 	"ctxcheckpoint":  {"internal/core", "internal/heuristics", "internal/quantum", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
-	"nopanic":        {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache", "internal/conformance", "cmd/bddverify"},
+	"nopanic":        {"internal/core", "internal/heuristics", "internal/quantum", "internal/obs", "internal/server", "internal/cache", "internal/conformance", "internal/artifact", "cmd/bddverify"},
 }
 
 func main() {

@@ -43,9 +43,10 @@ type config struct {
 	solvers  []string
 	chaos    int
 	tables   int
-	jsonOut  bool
-	gen      bool
-	golden   string
+	jsonOut    bool
+	gen        bool
+	golden     string
+	allowDrift bool
 }
 
 // verifySummary is the Details payload of the -json run report.
@@ -73,6 +74,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit a machine-readable run report")
 	fs.BoolVar(&cfg.gen, "gen", false, "regenerate the golden corpus and write it to -golden")
 	fs.StringVar(&cfg.golden, "golden", "", "corpus path (default: the embedded testdata/golden.json)")
+	fs.BoolVar(&cfg.allowDrift, "allow-drift", false, "let -gen overwrite entries whose pinned artifact digest changed")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -100,6 +102,26 @@ func generate(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "bddverify: generate: %v\n", err)
 		return 1
 	}
+	// Digest-drift gate: a regenerated entry whose (table, rule) already
+	// carries a pinned artifact digest must reproduce it bit for bit.
+	// Artifact bytes are a pure function of (function, ordering), so
+	// drift means the wire format or the canonical solve ordering moved —
+	// a contract change that demands an explicit -allow-drift, never a
+	// silent overwrite.
+	if prev, err := conformance.LoadGolden(path); err == nil {
+		drifted := driftedEntries(prev, entries)
+		if len(drifted) > 0 && !cfg.allowDrift {
+			for _, d := range drifted {
+				fmt.Fprintf(stderr, "bddverify: artifact digest drift: %s\n", d)
+			}
+			fmt.Fprintf(stderr, "bddverify: refusing to overwrite %s (%d drifted entries); rerun with -allow-drift to accept the new digests\n",
+				path, len(drifted))
+			return 1
+		}
+		if len(drifted) > 0 {
+			fmt.Fprintf(stderr, "bddverify: accepting %d drifted artifact digest(s) (-allow-drift)\n", len(drifted))
+		}
+	}
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
 		fmt.Fprintf(stderr, "bddverify: encode: %v\n", err)
@@ -111,6 +133,26 @@ func generate(ctx context.Context, cfg config, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "bddverify: wrote %d verified entries to %s\n", len(entries), path)
 	return 0
+}
+
+// driftedEntries compares pinned artifact digests between the corpus on
+// disk and a fresh regeneration, keyed by (table, rule). Entries without
+// a previous pin (a corpus predating the artifact fields, or a brand-new
+// table) never count as drift.
+func driftedEntries(prev, next []conformance.GoldenEntry) []string {
+	pinned := make(map[string]string, len(prev))
+	for _, e := range prev {
+		if e.ArtifactSHA256 != "" {
+			pinned[e.Table+"|"+e.Rule] = e.ArtifactSHA256
+		}
+	}
+	var drifted []string
+	for _, e := range next {
+		if want, ok := pinned[e.Table+"|"+e.Rule]; ok && want != e.ArtifactSHA256 {
+			drifted = append(drifted, fmt.Sprintf("%s %s: pinned %s, regenerated %s", e.Table, e.Rule, want, e.ArtifactSHA256))
+		}
+	}
+	return drifted
 }
 
 func verify(ctx context.Context, cfg config, stdout, stderr io.Writer) int {

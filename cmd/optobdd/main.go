@@ -64,6 +64,7 @@ type config struct {
 	ruleName string
 	meter    bool
 	dotFile  string
+	bddFile  string
 	progress bool
 	jsonOut  bool
 	flags    cliutil.SolverFlags
@@ -96,6 +97,7 @@ func main() {
 	flag.StringVar(&cfg.ruleName, "rule", "obdd", "diagram rule: obdd | zdd")
 	flag.BoolVar(&cfg.meter, "meter", false, "print operation counts")
 	flag.StringVar(&cfg.dotFile, "dot", "", "write the minimum diagram in Graphviz format to this file")
+	flag.StringVar(&cfg.bddFile, "emit-bdd", "", "write the minimum diagram as a compact binary OBDD artifact to this file")
 	flag.BoolVar(&cfg.progress, "progress", false, "stream per-layer progress to stderr")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit a JSON run report on stdout instead of the text summary")
 	shared := flag.Bool("shared", false, "optimize all outputs of a -circuit/-pla source as one shared forest")
@@ -229,6 +231,26 @@ func (c *config) run() error {
 		}
 		if !c.jsonOut {
 			fmt.Fprintf(c.stdout, "wrote diagram:   %s\n", c.dotFile)
+		}
+	}
+	if c.bddFile != "" {
+		if rule != core.OBDD {
+			return fmt.Errorf("-emit-bdd supports the OBDD rule only")
+		}
+		if runErr != nil {
+			return fmt.Errorf("-emit-bdd refuses an unproven incumbent ordering: %v", runErr)
+		}
+		a, err := obddopt.BuildArtifact(tt, res.Ordering)
+		if err != nil {
+			return err
+		}
+		enc := a.Encode()
+		if err := os.WriteFile(c.bddFile, enc, 0o644); err != nil {
+			return err
+		}
+		if !c.jsonOut {
+			fmt.Fprintf(c.stdout, "wrote artifact:  %s (%d bytes, %d nodes, %d satisfying)\n",
+				c.bddFile, len(enc), a.NodeCount(), a.SatCount())
 		}
 	}
 	return nil

@@ -1,0 +1,294 @@
+// Package artifact is the compact binary OBDD result format of the
+// solve service: the reduced ordered BDD of a function under a concrete
+// variable ordering, serialized level-indexed with bit-packed edges so
+// equal functions under equal orderings produce byte-identical bytes.
+//
+// The representation follows the level-indexed school of BDD
+// compression (Hansen/Rao/Tiedemann, "Compressing Binary Decision
+// Diagrams"): random access into the node table is traded away, and in
+// exchange every edge is addressed relative to how many nodes can
+// possibly be its target. Nodes are emitted level by level from the
+// bottom (the level adjacent to the terminals) upward, so an edge from
+// level ℓ can only point at the two terminals or at a node of a deeper
+// level — an id in [0, base_ℓ) where base_ℓ = 2 + Σ_{k>ℓ} count_k —
+// and is stored in exactly ⌈log₂ base_ℓ⌉ bits. Within a level, nodes
+// are sorted by their (lo, hi) id pair, which makes the id assignment —
+// and therefore the whole byte stream — a pure function of (function,
+// ordering): the canonical form the content-addressed result store
+// keys on.
+//
+// Analytics ride on the decoded form without rebuilding a node
+// manager: NodeCount is a header field sum, and SatCount runs Clément's
+// iterative bottom-up counting pass over the node arrays — children
+// always precede parents in emission order, so one linear scan
+// suffices.
+package artifact
+
+import (
+	"fmt"
+
+	"obddopt/internal/bdd"
+	"obddopt/internal/truthtable"
+)
+
+// Artifact is a decoded (or freshly built) OBDD in canonical
+// level-indexed form. The zero value is not meaningful; obtain one from
+// Build or Decode. An Artifact is immutable after construction and safe
+// for concurrent use.
+type Artifact struct {
+	n        int
+	ordering truthtable.Ordering // bottom-up, as everywhere in this module
+	counts   []uint32            // nodes per root-first level; len n
+	// Node storage in emission (canonical) order: levels bottom-up,
+	// within a level ascending (lo, hi). Node index i carries edge ids
+	// lo[i], hi[i]; id space is 0 = False, 1 = True, i+2 = node i.
+	lo, hi []uint32
+	// level[i] is the root-first level of node i (derived, not stored
+	// on the wire).
+	level []uint8
+	// root is the id of the function's root: total+1 for nonconstant
+	// functions (the last node emitted), 0 or 1 for constants.
+	root uint32
+}
+
+// NumVars returns the artifact's variable count.
+func (a *Artifact) NumVars() int { return a.n }
+
+// Ordering returns the artifact's variable ordering (bottom-up); the
+// slice is a copy.
+func (a *Artifact) Ordering() truthtable.Ordering { return a.ordering.Clone() }
+
+// NodeCount returns the number of nonterminal nodes of the diagram —
+// the quantity the dynamic program calls MINCOST under the OBDD rule.
+func (a *Artifact) NodeCount() uint64 { return uint64(len(a.lo)) }
+
+// LevelCounts returns the nodes per root-first level (a copy).
+func (a *Artifact) LevelCounts() []uint32 {
+	return append([]uint32(nil), a.counts...)
+}
+
+// Build constructs the canonical artifact of tt's reduced OBDD under
+// the given bottom-up ordering (nil selects the natural ordering). The
+// diagram is materialized once through a bdd.Manager and re-enumerated
+// into canonical ids; the O(2^n) fold is the dominant cost, far below
+// any exact solve on the same table.
+func Build(tt *truthtable.Table, order truthtable.Ordering) (*Artifact, error) {
+	if tt == nil {
+		return nil, fmt.Errorf("artifact: nil truth table")
+	}
+	n := tt.NumVars()
+	if order == nil {
+		order = truthtable.ReverseOrdering(n)
+	}
+	if len(order) != n || !order.Valid() {
+		return nil, fmt.Errorf("artifact: ordering %v is not a permutation of %d variables", order, n)
+	}
+	m := bdd.New(n, order)
+	root := m.FromTruthTable(tt)
+	levels := m.LevelNodes(root)
+
+	a := &Artifact{
+		n:        n,
+		ordering: order.Clone(),
+		counts:   make([]uint32, n),
+	}
+	// Canonical re-enumeration: bottom level first, each level sorted by
+	// the (lo, hi) pair of already-canonical child ids.
+	idOf := map[bdd.Node]uint32{bdd.False: 0, bdd.True: 1}
+	next := uint32(2)
+	for lvl := n - 1; lvl >= 0; lvl-- {
+		ns := levels[lvl]
+		if len(ns) == 0 {
+			continue
+		}
+		ps := make([]packed, len(ns))
+		for i, g := range ns {
+			lo, hi, _ := m.Children(g)
+			ps[i] = packed{lo: idOf[lo], hi: idOf[hi], src: g}
+		}
+		sortPacked(ps)
+		for _, p := range ps {
+			idOf[p.src] = next
+			next++
+			a.lo = append(a.lo, p.lo)
+			a.hi = append(a.hi, p.hi)
+			a.level = append(a.level, uint8(lvl))
+		}
+		a.counts[lvl] = uint32(len(ns))
+	}
+	a.root = idOf[root]
+	return a, nil
+}
+
+// packed is one node mid-canonicalization: its children's canonical ids
+// and the manager node it came from.
+type packed struct {
+	lo, hi uint32
+	src    bdd.Node
+}
+
+// sortPacked orders a level's nodes by (lo, hi) ascending — the
+// canonical within-level order. Insertion sort: levels of exact-solve
+// diagrams are small, and the comparator is two integer compares.
+func sortPacked(ps []packed) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && (ps[j].lo < ps[j-1].lo || (ps[j].lo == ps[j-1].lo && ps[j].hi < ps[j-1].hi)); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// levelOfID returns the root-first level of an edge target id (n for
+// the terminals).
+func (a *Artifact) levelOfID(id uint32) int {
+	if id < 2 {
+		return a.n
+	}
+	return int(a.level[id-2])
+}
+
+// Eval evaluates the diagram on the assignment x (x[i] = value of
+// variable i), walking root to terminal.
+func (a *Artifact) Eval(x []bool) (bool, error) {
+	if len(x) != a.n {
+		return false, fmt.Errorf("artifact: Eval assignment length %d, want %d", len(x), a.n)
+	}
+	varAtLevel := a.ordering.RootFirst()
+	id := a.root
+	for id >= 2 {
+		i := id - 2
+		if x[varAtLevel[a.level[i]]] {
+			id = a.hi[i]
+		} else {
+			id = a.lo[i]
+		}
+	}
+	return id == 1, nil
+}
+
+// ToTruthTable materializes the function the artifact denotes.
+func (a *Artifact) ToTruthTable() *truthtable.Table {
+	tt := truthtable.New(a.n)
+	x := make([]bool, a.n)
+	size := tt.Size()
+	for idx := uint64(0); idx < size; idx++ {
+		for i := 0; i < a.n; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		if v, _ := a.Eval(x); v {
+			tt.Set(idx, true)
+		}
+	}
+	return tt
+}
+
+// SatCount returns the number of satisfying assignments over all n
+// variables, computed by one iterative bottom-up pass over the node
+// arrays (children precede parents in emission order, so no recursion
+// and no node-manager inflation is needed).
+func (a *Artifact) SatCount() uint64 {
+	total := len(a.lo)
+	if total == 0 {
+		if a.root == 1 {
+			return uint64(1) << uint(a.n)
+		}
+		return 0
+	}
+	cnt := make([]uint64, total)
+	// cnt[i] counts assignments of the variables at node i's level and
+	// below (the convention of bdd.SatCount's rec).
+	branch := func(child uint32, lvl int) uint64 {
+		var c uint64
+		switch {
+		case child == 1:
+			c = 1
+		case child >= 2:
+			c = cnt[child-2]
+		}
+		return c << uint(a.levelOfID(child)-lvl-1)
+	}
+	for i := 0; i < total; i++ {
+		lvl := int(a.level[i])
+		cnt[i] = branch(a.lo[i], lvl) + branch(a.hi[i], lvl)
+	}
+	return cnt[a.root-2] << uint(a.level[a.root-2])
+}
+
+// Equal reports whether two artifacts are node-identical: same variable
+// count, ordering, level structure, edges and root. Canonical encoding
+// makes this equivalent to byte equality of Encode, but Equal needs no
+// serialization pass.
+func (a *Artifact) Equal(b *Artifact) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.n != b.n || a.root != b.root || len(a.lo) != len(b.lo) {
+		return false
+	}
+	for i := range a.ordering {
+		if a.ordering[i] != b.ordering[i] {
+			return false
+		}
+	}
+	for i := range a.counts {
+		if a.counts[i] != b.counts[i] {
+			return false
+		}
+	}
+	for i := range a.lo {
+		if a.lo[i] != b.lo[i] || a.hi[i] != b.hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Verify checks that the artifact denotes exactly the function tt: a
+// full sweep of all 2^n assignments up to n = 16, a fixed-size
+// deterministic sample above (the client-side re-verification of a
+// served artifact; the conformance suite's n ≤ 10 oracle always takes
+// the exhaustive branch).
+func Verify(a *Artifact, tt *truthtable.Table) error {
+	if a == nil || tt == nil {
+		return fmt.Errorf("artifact: Verify on nil artifact or table")
+	}
+	if a.n != tt.NumVars() {
+		return fmt.Errorf("artifact: variable count %d, table has %d", a.n, tt.NumVars())
+	}
+	size := tt.Size()
+	const exhaustiveMax = 1 << 16
+	x := make([]bool, a.n)
+	check := func(idx uint64) error {
+		for i := 0; i < a.n; i++ {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		got, err := a.Eval(x)
+		if err != nil {
+			return err
+		}
+		if got != tt.Bit(idx) {
+			return fmt.Errorf("artifact: disagrees with table at assignment %d: artifact %v, table %v", idx, got, tt.Bit(idx))
+		}
+		return nil
+	}
+	if size <= exhaustiveMax {
+		for idx := uint64(0); idx < size; idx++ {
+			if err := check(idx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Deterministic sample: a Weyl sequence over the index space hits
+	// 2^13 well-spread assignments.
+	const samples = 1 << 13
+	const step = 0x9e3779b97f4a7c15
+	var idx uint64
+	for i := 0; i < samples; i++ {
+		idx += step
+		if err := check(idx % size); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,399 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"obddopt/internal/truthtable"
+)
+
+// Wire format (all multi-byte integers are unsigned LEB128 varints;
+// edge fields are LSB-first bit-packed):
+//
+//	magic    4 bytes  "OBDa"
+//	version  1 byte   0x01
+//	n        varint   variable count, ≤ truthtable.MaxVars
+//	ordering n×varint bottom-up variable ordering (a permutation)
+//	counts   n×varint nodes per root-first level (level 0 first)
+//	root     varint   root id: total+1 when total > 0, else 0 or 1
+//	levels   packed   per nonempty level, bottom-up (level n−1 first):
+//	                  count×2 edge ids of w = max(1, ⌈log₂ base⌉) bits
+//	                  each, LSB-first, byte-aligned per level, padding
+//	                  bits zero; base = 2 + nodes of deeper levels
+//
+// Every accepted byte stream is canonical: Decode validates magic,
+// version, permutation, edge ranges, reducedness (lo ≠ hi), strict
+// within-level (lo, hi) order (the merge rule plus canonical sorting),
+// zero padding, absence of trailing bytes, root consistency and
+// reachability of every node — so Encode(Decode(b)) == b for every b
+// Decode accepts, and unequal byte streams denote unequal (function,
+// ordering) pairs.
+
+// MediaType is the HTTP content type of an encoded artifact.
+const MediaType = "application/x-obdd"
+
+const (
+	magic   = "OBDa"
+	version = 1
+	// maxNodes bounds the node count Decode will consider; far above any
+	// exactly-solvable diagram, low enough that a hostile header cannot
+	// make Decode allocate unboundedly before length validation.
+	maxNodes = 1 << 28
+)
+
+// Typed decode errors; test with errors.Is. Every Decode failure wraps
+// exactly one of these.
+var (
+	// ErrBadMagic reports that the stream does not start with the
+	// artifact magic — it is not an artifact at all.
+	ErrBadMagic = errors.New("artifact: bad magic")
+	// ErrBadVersion reports an artifact of an unsupported format
+	// version.
+	ErrBadVersion = errors.New("artifact: unsupported version")
+	// ErrTruncated reports a stream that ends before the structure it
+	// announces is complete.
+	ErrTruncated = errors.New("artifact: truncated")
+	// ErrCorrupt reports a structurally invalid or non-canonical
+	// stream: bad permutation, edge out of range, redundant or
+	// duplicate node, wrong root, unreachable nodes, nonzero padding or
+	// trailing bytes.
+	ErrCorrupt = errors.New("artifact: corrupt")
+)
+
+// Encode serializes the artifact in canonical form. Building the same
+// function under the same ordering always yields these exact bytes.
+func (a *Artifact) Encode() []byte {
+	total := len(a.lo)
+	buf := make([]byte, 0, 16+3*a.n+total)
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(a.n))
+	for _, v := range a.ordering {
+		buf = binary.AppendUvarint(buf, uint64(v))
+	}
+	for _, c := range a.counts {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	buf = binary.AppendUvarint(buf, uint64(a.root))
+	base := uint64(2)
+	node := 0
+	for lvl := a.n - 1; lvl >= 0; lvl-- {
+		c := int(a.counts[lvl])
+		if c == 0 {
+			continue
+		}
+		w := edgeWidth(base)
+		var bw bitWriter
+		for i := node; i < node+c; i++ {
+			bw.write(uint64(a.lo[i]), w)
+			bw.write(uint64(a.hi[i]), w)
+		}
+		buf = append(buf, bw.flush()...)
+		node += c
+		base += uint64(c)
+	}
+	return buf
+}
+
+// edgeWidth returns the bit width of an edge id when base ids are in
+// play: ⌈log₂ base⌉, at least 1.
+func edgeWidth(base uint64) int {
+	w := bits.Len64(base - 1)
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Decode parses and fully validates an encoded artifact. It never
+// panics on arbitrary input: malformed streams return an error wrapping
+// ErrBadMagic, ErrBadVersion, ErrTruncated or ErrCorrupt.
+func Decode(data []byte) (*Artifact, error) {
+	r := &byteReader{data: data}
+	head, ok := r.take(len(magic))
+	if !ok {
+		return nil, fmt.Errorf("%w: %d-byte stream is shorter than the magic", ErrTruncated, len(data))
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, head)
+	}
+	ver, ok := r.take(1)
+	if !ok {
+		return nil, fmt.Errorf("%w: missing version byte", ErrTruncated)
+	}
+	if ver[0] != version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadVersion, ver[0], version)
+	}
+	n64, err := r.uvarint("variable count")
+	if err != nil {
+		return nil, err
+	}
+	if n64 > truthtable.MaxVars {
+		return nil, fmt.Errorf("%w: variable count %d exceeds %d", ErrCorrupt, n64, truthtable.MaxVars)
+	}
+	n := int(n64)
+
+	ordering := make(truthtable.Ordering, n)
+	for i := range ordering {
+		v, err := r.uvarint("ordering")
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint64(n) {
+			return nil, fmt.Errorf("%w: ordering entry %d out of range [0,%d)", ErrCorrupt, v, n)
+		}
+		ordering[i] = int(v)
+	}
+	if !ordering.Valid() {
+		return nil, fmt.Errorf("%w: ordering %v is not a permutation", ErrCorrupt, ordering)
+	}
+
+	counts := make([]uint32, n)
+	var total uint64
+	for i := range counts {
+		c, err := r.uvarint("level count")
+		if err != nil {
+			return nil, err
+		}
+		total += c
+		if c > maxNodes || total > maxNodes {
+			return nil, fmt.Errorf("%w: node count overflows the %d-node bound", ErrCorrupt, maxNodes)
+		}
+		counts[i] = uint32(c)
+	}
+	root64, err := r.uvarint("root")
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		if root64 > 1 {
+			return nil, fmt.Errorf("%w: empty diagram with nonterminal root %d", ErrCorrupt, root64)
+		}
+	} else if root64 != total+1 {
+		return nil, fmt.Errorf("%w: root %d, canonical form requires %d", ErrCorrupt, root64, total+1)
+	}
+
+	a := &Artifact{
+		n:        n,
+		ordering: ordering,
+		counts:   counts,
+		lo:       make([]uint32, 0, total),
+		hi:       make([]uint32, 0, total),
+		level:    make([]uint8, 0, total),
+		root:     uint32(root64),
+	}
+	base := uint64(2)
+	for lvl := n - 1; lvl >= 0; lvl-- {
+		c := uint64(counts[lvl])
+		if c == 0 {
+			continue
+		}
+		w := edgeWidth(base)
+		nbytes := int((2*c*uint64(w) + 7) / 8)
+		chunk, ok := r.take(nbytes)
+		if !ok {
+			return nil, fmt.Errorf("%w: level %d needs %d edge bytes, %d left", ErrTruncated, lvl, nbytes, r.left())
+		}
+		br := bitReader{data: chunk}
+		var prevLo, prevHi uint64
+		for i := uint64(0); i < c; i++ {
+			lo := br.read(w)
+			hi := br.read(w)
+			if lo >= base || hi >= base {
+				return nil, fmt.Errorf("%w: level %d edge (%d,%d) out of range [0,%d)", ErrCorrupt, lvl, lo, hi, base)
+			}
+			if lo == hi {
+				return nil, fmt.Errorf("%w: level %d node %d is redundant (lo == hi == %d)", ErrCorrupt, lvl, i, lo)
+			}
+			if i > 0 && (lo < prevLo || (lo == prevLo && hi <= prevHi)) {
+				return nil, fmt.Errorf("%w: level %d nodes out of canonical (lo,hi) order", ErrCorrupt, lvl)
+			}
+			prevLo, prevHi = lo, hi
+			a.lo = append(a.lo, uint32(lo))
+			a.hi = append(a.hi, uint32(hi))
+			a.level = append(a.level, uint8(lvl))
+		}
+		if !br.paddingZero() {
+			return nil, fmt.Errorf("%w: level %d has nonzero padding bits", ErrCorrupt, lvl)
+		}
+		base += c
+	}
+	if r.left() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the last level", ErrCorrupt, r.left())
+	}
+	if total > 0 {
+		if err := a.checkReachable(); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// DecodedOrdering reads only the header of an encoded artifact and
+// returns its variable ordering — the cheap consistency probe the
+// result cache uses to confirm a stored artifact still matches the
+// ordering of the result it is served next to.
+func DecodedOrdering(data []byte) (truthtable.Ordering, error) {
+	r := &byteReader{data: data}
+	head, ok := r.take(len(magic) + 1)
+	if !ok {
+		return nil, fmt.Errorf("%w: header", ErrTruncated)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, head[len(magic)])
+	}
+	n64, err := r.uvarint("variable count")
+	if err != nil {
+		return nil, err
+	}
+	if n64 > truthtable.MaxVars {
+		return nil, fmt.Errorf("%w: variable count %d exceeds %d", ErrCorrupt, n64, truthtable.MaxVars)
+	}
+	ordering := make(truthtable.Ordering, n64)
+	for i := range ordering {
+		v, err := r.uvarint("ordering")
+		if err != nil {
+			return nil, err
+		}
+		if v >= n64 {
+			return nil, fmt.Errorf("%w: ordering entry %d out of range", ErrCorrupt, v)
+		}
+		ordering[i] = int(v)
+	}
+	if !ordering.Valid() {
+		return nil, fmt.Errorf("%w: ordering is not a permutation", ErrCorrupt)
+	}
+	return ordering, nil
+}
+
+// checkReachable verifies every node is reachable from the root. Edges
+// point at strictly smaller ids, so one descending scan propagates
+// reachability without recursion.
+func (a *Artifact) checkReachable() error {
+	total := len(a.lo)
+	reach := make([]bool, total)
+	reach[a.root-2] = true
+	for i := total - 1; i >= 0; i-- {
+		if !reach[i] {
+			continue
+		}
+		if a.lo[i] >= 2 {
+			reach[a.lo[i]-2] = true
+		}
+		if a.hi[i] >= 2 {
+			reach[a.hi[i]-2] = true
+		}
+	}
+	for i, ok := range reach {
+		if !ok {
+			return fmt.Errorf("%w: node %d (level %d) is unreachable from the root", ErrCorrupt, i+2, a.level[i])
+		}
+	}
+	return nil
+}
+
+// byteReader is a bounds-checked cursor over the input.
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func (r *byteReader) left() int { return len(r.data) - r.off }
+
+func (r *byteReader) take(n int) ([]byte, bool) {
+	if n < 0 || r.left() < n {
+		return nil, false
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, true
+}
+
+// uvarint reads one LEB128 varint; the field name lands in the error.
+// Non-minimal encodings (a redundant zero continuation group, e.g.
+// 0x80 0x00 for 0) are rejected: they decode to the same value but
+// would break the canonical encode(decode(b)) == b property.
+func (r *byteReader) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n == 0 {
+		return 0, fmt.Errorf("%w: %s varint runs off the end", ErrTruncated, field)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: %s varint overflows 64 bits", ErrCorrupt, field)
+	}
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("%w: %s varint is not minimally encoded", ErrCorrupt, field)
+	}
+	r.off += n
+	return v, nil
+}
+
+// bitWriter packs LSB-first bit fields into bytes.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, width int) {
+	w.cur |= v << uint(w.nbit)
+	w.nbit += width
+	for w.nbit >= 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur >>= 8
+		w.nbit -= 8
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader unpacks LSB-first bit fields; reads past the end yield
+// zeros (the caller sizes the chunk exactly, so that never decodes into
+// accepted structure).
+type bitReader struct {
+	data []byte
+	cur  uint64
+	nbit int
+	off  int
+}
+
+func (r *bitReader) read(width int) uint64 {
+	for r.nbit < width {
+		var b byte
+		if r.off < len(r.data) {
+			b = r.data[r.off]
+			r.off++
+		}
+		r.cur |= uint64(b) << uint(r.nbit)
+		r.nbit += 8
+	}
+	v := r.cur & (1<<uint(width) - 1)
+	r.cur >>= uint(width)
+	r.nbit -= width
+	return v
+}
+
+// paddingZero reports whether every bit beyond the last field — the
+// buffered remainder and any unread bytes — is zero.
+func (r *bitReader) paddingZero() bool {
+	if r.cur != 0 {
+		return false
+	}
+	for _, b := range r.data[r.off:] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}

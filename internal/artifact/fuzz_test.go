@@ -1,0 +1,105 @@
+package artifact_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"obddopt/internal/artifact"
+	"obddopt/internal/truthtable"
+)
+
+// FuzzArtifactRoundTrip drives both directions of the codec contract:
+//
+//   - Arbitrary bytes through Decode must never panic; rejections carry
+//     exactly one of the typed sentinels, and any accepted stream is
+//     canonical (re-encoding reproduces the input byte for byte).
+//   - Bytes read as a truth table must survive Build → Encode → Decode
+//     node-identically, with SatCount agreeing with the table's
+//     population count.
+//
+// Seed corpus lives under testdata/fuzz/FuzzArtifactRoundTrip.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	// Valid artifacts of a few shapes, plus near-misses.
+	for _, tt := range []*truthtable.Table{
+		truthtable.New(0),
+		truthtable.New(3),
+		parityTable(2),
+		parityTable(5),
+	} {
+		a, err := artifact.Build(tt, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(a.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("OBDa"))
+	f.Add([]byte("OBDa\x01\x02\x01\x00\x01\x01\x03"))
+	f.Add([]byte("not an artifact at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := artifact.Decode(data)
+		if err != nil {
+			if !errors.Is(err, artifact.ErrBadMagic) && !errors.Is(err, artifact.ErrBadVersion) &&
+				!errors.Is(err, artifact.ErrTruncated) && !errors.Is(err, artifact.ErrCorrupt) {
+				t.Fatalf("Decode error %v lacks a typed sentinel", err)
+			}
+		} else {
+			if re := a.Encode(); !bytes.Equal(re, data) {
+				t.Fatalf("accepted stream is not canonical: decode→encode changed %x to %x", data, re)
+			}
+			if ord, oerr := artifact.DecodedOrdering(data); oerr != nil {
+				t.Fatalf("full Decode accepted what DecodedOrdering rejects: %v", oerr)
+			} else if len(ord) != a.NumVars() {
+				t.Fatalf("header ordering arity %d, artifact has %d variables", len(ord), a.NumVars())
+			}
+			if a.SatCount() > uint64(1)<<uint(a.NumVars()) {
+				t.Fatalf("SatCount %d exceeds the %d-variable assignment space", a.SatCount(), a.NumVars())
+			}
+		}
+
+		// Second direction: the same bytes as a function. First byte picks
+		// the arity, the rest fill the table cyclically.
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]) % 7
+		tt := truthtable.New(n)
+		body := data[1:]
+		if len(body) > 0 {
+			for idx := uint64(0); idx < tt.Size(); idx++ {
+				byteAt := body[idx/8%uint64(len(body))]
+				tt.Set(idx, byteAt>>(idx%8)&1 == 1)
+			}
+		}
+		built, err := artifact.Build(tt, nil)
+		if err != nil {
+			t.Fatalf("Build on a %d-variable table: %v", n, err)
+		}
+		dec, err := artifact.Decode(built.Encode())
+		if err != nil {
+			t.Fatalf("decode of a fresh encode: %v", err)
+		}
+		if !built.Equal(dec) {
+			t.Fatal("decode(encode(f)) is not node-identical to f")
+		}
+		if got, want := dec.SatCount(), tt.CountOnes(); got != want {
+			t.Fatalf("SatCount %d, table has %d ones", got, want)
+		}
+	})
+}
+
+// parityTable builds the n-variable parity function without importing
+// internal/funcs into the fuzz path.
+func parityTable(n int) *truthtable.Table {
+	tt := truthtable.New(n)
+	for idx := uint64(0); idx < tt.Size(); idx++ {
+		v := false
+		for b := 0; b < n; b++ {
+			v = v != (idx>>uint(b)&1 == 1)
+		}
+		tt.Set(idx, v)
+	}
+	return tt
+}

@@ -18,6 +18,7 @@ package bdd
 
 import (
 	"fmt"
+	"sort"
 
 	"obddopt/internal/bitops"
 	"obddopt/internal/truthtable"
@@ -422,6 +423,33 @@ func (m *Manager) LevelCounts(f Node) []uint64 {
 	}
 	rec(f)
 	return counts
+}
+
+// LevelNodes returns the nonterminal nodes reachable from f grouped by
+// root-first level: LevelNodes(f)[lvl] lists the nodes testing the
+// variable at level lvl, in ascending Node order (allocation order, not
+// canonical). Levels skipped by the reduction rule are empty slices.
+// This is the traversal the artifact serializer (internal/artifact)
+// builds its level-indexed encoding from.
+func (m *Manager) LevelNodes(f Node) [][]Node {
+	levels := make([][]Node, m.nvars)
+	seen := map[Node]bool{}
+	var rec func(Node)
+	rec = func(g Node) {
+		if g == True || g == False || seen[g] {
+			return
+		}
+		seen[g] = true
+		d := m.nodes[g]
+		levels[d.level] = append(levels[d.level], g)
+		rec(d.lo)
+		rec(d.hi)
+	}
+	rec(f)
+	for _, ns := range levels {
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return levels
 }
 
 // Equal reports whether two nodes of this manager denote the same

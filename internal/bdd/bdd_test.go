@@ -330,3 +330,61 @@ func TestEquivalenceCheckingScenario(t *testing.T) {
 		t.Errorf("counterexample does not distinguish")
 	}
 }
+
+func TestLevelNodesGroupsAndSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(6)
+		tt := truthtable.Random(n, rng)
+		m := New(n, nil)
+		f := m.FromTruthTable(tt)
+		levels := m.LevelNodes(f)
+		if len(levels) != n {
+			t.Fatalf("LevelNodes returned %d levels for n=%d", len(levels), n)
+		}
+		counts := m.LevelCounts(f)
+		var total uint64
+		seen := map[Node]bool{}
+		for lvl, ns := range levels {
+			// Group sizes agree with LevelCounts (bottom-up indexed there).
+			if uint64(len(ns)) != counts[n-1-lvl] {
+				t.Fatalf("level %d has %d nodes, LevelCounts says %d", lvl, len(ns), counts[n-1-lvl])
+			}
+			for i, g := range ns {
+				if g == True || g == False {
+					t.Fatalf("terminal %v in level %d", g, lvl)
+				}
+				if seen[g] {
+					t.Fatalf("node %v appears twice", g)
+				}
+				seen[g] = true
+				if int(m.level(g)) != lvl {
+					t.Fatalf("node %v grouped at level %d but carries level %d", g, lvl, m.level(g))
+				}
+				if i > 0 && ns[i-1] >= g {
+					t.Fatalf("level %d not in ascending node order", lvl)
+				}
+				// Children sit strictly deeper or are terminals.
+				lo, hi, _ := m.Children(g)
+				for _, c := range []Node{lo, hi} {
+					if c != True && c != False && int(m.level(c)) <= lvl {
+						t.Fatalf("child %v of %v does not sit deeper", c, g)
+					}
+				}
+			}
+			total += uint64(len(ns))
+		}
+		if total != m.CountNodes(f) {
+			t.Fatalf("LevelNodes covers %d nodes, CountNodes says %d", total, m.CountNodes(f))
+		}
+	}
+	// Constants yield all-empty levels.
+	m := New(3, nil)
+	for _, lvls := range [][][]Node{m.LevelNodes(True), m.LevelNodes(False)} {
+		for lvl, ns := range lvls {
+			if len(ns) != 0 {
+				t.Fatalf("constant has %d nodes at level %d", len(ns), lvl)
+			}
+		}
+	}
+}

@@ -33,6 +33,18 @@ var cacheLookupHist = obs.Hist(obs.HistNameCacheLookup)
 // two so the digest's low bits select the shard uniformly.
 const numShards = 16
 
+// The value classes of the canonical result store. A class names the
+// contract of the stored value, so different families of values for the
+// same (table, rule) never collide under one digest.
+const (
+	// ClassExact stores *core.Result proven-optimal solve outcomes.
+	ClassExact = "exact"
+	// ClassArtifact stores []byte encoded OBDD artifacts
+	// (internal/artifact) of the function under its proven-optimal
+	// ordering.
+	ClassArtifact = "artifact"
+)
+
 // Key returns the canonical digest of a problem: a fixed-length hex
 // string over (table, rule, class). table is the truth-table literal in
 // canonical "n:hexdigits" form, rule names the diagram variant, and

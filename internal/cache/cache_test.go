@@ -269,3 +269,26 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestClassSeparation: the exact-result and artifact classes of the
+// same (table, rule) are independent entries — storing one never
+// shadows or overwrites the other.
+func TestClassSeparation(t *testing.T) {
+	c := New(1 << 20)
+	ek := Key("4:8001", "obdd", ClassExact)
+	ak := Key("4:8001", "obdd", ClassArtifact)
+	if ek == ak {
+		t.Fatal("exact and artifact classes share a key")
+	}
+	c.Put(ek, "result", 16)
+	c.Put(ak, []byte{0x4f, 0x42, 0x44, 0x61}, 4)
+	if v, ok := c.Get(ek); !ok || v.(string) != "result" {
+		t.Errorf("exact entry = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(ak); !ok || len(v.([]byte)) != 4 {
+		t.Errorf("artifact entry = %v, %v", v, ok)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Bytes != 20 {
+		t.Errorf("stats = %+v, want 2 entries / 20 bytes", st)
+	}
+}

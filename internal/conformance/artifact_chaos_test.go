@@ -1,0 +1,87 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"obddopt/internal/artifact"
+	"obddopt/internal/funcs"
+	"obddopt/internal/server"
+)
+
+// TestArtifactTruncationSurfacesUnexpectedEOF is the chaos-harness
+// contract for artifact transfers: a raw (application/x-obdd) response
+// cut mid-body must fail loudly with io.ErrUnexpectedEOF — never decode
+// into a silently short diagram. The server sets Content-Length on the
+// raw path exactly so that a cut transfer is detectable; this test
+// drives that end to end through the real HTTP stack and the fault
+// injector.
+func TestArtifactTruncationSurfacesUnexpectedEOF(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	srv := server.New(ctx, server.Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	frt := NewFaultRT(nil, FaultConfig{Seed: 1, TruncateProb: 1})
+	client, err := server.DialWithClient(ctx, "http://"+ln.Addr().String(), &http.Client{Transport: frt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frt.CloseIdleConnections()
+
+	tt := funcs.Parity(5)
+
+	// Clean pass first: the raw path works and the bytes decode to the
+	// solved function.
+	raw, err := client.SolveArtifactRaw(ctx, tt, nil)
+	if err != nil {
+		t.Fatalf("clean raw artifact fetch: %v", err)
+	}
+	a, err := artifact.Decode(raw)
+	if err != nil {
+		t.Fatalf("clean raw artifact bytes: %v", err)
+	}
+	if err := artifact.Verify(a, tt); err != nil {
+		t.Fatalf("clean raw artifact: %v", err)
+	}
+
+	// Now every response is cut mid-body. The read must surface the
+	// truncation sentinel through the client's error wrapping.
+	frt.Enable(true)
+	_, err = client.SolveArtifactRaw(ctx, tt, nil)
+	frt.Enable(false)
+	if err == nil {
+		t.Fatal("truncated artifact transfer returned no error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated artifact transfer: %v, want io.ErrUnexpectedEOF through errors.Is", err)
+	}
+	if st := frt.Stats(); st.Truncated == 0 {
+		t.Fatal("fault injector reports no truncation — the assertion exercised nothing")
+	}
+
+	// The verified JSON-envelope path over the same live server: decode
+	// + re-verify happens client-side in SolveArtifact.
+	res, av, err := client.SolveArtifact(ctx, tt, nil)
+	if err != nil {
+		t.Fatalf("SolveArtifact: %v", err)
+	}
+	if av.NodeCount() != res.MinCost {
+		t.Fatalf("artifact NodeCount %d, result MinCost %d", av.NodeCount(), res.MinCost)
+	}
+	if !av.Equal(a) {
+		t.Fatal("JSON-envelope artifact differs from the raw-path artifact for the same function")
+	}
+}

@@ -1,8 +1,11 @@
 package conformance
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	_ "embed"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -10,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/core"
 	"obddopt/internal/funcs"
 	"obddopt/internal/truthtable"
@@ -42,6 +46,15 @@ type GoldenEntry struct {
 	Terminals int    `json:"terminals"`
 	// Ordering is one ordering achieving MinCost.
 	Ordering []int `json:"ordering"`
+	// ArtifactSHA256 pins the sha256 (hex) of the canonical encoded
+	// OBDD artifact (internal/artifact) of the table under Ordering.
+	// Canonical encoding makes this a content address: any change to
+	// the artifact layer that shifts even one byte fails the replay.
+	ArtifactSHA256 string `json:"artifact_sha256,omitempty"`
+	// SatCount pins the function's satisfying-assignment count — the
+	// cheap analytics contract the artifact's iterative counter must
+	// reproduce.
+	SatCount uint64 `json:"sat_count"`
 	// Family and Source document where the entry came from and how it
 	// was verified.
 	Family string `json:"family"`
@@ -124,6 +137,10 @@ func VerifyGolden(ctx context.Context, entries []GoldenEntry, solvers []string) 
 				Err: fmt.Sprintf("recorded ordering evaluates to size %d, corpus claims %d", got, want)})
 			continue
 		}
+		if err := verifyEntryArtifact(e, tt, ord, rule); err != nil {
+			rep.Violations = append(rep.Violations, GoldenViolation{Entry: e, Err: err.Error()})
+			continue
+		}
 		for _, solver := range solvers {
 			if err := ctx.Err(); err != nil {
 				return rep, err
@@ -146,6 +163,53 @@ func VerifyGolden(ctx context.Context, entries []GoldenEntry, solvers []string) 
 		}
 	}
 	return rep, nil
+}
+
+// verifyEntryArtifact replays the artifact contract of one entry: the
+// canonical encoding of the table's OBDD under the recorded ordering
+// must hash to the pinned digest, round-trip byte-identically, count
+// satisfying assignments to the pinned SatCount, and (under the OBDD
+// rule, where the recorded ordering is the diagram's own optimum)
+// reproduce MinCost as its node count. Entries predating the artifact
+// fields (empty ArtifactSHA256) are checked for internal consistency
+// but not against a pin.
+func verifyEntryArtifact(e GoldenEntry, tt *truthtable.Table, ord truthtable.Ordering, rule core.Rule) error {
+	a, err := artifact.Build(tt, ord)
+	if err != nil {
+		return fmt.Errorf("artifact build: %v", err)
+	}
+	enc := a.Encode()
+	dec, err := artifact.Decode(enc)
+	if err != nil {
+		return fmt.Errorf("artifact decode: %v", err)
+	}
+	if re := dec.Encode(); !bytes.Equal(enc, re) {
+		return fmt.Errorf("artifact encode→decode→encode drifted")
+	}
+	if err := artifact.Verify(dec, tt); err != nil {
+		return fmt.Errorf("decoded artifact: %v", err)
+	}
+	if e.ArtifactSHA256 != "" {
+		if got := artifactDigest(enc); got != e.ArtifactSHA256 {
+			return fmt.Errorf("artifact sha256 %s, corpus pins %s", got, e.ArtifactSHA256)
+		}
+	}
+	if got, want := dec.SatCount(), tt.CountOnes(); got != want {
+		return fmt.Errorf("artifact SatCount %d, table has %d ones", got, want)
+	}
+	if e.ArtifactSHA256 != "" && dec.SatCount() != e.SatCount {
+		return fmt.Errorf("artifact SatCount %d, corpus pins %d", dec.SatCount(), e.SatCount)
+	}
+	if rule == core.OBDD && dec.NodeCount() != e.MinCost {
+		return fmt.Errorf("artifact has %d nodes, corpus pins MinCost %d", dec.NodeCount(), e.MinCost)
+	}
+	return nil
+}
+
+// artifactDigest is the content address of encoded artifact bytes.
+func artifactDigest(enc []byte) string {
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:])
 }
 
 func replayOne(ctx context.Context, solver string, tt *truthtable.Table, rule core.Rule, e GoldenEntry, want uint64) error {
@@ -266,13 +330,19 @@ func verifiedEntry(ctx context.Context, src goldenSource, rule core.Rule) (Golde
 		return GoldenEntry{}, fmt.Errorf("golden: %s n=%d %s: %s says %d/%d, %s says %d/%d — refusing to mint",
 			src.family, n, rule, primary, pres.MinCost, pres.Terminals, secondary, sres.MinCost, sres.Terminals)
 	}
+	a, err := artifact.Build(src.tt, pres.Ordering)
+	if err != nil {
+		return GoldenEntry{}, fmt.Errorf("golden: %s n=%d %s: artifact: %w", src.family, n, rule, err)
+	}
 	return GoldenEntry{
-		Table:     src.tt.Hex(),
-		Rule:      strings.ToLower(rule.String()),
-		MinCost:   pres.MinCost,
-		Terminals: pres.Terminals,
-		Ordering:  []int(pres.Ordering),
-		Family:    src.family,
-		Source:    source,
+		Table:          src.tt.Hex(),
+		Rule:           strings.ToLower(rule.String()),
+		MinCost:        pres.MinCost,
+		Terminals:      pres.Terminals,
+		Ordering:       []int(pres.Ordering),
+		ArtifactSHA256: artifactDigest(a.Encode()),
+		SatCount:       a.SatCount(),
+		Family:         src.family,
+		Source:         source,
 	}, nil
 }

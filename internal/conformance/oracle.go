@@ -1,11 +1,13 @@
 package conformance
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/core"
 	"obddopt/internal/truthtable"
 )
@@ -95,6 +97,12 @@ func Properties() []Property {
 			Doc:   "every exact solver agrees with the Friedman–Supowit dynamic program on MinCost (Lemma 4: the recurrence has a unique value)",
 			Rules: bothRules,
 			Check: checkAgreement,
+		},
+		{
+			Name:  "artifact",
+			Doc:   "the OBDD artifact built under the solver's ordering round-trips losslessly through the canonical codec, evaluates identically to the source table on all 2^n inputs, counts satisfying assignments exactly, and (under the OBDD rule) has exactly MinCost nodes",
+			Rules: bothRules,
+			Check: checkArtifact,
 		},
 	}
 }
@@ -275,6 +283,54 @@ func checkAgreement(ctx context.Context, solver string, tt *truthtable.Table, ru
 	}
 	if res.MinCost != ref.MinCost {
 		return fmt.Errorf("solver MinCost %d != dynamic program %d", res.MinCost, ref.MinCost)
+	}
+	return nil
+}
+
+func checkArtifact(ctx context.Context, solver string, tt *truthtable.Table, rule core.Rule, rng *rand.Rand) error {
+	res, err := solveWith(ctx, solver, tt, rule)
+	if err != nil {
+		return fmt.Errorf("solve failed: %w", err)
+	}
+	// The artifact is always the OBDD of the function under the solver's
+	// ordering; only under the OBDD rule is that ordering the diagram's
+	// own optimum, so only there does NodeCount pin MinCost.
+	a, err := artifact.Build(tt, res.Ordering)
+	if err != nil {
+		return fmt.Errorf("artifact build: %v", err)
+	}
+	enc := a.Encode()
+	dec, err := artifact.Decode(enc)
+	if err != nil {
+		return fmt.Errorf("artifact decode: %v", err)
+	}
+	if !a.Equal(dec) {
+		return fmt.Errorf("decode(encode) is not node-identical")
+	}
+	if re := dec.Encode(); !bytes.Equal(enc, re) {
+		return fmt.Errorf("encode→decode→encode is not byte-identical")
+	}
+	// Exhaustive equivalence: the suite's tables stay at n ≤ 10, so this
+	// sweeps all 2^n assignments.
+	size := tt.Size()
+	x := make([]bool, tt.NumVars())
+	for idx := uint64(0); idx < size; idx++ {
+		for i := range x {
+			x[i] = idx>>uint(i)&1 == 1
+		}
+		got, err := dec.Eval(x)
+		if err != nil {
+			return fmt.Errorf("artifact eval: %v", err)
+		}
+		if got != tt.Bit(idx) {
+			return fmt.Errorf("decoded artifact disagrees with the table at assignment %d", idx)
+		}
+	}
+	if got, want := dec.SatCount(), tt.CountOnes(); got != want {
+		return fmt.Errorf("artifact SatCount %d, table has %d ones", got, want)
+	}
+	if rule == core.OBDD && dec.NodeCount() != res.MinCost {
+		return fmt.Errorf("artifact has %d nodes, solver claims MinCost %d", dec.NodeCount(), res.MinCost)
 	}
 	return nil
 }

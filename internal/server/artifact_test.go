@@ -1,0 +1,373 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"obddopt/internal/artifact"
+	"obddopt/internal/core"
+	"obddopt/internal/truthtable"
+)
+
+// postRaw sends a solve request with an arbitrary path suffix and
+// Accept header and returns the undecoded response. The caller owns the
+// body.
+func postRaw(t *testing.T, url, suffix, accept string, req *SolveRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url+"/v1/solve"+suffix, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if accept != "" {
+		hreq.Header.Set("Accept", accept)
+	}
+	hr, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hr
+}
+
+// TestArtifactNegotiationMatrix pins the three request shapes: no
+// opt-in yields a plain envelope, ?include=bdd embeds base64 bytes in
+// the envelope, and Accept: application/x-obdd returns the raw binary —
+// winning over the query parameter when both are present. All three
+// artifact-bearing variants must produce the same canonical bytes.
+func TestArtifactNegotiationMatrix(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := truthtable.Random(7, rand.New(rand.NewSource(77)))
+	req := &SolveRequest{Table: tt.Hex(), Solver: "fs"}
+
+	// Absent: no artifact in the envelope.
+	plain, hr := postSolve(t, ts.URL, req)
+	if hr.StatusCode != http.StatusOK || plain.Error != nil {
+		t.Fatalf("plain solve: HTTP %d, %+v", hr.StatusCode, plain.Error)
+	}
+	if len(plain.BDD) != 0 {
+		t.Fatalf("plain solve carried %d artifact bytes without opting in", len(plain.BDD))
+	}
+
+	// Query opt-in: base64 inside the JSON envelope.
+	hr = postRaw(t, ts.URL, "?include=bdd", "", req)
+	defer hr.Body.Close()
+	var jresp SolveResponse
+	if err := json.NewDecoder(hr.Body).Decode(&jresp); err != nil {
+		t.Fatalf("decoding ?include=bdd envelope (HTTP %d): %v", hr.StatusCode, err)
+	}
+	if jresp.Error != nil || len(jresp.BDD) == 0 {
+		t.Fatalf("?include=bdd: %+v, want artifact bytes", jresp)
+	}
+	a, err := artifact.Decode(jresp.BDD)
+	if err != nil {
+		t.Fatalf("decoding envelope artifact: %v", err)
+	}
+	if err := artifact.Verify(a, tt); err != nil {
+		t.Fatalf("envelope artifact: %v", err)
+	}
+	if a.NodeCount() != jresp.Result.MinCost {
+		t.Fatalf("artifact has %d nodes, result claims %d", a.NodeCount(), jresp.Result.MinCost)
+	}
+
+	// Accept header: raw binary body with explicit framing, and the
+	// header wins even when ?include=bdd is also present.
+	for _, suffix := range []string{"", "?include=bdd"} {
+		hr := postRaw(t, ts.URL, suffix, ArtifactMediaType, req)
+		raw, err := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("raw solve%s: HTTP %d: %s", suffix, hr.StatusCode, raw)
+		}
+		if ct := hr.Header.Get("Content-Type"); ct != ArtifactMediaType {
+			t.Fatalf("raw solve%s: Content-Type %q, want %q", suffix, ct, ArtifactMediaType)
+		}
+		if cl := hr.Header.Get("Content-Length"); cl != strconv.Itoa(len(raw)) {
+			t.Fatalf("raw solve%s: Content-Length %q for a %d-byte body", suffix, cl, len(raw))
+		}
+		if !bytes.Equal(raw, jresp.BDD) {
+			t.Fatalf("raw solve%s: body differs from the envelope artifact", suffix)
+		}
+	}
+}
+
+// TestArtifactCacheHitByteIdentical pins the content-addressed store
+// contract: a repeated artifact request is answered entirely from cache
+// — zero additional solver runs — with byte-identical artifact bytes.
+func TestArtifactCacheHitByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	tt := truthtable.Random(8, rand.New(rand.NewSource(88)))
+	req := &SolveRequest{Table: tt.Hex(), Solver: "fs"}
+
+	get := func() *SolveResponse {
+		hr := postRaw(t, ts.URL, "?include=bdd", "", req)
+		defer hr.Body.Close()
+		var resp SolveResponse
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			t.Fatalf("decode (HTTP %d): %v", hr.StatusCode, err)
+		}
+		if resp.Error != nil || len(resp.BDD) == 0 {
+			t.Fatalf("solve = %+v, want artifact bytes", resp)
+		}
+		return &resp
+	}
+
+	cold := get()
+	if got := s.SolveCount(); got != 1 {
+		t.Fatalf("solver ran %d times after cold artifact solve, want 1", got)
+	}
+	warm := get()
+	if !warm.Cached {
+		t.Error("second identical artifact request not served from cache")
+	}
+	if got := s.SolveCount(); got != 1 {
+		t.Errorf("solver ran %d times after warm artifact solve, want 1", got)
+	}
+	if !bytes.Equal(cold.BDD, warm.BDD) {
+		t.Error("cached artifact bytes differ from the cold solve's")
+	}
+	// Both classes are stored: the exact result and the encoded artifact.
+	if st := s.CacheStats(); st.Entries != 2 {
+		t.Errorf("cache entries = %d, want 2 (exact + artifact)", st.Entries)
+	}
+}
+
+// TestArtifactBytesCountAgainstBudget: encoded artifacts are charged to
+// the same per-shard byte budget as exact results — filling the cache
+// with artifact-bearing solves must trigger evictions and never exceed
+// the configured bound.
+func TestArtifactBytesCountAgainstBudget(t *testing.T) {
+	const budget = 2048
+	s, ts := newTestServer(t, Config{CacheBytes: budget})
+	rng := rand.New(rand.NewSource(333))
+	for i := 0; i < 100; i++ {
+		tt := truthtable.Random(7, rng)
+		hr := postRaw(t, ts.URL, "?include=bdd", "", &SolveRequest{Table: tt.Hex(), Solver: "fs"})
+		var resp SolveResponse
+		err := json.NewDecoder(hr.Body).Decode(&resp)
+		hr.Body.Close()
+		if err != nil || resp.Error != nil || len(resp.BDD) == 0 {
+			t.Fatalf("solve %d: err=%v resp=%+v", i, err, resp.Error)
+		}
+	}
+	st := s.CacheStats()
+	if st.Bytes > budget {
+		t.Errorf("cache holds %d bytes, budget is %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("no evictions after 100 artifact-bearing solves into a %d-byte cache (stats %+v)", budget, st)
+	}
+}
+
+// TestArtifactZDDRejected: artifacts encode reduced OBDDs; asking for
+// one under the ZDD rule is an input error, in both negotiation shapes.
+func TestArtifactZDDRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	tt := truthtable.Random(6, rand.New(rand.NewSource(55)))
+	req := &SolveRequest{Table: tt.Hex(), Rule: "zdd"}
+	for _, tc := range []struct{ suffix, accept string }{
+		{"?include=bdd", ""},
+		{"", ArtifactMediaType},
+	} {
+		hr := postRaw(t, ts.URL, tc.suffix, tc.accept, req)
+		var resp SolveResponse
+		err := json.NewDecoder(hr.Body).Decode(&resp)
+		hr.Body.Close()
+		if err != nil {
+			t.Fatalf("%s accept=%q: decode (HTTP %d): %v", tc.suffix, tc.accept, hr.StatusCode, err)
+		}
+		if hr.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s accept=%q: HTTP %d, want 400", tc.suffix, tc.accept, hr.StatusCode)
+		}
+		if resp.Error == nil || resp.Error.Code != CodeInvalidInput {
+			t.Errorf("%s accept=%q: error = %+v, want invalid_input", tc.suffix, tc.accept, resp.Error)
+		}
+	}
+}
+
+// TestBatchIgnoresArtifactMode: batch responses never carry artifacts,
+// regardless of header or query opt-in — the batch envelope has no
+// binary framing, so the negotiation is defined out of scope there.
+func TestBatchIgnoresArtifactMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	a := truthtable.Random(6, rand.New(rand.NewSource(9)))
+	body, _ := json.Marshal(&BatchRequest{Requests: []SolveRequest{{Table: a.Hex(), Solver: "fs"}}})
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve/batch?include=bdd", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", ArtifactMediaType)
+	hr, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", hr.StatusCode)
+	}
+	if ct := hr.Header.Get("Content-Type"); ct == ArtifactMediaType {
+		t.Fatalf("batch answered with Content-Type %q", ct)
+	}
+	var bresp BatchResponse
+	if err := json.NewDecoder(hr.Body).Decode(&bresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Responses) != 1 {
+		t.Fatalf("got %d responses, want 1", len(bresp.Responses))
+	}
+	if r := bresp.Responses[0]; r.Error != nil || len(r.BDD) != 0 {
+		t.Fatalf("batch item = %+v, want success with no artifact bytes", r)
+	}
+}
+
+// TestClientSolveArtifact: the verified client path returns a decoded
+// artifact that matches the result, and refuses bad inputs before
+// touching the wire.
+func TestClientSolveArtifact(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	ctx := context.Background()
+	tt := truthtable.Random(7, rand.New(rand.NewSource(21)))
+
+	res, a, err := c.SolveArtifact(ctx, tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == nil || a.NodeCount() != res.MinCost {
+		t.Fatalf("artifact %v for result %+v", a, res)
+	}
+	if err := artifact.Verify(a, tt); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Ordering().Equal(res.Ordering) {
+		t.Fatalf("artifact ordering %v, result ordering %v", a.Ordering(), res.Ordering)
+	}
+
+	if _, _, err := c.SolveArtifact(ctx, nil, nil); !errors.Is(err, core.ErrInvalidInput) {
+		t.Errorf("nil table: err = %v, want ErrInvalidInput", err)
+	}
+	if _, _, err := c.SolveArtifact(ctx, tt, &Params{Rule: core.ZDD}); !errors.Is(err, core.ErrInvalidInput) {
+		t.Errorf("zdd rule: err = %v, want ErrInvalidInput", err)
+	}
+
+	// An early-stopped solve carries the incumbent out with a nil
+	// artifact — unproven orderings never get a diagram.
+	registerSlowSolver()
+	_, a2, err := c.SolveArtifact(ctx, truthtable.Random(8, rand.New(rand.NewSource(22))),
+		&Params{Solver: "slowtest", Deadline: 30 * time.Millisecond, NoCache: true})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Errorf("deadline solve: err = %v, want ErrCanceled", err)
+	}
+	if a2 != nil {
+		t.Error("early-stopped solve returned an artifact for an unproven ordering")
+	}
+
+	// A server that does not advertise the feature is refused up front.
+	c.featMu.Lock()
+	delete(c.feats, FeatureArtifact)
+	c.featMu.Unlock()
+	if _, _, err := c.SolveArtifact(ctx, tt, nil); err == nil || !strings.Contains(err.Error(), FeatureArtifact) {
+		t.Errorf("featureless server: err = %v, want a feature refusal", err)
+	}
+	if _, err := c.SolveArtifactRaw(ctx, tt, nil); err == nil || !strings.Contains(err.Error(), FeatureArtifact) {
+		t.Errorf("featureless raw: err = %v, want a feature refusal", err)
+	}
+}
+
+// TestClientVerifyArtifact drives the client-side trust boundary
+// directly: served bytes are returned only when they provably match the
+// result they came with.
+func TestClientVerifyArtifact(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	tt := truthtable.Random(6, rand.New(rand.NewSource(31)))
+	res, err := c.Solve(context.Background(), tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := artifact.Build(tt, res.Ordering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := a.Encode()
+
+	if _, err := c.verifyArtifact(enc, tt, res); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+	if _, err := c.verifyArtifact(nil, tt, res); err == nil {
+		t.Error("empty bytes accepted")
+	}
+	if _, err := c.verifyArtifact(enc[:len(enc)-1], tt, res); err == nil {
+		t.Error("truncated bytes accepted")
+	}
+	other := truthtable.Random(7, rand.New(rand.NewSource(32)))
+	if _, err := c.verifyArtifact(enc, other, res); err == nil {
+		t.Error("variable-count mismatch accepted")
+	}
+	if _, err := c.verifyArtifact(enc, tt, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	rev := *res
+	rev.Ordering = truthtable.ReverseOrdering(tt.NumVars())
+	if rev.Ordering.Equal(res.Ordering) {
+		t.Skip("optimal ordering happens to be the reverse ordering")
+	}
+	if _, err := c.verifyArtifact(enc, tt, &rev); err == nil {
+		t.Error("ordering mismatch accepted")
+	}
+	big := *res
+	big.MinCost = res.MinCost + 1
+	if _, err := c.verifyArtifact(enc, tt, &big); err == nil {
+		t.Error("node-count mismatch accepted")
+	}
+}
+
+// TestClientSolveArtifactRaw: raw bytes arrive undecoded but exact, and
+// solve failures come back mapped onto sentinels via the JSON envelope.
+func TestClientSolveArtifactRaw(t *testing.T) {
+	_, c := newTestClient(t, Config{})
+	ctx := context.Background()
+	tt := truthtable.Random(7, rand.New(rand.NewSource(41)))
+
+	raw, err := c.SolveArtifactRaw(ctx, tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Solve(ctx, tt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := artifact.Build(tt, res.Ordering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, a.Encode()) {
+		t.Error("raw bytes differ from a local build under the solved ordering")
+	}
+
+	if _, err := c.SolveArtifactRaw(ctx, nil, nil); !errors.Is(err, core.ErrInvalidInput) {
+		t.Errorf("nil table: err = %v, want ErrInvalidInput", err)
+	}
+	if _, err := c.SolveArtifactRaw(ctx, tt, &Params{Rule: core.ZDD}); !errors.Is(err, core.ErrInvalidInput) {
+		t.Errorf("zdd rule: err = %v, want ErrInvalidInput", err)
+	}
+	// A server-side rejection rides the JSON envelope back into the
+	// sentinel mapping.
+	if _, err := c.SolveArtifactRaw(ctx, tt, &Params{Solver: "no-such-solver"}); !errors.Is(err, core.ErrInvalidInput) {
+		t.Errorf("unknown solver: err = %v, want ErrInvalidInput", err)
+	}
+}

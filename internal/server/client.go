@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/core"
 	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
@@ -220,6 +221,125 @@ func (c *Client) SolveBatch(ctx context.Context, tts []*truthtable.Table, p *Par
 		}
 	}
 	return results, nil
+}
+
+// SolveArtifact is Solve additionally returning the solved function's
+// compact OBDD artifact (the diagram under the proven-optimal
+// ordering). The artifact arrives base64-embedded in the JSON envelope
+// (?include=bdd) and is decoded and re-verified locally before being
+// handed to the caller: the variable count, recorded ordering and node
+// count must match the result, and the diagram must evaluate back to
+// tt. Artifacts exist for the OBDD rule only — a ZDD Params.Rule is
+// ErrInvalidInput — and require a server advertising the
+// "obdd-artifact" feature. On early-stopped solves the incumbent result
+// and its error come back with a nil artifact.
+func (c *Client) SolveArtifact(ctx context.Context, tt *truthtable.Table, p *Params) (*core.Result, *artifact.Artifact, error) {
+	if tt == nil {
+		return nil, nil, fmt.Errorf("%w: nil truth table", core.ErrInvalidInput)
+	}
+	if p != nil && p.Rule != core.OBDD {
+		return nil, nil, fmt.Errorf("%w: artifacts are defined for the obdd rule only", core.ErrInvalidInput)
+	}
+	if !c.hasFeature(FeatureArtifact) {
+		return nil, nil, fmt.Errorf("obddd client: server does not advertise the %q feature", FeatureArtifact)
+	}
+	wire, err := c.post(ctx, "/v1/solve?include=bdd", toWire(tt, p), requestID(ctx, p))
+	if err != nil {
+		return nil, nil, err
+	}
+	if werr := wireToError(wire.Error); werr != nil {
+		return wire.Result, nil, werr
+	}
+	a, err := c.verifyArtifact(wire.BDD, tt, wire.Result)
+	if err != nil {
+		return wire.Result, nil, err
+	}
+	return wire.Result, a, nil
+}
+
+// verifyArtifact decodes served artifact bytes and holds them against
+// the result they came with — the client-side trust boundary: a
+// decoded diagram is returned only after it provably denotes tt under
+// the result's ordering with the result's node count.
+func (c *Client) verifyArtifact(data []byte, tt *truthtable.Table, res *core.Result) (*artifact.Artifact, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("obddd client: server sent no artifact with a proven-optimal result")
+	}
+	a, err := artifact.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("obddd client: served artifact: %w", err)
+	}
+	if a.NumVars() != tt.NumVars() {
+		return nil, fmt.Errorf("obddd client: served artifact has %d variables, request had %d", a.NumVars(), tt.NumVars())
+	}
+	if res == nil || !a.Ordering().Equal(res.Ordering) {
+		return nil, fmt.Errorf("obddd client: served artifact's ordering does not match the result's")
+	}
+	if a.NodeCount() != res.MinCost {
+		return nil, fmt.Errorf("obddd client: served artifact has %d nodes, result claims MinCost %d", a.NodeCount(), res.MinCost)
+	}
+	if err := artifact.Verify(a, tt); err != nil {
+		return nil, fmt.Errorf("obddd client: %w", err)
+	}
+	return a, nil
+}
+
+// SolveArtifactRaw solves tt and returns the artifact's raw encoded
+// bytes, negotiated via Accept: application/x-obdd — the transfer path
+// for callers that store or forward artifacts without inflating them.
+// The bytes are NOT decoded or verified here (use artifact.Decode /
+// artifact.Verify, or SolveArtifact for the verified path); transport
+// truncation is still loud, surfacing as io.ErrUnexpectedEOF. Solve
+// failures come back on the JSON envelope path with the usual sentinel
+// mapping.
+func (c *Client) SolveArtifactRaw(ctx context.Context, tt *truthtable.Table, p *Params) ([]byte, error) {
+	if tt == nil {
+		return nil, fmt.Errorf("%w: nil truth table", core.ErrInvalidInput)
+	}
+	if p != nil && p.Rule != core.OBDD {
+		return nil, fmt.Errorf("%w: artifacts are defined for the obdd rule only", core.ErrInvalidInput)
+	}
+	if !c.hasFeature(FeatureArtifact) {
+		return nil, fmt.Errorf("obddd client: server does not advertise the %q feature", FeatureArtifact)
+	}
+	body, err := json.Marshal(toWire(tt, p))
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", ArtifactMediaType)
+	if id := requestID(ctx, p); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("obddd client: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		// Keep the sentinel visible: a body cut short of its declared
+		// Content-Length is io.ErrUnexpectedEOF, and errors.Is must see
+		// it through the wrap.
+		return nil, fmt.Errorf("obddd client: reading artifact body: %w", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, ArtifactMediaType) {
+		// The server answered on the JSON envelope path: a solve error,
+		// admission rejection, or input rejection.
+		var out SolveResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			return nil, fmt.Errorf("obddd client: HTTP %d with undecodable body: %v", resp.StatusCode, err)
+		}
+		if werr := wireToError(out.Error); werr != nil {
+			return nil, werr
+		}
+		return nil, fmt.Errorf("obddd client: server answered JSON without an error to a %s request", ArtifactMediaType)
+	}
+	return data, nil
 }
 
 // toWire renders (tt, p) as a wire request.

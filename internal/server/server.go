@@ -33,10 +33,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/cache"
 	"obddopt/internal/core"
 	_ "obddopt/internal/heuristics" // installs the portfolio's default heuristic seeder
@@ -209,6 +211,29 @@ func sanitizeRequestID(id string) string {
 	return id
 }
 
+// artifactMode is a /v1/solve request's negotiated artifact shape:
+// none, base64 inside the JSON envelope, or the raw binary body.
+type artifactMode int
+
+const (
+	artifactNone artifactMode = iota
+	artifactJSON               // ?include=bdd → "bdd" field, base64
+	artifactRaw                // Accept: application/x-obdd → binary body
+)
+
+// negotiateArtifact resolves the request's artifact mode. The Accept
+// header wins over the query parameter: a caller asking for the binary
+// media type gets binary even if a proxy appended ?include=bdd.
+func negotiateArtifact(r *http.Request) artifactMode {
+	if strings.Contains(r.Header.Get("Accept"), ArtifactMediaType) {
+		return artifactRaw
+	}
+	if r.URL.Query().Get("include") == "bdd" {
+		return artifactJSON
+	}
+	return artifactNone
+}
+
 // handleSolve serves POST /v1/solve.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
@@ -216,6 +241,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeResponse(w, http.StatusBadRequest, &SolveResponse{Error: &WireError{Code: CodeInvalidInput, Message: err.Error()}}, 0)
 		return
 	}
+	mode := negotiateArtifact(r)
 	ctx, sp := requestSpan(w, r)
 	release, err := s.adm.admit()
 	if err != nil {
@@ -226,9 +252,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if sp != nil {
 		sp.Event("admitted")
 	}
-	resp, status := s.solveOne(ctx, &req)
+	resp, status := s.solveOne(ctx, &req, mode)
 	resp.RequestID = sp.ID()
 	s.logAccess("/v1/solve", sp, status, resp)
+	if mode == artifactRaw && resp.Error == nil && len(resp.BDD) > 0 {
+		// Raw negotiation succeeded: the body is the artifact itself.
+		// Content-Length is set explicitly so a truncated transfer
+		// surfaces as io.ErrUnexpectedEOF client-side, never as a
+		// silently short diagram.
+		w.Header().Set("Content-Type", ArtifactMediaType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.BDD)))
+		w.WriteHeader(status)
+		_, _ = w.Write(resp.BDD)
+		return
+	}
 	writeResponse(w, status, resp, s.cfg.RetryAfter)
 }
 
@@ -265,7 +302,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Responses[i].RequestID = sp.ID()
 			continue
 		}
-		resp, _ := s.solveOne(ctx, &req.Requests[i])
+		resp, _ := s.solveOne(ctx, &req.Requests[i], artifactNone)
 		resp.RequestID = sp.ID()
 		if req.Requests[i].Hints != nil {
 			// The item sent hints but was not co-scheduled; echo the
@@ -285,12 +322,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // acquisition, cache lookup / single-flight solve, error mapping. It
 // returns the response body and HTTP status (always 200 for solve
 // outcomes, including early-stopped ones — the outcome is in the body).
-func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResponse, int) {
+func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest, mode artifactMode) (*SolveResponse, int) {
 	start := time.Now()
 	sp := obs.SpanFromContext(reqCtx)
 	tt, rule, solverName, opts, deadline, err := s.parseRequest(req)
 	if err != nil {
 		return &SolveResponse{Error: errorToWire(err)}, http.StatusBadRequest
+	}
+	if mode != artifactNone && rule != core.OBDD {
+		return &SolveResponse{Error: &WireError{Code: CodeInvalidInput,
+			Message: "artifacts are defined for the obdd rule only"}}, http.StatusBadRequest
 	}
 
 	// The request context is bounded by the request deadline and by the
@@ -311,13 +352,20 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 	var key string
 	cacheState := ""
 	if s.cache != nil && !req.NoCache {
-		key = cache.Key(tt.Hex(), rule.String(), "exact")
+		key = cache.Key(tt.Hex(), rule.String(), cache.ClassExact)
 		if v, ok := s.cache.Get(key); ok {
 			if sp != nil {
 				sp.Event("cache_hit")
 			}
 			obs.Metrics.RequestsServed.Inc()
-			return &SolveResponse{Result: v.(*core.Result), Cached: true, ElapsedMS: msSince(start), cacheState: "hit"}, http.StatusOK
+			resp := &SolveResponse{Result: v.(*core.Result), Cached: true, cacheState: "hit"}
+			if mode != artifactNone {
+				if resp.BDD, err = s.artifactFor(tt, resp.Result, req.NoCache); err != nil {
+					return &SolveResponse{Error: errorToWire(err), cacheState: "hit"}, http.StatusOK
+				}
+			}
+			resp.ElapsedMS = msSince(start)
+			return resp, http.StatusOK
 		}
 		cacheState = "miss"
 		if sp != nil {
@@ -426,8 +474,48 @@ func (s *Server) solveOne(reqCtx context.Context, req *SolveRequest) (*SolveResp
 		obs.Metrics.RequestsServed.Inc()
 		return resp, http.StatusOK
 	}
+	if mode != artifactNone {
+		// Proven-optimal outcome: attach the encoded OBDD under the
+		// result's ordering (from the artifact cache class when it is
+		// already stored there).
+		if resp.BDD, err = s.artifactFor(tt, res, req.NoCache); err != nil {
+			resp.Result, resp.Error = nil, errorToWire(err)
+		}
+	}
 	obs.Metrics.RequestsServed.Inc()
 	return resp, http.StatusOK
+}
+
+// artifactFor returns the canonical encoded OBDD of tt under the
+// proven-optimal result res, consulting the cache's artifact class
+// before building. A cached artifact is served only when its recorded
+// ordering matches the result it travels with — the exact and artifact
+// classes are stored independently, so the pairing is re-validated at
+// the seam rather than assumed.
+func (s *Server) artifactFor(tt *truthtable.Table, res *core.Result, noCache bool) ([]byte, error) {
+	var akey string
+	if s.cache != nil && !noCache {
+		akey = cache.Key(tt.Hex(), core.OBDD.String(), cache.ClassArtifact)
+		if v, ok := s.cache.Get(akey); ok {
+			enc := v.([]byte)
+			if ord, err := artifact.DecodedOrdering(enc); err == nil && ord.Equal(res.Ordering) {
+				return enc, nil
+			}
+			// Ordering drift (or a corrupt entry): fall through and
+			// rebuild; the Put below overwrites the stale bytes.
+		}
+	}
+	a, err := artifact.Build(tt, res.Ordering)
+	if err != nil {
+		return nil, fmt.Errorf("encoding artifact: %w", err)
+	}
+	enc := a.Encode()
+	if akey != "" {
+		// Best effort: an artifact bigger than a cache shard is simply
+		// not stored.
+		s.cache.Put(akey, enc, int64(len(enc)))
+	}
+	return enc, nil
 }
 
 // handleSolvers serves GET /v1/solvers.
@@ -439,7 +527,7 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 		MaxDeadlineMS: s.cfg.MaxDeadline.Milliseconds(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    s.cfg.QueueDepth,
-		Features:      []string{FeatureBatchHints},
+		Features:      []string{FeatureBatchHints, FeatureArtifact},
 	}
 	writeJSON(w, http.StatusOK, &resp)
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/core"
 	"obddopt/internal/obs"
 	"obddopt/internal/truthtable"
@@ -128,6 +129,12 @@ type SolveResponse struct {
 	// ElapsedMS is the server-side handling time.
 	ElapsedMS float64    `json:"elapsed_ms,omitempty"`
 	Error     *WireError `json:"error,omitempty"`
+	// BDD is the encoded OBDD artifact (internal/artifact wire format,
+	// base64 in JSON) of the function under Result.Ordering. Present
+	// only when the request asked for it (?include=bdd or Accept:
+	// application/x-obdd), the solve proved optimality, and the rule is
+	// OBDD; incumbents from early-stopped solves never carry one.
+	BDD []byte `json:"bdd,omitempty"`
 	// Scheduling echoes the batch planner's decision when the request
 	// carried hints; nil otherwise.
 	Scheduling *SchedulingEcho `json:"scheduling,omitempty"`
@@ -172,6 +179,15 @@ type SolversResponse struct {
 // FeatureBatchHints advertises that SolveRequest.Hints is understood and
 // the batch planner may co-schedule opted-in items.
 const FeatureBatchHints = "batch-hints"
+
+// FeatureArtifact advertises that /v1/solve understands artifact
+// content negotiation: ?include=bdd embeds the encoded OBDD in the JSON
+// envelope's "bdd" field, and Accept: application/x-obdd returns the
+// raw artifact bytes.
+const FeatureArtifact = "obdd-artifact"
+
+// ArtifactMediaType is the content type of a raw artifact response.
+const ArtifactMediaType = artifact.MediaType
 
 // errorToWire maps an engine or admission error onto its wire envelope.
 func errorToWire(err error) *WireError {

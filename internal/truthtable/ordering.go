@@ -50,6 +50,20 @@ func (o Ordering) Valid() bool {
 	return true
 }
 
+// Equal reports whether o and p are the same ordering, element for
+// element.
+func (o Ordering) Equal(p Ordering) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	for i, v := range o {
+		if v != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a copy of o.
 func (o Ordering) Clone() Ordering {
 	c := make(Ordering, len(o))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"obddopt/internal/artifact"
 	"obddopt/internal/core"
 	_ "obddopt/internal/heuristics" // installs the portfolio's default heuristic seeder
 	"obddopt/internal/obs"
@@ -194,6 +195,33 @@ func Solve(ctx context.Context, tt *Table, opts ...Option) (*Result, error) {
 	}
 	sp.Event("solver_done:" + cfg.solver) //lint:allow tracesafe EnsureSpan mints a span when the context has none, so sp is never nil
 	return res, err
+}
+
+// SolveArtifact is Solve additionally returning the solved function's
+// compact OBDD artifact: the reduced diagram under the proven-optimal
+// ordering, in the canonical level-indexed encoding of
+// Artifact.Encode. It accepts the same options as Solve except that
+// WithRule(ZDD) is ErrInvalidInput — artifacts are defined for the
+// OBDD rule only. On early stops (ErrCanceled / ErrBudgetExceeded) the
+// incumbent result comes back with a nil artifact: an unproven
+// ordering's diagram is not a canonical artifact.
+func SolveArtifact(ctx context.Context, tt *Table, opts ...Option) (*Result, *Artifact, error) {
+	probe := solveConfig{}
+	for _, o := range opts {
+		o(&probe)
+	}
+	if probe.opts.Rule != core.OBDD {
+		return nil, nil, fmt.Errorf("%w: artifacts are defined for the OBDD rule only", ErrInvalidInput)
+	}
+	res, err := Solve(ctx, tt, opts...)
+	if err != nil {
+		return res, nil, err
+	}
+	a, err := artifact.Build(tt, res.Ordering)
+	if err != nil {
+		return res, nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	return res, a, nil
 }
 
 // SolveShared is Solve for the multi-rooted (shared-forest) problem: the
